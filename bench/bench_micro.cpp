@@ -1,0 +1,196 @@
+// Micro-benchmarks (google-benchmark) for the substrate: CDR marshaling,
+// GIOP message codec, stream framing, object-key hashing (the §4.1
+// optimization's real CPU side), the simulation kernel, and a full
+// in-simulator client/server round trip.
+#include <benchmark/benchmark.h>
+
+#include "app/experiment_client.h"
+#include "app/testbed.h"
+#include "giop/messages.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+
+using namespace mead;
+
+namespace {
+
+void BM_CdrEncodePrimitives(benchmark::State& state) {
+  for (auto _ : state) {
+    giop::CdrWriter w;
+    for (int i = 0; i < 16; ++i) {
+      w.write_u32(static_cast<std::uint32_t>(i));
+      w.write_u64(static_cast<std::uint64_t>(i) << 32);
+      w.write_double(3.14 * i);
+    }
+    benchmark::DoNotOptimize(w.buffer().data());
+  }
+  state.SetItemsProcessed(state.iterations() * 48);
+}
+BENCHMARK(BM_CdrEncodePrimitives);
+
+void BM_CdrStringRoundTrip(benchmark::State& state) {
+  const std::string s(static_cast<std::size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    giop::CdrWriter w;
+    w.write_string(s);
+    giop::CdrReader r(w.buffer(), w.order());
+    auto out = r.read_string();
+    benchmark::DoNotOptimize(out.value().data());
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CdrStringRoundTrip)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_GiopRequestEncode(benchmark::State& state) {
+  const auto key = giop::ObjectKey::make_persistent("TimeOfDayPOA/obj");
+  const Bytes args(static_cast<std::size_t>(state.range(0)), 0x5A);
+  std::uint32_t id = 0;
+  for (auto _ : state) {
+    giop::RequestMessage req{++id, true, key, "get_time", args};
+    Bytes wire = giop::encode_request(req);
+    benchmark::DoNotOptimize(wire.data());
+  }
+  state.SetBytesProcessed(state.iterations() * (state.range(0) + 80));
+}
+BENCHMARK(BM_GiopRequestEncode)->Arg(0)->Arg(64)->Arg(1024);
+
+void BM_GiopRequestDecode(benchmark::State& state) {
+  const auto key = giop::ObjectKey::make_persistent("TimeOfDayPOA/obj");
+  const Bytes wire = giop::encode_request(
+      giop::RequestMessage{7, true, key, "get_time",
+                           Bytes(static_cast<std::size_t>(state.range(0)), 1)});
+  for (auto _ : state) {
+    auto req = giop::decode_request(wire);
+    benchmark::DoNotOptimize(req.value().request_id);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(wire.size()));
+}
+BENCHMARK(BM_GiopRequestDecode)->Arg(0)->Arg(1024);
+
+void BM_FrameBufferSplit(benchmark::State& state) {
+  Bytes stream;
+  const auto key = giop::ObjectKey::make_persistent("POA/x");
+  for (std::uint32_t i = 0; i < 32; ++i) {
+    append_bytes(stream, giop::encode_request(
+                             giop::RequestMessage{i, true, key, "op", {}}));
+  }
+  for (auto _ : state) {
+    giop::FrameBuffer fb;
+    fb.feed(stream);
+    int frames = 0;
+    while (fb.next().has_value()) ++frames;
+    benchmark::DoNotOptimize(frames);
+  }
+  state.SetItemsProcessed(state.iterations() * 32);
+}
+BENCHMARK(BM_FrameBufferSplit);
+
+// The §4.1 ablation's CPU-level core: looking an incoming request's object
+// key up in the interceptor's IOR table. The paper's optimization hashes
+// the key once to 16 bits and compares integers; the naive alternative
+// byte-compares the (typically 52-byte) key against every table entry.
+// The keys share a long common prefix (same POA path), which is exactly
+// what makes byte comparison expensive in practice.
+std::vector<giop::ObjectKey> make_key_table(int n) {
+  std::vector<giop::ObjectKey> table;
+  for (int i = 0; i < n; ++i) {
+    table.push_back(giop::ObjectKey::make_persistent(
+        "TimeOfDayPOA/TimeServiceObject/" + std::to_string(i)));
+  }
+  return table;
+}
+
+void BM_KeyLookupHash16(benchmark::State& state) {
+  const auto table = make_key_table(static_cast<int>(state.range(0)));
+  std::vector<std::uint16_t> hashes;
+  for (const auto& k : table) hashes.push_back(k.hash16());
+  const auto needle = table.back();
+  for (auto _ : state) {
+    const std::uint16_t h = needle.hash16();  // once per request
+    int found = -1;
+    for (std::size_t i = 0; i < hashes.size(); ++i) {
+      if (hashes[i] == h) {
+        found = static_cast<int>(i);
+        break;
+      }
+    }
+    benchmark::DoNotOptimize(found);
+  }
+}
+BENCHMARK(BM_KeyLookupHash16)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_KeyLookupByteCompare(benchmark::State& state) {
+  const auto table = make_key_table(static_cast<int>(state.range(0)));
+  const auto needle = table.back();
+  for (auto _ : state) {
+    int found = -1;
+    for (std::size_t i = 0; i < table.size(); ++i) {
+      if (table[i] == needle) {  // 52-byte compare, long shared prefix
+        found = static_cast<int>(i);
+        break;
+      }
+    }
+    benchmark::DoNotOptimize(found);
+  }
+}
+BENCHMARK(BM_KeyLookupByteCompare)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_SimKernelEvents(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    for (int i = 0; i < 1000; ++i) {
+      sim.schedule(microseconds(i), [] {});
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sim.events_processed());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SimKernelEvents);
+
+void BM_SimCoroutinePingPong(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    auto coro = [](sim::Simulator& s) -> sim::Task<void> {
+      for (int i = 0; i < 100; ++i) co_await s.sleep(microseconds(1));
+    };
+    for (int i = 0; i < 10; ++i) sim.spawn(coro(sim));
+    sim.run();
+    benchmark::DoNotOptimize(sim.events_processed());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SimCoroutinePingPong);
+
+// Wall-clock cost of one simulated CORBA invocation, full stack (testbed
+// bring-up amortized outside the timing loop).
+void BM_SimulatedInvocation(benchmark::State& state) {
+  app::TestbedOptions opts;
+  opts.inject_leak = false;
+  opts.scheme = core::RecoveryScheme::kReactiveNoCache;
+  app::Testbed bed(opts);
+  if (!bed.start()) {
+    state.SkipWithError("testbed failed");
+    return;
+  }
+  app::ClientOptions copts;
+  copts.invocations = 1'000'000'000;  // effectively unbounded
+  app::ExperimentClient client(bed, copts);
+  bed.sim().spawn(client.run());
+  bed.sim().run_for(milliseconds(50));  // warm up
+  std::uint64_t done = client.results().invocations_completed;
+  for (auto _ : state) {
+    const std::uint64_t target = done + 1;
+    while (client.results().invocations_completed < target) {
+      bed.sim().run_for(milliseconds(1));
+    }
+    done = client.results().invocations_completed;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SimulatedInvocation);
+
+}  // namespace
+
+BENCHMARK_MAIN();

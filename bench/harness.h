@@ -1,0 +1,110 @@
+// Shared experiment harness for the paper-reproduction benches: runs one
+// full §5 experiment (five-node testbed, 10,000 invocations at 1 ms) and
+// collects everything Table 1 / Figures 3-5 need.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "app/experiment_client.h"
+#include "app/testbed.h"
+
+namespace mead::bench {
+
+struct ExperimentResult {
+  app::ClientResults client;
+  std::size_t server_failures = 0;
+  std::uint64_t gc_bytes = 0;          // GC traffic during the measurement
+  double duration_s = 0;               // virtual seconds of measurement
+  std::uint64_t mead_redirects = 0;
+  std::uint64_t masked_failures = 0;
+  std::uint64_t query_timeouts = 0;
+  std::uint64_t forwards = 0;
+  std::uint64_t proactive_launches = 0;
+
+  [[nodiscard]] double gc_bandwidth_bps() const {
+    return duration_s > 0 ? static_cast<double>(gc_bytes) / duration_s : 0;
+  }
+  /// Table 1 "Client Failures (%)": client-visible exceptions per
+  /// server-side failure.
+  [[nodiscard]] double client_failure_pct() const {
+    if (server_failures == 0) return 0;
+    return 100.0 * static_cast<double>(client.total_exceptions()) /
+           static_cast<double>(server_failures);
+  }
+};
+
+struct ExperimentSpec {
+  ExperimentSpec() = default;
+
+  core::RecoveryScheme scheme = core::RecoveryScheme::kReactiveNoCache;
+  int invocations = 10'000;
+  std::uint64_t seed = 2004;  // DSN 2004
+  core::Thresholds thresholds;
+  bool inject_leak = true;
+};
+
+inline ExperimentResult run_experiment(const ExperimentSpec& spec) {
+  app::TestbedOptions opts;
+  opts.scheme = spec.scheme;
+  opts.seed = spec.seed;
+  opts.thresholds = spec.thresholds;
+  opts.inject_leak = spec.inject_leak;
+  app::Testbed bed(opts);
+  ExperimentResult out;
+  if (!bed.start()) {
+    std::fprintf(stderr, "testbed failed to start (%s)\n",
+                 std::string(to_string(spec.scheme)).c_str());
+    return out;
+  }
+  const std::size_t deaths0 = bed.replica_deaths();
+  const std::uint64_t gc0 = bed.gc_bytes();
+  const TimePoint t0 = bed.sim().now();
+
+  app::ClientOptions copts;
+  copts.invocations = spec.invocations;
+  app::ExperimentClient client(bed, copts);
+  bed.sim().spawn(client.run());
+  // Slice the run so measurement stops the moment the client finishes.
+  for (int slice = 0; slice < 3000 && !client.done(); ++slice) {
+    bed.sim().run_for(milliseconds(100));
+  }
+
+  out.client = client.results();
+  out.server_failures = bed.replica_deaths() - deaths0;
+  out.gc_bytes = bed.gc_bytes() - gc0;
+  out.duration_s = (bed.sim().now() - t0).sec();
+  if (client.interceptor() != nullptr) {
+    out.mead_redirects = client.interceptor()->stats().mead_redirects;
+    out.masked_failures = client.interceptor()->stats().masked_failures;
+    out.query_timeouts = client.interceptor()->stats().query_timeouts;
+  }
+  out.forwards = client.stub() ? client.stub()->forwards_followed() : 0;
+  out.proactive_launches = bed.recovery_manager().stats().proactive_launches;
+  return out;
+}
+
+/// Prints a compact ASCII sparkline of an RTT series (for figure benches).
+inline void print_series(const char* title, const Series& s,
+                         int buckets = 100, double cap_ms = 20.0) {
+  std::printf("\n%s  (n=%zu, mean=%.3f ms, max=%.3f ms)\n", title, s.count(),
+              s.mean(), s.max());
+  if (s.empty()) return;
+  static const char* kGlyphs[] = {"_", ".", ":", "-", "=", "+", "*", "#", "%", "@"};
+  const auto& v = s.samples();
+  const std::size_t per = std::max<std::size_t>(1, v.size() / static_cast<std::size_t>(buckets));
+  std::string line;
+  for (std::size_t i = 0; i < v.size(); i += per) {
+    double peak = 0;
+    for (std::size_t j = i; j < std::min(v.size(), i + per); ++j) {
+      peak = std::max(peak, v[j]);
+    }
+    const double frac = std::min(1.0, peak / cap_ms);
+    line += kGlyphs[static_cast<int>(frac * 9.0)];
+  }
+  std::printf("  [%s]\n", line.c_str());
+  std::printf("  scale: '_'=0ms .. '@'=%.0fms, each glyph = %zu invocations\n",
+              cap_ms, per);
+}
+
+}  // namespace mead::bench

@@ -1,0 +1,100 @@
+// Demonstrates the group-communication substrate (the Spread stand-in) on
+// its own: totally-ordered multicast, join-order views, membership change
+// notifications on member death — the properties every MEAD scheme builds
+// on (§3).
+//
+// Run: ./build/examples/group_chat
+#include <cstdio>
+
+#include "gc/client.h"
+#include "gc/daemon.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+
+using namespace mead;
+
+namespace {
+
+sim::Task<void> member_main(net::Process& proc, gc::GcClient& gc,
+                            int messages) {
+  const bool up = co_await gc.connect();
+  if (!up) co_return;
+  (void)co_await gc.join("chat");
+
+  int sent = 0;
+  for (;;) {
+    auto ev = co_await gc.next_event(milliseconds(20));
+    if (!ev) co_return;  // connection gone (we died)
+    if (ev.value()) {
+      const gc::Event& e = *ev.value();
+      if (e.kind == gc::Event::Kind::kView && e.group == "chat") {
+        std::printf("[%7.2f ms] %-7s sees view %llu: ", proc.sim().now().ms(),
+                    gc.name().c_str(),
+                    static_cast<unsigned long long>(e.view.view_id));
+        for (const auto& m : e.view.members) std::printf("%s ", m.c_str());
+        std::printf("\n");
+      } else if (e.kind == gc::Event::Kind::kMessage && e.group == "chat") {
+        std::printf("[%7.2f ms] %-7s delivers #%llu from %s: %.*s\n",
+                    proc.sim().now().ms(), gc.name().c_str(),
+                    static_cast<unsigned long long>(e.seq), e.sender.c_str(),
+                    static_cast<int>(e.payload.size()),
+                    reinterpret_cast<const char*>(e.payload.data()));
+      }
+    } else if (sent < messages) {
+      // Quiet moment: say something. Total order guarantees everyone
+      // (including us) sees all lines in the same sequence.
+      std::string line = "hello #" + std::to_string(++sent);
+      (void)co_await gc.multicast("chat", Bytes(line.begin(), line.end()));
+    }
+    if (!proc.alive()) co_return;
+  }
+}
+
+}  // namespace
+
+int main() {
+  sim::Simulator sim(3);
+  net::Network net(sim);
+  std::vector<std::string> hosts = {"node1", "node2", "node3"};
+  for (const auto& h : hosts) net.add_node(h);
+
+  std::vector<std::unique_ptr<gc::GcDaemon>> daemons;
+  for (std::size_t i = 0; i < hosts.size(); ++i) {
+    gc::DaemonConfig cfg;
+    cfg.daemon_hosts = hosts;
+    cfg.self_index = i;
+    auto proc = net.spawn_process(hosts[i], "gc-daemon");
+    daemons.push_back(std::make_unique<gc::GcDaemon>(proc, cfg));
+    daemons.back()->start();
+  }
+
+  struct Member {
+    net::ProcessPtr proc;
+    std::unique_ptr<gc::GcClient> gc;
+  };
+  std::vector<Member> members;
+  const char* names[] = {"alice", "bob", "carol"};
+  for (int i = 0; i < 3; ++i) {
+    Member m;
+    m.proc = net.spawn_process(hosts[static_cast<std::size_t>(i)], names[i]);
+    m.gc = std::make_unique<gc::GcClient>(
+        *m.proc, names[i],
+        net::Endpoint{hosts[static_cast<std::size_t>(i)],
+                      gc::kDefaultDaemonPort});
+    members.push_back(std::move(m));
+  }
+  for (auto& m : members) sim.spawn(member_main(*m.proc, *m.gc, 2));
+
+  // Carol crashes mid-conversation; alice and bob get the membership change.
+  sim.schedule(milliseconds(120), [&] {
+    std::printf("[%7.2f ms] --- carol's process crashes ---\n",
+                sim.now().ms());
+    members[2].proc->kill();
+  });
+
+  sim.run_for(milliseconds(400));
+  std::printf("\nnote: every member printed the same message sequence in the "
+              "same order (total order), and the surviving members installed "
+              "the same post-crash view.\n");
+  return 0;
+}

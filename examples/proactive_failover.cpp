@@ -1,0 +1,83 @@
+// The paper's headline scenario, narrated: three warm-passive TimeOfDay
+// replicas protected by MEAD, a memory leak on the primary, and the MEAD
+// proactive fail-over message scheme (§4.3) moving the client to the next
+// replica *before* the faulty one dies — no exception ever reaches the
+// client application.
+//
+// Run: ./build/examples/proactive_failover
+#include <cstdio>
+
+#include "app/experiment_client.h"
+#include "app/testbed.h"
+
+using namespace mead;
+using namespace mead::app;
+
+int main() {
+  TestbedOptions opts;
+  opts.scheme = core::RecoveryScheme::kMeadMessage;
+  opts.seed = 7;
+  opts.thresholds = core::Thresholds{0.8, 0.9};  // the paper's 80%/90%
+  opts.inject_leak = true;
+
+  Testbed bed(opts);
+  if (!bed.start()) {
+    std::fprintf(stderr, "testbed failed to start\n");
+    return 1;
+  }
+  std::printf("five-node testbed up: 3 replicas + naming + recovery "
+              "manager, GC daemons everywhere\n");
+  for (const auto& r : bed.replicas()) {
+    std::printf("  %-10s at %s\n", r->member().c_str(),
+                net::to_string(r->endpoint()).c_str());
+  }
+
+  ClientOptions copts;
+  copts.invocations = 2'000;
+  ExperimentClient client(bed, copts);
+  bed.sim().spawn(client.run());
+
+  // Narrate the run: poll for interesting transitions every 50 virtual ms.
+  std::size_t last_replicas = bed.replicas().size();
+  std::uint64_t last_redirects = 0;
+  std::uint64_t last_launches = 0;
+  for (int slice = 0; slice < 1200 && !client.done(); ++slice) {
+    bed.sim().run_for(milliseconds(50));
+    const double now_ms = bed.sim().now().ms();
+    if (bed.recovery_manager().stats().proactive_launches > last_launches) {
+      last_launches = bed.recovery_manager().stats().proactive_launches;
+      std::printf("[%8.1f ms] T1 crossed: FT manager requested a spare; "
+                  "recovery manager launching replica #%d\n",
+                  now_ms, bed.recovery_manager().next_incarnation() - 1);
+    }
+    if (bed.replicas().size() > last_replicas) {
+      last_replicas = bed.replicas().size();
+      const auto& fresh = bed.replicas().back();
+      std::printf("[%8.1f ms] spare %s up at %s\n", now_ms,
+                  fresh->member().c_str(),
+                  net::to_string(fresh->endpoint()).c_str());
+    }
+    if (client.interceptor() &&
+        client.interceptor()->stats().mead_redirects > last_redirects) {
+      last_redirects = client.interceptor()->stats().mead_redirects;
+      std::printf("[%8.1f ms] T2 crossed: MEAD fail-over message received; "
+                  "client connection re-pointed (dup2) — redirect #%llu\n",
+                  now_ms, static_cast<unsigned long long>(last_redirects));
+    }
+  }
+
+  const auto& res = client.results();
+  std::printf("\nrun complete: %llu invocations\n",
+              static_cast<unsigned long long>(res.invocations_completed));
+  std::printf("  server-side rejuvenations : %zu\n", bed.replica_deaths());
+  std::printf("  client-visible exceptions : %llu   <-- the headline: zero\n",
+              static_cast<unsigned long long>(res.total_exceptions()));
+  std::printf("  steady-state RTT          : %.3f ms\n",
+              res.steady_state_rtt_ms());
+  std::printf("  fail-over spikes          : n=%zu mean=%.3f ms max=%.3f ms\n",
+              res.failover_ms.count(), res.failover_ms.mean(),
+              res.failover_ms.max());
+  std::printf("  (compare: the reactive client in Table 1 pays ~10.4 ms per "
+              "fail-over and sees every failure)\n");
+  return 0;
+}

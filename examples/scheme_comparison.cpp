@@ -1,0 +1,63 @@
+// Runs all five recovery strategies side by side on identical worlds
+// (same seed, same fault process) and prints a compact comparison — a
+// miniature, fast version of bench_table1.
+//
+// Run: ./build/examples/scheme_comparison [invocations]
+#include <cstdio>
+#include <cstdlib>
+
+#include "app/experiment_client.h"
+#include "app/testbed.h"
+
+using namespace mead;
+using namespace mead::app;
+
+int main(int argc, char** argv) {
+  int invocations = 3'000;
+  if (argc > 1) invocations = std::atoi(argv[1]);
+  if (invocations <= 0) invocations = 3'000;
+
+  const core::RecoveryScheme schemes[] = {
+      core::RecoveryScheme::kReactiveNoCache,
+      core::RecoveryScheme::kReactiveCache,
+      core::RecoveryScheme::kNeedsAddressing,
+      core::RecoveryScheme::kLocationForward,
+      core::RecoveryScheme::kMeadMessage,
+  };
+
+  std::printf("%d invocations per scheme, identical seed & fault process\n\n",
+              invocations);
+  std::printf("%-22s %10s %10s %12s %12s\n", "scheme", "RTT(ms)",
+              "exceptions", "failover(ms)", "rejuv/crash");
+
+  for (auto scheme : schemes) {
+    TestbedOptions opts;
+    opts.scheme = scheme;
+    opts.seed = 2004;
+    opts.inject_leak = true;
+    Testbed bed(opts);
+    if (!bed.start()) {
+      std::fprintf(stderr, "world failed for %s\n",
+                   std::string(to_string(scheme)).c_str());
+      continue;
+    }
+    ClientOptions copts;
+    copts.invocations = invocations;
+    ExperimentClient client(bed, copts);
+    bed.sim().spawn(client.run());
+    for (int slice = 0; slice < 3000 && !client.done(); ++slice) {
+      bed.sim().run_for(milliseconds(100));
+    }
+    const auto& r = client.results();
+    std::printf("%-22s %10.3f %10llu %12.3f %12zu\n",
+                std::string(to_string(scheme)).c_str(),
+                r.steady_state_rtt_ms(),
+                static_cast<unsigned long long>(r.total_exceptions()),
+                r.failover_ms.mean(), bed.replica_deaths());
+  }
+  std::printf("\nreading the table: the MEAD message scheme masks every "
+              "failure at ~3%% RTT overhead and ~4x lower fail-over time; "
+              "LOCATION_FORWARD also masks everything but pays ~90%% RTT "
+              "overhead for GIOP parsing (Table 1 of the paper).\n");
+  return 0;
+}

@@ -1,0 +1,127 @@
+// Calibration: maps protocol work onto the paper's measured milliseconds.
+//
+// The paper's absolute numbers come from 850 MHz Emulab nodes running
+// TAO 5.4 over RedHat 9 (§5). We cannot re-measure that hardware; instead
+// every CPU cost in the stack is an explicit virtual-time constant, set so
+// the fault-free baseline and the per-scheme deltas land near the paper's
+// Table 1. The *shape* of the results (orderings, rough factors) follows
+// from the protocol flows; these constants only scale them.
+//
+// Anchors from the paper:
+//   baseline RTT                ~0.75 ms   (§5.2.2)
+//   COMM_FAILURE registration   ~1.1-1.8 ms (§5.2.3)
+//   first Naming resolve spike  ~8.4-9.7 ms (§5.2.3)
+//   LOCATION_FORWARD overhead   ~90% of RTT (GIOP parsing, §4.1)
+//   NEEDS_ADDRESSING overhead   ~8%
+//   MEAD message overhead       ~3%
+//   MEAD redirect fail-over     ~2.7 ms (no ORB reconnect, no retransmit)
+#pragma once
+
+#include "core/config.h"
+#include "fault/fault.h"
+#include "gc/daemon.h"
+#include "net/network.h"
+#include "orb/orb.h"
+
+namespace mead::app {
+
+struct Calibration {
+  Calibration() = default;
+
+  // ---- network ----
+  Duration link_same_node = microseconds(20);
+  Duration link_cross_node = microseconds(100);
+  Duration per_kilobyte = microseconds(2);
+
+  // ---- ORB CPU costs ----
+  Duration request_marshal = microseconds(95);
+  Duration request_demarshal = microseconds(95);
+  Duration reply_marshal = microseconds(95);
+  Duration reply_demarshal = microseconds(95);
+  Duration servant_compute = microseconds(170);
+  Duration exception_unwind = microseconds(900);
+  Duration connection_setup = microseconds(6000);
+
+  // ---- Naming Service ----
+  Duration naming_lookup = microseconds(1500);
+
+  // ---- interceptor costs (per scheme) ----
+  Duration lf_request_parse = microseconds(675);  // §4.1's 90% tax
+  Duration lf_reply_process = microseconds(300);
+  Duration mead_piggyback = microseconds(11);     // ~3% split over 2 charges
+  Duration na_read_filter = microseconds(55);     // ~8%
+  Duration redirect_cost = microseconds(1700);    // dup2 re-point, §4.3
+
+  // ---- group communication ----
+  Duration gc_heartbeat = milliseconds(500);
+  /// Spread-style member-failure detection latency: bimodal — a fast
+  /// common path and a slow (token-loss) tail. The slow tail lands beyond
+  /// the client's 10 ms NEEDS_ADDRESSING query timeout and yields the
+  /// paper's ~25% unmasked failures (§5.2.1), while the fast path keeps the
+  /// masked fail-over average near the paper's 9.4 ms.
+  Duration gc_detect_min = Duration{1'000'000};      // 1 ms
+  Duration gc_detect_max = Duration{4'200'000};      // 4.2 ms
+  double gc_detect_slow_probability = 0.18;
+  Duration gc_detect_slow_min = Duration{9'500'000};   // 9.5 ms
+  Duration gc_detect_slow_max = Duration{15'000'000};  // 15 ms
+
+  // ---- OS noise (§5.2.5) ----
+  // The paper observes 3-sigma outliers on 1-2.5% of invocations even in
+  // fault-free runs (max ~2.3 ms) and attributes them to file-system
+  // journaling. Modeled as a rare extra delay on message delivery.
+  double os_noise_probability = 0.006;  // per delivery; ~1.2% per RTT
+  Duration os_noise_min = microseconds(300);
+  Duration os_noise_max = microseconds(1200);
+
+  // ---- fault injection (§5.1) ----
+  fault::LeakConfig leak;
+
+  // ---- derived bundles ----
+  [[nodiscard]] orb::CostModel client_costs() const {
+    orb::CostModel m;
+    m.request_marshal = request_marshal;
+    m.reply_demarshal = reply_demarshal;
+    m.exception_unwind = exception_unwind;
+    m.connection_setup = connection_setup;
+    return m;
+  }
+
+  [[nodiscard]] orb::CostModel server_costs() const {
+    orb::CostModel m;
+    m.request_demarshal = request_demarshal;
+    m.reply_marshal = reply_marshal;
+    m.servant_default = servant_compute;
+    return m;
+  }
+
+  /// Naming service runs the server-side model; lookup cost is charged by
+  /// the naming servant itself.
+  [[nodiscard]] orb::CostModel naming_costs() const { return server_costs(); }
+
+  [[nodiscard]] core::InterceptorCosts interceptor_costs() const {
+    core::InterceptorCosts c;
+    c.lf_request_parse = lf_request_parse;
+    c.lf_reply_process = lf_reply_process;
+    c.mead_piggyback = mead_piggyback;
+    c.na_read_filter = na_read_filter;
+    c.redirect_cost = redirect_cost;
+    return c;
+  }
+
+  void apply_network(net::Network& net) const {
+    net.latency().same_node = link_same_node;
+    net.latency().cross_node = link_cross_node;
+    net.latency().per_kilobyte = per_kilobyte;
+  }
+
+  void apply_daemon(gc::DaemonConfig& cfg) const {
+    cfg.heartbeat_interval = gc_heartbeat;
+    cfg.detect_min = gc_detect_min;
+    cfg.detect_max = gc_detect_max;
+    cfg.detect_slow_probability = gc_detect_slow_probability;
+    cfg.detect_slow_min = gc_detect_slow_min;
+    cfg.detect_slow_max = gc_detect_slow_max;
+  }
+};
+
+}  // namespace mead::app

@@ -1,0 +1,98 @@
+// The measurement client from §5: invokes get_time at 1 ms intervals,
+// records per-invocation round-trip times, exceptions, and fail-over
+// durations, and applies the per-scheme client-side recovery policy:
+//
+//  * reactive, no cache  — on an exception, fetch fresh bindings from the
+//    Naming Service and move to the next replica after the failed one;
+//  * reactive, cached    — resolve all replicas up front; on an exception
+//    advance through the cache, refreshing from Naming only when every
+//    entry has failed since the last refresh (stale entries then raise
+//    TRANSIENT, §5.2.1);
+//  * proactive schemes   — no application-level policy: LOCATION_FORWARD is
+//    followed natively by the ORB, NEEDS_ADDRESSING and MEAD messages are
+//    handled beneath it by the client interceptor. The reactive no-cache
+//    policy remains as a fallback for unmasked failures.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "app/testbed.h"
+#include "app/timeofday.h"
+#include "common/stats.h"
+#include "core/client_mead.h"
+#include "naming/naming.h"
+#include "orb/stub.h"
+
+namespace mead::app {
+
+struct ClientOptions {
+  ClientOptions() = default;
+
+  int invocations = 10'000;           // the paper's run length
+  Duration spacing = milliseconds(1); // request rate (start-to-start)
+  Duration query_timeout = milliseconds(10);  // §4.2 group-query timeout
+};
+
+struct ClientResults {
+  ClientResults() { rtt_ms.reserve(10'000); }
+
+  /// Per-invocation RTT in ms. Sample 0 is the initial Naming resolve
+  /// (the "initial transient spike" on the paper's graphs, §5.2.3).
+  Series rtt_ms{"rtt_ms"};
+  /// RTTs of invocations during which a fail-over occurred (exception
+  /// recovery, LOCATION_FORWARD follow, NEEDS_ADDRESSING retransmit, or
+  /// MEAD redirect).
+  Series failover_ms{"failover_ms"};
+  std::uint64_t comm_failures = 0;
+  std::uint64_t transients = 0;
+  std::uint64_t other_exceptions = 0;
+  std::uint64_t invocations_completed = 0;
+  std::uint64_t naming_refreshes = 0;
+
+  [[nodiscard]] std::uint64_t total_exceptions() const {
+    return comm_failures + transients + other_exceptions;
+  }
+  /// Mean RTT over invocations with no recovery event (the steady-state
+  /// number behind Table 1's "Increase in RTT" column). Excludes sample 0.
+  [[nodiscard]] double steady_state_rtt_ms() const;
+};
+
+class ExperimentClient {
+ public:
+  ExperimentClient(Testbed& bed, ClientOptions opts);
+  ~ExperimentClient();
+
+  /// The full measurement run; spawn on the testbed's simulator.
+  [[nodiscard]] sim::Task<void> run();
+
+  [[nodiscard]] bool done() const { return done_; }
+  [[nodiscard]] const ClientResults& results() const { return results_; }
+  [[nodiscard]] const core::ClientMead* interceptor() const { return mead_.get(); }
+  [[nodiscard]] const orb::Stub* stub() const { return stub_.get(); }
+
+ private:
+  [[nodiscard]] sim::Task<bool> setup();
+  [[nodiscard]] sim::Task<void> recover(giop::SysExKind kind);
+  [[nodiscard]] sim::Task<void> recover_no_cache();
+  [[nodiscard]] sim::Task<void> recover_cached(giop::SysExKind kind);
+  void note_exception(giop::SysExKind kind);
+
+  Testbed& bed_;
+  ClientOptions opts_;
+  core::RecoveryScheme scheme_;
+  net::ProcessPtr proc_;
+  std::unique_ptr<core::ClientMead> mead_;  // NEEDS_ADDRESSING / MEAD only
+  std::unique_ptr<orb::Orb> orb_;
+  std::unique_ptr<naming::NamingClient> naming_;
+  std::unique_ptr<orb::Stub> stub_;
+
+  std::vector<giop::IOR> cache_;
+  std::size_t cache_idx_ = 0;
+  std::size_t failures_since_refresh_ = 0;
+
+  ClientResults results_;
+  bool done_ = false;
+};
+
+}  // namespace mead::app

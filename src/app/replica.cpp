@@ -1,0 +1,61 @@
+#include "app/replica.h"
+
+namespace mead::app {
+
+std::unique_ptr<TimeOfDayReplica> TimeOfDayReplica::launch(
+    net::Network& net, const std::string& host, ReplicaOptions opts) {
+  auto replica = std::unique_ptr<TimeOfDayReplica>(
+      new TimeOfDayReplica(net, host, std::move(opts)));
+  replica->proc_->sim().spawn(replica->startup());
+  return replica;
+}
+
+TimeOfDayReplica::TimeOfDayReplica(net::Network& net, const std::string& host,
+                                   ReplicaOptions opts)
+    : opts_(std::move(opts)) {
+  proc_ = net.spawn_process(host, opts_.member);
+
+  core::MeadConfig mead_cfg;
+  mead_cfg.scheme = opts_.scheme;
+  mead_cfg.thresholds = opts_.thresholds;
+  mead_cfg.costs = opts_.calib.interceptor_costs();
+  mead_cfg.service = kServiceName;
+  mead_cfg.member = opts_.member;
+  mead_cfg.daemon = net::Endpoint{host, gc::kDefaultDaemonPort};
+  mead_cfg.state_sync_interval = opts_.state_sync;
+  mead_ = std::make_unique<core::ServerMead>(proc_, mead_cfg);
+
+  // The ORB runs over the interceptor — unmodified, MEAD-unaware.
+  orb_ = std::make_unique<orb::Orb>(*proc_, *mead_, opts_.calib.server_costs());
+  server_ = std::make_unique<orb::OrbServer>(*orb_, opts_.port);
+  servant_ = std::make_shared<TimeOfDayServant>(*orb_);
+  ior_ = server_->adapter().register_servant(kObjectPath, servant_);
+  server_->start();
+  mead_->attach_ior(ior_);
+
+  mead_->set_state_hooks(
+      [servant = servant_.get()] { return servant->snapshot_state(); },
+      [servant = servant_.get()](const Bytes& s) { servant->apply_state(s); });
+
+  if (opts_.inject_leak) {
+    leak_ = std::make_unique<fault::MemoryLeakInjector>(proc_, opts_.calib.leak);
+    mead_->attach_account(&leak_->account());
+    // "The memory leak at a server replica was activated when the server
+    // received its first client request" (§5.1): only the replica actually
+    // serving clients (the primary) starts leaking.
+    mead_->set_on_first_request([leak = leak_.get()] { leak->activate(); });
+  }
+
+  naming_ = std::make_unique<naming::NamingClient>(
+      *orb_, naming::naming_ior(opts_.naming_host));
+}
+
+sim::Task<void> TimeOfDayReplica::startup() {
+  const bool gc_up = co_await mead_->start();
+  if (!gc_up) co_return;
+  // Register with the Naming Service: rebind supersedes the previous
+  // incarnation's binding on this host.
+  registered_ = co_await naming_->rebind(kServiceName, ior_);
+}
+
+}  // namespace mead::app

@@ -1,0 +1,66 @@
+// One warm-passive TimeOfDay server replica: process + MEAD server-side
+// interceptor/FT-manager + ORB + servant + fault injector + naming
+// registration, assembled the way the paper's testbed runs them (Figure 1).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "app/calibration.h"
+#include "app/timeofday.h"
+#include "core/server_mead.h"
+#include "fault/fault.h"
+#include "naming/naming.h"
+#include "orb/server.h"
+
+namespace mead::app {
+
+struct ReplicaOptions {
+  ReplicaOptions() = default;
+
+  core::RecoveryScheme scheme = core::RecoveryScheme::kMeadMessage;
+  core::Thresholds thresholds;
+  Calibration calib;
+  bool inject_leak = true;
+  std::string member;       // unique GC member name, e.g. "replica/3"
+  std::uint16_t port = 0;   // ORB listen port (unique per incarnation)
+  std::string naming_host;  // where the Naming Service lives
+  Duration state_sync = milliseconds(100);
+};
+
+class TimeOfDayReplica {
+ public:
+  /// Builds the replica on `host` and spawns its startup sequence
+  /// (GC join + announce, then Naming registration).
+  static std::unique_ptr<TimeOfDayReplica> launch(net::Network& net,
+                                                  const std::string& host,
+                                                  ReplicaOptions opts);
+
+  [[nodiscard]] bool alive() const { return proc_->alive(); }
+  [[nodiscard]] const std::string& member() const { return opts_.member; }
+  [[nodiscard]] net::Endpoint endpoint() const { return server_->endpoint(); }
+  [[nodiscard]] const giop::IOR& ior() const { return ior_; }
+  [[nodiscard]] net::Process& process() { return *proc_; }
+  [[nodiscard]] core::ServerMead& mead() { return *mead_; }
+  [[nodiscard]] TimeOfDayServant& servant() { return *servant_; }
+  [[nodiscard]] fault::MemoryLeakInjector* leak() { return leak_.get(); }
+  [[nodiscard]] bool registered() const { return registered_; }
+
+ private:
+  TimeOfDayReplica(net::Network& net, const std::string& host,
+                   ReplicaOptions opts);
+  sim::Task<void> startup();
+
+  ReplicaOptions opts_;
+  net::ProcessPtr proc_;
+  std::unique_ptr<core::ServerMead> mead_;
+  std::unique_ptr<orb::Orb> orb_;
+  std::unique_ptr<orb::OrbServer> server_;
+  std::shared_ptr<TimeOfDayServant> servant_;
+  std::unique_ptr<fault::MemoryLeakInjector> leak_;
+  std::unique_ptr<naming::NamingClient> naming_;
+  giop::IOR ior_;
+  bool registered_ = false;
+};
+
+}  // namespace mead::app

@@ -1,0 +1,112 @@
+#include "app/testbed.h"
+
+#include "common/log.h"
+
+namespace mead::app {
+
+Testbed::Testbed(TestbedOptions opts) : opts_(opts), sim_(opts.seed), net_(sim_) {
+  opts_.calib.apply_network(net_);
+  if (opts_.calib.os_noise_probability > 0) {
+    // OS noise (journaling etc., §5.2.5): rare extra delivery delay.
+    net_.latency().jitter = [this](const net::Endpoint&, std::size_t) {
+      auto& rng = sim_.rng();
+      if (!rng.chance(opts_.calib.os_noise_probability)) return Duration{0};
+      return Duration{rng.uniform_int(opts_.calib.os_noise_min.ns(),
+                                      opts_.calib.os_noise_max.ns())};
+    };
+  }
+  for (int i = 1; i <= 5; ++i) {
+    hosts_.push_back("node" + std::to_string(i));
+    net_.add_node(hosts_.back());
+  }
+  for (std::size_t i = 0; i < hosts_.size(); ++i) {
+    gc::DaemonConfig cfg;
+    cfg.daemon_hosts = hosts_;
+    cfg.self_index = i;
+    opts_.calib.apply_daemon(cfg);
+    auto proc = net_.spawn_process(hosts_[i], "gc-daemon");
+    daemons_.push_back(std::make_unique<gc::GcDaemon>(proc, cfg));
+    daemons_.back()->start();
+  }
+}
+
+giop::IOR Testbed::naming_ref() const {
+  return naming::naming_ior(hosts_[4]);
+}
+
+void Testbed::spawn_replica(int incarnation) {
+  ReplicaOptions ro;
+  ro.scheme = opts_.scheme;
+  ro.thresholds = opts_.thresholds;
+  ro.calib = opts_.calib;
+  ro.inject_leak = opts_.inject_leak;
+  ro.member = "replica/" + std::to_string(incarnation);
+  // Unique port per incarnation: a relaunched replica listens elsewhere, so
+  // cached references to the dead incarnation are genuinely stale (§5.2.1).
+  ro.port = static_cast<std::uint16_t>(20000 + incarnation);
+  ro.naming_host = naming_host();
+  ro.state_sync = opts_.state_sync;
+  // Replicas round-robin over node1..node3 (one live replica per host).
+  const std::string& host =
+      hosts_[static_cast<std::size_t>((incarnation - 1) % 3)];
+  replicas_.push_back(TimeOfDayReplica::launch(net_, host, std::move(ro)));
+}
+
+bool Testbed::start() {
+  naming_proc_ = net_.spawn_process(naming_host(), "naming-service");
+  {
+    // Rebuild the bundle with calibrated costs.
+    naming_ = naming::NamingServerBundle{};
+    naming_.orb = std::make_unique<orb::Orb>(*naming_proc_, naming_proc_->api(),
+                                             opts_.calib.naming_costs());
+    naming_.server =
+        std::make_unique<orb::OrbServer>(*naming_.orb, naming::kNamingPort);
+    auto servant = std::make_shared<naming::NamingServant>(
+        *naming_.orb, opts_.calib.naming_lookup);
+    naming_.ior = naming_.server->adapter().register_servant(
+        naming::kNamingObjectPath, servant);
+    naming_.server->start();
+  }
+
+  core::RecoveryManagerConfig rm_cfg;
+  rm_cfg.service = kServiceName;
+  rm_cfg.daemon = net::Endpoint{naming_host(), gc::kDefaultDaemonPort};
+  rm_cfg.target_degree = opts_.replica_count;
+  rm_proc_ = net_.spawn_process(naming_host(), "recovery-manager");
+  rm_ = std::make_unique<core::RecoveryManager>(
+      rm_proc_, rm_cfg, [this](int incarnation) { spawn_replica(incarnation); });
+
+  bool rm_up = false;
+  auto boot = [](core::RecoveryManager& rm, bool& flag) -> sim::Task<void> {
+    flag = co_await rm.start();
+  };
+  sim_.spawn(boot(*rm_, rm_up));
+
+  // Let the mesh form, the RM bootstrap the replicas, and the replicas
+  // join + announce + register with naming.
+  sim_.run_for(milliseconds(500));
+  if (!rm_up) return false;
+  if (live_replica_count() != opts_.replica_count) {
+    LogLine(sim_.log(), LogLevel::kError, "testbed")
+        << "only " << live_replica_count() << " replicas came up";
+    return false;
+  }
+  for (auto& r : replicas_) {
+    if (!r->registered()) return false;
+  }
+  return true;
+}
+
+std::size_t Testbed::live_replica_count() const {
+  std::size_t n = 0;
+  for (const auto& r : replicas_) {
+    if (r->alive()) ++n;
+  }
+  return n;
+}
+
+std::size_t Testbed::replica_deaths() const {
+  return replicas_.size() - live_replica_count();
+}
+
+}  // namespace mead::app

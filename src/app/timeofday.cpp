@@ -1,0 +1,49 @@
+#include "app/timeofday.h"
+
+namespace mead::app {
+
+sim::Task<orb::DispatchResult> TimeOfDayServant::dispatch(
+    std::string operation, Bytes args, giop::ByteOrder order) {
+  (void)args;
+  (void)order;
+  if (operation != "get_time") {
+    co_return make_unexpected(giop::SystemException{
+        giop::SysExKind::kNoImplement, 0, giop::CompletionStatus::kNo});
+  }
+  ++served_;
+  giop::CdrWriter w;
+  w.write_i64(orb_.sim().now().ns() / 1000);  // "time of day" in µs
+  w.write_u64(served_);
+  co_return w.take();
+}
+
+Bytes TimeOfDayServant::snapshot_state() const {
+  giop::CdrWriter w;
+  w.write_u64(served_);
+  return w.take();
+}
+
+void TimeOfDayServant::apply_state(const Bytes& state) {
+  giop::CdrReader r(state, giop::ByteOrder::kLittleEndian);
+  auto served = r.read_u64();
+  if (served) served_ = served.value();
+}
+
+sim::Task<Expected<TimeOfDayResult, giop::SystemException>> get_time(
+    orb::Stub& stub) {
+  auto reply = co_await stub.invoke("get_time", Bytes{});
+  if (!reply) co_return make_unexpected(reply.error());
+  giop::CdrReader r(reply.value(), giop::ByteOrder::kLittleEndian);
+  TimeOfDayResult out;
+  auto time = r.read_i64();
+  auto served = r.read_u64();
+  if (!time || !served) {
+    co_return make_unexpected(giop::SystemException{
+        giop::SysExKind::kMarshal, 0, giop::CompletionStatus::kYes});
+  }
+  out.microseconds_since_start = time.value();
+  out.served_count = served.value();
+  co_return out;
+}
+
+}  // namespace mead::app

@@ -1,0 +1,51 @@
+// The paper's test application: "a simple CORBA client ... that requested
+// the time-of-day ... from one of three warm-passively replicated CORBA
+// servers" (§5).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "orb/orb.h"
+#include "orb/servant.h"
+#include "orb/stub.h"
+
+namespace mead::app {
+
+inline constexpr const char* kServiceName = "TimeOfDay";
+inline constexpr const char* kObjectPath = "TimeOfDayPOA/TimeServiceObject";
+
+/// Server side. Stateful enough to exercise warm-passive state transfer:
+/// the served-request counter is the replicated state.
+class TimeOfDayServant final : public orb::Servant {
+ public:
+  explicit TimeOfDayServant(orb::Orb& orb) : orb_(orb) {}
+
+  [[nodiscard]] sim::Task<orb::DispatchResult> dispatch(
+      std::string operation, Bytes args, giop::ByteOrder order) override;
+  [[nodiscard]] std::string type_id() const override {
+    return "IDL:mead/TimeOfDay:1.0";
+  }
+
+  // Warm-passive state (§3: warm passively replicated server).
+  [[nodiscard]] Bytes snapshot_state() const;
+  void apply_state(const Bytes& state);
+  [[nodiscard]] std::uint64_t requests_served() const { return served_; }
+
+ private:
+  orb::Orb& orb_;
+  std::uint64_t served_ = 0;
+};
+
+/// Client-side decoded result of get_time.
+struct TimeOfDayResult {
+  TimeOfDayResult() = default;
+  std::int64_t microseconds_since_start = 0;
+  std::uint64_t served_count = 0;
+};
+
+/// Typed client wrapper: one CORBA invocation of get_time.
+[[nodiscard]] sim::Task<Expected<TimeOfDayResult, giop::SystemException>>
+get_time(orb::Stub& stub);
+
+}  // namespace mead::app

@@ -1,0 +1,44 @@
+#include "common/log.h"
+
+#include <cstdio>
+#include <iomanip>
+
+namespace mead {
+
+std::string_view to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+Logger::Logger()
+    : sink_([](const std::string& line) {
+        std::fputs(line.c_str(), stderr);
+        std::fputc('\n', stderr);
+      }) {}
+
+void Logger::log(LogLevel level, std::string_view component,
+                 std::string_view message) {
+  if (!enabled(level)) return;
+  std::ostringstream out;
+  if (clock_) {
+    out << "[" << std::fixed << std::setprecision(3) << std::setw(10)
+        << clock_().ms() << "ms] ";
+  }
+  out << to_string(level) << " " << component << ": " << message;
+  sink_(out.str());
+}
+
+LogLine::~LogLine() {
+  if (logger_.enabled(level_)) {
+    logger_.log(level_, component_, stream_.str());
+  }
+}
+
+}  // namespace mead

@@ -1,0 +1,82 @@
+#include "common/rng.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace mead {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  // SplitMix64 expansion avoids the all-zero state and decorrelates
+  // close seeds.
+  std::uint64_t x = seed;
+  for (auto& word : s_) word = splitmix64(x);
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::next_double() {
+  // 53 high bits -> double in [0,1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  assert(lo <= hi);
+  return lo + (hi - lo) * next_double();
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  assert(lo <= hi);
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  // Modulo bias is negligible for the small spans used in this project
+  // (span << 2^64), and determinism is what matters here.
+  return lo + static_cast<std::int64_t>(next_u64() % span);
+}
+
+double Rng::weibull(double scale, double shape) {
+  assert(scale > 0.0 && shape > 0.0);
+  // Guard against log(0): next_double() < 1, so 1-u > 0 always holds.
+  const double u = next_double();
+  return scale * std::pow(-std::log(1.0 - u), 1.0 / shape);
+}
+
+double Rng::exponential(double mean) {
+  assert(mean > 0.0);
+  const double u = next_double();
+  return -mean * std::log(1.0 - u);
+}
+
+bool Rng::chance(double p) {
+  return next_double() < p;
+}
+
+Rng Rng::fork() {
+  return Rng(next_u64());
+}
+
+}  // namespace mead

@@ -1,0 +1,49 @@
+// Deterministic pseudo-random number generation.
+//
+// The paper injects memory leaks drawn from a Weibull distribution
+// ("scale parameter of 64, shape parameter of 2.0", §5.1) precisely because
+// it gives a *reproducible* fault model. We use xoshiro256** seeded via
+// SplitMix64 so every experiment is bit-reproducible from its seed.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace mead {
+
+/// xoshiro256** 1.0 by Blackman & Vigna (public domain reference algorithm),
+/// seeded from a single 64-bit value through SplitMix64.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Weibull-distributed sample with the given scale (lambda) and shape (k).
+  /// Inverse-CDF method: scale * (-ln(1-U))^(1/k).
+  double weibull(double scale, double shape);
+
+  /// Exponentially distributed sample with the given mean.
+  double exponential(double mean);
+
+  /// Returns true with probability p.
+  bool chance(double p);
+
+  /// Derives an independent child generator (stable given call order).
+  Rng fork();
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+};
+
+}  // namespace mead

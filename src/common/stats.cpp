@@ -1,0 +1,91 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace mead {
+
+double Series::mean() const {
+  if (samples_.empty()) return 0.0;
+  return std::accumulate(samples_.begin(), samples_.end(), 0.0) /
+         static_cast<double>(samples_.size());
+}
+
+double Series::stddev() const {
+  if (samples_.size() < 2) return 0.0;
+  const double m = mean();
+  double acc = 0.0;
+  for (double v : samples_) acc += (v - m) * (v - m);
+  return std::sqrt(acc / static_cast<double>(samples_.size()));
+}
+
+double Series::min() const {
+  if (samples_.empty()) return 0.0;
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double Series::max() const {
+  if (samples_.empty()) return 0.0;
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double Series::percentile(double p) const {
+  assert(p >= 0.0 && p <= 100.0);
+  if (samples_.empty()) return 0.0;
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+std::size_t Series::outliers_above_sigma(double k) const {
+  const double cutoff = mean() + k * stddev();
+  return static_cast<std::size_t>(
+      std::count_if(samples_.begin(), samples_.end(),
+                    [cutoff](double v) { return v > cutoff; }));
+}
+
+double Series::outlier_fraction(double k) const {
+  if (samples_.empty()) return 0.0;
+  return static_cast<double>(outliers_above_sigma(k)) /
+         static_cast<double>(samples_.size());
+}
+
+double Series::max_outlier(double k) const {
+  const double cutoff = mean() + k * stddev();
+  double best = 0.0;
+  for (double v : samples_) {
+    if (v > cutoff && v > best) best = v;
+  }
+  return best;
+}
+
+void RunningStats::add(double v) {
+  if (n_ == 0) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++n_;
+  const double delta = v - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (v - mean_);
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_);
+}
+
+double RunningStats::stddev() const {
+  return std::sqrt(variance());
+}
+
+}  // namespace mead

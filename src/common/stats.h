@@ -1,0 +1,68 @@
+// Sample-series statistics used by the experiment harness: the paper reports
+// mean round-trip times, percentage overheads, fail-over times, and 3-sigma
+// jitter outliers (§5.2.5).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace mead {
+
+/// An append-only series of scalar samples with summary statistics.
+/// Values are interpreted by the caller (this project stores milliseconds).
+class Series {
+ public:
+  Series() = default;
+  explicit Series(std::string name) : name_(std::move(name)) {}
+
+  void add(double v) { samples_.push_back(v); }
+  void reserve(std::size_t n) { samples_.reserve(n); }
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+  [[nodiscard]] const std::vector<double>& samples() const { return samples_; }
+
+  [[nodiscard]] double mean() const;
+  /// Population standard deviation. Returns 0 for fewer than 2 samples.
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  /// Linear-interpolated percentile; p in [0,100].
+  [[nodiscard]] double percentile(double p) const;
+
+  /// Number of samples exceeding mean + k*sigma (the paper uses k=3).
+  [[nodiscard]] std::size_t outliers_above_sigma(double k) const;
+  /// Fraction (0..1) of samples exceeding mean + k*sigma.
+  [[nodiscard]] double outlier_fraction(double k) const;
+
+  /// Largest sample strictly above mean + k*sigma, or 0 if none.
+  [[nodiscard]] double max_outlier(double k) const;
+
+ private:
+  std::string name_;
+  std::vector<double> samples_;
+};
+
+/// Welford-style running mean/variance accumulator for streaming use where
+/// storing every sample is unnecessary (e.g. bandwidth probes).
+class RunningStats {
+ public:
+  void add(double v);
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace mead

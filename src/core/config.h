@@ -1,0 +1,127 @@
+// Configuration types for MEAD's proactive recovery framework.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/types.h"
+#include "net/types.h"
+
+namespace mead::core {
+
+/// The five recovery strategies evaluated in §5 (Table 1).
+enum class RecoveryScheme {
+  kReactiveNoCache,    // client re-resolves via Naming Service on failure
+  kReactiveCache,      // client caches all replica IORs up front
+  kNeedsAddressing,    // client interceptor masks abrupt failure (§4.2)
+  kLocationForward,    // server interceptor sends GIOP LOCATION_FORWARD (§4.1)
+  kMeadMessage,        // MEAD proactive fail-over message, piggybacked (§4.3)
+};
+
+[[nodiscard]] constexpr std::string_view to_string(RecoveryScheme s) {
+  switch (s) {
+    case RecoveryScheme::kReactiveNoCache: return "reactive-no-cache";
+    case RecoveryScheme::kReactiveCache: return "reactive-cache";
+    case RecoveryScheme::kNeedsAddressing: return "needs-addressing";
+    case RecoveryScheme::kLocationForward: return "location-forward";
+    case RecoveryScheme::kMeadMessage: return "mead-message";
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr bool is_proactive(RecoveryScheme s) {
+  return s == RecoveryScheme::kNeedsAddressing ||
+         s == RecoveryScheme::kLocationForward ||
+         s == RecoveryScheme::kMeadMessage;
+}
+
+/// Virtual CPU charged by the interceptors — the per-scheme overhead knobs
+/// behind Table 1's "Increase in RTT" column (see app/calibration.h).
+struct InterceptorCosts {
+  InterceptorCosts() = default;
+
+  /// Server, LOCATION_FORWARD scheme: parse an incoming GIOP request to
+  /// extract request_id + object key (the §4.1 expensive step).
+  Duration lf_request_parse{0};
+  /// Server, LOCATION_FORWARD: IOR lookup + fabricate the forward reply.
+  Duration lf_reply_process{0};
+  /// MEAD scheme: piggyback handling (server attach / client strip), per
+  /// reply.
+  Duration mead_piggyback{0};
+  /// Client, NEEDS_ADDRESSING: filter & interpret read() data (§4.2).
+  Duration na_read_filter{0};
+  /// Client: re-point a live connection at a new replica (connect + dup2) —
+  /// much cheaper than the ORB's own connection machinery.
+  Duration redirect_cost{0};
+};
+
+/// How proactive-recovery trigger points are chosen.
+enum class ThresholdPolicy {
+  kFixed,     // the paper's preset usage fractions (§3.2)
+  kAdaptive,  // future-work extension (§6): trigger when the predicted
+              // time-to-exhaustion drops below the recovery lead time
+};
+
+/// Two-threshold soft-hand-off parameters (§3.2), plus the adaptive-policy
+/// extension the paper lists as future work (§6).
+struct Thresholds {
+  Thresholds() = default;
+  Thresholds(double launch, double migrate)
+      : launch_fraction(launch), migrate_fraction(migrate) {}
+
+  ThresholdPolicy policy = ThresholdPolicy::kFixed;
+
+  // -- kFixed --
+  /// T1: ask the Recovery Manager for a fresh replica.
+  double launch_fraction = 0.8;
+  /// T2: migrate connected clients to the next replica, then rejuvenate.
+  double migrate_fraction = 0.9;
+
+  // -- kAdaptive --
+  /// Act when predicted time-to-exhaustion < lead. The launch lead covers
+  /// spare spin-up; the migrate lead covers client hand-off + drain.
+  Duration adaptive_launch_lead = milliseconds(150);
+  Duration adaptive_migrate_lead = milliseconds(60);
+
+  [[nodiscard]] static Thresholds adaptive(Duration launch_lead,
+                                           Duration migrate_lead) {
+    Thresholds t;
+    t.policy = ThresholdPolicy::kAdaptive;
+    t.adaptive_launch_lead = launch_lead;
+    t.adaptive_migrate_lead = migrate_lead;
+    return t;
+  }
+};
+
+/// Identity + wiring for one MEAD-protected process.
+struct MeadConfig {
+  MeadConfig() = default;
+
+  RecoveryScheme scheme = RecoveryScheme::kMeadMessage;
+  Thresholds thresholds;
+  InterceptorCosts costs;
+  std::string service = "TimeOfDay";
+  /// Unique group-communication member name ("replica/3", "client/1").
+  std::string member;
+  /// Local GC daemon endpoint (usually <own-host>:4803).
+  net::Endpoint daemon;
+  /// How long a migrating replica keeps serving before its graceful
+  /// rejuvenation exit (gives redirects time to drain).
+  Duration drain_timeout = milliseconds(30);
+  /// Warm-passive state-transfer period (0 = disabled).
+  Duration state_sync_interval{0};
+  /// Ports treated as infrastructure (never intercepted as app traffic).
+  std::uint16_t daemon_port = 4803;
+  std::uint16_t naming_port = 2809;
+};
+
+/// Group naming convention.
+[[nodiscard]] inline std::string replica_group(const std::string& service) {
+  return "mead/" + service + "/replicas";
+}
+[[nodiscard]] inline std::string control_group(const std::string& service) {
+  return "mead/" + service + "/control";
+}
+
+}  // namespace mead::core

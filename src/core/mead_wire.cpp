@@ -1,0 +1,194 @@
+#include "core/mead_wire.h"
+
+namespace mead::core {
+
+using giop::ByteOrder;
+using giop::CdrReader;
+using giop::CdrWriter;
+
+namespace {
+
+// MEAD frames reuse the GIOP header layout; the type byte distinguishes
+// MEAD message kinds (only fail-over exists on the piggyback path).
+constexpr giop::MsgType kFailoverType = giop::MsgType::kRequest;
+
+Bytes ctrl_frame(CtrlKind kind, const Bytes& body) {
+  Bytes out;
+  out.reserve(1 + body.size());
+  out.push_back(static_cast<std::uint8_t>(kind));
+  append_bytes(out, body);
+  return out;
+}
+
+void write_announce(CdrWriter& w, const Announce& m) {
+  w.write_string(m.member);
+  w.write_string(m.endpoint.host);
+  w.write_u16(m.endpoint.port);
+  giop::encode_ior(w, m.ior);
+}
+
+std::optional<Announce> read_announce(CdrReader& r) {
+  auto member = r.read_string();
+  if (!member) return std::nullopt;
+  auto host = r.read_string();
+  if (!host) return std::nullopt;
+  auto port = r.read_u16();
+  if (!port) return std::nullopt;
+  auto ior = giop::decode_ior(r);
+  if (!ior) return std::nullopt;
+  return Announce{std::move(member.value()),
+                  net::Endpoint{std::move(host.value()), port.value()},
+                  std::move(ior.value())};
+}
+
+}  // namespace
+
+Bytes encode_failover_frame(const FailoverMsg& m) {
+  CdrWriter w;
+  w.write_string(m.target.host);
+  w.write_u16(m.target.port);
+  w.write_string(m.member);
+  Bytes out = giop::encode_header(
+      giop::Header{giop::Magic::kMead, w.order(), kFailoverType,
+                   static_cast<std::uint32_t>(w.size())});
+  append_bytes(out, w.buffer());
+  return out;
+}
+
+std::optional<FailoverMsg> decode_failover_frame(const Bytes& frame) {
+  auto h = giop::decode_header(frame);
+  if (!h || h->magic != giop::Magic::kMead) return std::nullopt;
+  if (frame.size() < giop::kHeaderSize + h->body_size) return std::nullopt;
+  CdrReader r(frame, h->order, giop::kHeaderSize);
+  auto host = r.read_string();
+  if (!host) return std::nullopt;
+  auto port = r.read_u16();
+  if (!port) return std::nullopt;
+  auto member = r.read_string();
+  if (!member) return std::nullopt;
+  return FailoverMsg{net::Endpoint{std::move(host.value()), port.value()},
+                     std::move(member.value())};
+}
+
+Bytes encode_announce(const Announce& m) {
+  CdrWriter w;
+  write_announce(w, m);
+  return ctrl_frame(CtrlKind::kAnnounce, w.buffer());
+}
+
+Bytes encode_listing(const Listing& m) {
+  CdrWriter w;
+  w.write_u32(static_cast<std::uint32_t>(m.entries.size()));
+  for (const auto& e : m.entries) write_announce(w, e);
+  return ctrl_frame(CtrlKind::kListing, w.buffer());
+}
+
+Bytes encode_launch_request(const LaunchRequest& m) {
+  CdrWriter w;
+  w.write_string(m.member);
+  w.write_double(m.usage);
+  return ctrl_frame(CtrlKind::kLaunchRequest, w.buffer());
+}
+
+Bytes encode_primary_query(const PrimaryQuery& m) {
+  CdrWriter w;
+  w.write_string(m.reply_group);
+  w.write_u64(m.nonce);
+  return ctrl_frame(CtrlKind::kPrimaryQuery, w.buffer());
+}
+
+Bytes encode_primary_answer(const PrimaryAnswer& m) {
+  CdrWriter w;
+  w.write_string(m.member);
+  w.write_string(m.endpoint.host);
+  w.write_u16(m.endpoint.port);
+  w.write_u64(m.nonce);
+  return ctrl_frame(CtrlKind::kPrimaryAnswer, w.buffer());
+}
+
+Bytes encode_state(const StateTransfer& m) {
+  CdrWriter w;
+  w.write_string(m.member);
+  w.write_u64(m.version);
+  w.write_octet_seq(m.state);
+  return ctrl_frame(CtrlKind::kState, w.buffer());
+}
+
+std::optional<CtrlMsg> decode_ctrl(const Bytes& payload) {
+  if (payload.empty()) return std::nullopt;
+  CtrlMsg msg;
+  const auto kind = payload[0];
+  const Bytes body(payload.begin() + 1, payload.end());
+  CdrReader r(body, ByteOrder::kLittleEndian);
+  switch (static_cast<CtrlKind>(kind)) {
+    case CtrlKind::kAnnounce: {
+      msg.kind = CtrlKind::kAnnounce;
+      auto a = read_announce(r);
+      if (!a) return std::nullopt;
+      msg.announce = std::move(a);
+      return msg;
+    }
+    case CtrlKind::kListing: {
+      msg.kind = CtrlKind::kListing;
+      auto n = r.read_u32();
+      if (!n) return std::nullopt;
+      Listing listing;
+      listing.entries.reserve(n.value());
+      for (std::uint32_t i = 0; i < n.value(); ++i) {
+        auto a = read_announce(r);
+        if (!a) return std::nullopt;
+        listing.entries.push_back(std::move(*a));
+      }
+      msg.listing = std::move(listing);
+      return msg;
+    }
+    case CtrlKind::kLaunchRequest: {
+      msg.kind = CtrlKind::kLaunchRequest;
+      auto member = r.read_string();
+      if (!member) return std::nullopt;
+      auto usage = r.read_double();
+      if (!usage) return std::nullopt;
+      msg.launch = LaunchRequest{std::move(member.value()), usage.value()};
+      return msg;
+    }
+    case CtrlKind::kPrimaryQuery: {
+      msg.kind = CtrlKind::kPrimaryQuery;
+      auto rg = r.read_string();
+      if (!rg) return std::nullopt;
+      auto nonce = r.read_u64();
+      if (!nonce) return std::nullopt;
+      msg.query = PrimaryQuery{std::move(rg.value()), nonce.value()};
+      return msg;
+    }
+    case CtrlKind::kPrimaryAnswer: {
+      msg.kind = CtrlKind::kPrimaryAnswer;
+      auto member = r.read_string();
+      if (!member) return std::nullopt;
+      auto host = r.read_string();
+      if (!host) return std::nullopt;
+      auto port = r.read_u16();
+      if (!port) return std::nullopt;
+      auto nonce = r.read_u64();
+      if (!nonce) return std::nullopt;
+      msg.answer = PrimaryAnswer{
+          std::move(member.value()),
+          net::Endpoint{std::move(host.value()), port.value()}, nonce.value()};
+      return msg;
+    }
+    case CtrlKind::kState: {
+      msg.kind = CtrlKind::kState;
+      auto member = r.read_string();
+      if (!member) return std::nullopt;
+      auto version = r.read_u64();
+      if (!version) return std::nullopt;
+      auto state = r.read_octet_seq();
+      if (!state) return std::nullopt;
+      msg.state = StateTransfer{std::move(member.value()), version.value(),
+                                std::move(state.value())};
+      return msg;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace mead::core

@@ -1,0 +1,130 @@
+// MEAD's own wire formats:
+//  * the proactive fail-over frame piggybacked into the client's GIOP byte
+//    stream (§4.3) — 12-byte "MEAD" header (same shape as GIOP, so one
+//    framer splits both) + CDR body carrying the new replica's address;
+//  * control payloads multicast over the group-communication system
+//    (replica announcements, listing synchronization, launch requests,
+//    primary queries/answers, warm-passive state transfer).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "giop/messages.h"
+#include "giop/types.h"
+#include "net/types.h"
+
+namespace mead::core {
+
+// ---- piggybacked fail-over frame ----
+
+struct FailoverMsg {
+  FailoverMsg() = default;
+  FailoverMsg(net::Endpoint t, std::string m)
+      : target(std::move(t)), member(std::move(m)) {}
+
+  net::Endpoint target;  // next non-faulty replica's ORB endpoint
+  std::string member;    // its GC member name (diagnostics)
+
+  friend bool operator==(const FailoverMsg&, const FailoverMsg&) = default;
+};
+
+/// Full 12-byte-header "MEAD" frame ready to prepend to a GIOP reply.
+Bytes encode_failover_frame(const FailoverMsg& m);
+/// Decodes the body of a frame whose header.magic == kMead.
+std::optional<FailoverMsg> decode_failover_frame(const Bytes& frame);
+
+// ---- group-communication control payloads ----
+
+enum class CtrlKind : std::uint8_t {
+  kAnnounce = 1,      // replica advertises member/endpoint/IOR
+  kListing = 2,       // first replica synchronizes the full listing (§4.3)
+  kLaunchRequest = 3, // FT manager asks the Recovery Manager for a replica
+  kPrimaryQuery = 4,  // NEEDS_ADDRESSING client asks "who is primary?"
+  kPrimaryAnswer = 5, // first replica answers with its address
+  kState = 6,         // warm-passive state transfer
+};
+
+struct Announce {
+  Announce() = default;
+  Announce(std::string m, net::Endpoint ep, giop::IOR i)
+      : member(std::move(m)), endpoint(std::move(ep)), ior(std::move(i)) {}
+
+  std::string member;
+  net::Endpoint endpoint;
+  giop::IOR ior;
+
+  friend bool operator==(const Announce&, const Announce&) = default;
+};
+
+struct Listing {
+  Listing() = default;
+  std::vector<Announce> entries;
+  friend bool operator==(const Listing&, const Listing&) = default;
+};
+
+struct LaunchRequest {
+  LaunchRequest() = default;
+  LaunchRequest(std::string m, double usage_)
+      : member(std::move(m)), usage(usage_) {}
+
+  std::string member;  // the replica anticipating its own failure
+  double usage = 0.0;  // resource fraction at trigger time
+
+  friend bool operator==(const LaunchRequest&, const LaunchRequest&) = default;
+};
+
+struct PrimaryQuery {
+  PrimaryQuery() = default;
+  PrimaryQuery(std::string rg, std::uint64_t n)
+      : reply_group(std::move(rg)), nonce(n) {}
+  std::string reply_group;  // where to multicast the answer
+  std::uint64_t nonce = 0;  // echoed in the answer; guards against a late
+                            // answer to an earlier (timed-out) query being
+                            // taken for the current one
+  friend bool operator==(const PrimaryQuery&, const PrimaryQuery&) = default;
+};
+
+struct PrimaryAnswer {
+  PrimaryAnswer() = default;
+  PrimaryAnswer(std::string m, net::Endpoint ep, std::uint64_t n)
+      : member(std::move(m)), endpoint(std::move(ep)), nonce(n) {}
+  std::string member;
+  net::Endpoint endpoint;
+  std::uint64_t nonce = 0;
+  friend bool operator==(const PrimaryAnswer&, const PrimaryAnswer&) = default;
+};
+
+struct StateTransfer {
+  StateTransfer() = default;
+  StateTransfer(std::string m, std::uint64_t v, Bytes s)
+      : member(std::move(m)), version(v), state(std::move(s)) {}
+  std::string member;        // sending primary
+  std::uint64_t version = 0; // monotonically increasing snapshot id
+  Bytes state;
+  friend bool operator==(const StateTransfer&, const StateTransfer&) = default;
+};
+
+Bytes encode_announce(const Announce& m);
+Bytes encode_listing(const Listing& m);
+Bytes encode_launch_request(const LaunchRequest& m);
+Bytes encode_primary_query(const PrimaryQuery& m);
+Bytes encode_primary_answer(const PrimaryAnswer& m);
+Bytes encode_state(const StateTransfer& m);
+
+/// Parsed control payload.
+struct CtrlMsg {
+  CtrlKind kind = CtrlKind::kAnnounce;
+  std::optional<Announce> announce;       // kAnnounce
+  std::optional<Listing> listing;         // kListing
+  std::optional<LaunchRequest> launch;    // kLaunchRequest
+  std::optional<PrimaryQuery> query;      // kPrimaryQuery
+  std::optional<PrimaryAnswer> answer;    // kPrimaryAnswer
+  std::optional<StateTransfer> state;     // kState
+};
+
+std::optional<CtrlMsg> decode_ctrl(const Bytes& payload);
+
+}  // namespace mead::core

@@ -1,0 +1,47 @@
+#include "core/predictor.h"
+
+namespace mead::core {
+
+void TrendPredictor::observe(TimePoint t, double usage) {
+  // Skip duplicate timestamps (multiple replies between leak ticks carry no
+  // new information and would skew the fit toward zero slope).
+  if (!samples_.empty() && samples_.back().usage == usage) return;
+  samples_.push_back(Sample{t.sec(), usage});
+  while (samples_.size() > cfg_.window) samples_.pop_front();
+}
+
+double TrendPredictor::slope_per_second() const {
+  const std::size_t n = samples_.size();
+  if (n < 2) return 0.0;
+  double st = 0;
+  double su = 0;
+  for (const auto& s : samples_) {
+    st += s.t_sec;
+    su += s.usage;
+  }
+  const double mt = st / static_cast<double>(n);
+  const double mu = su / static_cast<double>(n);
+  double num = 0;
+  double den = 0;
+  for (const auto& s : samples_) {
+    num += (s.t_sec - mt) * (s.usage - mu);
+    den += (s.t_sec - mt) * (s.t_sec - mt);
+  }
+  return den == 0.0 ? 0.0 : num / den;
+}
+
+std::optional<Duration> TrendPredictor::time_to_reach(double level,
+                                                      TimePoint now) const {
+  if (!ready()) return std::nullopt;
+  const double current = samples_.back().usage;
+  if (current >= level) return Duration{0};
+  const double slope = slope_per_second();
+  if (slope <= 1e-9) return std::nullopt;  // flat or shrinking: no ETA
+  // Extrapolate from the most recent observation.
+  const double dt_sec =
+      (level - current) / slope - (now.sec() - samples_.back().t_sec);
+  if (dt_sec <= 0) return Duration{0};
+  return Duration{static_cast<std::int64_t>(dt_sec * 1e9)};
+}
+
+}  // namespace mead::core

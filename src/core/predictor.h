@@ -1,0 +1,66 @@
+// Failure prediction — the paper's first "future directions" item ("we plan
+// to extend our proactive dependability framework to include more
+// sophisticated failure prediction", §6).
+//
+// TrendPredictor fits a least-squares line to a sliding window of resource
+// usage observations and extrapolates the time at which usage will reach a
+// given level (e.g. exhaustion). Combined with the required recovery lead
+// time this enables *adaptive* thresholds — the paper's second future-work
+// item — implemented in ServerMead via ThresholdPolicy::kAdaptive: instead
+// of acting at a fixed usage fraction, the FT manager acts when the
+// predicted time-to-exhaustion drops below the time recovery needs, which is
+// precisely the paper's "ideal scenario ... delay proactive recovery so that
+// the proactive dependability framework has just enough time" (§5.2.4).
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <optional>
+
+#include "common/types.h"
+
+namespace mead::core {
+
+class TrendPredictor {
+ public:
+  struct Config {
+    Config() = default;
+    /// Observations retained for the fit. Small windows adapt fast;
+    /// larger windows smooth the Weibull noise.
+    std::size_t window = 8;
+    /// Minimum observations before predictions are offered.
+    std::size_t min_samples = 3;
+  };
+
+  TrendPredictor() = default;
+  explicit TrendPredictor(Config cfg) : cfg_(cfg) {}
+
+  /// Records a usage observation (fraction of capacity, monotone for leaks).
+  void observe(TimePoint t, double usage);
+
+  [[nodiscard]] bool ready() const { return samples_.size() >= cfg_.min_samples; }
+  [[nodiscard]] std::size_t sample_count() const { return samples_.size(); }
+
+  /// Usage growth per second from the least-squares fit; <= 0 if the
+  /// resource is not being consumed.
+  [[nodiscard]] double slope_per_second() const;
+
+  /// Predicted time from `now` until usage reaches `level`. nullopt when
+  /// not ready, the trend is flat/negative, or the level is already passed
+  /// (then Duration{0} is returned, not nullopt, if usage >= level).
+  [[nodiscard]] std::optional<Duration> time_to_reach(double level,
+                                                      TimePoint now) const;
+
+  void reset() { samples_.clear(); }
+
+ private:
+  struct Sample {
+    double t_sec;
+    double usage;
+  };
+
+  Config cfg_;
+  std::deque<Sample> samples_;
+};
+
+}  // namespace mead::core

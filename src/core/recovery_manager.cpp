@@ -1,0 +1,99 @@
+#include "core/recovery_manager.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace mead::core {
+
+RecoveryManager::RecoveryManager(net::ProcessPtr proc,
+                                 RecoveryManagerConfig cfg, Factory factory)
+    : proc_(std::move(proc)), cfg_(std::move(cfg)), factory_(std::move(factory)) {
+  gc_ = std::make_unique<gc::GcClient>(*proc_, cfg_.member, cfg_.daemon);
+}
+
+RecoveryManager::~RecoveryManager() = default;
+
+std::size_t RecoveryManager::live_replicas() const {
+  std::size_t n = 0;
+  for (const auto& m : view_.members) {
+    if (m != cfg_.member) ++n;
+  }
+  return n;
+}
+
+sim::Task<bool> RecoveryManager::start() {
+  const bool connected = co_await gc_->connect();
+  if (!connected) co_return false;
+  (void)co_await gc_->join(replica_group(cfg_.service));
+  (void)co_await gc_->join(control_group(cfg_.service));
+  proc_->sim().spawn(pump());
+  co_return true;
+}
+
+sim::Task<void> RecoveryManager::pump() {
+  for (;;) {
+    auto ev = co_await gc_->next_event();
+    if (!ev || !ev.value()) co_return;
+    gc::Event& event = *ev.value();
+    if (event.kind == gc::Event::Kind::kView &&
+        event.group == replica_group(cfg_.service)) {
+      const auto& old_members = view_.members;
+      // Count replicas that just appeared: each consumes a pending launch.
+      std::size_t joined = 0;
+      for (const auto& m : event.view.members) {
+        if (m == cfg_.member) continue;
+        if (std::find(old_members.begin(), old_members.end(), m) ==
+            old_members.end()) {
+          ++joined;
+        }
+      }
+      pending_ -= std::min(pending_, joined);
+      // Departed members are no longer doomed (they are dead).
+      std::erase_if(doomed_, [&](const std::string& m) {
+        return !event.view.contains(m);
+      });
+      view_ = event.view;
+      reconcile(/*proactive_trigger=*/false);
+      continue;
+    }
+    if (event.kind == gc::Event::Kind::kMessage) {
+      auto ctrl = decode_ctrl(event.payload);
+      if (ctrl && ctrl->kind == CtrlKind::kLaunchRequest) {
+        LogLine(proc_->sim().log(), LogLevel::kInfo, "rm")
+            << "launch request from " << ctrl->launch->member << " at usage "
+            << ctrl->launch->usage;
+        doomed_.insert(ctrl->launch->member);
+        reconcile(/*proactive_trigger=*/true);
+      }
+    }
+  }
+}
+
+void RecoveryManager::reconcile(bool proactive_trigger) {
+  // Invariant: live - doomed + pending >= target.
+  std::size_t effective = live_replicas() + pending_;
+  effective -= std::min(effective, doomed_.size());
+  while (effective < cfg_.target_degree) {
+    ++pending_;
+    ++effective;
+    proc_->sim().spawn(launch_one(proactive_trigger));
+  }
+}
+
+sim::Task<void> RecoveryManager::launch_one(bool proactive) {
+  const int incarnation = next_incarnation_++;
+  ++stats_.launches;
+  if (proactive) {
+    ++stats_.proactive_launches;
+  } else {
+    ++stats_.reactive_launches;
+  }
+  const bool alive = co_await proc_->sleep(cfg_.launch_delay);
+  if (!alive) co_return;
+  LogLine(proc_->sim().log(), LogLevel::kInfo, "rm")
+      << "launching replica incarnation " << incarnation;
+  factory_(incarnation);
+}
+
+}  // namespace mead::core

@@ -1,0 +1,82 @@
+// The MEAD Recovery Manager (§3.3): keeps the server's degree of replication
+// at its target by launching replicas.
+//
+// It subscribes to the replica group, so Spread-style membership-change
+// notifications tell it when a replica died (reactive relaunch), and it
+// receives the Proactive Fault-Tolerance Managers' launch requests over the
+// control group (proactive launch ahead of an anticipated failure).
+// Launch accounting guarantees the invariant
+//     live - doomed + pending >= target
+// so a proactive launch at T1 followed by the doomed replica's death causes
+// exactly one launch, not two.
+//
+// As in the paper, the Recovery Manager is a single point of failure.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "core/config.h"
+#include "core/mead_wire.h"
+#include "gc/client.h"
+#include "net/network.h"
+
+namespace mead::core {
+
+struct RecoveryManagerConfig {
+  RecoveryManagerConfig() = default;
+
+  std::string service = "TimeOfDay";
+  std::string member = "recovery-manager";
+  net::Endpoint daemon;
+  std::size_t target_degree = 3;  // the paper runs three warm replicas
+  /// Models replica spin-up scheduling latency (fork/exec on the factory
+  /// node). The replica's own startup path adds its own time on top.
+  Duration launch_delay = milliseconds(2);
+};
+
+class RecoveryManager {
+ public:
+  /// Called (after launch_delay) for every replica to be launched;
+  /// `incarnation` is unique and increasing. The factory builds the whole
+  /// replica process (node placement is the application's policy).
+  using Factory = std::function<void(int incarnation)>;
+
+  RecoveryManager(net::ProcessPtr proc, RecoveryManagerConfig cfg,
+                  Factory factory);
+  RecoveryManager(const RecoveryManager&) = delete;
+  RecoveryManager& operator=(const RecoveryManager&) = delete;
+  ~RecoveryManager();
+
+  /// Joins the groups and starts reconciling. With an initially empty
+  /// group, this bootstraps the first `target_degree` replicas.
+  [[nodiscard]] sim::Task<bool> start();
+
+  struct Stats {
+    std::uint64_t launches = 0;
+    std::uint64_t proactive_launches = 0;  // triggered by LaunchRequest
+    std::uint64_t reactive_launches = 0;   // triggered by membership loss
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] int next_incarnation() const { return next_incarnation_; }
+  [[nodiscard]] std::size_t live_replicas() const;
+
+ private:
+  sim::Task<void> pump();
+  sim::Task<void> launch_one(bool proactive);
+  void reconcile(bool proactive_trigger);
+
+  net::ProcessPtr proc_;
+  RecoveryManagerConfig cfg_;
+  Factory factory_;
+  std::unique_ptr<gc::GcClient> gc_;
+  gc::View view_;
+  std::set<std::string> doomed_;  // replicas that announced impending death
+  std::size_t pending_ = 0;       // launched but not yet joined
+  int next_incarnation_ = 1;
+  Stats stats_;
+};
+
+}  // namespace mead::core

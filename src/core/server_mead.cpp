@@ -1,0 +1,352 @@
+#include "core/server_mead.h"
+
+#include "common/log.h"
+
+namespace mead::core {
+
+ServerMead::ServerMead(net::ProcessPtr proc, MeadConfig cfg)
+    : proc_(std::move(proc)), cfg_(std::move(cfg)), inner_(proc_->api()) {
+  gc_ = std::make_unique<gc::GcClient>(*proc_, cfg_.member, cfg_.daemon);
+}
+
+ServerMead::~ServerMead() = default;
+
+// ------------------------------------------------------------- lifecycle
+
+sim::Task<bool> ServerMead::start() {
+  const bool connected = co_await gc_->connect();
+  if (!connected) co_return false;
+  (void)co_await gc_->join(replica_group(cfg_.service));
+  (void)co_await gc_->join(control_group(cfg_.service));
+  // Announce our reference so every FT manager can forward clients to us.
+  if (self_ior_.valid()) {
+    (void)co_await gc_->multicast(
+        replica_group(cfg_.service),
+        encode_announce(Announce{cfg_.member, orb_endpoint_, self_ior_}));
+  }
+  proc_->sim().spawn(gc_pump());
+  if (cfg_.state_sync_interval > Duration{0}) {
+    proc_->sim().spawn(state_sync_loop());
+  }
+  co_return true;
+}
+
+sim::Task<void> ServerMead::gc_pump() {
+  for (;;) {
+    auto ev = co_await gc_->next_event();
+    if (!ev || !ev.value()) co_return;  // connection lost or shutting down
+    gc::Event& event = *ev.value();
+    if (event.kind == gc::Event::Kind::kView &&
+        event.group == replica_group(cfg_.service)) {
+      registry_.on_view(event.view);
+      // "the first replica listed ... sends a message that synchronizes the
+      // listing of active servers across the group" (§4.3).
+      if (registry_.is_first(cfg_.member)) {
+        proc_->sim().spawn(send_listing());
+        // Membership has settled and we are the agreed-upon primary:
+        // answer queries that raced the membership change (§5.2.1).
+        for (auto& q : pending_queries_) {
+          if (proc_->sim().now() < q.expires) {
+            proc_->sim().spawn(
+                answer_primary_query(std::move(q.reply_group), q.nonce));
+          }
+        }
+        pending_queries_.clear();
+      } else {
+        std::erase_if(pending_queries_, [&](const PendingQuery& q) {
+          return proc_->sim().now() >= q.expires;
+        });
+      }
+      continue;
+    }
+    if (event.kind == gc::Event::Kind::kMessage) handle_ctrl(event);
+  }
+}
+
+void ServerMead::handle_ctrl(const gc::Event& ev) {
+  auto ctrl = decode_ctrl(ev.payload);
+  if (!ctrl) return;
+  switch (ctrl->kind) {
+    case CtrlKind::kAnnounce:
+      registry_.on_announce(*ctrl->announce);
+      break;
+    case CtrlKind::kListing:
+      registry_.on_listing(*ctrl->listing);
+      break;
+    case CtrlKind::kPrimaryQuery:
+      // Only the first listed replica answers (§4.2). If the failed replica
+      // is still listed first (membership not yet settled), park the query:
+      // whichever replica the next view promotes will answer it — if that
+      // happens within the client's timeout window.
+      if (registry_.is_first(cfg_.member)) {
+        proc_->sim().spawn(answer_primary_query(ctrl->query->reply_group,
+                                                ctrl->query->nonce));
+      } else {
+        pending_queries_.emplace_back(ctrl->query->reply_group,
+                                      ctrl->query->nonce,
+                                      proc_->sim().now() + milliseconds(20));
+      }
+      break;
+    case CtrlKind::kState:
+      if (ctrl->state->member != cfg_.member && set_state_) {
+        if (ctrl->state->version > state_version_) {
+          state_version_ = ctrl->state->version;
+          set_state_(ctrl->state->state);
+          ++stats_.state_applied;
+        }
+      }
+      break;
+    case CtrlKind::kLaunchRequest:
+      break;  // the Recovery Manager's business
+    case CtrlKind::kPrimaryAnswer:
+      break;  // only clients consume answers
+  }
+}
+
+sim::Task<void> ServerMead::answer_primary_query(std::string reply_group,
+                                                 std::uint64_t nonce) {
+  ++stats_.primary_answers;
+  (void)co_await gc_->multicast(
+      std::move(reply_group),
+      encode_primary_answer(PrimaryAnswer{cfg_.member, orb_endpoint_, nonce}));
+}
+
+sim::Task<void> ServerMead::send_listing() {
+  Listing listing;
+  for (auto& rec : registry_.listed()) {
+    listing.entries.push_back(Announce{rec.member, rec.endpoint, rec.ior});
+  }
+  // Always include ourselves (our own announce may still be in flight).
+  if (self_ior_.valid() && !registry_.find(cfg_.member)) {
+    listing.entries.push_back(Announce{cfg_.member, orb_endpoint_, self_ior_});
+  }
+  if (listing.entries.empty()) co_return;
+  (void)co_await gc_->multicast(replica_group(cfg_.service),
+                                encode_listing(listing));
+}
+
+sim::Task<void> ServerMead::state_sync_loop() {
+  for (;;) {
+    const bool alive = co_await proc_->sleep(cfg_.state_sync_interval);
+    if (!alive) co_return;
+    if (!get_state_ || !registry_.is_first(cfg_.member)) continue;
+    ++state_version_;
+    ++stats_.state_pushes;
+    (void)co_await gc_->multicast(
+        replica_group(cfg_.service),
+        encode_state(StateTransfer{cfg_.member, state_version_, get_state_()}));
+  }
+}
+
+// --------------------------------------------------- proactive triggering
+
+void ServerMead::check_thresholds() {
+  const double used = usage();
+  // NEEDS_ADDRESSING is "a proactive recovery scheme with insufficient
+  // advance warning" (5.2.1): the server takes no proactive action and is
+  // left to crash; the client-side interceptor masks the failure.
+  if (cfg_.scheme != RecoveryScheme::kLocationForward &&
+      cfg_.scheme != RecoveryScheme::kMeadMessage) {
+    return;
+  }
+
+  bool trigger_launch;
+  bool trigger_migrate;
+  if (cfg_.thresholds.policy == ThresholdPolicy::kAdaptive) {
+    // Future-work extension (6): predict time-to-exhaustion from the usage
+    // trend and act only when recovery would no longer fit — the paper's
+    // "ideal scenario" of delaying recovery to the last safe moment.
+    predictor_.observe(proc_->sim().now(), used);
+    auto eta = predictor_.time_to_reach(1.0, proc_->sim().now());
+    trigger_launch = eta && *eta < cfg_.thresholds.adaptive_launch_lead;
+    trigger_migrate = eta && *eta < cfg_.thresholds.adaptive_migrate_lead;
+  } else {
+    trigger_launch = used >= cfg_.thresholds.launch_fraction;
+    trigger_migrate = used >= cfg_.thresholds.migrate_fraction;
+  }
+
+  if (!launch_requested_ && trigger_launch) {
+    launch_requested_ = true;
+    ++stats_.launch_requests;
+    proc_->sim().spawn(send_launch_request(used));
+  }
+  if (!migrating_ && trigger_migrate) {
+    migrate_target_ = registry_.next_after(cfg_.member);
+    if (migrate_target_) {
+      migrating_ = true;
+      proc_->sim().spawn(rejuvenate_after_drain());
+    }
+    // No fail-over target (sole replica): keep serving; retry on the next
+    // reply — rejuvenating now would cause an outage instead of avoiding
+    // one.
+  }
+}
+
+sim::Task<void> ServerMead::send_launch_request(double usage_now) {
+  (void)co_await gc_->multicast(
+      control_group(cfg_.service),
+      encode_launch_request(LaunchRequest{cfg_.member, usage_now}));
+}
+
+sim::Task<void> ServerMead::rejuvenate_after_drain() {
+  // Quiescence: give in-flight redirects time to reach clients, then exit
+  // gracefully. The §3.2 lesson: restarting without handing clients off
+  // first causes the client-side latency spikes the paper set out to kill.
+  const bool alive = co_await proc_->sleep(cfg_.drain_timeout);
+  if (!alive) co_return;
+  LogLine(proc_->sim().log(), LogLevel::kInfo, "mead")
+      << cfg_.member << " rejuvenating (usage " << usage() << ")";
+  proc_->exit();
+}
+
+// ------------------------------------------------------------ SocketApi
+
+net::Result<int> ServerMead::listen(std::uint16_t port) {
+  auto fd = inner_.listen(port);
+  if (fd && orb_listen_fd_ < 0) {
+    // First listen() is the ORB endpoint — the §4.3 trick ("intercepts the
+    // listen() call at the server to determine the port").
+    orb_listen_fd_ = fd.value();
+    orb_endpoint_ = inner_.local_endpoint(fd.value()).value();
+  }
+  return fd;
+}
+
+sim::Task<net::Result<int>> ServerMead::accept(int listen_fd) {
+  auto fd = co_await inner_.accept(listen_fd);
+  if (fd && listen_fd == orb_listen_fd_) {
+    client_conns_.emplace(fd.value(), ClientConn{});
+  }
+  co_return fd;
+}
+
+sim::Task<net::Result<int>> ServerMead::connect(const net::Endpoint& remote) {
+  co_return co_await inner_.connect(remote);
+}
+
+sim::Task<net::Result<Bytes>> ServerMead::read(int fd, std::size_t max_bytes,
+                                               std::optional<Duration> timeout) {
+  auto data = co_await inner_.read(fd, max_bytes, timeout);
+  auto conn = client_conns_.find(fd);
+  if (conn == client_conns_.end() || !data || data->empty()) co_return data;
+
+  if (!first_request_seen_) {
+    first_request_seen_ = true;
+    if (on_first_request_) on_first_request_();
+  }
+  if (cfg_.scheme == RecoveryScheme::kLocationForward) {
+    // §4.1: "parse incoming GIOP Request messages to extract the request_id
+    // field" — the dominant source of this scheme's 90% RTT overhead.
+    conn->second.request_parser.feed(data.value());
+    for (;;) {
+      auto frame = conn->second.request_parser.next();
+      if (!frame) break;
+      if (frame->header.magic != giop::Magic::kGiop ||
+          frame->header.type != giop::MsgType::kRequest) {
+        continue;
+      }
+      const bool alive = co_await proc_->sleep(cfg_.costs.lf_request_parse);
+      if (!alive) co_return make_unexpected(net::NetErr::kProcessDead);
+      auto req = giop::decode_request(frame->data);
+      if (!req) continue;
+      ++stats_.requests_seen;
+      conn = client_conns_.find(fd);
+      if (conn == client_conns_.end()) co_return data;
+      conn->second.last_request_id = req->request_id;
+      conn->second.last_key_hash = req->object_key.hash16();
+    }
+  } else {
+    ++stats_.requests_seen;
+  }
+  co_return data;
+}
+
+sim::Task<net::Result<std::size_t>> ServerMead::writev(int fd, Bytes data) {
+  auto conn = client_conns_.find(fd);
+  if (conn == client_conns_.end()) {
+    co_return co_await inner_.writev(fd, std::move(data));
+  }
+
+  // The event-driven trigger point (§3.1): proactive recovery work happens
+  // on the reply path, only while clients are actually connected.
+  check_thresholds();
+
+  const std::size_t orig_size = data.size();
+  if (migrating_ && migrate_target_) {
+    switch (cfg_.scheme) {
+      case RecoveryScheme::kLocationForward: {
+        const bool alive = co_await proc_->sleep(cfg_.costs.lf_reply_process);
+        if (!alive) co_return make_unexpected(net::NetErr::kProcessDead);
+        conn = client_conns_.find(fd);
+        if (conn == client_conns_.end()) {
+          co_return make_unexpected(net::NetErr::kBadFd);
+        }
+        // Validate the stored request against the target via the 16-bit
+        // key hash (§4.1 optimization), then substitute the reply.
+        auto reply = giop::decode_reply(data);
+        const std::uint32_t request_id =
+            reply ? reply->request_id : conn->second.last_request_id;
+        auto target = registry_.lookup_by_key_hash(conn->second.last_key_hash,
+                                                   migrate_target_->member);
+        const giop::IOR& fwd = target ? target->ior : migrate_target_->ior;
+        Bytes substituted = giop::encode_reply(
+            giop::make_location_forward_reply(request_id, fwd));
+        ++stats_.replies_suppressed;
+        auto wrote = co_await inner_.writev(fd, std::move(substituted));
+        if (!wrote) co_return wrote;
+        co_return orig_size;  // the ORB believes its reply left intact
+      }
+      case RecoveryScheme::kMeadMessage: {
+        if (!conn->second.redirected) {
+          conn->second.redirected = true;
+          ++stats_.failover_piggybacks;
+          Bytes combined = encode_failover_frame(
+              FailoverMsg{migrate_target_->endpoint, migrate_target_->member});
+          append_bytes(combined, data);
+          data = std::move(combined);
+        }
+        break;  // fall through to the piggyback-cost charge + write
+      }
+      default:
+        break;
+    }
+  }
+
+  if (cfg_.scheme == RecoveryScheme::kMeadMessage) {
+    // Piggyback bookkeeping runs on every reply (the steady-state ~3%
+    // overhead), not just during migration.
+    const bool alive = co_await proc_->sleep(cfg_.costs.mead_piggyback);
+    if (!alive) co_return make_unexpected(net::NetErr::kProcessDead);
+  }
+  ++stats_.replies_passed;
+  auto wrote = co_await inner_.writev(fd, std::move(data));
+  if (!wrote) co_return wrote;
+  co_return orig_size;
+}
+
+sim::Task<net::Result<std::vector<int>>> ServerMead::select(
+    std::vector<int> fds, std::optional<Duration> timeout) {
+  // The paper adds the GC socket into the server's select() set; our GC
+  // intake is a coroutine (same event-driven property), so this is a pure
+  // pass-through.
+  co_return co_await inner_.select(std::move(fds), timeout);
+}
+
+net::Result<void> ServerMead::close(int fd) {
+  client_conns_.erase(fd);
+  return inner_.close(fd);
+}
+
+net::Result<void> ServerMead::dup2(int from_fd, int to_fd) {
+  return inner_.dup2(from_fd, to_fd);
+}
+
+net::Result<net::Endpoint> ServerMead::local_endpoint(int fd) const {
+  return inner_.local_endpoint(fd);
+}
+
+net::Result<net::Endpoint> ServerMead::peer_endpoint(int fd) const {
+  return inner_.peer_endpoint(fd);
+}
+
+}  // namespace mead::core

@@ -1,0 +1,167 @@
+// Server-side MEAD: the Interceptor with the embedded Proactive
+// Fault-Tolerance Manager (§3.1, §3.2).
+//
+// Implements net::SocketApi as a decorator over the process' raw sockets —
+// the structural equivalent of the paper's LD_PRELOAD interpositioning: the
+// ORB above is completely unmodified and unaware of MEAD.
+//
+// Responsibilities (per the paper):
+//  * identify client-server sockets from the system-call sequence (listen/
+//    accept mark server-side connections);
+//  * read(): track incoming client requests (activates the fault-injection
+//    "on first client request"; LOCATION_FORWARD scheme additionally parses
+//    GIOP to capture request ids — the expensive §4.1 step);
+//  * writev(): the event-driven proactive-recovery trigger — resource usage
+//    is checked when replies are written, NOT by a monitoring thread (§3.1
+//    discusses why); above T1 a replica launch is requested, above T2
+//    connected clients are migrated per the configured scheme and the
+//    replica then rejuvenates;
+//  * maintain the replica registry from group-communication events, answer
+//    primary queries, synchronize listings when first in the view, and run
+//    warm-passive state transfer.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "core/config.h"
+#include "core/mead_wire.h"
+#include "core/predictor.h"
+#include "core/registry.h"
+#include "fault/fault.h"
+#include "gc/client.h"
+#include "giop/messages.h"
+#include "net/network.h"
+#include "net/socket_api.h"
+
+namespace mead::core {
+
+class ServerMead final : public net::SocketApi {
+ public:
+  ServerMead(net::ProcessPtr proc, MeadConfig cfg);
+  ~ServerMead() override;
+
+  // ---- wiring (before/after ORB construction) ----
+
+  /// Resource monitor input (usually the leak injector's account). May be
+  /// null: usage then reads as 0 and proactive recovery never triggers.
+  void attach_account(const fault::ResourceAccount* account) { account_ = account; }
+
+  /// Invoked when the first client request arrives (the paper activates
+  /// the memory leak here, §5.1).
+  void set_on_first_request(std::function<void()> fn) {
+    on_first_request_ = std::move(fn);
+  }
+
+  /// Warm-passive state hooks (primary pushes, backups apply).
+  void set_state_hooks(std::function<Bytes()> get_state,
+                       std::function<void(const Bytes&)> set_state) {
+    get_state_ = std::move(get_state);
+    set_state_ = std::move(set_state);
+  }
+
+  /// The replica's own object reference — announced to the group (§4.1
+  /// "broadcast these IORs ... to the MEAD Fault-Tolerance Managers").
+  void attach_ior(giop::IOR self_ior) { self_ior_ = std::move(self_ior); }
+
+  /// Connects to the local GC daemon, joins the replica + control groups,
+  /// announces this replica, and starts the event pump. Requires listen()
+  /// to have happened (the ORB endpoint must be known) and attach_ior().
+  [[nodiscard]] sim::Task<bool> start();
+
+  // ---- introspection ----
+  [[nodiscard]] const ReplicaRegistry& registry() const { return registry_; }
+  [[nodiscard]] bool migrating() const { return migrating_; }
+  [[nodiscard]] bool launch_requested() const { return launch_requested_; }
+  [[nodiscard]] const MeadConfig& config() const { return cfg_; }
+  [[nodiscard]] net::Endpoint orb_endpoint() const { return orb_endpoint_; }
+
+  struct Stats {
+    std::uint64_t requests_seen = 0;
+    std::uint64_t replies_passed = 0;
+    std::uint64_t replies_suppressed = 0;   // LOCATION_FORWARD substitutions
+    std::uint64_t failover_piggybacks = 0;  // MEAD frames attached
+    std::uint64_t launch_requests = 0;
+    std::uint64_t primary_answers = 0;
+    std::uint64_t state_pushes = 0;
+    std::uint64_t state_applied = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  // ---- net::SocketApi (decorator) ----
+  net::Result<int> listen(std::uint16_t port) override;
+  sim::Task<net::Result<int>> accept(int listen_fd) override;
+  sim::Task<net::Result<int>> connect(const net::Endpoint& remote) override;
+  sim::Task<net::Result<Bytes>> read(int fd, std::size_t max_bytes,
+                                     std::optional<Duration> timeout) override;
+  sim::Task<net::Result<std::size_t>> writev(int fd, Bytes data) override;
+  sim::Task<net::Result<std::vector<int>>> select(
+      std::vector<int> fds, std::optional<Duration> timeout) override;
+  net::Result<void> close(int fd) override;
+  net::Result<void> dup2(int from_fd, int to_fd) override;
+  net::Result<net::Endpoint> local_endpoint(int fd) const override;
+  net::Result<net::Endpoint> peer_endpoint(int fd) const override;
+
+ private:
+  struct ClientConn {
+    giop::FrameBuffer request_parser;  // LOCATION_FORWARD scheme only
+    std::uint32_t last_request_id = 0;
+    std::uint16_t last_key_hash = 0;
+    bool redirected = false;  // MEAD failover frame already sent
+  };
+
+  [[nodiscard]] double usage() const {
+    return account_ == nullptr ? 0.0 : account_->fraction_used();
+  }
+
+  /// The §3.2 two-threshold check, run on the reply path.
+  void check_thresholds();
+  /// Spawned helpers (fire-and-forget multicasts / timers).
+  sim::Task<void> send_launch_request(double usage_now);
+  sim::Task<void> rejuvenate_after_drain();
+  sim::Task<void> gc_pump();
+  sim::Task<void> state_sync_loop();
+  void handle_ctrl(const gc::Event& ev);
+  sim::Task<void> answer_primary_query(std::string reply_group,
+                                       std::uint64_t nonce);
+  sim::Task<void> send_listing();
+
+  net::ProcessPtr proc_;
+  MeadConfig cfg_;
+  net::SocketApi& inner_;
+  const fault::ResourceAccount* account_ = nullptr;
+  std::function<void()> on_first_request_;
+  std::function<Bytes()> get_state_;
+  std::function<void(const Bytes&)> set_state_;
+
+  std::unique_ptr<gc::GcClient> gc_;
+  ReplicaRegistry registry_;
+  giop::IOR self_ior_;
+  net::Endpoint orb_endpoint_;
+  int orb_listen_fd_ = -1;
+
+  /// Primary queries that arrived while there was "no agreed-upon primary"
+  /// (§5.2.1): held until a view change makes us first, or until expiry.
+  struct PendingQuery {
+    PendingQuery() = default;
+    PendingQuery(std::string rg, std::uint64_t n, TimePoint exp)
+        : reply_group(std::move(rg)), nonce(n), expires(exp) {}
+    std::string reply_group;
+    std::uint64_t nonce = 0;
+    TimePoint expires;
+  };
+  std::vector<PendingQuery> pending_queries_;
+
+  std::map<int, ClientConn> client_conns_;
+  TrendPredictor predictor_;  // adaptive-threshold extension (§6)
+  bool first_request_seen_ = false;
+  bool launch_requested_ = false;
+  bool migrating_ = false;
+  std::optional<ReplicaRegistry::Record> migrate_target_;
+  std::uint64_t state_version_ = 0;
+  Stats stats_;
+};
+
+}  // namespace mead::core

@@ -1,0 +1,41 @@
+#include "fault/fault.h"
+
+#include <cmath>
+
+namespace mead::fault {
+
+MemoryLeakInjector::MemoryLeakInjector(net::ProcessPtr proc, LeakConfig cfg)
+    : proc_(std::move(proc)), cfg_(cfg), account_(cfg.capacity_bytes),
+      rng_(proc_->sim().rng().fork()) {}
+
+void MemoryLeakInjector::activate() {
+  if (active_ || !proc_->alive()) return;
+  active_ = true;
+  proc_->sim().spawn(leak_loop());
+}
+
+sim::Task<void> MemoryLeakInjector::leak_loop() {
+  // Keep the process shared_ptr alive for the loop's duration.
+  auto proc = proc_;
+  for (;;) {
+    const bool alive = co_await proc->sleep(cfg_.interval);
+    if (!alive) co_return;
+    const double sample = rng_.weibull(cfg_.weibull_scale, cfg_.weibull_shape);
+    const auto chunk = static_cast<std::size_t>(
+        std::llround(sample * static_cast<double>(cfg_.chunk_unit)));
+    account_.consume(chunk);
+    ++ticks_;
+    if (on_tick_) on_tick_();
+    if (account_.exhausted()) {
+      if (cfg_.kill_on_exhaustion) proc->kill();
+      co_return;
+    }
+  }
+}
+
+void schedule_crash(net::Process& proc, Duration delay) {
+  auto shared = proc.shared_from_this();
+  proc.sim().schedule(delay, [shared] { shared->kill(); });
+}
+
+}  // namespace mead::fault

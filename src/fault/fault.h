@@ -1,0 +1,105 @@
+// Fault injection: the paper's deterministic resource-exhaustion fault
+// (§5.1) plus generic crash-fault helpers.
+//
+// The memory leak is modeled exactly as in the paper: a 32 KB buffer is
+// "declared within the interceptor"; once the server answers its first
+// client request the leak activates, and every 150 ms a chunk drawn from a
+// Weibull(scale 64, shape 2.0) distribution is exhausted. When the buffer
+// is gone the process crashes. The paper chose this buffer-based model over
+// rlimit tricks because Linux's optimistic allocation makes heap exhaustion
+// non-deterministic — determinism is the point, and our simulated variant
+// keeps it bit-reproducible from the simulation seed.
+//
+// `chunk_unit` scales Weibull samples to bytes, and `interval` sets the tick
+// rate. The paper's stated parameters (150 ms ticks, Weibull(64,2) "chunks",
+// 32 KB buffer) cannot simultaneously reproduce its observed macro rate of
+// ~1 failure / 250 invocations at byte granularity AND the zero client
+// failures of the 80%-threshold proactive runs (which require ticks much
+// finer than the 80->100% window). We therefore default to 15 ms ticks at
+// 19 B/unit: death after ~31 ticks (~0.47 s, ~1 failure / 250-400
+// invocations — the paper's rate) with ~3%-of-capacity granularity, so a
+// single tick essentially never leaps from below the migrate threshold past
+// exhaustion. The distribution shape (Weibull, scale 64, shape 2) is
+// exactly the paper's. See DESIGN.md §2 (substitution table).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "net/network.h"
+#include "sim/task.h"
+
+namespace mead::fault {
+
+/// Tracks consumption of one bounded resource ("memory, file descriptors,
+/// threads" — §3.2; here: the leak buffer).
+class ResourceAccount {
+ public:
+  explicit ResourceAccount(std::size_t capacity) : capacity_(capacity) {}
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t used() const { return used_; }
+  [[nodiscard]] double fraction_used() const {
+    return capacity_ == 0 ? 1.0
+                          : static_cast<double>(used_) /
+                                static_cast<double>(capacity_);
+  }
+  [[nodiscard]] bool exhausted() const { return used_ >= capacity_; }
+
+  void consume(std::size_t bytes) { used_ += bytes; }
+  void reset() { used_ = 0; }
+
+ private:
+  std::size_t capacity_;
+  std::size_t used_ = 0;
+};
+
+struct LeakConfig {
+  LeakConfig() = default;
+
+  std::size_t capacity_bytes = 32 * 1024;  // the paper's 32 KB buffer
+  Duration interval = milliseconds(15);    // leak tick period (see above)
+  double weibull_scale = 64.0;             // the paper's scale parameter
+  double weibull_shape = 2.0;              // the paper's shape parameter
+  std::size_t chunk_unit = 19;  // bytes per Weibull unit (calibrated)
+  bool kill_on_exhaustion = true;
+};
+
+/// The resource-exhaustion fault. One per faulty server process.
+class MemoryLeakInjector {
+ public:
+  MemoryLeakInjector(net::ProcessPtr proc, LeakConfig cfg);
+
+  /// Arms the leak. Idempotent; the first call starts the tick coroutine
+  /// (the paper activates on the first client request).
+  void activate();
+
+  [[nodiscard]] bool active() const { return active_; }
+  [[nodiscard]] const ResourceAccount& account() const { return account_; }
+  [[nodiscard]] ResourceAccount& account() { return account_; }
+  [[nodiscard]] std::uint64_t ticks() const { return ticks_; }
+  [[nodiscard]] const LeakConfig& config() const { return cfg_; }
+
+  /// Observer invoked after every tick (usage may have crossed a threshold).
+  void set_on_tick(std::function<void()> fn) { on_tick_ = std::move(fn); }
+
+ private:
+  sim::Task<void> leak_loop();
+
+  net::ProcessPtr proc_;
+  LeakConfig cfg_;
+  ResourceAccount account_;
+  Rng rng_;
+  bool active_ = false;
+  std::uint64_t ticks_ = 0;
+  std::function<void()> on_tick_;
+};
+
+/// Schedules an abrupt crash of `proc` at `delay` from now (process
+/// crash-fault from the paper's fault model, §3).
+void schedule_crash(net::Process& proc, Duration delay);
+
+}  // namespace mead::fault

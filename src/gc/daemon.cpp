@@ -1,0 +1,462 @@
+#include "gc/daemon.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/log.h"
+
+namespace mead::gc {
+
+namespace {
+constexpr std::size_t kReadChunk = 64 * 1024;
+}
+
+GcDaemon::GcDaemon(net::ProcessPtr proc, DaemonConfig cfg)
+    : proc_(std::move(proc)), cfg_(std::move(cfg)) {
+  // Every configured daemon is presumed alive until its connection drops;
+  // this keeps the sequencer identity stable during startup.
+  for (std::size_t i = 0; i < cfg_.daemon_hosts.size(); ++i) {
+    alive_daemons_.insert(i);
+  }
+}
+
+bool GcDaemon::mesh_ready() const {
+  std::size_t reachable = 0;
+  for (std::size_t i = 0; i < cfg_.daemon_hosts.size(); ++i) {
+    if (i == cfg_.self_index) continue;
+    if (peer_fds_.contains(i) || dead_daemons_.contains(i)) ++reachable;
+  }
+  return reachable + 1 >= cfg_.daemon_hosts.size();
+}
+
+void GcDaemon::on_peer_link_up() {
+  if (mesh_ready()) flush_pending();
+}
+
+void GcDaemon::flush_pending() {
+  if (is_sequencer()) {
+    auto foreign = std::move(stamp_wait_);
+    stamp_wait_.clear();
+    for (auto& m : foreign) stamp_and_dispatch(std::move(m));
+    // Our own pending submissions. stamp_and_dispatch -> handle_ordered
+    // erases the entry from pending_, so iterate over a snapshot.
+    const std::vector<OrderedMsg> mine(pending_.begin(), pending_.end());
+    for (const auto& m : mine) stamp_and_dispatch(m);
+  } else {
+    auto it = peer_fds_.find(sequencer_id());
+    if (it == peer_fds_.end()) return;
+    for (const auto& m : pending_) spawn_write(it->second, encode_submit(m));
+  }
+}
+
+std::string GcDaemon::reply_group_of(const std::string& member) {
+  return "#reply/" + member;
+}
+
+bool GcDaemon::is_sequencer() const {
+  return sequencer_id() == cfg_.self_index;
+}
+
+std::uint64_t GcDaemon::sequencer_id() const {
+  return *alive_daemons_.begin();  // lowest live daemon id
+}
+
+std::vector<std::string> GcDaemon::group_members(const std::string& group) const {
+  auto it = groups_.find(group);
+  return it == groups_.end() ? std::vector<std::string>{} : it->second.members;
+}
+
+std::uint64_t GcDaemon::view_id(const std::string& group) const {
+  auto it = groups_.find(group);
+  return it == groups_.end() ? 0 : it->second.view_id;
+}
+
+void GcDaemon::start() {
+  auto listen = proc_->api().listen(cfg_.port);
+  if (!listen) {
+    LogLine(proc_->sim().log(), LogLevel::kError, "gc")
+        << "daemon " << id() << " cannot listen: " << net::to_string(listen.error());
+    return;
+  }
+  proc_->sim().spawn(accept_loop(listen.value()));
+  proc_->sim().spawn(mesh_connect_loop());
+  proc_->sim().spawn(heartbeat_loop());
+  proc_->sim().spawn(peer_monitor_loop());
+}
+
+sim::Task<void> GcDaemon::peer_monitor_loop() {
+  for (;;) {
+    const bool alive = co_await proc_->sleep(cfg_.heartbeat_interval);
+    if (!alive) co_return;
+    const TimePoint now = proc_->sim().now();
+    std::vector<std::uint64_t> timed_out;
+    for (const auto& [peer, fd] : peer_fds_) {
+      (void)fd;
+      auto seen = peer_last_seen_.find(peer);
+      if (seen == peer_last_seen_.end()) continue;
+      if (now - seen->second > cfg_.heartbeat_interval * 3) {
+        timed_out.push_back(peer);
+      }
+    }
+    for (auto peer : timed_out) {
+      // Silence, not EOF: a partition or message-loss fault. Tear the link
+      // down and treat the peer as failed; its members are expelled by the
+      // sequencer exactly as for a crash.
+      const int fd = peer_fds_[peer];
+      conns_.erase(fd);
+      (void)proc_->api().close(fd);
+      handle_peer_gone(peer);
+    }
+  }
+}
+
+sim::Task<void> GcDaemon::accept_loop(int listen_fd) {
+  for (;;) {
+    auto fd = co_await proc_->api().accept(listen_fd);
+    if (!fd) co_return;  // daemon dying
+    conns_.emplace(fd.value(), ConnState{});
+    proc_->sim().spawn(connection_loop(fd.value()));
+  }
+}
+
+sim::Task<void> GcDaemon::mesh_connect_loop() {
+  // Each daemon dials peers with a *higher* index; lower-indexed peers dial
+  // us. Retries cover daemons that start later.
+  for (std::size_t peer = cfg_.self_index + 1; peer < cfg_.daemon_hosts.size();
+       ++peer) {
+    int fd = -1;
+    for (int attempt = 0; attempt < 200; ++attempt) {
+      auto r = co_await proc_->api().connect(
+          net::Endpoint{cfg_.daemon_hosts[peer], cfg_.port});
+      if (r) {
+        fd = r.value();
+        break;
+      }
+      if (r.error() == net::NetErr::kProcessDead) co_return;
+      {
+        const bool alive_after_wait = co_await proc_->sleep(cfg_.connect_retry);
+        if (!alive_after_wait) co_return;
+      }
+    }
+    if (fd < 0) continue;
+    ConnState st;
+    st.role = ConnState::Role::kPeer;
+    st.peer_id = peer;
+    conns_.emplace(fd, std::move(st));
+    peer_fds_[peer] = fd;
+    peer_last_seen_[peer] = proc_->sim().now();
+    spawn_write(fd, encode_peer_hello(PeerHelloMsg{cfg_.self_index}));
+    proc_->sim().spawn(connection_loop(fd));
+    on_peer_link_up();
+  }
+}
+
+sim::Task<void> GcDaemon::heartbeat_loop() {
+  for (;;) {
+    {
+      const bool alive_after_wait = co_await proc_->sleep(cfg_.heartbeat_interval);
+      if (!alive_after_wait) co_return;
+    }
+    for (auto& [peer, fd] : peer_fds_) {
+      (void)peer;
+      spawn_write(fd, encode_heartbeat(HeartbeatMsg{cfg_.self_index}));
+    }
+  }
+}
+
+void GcDaemon::spawn_write(int fd, Bytes data) {
+  auto writer = [](net::Process& p, int wfd, Bytes d) -> sim::Task<void> {
+    (void)co_await p.api().writev(wfd, std::move(d));
+  };
+  proc_->sim().spawn(writer(*proc_, fd, std::move(data)));
+}
+
+sim::Task<void> GcDaemon::connection_loop(int fd) {
+  for (;;) {
+    auto data = co_await proc_->api().read(fd, kReadChunk);
+    if (!data || data->empty()) break;  // EOF or error
+    auto it = conns_.find(fd);
+    if (it == conns_.end()) co_return;
+    it->second.framer.feed(data.value());
+    for (;;) {
+      // Re-find each iteration: handling a frame can mutate conns_.
+      auto cur = conns_.find(fd);
+      if (cur == conns_.end()) co_return;
+      auto frame = cur->second.framer.next();
+      if (!frame) break;
+      handle_frame(fd, *frame);
+    }
+  }
+  // Connection ended: client death or peer daemon death.
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) co_return;
+  const ConnState st = std::move(it->second);
+  conns_.erase(it);
+  (void)proc_->api().close(fd);
+  if (st.role == ConnState::Role::kClient) handle_client_gone(fd);
+  if (st.role == ConnState::Role::kPeer) handle_peer_gone(st.peer_id);
+}
+
+void GcDaemon::handle_frame(int fd, const Frame& frame) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  ConnState& st = it->second;
+  if (st.role == ConnState::Role::kPeer) {
+    peer_last_seen_[st.peer_id] = proc_->sim().now();
+  }
+
+  switch (frame.op) {
+    case Op::kHello: {
+      auto m = decode_hello(frame.payload);
+      if (!m) return;
+      st.role = ConnState::Role::kClient;
+      st.client_name = m->name;
+      client_fds_[m->name] = fd;
+      // Auto-join the member's reply group so others can address it.
+      OrderedMsg join;
+      join.kind = PayloadKind::kJoin;
+      join.group = reply_group_of(m->name);
+      join.member = m->name;
+      st.joined.insert(join.group);
+      submit(std::move(join));
+      break;
+    }
+    case Op::kJoin: {
+      auto m = decode_group(frame.payload);
+      if (!m || st.role != ConnState::Role::kClient) return;
+      st.joined.insert(m->group);
+      OrderedMsg join;
+      join.kind = PayloadKind::kJoin;
+      join.group = std::move(m->group);
+      join.member = st.client_name;
+      submit(std::move(join));
+      break;
+    }
+    case Op::kLeave: {
+      auto m = decode_group(frame.payload);
+      if (!m || st.role != ConnState::Role::kClient) return;
+      st.joined.erase(m->group);
+      OrderedMsg leave;
+      leave.kind = PayloadKind::kLeave;
+      leave.group = std::move(m->group);
+      leave.member = st.client_name;
+      submit(std::move(leave));
+      break;
+    }
+    case Op::kMcast: {
+      auto m = decode_mcast(frame.payload);
+      if (!m || st.role != ConnState::Role::kClient) return;
+      OrderedMsg data;
+      data.kind = PayloadKind::kData;
+      data.group = std::move(m->group);
+      data.member = st.client_name;
+      data.payload = std::move(m->payload);
+      submit(std::move(data));
+      break;
+    }
+    case Op::kPeerHello: {
+      auto m = decode_peer_hello(frame.payload);
+      if (!m) return;
+      st.role = ConnState::Role::kPeer;
+      st.peer_id = m->daemon_id;
+      peer_fds_[m->daemon_id] = fd;
+      peer_last_seen_[m->daemon_id] = proc_->sim().now();
+      on_peer_link_up();
+      break;
+    }
+    case Op::kSubmit: {
+      auto m = decode_ordered_like(frame.payload);
+      if (!m) return;
+      // Only the sequencer stamps; a stale submit (we stopped being
+      // sequencer) is dropped — the origin will resubmit. Before our mesh
+      // is complete, stamping would lose the broadcast to not-yet-connected
+      // daemons, so park it.
+      if (!is_sequencer()) break;
+      if (!mesh_ready()) {
+        stamp_wait_.push_back(std::move(m.value()));
+        break;
+      }
+      stamp_and_dispatch(std::move(m.value()));
+      break;
+    }
+    case Op::kOrdered: {
+      auto m = decode_ordered_like(frame.payload);
+      if (!m) return;
+      handle_ordered(m.value());
+      break;
+    }
+    case Op::kHeartbeat:
+      break;  // liveness only; EOF is the real detector in this network
+    case Op::kDeliver:
+    case Op::kView:
+      break;  // daemon never receives these
+  }
+}
+
+void GcDaemon::submit(OrderedMsg m) {
+  m.origin = cfg_.self_index;
+  m.msg_id = next_msg_id_++;
+  pending_.push_back(m);
+  if (!mesh_ready()) return;  // flushed by on_peer_link_up()
+  if (is_sequencer()) {
+    stamp_and_dispatch(std::move(m));
+  } else {
+    auto it = peer_fds_.find(sequencer_id());
+    if (it != peer_fds_.end()) {
+      spawn_write(it->second, encode_submit(m));
+    }
+    // If the sequencer link is down, handle_peer_gone will resubmit.
+  }
+}
+
+void GcDaemon::stamp_and_dispatch(OrderedMsg m) {
+  m.seq = next_seq_++;
+  const Bytes wire = encode_ordered(m);
+  for (auto& [peer, fd] : peer_fds_) {
+    (void)peer;
+    spawn_write(fd, wire);
+  }
+  handle_ordered(m);
+}
+
+void GcDaemon::handle_ordered(const OrderedMsg& m) {
+  // At-least-once dedupe: per-origin msg ids are strictly increasing and
+  // FIFO, so a single high-water mark suffices.
+  auto& done = done_msg_ids_[m.origin];
+  if (m.msg_id <= done) return;
+  done = m.msg_id;
+  if (m.origin == cfg_.self_index) {
+    std::erase_if(pending_, [&](const OrderedMsg& p) { return p.msg_id == m.msg_id; });
+  }
+  ++delivered_count_;
+
+  GroupState& group = groups_[m.group];
+  switch (m.kind) {
+    case PayloadKind::kData: {
+      for (const auto& member : group.members) {
+        auto fd = client_fds_.find(member);
+        if (fd == client_fds_.end()) continue;  // member is remote
+        spawn_write(fd->second,
+                    encode_deliver(DeliverMsg{m.group, m.member, m.seq, m.payload}));
+      }
+      break;
+    }
+    case PayloadKind::kJoin: {
+      if (std::find(group.members.begin(), group.members.end(), m.member) ==
+          group.members.end()) {
+        group.members.push_back(m.member);
+        group.homes[m.member] = m.origin;
+        group.view_id = m.seq;
+        send_view(m.group);
+      }
+      break;
+    }
+    case PayloadKind::kLeave: {
+      auto it = std::find(group.members.begin(), group.members.end(), m.member);
+      if (it != group.members.end()) {
+        group.members.erase(it);
+        group.homes.erase(m.member);
+        group.view_id = m.seq;
+        send_view(m.group);
+      }
+      break;
+    }
+  }
+}
+
+void GcDaemon::send_view(const std::string& group) {
+  const GroupState& g = groups_[group];
+  const Bytes wire = encode_view(ViewMsg{group, g.view_id, g.members});
+  for (const auto& member : g.members) {
+    auto fd = client_fds_.find(member);
+    if (fd == client_fds_.end()) continue;
+    spawn_write(fd->second, wire);
+  }
+}
+
+void GcDaemon::handle_client_gone(int fd) {
+  std::string name;
+  for (auto it = client_fds_.begin(); it != client_fds_.end(); ++it) {
+    if (it->second == fd) {
+      name = it->first;
+      client_fds_.erase(it);
+      break;
+    }
+  }
+  if (name.empty()) return;
+  // The member's groups: every group that lists it with our daemon as home.
+  std::vector<std::string> groups;
+  for (auto& [gname, g] : groups_) {
+    auto home = g.homes.find(name);
+    if (home != g.homes.end() && home->second == cfg_.self_index) {
+      groups.push_back(gname);
+    }
+  }
+  proc_->sim().spawn(delayed_member_death(std::move(name), std::move(groups)));
+}
+
+sim::Task<void> GcDaemon::delayed_member_death(std::string member,
+                                               std::vector<std::string> groups) {
+  // Models Spread's variable failure-detection latency (race window,
+  // paper 5.2.1): usually fast, occasionally slow (token-loss path).
+  const bool slow = cfg_.detect_slow_probability > 0 &&
+                    proc_->sim().rng().chance(cfg_.detect_slow_probability);
+  const Duration lo = slow ? cfg_.detect_slow_min : cfg_.detect_min;
+  const Duration hi = slow ? cfg_.detect_slow_max : cfg_.detect_max;
+  if (hi > Duration{0}) {
+    const auto ns = proc_->sim().rng().uniform_int(lo.ns(), hi.ns());
+    const bool alive_after_wait = co_await proc_->sleep(Duration{ns});
+    if (!alive_after_wait) co_return;
+  }
+  for (auto& g : groups) {
+    OrderedMsg leave;
+    leave.kind = PayloadKind::kLeave;
+    leave.group = std::move(g);
+    leave.member = member;
+    submit(std::move(leave));
+  }
+}
+
+void GcDaemon::handle_peer_gone(std::uint64_t peer_id) {
+  if (dead_daemons_.contains(peer_id)) return;  // EOF after a heartbeat
+                                                // timeout already handled it
+  const bool sequencer_died = (sequencer_id() == peer_id);
+  alive_daemons_.erase(peer_id);
+  dead_daemons_.insert(peer_id);
+  peer_fds_.erase(peer_id);
+  peer_last_seen_.erase(peer_id);
+
+  if (sequencer_died && is_sequencer()) {
+    // Takeover: jump the sequence domain so stale in-flight stamps can't
+    // collide, then resubmit our unordered messages (snapshot: dispatch
+    // erases entries from pending_).
+    next_seq_ += 1024;
+    const std::vector<OrderedMsg> mine(pending_.begin(), pending_.end());
+    for (const auto& m : mine) stamp_and_dispatch(m);
+  } else if (sequencer_died) {
+    // Resubmit pending to the new sequencer.
+    auto it = peer_fds_.find(sequencer_id());
+    if (it != peer_fds_.end()) {
+      for (const auto& m : pending_) spawn_write(it->second, encode_submit(m));
+    }
+  }
+
+  // The (new) sequencer expels members hosted on the dead daemon.
+  if (is_sequencer()) {
+    for (auto& [gname, g] : groups_) {
+      std::vector<std::string> orphans;
+      for (const auto& [member, home] : g.homes) {
+        if (home == peer_id) orphans.push_back(member);
+      }
+      for (auto& member : orphans) {
+        OrderedMsg leave;
+        leave.kind = PayloadKind::kLeave;
+        leave.group = gname;
+        leave.member = member;
+        submit(std::move(leave));
+      }
+    }
+  }
+}
+
+}  // namespace mead::gc

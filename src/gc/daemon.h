@@ -1,0 +1,155 @@
+// Group-communication daemon — the per-node component of the Spread
+// substitute. One daemon runs on every node (default port 4803, Spread's
+// actual port); application processes connect to their local daemon.
+//
+// Protocol summary:
+//  * Total order: the lowest-indexed live daemon acts as sequencer. Every
+//    multicast / membership change is forwarded to it (kSubmit), stamped
+//    with a global sequence number, and broadcast to all daemons (kOrdered),
+//    which deliver to their local members in arrival order (FIFO from the
+//    sequencer over reliable in-order connections).
+//  * Membership: joins/leaves travel through the same total order, so every
+//    daemon applies membership changes at the same point in the message
+//    stream (view-synchrony as the paper's schemes need it). Views list
+//    members in join order.
+//  * Failure detection: a dying process resets its daemon connection (EOF);
+//    the daemon then submits a leave for each group. `detect_min/max` model
+//    Spread's variable detection latency — the race window behind the
+//    paper's 25% client-failure rate in the NEEDS_ADDRESSING_MODE scheme
+//    (§5.2.1). Daemon-daemon failures are detected the same way, with the
+//    surviving sequencer expelling members hosted on the dead daemon.
+//  * At-least-once submission: a daemon retains submissions until it sees
+//    them ordered; on sequencer takeover it resubmits, and per-origin msg
+//    ids make delivery idempotent.
+//
+// Known divergence from Spread: messages in flight during a sequencer crash
+// may be ordered differently by the successor (Spread's token protocol is
+// stronger). Stable-view ordering, which the experiments rely on, is total.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "gc/wire.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+
+namespace mead::gc {
+
+inline constexpr std::uint16_t kDefaultDaemonPort = 4803;
+
+struct DaemonConfig {
+  DaemonConfig() = default;
+
+  /// Hosts running daemons; the index in this vector is the daemon id.
+  std::vector<std::string> daemon_hosts;
+  std::size_t self_index = 0;
+  std::uint16_t port = kDefaultDaemonPort;
+  Duration heartbeat_interval = milliseconds(500);
+  Duration connect_retry = milliseconds(10);
+  /// Member-death detection latency, bimodal like Spread's: with
+  /// probability (1 - detect_slow_probability) a fast uniform
+  /// [detect_min, detect_max] draw; otherwise a slow uniform
+  /// [detect_slow_min, detect_slow_max] draw (token-loss/timeout path).
+  /// All zeros = immediate detection.
+  Duration detect_min{0};
+  Duration detect_max{0};
+  double detect_slow_probability = 0.0;
+  Duration detect_slow_min{0};
+  Duration detect_slow_max{0};
+};
+
+class GcDaemon {
+ public:
+  GcDaemon(net::ProcessPtr proc, DaemonConfig cfg);
+  GcDaemon(const GcDaemon&) = delete;
+  GcDaemon& operator=(const GcDaemon&) = delete;
+
+  /// Spawns the daemon's accept / mesh / heartbeat coroutines.
+  void start();
+
+  // ---- introspection (tests, experiment harness) ----
+  [[nodiscard]] std::uint64_t id() const { return cfg_.self_index; }
+  [[nodiscard]] bool is_sequencer() const;
+  [[nodiscard]] std::uint64_t messages_delivered() const { return delivered_count_; }
+  /// Current members of a group in join order (empty if unknown group).
+  [[nodiscard]] std::vector<std::string> group_members(const std::string& group) const;
+  [[nodiscard]] std::uint64_t view_id(const std::string& group) const;
+  [[nodiscard]] bool alive() const { return proc_->alive(); }
+  [[nodiscard]] net::Process& process() { return *proc_; }
+
+  /// Reply-group naming convention: every member auto-joins its own reply
+  /// group at HELLO so any other member can address it point-to-point over
+  /// pure multicast.
+  static std::string reply_group_of(const std::string& member);
+
+ private:
+  struct GroupState {
+    std::vector<std::string> members;            // join order
+    std::map<std::string, std::uint64_t> homes;  // member -> daemon id
+    std::uint64_t view_id = 0;
+  };
+
+  /// True once links to every other configured daemon are up (or the peer
+  /// is known dead). Client submissions are buffered until then, so no
+  /// daemon ever orders messages into a half-formed mesh.
+  [[nodiscard]] bool mesh_ready() const;
+
+  sim::Task<void> accept_loop(int listen_fd);
+  sim::Task<void> connection_loop(int fd);
+  sim::Task<void> mesh_connect_loop();
+  sim::Task<void> heartbeat_loop();
+  /// Declares peers dead after heartbeat silence (3x the interval): the
+  /// detector for partitions / message-loss faults, where no EOF arrives.
+  sim::Task<void> peer_monitor_loop();
+  sim::Task<void> delayed_member_death(std::string member,
+                                       std::vector<std::string> groups);
+
+  void on_peer_link_up();
+  void flush_pending();
+  void handle_frame(int fd, const Frame& frame);
+  void handle_client_gone(int fd);
+  void handle_peer_gone(std::uint64_t peer_id);
+  void submit(OrderedMsg m);
+  void stamp_and_dispatch(OrderedMsg m);
+  void handle_ordered(const OrderedMsg& m);
+  void send_view(const std::string& group);
+  void spawn_write(int fd, Bytes data);
+  [[nodiscard]] std::uint64_t sequencer_id() const;
+
+  net::ProcessPtr proc_;
+  DaemonConfig cfg_;
+
+  // connection state
+  struct ConnState {
+    LenFramer framer;
+    enum class Role { kUnknown, kClient, kPeer } role = Role::kUnknown;
+    std::string client_name;           // role kClient
+    std::uint64_t peer_id = 0;         // role kPeer
+    std::set<std::string> joined;      // role kClient
+  };
+  std::map<int, ConnState> conns_;
+  std::map<std::uint64_t, int> peer_fds_;
+  std::map<std::uint64_t, TimePoint> peer_last_seen_;
+  std::map<std::string, int> client_fds_;
+  std::set<std::uint64_t> alive_daemons_;  // presumed alive until EOF
+  std::set<std::uint64_t> dead_daemons_;
+
+  // ordering state
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t next_msg_id_ = 1;
+  std::deque<OrderedMsg> pending_;      // ours, not yet seen ordered
+  std::deque<OrderedMsg> stamp_wait_;   // foreign submits awaiting mesh
+  std::map<std::uint64_t, std::uint64_t> done_msg_ids_;  // origin -> last applied
+  std::uint64_t delivered_count_ = 0;
+
+  std::map<std::string, GroupState> groups_;
+};
+
+}  // namespace mead::gc

@@ -1,0 +1,265 @@
+#include "gc/wire.h"
+
+#include <cstring>
+
+namespace mead::gc {
+
+namespace {
+
+using giop::ByteOrder;
+using giop::CdrReader;
+using giop::CdrWriter;
+
+Bytes frame(Op op, const Bytes& body) {
+  Bytes out;
+  const std::uint32_t len = static_cast<std::uint32_t>(body.size()) + 1;
+  out.reserve(4 + len);
+  out.push_back(static_cast<std::uint8_t>(len & 0xFF));
+  out.push_back(static_cast<std::uint8_t>((len >> 8) & 0xFF));
+  out.push_back(static_cast<std::uint8_t>((len >> 16) & 0xFF));
+  out.push_back(static_cast<std::uint8_t>((len >> 24) & 0xFF));
+  out.push_back(static_cast<std::uint8_t>(op));
+  append_bytes(out, body);
+  return out;
+}
+
+bool valid_op(std::uint8_t v) {
+  switch (static_cast<Op>(v)) {
+    case Op::kHello:
+    case Op::kJoin:
+    case Op::kLeave:
+    case Op::kMcast:
+    case Op::kDeliver:
+    case Op::kView:
+    case Op::kPeerHello:
+    case Op::kSubmit:
+    case Op::kOrdered:
+    case Op::kHeartbeat:
+      return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Bytes encode_hello(const HelloMsg& m) {
+  CdrWriter w;
+  w.write_string(m.name);
+  return frame(Op::kHello, w.buffer());
+}
+
+Bytes encode_join(const GroupMsg& m) {
+  CdrWriter w;
+  w.write_string(m.group);
+  return frame(Op::kJoin, w.buffer());
+}
+
+Bytes encode_leave(const GroupMsg& m) {
+  CdrWriter w;
+  w.write_string(m.group);
+  return frame(Op::kLeave, w.buffer());
+}
+
+Bytes encode_mcast(const McastMsg& m) {
+  CdrWriter w;
+  w.write_string(m.group);
+  w.write_octet_seq(m.payload);
+  return frame(Op::kMcast, w.buffer());
+}
+
+Bytes encode_deliver(const DeliverMsg& m) {
+  CdrWriter w;
+  w.write_string(m.group);
+  w.write_string(m.sender);
+  w.write_u64(m.seq);
+  w.write_octet_seq(m.payload);
+  return frame(Op::kDeliver, w.buffer());
+}
+
+Bytes encode_view(const ViewMsg& m) {
+  CdrWriter w;
+  w.write_string(m.group);
+  w.write_u64(m.view_id);
+  w.write_u32(static_cast<std::uint32_t>(m.members.size()));
+  for (const auto& member : m.members) w.write_string(member);
+  return frame(Op::kView, w.buffer());
+}
+
+Bytes encode_peer_hello(const PeerHelloMsg& m) {
+  CdrWriter w;
+  w.write_u64(m.daemon_id);
+  return frame(Op::kPeerHello, w.buffer());
+}
+
+namespace {
+
+Bytes encode_ordered_body(const OrderedMsg& m) {
+  CdrWriter w;
+  w.write_u64(m.seq);
+  w.write_u64(m.origin);
+  w.write_u64(m.msg_id);
+  w.write_u8(static_cast<std::uint8_t>(m.kind));
+  w.write_string(m.group);
+  w.write_string(m.member);
+  w.write_octet_seq(m.payload);
+  return w.take();
+}
+
+}  // namespace
+
+Bytes encode_submit(const OrderedMsg& m) { return frame(Op::kSubmit, encode_ordered_body(m)); }
+Bytes encode_ordered(const OrderedMsg& m) { return frame(Op::kOrdered, encode_ordered_body(m)); }
+
+Bytes encode_heartbeat(const HeartbeatMsg& m) {
+  CdrWriter w;
+  w.write_u64(m.daemon_id);
+  return frame(Op::kHeartbeat, w.buffer());
+}
+
+// ---- decoding ----
+
+namespace {
+
+template <typename F>
+auto decode_with(const Bytes& payload, F&& fn)
+    -> WireResult<std::decay_t<decltype(*fn(std::declval<CdrReader&>()))>> {
+  CdrReader r(payload, ByteOrder::kLittleEndian);
+  auto out = fn(r);
+  if (!out) return make_unexpected(WireErr::kMalformed);
+  return std::move(*out);
+}
+
+}  // namespace
+
+WireResult<HelloMsg> decode_hello(const Bytes& payload) {
+  return decode_with(payload, [](CdrReader& r) -> std::optional<HelloMsg> {
+    auto name = r.read_string();
+    if (!name) return std::nullopt;
+    return HelloMsg{std::move(name.value())};
+  });
+}
+
+WireResult<GroupMsg> decode_group(const Bytes& payload) {
+  return decode_with(payload, [](CdrReader& r) -> std::optional<GroupMsg> {
+    auto g = r.read_string();
+    if (!g) return std::nullopt;
+    return GroupMsg{std::move(g.value())};
+  });
+}
+
+WireResult<McastMsg> decode_mcast(const Bytes& payload) {
+  return decode_with(payload, [](CdrReader& r) -> std::optional<McastMsg> {
+    auto g = r.read_string();
+    if (!g) return std::nullopt;
+    auto p = r.read_octet_seq();
+    if (!p) return std::nullopt;
+    return McastMsg{std::move(g.value()), std::move(p.value())};
+  });
+}
+
+WireResult<DeliverMsg> decode_deliver(const Bytes& payload) {
+  return decode_with(payload, [](CdrReader& r) -> std::optional<DeliverMsg> {
+    auto g = r.read_string();
+    if (!g) return std::nullopt;
+    auto s = r.read_string();
+    if (!s) return std::nullopt;
+    auto q = r.read_u64();
+    if (!q) return std::nullopt;
+    auto p = r.read_octet_seq();
+    if (!p) return std::nullopt;
+    return DeliverMsg{std::move(g.value()), std::move(s.value()), q.value(),
+                      std::move(p.value())};
+  });
+}
+
+WireResult<ViewMsg> decode_view(const Bytes& payload) {
+  return decode_with(payload, [](CdrReader& r) -> std::optional<ViewMsg> {
+    auto g = r.read_string();
+    if (!g) return std::nullopt;
+    auto id = r.read_u64();
+    if (!id) return std::nullopt;
+    auto n = r.read_u32();
+    if (!n) return std::nullopt;
+    std::vector<std::string> members;
+    members.reserve(n.value());
+    for (std::uint32_t i = 0; i < n.value(); ++i) {
+      auto m = r.read_string();
+      if (!m) return std::nullopt;
+      members.push_back(std::move(m.value()));
+    }
+    return ViewMsg{std::move(g.value()), id.value(), std::move(members)};
+  });
+}
+
+WireResult<PeerHelloMsg> decode_peer_hello(const Bytes& payload) {
+  return decode_with(payload, [](CdrReader& r) -> std::optional<PeerHelloMsg> {
+    auto id = r.read_u64();
+    if (!id) return std::nullopt;
+    return PeerHelloMsg{id.value()};
+  });
+}
+
+WireResult<OrderedMsg> decode_ordered_like(const Bytes& payload) {
+  return decode_with(payload, [](CdrReader& r) -> std::optional<OrderedMsg> {
+    OrderedMsg m;
+    auto seq = r.read_u64();
+    if (!seq) return std::nullopt;
+    m.seq = seq.value();
+    auto origin = r.read_u64();
+    if (!origin) return std::nullopt;
+    m.origin = origin.value();
+    auto id = r.read_u64();
+    if (!id) return std::nullopt;
+    m.msg_id = id.value();
+    auto kind = r.read_u8();
+    if (!kind || kind.value() > 2) return std::nullopt;
+    m.kind = static_cast<PayloadKind>(kind.value());
+    auto g = r.read_string();
+    if (!g) return std::nullopt;
+    m.group = std::move(g.value());
+    auto member = r.read_string();
+    if (!member) return std::nullopt;
+    m.member = std::move(member.value());
+    auto p = r.read_octet_seq();
+    if (!p) return std::nullopt;
+    m.payload = std::move(p.value());
+    return m;
+  });
+}
+
+WireResult<HeartbeatMsg> decode_heartbeat(const Bytes& payload) {
+  return decode_with(payload, [](CdrReader& r) -> std::optional<HeartbeatMsg> {
+    auto id = r.read_u64();
+    if (!id) return std::nullopt;
+    return HeartbeatMsg{id.value()};
+  });
+}
+
+// ---- framing ----
+
+void LenFramer::feed(const Bytes& chunk) { append_bytes(buf_, chunk); }
+
+std::optional<Frame> LenFramer::next() {
+  if (corrupt_) return std::nullopt;
+  if (buf_.size() < 4) return std::nullopt;
+  std::uint32_t len = static_cast<std::uint32_t>(buf_[0]) |
+                      (static_cast<std::uint32_t>(buf_[1]) << 8) |
+                      (static_cast<std::uint32_t>(buf_[2]) << 16) |
+                      (static_cast<std::uint32_t>(buf_[3]) << 24);
+  if (len == 0 || len > 16 * 1024 * 1024) {  // sanity cap
+    corrupt_ = true;
+    return std::nullopt;
+  }
+  if (buf_.size() < 4 + len) return std::nullopt;
+  if (!valid_op(buf_[4])) {
+    corrupt_ = true;
+    return std::nullopt;
+  }
+  Frame f;
+  f.op = static_cast<Op>(buf_[4]);
+  f.payload.assign(buf_.begin() + 5, buf_.begin() + 4 + len);
+  buf_.erase(buf_.begin(), buf_.begin() + 4 + len);
+  return f;
+}
+
+}  // namespace mead::gc

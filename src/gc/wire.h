@@ -1,0 +1,154 @@
+// Wire protocol of the group-communication system (the Spread substitute):
+// CDR-encoded, length-prefixed frames exchanged client<->daemon and
+// daemon<->daemon.
+//
+// Frame layout: u32 little-endian total length (excluding itself), u8 opcode,
+// CDR payload. A dedicated framer (LenFramer) reassembles frames from the
+// byte stream.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/expected.h"
+#include "common/types.h"
+#include "giop/cdr.h"
+
+namespace mead::gc {
+
+enum class Op : std::uint8_t {
+  // client -> daemon
+  kHello = 1,   // member name announces itself
+  kJoin = 2,    // join a group
+  kLeave = 3,   // leave a group
+  kMcast = 4,   // totally-ordered multicast to a group
+  // daemon -> client
+  kDeliver = 10,  // ordered message delivery
+  kView = 11,     // membership change notification
+  // daemon <-> daemon (mesh)
+  kPeerHello = 20,  // daemon id handshake
+  kSubmit = 21,     // forward a message to the sequencer for ordering
+  kOrdered = 22,    // sequencer-stamped message, broadcast to all daemons
+  kHeartbeat = 23,  // liveness beacon (also the Figure-5 background traffic)
+};
+
+/// What a Submit/Ordered payload represents.
+enum class PayloadKind : std::uint8_t {
+  kData = 0,   // application multicast
+  kJoin = 1,   // membership: member joined group
+  kLeave = 2,  // membership: member left group (or died)
+};
+
+struct HelloMsg {
+  HelloMsg() = default;
+  explicit HelloMsg(std::string n) : name(std::move(n)) {}
+  std::string name;
+};
+
+struct GroupMsg {  // kJoin / kLeave (client side)
+  GroupMsg() = default;
+  explicit GroupMsg(std::string g) : group(std::move(g)) {}
+  std::string group;
+};
+
+struct McastMsg {
+  McastMsg() = default;
+  McastMsg(std::string g, Bytes p) : group(std::move(g)), payload(std::move(p)) {}
+  std::string group;
+  Bytes payload;
+};
+
+struct DeliverMsg {
+  DeliverMsg() = default;
+  DeliverMsg(std::string g, std::string s, std::uint64_t q, Bytes p)
+      : group(std::move(g)), sender(std::move(s)), seq(q), payload(std::move(p)) {}
+  std::string group;
+  std::string sender;
+  std::uint64_t seq = 0;
+  Bytes payload;
+};
+
+struct ViewMsg {
+  ViewMsg() = default;
+  ViewMsg(std::string g, std::uint64_t id, std::vector<std::string> m)
+      : group(std::move(g)), view_id(id), members(std::move(m)) {}
+  std::string group;
+  std::uint64_t view_id = 0;
+  std::vector<std::string> members;  // in join order ("first member" rule)
+};
+
+struct PeerHelloMsg {
+  PeerHelloMsg() = default;
+  explicit PeerHelloMsg(std::uint64_t id) : daemon_id(id) {}
+  std::uint64_t daemon_id = 0;
+};
+
+/// A message en route to / stamped by the sequencer.
+struct OrderedMsg {
+  OrderedMsg() = default;
+
+  std::uint64_t seq = 0;        // 0 until stamped
+  std::uint64_t origin = 0;     // submitting daemon id
+  std::uint64_t msg_id = 0;     // per-origin id, for at-least-once dedupe
+  PayloadKind kind = PayloadKind::kData;
+  std::string group;
+  std::string member;  // sender (kData) or subject member (kJoin/kLeave)
+  Bytes payload;
+};
+
+struct HeartbeatMsg {
+  HeartbeatMsg() = default;
+  explicit HeartbeatMsg(std::uint64_t id) : daemon_id(id) {}
+  std::uint64_t daemon_id = 0;
+};
+
+// ---- encoding ----
+
+Bytes encode_hello(const HelloMsg& m);
+Bytes encode_join(const GroupMsg& m);
+Bytes encode_leave(const GroupMsg& m);
+Bytes encode_mcast(const McastMsg& m);
+Bytes encode_deliver(const DeliverMsg& m);
+Bytes encode_view(const ViewMsg& m);
+Bytes encode_peer_hello(const PeerHelloMsg& m);
+Bytes encode_submit(const OrderedMsg& m);   // opcode kSubmit
+Bytes encode_ordered(const OrderedMsg& m);  // opcode kOrdered
+Bytes encode_heartbeat(const HeartbeatMsg& m);
+
+enum class WireErr { kTruncated, kMalformed, kUnknownOp };
+
+struct Frame {
+  Op op = Op::kHello;
+  Bytes payload;  // CDR body (no length/opcode)
+};
+
+template <typename T>
+using WireResult = Expected<T, WireErr>;
+
+WireResult<HelloMsg> decode_hello(const Bytes& payload);
+WireResult<GroupMsg> decode_group(const Bytes& payload);
+WireResult<McastMsg> decode_mcast(const Bytes& payload);
+WireResult<DeliverMsg> decode_deliver(const Bytes& payload);
+WireResult<ViewMsg> decode_view(const Bytes& payload);
+WireResult<PeerHelloMsg> decode_peer_hello(const Bytes& payload);
+WireResult<OrderedMsg> decode_ordered_like(const Bytes& payload);
+WireResult<HeartbeatMsg> decode_heartbeat(const Bytes& payload);
+
+/// Reassembles length-prefixed frames from a byte stream.
+class LenFramer {
+ public:
+  void feed(const Bytes& chunk);
+  /// Next complete frame; nullopt if more bytes needed. Malformed input sets
+  /// corrupt() permanently.
+  std::optional<Frame> next();
+  [[nodiscard]] bool corrupt() const { return corrupt_; }
+  [[nodiscard]] std::size_t buffered() const { return buf_.size(); }
+
+ private:
+  Bytes buf_;
+  bool corrupt_ = false;
+};
+
+}  // namespace mead::gc

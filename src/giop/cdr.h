@@ -1,0 +1,110 @@
+// CDR (Common Data Representation) encoding — the marshaling format beneath
+// GIOP (CORBA/IIOP spec ch. 15). Implements the subset the mini-ORB needs:
+// primitive types with CDR alignment rules, strings (length-prefixed,
+// NUL-terminated), octet sequences, and both byte orders (a CDR stream
+// declares its endianness; readers must honour it).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/expected.h"
+#include "common/types.h"
+
+namespace mead::giop {
+
+enum class CdrErr {
+  kOutOfBounds,   // read past the end of the encapsulation
+  kBadString,     // missing NUL terminator or zero-length string
+  kLengthLimit,   // sequence length exceeds remaining bytes (corrupt stream)
+};
+
+template <typename T>
+using CdrResult = Expected<T, CdrErr>;
+
+enum class ByteOrder : std::uint8_t {
+  kBigEndian = 0,     // CDR flag 0
+  kLittleEndian = 1,  // CDR flag 1
+};
+
+/// Serializer. Offsets are relative to the start of the CDR stream (for GIOP,
+/// the message body begins at offset 0 — the 12-byte header is external and
+/// deliberately laid out so body alignment is preserved).
+class CdrWriter {
+ public:
+  explicit CdrWriter(ByteOrder order = ByteOrder::kLittleEndian)
+      : order_(order) {}
+
+  [[nodiscard]] ByteOrder order() const { return order_; }
+  [[nodiscard]] const Bytes& buffer() const { return buf_; }
+  [[nodiscard]] Bytes take() { return std::move(buf_); }
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+
+  void write_u8(std::uint8_t v);
+  void write_bool(bool v) { write_u8(v ? 1 : 0); }
+  void write_u16(std::uint16_t v);
+  void write_u32(std::uint32_t v);
+  void write_u64(std::uint64_t v);
+  void write_i32(std::int32_t v) { write_u32(static_cast<std::uint32_t>(v)); }
+  void write_i64(std::int64_t v) { write_u64(static_cast<std::uint64_t>(v)); }
+  void write_double(double v);
+
+  /// CDR string: u32 length including NUL, characters, NUL.
+  void write_string(std::string_view s);
+  /// sequence<octet>: u32 length + raw bytes.
+  void write_octet_seq(const Bytes& bytes);
+  /// Raw bytes with no length prefix (caller manages framing).
+  void write_raw(const Bytes& bytes);
+
+ private:
+  void align(std::size_t n);
+  void put_bytes(const void* p, std::size_t n);
+
+  ByteOrder order_;
+  Bytes buf_;
+};
+
+/// Deserializer over a byte range. All reads are bounds-checked: a truncated
+/// or corrupt stream yields CdrErr, never UB — the LOCATION_FORWARD
+/// interceptor parses GIOP off the wire, so robustness here is load-bearing.
+class CdrReader {
+ public:
+  CdrReader(const Bytes& buf, ByteOrder order,
+            std::size_t start_offset = 0)
+      : buf_(&buf), order_(order), pos_(start_offset),
+        base_(start_offset) {}
+
+  [[nodiscard]] ByteOrder order() const { return order_; }
+  [[nodiscard]] std::size_t position() const { return pos_; }
+  [[nodiscard]] std::size_t remaining() const {
+    return buf_->size() > pos_ ? buf_->size() - pos_ : 0;
+  }
+
+  CdrResult<std::uint8_t> read_u8();
+  CdrResult<bool> read_bool();
+  CdrResult<std::uint16_t> read_u16();
+  CdrResult<std::uint32_t> read_u32();
+  CdrResult<std::uint64_t> read_u64();
+  CdrResult<std::int32_t> read_i32();
+  CdrResult<std::int64_t> read_i64();
+  CdrResult<double> read_double();
+  CdrResult<std::string> read_string();
+  CdrResult<Bytes> read_octet_seq();
+  CdrResult<Bytes> read_raw(std::size_t n);
+
+ private:
+  CdrResult<void> align(std::size_t n);
+  [[nodiscard]] bool has(std::size_t n) const { return remaining() >= n; }
+
+  const Bytes* buf_;
+  ByteOrder order_;
+  std::size_t pos_;
+  std::size_t base_;  // alignment is relative to the stream start
+};
+
+/// True if this machine is little-endian (used to pick the cheap path).
+[[nodiscard]] ByteOrder native_byte_order();
+
+}  // namespace mead::giop

@@ -1,0 +1,82 @@
+#include "giop/types.h"
+
+namespace mead::giop {
+
+ObjectKey ObjectKey::make_persistent(const std::string& path,
+                                     std::size_t padded_size) {
+  Bytes raw(path.begin(), path.end());
+  // Pad deterministically so every key for the same POA layout has the same
+  // size; the padding makes byte-compare costs realistic (§4.1 ablation).
+  while (raw.size() < padded_size) {
+    raw.push_back(static_cast<std::uint8_t>('#'));
+  }
+  return ObjectKey{std::move(raw)};
+}
+
+std::uint16_t ObjectKey::hash16() const {
+  // FNV-1a, folded to 16 bits. Deterministic across replicas — required,
+  // since each replica computes the hash independently.
+  std::uint32_t h = 2166136261u;
+  for (std::uint8_t b : raw_) {
+    h ^= b;
+    h *= 16777619u;
+  }
+  return static_cast<std::uint16_t>(h ^ (h >> 16));
+}
+
+void encode_ior(CdrWriter& w, const IOR& ior) {
+  w.write_string(ior.type_id);
+  w.write_string(ior.endpoint.host);
+  w.write_u16(ior.endpoint.port);
+  w.write_octet_seq(ior.key.raw());
+}
+
+CdrResult<IOR> decode_ior(CdrReader& r) {
+  auto type_id = r.read_string();
+  if (!type_id) return make_unexpected(type_id.error());
+  auto host = r.read_string();
+  if (!host) return make_unexpected(host.error());
+  auto port = r.read_u16();
+  if (!port) return make_unexpected(port.error());
+  auto key = r.read_octet_seq();
+  if (!key) return make_unexpected(key.error());
+  return IOR{std::move(type_id.value()),
+             net::Endpoint{std::move(host.value()), port.value()},
+             ObjectKey{std::move(key.value())}};
+}
+
+std::string_view repository_id(SysExKind kind) {
+  switch (kind) {
+    case SysExKind::kCommFailure: return "IDL:omg.org/CORBA/COMM_FAILURE:1.0";
+    case SysExKind::kTransient: return "IDL:omg.org/CORBA/TRANSIENT:1.0";
+    case SysExKind::kObjectNotExist:
+      return "IDL:omg.org/CORBA/OBJECT_NOT_EXIST:1.0";
+    case SysExKind::kNoImplement: return "IDL:omg.org/CORBA/NO_IMPLEMENT:1.0";
+    case SysExKind::kMarshal: return "IDL:omg.org/CORBA/MARSHAL:1.0";
+    case SysExKind::kInternal: return "IDL:omg.org/CORBA/INTERNAL:1.0";
+    case SysExKind::kTimeout: return "IDL:omg.org/CORBA/TIMEOUT:1.0";
+  }
+  return "IDL:omg.org/CORBA/UNKNOWN:1.0";
+}
+
+void encode_system_exception(CdrWriter& w, const SystemException& ex) {
+  w.write_string(repository_id(ex.kind));
+  w.write_u32(static_cast<std::uint32_t>(ex.kind));
+  w.write_u32(ex.minor);
+  w.write_u32(static_cast<std::uint32_t>(ex.completed));
+}
+
+CdrResult<SystemException> decode_system_exception(CdrReader& r) {
+  auto repo = r.read_string();
+  if (!repo) return make_unexpected(repo.error());
+  auto kind = r.read_u32();
+  if (!kind) return make_unexpected(kind.error());
+  auto minor = r.read_u32();
+  if (!minor) return make_unexpected(minor.error());
+  auto completed = r.read_u32();
+  if (!completed) return make_unexpected(completed.error());
+  return SystemException{static_cast<SysExKind>(kind.value()), minor.value(),
+                         static_cast<CompletionStatus>(completed.value())};
+}
+
+}  // namespace mead::giop

@@ -1,0 +1,534 @@
+#include "net/network.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mead::net {
+
+namespace detail {
+
+void WaitSet::add(WaiterPtr w) {
+  // Prune completed entries opportunistically so long-lived sockets with
+  // repeated timeouts don't accumulate dead waiters.
+  std::erase_if(waiters_, [](const WaiterPtr& p) { return p->done; });
+  waiters_.push_back(std::move(w));
+}
+
+void WaitSet::wake_all(sim::Simulator& sim) {
+  auto waiters = std::move(waiters_);
+  waiters_.clear();
+  for (auto& w : waiters) {
+    if (w->done) continue;
+    w->done = true;
+    sim.schedule(Duration{0}, [w] { w->handle.resume(); });
+  }
+}
+
+}  // namespace detail
+
+// ---------------------------------------------------------------- Process
+
+Process::Process(Network& net, ProcessId id, NodeId node, std::string host,
+                 std::string name)
+    : net_(net), id_(id), node_(node), host_(std::move(host)),
+      name_(std::move(name)) {
+  api_ = std::make_unique<ProcessSocketApi>(*this);
+}
+
+SocketApi& Process::api() { return *api_; }
+
+sim::Simulator& Process::sim() const { return net_.sim(); }
+
+sim::Task<bool> Process::sleep(Duration d) {
+  co_await net_.sim().sleep(d);
+  co_return alive_;
+}
+
+void Process::kill() {
+  if (!alive_) return;
+  alive_ = false;
+  net_.teardown_process_sockets(*this);
+}
+
+void Process::exit() {
+  // Same observable effect as kill(): the process stops and peers see EOF.
+  kill();
+}
+
+detail::FdEntry* Process::find_fd(int fd) {
+  auto it = fds_.find(fd);
+  return it == fds_.end() ? nullptr : &it->second;
+}
+
+int Process::install_fd(detail::FdEntry entry) {
+  const int fd = next_fd_++;
+  fds_.emplace(fd, std::move(entry));
+  return fd;
+}
+
+// ---------------------------------------------------------------- Network
+
+Network::Network(sim::Simulator& sim) : sim_(sim) {}
+
+Network::~Network() = default;
+
+NodeId Network::add_node(const std::string& name) {
+  assert(!nodes_.contains(name));
+  const NodeId id{next_node_++};
+  nodes_.emplace(name, id);
+  ephemeral_.emplace(id, 30000);
+  return id;
+}
+
+bool Network::has_node(const std::string& name) const {
+  return nodes_.contains(name);
+}
+
+NodeId Network::node_id(const std::string& host) const {
+  auto it = nodes_.find(host);
+  return it == nodes_.end() ? NodeId{0} : it->second;
+}
+
+ProcessPtr Network::spawn_process(const std::string& host, std::string proc_name) {
+  assert(nodes_.contains(host));
+  auto proc = ProcessPtr(new Process(*this, ProcessId{next_process_++},
+                                     nodes_.at(host), host, std::move(proc_name)));
+  processes_.push_back(proc);
+  return proc;
+}
+
+void Network::crash_node(const std::string& host) {
+  const NodeId id = node_id(host);
+  for (auto& p : processes_) {
+    if (p->node() == id && p->alive()) p->kill();
+  }
+}
+
+Duration Network::delivery_delay(NodeId from, NodeId to, const Endpoint& dst,
+                                 std::size_t bytes) const {
+  Duration d = (from == to) ? latency_.same_node : latency_.cross_node;
+  d += Duration{static_cast<std::int64_t>(
+      latency_.per_kilobyte.ns() * static_cast<double>(bytes) / 1024.0)};
+  if (latency_.jitter) d += latency_.jitter(dst, bytes);
+  return d;
+}
+
+void Network::set_link_partitioned(const std::string& host_a,
+                                   const std::string& host_b,
+                                   bool partitioned) {
+  const std::uint64_t a = node_id(host_a).value();
+  const std::uint64_t b = node_id(host_b).value();
+  const std::uint64_t lo = std::min(a, b);
+  const std::uint64_t hi = std::max(a, b);
+  if (partitioned) {
+    partitioned_.insert({lo, hi});
+  } else {
+    partitioned_.erase({lo, hi});
+  }
+}
+
+bool Network::link_partitioned(NodeId a, NodeId b) const {
+  // NB: std::minmax over prvalues returns a pair of dangling references;
+  // bind named values first.
+  const std::uint64_t lo = std::min(a.value(), b.value());
+  const std::uint64_t hi = std::max(a.value(), b.value());
+  return partitioned_.contains({lo, hi});
+}
+
+TimePoint Network::reserve_arrival(detail::ConnEnd& dst, Duration delay) {
+  TimePoint arrival = sim_.now() + delay;
+  if (arrival < dst.earliest_arrival) arrival = dst.earliest_arrival;
+  dst.earliest_arrival = arrival;
+  return arrival;
+}
+
+std::uint64_t Network::bytes_for_service(std::uint16_t service_port) const {
+  auto it = service_bytes_.find(service_port);
+  return it == service_bytes_.end() ? 0 : it->second;
+}
+
+std::uint64_t Network::total_bytes_delivered() const { return total_bytes_; }
+
+std::uint64_t Network::connections_established() const {
+  return connections_established_;
+}
+
+void Network::account_delivery(std::uint16_t service_port, std::size_t bytes) {
+  service_bytes_[service_port] += bytes;
+  total_bytes_ += bytes;
+}
+
+detail::ListenerPtr Network::find_listener(const std::string& host,
+                                           std::uint16_t port) {
+  auto node = nodes_.find(host);
+  if (node == nodes_.end()) return nullptr;
+  auto it = listeners_.find({node->second.value(), port});
+  return it == listeners_.end() ? nullptr : it->second;
+}
+
+Result<detail::ListenerPtr> Network::register_listener(Process& proc,
+                                                       std::uint16_t port) {
+  if (port == 0) port = next_ephemeral_port(proc.node());
+  const auto key = std::pair{proc.node().value(), port};
+  if (listeners_.contains(key)) return make_unexpected(NetErr::kPortInUse);
+  auto listener = std::make_shared<detail::Listener>();
+  listener->local = Endpoint{proc.host(), port};
+  listener->node = proc.node();
+  listeners_.emplace(key, listener);
+  return listener;
+}
+
+void Network::remove_listener(const detail::ListenerPtr& listener) {
+  listeners_.erase({listener->node.value(), listener->local.port});
+}
+
+std::uint16_t Network::next_ephemeral_port(NodeId node) {
+  return ephemeral_[node]++;
+}
+
+void Network::teardown_process_sockets(Process& proc) {
+  // Force-close every socket the process holds. Peers observe EOF after one
+  // propagation delay — this is how both the client-side interceptor (§4.2)
+  // and the GC daemons detect abrupt process failure.
+  auto fds = std::move(proc.fds_);
+  proc.fds_.clear();
+  for (auto& [fd, entry] : fds) {
+    (void)fd;
+    if (auto* ref = std::get_if<detail::ConnRef>(&entry)) {
+      detail::ConnEnd& end = ref->end();
+      if (end.local_closed) continue;
+      end.local_closed = true;
+      end.readers.wake_all(sim_);
+      detail::ConnEnd& peer = ref->peer();
+      if (link_partitioned(node_id(end.local.host),
+                           node_id(peer.local.host))) {
+        note_drop();  // RST lost: the remote peer hangs (detected by
+        continue;     // heartbeat timeout, not EOF)
+      }
+      auto conn = ref->conn;
+      const int peer_side = 1 - ref->side;
+      const Duration delay = delivery_delay(node_id(end.local.host),
+                                            node_id(peer.local.host),
+                                            peer.local, 0);
+      const TimePoint arrival = reserve_arrival(peer, delay);
+      sim_.schedule(arrival - sim_.now(), [this, conn, peer_side] {
+        conn->ends[peer_side].eof = true;
+        conn->ends[peer_side].readers.wake_all(sim_);
+      });
+    } else if (auto* lp = std::get_if<detail::ListenerPtr>(&entry)) {
+      detail::Listener& listener = **lp;
+      if (listener.closed) continue;
+      listener.closed = true;
+      remove_listener(*lp);
+      listener.acceptors.wake_all(sim_);
+      for (auto& pending : listener.pending) {
+        // Connections that were established but never accepted: the
+        // initiator sees EOF.
+        pending.end().local_closed = true;
+        auto conn = pending.conn;
+        const int peer_side = 1 - pending.side;
+        const TimePoint arrival =
+            reserve_arrival(conn->ends[peer_side], latency_.cross_node);
+        sim_.schedule(arrival - sim_.now(), [this, conn, peer_side] {
+          conn->ends[peer_side].eof = true;
+          conn->ends[peer_side].readers.wake_all(sim_);
+        });
+      }
+      listener.pending.clear();
+    }
+  }
+}
+
+// ------------------------------------------------------- ProcessSocketApi
+
+auto ProcessSocketApi::suspend_waiter(sim::Simulator& sim, detail::WaiterPtr w,
+                                      std::optional<TimePoint> deadline) {
+  struct Awaiter {
+    sim::Simulator* sim;
+    detail::WaiterPtr w;
+    std::optional<TimePoint> deadline;
+    [[nodiscard]] bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) const {
+      w->handle = h;
+      if (deadline) {
+        sim->schedule(*deadline - sim->now(), [w = w] {
+          if (!w->done) {
+            w->done = true;
+            w->handle.resume();
+          }
+        });
+      }
+    }
+    void await_resume() const noexcept {}
+  };
+  return Awaiter{&sim, std::move(w), deadline};
+}
+
+Result<int> ProcessSocketApi::listen(std::uint16_t port) {
+  if (!proc_.alive()) return make_unexpected(NetErr::kProcessDead);
+  auto listener = net().register_listener(proc_, port);
+  if (!listener) return make_unexpected(listener.error());
+  return proc_.install_fd(detail::FdEntry{std::move(listener.value())});
+}
+
+sim::Task<Result<int>> ProcessSocketApi::accept(int listen_fd) {
+  for (;;) {
+    if (!proc_.alive()) co_return make_unexpected(NetErr::kProcessDead);
+    auto* entry = proc_.find_fd(listen_fd);
+    if (entry == nullptr) co_return make_unexpected(NetErr::kBadFd);
+    auto* lp = std::get_if<detail::ListenerPtr>(entry);
+    if (lp == nullptr) co_return make_unexpected(NetErr::kNotListener);
+    detail::Listener& listener = **lp;
+    if (listener.closed) co_return make_unexpected(NetErr::kClosed);
+    if (!listener.pending.empty()) {
+      detail::ConnRef ref = std::move(listener.pending.front());
+      listener.pending.pop_front();
+      co_return proc_.install_fd(detail::FdEntry{std::move(ref)});
+    }
+    auto w = std::make_shared<detail::Waiter>();
+    listener.acceptors.add(w);
+    co_await suspend_waiter(sim(), w, std::nullopt);
+  }
+}
+
+sim::Task<Result<int>> ProcessSocketApi::connect(const Endpoint& remote) {
+  if (!proc_.alive()) co_return make_unexpected(NetErr::kProcessDead);
+  if (!net().has_node(remote.host)) co_return make_unexpected(NetErr::kUnknownHost);
+
+  const Duration one_way = net().delivery_delay(
+      proc_.node(), net().node_id(remote.host), remote, 0);
+
+  if (net().link_partitioned(proc_.node(), net().node_id(remote.host))) {
+    // SYN lost: TCP connect eventually times out.
+    net().note_drop();
+    co_await sim().sleep(milliseconds(100));
+    co_return make_unexpected(NetErr::kTimeout);
+  }
+
+  auto listener = net().find_listener(remote.host, remote.port);
+  if (listener == nullptr || listener->closed) {
+    // Connection refused surfaces after a round trip (RST comes back).
+    co_await sim().sleep(one_way * 2);
+    co_return make_unexpected(NetErr::kConnRefused);
+  }
+
+  auto conn = std::make_shared<detail::Conn>();
+  conn->service_port = remote.port;
+  const Endpoint local{proc_.host(), net().next_ephemeral_port(proc_.node())};
+  conn->ends[0].local = local;
+  conn->ends[0].remote = remote;
+  conn->ends[1].local = remote;
+  conn->ends[1].remote = local;
+
+  // SYN arrives at the listener after one propagation delay.
+  sim().schedule(one_way, [this, listener, conn] {
+    if (listener->closed) {
+      conn->refused = true;
+      return;
+    }
+    listener->pending.push_back(detail::ConnRef{conn, 1});
+    listener->acceptors.wake_all(sim());
+  });
+
+  co_await sim().sleep(one_way * 2);  // handshake round trip
+  if (!proc_.alive()) co_return make_unexpected(NetErr::kProcessDead);
+  if (conn->refused) co_return make_unexpected(NetErr::kConnRefused);
+  net().note_connection();
+  co_return proc_.install_fd(detail::FdEntry{detail::ConnRef{conn, 0}});
+}
+
+sim::Task<Result<Bytes>> ProcessSocketApi::read(int fd, std::size_t max_bytes,
+                                                std::optional<Duration> timeout) {
+  std::optional<TimePoint> deadline;
+  if (timeout) deadline = sim().now() + *timeout;
+  for (;;) {
+    if (!proc_.alive()) co_return make_unexpected(NetErr::kProcessDead);
+    auto* entry = proc_.find_fd(fd);
+    if (entry == nullptr) co_return make_unexpected(NetErr::kBadFd);
+    auto* ref = std::get_if<detail::ConnRef>(entry);
+    if (ref == nullptr) co_return make_unexpected(NetErr::kNotListener);
+    detail::ConnEnd& end = ref->end();
+    if (end.local_closed) co_return make_unexpected(NetErr::kClosed);
+    if (!end.inbox.empty()) {
+      const std::size_t n = std::min(max_bytes, end.inbox.size());
+      Bytes out(end.inbox.begin(),
+                end.inbox.begin() + static_cast<std::ptrdiff_t>(n));
+      end.inbox.erase(end.inbox.begin(),
+                      end.inbox.begin() + static_cast<std::ptrdiff_t>(n));
+      co_return out;
+    }
+    if (end.eof) co_return Bytes{};  // clean EOF
+    if (deadline && sim().now() >= *deadline) {
+      co_return make_unexpected(NetErr::kTimeout);
+    }
+    auto w = std::make_shared<detail::Waiter>();
+    end.readers.add(w);
+    co_await suspend_waiter(sim(), w, deadline);
+  }
+}
+
+sim::Task<Result<std::size_t>> ProcessSocketApi::writev(int fd, Bytes data) {
+  if (!proc_.alive()) co_return make_unexpected(NetErr::kProcessDead);
+  auto* entry = proc_.find_fd(fd);
+  if (entry == nullptr) co_return make_unexpected(NetErr::kBadFd);
+  auto* ref = std::get_if<detail::ConnRef>(entry);
+  if (ref == nullptr) co_return make_unexpected(NetErr::kNotListener);
+  detail::ConnEnd& end = ref->end();
+  if (end.local_closed) co_return make_unexpected(NetErr::kClosed);
+  detail::ConnEnd& peer = ref->peer();
+  if (peer.local_closed) {
+    // TCP semantics: a write onto a connection whose peer has gone succeeds
+    // locally (the data is buffered/dropped; the RST arrives later). The
+    // failure surfaces at the next read as EOF — which is exactly where the
+    // paper's client-side interceptor detects abrupt server failure (§4.2).
+    co_return data.size();
+  }
+
+  const std::size_t n = data.size();
+  if (net().link_partitioned(proc_.node(), net().node_id(peer.local.host))) {
+    // Message-loss fault: the bytes vanish on the wire. The writer cannot
+    // tell (TCP would buffer/retransmit); the reader simply never sees them.
+    net().note_drop();
+    co_return n;
+  }
+  auto conn = ref->conn;
+  const int peer_side = 1 - ref->side;
+  const Duration delay = net().delivery_delay(
+      proc_.node(), net().node_id(peer.local.host), peer.local, n);
+  Network* network = &net();
+  const TimePoint arrival = network->reserve_arrival(peer, delay);
+  sim().schedule(arrival - sim().now(),
+                 [network, conn, peer_side, payload = std::move(data)] {
+    detail::ConnEnd& dst = conn->ends[peer_side];
+    if (dst.local_closed) return;  // delivered into a closed socket: dropped
+    dst.inbox.insert(dst.inbox.end(), payload.begin(), payload.end());
+    dst.bytes_received += payload.size();
+    network->account_delivery(conn->service_port, payload.size());
+    dst.readers.wake_all(network->sim());
+  });
+  co_return n;
+}
+
+sim::Task<Result<std::vector<int>>> ProcessSocketApi::select(
+    std::vector<int> fds, std::optional<Duration> timeout) {
+  std::optional<TimePoint> deadline;
+  if (timeout) deadline = sim().now() + *timeout;
+  for (;;) {
+    if (!proc_.alive()) co_return make_unexpected(NetErr::kProcessDead);
+    std::vector<int> ready;
+    for (int fd : fds) {
+      auto* entry = proc_.find_fd(fd);
+      if (entry == nullptr) continue;
+      if (auto* ref = std::get_if<detail::ConnRef>(entry)) {
+        detail::ConnEnd& end = ref->end();
+        if (!end.inbox.empty() || end.eof || end.local_closed) {
+          ready.push_back(fd);
+        }
+      } else if (auto* lp = std::get_if<detail::ListenerPtr>(entry)) {
+        if (!(*lp)->pending.empty() || (*lp)->closed) ready.push_back(fd);
+      }
+    }
+    if (!ready.empty()) co_return ready;
+    if (deadline && sim().now() >= *deadline) co_return std::vector<int>{};
+
+    auto w = std::make_shared<detail::Waiter>();
+    for (int fd : fds) {
+      auto* entry = proc_.find_fd(fd);
+      if (entry == nullptr) continue;
+      if (auto* ref = std::get_if<detail::ConnRef>(entry)) {
+        ref->end().readers.add(w);
+      } else if (auto* lp = std::get_if<detail::ListenerPtr>(entry)) {
+        (*lp)->acceptors.add(w);
+      }
+    }
+    co_await suspend_waiter(sim(), w, deadline);
+  }
+}
+
+void ProcessSocketApi::real_close_conn(const detail::ConnRef& ref) {
+  detail::ConnEnd& end = ref.end();
+  if (end.local_closed) return;
+  end.local_closed = true;
+  end.readers.wake_all(sim());
+  detail::ConnEnd& far = ref.peer();
+  if (net().link_partitioned(proc_.node(), net().node_id(far.local.host))) {
+    net().note_drop();  // FIN lost: the peer hangs instead of seeing EOF
+    return;
+  }
+  auto conn = ref.conn;
+  const int peer_side = 1 - ref.side;
+  detail::ConnEnd& peer = ref.peer();
+  const Duration delay = net().delivery_delay(
+      proc_.node(), net().node_id(peer.local.host), peer.local, 0);
+  Network* network = &net();
+  const TimePoint arrival = network->reserve_arrival(peer, delay);
+  sim().schedule(arrival - sim().now(), [network, conn, peer_side] {
+    conn->ends[peer_side].eof = true;
+    conn->ends[peer_side].readers.wake_all(network->sim());
+  });
+}
+
+void ProcessSocketApi::close_entry(int fd, detail::FdEntry entry) {
+  if (auto* ref = std::get_if<detail::ConnRef>(&entry)) {
+    // dup2 can alias one socket under several fds; only the last reference
+    // performs the real close (POSIX file-description semantics).
+    for (auto& [other_fd, other] : proc_.fds_) {
+      if (other_fd == fd) continue;
+      if (auto* o = std::get_if<detail::ConnRef>(&other)) {
+        if (o->conn == ref->conn && o->side == ref->side) return;
+      }
+    }
+    real_close_conn(*ref);
+  } else if (auto* lp = std::get_if<detail::ListenerPtr>(&entry)) {
+    detail::Listener& listener = **lp;
+    if (listener.closed) return;
+    listener.closed = true;
+    net().remove_listener(*lp);
+    listener.acceptors.wake_all(sim());
+  }
+}
+
+Result<void> ProcessSocketApi::close(int fd) {
+  auto it = proc_.fds_.find(fd);
+  if (it == proc_.fds_.end()) return make_unexpected(NetErr::kBadFd);
+  detail::FdEntry entry = std::move(it->second);
+  proc_.fds_.erase(it);
+  close_entry(fd, std::move(entry));
+  return {};
+}
+
+Result<void> ProcessSocketApi::dup2(int from_fd, int to_fd) {
+  auto* from = proc_.find_fd(from_fd);
+  if (from == nullptr) return make_unexpected(NetErr::kBadFd);
+  if (from_fd == to_fd) return {};
+  detail::FdEntry copy = *from;
+  auto it = proc_.fds_.find(to_fd);
+  if (it != proc_.fds_.end()) {
+    detail::FdEntry old = std::move(it->second);
+    it->second = std::move(copy);
+    close_entry(to_fd, std::move(old));
+  } else {
+    proc_.fds_.emplace(to_fd, std::move(copy));
+  }
+  return {};
+}
+
+Result<Endpoint> ProcessSocketApi::local_endpoint(int fd) const {
+  auto it = proc_.fds_.find(fd);
+  if (it == proc_.fds_.end()) return make_unexpected(NetErr::kBadFd);
+  if (const auto* ref = std::get_if<detail::ConnRef>(&it->second)) {
+    return ref->end().local;
+  }
+  return std::get<detail::ListenerPtr>(it->second)->local;
+}
+
+Result<Endpoint> ProcessSocketApi::peer_endpoint(int fd) const {
+  auto it = proc_.fds_.find(fd);
+  if (it == proc_.fds_.end()) return make_unexpected(NetErr::kBadFd);
+  if (const auto* ref = std::get_if<detail::ConnRef>(&it->second)) {
+    return ref->end().remote;
+  }
+  return make_unexpected(NetErr::kNotListener);
+}
+
+}  // namespace mead::net

@@ -1,0 +1,281 @@
+// Virtual network and process model.
+//
+// Network owns a set of named nodes (the paper uses five Emulab hosts),
+// TCP-like connections between processes on those nodes, and the per-port
+// byte accounting used to reproduce Figure 5 (group-communication bandwidth
+// vs. rejuvenation threshold).
+//
+// Semantics implemented to match what MEAD's interception layer relies on:
+//  * byte-stream connections with FIFO in-order delivery and a propagation
+//    delay per message,
+//  * EOF at the peer after close() or process crash (how the client-side
+//    interceptor detects abrupt server failure, §4.2),
+//  * dup2-style fd redirection (how the MEAD fail-over message scheme
+//    re-points a live connection at a new replica, §4.3),
+//  * select() over arbitrary fd sets (how the interceptor multiplexes the
+//    group-communication socket with application sockets, §3.1).
+#pragma once
+
+#include <coroutine>
+#include <deque>
+#include <functional>
+#include <map>
+#include <set>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/expected.h"
+#include "common/types.h"
+#include "net/socket_api.h"
+#include "net/types.h"
+#include "sim/simulator.h"
+#include "sim/task.h"
+
+namespace mead::net {
+
+class Network;
+class Process;
+class ProcessSocketApi;
+using ProcessPtr = std::shared_ptr<Process>;
+
+namespace detail {
+
+/// One suspended coroutine waiting for a condition. `done` guards against
+/// double-resume when several wake sources race (data vs. timeout).
+struct Waiter {
+  std::coroutine_handle<> handle;
+  bool done = false;
+};
+using WaiterPtr = std::shared_ptr<Waiter>;
+
+/// A set of waiters attached to one wakeable condition (readability of a
+/// connection end, pending accepts on a listener).
+class WaitSet {
+ public:
+  void add(WaiterPtr w);
+  /// Schedules resumption of all not-yet-done waiters and clears the set.
+  void wake_all(sim::Simulator& sim);
+
+ private:
+  std::vector<WaiterPtr> waiters_;
+};
+
+/// One direction-endpoint of a connection.
+struct ConnEnd {
+  Endpoint local;
+  Endpoint remote;
+  std::deque<std::uint8_t> inbox;
+  bool eof = false;           // peer closed; surfaced after inbox drains
+  bool local_closed = false;  // this side closed (or its process died)
+  std::uint64_t bytes_received = 0;
+  /// FIFO floor: no delivery into this end may be scheduled earlier than
+  /// this, so a small/zero-byte message (e.g. a FIN) can never overtake
+  /// larger data written before it.
+  TimePoint earliest_arrival{0};
+  WaitSet readers;
+};
+
+/// A full-duplex connection. Side 0 initiated (client), side 1 accepted
+/// (server). `service_port` is the acceptor's listening port, used for
+/// traffic accounting by service.
+struct Conn {
+  ConnEnd ends[2];
+  std::uint16_t service_port = 0;
+  bool refused = false;  // listener vanished before the SYN arrived
+};
+using ConnPtr = std::shared_ptr<Conn>;
+
+/// A process-fd's view of a connection: the shared Conn plus which side.
+struct ConnRef {
+  ConnPtr conn;
+  int side = 0;
+  [[nodiscard]] ConnEnd& end() const { return conn->ends[side]; }
+  [[nodiscard]] ConnEnd& peer() const { return conn->ends[1 - side]; }
+};
+
+struct Listener {
+  Endpoint local;
+  NodeId node;
+  bool closed = false;
+  std::deque<ConnRef> pending;  // acceptor-side refs awaiting accept()
+  WaitSet acceptors;
+};
+using ListenerPtr = std::shared_ptr<Listener>;
+
+using FdEntry = std::variant<ConnRef, ListenerPtr>;
+
+}  // namespace detail
+
+/// Propagation-delay configuration. `jitter` (optional) is added per
+/// delivery; the experiment harness uses it to model the OS noise the paper
+/// attributes to file-system journaling (§5.2.5).
+struct LatencyConfig {
+  Duration same_node = microseconds(20);
+  Duration cross_node = microseconds(100);
+  Duration per_kilobyte = microseconds(2);
+  /// Extra delay per delivered message; default none.
+  std::function<Duration(const Endpoint& dst, std::size_t bytes)> jitter;
+};
+
+/// A simulated OS process: owner of a descriptor table and the unit that
+/// crash faults kill. Application logic runs as detached coroutines that use
+/// this process' SocketApi and sleep().
+class Process : public std::enable_shared_from_this<Process> {
+ public:
+  [[nodiscard]] ProcessId id() const { return id_; }
+  [[nodiscard]] NodeId node() const { return node_; }
+  [[nodiscard]] const std::string& host() const { return host_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] bool alive() const { return alive_; }
+
+  /// The raw (un-intercepted) socket API bound to this process.
+  [[nodiscard]] SocketApi& api();
+
+  [[nodiscard]] sim::Simulator& sim() const;
+
+  /// Sleeps `d` of virtual time; returns false if the process was killed
+  /// while sleeping (callers must then unwind).
+  [[nodiscard]] sim::Task<bool> sleep(Duration d);
+
+  /// Abruptly kills this process: all its sockets reset, peers see EOF.
+  void kill();
+
+  /// Graceful exit: identical socket teardown, but flagged as intentional.
+  /// (Used for rejuvenation restarts; peers still observe EOF.)
+  void exit();
+
+ private:
+  friend class Network;
+  friend class ProcessSocketApi;
+
+  Process(Network& net, ProcessId id, NodeId node, std::string host,
+          std::string name);
+
+  [[nodiscard]] detail::FdEntry* find_fd(int fd);
+  int install_fd(detail::FdEntry entry);
+
+  Network& net_;
+  ProcessId id_;
+  NodeId node_;
+  std::string host_;
+  std::string name_;
+  bool alive_ = true;
+  int next_fd_ = 3;
+  std::map<int, detail::FdEntry> fds_;
+  std::unique_ptr<ProcessSocketApi> api_;
+};
+
+/// The world: nodes, processes, connections, delays, accounting.
+class Network {
+ public:
+  explicit Network(sim::Simulator& sim);
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+  ~Network();
+
+  [[nodiscard]] sim::Simulator& sim() { return sim_; }
+
+  /// Adds a host. Names must be unique (e.g. "node1".."node5").
+  NodeId add_node(const std::string& name);
+  [[nodiscard]] bool has_node(const std::string& name) const;
+
+  /// Creates a process on `host`. The process starts alive with no fds.
+  ProcessPtr spawn_process(const std::string& host, std::string proc_name);
+
+  /// Kills every live process on `host` (node crash-fault).
+  void crash_node(const std::string& host);
+
+  [[nodiscard]] LatencyConfig& latency() { return latency_; }
+
+  /// Message-loss fault injection (the paper's fault model, §3): while a
+  /// link is partitioned, every delivery between the two hosts — data, FIN,
+  /// SYN — is silently dropped. Connections hang rather than reset, which
+  /// is what makes heartbeat-based failure detection necessary.
+  void set_link_partitioned(const std::string& host_a,
+                            const std::string& host_b, bool partitioned);
+  [[nodiscard]] bool link_partitioned(NodeId a, NodeId b) const;
+  [[nodiscard]] std::uint64_t messages_dropped() const { return dropped_; }
+
+  /// Propagation delay from `from` to `to` for a payload of `bytes`.
+  [[nodiscard]] Duration delivery_delay(NodeId from, NodeId to,
+                                        const Endpoint& dst,
+                                        std::size_t bytes) const;
+
+  // ---- Traffic accounting (Figure 5) ----
+  /// Total payload bytes delivered over connections whose acceptor listened
+  /// on `service_port` (both directions).
+  [[nodiscard]] std::uint64_t bytes_for_service(std::uint16_t service_port) const;
+  [[nodiscard]] std::uint64_t total_bytes_delivered() const;
+  /// Number of connections ever established.
+  [[nodiscard]] std::uint64_t connections_established() const;
+
+  // ---- Internals used by ProcessSocketApi / Process ----
+  /// Computes the FIFO-respecting arrival instant for a delivery into `dst`
+  /// that would nominally take `delay`, and advances the end's FIFO floor.
+  TimePoint reserve_arrival(detail::ConnEnd& dst, Duration delay);
+
+  detail::ListenerPtr find_listener(const std::string& host, std::uint16_t port);
+  Result<detail::ListenerPtr> register_listener(Process& proc, std::uint16_t port);
+  void remove_listener(const detail::ListenerPtr& listener);
+  std::uint16_t next_ephemeral_port(NodeId node);
+  [[nodiscard]] NodeId node_id(const std::string& host) const;
+  void account_delivery(std::uint16_t service_port, std::size_t bytes);
+  void note_connection() { ++connections_established_; }
+  void note_drop() { ++dropped_; }
+  void teardown_process_sockets(Process& proc);
+
+ private:
+  sim::Simulator& sim_;
+  LatencyConfig latency_;
+  std::map<std::string, NodeId> nodes_;
+  std::uint64_t next_node_ = 1;
+  std::uint64_t next_process_ = 1;
+  std::map<NodeId, std::uint16_t> ephemeral_;
+  std::map<std::pair<std::uint64_t, std::uint16_t>, detail::ListenerPtr> listeners_;
+  std::vector<ProcessPtr> processes_;
+  std::map<std::uint16_t, std::uint64_t> service_bytes_;
+  std::set<std::pair<std::uint64_t, std::uint64_t>> partitioned_;  // a<b
+  std::uint64_t dropped_ = 0;
+  std::uint64_t total_bytes_ = 0;
+  std::uint64_t connections_established_ = 0;
+};
+
+/// Concrete SocketApi bound to one Process — the "real system calls" that
+/// the MEAD interceptor wraps.
+class ProcessSocketApi final : public SocketApi {
+ public:
+  explicit ProcessSocketApi(Process& proc) : proc_(proc) {}
+
+  Result<int> listen(std::uint16_t port) override;
+  sim::Task<Result<int>> accept(int listen_fd) override;
+  sim::Task<Result<int>> connect(const Endpoint& remote) override;
+  sim::Task<Result<Bytes>> read(int fd, std::size_t max_bytes,
+                                std::optional<Duration> timeout) override;
+  sim::Task<Result<std::size_t>> writev(int fd, Bytes data) override;
+  sim::Task<Result<std::vector<int>>> select(
+      std::vector<int> fds, std::optional<Duration> timeout) override;
+  Result<void> close(int fd) override;
+  Result<void> dup2(int from_fd, int to_fd) override;
+  Result<Endpoint> local_endpoint(int fd) const override;
+  Result<Endpoint> peer_endpoint(int fd) const override;
+
+ private:
+  [[nodiscard]] sim::Simulator& sim() const { return proc_.sim(); }
+  [[nodiscard]] Network& net() const { return proc_.net_; }
+
+  /// Suspends until `w` is woken; arms a timer for `deadline` if given.
+  [[nodiscard]] static auto suspend_waiter(sim::Simulator& sim,
+                                           detail::WaiterPtr w,
+                                           std::optional<TimePoint> deadline);
+
+  /// Closes one fd-table reference; performs the real socket close when the
+  /// last reference in this process goes away (dup2 aliasing).
+  void close_entry(int fd, detail::FdEntry entry);
+  void real_close_conn(const detail::ConnRef& ref);
+
+  Process& proc_;
+};
+
+}  // namespace mead::net

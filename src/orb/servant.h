@@ -1,0 +1,32 @@
+// Servant interface: the server-side implementation of a CORBA object.
+#pragma once
+
+#include <string>
+
+#include "common/expected.h"
+#include "common/types.h"
+#include "giop/cdr.h"
+#include "giop/types.h"
+#include "sim/task.h"
+
+namespace mead::orb {
+
+/// Result of a servant dispatch: the CDR-encoded reply body, or a CORBA
+/// system exception to marshal back to the client.
+using DispatchResult = Expected<Bytes, giop::SystemException>;
+
+class Servant {
+ public:
+  virtual ~Servant() = default;
+
+  /// Executes `operation` with CDR-encoded `args` (a sub-encapsulation in
+  /// byte order `order`). Runs on the server's simulated process; may
+  /// co_await (sleep for compute time, perform nested calls).
+  [[nodiscard]] virtual sim::Task<DispatchResult> dispatch(
+      std::string operation, Bytes args, giop::ByteOrder order) = 0;
+
+  /// Repository type id for IORs, e.g. "IDL:mead/TimeOfDay:1.0".
+  [[nodiscard]] virtual std::string type_id() const = 0;
+};
+
+}  // namespace mead::orb

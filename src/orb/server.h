@@ -1,0 +1,43 @@
+// Server-side ORB: accept loop + per-connection GIOP request dispatch.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "orb/object_adapter.h"
+#include "orb/orb.h"
+
+namespace mead::orb {
+
+class OrbServer {
+ public:
+  /// Listens on `port` (0 = auto). The adapter's endpoint is updated to the
+  /// actual listen address.
+  OrbServer(Orb& orb, std::uint16_t port);
+  OrbServer(const OrbServer&) = delete;
+  OrbServer& operator=(const OrbServer&) = delete;
+
+  /// True if the listen socket came up.
+  [[nodiscard]] bool listening() const { return listen_fd_ >= 0; }
+  [[nodiscard]] const net::Endpoint& endpoint() const { return endpoint_; }
+  [[nodiscard]] ObjectAdapter& adapter() { return *adapter_; }
+
+  /// Spawns the accept loop. Connections each get their own coroutine.
+  void start();
+
+  /// Statistics (experiment harness).
+  [[nodiscard]] std::uint64_t requests_served() const { return requests_served_; }
+
+ private:
+  sim::Task<void> accept_loop();
+  sim::Task<void> serve_connection(int fd);
+  sim::Task<void> handle_request(int fd, Bytes frame);
+
+  Orb& orb_;
+  int listen_fd_ = -1;
+  net::Endpoint endpoint_;
+  std::unique_ptr<ObjectAdapter> adapter_;
+  std::uint64_t requests_served_ = 0;
+};
+
+}  // namespace mead::orb

@@ -1,0 +1,63 @@
+// Client-side ORB machinery: an object reference with a synchronous invoke()
+// implementing GIOP's retransmission rules.
+//
+// Recovery-relevant behaviour (all exercised by the paper's schemes):
+//  * LOCATION_FORWARD reply  -> re-target to the IOR in the body, reconnect,
+//    retransmit (native CORBA fail-over, §4.1);
+//  * NEEDS_ADDRESSING_MODE   -> retransmit the same request over the current
+//    connection — which the interceptor may have silently re-pointed (§4.2);
+//  * connection EOF/reset    -> CORBA::COMM_FAILURE surfaced to the caller
+//    (what reactive clients see when a replica dies, §5.2.1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "giop/messages.h"
+#include "orb/orb.h"
+
+namespace mead::orb {
+
+using InvokeResult = Expected<Bytes, giop::SystemException>;
+
+class Stub {
+ public:
+  Stub(Orb& orb, giop::IOR ior) : orb_(orb), ior_(std::move(ior)) {}
+  Stub(const Stub&) = delete;
+  Stub& operator=(const Stub&) = delete;
+  ~Stub() { drop_connection(); }
+
+  /// Synchronous CORBA invocation. At most one in flight per stub.
+  [[nodiscard]] sim::Task<InvokeResult> invoke(std::string operation, Bytes args);
+
+  /// Current target reference (may change after LOCATION_FORWARD).
+  [[nodiscard]] const giop::IOR& target() const { return ior_; }
+
+  /// Re-points the stub at a different reference and drops the connection.
+  /// (Used by the reactive client's cache fail-over.)
+  void rebind(giop::IOR ior);
+
+  [[nodiscard]] bool connected() const { return fd_ >= 0; }
+  [[nodiscard]] int connection_fd() const { return fd_; }
+
+  /// Number of LOCATION_FORWARDs followed over this stub's lifetime.
+  [[nodiscard]] std::uint64_t forwards_followed() const { return forwards_; }
+  /// Number of NEEDS_ADDRESSING_MODE retransmissions.
+  [[nodiscard]] std::uint64_t readdress_retries() const { return readdress_; }
+
+ private:
+  [[nodiscard]] sim::Task<Expected<int, net::NetErr>> ensure_connected();
+  void drop_connection();
+  [[nodiscard]] sim::Task<InvokeResult> fail(giop::SysExKind kind,
+                                             giop::CompletionStatus completed);
+
+  Orb& orb_;
+  giop::IOR ior_;
+  int fd_ = -1;
+  giop::FrameBuffer frames_;
+  bool in_flight_ = false;
+  std::uint64_t forwards_ = 0;
+  std::uint64_t readdress_ = 0;
+};
+
+}  // namespace mead::orb

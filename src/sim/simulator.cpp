@@ -1,0 +1,98 @@
+#include "sim/simulator.h"
+
+namespace mead::sim {
+
+namespace {
+
+// Root wrapper for detached coroutines. Its frame self-destructs on
+// completion and unregisters from the simulator; frames still suspended when
+// the Simulator dies are destroyed by ~Simulator.
+struct DetachedTask {
+  struct promise_type {
+    Simulator* sim = nullptr;
+
+    DetachedTask get_return_object() {
+      return DetachedTask{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    [[nodiscard]] std::suspend_always initial_suspend() const noexcept { return {}; }
+
+    struct FinalAwaiter {
+      [[nodiscard]] bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<promise_type> h) const noexcept {
+        Simulator* sim = h.promise().sim;
+        void* addr = h.address();
+        h.destroy();
+        if (sim != nullptr) sim->unregister_root(addr);
+      }
+      void await_resume() const noexcept {}
+    };
+    [[nodiscard]] FinalAwaiter final_suspend() const noexcept { return {}; }
+    void return_void() const noexcept {}
+    [[noreturn]] void unhandled_exception() const noexcept { std::terminate(); }
+  };
+
+  std::coroutine_handle<promise_type> handle;
+};
+
+DetachedTask run_detached(Task<void> inner) {
+  co_await std::move(inner);
+}
+
+}  // namespace
+
+Simulator::Simulator(std::uint64_t seed) : rng_(seed) {
+  logger_.set_clock([this] { return now_; });
+}
+
+Simulator::~Simulator() {
+  // Drop pending events first (they may reference coroutine frames), then
+  // destroy still-suspended detached coroutines. Nothing is resumed here.
+  queue_ = {};
+  auto roots = std::move(roots_);
+  roots_.clear();
+  for (void* addr : roots) {
+    std::coroutine_handle<>::from_address(addr).destroy();
+  }
+}
+
+void Simulator::schedule(Duration delay, std::function<void()> fn) {
+  if (delay < Duration{0}) delay = Duration{0};
+  queue_.push(Event{now_ + delay, next_seq_++, std::move(fn)});
+}
+
+void Simulator::spawn(Task<void> task) {
+  if (!task.valid()) return;
+  DetachedTask root = run_detached(std::move(task));
+  root.handle.promise().sim = this;
+  roots_.insert(root.handle.address());
+  schedule(Duration{0}, [h = root.handle] { h.resume(); });
+}
+
+void Simulator::unregister_root(void* frame_address) {
+  roots_.erase(frame_address);
+}
+
+void Simulator::step(Event&& e) {
+  now_ = e.at;
+  ++events_processed_;
+  e.fn();
+}
+
+void Simulator::run() {
+  while (!queue_.empty()) {
+    Event e = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    step(std::move(e));
+  }
+}
+
+void Simulator::run_until(TimePoint deadline) {
+  while (!queue_.empty() && queue_.top().at <= deadline) {
+    Event e = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    step(std::move(e));
+  }
+  if (now_ < deadline) now_ = deadline;
+}
+
+}  // namespace mead::sim

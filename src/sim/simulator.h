@@ -1,0 +1,111 @@
+// Deterministic discrete-event simulation kernel.
+//
+// The Simulator owns a virtual clock and an event queue ordered by
+// (fire time, insertion sequence). Coroutines (sim::Task) suspend on
+// awaitables (sleep, channels, socket operations in net/) and are resumed by
+// queued events. Because the queue order is a total order and all randomness
+// flows from one seeded Rng, every run is bit-reproducible — the property the
+// paper's deterministic fault-injection strategy relies on (§5.1).
+//
+// Lifetime rules (important):
+//  * Detached coroutines spawned via spawn() are tracked; any still suspended
+//    when the Simulator is destroyed are destroyed then (queue first, then
+//    frames). Destructors must never resume coroutines.
+//  * Awaitable providers (channels, sockets) must outlive coroutines that
+//    await them; in this project they are owned by the Simulator's world
+//    (Network, processes) which is destroyed after all frames.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/log.h"
+#include "common/rng.h"
+#include "common/types.h"
+#include "sim/task.h"
+
+namespace mead::sim {
+
+class Simulator {
+ public:
+  explicit Simulator(std::uint64_t seed = 1);
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+  ~Simulator();
+
+  /// Current virtual time.
+  [[nodiscard]] TimePoint now() const { return now_; }
+
+  [[nodiscard]] Logger& log() { return logger_; }
+  [[nodiscard]] Rng& rng() { return rng_; }
+
+  /// Enqueues `fn` to run `delay` from now. Events at equal times run in
+  /// insertion order. Negative delays are clamped to zero.
+  void schedule(Duration delay, std::function<void()> fn);
+
+  /// Starts a detached coroutine. It begins executing at the current virtual
+  /// time (as a queued event, not inline).
+  void spawn(Task<void> task);
+
+  /// Awaitable: suspends the current coroutine for `d` of virtual time.
+  /// sleep(Duration{0}) yields (requeues at the back of the current instant).
+  [[nodiscard]] auto sleep(Duration d) {
+    struct Awaiter {
+      Simulator* sim;
+      Duration d;
+      [[nodiscard]] bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) const {
+        sim->schedule(d, [h] { h.resume(); });
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this, d};
+  }
+
+  /// Runs until the event queue is empty.
+  void run();
+
+  /// Runs until the queue is empty or virtual time would pass `deadline`;
+  /// finishes with now() == deadline if the limit was reached.
+  void run_until(TimePoint deadline);
+
+  /// Runs for `d` more virtual time (convenience over run_until).
+  void run_for(Duration d) { run_until(now_ + d); }
+
+  /// True if no events remain.
+  [[nodiscard]] bool idle() const { return queue_.empty(); }
+
+  /// Number of events executed so far (for kernel micro-benchmarks).
+  [[nodiscard]] std::uint64_t events_processed() const { return events_processed_; }
+
+  // Internal: root-coroutine bookkeeping used by the detached wrapper.
+  void unregister_root(void* frame_address);
+
+ private:
+  struct Event {
+    TimePoint at;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  void step(Event&& e);
+
+  TimePoint now_{0};
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  std::unordered_set<void*> roots_;
+  Logger logger_;
+  Rng rng_;
+};
+
+}  // namespace mead::sim

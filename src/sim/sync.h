@@ -1,0 +1,136 @@
+// Coroutine synchronization primitives for the simulation kernel:
+//  * OneShotEvent — a broadcast latch; waiters suspend until set() fires.
+//  * Channel<T>   — an unbounded FIFO queue with awaiting consumers and
+//                   close() semantics (consumers then receive nullopt).
+//
+// Wake-ups are routed through Simulator::schedule so resumption happens in a
+// deterministic order at the current instant, never inline on the setter's
+// stack (bounds recursion depth and keeps event order a total order).
+//
+// Lifetime: a primitive must outlive every coroutine suspended on it. In this
+// project primitives are owned by long-lived world objects (processes,
+// daemons, managers) or shared_ptr-held where ownership is shared.
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <deque>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace mead::sim {
+
+/// One-shot broadcast event. set() resumes all current and future waiters.
+class OneShotEvent {
+ public:
+  explicit OneShotEvent(Simulator& sim) : sim_(sim) {}
+  OneShotEvent(const OneShotEvent&) = delete;
+  OneShotEvent& operator=(const OneShotEvent&) = delete;
+
+  [[nodiscard]] bool is_set() const { return set_; }
+
+  void set() {
+    if (set_) return;
+    set_ = true;
+    auto waiters = std::move(waiters_);
+    waiters_.clear();
+    for (auto h : waiters) {
+      sim_.schedule(Duration{0}, [h] { h.resume(); });
+    }
+  }
+
+  [[nodiscard]] auto wait() {
+    struct Awaiter {
+      OneShotEvent* ev;
+      [[nodiscard]] bool await_ready() const noexcept { return ev->set_; }
+      void await_suspend(std::coroutine_handle<> h) const {
+        ev->waiters_.push_back(h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this};
+  }
+
+ private:
+  Simulator& sim_;
+  bool set_ = false;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+/// Unbounded multi-producer multi-consumer FIFO channel.
+/// pop() yields std::optional<T>; nullopt means the channel was closed and
+/// drained. Items pushed before close() are still delivered.
+template <typename T>
+class Channel {
+ public:
+  explicit Channel(Simulator& sim) : sim_(sim) {}
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  void push(T item) {
+    assert(!closed_);
+    items_.push_back(std::move(item));
+    wake_one();
+  }
+
+  /// After close(), pops drain remaining items then yield nullopt.
+  void close() {
+    if (closed_) return;
+    closed_ = true;
+    wake_all();
+  }
+
+  [[nodiscard]] bool closed() const { return closed_; }
+  [[nodiscard]] std::size_t size() const { return items_.size(); }
+
+  /// Non-blocking take. Returns nullopt when empty.
+  [[nodiscard]] std::optional<T> try_pop() {
+    if (items_.empty()) return std::nullopt;
+    T v = std::move(items_.front());
+    items_.pop_front();
+    return v;
+  }
+
+  /// Awaitable take; suspends while empty and not closed.
+  [[nodiscard]] Task<std::optional<T>> pop() {
+    while (items_.empty() && !closed_) {
+      co_await Suspend{this};
+    }
+    co_return try_pop();
+  }
+
+ private:
+  struct Suspend {
+    Channel* ch;
+    [[nodiscard]] bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) const {
+      ch->waiters_.push_back(h);
+    }
+    void await_resume() const noexcept {}
+  };
+
+  void wake_one() {
+    if (waiters_.empty()) return;
+    auto h = waiters_.front();
+    waiters_.pop_front();
+    sim_.schedule(Duration{0}, [h] { h.resume(); });
+  }
+
+  void wake_all() {
+    auto waiters = std::move(waiters_);
+    waiters_.clear();
+    for (auto h : waiters) {
+      sim_.schedule(Duration{0}, [h] { h.resume(); });
+    }
+  }
+
+  Simulator& sim_;
+  std::deque<T> items_;
+  std::deque<std::coroutine_handle<>> waiters_;
+  bool closed_ = false;
+};
+
+}  // namespace mead::sim

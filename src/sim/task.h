@@ -1,0 +1,143 @@
+// Lazy coroutine task type for the discrete-event kernel.
+//
+// Task<T> is a single-owner, lazily-started coroutine. Awaiting it starts it
+// via symmetric transfer; when it completes, control returns to the awaiter.
+// Detached ("fire and forget") execution goes through Simulator::spawn.
+//
+// Error handling convention: coroutines in this project return
+// Expected<...>-style values instead of throwing. A C++ exception escaping a
+// coroutine is a programming error and terminates (see unhandled_exception).
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <utility>
+
+namespace mead::sim {
+
+namespace detail {
+
+struct PromiseBase {
+  std::coroutine_handle<> continuation;
+
+  struct FinalAwaiter {
+    [[nodiscard]] bool await_ready() const noexcept { return false; }
+    template <typename Promise>
+    std::coroutine_handle<> await_suspend(
+        std::coroutine_handle<Promise> h) const noexcept {
+      auto cont = h.promise().continuation;
+      return cont ? cont : std::noop_coroutine();
+    }
+    void await_resume() const noexcept {}
+  };
+
+  [[nodiscard]] std::suspend_always initial_suspend() const noexcept { return {}; }
+  [[nodiscard]] FinalAwaiter final_suspend() const noexcept { return {}; }
+  [[noreturn]] void unhandled_exception() const noexcept { std::terminate(); }
+};
+
+}  // namespace detail
+
+template <typename T = void>
+class [[nodiscard]] Task;
+
+template <typename T>
+class [[nodiscard]] Task {
+ public:
+  struct promise_type : detail::PromiseBase {
+    std::optional<T> value;
+
+    Task get_return_object() {
+      return Task{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    void return_value(T v) { value.emplace(std::move(v)); }
+  };
+
+  Task() = default;
+  explicit Task(std::coroutine_handle<promise_type> h) : h_(h) {}
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  Task(Task&& o) noexcept : h_(std::exchange(o.h_, {})) {}
+  Task& operator=(Task&& o) noexcept {
+    if (this != &o) {
+      destroy();
+      h_ = std::exchange(o.h_, {});
+    }
+    return *this;
+  }
+  ~Task() { destroy(); }
+
+  [[nodiscard]] bool valid() const { return static_cast<bool>(h_); }
+
+  // Awaiter interface (Task is its own awaiter; single-shot).
+  [[nodiscard]] bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> cont) noexcept {
+    assert(h_ && !h_.done());
+    h_.promise().continuation = cont;
+    return h_;  // start the child lazily via symmetric transfer
+  }
+  T await_resume() {
+    assert(h_ && h_.done());
+    assert(h_.promise().value.has_value());
+    return std::move(*h_.promise().value);
+  }
+
+ private:
+  void destroy() {
+    if (h_) {
+      h_.destroy();
+      h_ = {};
+    }
+  }
+
+  std::coroutine_handle<promise_type> h_;
+};
+
+template <>
+class [[nodiscard]] Task<void> {
+ public:
+  struct promise_type : detail::PromiseBase {
+    Task get_return_object() {
+      return Task{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    void return_void() const noexcept {}
+  };
+
+  Task() = default;
+  explicit Task(std::coroutine_handle<promise_type> h) : h_(h) {}
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  Task(Task&& o) noexcept : h_(std::exchange(o.h_, {})) {}
+  Task& operator=(Task&& o) noexcept {
+    if (this != &o) {
+      destroy();
+      h_ = std::exchange(o.h_, {});
+    }
+    return *this;
+  }
+  ~Task() { destroy(); }
+
+  [[nodiscard]] bool valid() const { return static_cast<bool>(h_); }
+
+  [[nodiscard]] bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> cont) noexcept {
+    assert(h_ && !h_.done());
+    h_.promise().continuation = cont;
+    return h_;
+  }
+  void await_resume() const noexcept {}
+
+ private:
+  void destroy() {
+    if (h_) {
+      h_.destroy();
+      h_ = {};
+    }
+  }
+
+  std::coroutine_handle<promise_type> h_;
+};
+
+}  // namespace mead::sim

@@ -1,0 +1,140 @@
+// Locks the figure-level invariants the benches rely on: series shapes,
+// spike counts, Figure-5 monotonicity, jitter bounds. These are the
+// "does the reproduction still reproduce" regression tests.
+#include <gtest/gtest.h>
+
+#include "app/experiment_client.h"
+#include "app/testbed.h"
+
+namespace mead::app {
+namespace {
+
+struct RunStats {
+  ClientResults results;
+  std::size_t deaths = 0;
+  double gc_bps = 0;
+};
+
+RunStats run(core::RecoveryScheme scheme, int invocations,
+             core::Thresholds thresholds = {}, std::uint64_t seed = 2004,
+             bool leak = true) {
+  TestbedOptions opts;
+  opts.scheme = scheme;
+  opts.seed = seed;
+  opts.thresholds = thresholds;
+  opts.inject_leak = leak;
+  Testbed bed(opts);
+  EXPECT_TRUE(bed.start());
+  const auto deaths0 = bed.replica_deaths();
+  const auto gc0 = bed.gc_bytes();
+  const TimePoint t0 = bed.sim().now();
+  ClientOptions copts;
+  copts.invocations = invocations;
+  ExperimentClient client(bed, copts);
+  bed.sim().spawn(client.run());
+  for (int i = 0; i < 1500 && !client.done(); ++i) {
+    bed.sim().run_for(milliseconds(100));
+  }
+  EXPECT_TRUE(client.done());
+  RunStats out;
+  out.results = client.results();
+  out.deaths = bed.replica_deaths() - deaths0;
+  out.gc_bps = static_cast<double>(bed.gc_bytes() - gc0) /
+               (bed.sim().now() - t0).sec();
+  return out;
+}
+
+TEST(FigureInvariants, RttSeriesHasOneSamplePerInvocationPlusResolve) {
+  auto r = run(core::RecoveryScheme::kMeadMessage, 1000);
+  EXPECT_EQ(r.results.rtt_ms.count(), 1001u);  // sample 0 = naming resolve
+  EXPECT_GT(r.results.rtt_ms.samples()[0], 5.0);  // the initial spike
+}
+
+TEST(FigureInvariants, Figure3SpikeCountMatchesServerFailures) {
+  auto r = run(core::RecoveryScheme::kReactiveNoCache, 5000);
+  ASSERT_GE(r.deaths, 5u);
+  // Every crash produces exactly one fail-over spike in the series (modulo
+  // an end-of-window race: a primary dying within the last millisecond of
+  // the run surfaces no client-visible spike).
+  EXPECT_GE(r.results.failover_ms.count() + 1, r.deaths);
+  EXPECT_LE(r.results.failover_ms.count(), r.deaths);
+  // Spikes are ~10 ms, an order of magnitude over the baseline.
+  EXPECT_GT(r.results.failover_ms.min(), 5.0);
+  EXPECT_GT(r.results.steady_state_rtt_ms(), 0.6);
+  EXPECT_LT(r.results.steady_state_rtt_ms(), 0.9);
+}
+
+TEST(FigureInvariants, Figure4MeadJitterLowerThanLocationForward) {
+  auto lf = run(core::RecoveryScheme::kLocationForward, 4000);
+  auto mead = run(core::RecoveryScheme::kMeadMessage, 4000);
+  // "Reduced jitter" (Figure 4's annotation): the MEAD panel's variance is
+  // far below LOCATION_FORWARD's.
+  Series lf_body("lf");
+  Series mead_body("mead");
+  for (std::size_t i = 2; i < lf.results.rtt_ms.count(); ++i) {
+    lf_body.add(lf.results.rtt_ms.samples()[i]);
+  }
+  for (std::size_t i = 2; i < mead.results.rtt_ms.count(); ++i) {
+    mead_body.add(mead.results.rtt_ms.samples()[i]);
+  }
+  EXPECT_LT(mead_body.stddev(), 0.5 * lf_body.stddev());
+  EXPECT_LT(mead_body.max(), 0.7 * lf_body.max());
+}
+
+TEST(FigureInvariants, Figure5BandwidthMonotoneInThreshold) {
+  double prev = 1e18;
+  for (double t : {0.2, 0.5, 0.8}) {
+    auto r = run(core::RecoveryScheme::kMeadMessage, 3000,
+                 core::Thresholds{t, t + 0.1});
+    EXPECT_LT(r.gc_bps, prev) << "threshold " << t;
+    prev = r.gc_bps;
+  }
+}
+
+TEST(FigureInvariants, JitterOutliersInPaperBand) {
+  auto r = run(core::RecoveryScheme::kReactiveNoCache, 8000, {}, 2004,
+               /*leak=*/false);
+  Series body("body");
+  for (std::size_t i = 2; i < r.results.rtt_ms.count(); ++i) {
+    body.add(r.results.rtt_ms.samples()[i]);
+  }
+  const double frac = body.outlier_fraction(3.0);
+  EXPECT_GT(frac, 0.004);  // paper: 1-2.5%; allow slack
+  EXPECT_LT(frac, 0.03);
+  EXPECT_LT(body.max(), 3.0);  // fault-free max spike ~2.3 ms in the paper
+}
+
+TEST(FigureInvariants, FailoverOrderingMatchesTable1) {
+  auto mead = run(core::RecoveryScheme::kMeadMessage, 4000);
+  auto lf = run(core::RecoveryScheme::kLocationForward, 4000);
+  auto nc = run(core::RecoveryScheme::kReactiveNoCache, 4000);
+  ASSERT_GT(mead.results.failover_ms.count(), 0u);
+  ASSERT_GT(lf.results.failover_ms.count(), 0u);
+  ASSERT_GT(nc.results.failover_ms.count(), 0u);
+  // MEAD << LF < reactive-no-cache (the core Table 1 ordering).
+  EXPECT_LT(mead.results.failover_ms.mean(),
+            0.4 * lf.results.failover_ms.mean());
+  EXPECT_LT(lf.results.failover_ms.mean(), nc.results.failover_ms.mean());
+}
+
+TEST(FigureInvariants, RttOverheadOrderingMatchesTable1) {
+  const double base =
+      run(core::RecoveryScheme::kReactiveNoCache, 2000).results.steady_state_rtt_ms();
+  const double cache =
+      run(core::RecoveryScheme::kReactiveCache, 2000).results.steady_state_rtt_ms();
+  const double mead =
+      run(core::RecoveryScheme::kMeadMessage, 2000).results.steady_state_rtt_ms();
+  const double na =
+      run(core::RecoveryScheme::kNeedsAddressing, 2000).results.steady_state_rtt_ms();
+  const double lf =
+      run(core::RecoveryScheme::kLocationForward, 2000).results.steady_state_rtt_ms();
+  EXPECT_NEAR(cache, base, 0.01);        // cache ~ 0% overhead
+  EXPECT_GT(mead, base);                 // MEAD ~ 3%
+  EXPECT_LT((mead - base) / base, 0.06);
+  EXPECT_GT(na, mead);                   // NA ~ 8%
+  EXPECT_LT((na - base) / base, 0.12);
+  EXPECT_GT((lf - base) / base, 0.6);    // LF ~ 90%
+}
+
+}  // namespace
+}  // namespace mead::app

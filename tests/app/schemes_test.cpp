@@ -1,0 +1,150 @@
+// End-to-end behaviour of each recovery scheme under the paper's
+// memory-leak fault (short runs; the full 10k-invocation experiments live
+// in bench/).
+#include <gtest/gtest.h>
+
+#include "app/experiment_client.h"
+#include "app/testbed.h"
+
+namespace mead::app {
+namespace {
+
+struct RunOutcome {
+  ClientResults results;
+  std::size_t server_deaths = 0;
+  std::uint64_t mead_redirects = 0;
+  std::uint64_t masked = 0;
+  std::uint64_t forwards = 0;
+};
+
+RunOutcome run_scheme(core::RecoveryScheme scheme, int invocations,
+                      std::uint64_t seed = 42,
+                      core::Thresholds thresholds = {}) {
+  TestbedOptions opts;
+  opts.scheme = scheme;
+  opts.seed = seed;
+  opts.thresholds = thresholds;
+  opts.inject_leak = true;
+  Testbed bed(opts);
+  EXPECT_TRUE(bed.start());
+  const std::size_t deaths_before = bed.replica_deaths();
+
+  ClientOptions copts;
+  copts.invocations = invocations;
+  ExperimentClient client(bed, copts);
+  bed.sim().spawn(client.run());
+  // Advance in slices and stop as soon as the client finishes, so the
+  // server-death count corresponds to the measurement window.
+  for (int slice = 0; slice < 600 && !client.done(); ++slice) {
+    bed.sim().run_for(milliseconds(100));
+  }
+  EXPECT_TRUE(client.done());
+
+  RunOutcome out;
+  out.results = client.results();
+  out.server_deaths = bed.replica_deaths() - deaths_before;
+  if (client.interceptor() != nullptr) {
+    out.mead_redirects = client.interceptor()->stats().mead_redirects;
+    out.masked = client.interceptor()->stats().masked_failures;
+  }
+  out.forwards = client.stub() ? client.stub()->forwards_followed() : 0;
+  return out;
+}
+
+TEST(SchemeTest, ReactiveNoCacheSeesEveryServerFailure) {
+  auto out = run_scheme(core::RecoveryScheme::kReactiveNoCache, 2000);
+  EXPECT_EQ(out.results.invocations_completed, 2000u);
+  ASSERT_GE(out.server_deaths, 3u);  // leak kills the primary repeatedly
+  // 1:1 correspondence between server failures and client COMM_FAILUREs
+  // (modulo an end-of-window race on the final death).
+  EXPECT_GE(out.results.comm_failures + 1, out.server_deaths);
+  EXPECT_LE(out.results.comm_failures, out.server_deaths);
+  EXPECT_EQ(out.results.transients, 0u);
+}
+
+TEST(SchemeTest, ReactiveCacheSeesExtraTransients) {
+  auto out = run_scheme(core::RecoveryScheme::kReactiveCache, 4000);
+  EXPECT_EQ(out.results.invocations_completed, 4000u);
+  ASSERT_GE(out.server_deaths, 6u);
+  // 1:1 modulo a possible end-of-window race (a primary dying in the last
+  // instants of the run surfaces no client failure).
+  EXPECT_GE(out.results.comm_failures + 1, out.server_deaths);
+  EXPECT_LE(out.results.comm_failures, out.server_deaths);
+  // Stale cache entries raise TRANSIENTs on top (paper: ~1 per 2
+  // COMM_FAILUREs once replicas have recycled).
+  EXPECT_GT(out.results.transients, 0u);
+}
+
+TEST(SchemeTest, MeadMessageMasksAllFailures) {
+  auto out = run_scheme(core::RecoveryScheme::kMeadMessage, 2000);
+  EXPECT_EQ(out.results.invocations_completed, 2000u);
+  ASSERT_GE(out.server_deaths, 3u);  // rejuvenation cycles
+  EXPECT_EQ(out.results.total_exceptions(), 0u);  // "no exceptions at all!"
+  EXPECT_GE(out.mead_redirects, out.server_deaths);
+  EXPECT_GT(out.results.failover_ms.count(), 0u);
+}
+
+TEST(SchemeTest, LocationForwardMasksAllFailures) {
+  auto out = run_scheme(core::RecoveryScheme::kLocationForward, 2000);
+  EXPECT_EQ(out.results.invocations_completed, 2000u);
+  ASSERT_GE(out.server_deaths, 3u);
+  EXPECT_EQ(out.results.total_exceptions(), 0u);
+  EXPECT_GE(out.forwards, out.server_deaths);
+}
+
+TEST(SchemeTest, NeedsAddressingMasksMostFailures) {
+  auto out = run_scheme(core::RecoveryScheme::kNeedsAddressing, 4000);
+  EXPECT_EQ(out.results.invocations_completed, 4000u);
+  ASSERT_GE(out.server_deaths, 6u);
+  // Some failures masked, some unmasked (the §5.2.1 race); strictly fewer
+  // client failures than server failures, but not zero over enough runs.
+  EXPECT_LT(out.results.total_exceptions(), out.server_deaths);
+  EXPECT_GT(out.masked, 0u);
+}
+
+TEST(SchemeTest, MeadFailoverMuchFasterThanReactive) {
+  auto reactive = run_scheme(core::RecoveryScheme::kReactiveNoCache, 3000);
+  auto mead = run_scheme(core::RecoveryScheme::kMeadMessage, 3000);
+  ASSERT_GT(reactive.results.failover_ms.count(), 0u);
+  ASSERT_GT(mead.results.failover_ms.count(), 0u);
+  // Paper: 10.2 ms vs 2.7 ms (-73.9%).
+  EXPECT_LT(mead.results.failover_ms.mean(),
+            0.5 * reactive.results.failover_ms.mean());
+}
+
+TEST(SchemeTest, ProactiveLaunchHappensBeforeMigration) {
+  TestbedOptions opts;
+  opts.scheme = core::RecoveryScheme::kMeadMessage;
+  opts.seed = 7;
+  opts.inject_leak = true;
+  Testbed bed(opts);
+  ASSERT_TRUE(bed.start());
+  ClientOptions copts;
+  copts.invocations = 1500;
+  ExperimentClient client(bed, copts);
+  bed.sim().spawn(client.run());
+  bed.sim().run_for(seconds(30));
+  ASSERT_TRUE(client.done());
+  EXPECT_GT(bed.recovery_manager().stats().proactive_launches, 0u);
+  // Replication degree is maintained throughout.
+  EXPECT_EQ(bed.live_replica_count(), 3u);
+}
+
+TEST(SchemeTest, LowerThresholdRejuvenatesMoreOften) {
+  auto high = run_scheme(core::RecoveryScheme::kMeadMessage, 2000, 11,
+                         core::Thresholds{0.8, 0.9});
+  auto low = run_scheme(core::RecoveryScheme::kMeadMessage, 2000, 11,
+                        core::Thresholds{0.2, 0.3});
+  EXPECT_GT(low.server_deaths, high.server_deaths);  // Figure 5 mechanism
+}
+
+TEST(SchemeTest, DeterministicAcrossIdenticalRuns) {
+  auto a = run_scheme(core::RecoveryScheme::kMeadMessage, 500, 99);
+  auto b = run_scheme(core::RecoveryScheme::kMeadMessage, 500, 99);
+  ASSERT_EQ(a.results.rtt_ms.count(), b.results.rtt_ms.count());
+  EXPECT_EQ(a.results.rtt_ms.samples(), b.results.rtt_ms.samples());
+  EXPECT_EQ(a.server_deaths, b.server_deaths);
+}
+
+}  // namespace
+}  // namespace mead::app

@@ -1,0 +1,141 @@
+// Bring-up and fault-free behaviour of the full five-node testbed.
+#include "app/testbed.h"
+
+#include <gtest/gtest.h>
+
+#include "app/experiment_client.h"
+
+namespace mead::app {
+namespace {
+
+TestbedOptions quiet_options(core::RecoveryScheme scheme,
+                             bool inject_leak = false) {
+  TestbedOptions o;
+  o.scheme = scheme;
+  o.inject_leak = inject_leak;
+  return o;
+}
+
+TEST(TestbedTest, WorldComesUp) {
+  Testbed bed(quiet_options(core::RecoveryScheme::kMeadMessage));
+  ASSERT_TRUE(bed.start());
+  EXPECT_EQ(bed.live_replica_count(), 3u);
+  EXPECT_EQ(bed.replica_deaths(), 0u);
+  EXPECT_EQ(bed.recovery_manager().stats().launches, 3u);
+  for (auto& r : bed.replicas()) {
+    EXPECT_TRUE(r->registered()) << r->member();
+  }
+}
+
+TEST(TestbedTest, ReplicasKnowEachOther) {
+  Testbed bed(quiet_options(core::RecoveryScheme::kMeadMessage));
+  ASSERT_TRUE(bed.start());
+  for (auto& r : bed.replicas()) {
+    EXPECT_EQ(r->mead().registry().view().members.size(), 4u)  // 3 + RM
+        << r->member();
+    EXPECT_EQ(r->mead().registry().known_count(), 3u) << r->member();
+  }
+}
+
+TEST(TestbedTest, FaultFreeClientRun) {
+  Testbed bed(quiet_options(core::RecoveryScheme::kReactiveNoCache));
+  ASSERT_TRUE(bed.start());
+  ClientOptions copts;
+  copts.invocations = 200;
+  ExperimentClient client(bed, copts);
+  bed.sim().spawn(client.run());
+  bed.sim().run_for(seconds(5));
+  ASSERT_TRUE(client.done());
+  const auto& res = client.results();
+  EXPECT_EQ(res.invocations_completed, 200u);
+  EXPECT_EQ(res.total_exceptions(), 0u);
+  EXPECT_EQ(res.failover_ms.count(), 0u);
+  // Baseline RTT calibrated to ~0.75 ms (§5.2.2).
+  EXPECT_GT(res.steady_state_rtt_ms(), 0.6);
+  EXPECT_LT(res.steady_state_rtt_ms(), 0.9);
+  // Initial naming spike present as sample 0 (§5.2.3): ~8-10 ms.
+  EXPECT_GT(res.rtt_ms.samples()[0], 5.0);
+}
+
+TEST(TestbedTest, FaultFreeMeadOverheadSmall) {
+  Testbed reactive(quiet_options(core::RecoveryScheme::kReactiveNoCache));
+  ASSERT_TRUE(reactive.start());
+  Testbed mead(quiet_options(core::RecoveryScheme::kMeadMessage));
+  ASSERT_TRUE(mead.start());
+
+  auto run = [](Testbed& bed) {
+    ClientOptions copts;
+    copts.invocations = 300;
+    ExperimentClient client(bed, copts);
+    bed.sim().spawn(client.run());
+    bed.sim().run_for(seconds(5));
+    EXPECT_TRUE(client.done());
+    return client.results().steady_state_rtt_ms();
+  };
+  const double base = run(reactive);
+  const double with_mead = run(mead);
+  const double overhead = (with_mead - base) / base;
+  EXPECT_GT(overhead, 0.0);
+  EXPECT_LT(overhead, 0.08);  // paper: ~3%
+}
+
+TEST(TestbedTest, LocationForwardOverheadLarge) {
+  Testbed reactive(quiet_options(core::RecoveryScheme::kReactiveNoCache));
+  ASSERT_TRUE(reactive.start());
+  Testbed lf(quiet_options(core::RecoveryScheme::kLocationForward));
+  ASSERT_TRUE(lf.start());
+
+  auto run = [](Testbed& bed) {
+    ClientOptions copts;
+    copts.invocations = 300;
+    ExperimentClient client(bed, copts);
+    bed.sim().spawn(client.run());
+    bed.sim().run_for(seconds(5));
+    EXPECT_TRUE(client.done());
+    return client.results().steady_state_rtt_ms();
+  };
+  const double base = run(reactive);
+  const double with_lf = run(lf);
+  const double overhead = (with_lf - base) / base;
+  EXPECT_GT(overhead, 0.5);  // paper: ~90%
+  EXPECT_LT(overhead, 1.3);
+}
+
+TEST(TestbedTest, RecoveryManagerReplacesCrashedReplica) {
+  Testbed bed(quiet_options(core::RecoveryScheme::kReactiveNoCache));
+  ASSERT_TRUE(bed.start());
+  bed.replicas()[0]->process().kill();
+  bed.sim().run_for(seconds(1));
+  EXPECT_EQ(bed.live_replica_count(), 3u);
+  EXPECT_EQ(bed.replica_deaths(), 1u);
+  EXPECT_EQ(bed.recovery_manager().stats().reactive_launches, 4u);  // 3 boot + 1
+}
+
+TEST(TestbedTest, WarmPassiveStateReachesBackups) {
+  Testbed bed(quiet_options(core::RecoveryScheme::kMeadMessage));
+  ASSERT_TRUE(bed.start());
+  ClientOptions copts;
+  copts.invocations = 300;
+  ExperimentClient client(bed, copts);
+  bed.sim().spawn(client.run());
+  bed.sim().run_for(seconds(5));
+  ASSERT_TRUE(client.done());
+  // The primary served everything; backups learned the count via state
+  // transfer (within one sync interval of the end).
+  std::uint64_t primary_served = 0;
+  std::uint64_t backup_best = 0;
+  for (auto& r : bed.replicas()) {
+    primary_served = std::max(primary_served, r->servant().requests_served());
+    if (r->servant().requests_served() < primary_served) {
+      backup_best = std::max(backup_best, r->servant().requests_served());
+    }
+    if (r->mead().stats().state_applied > 0) {
+      backup_best = std::max(backup_best, r->servant().requests_served());
+    }
+  }
+  EXPECT_EQ(primary_served, 300u);
+  EXPECT_GT(backup_best, 250u);  // state transfer kept backups warm
+}
+
+}  // namespace
+}  // namespace mead::app

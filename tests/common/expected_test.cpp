@@ -1,0 +1,57 @@
+#include "common/expected.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace mead {
+namespace {
+
+enum class Err { kBad, kWorse };
+
+TEST(ExpectedTest, HoldsValue) {
+  Expected<int, Err> e = 42;
+  ASSERT_TRUE(e.has_value());
+  EXPECT_TRUE(e.ok());
+  EXPECT_TRUE(static_cast<bool>(e));
+  EXPECT_EQ(e.value(), 42);
+  EXPECT_EQ(*e, 42);
+}
+
+TEST(ExpectedTest, HoldsError) {
+  Expected<int, Err> e = make_unexpected(Err::kWorse);
+  ASSERT_FALSE(e.has_value());
+  EXPECT_EQ(e.error(), Err::kWorse);
+}
+
+TEST(ExpectedTest, ValueOrFallsBack) {
+  Expected<int, Err> good = 7;
+  Expected<int, Err> bad = make_unexpected(Err::kBad);
+  EXPECT_EQ(good.value_or(-1), 7);
+  EXPECT_EQ(bad.value_or(-1), -1);
+}
+
+TEST(ExpectedTest, MoveOutValue) {
+  Expected<std::string, Err> e = std::string("hello world");
+  std::string s = std::move(e).value();
+  EXPECT_EQ(s, "hello world");
+}
+
+TEST(ExpectedTest, ArrowOperator) {
+  Expected<std::string, Err> e = std::string("abc");
+  EXPECT_EQ(e->size(), 3u);
+}
+
+TEST(ExpectedVoidTest, DefaultIsSuccess) {
+  Expected<void, Err> e;
+  EXPECT_TRUE(e.ok());
+}
+
+TEST(ExpectedVoidTest, CarriesError) {
+  Expected<void, Err> e = make_unexpected(Err::kBad);
+  ASSERT_FALSE(e.ok());
+  EXPECT_EQ(e.error(), Err::kBad);
+}
+
+}  // namespace
+}  // namespace mead

@@ -1,0 +1,67 @@
+#include "common/log.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace mead {
+namespace {
+
+class LogTest : public ::testing::Test {
+ protected:
+  LogTest() {
+    logger_.set_sink([this](const std::string& line) { lines_.push_back(line); });
+  }
+
+  Logger logger_;
+  std::vector<std::string> lines_;
+};
+
+TEST_F(LogTest, DefaultLevelSuppressesInfo) {
+  logger_.log(LogLevel::kInfo, "test", "hidden");
+  EXPECT_TRUE(lines_.empty());
+  logger_.log(LogLevel::kWarn, "test", "shown");
+  ASSERT_EQ(lines_.size(), 1u);
+  EXPECT_NE(lines_[0].find("WARN test: shown"), std::string::npos);
+}
+
+TEST_F(LogTest, LevelFiltering) {
+  logger_.set_level(LogLevel::kDebug);
+  logger_.log(LogLevel::kTrace, "c", "no");
+  logger_.log(LogLevel::kDebug, "c", "yes");
+  ASSERT_EQ(lines_.size(), 1u);
+}
+
+TEST_F(LogTest, OffSilencesEverything) {
+  logger_.set_level(LogLevel::kOff);
+  logger_.log(LogLevel::kError, "c", "no");
+  EXPECT_TRUE(lines_.empty());
+}
+
+TEST_F(LogTest, ClockPrefixesVirtualTime) {
+  logger_.set_clock([] { return TimePoint{2'500'000}; });  // 2.5 ms
+  logger_.log(LogLevel::kError, "net", "boom");
+  ASSERT_EQ(lines_.size(), 1u);
+  EXPECT_NE(lines_[0].find("2.500ms"), std::string::npos);
+}
+
+TEST_F(LogTest, StreamingLogLine) {
+  logger_.set_level(LogLevel::kInfo);
+  { LogLine(logger_, LogLevel::kInfo, "gc") << "view " << 3 << " installed"; }
+  ASSERT_EQ(lines_.size(), 1u);
+  EXPECT_NE(lines_[0].find("view 3 installed"), std::string::npos);
+}
+
+TEST_F(LogTest, StreamingLineSkippedBelowLevel) {
+  { LogLine(logger_, LogLevel::kDebug, "gc") << "invisible"; }
+  EXPECT_TRUE(lines_.empty());
+}
+
+TEST(LogLevelTest, Names) {
+  EXPECT_EQ(to_string(LogLevel::kTrace), "TRACE");
+  EXPECT_EQ(to_string(LogLevel::kError), "ERROR");
+}
+
+}  // namespace
+}  // namespace mead

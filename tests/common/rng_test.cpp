@@ -1,0 +1,121 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace mead {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10'000; ++i) {
+    const double v = rng.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRespectsBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 10'000; ++i) {
+    const double v = rng.uniform(2.5, 3.5);
+    EXPECT_GE(v, 2.5);
+    EXPECT_LT(v, 3.5);
+  }
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng rng(11);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10'000; ++i) {
+    const auto v = rng.uniform_int(0, 4);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 4);
+    saw_lo |= (v == 0);
+    saw_hi |= (v == 4);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+// Weibull(scale, shape=2) has mean scale * Gamma(1.5) = scale * 0.886227.
+// The paper's fault injector draws from Weibull(64, 2.0), so the sampler's
+// first two moments matter for reproducing the failure rate.
+TEST(RngTest, WeibullMeanMatchesTheory) {
+  Rng rng(13);
+  const int n = 200'000;
+  double sum = 0;
+  for (int i = 0; i < n; ++i) sum += rng.weibull(64.0, 2.0);
+  const double mean = sum / n;
+  const double expected = 64.0 * std::sqrt(3.14159265358979 / 4.0);
+  EXPECT_NEAR(mean, expected, 0.5);
+}
+
+TEST(RngTest, WeibullShapeOneIsExponential) {
+  Rng rng(17);
+  const int n = 200'000;
+  double sum = 0;
+  for (int i = 0; i < n; ++i) sum += rng.weibull(10.0, 1.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.2);
+}
+
+TEST(RngTest, WeibullAlwaysPositive) {
+  Rng rng(19);
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_GE(rng.weibull(64.0, 2.0), 0.0);
+  }
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(23);
+  const int n = 200'000;
+  double sum = 0;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(5.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(RngTest, ChanceApproximatesProbability) {
+  Rng rng(29);
+  int hits = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.chance(0.25)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.01);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(31);
+  Rng child = parent.fork();
+  // Child continues deterministically and differs from the parent stream.
+  Rng parent2(31);
+  Rng child2 = parent2.fork();
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(child.next_u64(), child2.next_u64());
+  }
+}
+
+}  // namespace
+}  // namespace mead

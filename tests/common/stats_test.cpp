@@ -1,0 +1,93 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mead {
+namespace {
+
+TEST(SeriesTest, EmptySeriesIsZero) {
+  Series s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+  EXPECT_EQ(s.percentile(50), 0.0);
+}
+
+TEST(SeriesTest, MeanAndExtremes) {
+  Series s("rtt");
+  for (double v : {1.0, 2.0, 3.0, 4.0}) s.add(v);
+  EXPECT_EQ(s.name(), "rtt");
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_EQ(s.count(), 4u);
+}
+
+TEST(SeriesTest, PopulationStddev) {
+  Series s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);  // classic textbook example
+}
+
+TEST(SeriesTest, PercentileInterpolates) {
+  Series s;
+  for (double v : {10.0, 20.0, 30.0, 40.0, 50.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 10.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 30.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 50.0);
+  EXPECT_DOUBLE_EQ(s.percentile(25), 20.0);
+  EXPECT_DOUBLE_EQ(s.percentile(87.5), 45.0);
+}
+
+TEST(SeriesTest, SingleSamplePercentile) {
+  Series s;
+  s.add(3.25);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 3.25);
+  EXPECT_DOUBLE_EQ(s.percentile(99), 3.25);
+}
+
+TEST(SeriesTest, SigmaOutliers) {
+  Series s;
+  // 99 samples at 1.0 and one large spike: spike is far above mean + 3sigma.
+  for (int i = 0; i < 99; ++i) s.add(1.0);
+  s.add(100.0);
+  EXPECT_EQ(s.outliers_above_sigma(3.0), 1u);
+  EXPECT_DOUBLE_EQ(s.outlier_fraction(3.0), 0.01);
+  EXPECT_DOUBLE_EQ(s.max_outlier(3.0), 100.0);
+}
+
+TEST(SeriesTest, NoOutliersInConstantSeries) {
+  Series s;
+  for (int i = 0; i < 50; ++i) s.add(2.0);
+  EXPECT_EQ(s.outliers_above_sigma(3.0), 0u);
+  EXPECT_EQ(s.max_outlier(3.0), 0.0);
+}
+
+TEST(RunningStatsTest, MatchesSeries) {
+  Series s;
+  RunningStats r;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.add(v);
+    r.add(v);
+  }
+  EXPECT_NEAR(r.mean(), s.mean(), 1e-12);
+  EXPECT_NEAR(r.stddev(), s.stddev(), 1e-12);
+  EXPECT_DOUBLE_EQ(r.min(), 2.0);
+  EXPECT_DOUBLE_EQ(r.max(), 9.0);
+  EXPECT_EQ(r.count(), 8u);
+}
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats r;
+  EXPECT_EQ(r.count(), 0u);
+  EXPECT_EQ(r.mean(), 0.0);
+  EXPECT_EQ(r.stddev(), 0.0);
+}
+
+}  // namespace
+}  // namespace mead

@@ -1,0 +1,71 @@
+#include "common/types.h"
+
+#include <gtest/gtest.h>
+
+namespace mead {
+namespace {
+
+TEST(DurationTest, FactoryHelpersProduceNanoseconds) {
+  EXPECT_EQ(nanoseconds(7).ns(), 7);
+  EXPECT_EQ(microseconds(3).ns(), 3'000);
+  EXPECT_EQ(milliseconds(2).ns(), 2'000'000);
+  EXPECT_EQ(seconds(1).ns(), 1'000'000'000);
+}
+
+TEST(DurationTest, FractionalMillisecondsHelper) {
+  EXPECT_EQ(millis_f(0.75).ns(), 750'000);
+  EXPECT_EQ(millis_f(1.5).ns(), 1'500'000);
+}
+
+TEST(DurationTest, ArithmeticAndComparison) {
+  const Duration a = milliseconds(3);
+  const Duration b = milliseconds(1);
+  EXPECT_EQ((a + b).ms(), 4.0);
+  EXPECT_EQ((a - b).ms(), 2.0);
+  EXPECT_EQ((a * 2).ms(), 6.0);
+  EXPECT_EQ((a / 3).ms(), 1.0);
+  EXPECT_LT(b, a);
+  Duration c = a;
+  c += b;
+  EXPECT_EQ(c, milliseconds(4));
+  c -= milliseconds(2);
+  EXPECT_EQ(c, milliseconds(2));
+}
+
+TEST(DurationTest, UnitConversions) {
+  const Duration d = microseconds(2500);
+  EXPECT_DOUBLE_EQ(d.us(), 2500.0);
+  EXPECT_DOUBLE_EQ(d.ms(), 2.5);
+  EXPECT_DOUBLE_EQ(d.sec(), 0.0025);
+}
+
+TEST(TimePointTest, OffsetAndDifference) {
+  const TimePoint t0{1'000'000};
+  const TimePoint t1 = t0 + milliseconds(5);
+  EXPECT_EQ((t1 - t0).ms(), 5.0);
+  EXPECT_EQ((t1 - milliseconds(5)), t0);
+  EXPECT_LT(t0, t1);
+}
+
+TEST(IdTest, DistinctTagsAreDistinctTypes) {
+  const NodeId n{42};
+  const ProcessId p{42};
+  EXPECT_EQ(n.value(), p.value());
+  static_assert(!std::is_same_v<NodeId, ProcessId>);
+  EXPECT_EQ(to_string(n), "42");
+}
+
+TEST(IdTest, ComparisonFollowsValue) {
+  EXPECT_LT(NodeId{1}, NodeId{2});
+  EXPECT_EQ(NodeId{3}, NodeId{3});
+}
+
+TEST(BytesTest, AppendBytesConcatenates) {
+  Bytes a{1, 2, 3};
+  const Bytes b{4, 5};
+  append_bytes(a, b);
+  EXPECT_EQ(a, (Bytes{1, 2, 3, 4, 5}));
+}
+
+}  // namespace
+}  // namespace mead

@@ -1,0 +1,333 @@
+// Focused interceptor mechanics, below the full-testbed level:
+// piggyback stripping, redirect-on-failover, request-id tracking, EOF
+// masking plumbing, server-side threshold triggering.
+#include <gtest/gtest.h>
+
+#include "core/client_mead.h"
+#include "core/server_mead.h"
+#include "orb/server.h"
+#include "fault/fault.h"
+#include "gc/daemon.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+
+namespace mead::core {
+namespace {
+
+class InterceptorWorld : public ::testing::Test {
+ protected:
+  InterceptorWorld() : net_(sim_) {
+    for (int i = 1; i <= 3; ++i) {
+      hosts_.push_back("node" + std::to_string(i));
+      net_.add_node(hosts_.back());
+    }
+    for (std::size_t i = 0; i < hosts_.size(); ++i) {
+      gc::DaemonConfig cfg;
+      cfg.daemon_hosts = hosts_;
+      cfg.self_index = i;
+      auto proc = net_.spawn_process(hosts_[i], "gc-daemon");
+      daemons_.push_back(std::make_unique<gc::GcDaemon>(proc, cfg));
+      daemons_.back()->start();
+    }
+    sim_.run_for(milliseconds(10));
+  }
+
+  MeadConfig client_config(RecoveryScheme scheme, const std::string& host) {
+    MeadConfig cfg;
+    cfg.scheme = scheme;
+    cfg.service = "Svc";
+    cfg.member = "client/x";
+    cfg.daemon = net::Endpoint{host, gc::kDefaultDaemonPort};
+    return cfg;
+  }
+
+  sim::Simulator sim_;
+  net::Network net_;
+  std::vector<std::string> hosts_;
+  std::vector<std::unique_ptr<gc::GcDaemon>> daemons_;
+};
+
+class NullServant final : public orb::Servant {
+ public:
+  sim::Task<orb::DispatchResult> dispatch(std::string, Bytes,
+                                          giop::ByteOrder) override {
+    co_return Bytes{};
+  }
+  std::string type_id() const override { return "IDL:x:1.0"; }
+};
+
+Bytes reply_bytes(std::uint32_t id) {
+  return giop::encode_reply(
+      giop::ReplyMessage{id, giop::ReplyStatus::kNoException, Bytes{0xAA}});
+}
+
+Bytes request_bytes(std::uint32_t id) {
+  return giop::encode_request(giop::RequestMessage{
+      id, true, giop::ObjectKey::make_persistent("POA/o"), "op", {}});
+}
+
+TEST_F(InterceptorWorld, ClientMeadStripsPiggybackedFailoverFrame) {
+  auto server1 = net_.spawn_process("node1", "server1");
+  auto server2 = net_.spawn_process("node2", "server2");
+  auto client = net_.spawn_process("node3", "client");
+  ClientMead mead(client, client_config(RecoveryScheme::kMeadMessage, "node3"));
+
+  std::string server2_got;
+  bool ok = false;
+
+  // server1 answers the first request with a piggybacked fail-over frame
+  // pointing at server2, then the normal reply.
+  auto serve1 = [](net::Process& p) -> sim::Task<void> {
+    auto lfd = p.api().listen(21001);
+    auto cfd = co_await p.api().accept(lfd.value());
+    (void)co_await p.api().read(cfd.value(), 65536);
+    Bytes combined = encode_failover_frame(
+        FailoverMsg{net::Endpoint{"node2", 21002}, "server2"});
+    append_bytes(combined, reply_bytes(1));
+    (void)co_await p.api().writev(cfd.value(), std::move(combined));
+  };
+  auto serve2 = [](net::Process& p, std::string& out) -> sim::Task<void> {
+    auto lfd = p.api().listen(21002);
+    auto cfd = co_await p.api().accept(lfd.value());
+    auto data = co_await p.api().read(cfd.value(), 65536);
+    if (data && !data->empty()) out.assign(data->begin(), data->end());
+  };
+  auto drive = [](ClientMead& m, bool& flag) -> sim::Task<void> {
+    auto fd = co_await m.connect(net::Endpoint{"node1", 21001});
+    (void)co_await m.writev(fd.value(), request_bytes(1));
+    auto data = co_await m.read(fd.value(), 65536, std::nullopt);
+    // The ORB must see ONLY the GIOP reply; the MEAD frame is stripped.
+    if (!data || data->empty()) co_return;
+    auto reply = giop::decode_reply(data.value());
+    flag = reply.ok() && reply->request_id == 1;
+    // Post-redirect traffic lands on server2.
+    Bytes follow{'n', 'e', 'x', 't'};
+    (void)co_await m.writev(fd.value(), std::move(follow));
+  };
+  sim_.spawn(serve1(*server1));
+  sim_.spawn(serve2(*server2, server2_got));
+  sim_.spawn(drive(mead, ok));
+  sim_.run_for(milliseconds(100));
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(server2_got, "next");
+  EXPECT_EQ(mead.stats().mead_redirects, 1u);
+}
+
+TEST_F(InterceptorWorld, ClientMeadPassesThroughInfrastructurePorts) {
+  auto naming = net_.spawn_process("node1", "naming");
+  auto client = net_.spawn_process("node3", "client");
+  ClientMead mead(client, client_config(RecoveryScheme::kMeadMessage, "node3"));
+  std::string got;
+
+  auto serve = [](net::Process& p, std::string& out) -> sim::Task<void> {
+    auto lfd = p.api().listen(2809);  // naming port: not intercepted
+    auto cfd = co_await p.api().accept(lfd.value());
+    auto data = co_await p.api().read(cfd.value(), 65536);
+    if (data) out.assign(data->begin(), data->end());
+  };
+  auto drive = [](ClientMead& m) -> sim::Task<void> {
+    auto fd = co_await m.connect(net::Endpoint{"node1", 2809});
+    Bytes raw{'r', 'a', 'w'};  // non-GIOP bytes would be "corrupt" if parsed
+    (void)co_await m.writev(fd.value(), std::move(raw));
+  };
+  sim_.spawn(serve(*naming, got));
+  sim_.spawn(drive(mead));
+  sim_.run_for(milliseconds(50));
+  EXPECT_EQ(got, "raw");
+}
+
+TEST_F(InterceptorWorld, NeedsAddressingFabricatesReplyOnMaskedEof) {
+  auto server1 = net_.spawn_process("node1", "doomed");
+  auto server2 = net_.spawn_process("node2", "successor");
+  auto client = net_.spawn_process("node3", "client");
+
+  // server2 is a MEAD-managed replica (it will answer the primary query).
+  MeadConfig cfg2;
+  cfg2.scheme = RecoveryScheme::kNeedsAddressing;
+  cfg2.service = "Svc";
+  cfg2.member = "replica/2";
+  cfg2.daemon = net::Endpoint{"node2", gc::kDefaultDaemonPort};
+  ServerMead smead(server2, cfg2);
+  orb::Orb orb2(*server2, smead);
+  orb::OrbServer oserver2(orb2, 21002);
+  auto ior2 = oserver2.adapter().register_servant(
+      "POA/o", std::make_shared<NullServant>());
+  oserver2.start();
+  smead.attach_ior(ior2);
+
+  ClientMead cmead(client,
+                   client_config(RecoveryScheme::kNeedsAddressing, "node3"));
+
+  bool fabricated = false;
+  auto doomed = [](net::Process& p) -> sim::Task<void> {
+    auto lfd = p.api().listen(21001);
+    auto cfd = co_await p.api().accept(lfd.value());
+    (void)co_await p.api().read(cfd.value(), 65536);
+    p.kill();  // dies without answering
+  };
+  auto boot = [](ServerMead& m) -> sim::Task<void> {
+    (void)co_await m.start();
+  };
+  auto drive = [](ClientMead& m, bool& flag) -> sim::Task<void> {
+    (void)co_await m.start();
+    auto fd = co_await m.connect(net::Endpoint{"node1", 21001});
+    (void)co_await m.writev(fd.value(), request_bytes(77));
+    auto data = co_await m.read(fd.value(), 65536, std::nullopt);
+    if (!data || data->empty()) co_return;
+    auto reply = giop::decode_reply(data.value());
+    flag = reply.ok() &&
+           reply->status == giop::ReplyStatus::kNeedsAddressingMode &&
+           reply->request_id == 77;
+  };
+  sim_.spawn(boot(smead));
+  sim_.run_for(milliseconds(10));
+  sim_.spawn(doomed(*server1));
+  sim_.spawn(drive(cmead, fabricated));
+  sim_.run_for(milliseconds(100));
+  EXPECT_TRUE(fabricated);
+  EXPECT_EQ(cmead.stats().masked_failures, 1u);
+  EXPECT_EQ(cmead.stats().unmasked_eofs, 0u);
+}
+
+TEST_F(InterceptorWorld, ServerMeadIdentifiesOrbEndpointFromFirstListen) {
+  auto proc = net_.spawn_process("node1", "replica");
+  MeadConfig cfg;
+  cfg.scheme = RecoveryScheme::kMeadMessage;
+  cfg.member = "replica/1";
+  cfg.daemon = net::Endpoint{"node1", gc::kDefaultDaemonPort};
+  ServerMead mead(proc, cfg);
+  auto fd = mead.listen(21001);
+  ASSERT_TRUE(fd.ok());
+  EXPECT_EQ(mead.orb_endpoint(), (net::Endpoint{"node1", 21001}));
+  // Subsequent listens don't change the ORB endpoint.
+  (void)mead.listen(21099);
+  EXPECT_EQ(mead.orb_endpoint().port, 21001);
+}
+
+TEST_F(InterceptorWorld, ServerMeadFirstRequestHookFiresOnce) {
+  auto server = net_.spawn_process("node1", "replica");
+  auto client = net_.spawn_process("node3", "client");
+  MeadConfig cfg;
+  cfg.scheme = RecoveryScheme::kMeadMessage;
+  cfg.member = "replica/1";
+  cfg.daemon = net::Endpoint{"node1", gc::kDefaultDaemonPort};
+  ServerMead mead(server, cfg);
+  int fires = 0;
+  mead.set_on_first_request([&] { ++fires; });
+
+  auto serve = [](ServerMead& m) -> sim::Task<void> {
+    auto lfd = m.listen(21001);
+    auto cfd = co_await m.accept(lfd.value());
+    for (int i = 0; i < 3; ++i) {
+      auto data = co_await m.read(cfd.value(), 65536, std::nullopt);
+      if (!data || data->empty()) co_return;
+      (void)co_await m.writev(cfd.value(), reply_bytes(static_cast<std::uint32_t>(i)));
+    }
+  };
+  auto drive = [](net::Process& p) -> sim::Task<void> {
+    auto fd = co_await p.api().connect(net::Endpoint{"node1", 21001});
+    for (std::uint32_t i = 0; i < 3; ++i) {
+      (void)co_await p.api().writev(fd.value(), request_bytes(i));
+      (void)co_await p.api().read(fd.value(), 65536);
+    }
+  };
+  sim_.spawn(serve(mead));
+  sim_.spawn(drive(*client));
+  sim_.run_for(milliseconds(100));
+  EXPECT_EQ(fires, 1);
+  EXPECT_EQ(mead.stats().replies_passed, 3u);
+}
+
+TEST_F(InterceptorWorld, ThresholdCrossingTriggersLaunchThenMigration) {
+  auto server = net_.spawn_process("node1", "replica");
+  auto client = net_.spawn_process("node3", "client");
+  MeadConfig cfg;
+  cfg.scheme = RecoveryScheme::kMeadMessage;
+  cfg.member = "replica/1";
+  cfg.service = "Svc";
+  cfg.daemon = net::Endpoint{"node1", gc::kDefaultDaemonPort};
+  cfg.thresholds = Thresholds{0.5, 0.8};
+  cfg.drain_timeout = milliseconds(5);
+  ServerMead mead(server, cfg);
+  fault::ResourceAccount account(100);
+  mead.attach_account(&account);
+
+  // Another replica must exist as the migration target.
+  auto peer = net_.spawn_process("node2", "replica2");
+  MeadConfig cfg2 = cfg;
+  cfg2.member = "replica/2";
+  cfg2.daemon = net::Endpoint{"node2", gc::kDefaultDaemonPort};
+  ServerMead mead2(peer, cfg2);
+  (void)mead2.listen(21002);
+  mead2.attach_ior(giop::IOR{"IDL:x:1.0", net::Endpoint{"node2", 21002},
+                             giop::ObjectKey::make_persistent("POA/o")});
+
+  auto serve = [](ServerMead& m, fault::ResourceAccount& acc) -> sim::Task<void> {
+    auto lfd = m.listen(21001);
+    (void)co_await m.start();
+    auto cfd = co_await m.accept(lfd.value());
+    for (std::uint32_t i = 0; i < 4; ++i) {
+      auto data = co_await m.read(cfd.value(), 65536, std::nullopt);
+      if (!data || data->empty()) co_return;
+      acc.consume(30);  // 30%, 60%, 90%, 120%
+      (void)co_await m.writev(cfd.value(), reply_bytes(i));
+    }
+  };
+  auto boot2 = [](ServerMead& m) -> sim::Task<void> { (void)co_await m.start(); };
+  auto drive = [](net::Process& p, int& replies) -> sim::Task<void> {
+    auto fd = co_await p.api().connect(net::Endpoint{"node1", 21001});
+    for (std::uint32_t i = 0; i < 4; ++i) {
+      (void)co_await p.api().writev(fd.value(), request_bytes(i));
+      auto r = co_await p.api().read(fd.value(), 65536);
+      if (!r || r->empty()) co_return;
+      ++replies;
+    }
+  };
+  int replies = 0;
+  sim_.spawn(boot2(mead2));
+  sim_.run_for(milliseconds(10));
+  sim_.spawn(serve(mead, account));
+  sim_.spawn(drive(*client, replies));
+  sim_.run_for(milliseconds(100));
+
+  EXPECT_TRUE(mead.launch_requested());  // crossed 50% at the 2nd reply
+  EXPECT_TRUE(mead.migrating());         // crossed 80% at the 3rd reply
+  EXPECT_GE(mead.stats().failover_piggybacks, 1u);
+  EXPECT_FALSE(server->alive());  // rejuvenated after the drain timeout
+}
+
+TEST_F(InterceptorWorld, ReactiveSchemeNeverTriggersProactiveActions) {
+  auto server = net_.spawn_process("node1", "replica");
+  MeadConfig cfg;
+  cfg.scheme = RecoveryScheme::kReactiveNoCache;
+  cfg.member = "replica/1";
+  cfg.daemon = net::Endpoint{"node1", gc::kDefaultDaemonPort};
+  cfg.thresholds = Thresholds{0.1, 0.2};
+  ServerMead mead(server, cfg);
+  fault::ResourceAccount account(10);
+  account.consume(9);  // 90% — way past both thresholds
+  mead.attach_account(&account);
+
+  auto client = net_.spawn_process("node3", "client");
+  auto serve = [](ServerMead& m) -> sim::Task<void> {
+    auto lfd = m.listen(21001);
+    auto cfd = co_await m.accept(lfd.value());
+    auto data = co_await m.read(cfd.value(), 65536, std::nullopt);
+    if (!data) co_return;
+    (void)co_await m.writev(cfd.value(), reply_bytes(1));
+  };
+  auto drive = [](net::Process& p) -> sim::Task<void> {
+    auto fd = co_await p.api().connect(net::Endpoint{"node1", 21001});
+    (void)co_await p.api().writev(fd.value(), request_bytes(1));
+    (void)co_await p.api().read(fd.value(), 65536);
+  };
+  sim_.spawn(serve(mead));
+  sim_.spawn(drive(*client));
+  sim_.run_for(milliseconds(50));
+  EXPECT_FALSE(mead.launch_requested());
+  EXPECT_FALSE(mead.migrating());
+  EXPECT_TRUE(server->alive());
+}
+
+}  // namespace
+}  // namespace mead::core

@@ -1,0 +1,134 @@
+#include "core/mead_wire.h"
+
+#include <gtest/gtest.h>
+
+namespace mead::core {
+namespace {
+
+giop::IOR test_ior(const std::string& host = "node1") {
+  return giop::IOR{"IDL:mead/TimeOfDay:1.0", net::Endpoint{host, 20001},
+                   giop::ObjectKey::make_persistent("POA/obj")};
+}
+
+TEST(FailoverFrameTest, RoundTrip) {
+  const FailoverMsg msg{net::Endpoint{"node2", 20002}, "replica/2"};
+  const Bytes frame = encode_failover_frame(msg);
+  auto decoded = decode_failover_frame(frame);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, msg);
+}
+
+TEST(FailoverFrameTest, HeaderIsMeadMagic) {
+  const Bytes frame =
+      encode_failover_frame(FailoverMsg{net::Endpoint{"n", 1}, "m"});
+  auto h = giop::decode_header(frame);
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(h->magic, giop::Magic::kMead);
+  EXPECT_EQ(h->body_size + giop::kHeaderSize, frame.size());
+}
+
+TEST(FailoverFrameTest, RejectsGiopFrame) {
+  const Bytes giop_frame = giop::encode_reply(
+      giop::ReplyMessage{1, giop::ReplyStatus::kNoException, {}});
+  EXPECT_FALSE(decode_failover_frame(giop_frame).has_value());
+}
+
+TEST(FailoverFrameTest, RejectsTruncated) {
+  Bytes frame = encode_failover_frame(FailoverMsg{net::Endpoint{"n", 1}, "m"});
+  frame.resize(frame.size() - 3);
+  EXPECT_FALSE(decode_failover_frame(frame).has_value());
+}
+
+TEST(FailoverFrameTest, SplitsCleanlyFromPiggybackedStream) {
+  // The §4.3 wire pattern: MEAD frame immediately followed by a GIOP reply.
+  Bytes stream =
+      encode_failover_frame(FailoverMsg{net::Endpoint{"node3", 20003}, "r3"});
+  append_bytes(stream, giop::encode_reply(giop::ReplyMessage{
+                           9, giop::ReplyStatus::kNoException, {}}));
+  giop::FrameBuffer fb;
+  fb.feed(stream);
+  auto first = fb.next();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->header.magic, giop::Magic::kMead);
+  auto failover = decode_failover_frame(first->data);
+  ASSERT_TRUE(failover.has_value());
+  EXPECT_EQ(failover->target.port, 20003);
+  auto second = fb.next();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->header.magic, giop::Magic::kGiop);
+  EXPECT_EQ(giop::decode_reply(second->data)->request_id, 9u);
+  EXPECT_FALSE(fb.next().has_value());
+}
+
+TEST(CtrlMsgTest, AnnounceRoundTrip) {
+  const Announce a{"replica/1", net::Endpoint{"node1", 20001}, test_ior()};
+  auto msg = decode_ctrl(encode_announce(a));
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->kind, CtrlKind::kAnnounce);
+  ASSERT_TRUE(msg->announce.has_value());
+  EXPECT_EQ(*msg->announce, a);
+}
+
+TEST(CtrlMsgTest, ListingRoundTrip) {
+  Listing l;
+  l.entries.push_back(Announce{"r1", net::Endpoint{"node1", 1}, test_ior("node1")});
+  l.entries.push_back(Announce{"r2", net::Endpoint{"node2", 2}, test_ior("node2")});
+  auto msg = decode_ctrl(encode_listing(l));
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->kind, CtrlKind::kListing);
+  ASSERT_TRUE(msg->listing.has_value());
+  EXPECT_EQ(*msg->listing, l);
+}
+
+TEST(CtrlMsgTest, EmptyListingRoundTrip) {
+  auto msg = decode_ctrl(encode_listing(Listing{}));
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_TRUE(msg->listing->entries.empty());
+}
+
+TEST(CtrlMsgTest, LaunchRequestRoundTrip) {
+  const LaunchRequest req{"replica/3", 0.82};
+  auto msg = decode_ctrl(encode_launch_request(req));
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->kind, CtrlKind::kLaunchRequest);
+  EXPECT_EQ(*msg->launch, req);
+}
+
+TEST(CtrlMsgTest, PrimaryQueryAnswerRoundTrip) {
+  const PrimaryQuery q{"#reply/client/1", 42};
+  auto qm = decode_ctrl(encode_primary_query(q));
+  ASSERT_TRUE(qm.has_value());
+  EXPECT_EQ(*qm->query, q);
+
+  const PrimaryAnswer a{"replica/2", net::Endpoint{"node2", 20002}, 42};
+  auto am = decode_ctrl(encode_primary_answer(a));
+  ASSERT_TRUE(am.has_value());
+  EXPECT_EQ(*am->answer, a);
+  EXPECT_EQ(am->answer->nonce, 42u);
+}
+
+TEST(CtrlMsgTest, StateTransferRoundTrip) {
+  const StateTransfer st{"replica/1", 7, Bytes{1, 2, 3}};
+  auto msg = decode_ctrl(encode_state(st));
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(*msg->state, st);
+}
+
+TEST(CtrlMsgTest, RejectsEmptyPayload) {
+  EXPECT_FALSE(decode_ctrl(Bytes{}).has_value());
+}
+
+TEST(CtrlMsgTest, RejectsUnknownKind) {
+  Bytes evil{99, 0, 0, 0};
+  EXPECT_FALSE(decode_ctrl(evil).has_value());
+}
+
+TEST(CtrlMsgTest, RejectsTruncatedBody) {
+  Bytes frame = encode_announce(
+      Announce{"replica/1", net::Endpoint{"node1", 20001}, test_ior()});
+  frame.resize(frame.size() / 2);
+  EXPECT_FALSE(decode_ctrl(frame).has_value());
+}
+
+}  // namespace
+}  // namespace mead::core

@@ -1,0 +1,168 @@
+#include "core/predictor.h"
+
+#include <gtest/gtest.h>
+
+#include "app/experiment_client.h"
+#include "app/testbed.h"
+#include "common/rng.h"
+
+namespace mead::core {
+namespace {
+
+TimePoint at_ms(double ms) {
+  return TimePoint{static_cast<std::int64_t>(ms * 1e6)};
+}
+
+TEST(TrendPredictorTest, NotReadyWithFewSamples) {
+  TrendPredictor p;
+  EXPECT_FALSE(p.ready());
+  p.observe(at_ms(0), 0.1);
+  p.observe(at_ms(10), 0.2);
+  EXPECT_FALSE(p.ready());
+  EXPECT_FALSE(p.time_to_reach(1.0, at_ms(10)).has_value());
+}
+
+TEST(TrendPredictorTest, LinearTrendPredictsExactly) {
+  TrendPredictor p;
+  // 1% per ms => 100%/100ms.
+  for (int i = 0; i <= 4; ++i) {
+    p.observe(at_ms(i * 10), 0.1 * i);
+  }
+  ASSERT_TRUE(p.ready());
+  EXPECT_NEAR(p.slope_per_second(), 10.0, 1e-9);  // fraction per second
+  auto eta = p.time_to_reach(1.0, at_ms(40));
+  ASSERT_TRUE(eta.has_value());
+  EXPECT_NEAR(eta->ms(), 60.0, 1e-6);  // 0.4 -> 1.0 at 0.01/ms
+}
+
+TEST(TrendPredictorTest, EtaShrinksAsTimePasses) {
+  TrendPredictor p;
+  for (int i = 0; i <= 4; ++i) p.observe(at_ms(i * 10), 0.1 * i);
+  auto eta_now = p.time_to_reach(1.0, at_ms(40));
+  auto eta_later = p.time_to_reach(1.0, at_ms(60));
+  ASSERT_TRUE(eta_now && eta_later);
+  EXPECT_NEAR(eta_now->ms() - eta_later->ms(), 20.0, 1e-6);
+}
+
+TEST(TrendPredictorTest, FlatUsageHasNoEta) {
+  TrendPredictor p;
+  // Duplicate usage values are skipped, so feed distinct-but-flat noise.
+  p.observe(at_ms(0), 0.30);
+  p.observe(at_ms(10), 0.31);
+  p.observe(at_ms(20), 0.30);
+  p.observe(at_ms(30), 0.31);
+  p.observe(at_ms(40), 0.30);
+  EXPECT_FALSE(p.time_to_reach(1.0, at_ms(40)).has_value());
+}
+
+TEST(TrendPredictorTest, AlreadyPastLevelIsZero) {
+  TrendPredictor p;
+  for (int i = 0; i <= 4; ++i) p.observe(at_ms(i * 10), 0.3 * i);
+  auto eta = p.time_to_reach(1.0, at_ms(40));
+  ASSERT_TRUE(eta.has_value());
+  EXPECT_EQ(eta->ns(), 0);
+}
+
+TEST(TrendPredictorTest, SlidingWindowTracksRateChanges) {
+  TrendPredictor::Config cfg;
+  cfg.window = 4;
+  TrendPredictor p(cfg);
+  // Slow phase then fast phase: window should forget the slow phase.
+  for (int i = 0; i < 6; ++i) p.observe(at_ms(i * 10), 0.01 * i);
+  for (int i = 0; i < 6; ++i) p.observe(at_ms(60 + i * 10), 0.05 + 0.1 * i);
+  EXPECT_NEAR(p.slope_per_second(), 10.0, 0.5);
+}
+
+TEST(TrendPredictorTest, NoisyWeibullTrendStillConverges) {
+  TrendPredictor::Config cfg;
+  cfg.window = 8;
+  TrendPredictor p(cfg);
+  Rng rng(7);
+  double usage = 0;
+  double t = 0;
+  // The paper's fault: Weibull(64,2) chunks, 19B/unit on 32KB every 15ms —
+  // mean slope ~= 0.0022/ms.
+  while (usage < 0.7) {
+    usage += rng.weibull(64, 2.0) * 19.0 / 32768.0;
+    t += 15.0;
+    p.observe(at_ms(t), usage);
+  }
+  const double true_slope = 64.0 * 0.886227 * 19.0 / 32768.0 / 0.015;  // /sec
+  EXPECT_NEAR(p.slope_per_second(), true_slope, true_slope * 0.4);
+  auto eta = p.time_to_reach(1.0, at_ms(t));
+  ASSERT_TRUE(eta.has_value());
+  const double expected_ms = (1.0 - usage) / (true_slope / 1000.0);
+  EXPECT_NEAR(eta->ms(), expected_ms, expected_ms * 0.5);
+}
+
+TEST(TrendPredictorTest, ResetForgetsHistory) {
+  TrendPredictor p;
+  for (int i = 0; i <= 4; ++i) p.observe(at_ms(i * 10), 0.1 * i);
+  ASSERT_TRUE(p.ready());
+  p.reset();
+  EXPECT_FALSE(p.ready());
+  EXPECT_EQ(p.sample_count(), 0u);
+}
+
+// ---- integration: adaptive thresholds end-to-end (§6 future work) ----
+
+struct AdaptiveOutcome {
+  std::uint64_t exceptions = 0;
+  std::size_t rejuvenations = 0;
+  double failover_ms = 0;
+};
+
+AdaptiveOutcome run(core::Thresholds thresholds, std::uint64_t seed) {
+  app::TestbedOptions opts;
+  opts.scheme = core::RecoveryScheme::kMeadMessage;
+  opts.seed = seed;
+  opts.thresholds = thresholds;
+  opts.inject_leak = true;
+  app::Testbed bed(opts);
+  EXPECT_TRUE(bed.start());
+  const auto deaths0 = bed.replica_deaths();
+  app::ClientOptions copts;
+  copts.invocations = 4000;
+  app::ExperimentClient client(bed, copts);
+  bed.sim().spawn(client.run());
+  for (int i = 0; i < 600 && !client.done(); ++i) {
+    bed.sim().run_for(milliseconds(100));
+  }
+  EXPECT_TRUE(client.done());
+  AdaptiveOutcome out;
+  out.exceptions = client.results().total_exceptions();
+  out.rejuvenations = bed.replica_deaths() - deaths0;
+  out.failover_ms = client.results().failover_ms.mean();
+  return out;
+}
+
+TEST(AdaptiveThresholdTest, MasksAllFailuresLikeFixed) {
+  auto out = run(core::Thresholds::adaptive(milliseconds(150), milliseconds(60)),
+                 2004);
+  EXPECT_EQ(out.exceptions, 0u);
+  EXPECT_GT(out.rejuvenations, 0u);
+}
+
+TEST(AdaptiveThresholdTest, RejuvenatesLessOftenThanEagerFixed) {
+  // A low fixed threshold rejuvenates eagerly; adaptive waits until the
+  // predicted time-to-exhaustion requires action — the paper's "ideal
+  // scenario" (§5.2.4/§6).
+  auto eager = run(core::Thresholds{0.3, 0.4}, 2004);
+  auto adaptive = run(
+      core::Thresholds::adaptive(milliseconds(150), milliseconds(60)), 2004);
+  EXPECT_EQ(adaptive.exceptions, 0u);
+  EXPECT_LT(adaptive.rejuvenations, eager.rejuvenations);
+}
+
+TEST(AdaptiveThresholdTest, ComparableToPaperPreset) {
+  auto fixed = run(core::Thresholds{0.8, 0.9}, 2005);
+  auto adaptive = run(
+      core::Thresholds::adaptive(milliseconds(150), milliseconds(60)), 2005);
+  EXPECT_EQ(fixed.exceptions, 0u);
+  EXPECT_EQ(adaptive.exceptions, 0u);
+  // Adaptive should be at least as lazy as the 80/90 preset.
+  EXPECT_LE(adaptive.rejuvenations, fixed.rejuvenations + 1);
+}
+
+}  // namespace
+}  // namespace mead::core

@@ -1,0 +1,147 @@
+#include "core/registry.h"
+
+#include <gtest/gtest.h>
+
+namespace mead::core {
+namespace {
+
+Announce make_announce(const std::string& member, const std::string& host,
+                       std::uint16_t port) {
+  return Announce{member, net::Endpoint{host, port},
+                  giop::IOR{"IDL:mead/TimeOfDay:1.0", net::Endpoint{host, port},
+                            giop::ObjectKey::make_persistent("POA/obj")}};
+}
+
+gc::View view_of(std::vector<std::string> members, std::uint64_t id = 1) {
+  return gc::View{id, std::move(members)};
+}
+
+class RegistryTest : public ::testing::Test {
+ protected:
+  ReplicaRegistry reg_;
+};
+
+TEST_F(RegistryTest, EmptyRegistryHasNoTargets) {
+  EXPECT_FALSE(reg_.first().has_value());
+  EXPECT_FALSE(reg_.next_after("anyone").has_value());
+  EXPECT_EQ(reg_.known_count(), 0u);
+  EXPECT_FALSE(reg_.is_first("x"));
+}
+
+TEST_F(RegistryTest, AnnounceWithoutViewIsNotListed) {
+  reg_.on_announce(make_announce("r1", "node1", 20001));
+  EXPECT_FALSE(reg_.find("r1").has_value());  // not in any view yet
+  EXPECT_EQ(reg_.known_count(), 0u);
+}
+
+TEST_F(RegistryTest, ViewPlusAnnounceIsListed) {
+  reg_.on_view(view_of({"r1", "r2"}));
+  reg_.on_announce(make_announce("r1", "node1", 20001));
+  auto rec = reg_.find("r1");
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->endpoint, (net::Endpoint{"node1", 20001}));
+  EXPECT_EQ(reg_.known_count(), 1u);
+}
+
+TEST_F(RegistryTest, FirstSkipsUnannouncedMembers) {
+  // The Recovery Manager joins the group but never announces (§3.3); the
+  // "first replica listed" must skip it.
+  reg_.on_view(view_of({"recovery-manager", "r1", "r2"}));
+  reg_.on_announce(make_announce("r1", "node1", 20001));
+  reg_.on_announce(make_announce("r2", "node2", 20002));
+  ASSERT_TRUE(reg_.first().has_value());
+  EXPECT_EQ(reg_.first()->member, "r1");
+  EXPECT_TRUE(reg_.is_first("r1"));
+  EXPECT_FALSE(reg_.is_first("recovery-manager"));
+  EXPECT_FALSE(reg_.is_first("r2"));
+}
+
+TEST_F(RegistryTest, NextAfterCyclesInViewOrder) {
+  reg_.on_view(view_of({"r1", "r2", "r3"}));
+  for (int i = 1; i <= 3; ++i) {
+    reg_.on_announce(make_announce("r" + std::to_string(i),
+                                   "node" + std::to_string(i),
+                                   static_cast<std::uint16_t>(20000 + i)));
+  }
+  EXPECT_EQ(reg_.next_after("r1")->member, "r2");
+  EXPECT_EQ(reg_.next_after("r2")->member, "r3");
+  EXPECT_EQ(reg_.next_after("r3")->member, "r1");  // wraps
+}
+
+TEST_F(RegistryTest, NextAfterSkipsUnannounced) {
+  reg_.on_view(view_of({"r1", "rm", "r3"}));
+  reg_.on_announce(make_announce("r1", "node1", 20001));
+  reg_.on_announce(make_announce("r3", "node3", 20003));
+  EXPECT_EQ(reg_.next_after("r1")->member, "r3");  // skips rm
+}
+
+TEST_F(RegistryTest, NextAfterNeverReturnsSelf) {
+  reg_.on_view(view_of({"r1"}));
+  reg_.on_announce(make_announce("r1", "node1", 20001));
+  EXPECT_FALSE(reg_.next_after("r1").has_value());
+}
+
+TEST_F(RegistryTest, NextAfterUnknownMemberStartsAtFront) {
+  reg_.on_view(view_of({"r1", "r2"}));
+  reg_.on_announce(make_announce("r1", "node1", 20001));
+  reg_.on_announce(make_announce("r2", "node2", 20002));
+  EXPECT_EQ(reg_.next_after("stranger")->member, "r1");
+}
+
+TEST_F(RegistryTest, ViewChangePrunesDepartedAnnouncements) {
+  reg_.on_view(view_of({"r1", "r2"}));
+  reg_.on_announce(make_announce("r1", "node1", 20001));
+  reg_.on_announce(make_announce("r2", "node2", 20002));
+  reg_.on_view(view_of({"r2"}, 2));  // r1 died
+  EXPECT_FALSE(reg_.find("r1").has_value());
+  EXPECT_EQ(reg_.known_count(), 1u);
+  EXPECT_EQ(reg_.first()->member, "r2");
+}
+
+TEST_F(RegistryTest, RelaunchedReplicaGetsFreshEndpoint) {
+  reg_.on_view(view_of({"r1", "r2"}));
+  reg_.on_announce(make_announce("r1", "node1", 20001));
+  reg_.on_announce(make_announce("r2", "node2", 20002));
+  // r1 dies; relaunched as r4 on the same node with a new port.
+  reg_.on_view(view_of({"r2", "r4"}, 2));
+  reg_.on_announce(make_announce("r4", "node1", 20004));
+  EXPECT_EQ(reg_.next_after("r2")->endpoint.port, 20004);
+}
+
+TEST_F(RegistryTest, ListingUpdatesManyAtOnce) {
+  reg_.on_view(view_of({"r1", "r2", "r3"}));
+  Listing listing;
+  listing.entries.push_back(make_announce("r1", "node1", 20001));
+  listing.entries.push_back(make_announce("r2", "node2", 20002));
+  listing.entries.push_back(make_announce("r3", "node3", 20003));
+  reg_.on_listing(listing);
+  EXPECT_EQ(reg_.known_count(), 3u);
+  EXPECT_EQ(reg_.listed().size(), 3u);
+  EXPECT_EQ(reg_.listed()[2].member, "r3");
+}
+
+TEST_F(RegistryTest, LookupByKeyHashValidates) {
+  reg_.on_view(view_of({"r1"}));
+  auto a = make_announce("r1", "node1", 20001);
+  reg_.on_announce(a);
+  const std::uint16_t good = a.ior.key.hash16();
+  EXPECT_TRUE(reg_.lookup_by_key_hash(good, "r1").has_value());
+  EXPECT_FALSE(reg_.lookup_by_key_hash(static_cast<std::uint16_t>(good + 1), "r1")
+                   .has_value());
+  EXPECT_FALSE(reg_.lookup_by_key_hash(good, "r9").has_value());
+}
+
+TEST_F(RegistryTest, ListedPreservesViewOrder) {
+  reg_.on_view(view_of({"r3", "r1", "r2"}));
+  reg_.on_announce(make_announce("r1", "node1", 20001));
+  reg_.on_announce(make_announce("r2", "node2", 20002));
+  reg_.on_announce(make_announce("r3", "node3", 20003));
+  auto listed = reg_.listed();
+  ASSERT_EQ(listed.size(), 3u);
+  EXPECT_EQ(listed[0].member, "r3");
+  EXPECT_EQ(listed[1].member, "r1");
+  EXPECT_EQ(listed[2].member, "r2");
+}
+
+}  // namespace
+}  // namespace mead::core

@@ -1,0 +1,169 @@
+#include "fault/fault.h"
+
+#include <gtest/gtest.h>
+
+#include "net/network.h"
+#include "sim/simulator.h"
+
+namespace mead::fault {
+namespace {
+
+class FaultTest : public ::testing::Test {
+ protected:
+  FaultTest() : net_(sim_) { net_.add_node("node1"); }
+
+  sim::Simulator sim_{7};
+  net::Network net_;
+};
+
+TEST(ResourceAccountTest, TracksUsage) {
+  ResourceAccount acc(100);
+  EXPECT_EQ(acc.capacity(), 100u);
+  EXPECT_EQ(acc.used(), 0u);
+  EXPECT_DOUBLE_EQ(acc.fraction_used(), 0.0);
+  acc.consume(30);
+  EXPECT_DOUBLE_EQ(acc.fraction_used(), 0.3);
+  EXPECT_FALSE(acc.exhausted());
+  acc.consume(80);
+  EXPECT_TRUE(acc.exhausted());
+  EXPECT_DOUBLE_EQ(acc.fraction_used(), 1.1);
+  acc.reset();
+  EXPECT_EQ(acc.used(), 0u);
+}
+
+TEST(ResourceAccountTest, ZeroCapacityIsAlwaysExhausted) {
+  ResourceAccount acc(0);
+  EXPECT_TRUE(acc.exhausted());
+  EXPECT_DOUBLE_EQ(acc.fraction_used(), 1.0);
+}
+
+TEST_F(FaultTest, LeakInactiveUntilActivated) {
+  auto proc = net_.spawn_process("node1", "victim");
+  MemoryLeakInjector leak(proc, LeakConfig{});
+  sim_.run_for(seconds(2));
+  EXPECT_FALSE(leak.active());
+  EXPECT_EQ(leak.account().used(), 0u);
+  EXPECT_TRUE(proc->alive());
+}
+
+TEST_F(FaultTest, LeakConsumesEveryInterval) {
+  auto proc = net_.spawn_process("node1", "victim");
+  LeakConfig cfg;
+  cfg.interval = milliseconds(150);  // the paper's literal tick period
+  cfg.kill_on_exhaustion = false;
+  MemoryLeakInjector leak(proc, cfg);
+  leak.activate();
+  sim_.run_for(milliseconds(151));
+  EXPECT_EQ(leak.ticks(), 1u);
+  EXPECT_GT(leak.account().used(), 0u);
+  sim_.run_for(milliseconds(150));
+  EXPECT_EQ(leak.ticks(), 2u);
+}
+
+TEST_F(FaultTest, ActivateIsIdempotent) {
+  auto proc = net_.spawn_process("node1", "victim");
+  LeakConfig cfg;
+  cfg.interval = milliseconds(150);
+  cfg.kill_on_exhaustion = false;
+  MemoryLeakInjector leak(proc, cfg);
+  leak.activate();
+  leak.activate();
+  leak.activate();
+  sim_.run_for(milliseconds(160));
+  EXPECT_EQ(leak.ticks(), 1u);  // only one loop running
+}
+
+TEST_F(FaultTest, ExhaustionKillsProcess) {
+  auto proc = net_.spawn_process("node1", "victim");
+  MemoryLeakInjector leak(proc, LeakConfig{});
+  leak.activate();
+  sim_.run_for(seconds(10));
+  EXPECT_FALSE(proc->alive());
+  EXPECT_TRUE(leak.account().exhausted());
+}
+
+TEST_F(FaultTest, DeathWithinCalibratedWindow) {
+  // With default calibration the process dies after ~31 ticks (~0.47 s):
+  // the paper's macro rate of roughly one failure per 250-400 invocations
+  // at ~1-1.7 ms per invocation (§5.1 and the fault.h calibration note).
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    sim::Simulator sim(seed);
+    net::Network net(sim);
+    net.add_node("n");
+    auto proc = net.spawn_process("n", "victim");
+    MemoryLeakInjector leak(proc, LeakConfig{});
+    leak.activate();
+    sim.run_for(seconds(30));
+    EXPECT_FALSE(proc->alive()) << "seed " << seed;
+    EXPECT_GE(leak.ticks(), 22u) << "seed " << seed;
+    EXPECT_LE(leak.ticks(), 42u) << "seed " << seed;
+  }
+}
+
+TEST_F(FaultTest, OnTickObserverSeesThresholdCrossings) {
+  auto proc = net_.spawn_process("node1", "victim");
+  MemoryLeakInjector leak(proc, LeakConfig{});
+  std::vector<double> fractions;
+  leak.set_on_tick([&] { fractions.push_back(leak.account().fraction_used()); });
+  leak.activate();
+  sim_.run_for(seconds(10));
+  ASSERT_GE(fractions.size(), 2u);
+  // Monotone non-decreasing usage; last observation at/over capacity.
+  for (std::size_t i = 1; i < fractions.size(); ++i) {
+    EXPECT_GE(fractions[i], fractions[i - 1]);
+  }
+  EXPECT_GE(fractions.back(), 1.0);
+}
+
+TEST_F(FaultTest, LeakIsDeterministicPerSeed) {
+  auto run = [](std::uint64_t seed) {
+    sim::Simulator sim(seed);
+    net::Network net(sim);
+    net.add_node("n");
+    auto proc = net.spawn_process("n", "victim");
+    LeakConfig cfg;
+    cfg.kill_on_exhaustion = false;
+    MemoryLeakInjector leak(proc, cfg);
+    leak.activate();
+    sim.run_for(seconds(1));
+    return leak.account().used();
+  };
+  EXPECT_EQ(run(5), run(5));
+  EXPECT_NE(run(5), run(6));
+}
+
+TEST_F(FaultTest, KillDisarmedLeakOnlyMarksBuffer) {
+  auto proc = net_.spawn_process("node1", "victim");
+  LeakConfig cfg;
+  cfg.kill_on_exhaustion = false;
+  MemoryLeakInjector leak(proc, cfg);
+  leak.activate();
+  sim_.run_for(seconds(10));
+  EXPECT_TRUE(proc->alive());  // injector observed but never killed
+  EXPECT_TRUE(leak.account().exhausted());
+}
+
+TEST_F(FaultTest, ScheduleCrashKillsAtTime) {
+  auto proc = net_.spawn_process("node1", "victim");
+  schedule_crash(*proc, milliseconds(25));
+  sim_.run_for(milliseconds(24));
+  EXPECT_TRUE(proc->alive());
+  sim_.run_for(milliseconds(2));
+  EXPECT_FALSE(proc->alive());
+}
+
+TEST_F(FaultTest, LeakStopsTickingAfterProcessDeath) {
+  auto proc = net_.spawn_process("node1", "victim");
+  LeakConfig cfg;
+  cfg.kill_on_exhaustion = false;
+  MemoryLeakInjector leak(proc, cfg);
+  leak.activate();
+  sim_.run_for(milliseconds(200));
+  const auto ticks_at_death = leak.ticks();
+  proc->kill();
+  sim_.run_for(seconds(2));
+  EXPECT_EQ(leak.ticks(), ticks_at_death);
+}
+
+}  // namespace
+}  // namespace mead::fault

@@ -1,0 +1,66 @@
+// Shared fixture: an N-node world with one GC daemon per node.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gc/client.h"
+#include "gc/daemon.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+
+namespace mead::gc {
+
+class GcWorld : public ::testing::Test {
+ protected:
+  explicit GcWorld(std::size_t nodes = 3, std::uint64_t seed = 1)
+      : sim_(seed), net_(sim_) {
+    for (std::size_t i = 0; i < nodes; ++i) {
+      hosts_.push_back("node" + std::to_string(i + 1));
+      net_.add_node(hosts_.back());
+    }
+    for (std::size_t i = 0; i < nodes; ++i) {
+      DaemonConfig cfg;
+      cfg.daemon_hosts = hosts_;
+      cfg.self_index = i;
+      auto proc = net_.spawn_process(hosts_[i], "gc-daemon");
+      daemons_.push_back(std::make_unique<GcDaemon>(proc, cfg));
+      daemon_procs_.push_back(proc);
+      daemons_.back()->start();
+    }
+    // Let the mesh come up.
+    sim_.run_for(milliseconds(10));
+  }
+
+  /// Creates a client process + GcClient connected to its local daemon.
+  struct ClientHandle {
+    net::ProcessPtr proc;
+    std::unique_ptr<GcClient> gc;
+  };
+
+  ClientHandle make_client(const std::string& host, const std::string& name) {
+    ClientHandle h;
+    h.proc = net_.spawn_process(host, name);
+    h.gc = std::make_unique<GcClient>(*h.proc, name,
+                                      net::Endpoint{host, kDefaultDaemonPort});
+    bool ok = false;
+    auto conn = [](GcClient& c, bool& flag) -> sim::Task<void> {
+      flag = co_await c.connect();
+    };
+    sim_.spawn(conn(*h.gc, ok));
+    sim_.run_for(milliseconds(5));
+    EXPECT_TRUE(ok) << "client " << name << " failed to connect";
+    return h;
+  }
+
+  sim::Simulator sim_;
+  net::Network net_;
+  std::vector<std::string> hosts_;
+  std::vector<std::unique_ptr<GcDaemon>> daemons_;
+  std::vector<net::ProcessPtr> daemon_procs_;
+};
+
+}  // namespace mead::gc

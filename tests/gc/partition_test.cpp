@@ -1,0 +1,157 @@
+// Message-loss faults (the paper's fault model, §3): network partitions
+// drop traffic silently, so failure detection must come from heartbeat
+// timeouts rather than EOF.
+#include <gtest/gtest.h>
+
+#include "gc_fixture.h"
+
+namespace mead::gc {
+namespace {
+
+/// Three-node world with fast heartbeats so partition detection fits in a
+/// short test.
+class PartitionWorld : public ::testing::Test {
+ protected:
+  PartitionWorld() : net_(sim_) {
+    for (int i = 1; i <= 3; ++i) {
+      hosts_.push_back("node" + std::to_string(i));
+      net_.add_node(hosts_.back());
+    }
+    for (std::size_t i = 0; i < hosts_.size(); ++i) {
+      DaemonConfig cfg;
+      cfg.daemon_hosts = hosts_;
+      cfg.self_index = i;
+      cfg.heartbeat_interval = milliseconds(20);
+      auto proc = net_.spawn_process(hosts_[i], "gc-daemon");
+      daemons_.push_back(std::make_unique<GcDaemon>(proc, cfg));
+      daemons_.back()->start();
+    }
+    sim_.run_for(milliseconds(10));
+  }
+
+  struct ClientHandle {
+    net::ProcessPtr proc;
+    std::unique_ptr<GcClient> gc;
+  };
+
+  ClientHandle make_member(const std::string& host, const std::string& name) {
+    ClientHandle h;
+    h.proc = net_.spawn_process(host, name);
+    h.gc = std::make_unique<GcClient>(*h.proc, name,
+                                      net::Endpoint{host, kDefaultDaemonPort});
+    auto boot = [](GcClient& c) -> sim::Task<void> {
+      const bool ok = co_await c.connect();
+      if (ok) (void)co_await c.join("grp");
+    };
+    sim_.spawn(boot(*h.gc));
+    sim_.run_for(milliseconds(10));
+    return h;
+  }
+
+  sim::Simulator sim_{17};
+  net::Network net_;
+  std::vector<std::string> hosts_;
+  std::vector<std::unique_ptr<GcDaemon>> daemons_;
+};
+
+TEST_F(PartitionWorld, PartitionDropsMessagesSilently) {
+  auto a = make_member("node1", "a");
+  auto b = make_member("node2", "b");
+  const auto dropped0 = net_.messages_dropped();
+
+  net_.set_link_partitioned("node1", "node2", true);
+  auto talk = [](GcClient& gc) -> sim::Task<void> {
+    Bytes msg{'x'};
+    (void)co_await gc.multicast("grp", msg);
+  };
+  sim_.spawn(talk(*a.gc));
+  sim_.run_for(milliseconds(30));
+  // The multicast travels a->daemon1 (same node, fine); daemon1 is the
+  // sequencer, its broadcast to daemon2 crosses the partition: dropped.
+  EXPECT_GT(net_.messages_dropped(), dropped0);
+}
+
+TEST_F(PartitionWorld, HeartbeatTimeoutExpelsSilencedDaemonsMembers) {
+  auto a = make_member("node1", "a");
+  auto c = make_member("node3", "c");
+  ASSERT_EQ(daemons_[0]->group_members("grp"),
+            (std::vector<std::string>{"a", "c"}));
+
+  // node3 falls silent to EVERYONE (full partition, no process death).
+  net_.set_link_partitioned("node1", "node3", true);
+  net_.set_link_partitioned("node2", "node3", true);
+  // 3x heartbeat interval (20ms) + slack for the leave to propagate.
+  sim_.run_for(milliseconds(200));
+
+  // The sequencer (daemon0) expelled node3's member even though no EOF
+  // ever arrived.
+  EXPECT_EQ(daemons_[0]->group_members("grp"),
+            (std::vector<std::string>{"a"}));
+  EXPECT_EQ(daemons_[1]->group_members("grp"),
+            (std::vector<std::string>{"a"}));
+  // c's process is still alive — it is partitioned, not dead.
+  EXPECT_TRUE(c.proc->alive());
+  (void)a;
+}
+
+TEST_F(PartitionWorld, SurvivingMajorityKeepsOperating) {
+  auto a = make_member("node1", "a");
+  auto b = make_member("node2", "b");
+  auto c = make_member("node3", "c");
+  net_.set_link_partitioned("node1", "node3", true);
+  net_.set_link_partitioned("node2", "node3", true);
+  sim_.run_for(milliseconds(200));
+
+  // a and b still exchange totally-ordered messages.
+  std::vector<std::string> got;
+  auto recv = [](GcClient& gc, std::vector<std::string>& out) -> sim::Task<void> {
+    for (;;) {
+      auto ev = co_await gc.next_event(milliseconds(50));
+      if (!ev || !ev.value()) co_return;
+      if (ev.value()->kind == Event::Kind::kMessage) {
+        out.emplace_back(ev.value()->payload.begin(), ev.value()->payload.end());
+      }
+    }
+  };
+  auto send = [](GcClient& gc) -> sim::Task<void> {
+    Bytes msg{'o', 'k'};
+    (void)co_await gc.multicast("grp", msg);
+  };
+  sim_.spawn(recv(*b.gc, got));
+  sim_.spawn(send(*a.gc));
+  sim_.run_for(milliseconds(200));
+  ASSERT_GE(got.size(), 1u);
+  EXPECT_EQ(got[0], "ok");
+  (void)c;
+}
+
+TEST_F(PartitionWorld, HealedLinkStopsDropping) {
+  const auto before = net_.messages_dropped();
+  net_.set_link_partitioned("node1", "node2", true);
+  net_.set_link_partitioned("node1", "node2", false);
+  auto a = make_member("node1", "a2");
+  auto b = make_member("node2", "b2");
+  sim_.run_for(milliseconds(50));
+  // Views propagated across the healed link; nothing dropped after healing.
+  EXPECT_EQ(net_.messages_dropped(), before);
+  EXPECT_EQ(daemons_[1]->group_members("grp"),
+            (std::vector<std::string>{"a2", "b2"}));
+  (void)a;
+  (void)b;
+}
+
+TEST_F(PartitionWorld, ConnectAcrossPartitionTimesOut) {
+  net_.set_link_partitioned("node1", "node2", true);
+  auto proc = net_.spawn_process("node1", "dialer");
+  bool timed_out = false;
+  auto dial = [](net::Process& p, bool& flag) -> sim::Task<void> {
+    auto fd = co_await p.api().connect(net::Endpoint{"node2", kDefaultDaemonPort});
+    flag = !fd.ok() && fd.error() == net::NetErr::kTimeout;
+  };
+  sim_.spawn(dial(*proc, timed_out));
+  sim_.run_for(milliseconds(200));
+  EXPECT_TRUE(timed_out);
+}
+
+}  // namespace
+}  // namespace mead::gc

@@ -1,0 +1,159 @@
+#include "gc/wire.h"
+
+#include <gtest/gtest.h>
+
+namespace mead::gc {
+namespace {
+
+TEST(GcWireTest, HelloRoundTrip) {
+  LenFramer f;
+  f.feed(encode_hello(HelloMsg{"replica/node1/1"}));
+  auto frame = f.next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->op, Op::kHello);
+  auto m = decode_hello(frame->payload);
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->name, "replica/node1/1");
+}
+
+TEST(GcWireTest, JoinLeaveRoundTrip) {
+  LenFramer f;
+  f.feed(encode_join(GroupMsg{"TimeOfDay-servers"}));
+  f.feed(encode_leave(GroupMsg{"TimeOfDay-servers"}));
+  auto j = f.next();
+  ASSERT_TRUE(j.has_value());
+  EXPECT_EQ(j->op, Op::kJoin);
+  EXPECT_EQ(decode_group(j->payload)->group, "TimeOfDay-servers");
+  auto l = f.next();
+  ASSERT_TRUE(l.has_value());
+  EXPECT_EQ(l->op, Op::kLeave);
+}
+
+TEST(GcWireTest, McastRoundTrip) {
+  Bytes payload{9, 8, 7};
+  LenFramer f;
+  f.feed(encode_mcast(McastMsg{"g", payload}));
+  auto frame = f.next();
+  ASSERT_TRUE(frame.has_value());
+  auto m = decode_mcast(frame->payload);
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->group, "g");
+  EXPECT_EQ(m->payload, payload);
+}
+
+TEST(GcWireTest, DeliverRoundTrip) {
+  LenFramer f;
+  f.feed(encode_deliver(DeliverMsg{"g", "sender-1", 42, Bytes{1, 2}}));
+  auto frame = f.next();
+  ASSERT_TRUE(frame.has_value());
+  auto m = decode_deliver(frame->payload);
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->sender, "sender-1");
+  EXPECT_EQ(m->seq, 42u);
+  EXPECT_EQ(m->payload, (Bytes{1, 2}));
+}
+
+TEST(GcWireTest, ViewRoundTrip) {
+  LenFramer f;
+  f.feed(encode_view(ViewMsg{"g", 7, {"a", "b", "c"}}));
+  auto frame = f.next();
+  ASSERT_TRUE(frame.has_value());
+  auto m = decode_view(frame->payload);
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->view_id, 7u);
+  EXPECT_EQ(m->members, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(GcWireTest, EmptyViewRoundTrip) {
+  LenFramer f;
+  f.feed(encode_view(ViewMsg{"g", 1, {}}));
+  auto m = decode_view(f.next()->payload);
+  ASSERT_TRUE(m.ok());
+  EXPECT_TRUE(m->members.empty());
+}
+
+TEST(GcWireTest, OrderedRoundTrip) {
+  OrderedMsg o;
+  o.seq = 100;
+  o.origin = 3;
+  o.msg_id = 55;
+  o.kind = PayloadKind::kJoin;
+  o.group = "servers";
+  o.member = "replica/2";
+  o.payload = Bytes{0xFF};
+  LenFramer f;
+  f.feed(encode_ordered(o));
+  auto frame = f.next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->op, Op::kOrdered);
+  auto m = decode_ordered_like(frame->payload);
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->seq, 100u);
+  EXPECT_EQ(m->origin, 3u);
+  EXPECT_EQ(m->msg_id, 55u);
+  EXPECT_EQ(m->kind, PayloadKind::kJoin);
+  EXPECT_EQ(m->group, "servers");
+  EXPECT_EQ(m->member, "replica/2");
+}
+
+TEST(GcWireTest, SubmitUsesSubmitOpcode) {
+  OrderedMsg o;
+  o.group = "g";
+  o.member = "m";
+  LenFramer f;
+  f.feed(encode_submit(o));
+  EXPECT_EQ(f.next()->op, Op::kSubmit);
+}
+
+TEST(GcWireTest, HeartbeatRoundTrip) {
+  LenFramer f;
+  f.feed(encode_heartbeat(HeartbeatMsg{4}));
+  auto frame = f.next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(decode_heartbeat(frame->payload)->daemon_id, 4u);
+}
+
+TEST(LenFramerTest, FragmentedFramesReassemble) {
+  Bytes stream = encode_mcast(McastMsg{"group-a", Bytes(100, 1)});
+  append_bytes(stream, encode_heartbeat(HeartbeatMsg{1}));
+  for (int chunk : {1, 3, 7, 50}) {
+    LenFramer f;
+    int frames = 0;
+    for (std::size_t i = 0; i < stream.size(); i += static_cast<std::size_t>(chunk)) {
+      const auto end = std::min(stream.size(), i + static_cast<std::size_t>(chunk));
+      f.feed(Bytes(stream.begin() + static_cast<std::ptrdiff_t>(i),
+                   stream.begin() + static_cast<std::ptrdiff_t>(end)));
+      while (f.next().has_value()) ++frames;
+    }
+    EXPECT_EQ(frames, 2) << "chunk=" << chunk;
+    EXPECT_EQ(f.buffered(), 0u);
+  }
+}
+
+TEST(LenFramerTest, BadOpcodePoisons) {
+  LenFramer f;
+  Bytes evil{1, 0, 0, 0, 99};  // len 1, opcode 99
+  f.feed(evil);
+  EXPECT_FALSE(f.next().has_value());
+  EXPECT_TRUE(f.corrupt());
+}
+
+TEST(LenFramerTest, InsaneLengthPoisons) {
+  LenFramer f;
+  Bytes evil{0xFF, 0xFF, 0xFF, 0x7F, 1};
+  f.feed(evil);
+  EXPECT_FALSE(f.next().has_value());
+  EXPECT_TRUE(f.corrupt());
+}
+
+TEST(LenFramerTest, MalformedPayloadRejectedByDecoder) {
+  LenFramer f;
+  Bytes evil{2, 0, 0, 0, static_cast<std::uint8_t>(Op::kDeliver), 0xAA};
+  f.feed(evil);
+  auto frame = f.next();
+  ASSERT_TRUE(frame.has_value());  // framing fine...
+  EXPECT_FALSE(decode_deliver(frame->payload).ok());  // ...content is not
+}
+
+}  // namespace
+}  // namespace mead::gc

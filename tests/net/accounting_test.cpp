@@ -1,0 +1,145 @@
+// Traffic accounting (used to reproduce Figure 5) and latency configuration.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "net/network.h"
+#include "sim/simulator.h"
+
+namespace mead::net {
+namespace {
+
+Bytes n_bytes(std::size_t n) { return Bytes(n, 0xAB); }
+
+class AccountingTest : public ::testing::Test {
+ protected:
+  AccountingTest() : net_(sim_) {
+    net_.add_node("node1");
+    net_.add_node("node2");
+  }
+
+  sim::Simulator sim_;
+  Network net_;
+};
+
+TEST_F(AccountingTest, BytesCountedPerServicePort) {
+  auto server = net_.spawn_process("node1", "server");
+  auto client = net_.spawn_process("node2", "client");
+
+  auto serve = [](Process& p) -> sim::Task<void> {
+    auto lfd = p.api().listen(4803);
+    auto cfd = co_await p.api().accept(lfd.value());
+    auto d = co_await p.api().read(cfd.value(), 65536);
+    // reply with 100 bytes
+    (void)co_await p.api().writev(cfd.value(), Bytes(100, 1));
+    (void)d;
+  };
+  auto drive = [](Process& p) -> sim::Task<void> {
+    auto fd = co_await p.api().connect(Endpoint{"node1", 4803});
+    (void)co_await p.api().writev(fd.value(), n_bytes(250));
+    (void)co_await p.api().read(fd.value(), 65536);
+  };
+  sim_.spawn(serve(*server));
+  sim_.spawn(drive(*client));
+  sim_.run();
+  // Both directions attributed to the acceptor's service port.
+  EXPECT_EQ(net_.bytes_for_service(4803), 350u);
+  EXPECT_EQ(net_.total_bytes_delivered(), 350u);
+  EXPECT_EQ(net_.bytes_for_service(9999), 0u);
+  EXPECT_EQ(net_.connections_established(), 1u);
+}
+
+TEST_F(AccountingTest, SeparateServicesAccountedSeparately) {
+  auto s1 = net_.spawn_process("node1", "s1");
+  auto s2 = net_.spawn_process("node1", "s2");
+  auto client = net_.spawn_process("node2", "client");
+
+  auto sink = [](Process& p, std::uint16_t port) -> sim::Task<void> {
+    auto lfd = p.api().listen(port);
+    auto cfd = co_await p.api().accept(lfd.value());
+    (void)co_await p.api().read(cfd.value(), 65536);
+  };
+  auto drive = [](Process& p) -> sim::Task<void> {
+    auto a = co_await p.api().connect(Endpoint{"node1", 1111});
+    auto b = co_await p.api().connect(Endpoint{"node1", 2222});
+    (void)co_await p.api().writev(a.value(), n_bytes(10));
+    (void)co_await p.api().writev(b.value(), n_bytes(20));
+    co_await p.sim().sleep(milliseconds(1));
+  };
+  sim_.spawn(sink(*s1, 1111));
+  sim_.spawn(sink(*s2, 2222));
+  sim_.spawn(drive(*client));
+  sim_.run();
+  EXPECT_EQ(net_.bytes_for_service(1111), 10u);
+  EXPECT_EQ(net_.bytes_for_service(2222), 20u);
+  EXPECT_EQ(net_.total_bytes_delivered(), 30u);
+}
+
+TEST_F(AccountingTest, PerKilobyteLatencyIncreasesWithSize) {
+  net_.latency().per_kilobyte = milliseconds(1);
+  auto server = net_.spawn_process("node1", "server");
+  auto client = net_.spawn_process("node2", "client");
+  TimePoint small_at;
+  TimePoint big_at;
+
+  auto serve = [](Process& p) -> sim::Task<void> {
+    auto lfd = p.api().listen(5000);
+    auto cfd = co_await p.api().accept(lfd.value());
+    std::size_t total = 0;
+    while (total < 1 + 10240) {
+      auto d = co_await p.api().read(cfd.value(), 65536);
+      if (!d.ok() || d->empty()) co_return;
+      total += d->size();
+    }
+  };
+  auto drive = [&](Process& p) -> sim::Task<void> {
+    auto fd = co_await p.api().connect(Endpoint{"node1", 5000});
+    const TimePoint start = p.sim().now();
+    (void)co_await p.api().writev(fd.value(), n_bytes(1));
+    (void)co_await p.api().writev(fd.value(), n_bytes(10240));
+    small_at = start;
+    big_at = start;
+    co_return;
+  };
+  sim_.spawn(serve(*server));
+  sim_.spawn(drive(*client));
+  sim_.run();
+  // 10 KB at 1ms/KB must stretch total delivery time to >= 10ms.
+  EXPECT_GE(sim_.now().ms(), 10.0);
+}
+
+TEST_F(AccountingTest, JitterHookAddsDelay) {
+  int jitter_calls = 0;
+  net_.latency().jitter = [&jitter_calls](const Endpoint&, std::size_t) {
+    ++jitter_calls;
+    return milliseconds(5);
+  };
+  auto server = net_.spawn_process("node1", "server");
+  auto client = net_.spawn_process("node2", "client");
+
+  auto serve = [](Process& p) -> sim::Task<void> {
+    auto lfd = p.api().listen(5000);
+    auto cfd = co_await p.api().accept(lfd.value());
+    (void)co_await p.api().read(cfd.value(), 65536);
+  };
+  auto drive = [](Process& p) -> sim::Task<void> {
+    auto fd = co_await p.api().connect(Endpoint{"node1", 5000});
+    (void)co_await p.api().writev(fd.value(), n_bytes(4));
+    co_await p.sim().sleep(milliseconds(20));
+  };
+  sim_.spawn(serve(*server));
+  sim_.spawn(drive(*client));
+  sim_.run();
+  EXPECT_GT(jitter_calls, 0);
+}
+
+TEST_F(AccountingTest, SameNodeLatencyLowerThanCrossNode) {
+  const Duration same = net_.delivery_delay(NodeId{1}, NodeId{1},
+                                            Endpoint{"node1", 1}, 0);
+  const Duration cross = net_.delivery_delay(NodeId{1}, NodeId{2},
+                                             Endpoint{"node2", 1}, 0);
+  EXPECT_LT(same, cross);
+}
+
+}  // namespace
+}  // namespace mead::net

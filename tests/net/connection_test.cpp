@@ -1,0 +1,284 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "net/network.h"
+#include "sim/simulator.h"
+
+namespace mead::net {
+namespace {
+
+Bytes to_bytes(const std::string& s) {
+  return Bytes(s.begin(), s.end());
+}
+
+std::string to_str(const Bytes& b) {
+  return std::string(b.begin(), b.end());
+}
+
+class ConnectionTest : public ::testing::Test {
+ protected:
+  ConnectionTest() : net_(sim_) {
+    net_.add_node("node1");
+    net_.add_node("node2");
+  }
+
+  sim::Simulator sim_;
+  Network net_;
+};
+
+TEST_F(ConnectionTest, ListenAssignsFd) {
+  auto server = net_.spawn_process("node1", "server");
+  auto fd = server->api().listen(5000);
+  ASSERT_TRUE(fd.ok());
+  EXPECT_GE(fd.value(), 3);
+  auto ep = server->api().local_endpoint(fd.value());
+  ASSERT_TRUE(ep.ok());
+  EXPECT_EQ(ep->host, "node1");
+  EXPECT_EQ(ep->port, 5000);
+}
+
+TEST_F(ConnectionTest, ListenPortZeroAutoAssigns) {
+  auto server = net_.spawn_process("node1", "server");
+  auto fd = server->api().listen(0);
+  ASSERT_TRUE(fd.ok());
+  auto ep = server->api().local_endpoint(fd.value());
+  ASSERT_TRUE(ep.ok());
+  EXPECT_GE(ep->port, 30000);
+}
+
+TEST_F(ConnectionTest, ListenTwiceOnSamePortFails) {
+  auto server = net_.spawn_process("node1", "server");
+  ASSERT_TRUE(server->api().listen(5000).ok());
+  auto second = server->api().listen(5000);
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.error(), NetErr::kPortInUse);
+}
+
+TEST_F(ConnectionTest, SamePortOnDifferentNodesIsFine) {
+  auto s1 = net_.spawn_process("node1", "s1");
+  auto s2 = net_.spawn_process("node2", "s2");
+  EXPECT_TRUE(s1->api().listen(5000).ok());
+  EXPECT_TRUE(s2->api().listen(5000).ok());
+}
+
+TEST_F(ConnectionTest, EchoRoundTrip) {
+  auto server = net_.spawn_process("node1", "server");
+  auto client = net_.spawn_process("node2", "client");
+
+  std::string reply_seen;
+
+  auto server_main = [](Process& p) -> sim::Task<void> {
+    auto lfd = p.api().listen(5000);
+    auto cfd = co_await p.api().accept(lfd.value());
+    auto data = co_await p.api().read(cfd.value(), 4096);
+    Bytes echo = data.value();
+    echo.push_back('!');
+    (void)co_await p.api().writev(cfd.value(), std::move(echo));
+  };
+  auto client_main = [](Process& p, std::string& out) -> sim::Task<void> {
+    auto fd = co_await p.api().connect(Endpoint{"node1", 5000});
+    (void)co_await p.api().writev(fd.value(), to_bytes("ping"));
+    auto reply = co_await p.api().read(fd.value(), 4096);
+    out = to_str(reply.value());
+  };
+
+  sim_.spawn(server_main(*server));
+  sim_.spawn(client_main(*client, reply_seen));
+  sim_.run();
+  EXPECT_EQ(reply_seen, "ping!");
+}
+
+TEST_F(ConnectionTest, ConnectionToUnboundPortRefused) {
+  auto client = net_.spawn_process("node1", "client");
+  bool refused = false;
+  auto main = [](Process& p, bool& flag) -> sim::Task<void> {
+    auto fd = co_await p.api().connect(Endpoint{"node2", 9999});
+    flag = !fd.ok() && fd.error() == NetErr::kConnRefused;
+  };
+  sim_.spawn(main(*client, refused));
+  sim_.run();
+  EXPECT_TRUE(refused);
+}
+
+TEST_F(ConnectionTest, ConnectionToUnknownHostFails) {
+  auto client = net_.spawn_process("node1", "client");
+  bool failed = false;
+  auto main = [](Process& p, bool& flag) -> sim::Task<void> {
+    auto fd = co_await p.api().connect(Endpoint{"mars", 1});
+    flag = !fd.ok() && fd.error() == NetErr::kUnknownHost;
+  };
+  sim_.spawn(main(*client, failed));
+  sim_.run();
+  EXPECT_TRUE(failed);
+}
+
+TEST_F(ConnectionTest, CrossNodeLatencyCharged) {
+  auto server = net_.spawn_process("node1", "server");
+  auto client = net_.spawn_process("node2", "client");
+  TimePoint reply_at;
+
+  auto server_main = [](Process& p) -> sim::Task<void> {
+    auto lfd = p.api().listen(5000);
+    auto cfd = co_await p.api().accept(lfd.value());
+    auto data = co_await p.api().read(cfd.value(), 4096);
+    (void)co_await p.api().writev(cfd.value(), data.value());
+  };
+  auto client_main = [](Process& p, TimePoint& t) -> sim::Task<void> {
+    auto fd = co_await p.api().connect(Endpoint{"node1", 5000});
+    (void)co_await p.api().writev(fd.value(), to_bytes("x"));
+    (void)co_await p.api().read(fd.value(), 4096);
+    t = p.sim().now();
+  };
+  sim_.spawn(server_main(*server));
+  sim_.spawn(client_main(*client, reply_at));
+  sim_.run();
+  // connect handshake (2 one-way) + request (1) + reply (1) >= 4 x 100us.
+  EXPECT_GE(reply_at.ns(), microseconds(400).ns());
+  EXPECT_LT(reply_at.ns(), milliseconds(2).ns());
+}
+
+TEST_F(ConnectionTest, ByteStreamPreservesOrderAcrossWrites) {
+  auto server = net_.spawn_process("node1", "server");
+  auto client = net_.spawn_process("node2", "client");
+  std::string received;
+
+  auto server_main = [](Process& p, std::string& out) -> sim::Task<void> {
+    auto lfd = p.api().listen(5000);
+    auto cfd = co_await p.api().accept(lfd.value());
+    for (;;) {
+      auto data = co_await p.api().read(cfd.value(), 3);  // tiny reads
+      if (!data.ok() || data->empty()) break;
+      out += to_str(data.value());
+    }
+  };
+  auto client_main = [](Process& p) -> sim::Task<void> {
+    auto fd = co_await p.api().connect(Endpoint{"node1", 5000});
+    for (const char* part : {"abc", "defg", "hij"}) {
+      (void)co_await p.api().writev(fd.value(), to_bytes(part));
+    }
+    (void)p.api().close(fd.value());
+  };
+  sim_.spawn(server_main(*server, received));
+  sim_.spawn(client_main(*client));
+  sim_.run();
+  EXPECT_EQ(received, "abcdefghij");
+}
+
+TEST_F(ConnectionTest, ReadAfterPeerCloseDrainsThenEof) {
+  auto server = net_.spawn_process("node1", "server");
+  auto client = net_.spawn_process("node2", "client");
+  std::string drained;
+  bool eof_seen = false;
+
+  auto server_main = [](Process& p) -> sim::Task<void> {
+    auto lfd = p.api().listen(5000);
+    auto cfd = co_await p.api().accept(lfd.value());
+    (void)co_await p.api().writev(cfd.value(), to_bytes("tail"));
+    (void)p.api().close(cfd.value());
+  };
+  auto client_main = [](Process& p, std::string& out, bool& eof) -> sim::Task<void> {
+    auto fd = co_await p.api().connect(Endpoint{"node1", 5000});
+    co_await p.sim().sleep(milliseconds(10));  // let data + FIN arrive
+    auto d1 = co_await p.api().read(fd.value(), 4096);
+    out = to_str(d1.value());
+    auto d2 = co_await p.api().read(fd.value(), 4096);
+    eof = d2.ok() && d2->empty();
+  };
+  sim_.spawn(server_main(*server));
+  sim_.spawn(client_main(*client, drained, eof_seen));
+  sim_.run();
+  EXPECT_EQ(drained, "tail");
+  EXPECT_TRUE(eof_seen);
+}
+
+TEST_F(ConnectionTest, ReadTimeoutFires) {
+  auto server = net_.spawn_process("node1", "server");
+  auto client = net_.spawn_process("node2", "client");
+  bool timed_out = false;
+  TimePoint when;
+
+  auto server_main = [](Process& p) -> sim::Task<void> {
+    auto lfd = p.api().listen(5000);
+    (void)co_await p.api().accept(lfd.value());
+    // never writes
+  };
+  auto client_main = [](Process& p, bool& flag, TimePoint& t) -> sim::Task<void> {
+    auto fd = co_await p.api().connect(Endpoint{"node1", 5000});
+    auto r = co_await p.api().read(fd.value(), 4096, milliseconds(10));
+    flag = !r.ok() && r.error() == NetErr::kTimeout;
+    t = p.sim().now();
+  };
+  sim_.spawn(server_main(*server));
+  sim_.spawn(client_main(*client, timed_out, when));
+  sim_.run();
+  EXPECT_TRUE(timed_out);
+  EXPECT_GE(when.ms(), 10.0);
+  EXPECT_LT(when.ms(), 11.0);
+}
+
+TEST_F(ConnectionTest, WriteToClosedLocalFdFails) {
+  auto client = net_.spawn_process("node1", "client");
+  auto server = net_.spawn_process("node1", "server");
+  bool failed = false;
+  auto server_main = [](Process& p) -> sim::Task<void> {
+    auto lfd = p.api().listen(5000);
+    (void)co_await p.api().accept(lfd.value());
+  };
+  auto main = [](Process& p, bool& flag) -> sim::Task<void> {
+    auto fd = co_await p.api().connect(Endpoint{"node1", 5000});
+    (void)p.api().close(fd.value());
+    auto w = co_await p.api().writev(fd.value(), to_bytes("x"));
+    flag = !w.ok() && w.error() == NetErr::kBadFd;
+  };
+  sim_.spawn(server_main(*server));
+  sim_.spawn(main(*client, failed));
+  sim_.run();
+  EXPECT_TRUE(failed);
+}
+
+TEST_F(ConnectionTest, AcceptBlocksUntilConnect) {
+  auto server = net_.spawn_process("node1", "server");
+  auto client = net_.spawn_process("node2", "client");
+  TimePoint accepted_at;
+
+  auto server_main = [](Process& p, TimePoint& t) -> sim::Task<void> {
+    auto lfd = p.api().listen(5000);
+    (void)co_await p.api().accept(lfd.value());
+    t = p.sim().now();
+  };
+  auto client_main = [](Process& p) -> sim::Task<void> {
+    co_await p.sim().sleep(milliseconds(20));
+    (void)co_await p.api().connect(Endpoint{"node1", 5000});
+  };
+  sim_.spawn(server_main(*server, accepted_at));
+  sim_.spawn(client_main(*client));
+  sim_.run();
+  EXPECT_GE(accepted_at.ms(), 20.0);
+}
+
+TEST_F(ConnectionTest, PeerEndpointMatchesConnectTarget) {
+  auto server = net_.spawn_process("node1", "server");
+  auto client = net_.spawn_process("node2", "client");
+  Endpoint server_saw_peer;
+  Endpoint client_saw_peer;
+
+  auto server_main = [](Process& p, Endpoint& out) -> sim::Task<void> {
+    auto lfd = p.api().listen(5000);
+    auto cfd = co_await p.api().accept(lfd.value());
+    out = p.api().peer_endpoint(cfd.value()).value();
+  };
+  auto client_main = [](Process& p, Endpoint& out) -> sim::Task<void> {
+    auto fd = co_await p.api().connect(Endpoint{"node1", 5000});
+    out = p.api().peer_endpoint(fd.value()).value();
+  };
+  sim_.spawn(server_main(*server, server_saw_peer));
+  sim_.spawn(client_main(*client, client_saw_peer));
+  sim_.run();
+  EXPECT_EQ(server_saw_peer.host, "node2");
+  EXPECT_EQ(client_saw_peer, (Endpoint{"node1", 5000}));
+}
+
+}  // namespace
+}  // namespace mead::net

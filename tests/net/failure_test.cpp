@@ -1,0 +1,327 @@
+// Crash-fault semantics: the behaviours MEAD's detection paths depend on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "net/network.h"
+#include "sim/simulator.h"
+
+namespace mead::net {
+namespace {
+
+Bytes to_bytes(const std::string& s) { return Bytes(s.begin(), s.end()); }
+
+class FailureTest : public ::testing::Test {
+ protected:
+  FailureTest() : net_(sim_) {
+    net_.add_node("node1");
+    net_.add_node("node2");
+  }
+
+  sim::Simulator sim_;
+  Network net_;
+};
+
+TEST_F(FailureTest, KillDeliversEofToPeer) {
+  auto server = net_.spawn_process("node1", "server");
+  auto client = net_.spawn_process("node2", "client");
+  bool eof_seen = false;
+  TimePoint eof_at;
+
+  auto server_main = [](Process& p) -> sim::Task<void> {
+    auto lfd = p.api().listen(5000);
+    (void)co_await p.api().accept(lfd.value());
+    // then hangs until killed
+  };
+  auto client_main = [](Process& p, bool& eof, TimePoint& t) -> sim::Task<void> {
+    auto fd = co_await p.api().connect(Endpoint{"node1", 5000});
+    auto r = co_await p.api().read(fd.value(), 4096);  // blocks
+    eof = r.ok() && r->empty();
+    t = p.sim().now();
+  };
+  sim_.spawn(server_main(*server));
+  sim_.spawn(client_main(*client, eof_seen, eof_at));
+  sim_.schedule(milliseconds(50), [&] { server->kill(); });
+  sim_.run();
+  EXPECT_TRUE(eof_seen);
+  EXPECT_GE(eof_at.ms(), 50.0);
+  EXPECT_LT(eof_at.ms(), 51.0);  // EOF arrives after one propagation delay
+}
+
+TEST_F(FailureTest, KilledProcessOperationsFail) {
+  auto proc = net_.spawn_process("node1", "victim");
+  bool listen_failed = false;
+  auto main = [](Process& p, bool& flag) -> sim::Task<void> {
+    const bool alive = co_await p.sleep(milliseconds(10));
+    if (!alive) {
+      // died while sleeping: verify the API also refuses
+      auto r = p.api().listen(5000);
+      flag = !r.ok() && r.error() == NetErr::kProcessDead;
+      co_return;
+    }
+    flag = false;
+  };
+  sim_.spawn(main(*proc, listen_failed));
+  sim_.schedule(milliseconds(5), [&] { proc->kill(); });
+  sim_.run();
+  EXPECT_TRUE(listen_failed);
+}
+
+TEST_F(FailureTest, SleepReportsDeath) {
+  auto proc = net_.spawn_process("node1", "victim");
+  bool reported_dead = false;
+  auto main = [](Process& p, bool& flag) -> sim::Task<void> {
+    const bool alive = co_await p.sleep(milliseconds(10));
+    flag = !alive;
+  };
+  sim_.spawn(main(*proc, reported_dead));
+  sim_.schedule(milliseconds(3), [&] { proc->kill(); });
+  sim_.run();
+  EXPECT_TRUE(reported_dead);
+}
+
+TEST_F(FailureTest, BlockedReadOnOwnSocketWakesWithErrorOnKill) {
+  auto server = net_.spawn_process("node1", "server");
+  auto client = net_.spawn_process("node2", "client");
+  bool saw_dead = false;
+
+  auto server_main = [](Process& p) -> sim::Task<void> {
+    auto lfd = p.api().listen(5000);
+    (void)co_await p.api().accept(lfd.value());
+  };
+  auto client_main = [](Process& p, bool& flag) -> sim::Task<void> {
+    auto fd = co_await p.api().connect(Endpoint{"node1", 5000});
+    auto r = co_await p.api().read(fd.value(), 4096);
+    // The *client* was killed while blocked: read fails.
+    flag = !r.ok() && (r.error() == NetErr::kProcessDead ||
+                       r.error() == NetErr::kClosed ||
+                       r.error() == NetErr::kBadFd);
+  };
+  sim_.spawn(server_main(*server));
+  sim_.spawn(client_main(*client, saw_dead));
+  sim_.schedule(milliseconds(10), [&] { client->kill(); });
+  sim_.run();
+  EXPECT_TRUE(saw_dead);
+}
+
+TEST_F(FailureTest, ConnectToKilledServerRefused) {
+  auto server = net_.spawn_process("node1", "server");
+  auto client = net_.spawn_process("node2", "client");
+  bool refused = false;
+
+  auto server_main = [](Process& p) -> sim::Task<void> {
+    auto lfd = p.api().listen(5000);
+    (void)co_await p.api().accept(lfd.value());
+  };
+  auto client_main = [](Process& p, bool& flag) -> sim::Task<void> {
+    co_await p.sim().sleep(milliseconds(20));  // after server death
+    auto fd = co_await p.api().connect(Endpoint{"node1", 5000});
+    flag = !fd.ok() && fd.error() == NetErr::kConnRefused;
+  };
+  sim_.spawn(server_main(*server));
+  sim_.spawn(client_main(*client, refused));
+  sim_.schedule(milliseconds(5), [&] { server->kill(); });
+  sim_.run();
+  EXPECT_TRUE(refused);
+}
+
+TEST_F(FailureTest, CrashNodeKillsAllItsProcesses) {
+  auto p1 = net_.spawn_process("node1", "a");
+  auto p2 = net_.spawn_process("node1", "b");
+  auto p3 = net_.spawn_process("node2", "c");
+  net_.crash_node("node1");
+  EXPECT_FALSE(p1->alive());
+  EXPECT_FALSE(p2->alive());
+  EXPECT_TRUE(p3->alive());
+}
+
+TEST_F(FailureTest, KillIsIdempotent) {
+  auto p = net_.spawn_process("node1", "a");
+  p->kill();
+  p->kill();
+  EXPECT_FALSE(p->alive());
+}
+
+TEST_F(FailureTest, ListenerPortFreedAfterKill) {
+  auto first = net_.spawn_process("node1", "first");
+  ASSERT_TRUE(first->api().listen(5000).ok());
+  first->kill();
+  auto second = net_.spawn_process("node1", "second");
+  EXPECT_TRUE(second->api().listen(5000).ok());
+}
+
+TEST_F(FailureTest, ExitBehavesLikeKillForPeers) {
+  auto server = net_.spawn_process("node1", "server");
+  auto client = net_.spawn_process("node2", "client");
+  bool eof_seen = false;
+
+  auto server_main = [](Process& p) -> sim::Task<void> {
+    auto lfd = p.api().listen(5000);
+    (void)co_await p.api().accept(lfd.value());
+    co_await p.sim().sleep(milliseconds(5));
+    p.exit();
+  };
+  auto client_main = [](Process& p, bool& eof) -> sim::Task<void> {
+    auto fd = co_await p.api().connect(Endpoint{"node1", 5000});
+    auto r = co_await p.api().read(fd.value(), 4096);
+    eof = r.ok() && r->empty();
+  };
+  sim_.spawn(server_main(*server));
+  sim_.spawn(client_main(*client, eof_seen));
+  sim_.run();
+  EXPECT_TRUE(eof_seen);
+}
+
+TEST_F(FailureTest, InFlightDataStillDeliveredBeforeEof) {
+  // TCP-like: data written before the crash propagates ahead of the FIN.
+  auto server = net_.spawn_process("node1", "server");
+  auto client = net_.spawn_process("node2", "client");
+  std::string got;
+  bool eof_after = false;
+
+  auto server_main = [](Process& p) -> sim::Task<void> {
+    auto lfd = p.api().listen(5000);
+    auto cfd = co_await p.api().accept(lfd.value());
+    (void)co_await p.api().writev(cfd.value(), to_bytes("last-words"));
+    p.kill();  // immediately after write
+  };
+  auto client_main = [](Process& p, std::string& out, bool& eof) -> sim::Task<void> {
+    auto fd = co_await p.api().connect(Endpoint{"node1", 5000});
+    auto d1 = co_await p.api().read(fd.value(), 4096);
+    if (d1.ok()) out.assign(d1->begin(), d1->end());
+    auto d2 = co_await p.api().read(fd.value(), 4096);
+    eof = d2.ok() && d2->empty();
+  };
+  sim_.spawn(server_main(*server));
+  sim_.spawn(client_main(*client, got, eof_after));
+  sim_.run();
+  EXPECT_EQ(got, "last-words");
+  EXPECT_TRUE(eof_after);
+}
+
+TEST_F(FailureTest, WriteAfterPeerDeathSucceedsLocallyThenEofOnRead) {
+  // TCP semantics: the first write onto a dead-peer connection is buffered
+  // locally (no error); the failure surfaces at the next read as EOF. The
+  // paper's client-side interceptor depends on failures funneling through
+  // read() (S4.2).
+  auto server = net_.spawn_process("node1", "server");
+  auto client = net_.spawn_process("node2", "client");
+  bool write_ok = false;
+  bool eof_seen = false;
+
+  auto server_main = [](Process& p) -> sim::Task<void> {
+    auto lfd = p.api().listen(5000);
+    (void)co_await p.api().accept(lfd.value());
+  };
+  auto client_main = [](Process& p, bool& wok, bool& eof) -> sim::Task<void> {
+    auto fd = co_await p.api().connect(Endpoint{"node1", 5000});
+    co_await p.sim().sleep(milliseconds(10));  // server dies at 5ms
+    auto w = co_await p.api().writev(fd.value(), to_bytes("into-the-void"));
+    wok = w.ok();
+    auto r = co_await p.api().read(fd.value(), 4096);
+    eof = r.ok() && r->empty();
+  };
+  sim_.spawn(server_main(*server));
+  sim_.spawn(client_main(*client, write_ok, eof_seen));
+  sim_.schedule(milliseconds(5), [&] { server->kill(); });
+  sim_.run();
+  EXPECT_TRUE(write_ok);
+  EXPECT_TRUE(eof_seen);
+}
+
+TEST_F(FailureTest, NodeCrashDeliversEofToRemotePeers) {
+  auto server = net_.spawn_process("node1", "server");
+  auto bystander = net_.spawn_process("node1", "bystander");
+  auto client = net_.spawn_process("node2", "client");
+  bool eof_seen = false;
+
+  auto server_main = [](Process& p) -> sim::Task<void> {
+    auto lfd = p.api().listen(5000);
+    (void)co_await p.api().accept(lfd.value());
+  };
+  auto client_main = [](Process& p, bool& eof) -> sim::Task<void> {
+    auto fd = co_await p.api().connect(Endpoint{"node1", 5000});
+    auto r = co_await p.api().read(fd.value(), 4096);
+    eof = r.ok() && r->empty();
+  };
+  sim_.spawn(server_main(*server));
+  sim_.spawn(client_main(*client, eof_seen));
+  sim_.schedule(milliseconds(10), [&] { net_.crash_node("node1"); });
+  sim_.run();
+  EXPECT_TRUE(eof_seen);
+  EXPECT_FALSE(server->alive());
+  EXPECT_FALSE(bystander->alive());
+  EXPECT_TRUE(client->alive());
+}
+
+TEST_F(FailureTest, EphemeralPortsNeverCollide) {
+  auto client = net_.spawn_process("node2", "client");
+  auto server = net_.spawn_process("node1", "server");
+  std::vector<std::uint16_t> local_ports;
+
+  auto server_main = [](Process& p) -> sim::Task<void> {
+    auto lfd = p.api().listen(5000);
+    for (;;) {
+      auto fd = co_await p.api().accept(lfd.value());
+      if (!fd) co_return;
+    }
+  };
+  auto client_main = [](Process& p, std::vector<std::uint16_t>& ports)
+      -> sim::Task<void> {
+    for (int i = 0; i < 20; ++i) {
+      auto fd = co_await p.api().connect(Endpoint{"node1", 5000});
+      if (!fd) co_return;
+      ports.push_back(p.api().local_endpoint(fd.value())->port);
+    }
+  };
+  sim_.spawn(server_main(*server));
+  sim_.spawn(client_main(*client, local_ports));
+  sim_.run_for(milliseconds(100));
+  ASSERT_EQ(local_ports.size(), 20u);
+  std::sort(local_ports.begin(), local_ports.end());
+  EXPECT_EQ(std::adjacent_find(local_ports.begin(), local_ports.end()),
+            local_ports.end());
+}
+
+TEST_F(FailureTest, ChainedDup2RedirectsFollowTheLatestTarget) {
+  // A connection redirected twice (replica A -> B -> C) must end up at C —
+  // the repeated-rejuvenation path of the MEAD scheme.
+  auto a = net_.spawn_process("node1", "a");
+  auto b = net_.spawn_process("node1", "b");
+  auto c = net_.spawn_process("node1", "c");
+  auto client = net_.spawn_process("node2", "client");
+  std::string c_got;
+
+  auto sink = [](Process& p, std::uint16_t port, std::string* out)
+      -> sim::Task<void> {
+    auto lfd = p.api().listen(port);
+    auto cfd = co_await p.api().accept(lfd.value());
+    for (;;) {
+      auto d = co_await p.api().read(cfd.value(), 4096);
+      if (!d.ok() || d->empty()) co_return;
+      if (out != nullptr) out->append(d->begin(), d->end());
+    }
+  };
+  auto client_main = [](Process& p, std::string& out) -> sim::Task<void> {
+    (void)out;
+    auto fd = co_await p.api().connect(Endpoint{"node1", 6001});
+    for (std::uint16_t port : {6002, 6003}) {
+      auto nfd = co_await p.api().connect(Endpoint{"node1", port});
+      EXPECT_TRUE(nfd.ok());
+      EXPECT_TRUE(p.api().dup2(nfd.value(), fd.value()).ok());
+      EXPECT_TRUE(p.api().close(nfd.value()).ok());
+    }
+    (void)co_await p.api().writev(fd.value(), to_bytes("final"));
+    co_await p.sim().sleep(milliseconds(2));
+  };
+  sim_.spawn(sink(*a, 6001, nullptr));
+  sim_.spawn(sink(*b, 6002, nullptr));
+  sim_.spawn(sink(*c, 6003, &c_got));
+  sim_.spawn(client_main(*client, c_got));
+  sim_.run_for(milliseconds(50));
+  EXPECT_EQ(c_got, "final");
+}
+
+}  // namespace
+}  // namespace mead::net

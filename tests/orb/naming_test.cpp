@@ -1,0 +1,179 @@
+#include "naming/naming.h"
+
+#include <gtest/gtest.h>
+
+#include "orb_fixture.h"
+
+namespace mead::naming {
+namespace {
+
+using orb::OrbWorld;
+using orb::str_bytes;
+
+class NamingTest : public OrbWorld {
+ protected:
+  NamingTest() {
+    naming_proc_ = net_.spawn_process("node3", "naming-service");
+    bundle_ = start_naming_server(*naming_proc_);
+  }
+
+  net::ProcessPtr naming_proc_;
+  NamingServerBundle bundle_;
+};
+
+giop::IOR sample_ior(const std::string& host, std::uint16_t port) {
+  return giop::IOR{"IDL:mead/TimeOfDay:1.0", net::Endpoint{host, port},
+                   giop::ObjectKey::make_persistent("TimeOfDayPOA/obj")};
+}
+
+TEST_F(NamingTest, BindThenResolve) {
+  auto client = make_client("node1");
+  std::optional<giop::IOR> got;
+
+  auto run = [](orb::Orb& orb, giop::IOR ns,
+                std::optional<giop::IOR>& out) -> sim::Task<void> {
+    NamingClient naming(orb, std::move(ns));
+    (void)co_await naming.bind("TimeOfDay", sample_ior("node1", 5000));
+    auto r = co_await naming.resolve("TimeOfDay");
+    if (r) out = r.value();
+  };
+  sim_.spawn(run(*client.orb, bundle_.ior, got));
+  sim_.run();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->endpoint, (net::Endpoint{"node1", 5000}));
+}
+
+TEST_F(NamingTest, ResolveUnknownNameFails) {
+  auto client = make_client("node1");
+  std::optional<giop::SystemException> ex;
+
+  auto run = [](orb::Orb& orb, giop::IOR ns,
+                std::optional<giop::SystemException>& out) -> sim::Task<void> {
+    NamingClient naming(orb, std::move(ns));
+    auto r = co_await naming.resolve("Nobody");
+    if (!r) out = r.error();
+  };
+  sim_.spawn(run(*client.orb, bundle_.ior, ex));
+  sim_.run();
+  ASSERT_TRUE(ex.has_value());
+  EXPECT_EQ(ex->kind, giop::SysExKind::kObjectNotExist);
+}
+
+TEST_F(NamingTest, MultipleBindingsResolveAll) {
+  auto client = make_client("node1");
+  std::vector<giop::IOR> got;
+
+  auto run = [](orb::Orb& orb, giop::IOR ns,
+                std::vector<giop::IOR>& out) -> sim::Task<void> {
+    NamingClient naming(orb, std::move(ns));
+    (void)co_await naming.bind("TimeOfDay", sample_ior("node1", 5000));
+    (void)co_await naming.bind("TimeOfDay", sample_ior("node2", 5000));
+    (void)co_await naming.bind("TimeOfDay", sample_ior("node3", 5000));
+    auto r = co_await naming.resolve_all("TimeOfDay");
+    if (r) out = r.value();
+  };
+  sim_.spawn(run(*client.orb, bundle_.ior, got));
+  sim_.run();
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0].endpoint.host, "node1");
+  EXPECT_EQ(got[1].endpoint.host, "node2");
+  EXPECT_EQ(got[2].endpoint.host, "node3");
+}
+
+TEST_F(NamingTest, ResolveReturnsFirstBinding) {
+  auto client = make_client("node1");
+  std::optional<giop::IOR> got;
+
+  auto run = [](orb::Orb& orb, giop::IOR ns,
+                std::optional<giop::IOR>& out) -> sim::Task<void> {
+    NamingClient naming(orb, std::move(ns));
+    (void)co_await naming.bind("S", sample_ior("node2", 7000));
+    (void)co_await naming.bind("S", sample_ior("node3", 7000));
+    auto r = co_await naming.resolve("S");
+    if (r) out = r.value();
+  };
+  sim_.spawn(run(*client.orb, bundle_.ior, got));
+  sim_.run();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->endpoint.host, "node2");
+}
+
+TEST_F(NamingTest, RebindReplacesSameEndpoint) {
+  auto client = make_client("node1");
+  std::vector<giop::IOR> got;
+
+  auto run = [](orb::Orb& orb, giop::IOR ns,
+                std::vector<giop::IOR>& out) -> sim::Task<void> {
+    NamingClient naming(orb, std::move(ns));
+    (void)co_await naming.bind("S", sample_ior("node1", 5000));
+    (void)co_await naming.bind("S", sample_ior("node2", 5000));
+    // Re-register node1's replica (restart at the same endpoint).
+    (void)co_await naming.rebind("S", sample_ior("node1", 5000));
+    auto r = co_await naming.resolve_all("S");
+    if (r) out = r.value();
+  };
+  sim_.spawn(run(*client.orb, bundle_.ior, got));
+  sim_.run();
+  ASSERT_EQ(got.size(), 2u);
+  // node1's binding moved to the back (fresh registration).
+  EXPECT_EQ(got[0].endpoint.host, "node2");
+  EXPECT_EQ(got[1].endpoint.host, "node1");
+}
+
+TEST_F(NamingTest, UnbindRemovesBinding) {
+  auto client = make_client("node1");
+  std::optional<giop::SystemException> ex;
+
+  auto run = [](orb::Orb& orb, giop::IOR ns,
+                std::optional<giop::SystemException>& out) -> sim::Task<void> {
+    NamingClient naming(orb, std::move(ns));
+    (void)co_await naming.bind("S", sample_ior("node1", 5000));
+    (void)co_await naming.unbind("S", net::Endpoint{"node1", 5000});
+    auto r = co_await naming.resolve("S");
+    if (!r) out = r.error();
+  };
+  sim_.spawn(run(*client.orb, bundle_.ior, ex));
+  sim_.run();
+  ASSERT_TRUE(ex.has_value());
+  EXPECT_EQ(ex->kind, giop::SysExKind::kObjectNotExist);
+}
+
+TEST_F(NamingTest, LookupCostDelaysResolve) {
+  // Rebuild a naming service with the paper-calibrated lookup cost and
+  // check the resolve spike appears.
+  auto slow_proc = net_.spawn_process("node2", "slow-naming");
+  auto slow = start_naming_server(*slow_proc, millis_f(7.5), 2810);
+  auto client = make_client("node1");
+  Duration resolve_time{};
+
+  auto run = [](orb::Orb& orb, giop::IOR ns, Duration& out) -> sim::Task<void> {
+    NamingClient naming(orb, std::move(ns));
+    (void)co_await naming.bind("S", sample_ior("node1", 5000));
+    const TimePoint start = orb.sim().now();
+    (void)co_await naming.resolve("S");
+    out = orb.sim().now() - start;
+  };
+  sim_.spawn(run(*client.orb, slow.ior, resolve_time));
+  sim_.run();
+  EXPECT_GE(resolve_time.ms(), 7.5);
+  EXPECT_LT(resolve_time.ms(), 9.5);
+}
+
+TEST_F(NamingTest, NamingIorHelperMatchesServer) {
+  // corbaloc-style bootstrap: client constructs the IOR from the host name
+  // only and can still talk to the service.
+  auto client = make_client("node1");
+  bool ok = false;
+
+  auto run = [](orb::Orb& orb, bool& out) -> sim::Task<void> {
+    NamingClient naming(orb, naming_ior("node3"));
+    out = co_await naming.bind("X", sample_ior("node1", 1234));
+  };
+  sim_.spawn(run(*client.orb, ok));
+  sim_.run();
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(bundle_.server->adapter().object_count(), 1u);
+}
+
+}  // namespace
+}  // namespace mead::naming

@@ -1,0 +1,97 @@
+// Shared fixture for ORB/naming tests: a small world with an echo servant.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "naming/naming.h"
+#include "net/network.h"
+#include "orb/orb.h"
+#include "orb/server.h"
+#include "orb/stub.h"
+#include "sim/simulator.h"
+
+namespace mead::orb {
+
+/// Echoes its argument; "fail" raises a system exception; "slow" charges
+/// extra servant time first.
+class EchoServant final : public Servant {
+ public:
+  explicit EchoServant(Orb& orb) : orb_(orb) {}
+
+  sim::Task<DispatchResult> dispatch(std::string operation, Bytes args,
+                                     giop::ByteOrder) override {
+    ++calls_;
+    if (operation == "fail") {
+      co_return make_unexpected(giop::SystemException{
+          giop::SysExKind::kInternal, 42, giop::CompletionStatus::kYes});
+    }
+    if (operation == "slow") {
+      const bool alive = co_await orb_.charge(milliseconds(5));
+      if (!alive) {
+        co_return make_unexpected(giop::SystemException{
+            giop::SysExKind::kInternal, 0, giop::CompletionStatus::kNo});
+      }
+    }
+    co_return args;  // echo
+  }
+
+  std::string type_id() const override { return "IDL:mead/Echo:1.0"; }
+  [[nodiscard]] int calls() const { return calls_; }
+
+ private:
+  Orb& orb_;
+  int calls_ = 0;
+};
+
+class OrbWorld : public ::testing::Test {
+ protected:
+  OrbWorld() : net_(sim_) {
+    net_.add_node("node1");
+    net_.add_node("node2");
+    net_.add_node("node3");
+  }
+
+  struct ServerHandle {
+    net::ProcessPtr proc;
+    std::unique_ptr<Orb> orb;
+    std::unique_ptr<OrbServer> server;
+    std::shared_ptr<EchoServant> servant;
+    giop::IOR ior;
+  };
+
+  ServerHandle make_echo_server(const std::string& host, std::uint16_t port,
+                                const std::string& path = "EchoPOA/obj",
+                                CostModel costs = {}) {
+    ServerHandle h;
+    h.proc = net_.spawn_process(host, "echo-server");
+    h.orb = std::make_unique<Orb>(*h.proc, h.proc->api(), costs);
+    h.server = std::make_unique<OrbServer>(*h.orb, port);
+    h.servant = std::make_shared<EchoServant>(*h.orb);
+    h.ior = h.server->adapter().register_servant(path, h.servant);
+    h.server->start();
+    return h;
+  }
+
+  struct ClientHandle {
+    net::ProcessPtr proc;
+    std::unique_ptr<Orb> orb;
+  };
+
+  ClientHandle make_client(const std::string& host, CostModel costs = {}) {
+    ClientHandle h;
+    h.proc = net_.spawn_process(host, "client");
+    h.orb = std::make_unique<Orb>(*h.proc, h.proc->api(), costs);
+    return h;
+  }
+
+  sim::Simulator sim_;
+  net::Network net_;
+};
+
+inline Bytes str_bytes(const std::string& s) { return Bytes(s.begin(), s.end()); }
+inline std::string bytes_str(const Bytes& b) { return std::string(b.begin(), b.end()); }
+
+}  // namespace mead::orb

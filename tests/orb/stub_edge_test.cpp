@@ -1,0 +1,177 @@
+// ORB edge cases: oneway requests, CloseConnection, rebinding, stale
+// replies, cost-model accounting.
+#include <gtest/gtest.h>
+
+#include "orb_fixture.h"
+
+namespace mead::orb {
+namespace {
+
+class StubEdgeTest : public OrbWorld {};
+
+// A servant that drops every N-th reply by reporting no response expected?
+// Not possible server-side; instead: oneway from the client side.
+TEST_F(StubEdgeTest, OnewayRequestReachesServantWithoutReply) {
+  auto server = make_echo_server("node1", 5000);
+  auto client = make_client("node2");
+  bool wrote = false;
+
+  // Hand-roll a oneway request (response_expected=false) over a raw socket:
+  // the server must dispatch it and NOT write a reply.
+  auto drive = [](net::Process& p, giop::IOR ior, bool& ok) -> sim::Task<void> {
+    auto fd = co_await p.api().connect(ior.endpoint);
+    giop::RequestMessage req{1, false, ior.key, "echo", str_bytes("fire")};
+    auto w = co_await p.api().writev(fd.value(), giop::encode_request(req));
+    ok = w.ok();
+    // No reply should arrive within a generous window.
+    auto r = co_await p.api().read(fd.value(), 4096, milliseconds(20));
+    ok = ok && !r.ok() && r.error() == net::NetErr::kTimeout;
+  };
+  sim_.spawn(drive(*client.proc, server.ior, wrote));
+  sim_.run_for(milliseconds(100));
+  EXPECT_TRUE(wrote);
+  EXPECT_EQ(server.servant->calls(), 1);
+  EXPECT_EQ(server.server->requests_served(), 0u);  // counts replies only
+}
+
+TEST_F(StubEdgeTest, CloseConnectionMessageTearsDownServerSide) {
+  auto server = make_echo_server("node1", 5000);
+  auto client = make_client("node2");
+  bool eof_after_close = false;
+
+  auto drive = [](net::Process& p, giop::IOR ior, bool& ok) -> sim::Task<void> {
+    auto fd = co_await p.api().connect(ior.endpoint);
+    (void)co_await p.api().writev(fd.value(), giop::encode_close_connection());
+    auto r = co_await p.api().read(fd.value(), 4096, milliseconds(50));
+    ok = r.ok() && r->empty();  // server closed: EOF
+  };
+  sim_.spawn(drive(*client.proc, server.ior, eof_after_close));
+  sim_.run_for(milliseconds(100));
+  EXPECT_TRUE(eof_after_close);
+}
+
+TEST_F(StubEdgeTest, RebindMovesSubsequentCallsToNewTarget) {
+  auto s1 = make_echo_server("node1", 5000, "EchoPOA/obj");
+  auto s2 = make_echo_server("node3", 5001, "EchoPOA/obj");
+  auto client = make_client("node2");
+  int ok = 0;
+
+  auto drive = [](Orb& orb, giop::IOR first, giop::IOR second,
+                  int& count) -> sim::Task<void> {
+    Stub stub(orb, std::move(first));
+    auto a = co_await stub.invoke("echo", str_bytes("one"));
+    if (a) ++count;
+    stub.rebind(std::move(second));
+    auto b = co_await stub.invoke("echo", str_bytes("two"));
+    if (b) ++count;
+  };
+  sim_.spawn(drive(*client.orb, s1.ior, s2.ior, ok));
+  sim_.run();
+  EXPECT_EQ(ok, 2);
+  EXPECT_EQ(s1.servant->calls(), 1);
+  EXPECT_EQ(s2.servant->calls(), 1);
+}
+
+TEST_F(StubEdgeTest, StaleReplyFromPreviousIncarnationIsSkipped) {
+  // A raw server that answers request N with a reply for request N-1000
+  // (wrong id) and then the right one: the Stub must skip the stale reply.
+  auto proc = net_.spawn_process("node1", "weird-server");
+  auto client = make_client("node2");
+  std::string got;
+
+  auto serve = [](net::Process& p) -> sim::Task<void> {
+    auto lfd = p.api().listen(5000);
+    auto cfd = co_await p.api().accept(lfd.value());
+    giop::FrameBuffer frames;
+    for (;;) {
+      auto data = co_await p.api().read(cfd.value(), 65536);
+      if (!data || data->empty()) co_return;
+      frames.feed(data.value());
+      while (auto frame = frames.next()) {
+        auto req = giop::decode_request(frame->data);
+        if (!req) continue;
+        Bytes stale = giop::encode_reply(giop::ReplyMessage{
+            req->request_id + 1000, giop::ReplyStatus::kNoException,
+            str_bytes("stale")});
+        Bytes fresh = giop::encode_reply(giop::ReplyMessage{
+            req->request_id, giop::ReplyStatus::kNoException,
+            str_bytes("fresh")});
+        append_bytes(stale, fresh);
+        (void)co_await p.api().writev(cfd.value(), std::move(stale));
+      }
+    }
+  };
+  auto drive = [](Orb& orb, std::string& out) -> sim::Task<void> {
+    giop::IOR ior{"IDL:x:1.0", net::Endpoint{"node1", 5000},
+                  giop::ObjectKey::make_persistent("X/y")};
+    Stub stub(orb, std::move(ior));
+    auto r = co_await stub.invoke("op", {});
+    if (r) out = bytes_str(r.value());
+  };
+  sim_.spawn(serve(*proc));
+  sim_.spawn(drive(*client.orb, got));
+  sim_.run_for(milliseconds(100));
+  EXPECT_EQ(got, "fresh");
+}
+
+TEST_F(StubEdgeTest, ConnectionSetupCostChargedOncePerConnection) {
+  CostModel costs;
+  costs.connection_setup = milliseconds(5);
+  auto server = make_echo_server("node1", 5000);
+  auto client = make_client("node2", costs);
+  Duration first{};
+  Duration second{};
+
+  auto drive = [](Orb& orb, giop::IOR ior, Duration& d1,
+                  Duration& d2) -> sim::Task<void> {
+    Stub stub(orb, std::move(ior));
+    TimePoint t0 = orb.sim().now();
+    (void)co_await stub.invoke("echo", {});
+    d1 = orb.sim().now() - t0;
+    t0 = orb.sim().now();
+    (void)co_await stub.invoke("echo", {});
+    d2 = orb.sim().now() - t0;
+  };
+  sim_.spawn(drive(*client.orb, server.ior, first, second));
+  sim_.run();
+  EXPECT_GE(first.ms(), 5.0);   // paid the ORB connection machinery
+  EXPECT_LT(second.ms(), 2.0);  // reused the connection
+}
+
+TEST_F(StubEdgeTest, ExceptionUnwindCostCharged) {
+  CostModel costs;
+  costs.exception_unwind = milliseconds(2);
+  auto server = make_echo_server("node1", 5000);
+  auto client = make_client("node2", costs);
+  Duration elapsed{};
+
+  auto drive = [](Orb& orb, giop::IOR ior, Duration& d) -> sim::Task<void> {
+    Stub stub(orb, std::move(ior));
+    (void)co_await stub.invoke("echo", {});  // connect
+    const TimePoint t0 = orb.sim().now();
+    (void)co_await stub.invoke("fail", {});
+    d = orb.sim().now() - t0;
+  };
+  sim_.spawn(drive(*client.orb, server.ior, elapsed));
+  sim_.run();
+  EXPECT_GE(elapsed.ms(), 2.0);
+}
+
+TEST_F(StubEdgeTest, ManySequentialRequestsKeepIdsUnique) {
+  auto server = make_echo_server("node1", 5000);
+  auto client = make_client("node2");
+  int ok = 0;
+  auto drive = [](Orb& orb, giop::IOR ior, int& count) -> sim::Task<void> {
+    Stub stub(orb, std::move(ior));
+    for (int i = 0; i < 200; ++i) {
+      auto r = co_await stub.invoke("echo", str_bytes(std::to_string(i)));
+      if (r && bytes_str(r.value()) == std::to_string(i)) ++count;
+    }
+  };
+  sim_.spawn(drive(*client.orb, server.ior, ok));
+  sim_.run();
+  EXPECT_EQ(ok, 200);
+}
+
+}  // namespace
+}  // namespace mead::orb

@@ -1,0 +1,178 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace mead::sim {
+namespace {
+
+TEST(SimulatorTest, StartsAtTimeZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now().ns(), 0);
+  EXPECT_TRUE(sim.idle());
+}
+
+TEST(SimulatorTest, ScheduledEventsRunInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(milliseconds(3), [&] { order.push_back(3); });
+  sim.schedule(milliseconds(1), [&] { order.push_back(1); });
+  sim.schedule(milliseconds(2), [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), TimePoint{0} + milliseconds(3));
+}
+
+TEST(SimulatorTest, EqualTimesRunInInsertionOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule(milliseconds(1), [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(SimulatorTest, NegativeDelayClampsToNow) {
+  Simulator sim;
+  bool ran = false;
+  sim.schedule(milliseconds(-5), [&] { ran = true; });
+  sim.run();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(sim.now().ns(), 0);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule(milliseconds(1), [&] { ++count; });
+  sim.schedule(milliseconds(5), [&] { ++count; });
+  sim.run_until(TimePoint{0} + milliseconds(2));
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(sim.now(), TimePoint{0} + milliseconds(2));
+  sim.run();
+  EXPECT_EQ(count, 2);
+}
+
+TEST(SimulatorTest, RunForAdvancesRelative) {
+  Simulator sim;
+  sim.schedule(milliseconds(10), [] {});
+  sim.run_for(milliseconds(4));
+  EXPECT_EQ(sim.now().ms(), 4.0);
+  sim.run_for(milliseconds(4));
+  EXPECT_EQ(sim.now().ms(), 8.0);
+  EXPECT_FALSE(sim.idle());
+}
+
+TEST(SimulatorTest, EventsCanScheduleMoreEvents) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 5) sim.schedule(milliseconds(1), chain);
+  };
+  sim.schedule(milliseconds(1), chain);
+  sim.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(sim.now().ms(), 5.0);
+}
+
+TEST(SimulatorTest, SpawnedCoroutineRuns) {
+  Simulator sim;
+  bool done = false;
+  auto coro = [](Simulator& s, bool& flag) -> Task<void> {
+    co_await s.sleep(milliseconds(2));
+    flag = true;
+  };
+  sim.spawn(coro(sim, done));
+  EXPECT_FALSE(done);  // lazily started
+  sim.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(sim.now().ms(), 2.0);
+}
+
+TEST(SimulatorTest, SleepZeroYields) {
+  Simulator sim;
+  std::vector<int> order;
+  auto coro = [](Simulator& s, std::vector<int>& log, int id) -> Task<void> {
+    log.push_back(id * 10);
+    co_await s.sleep(Duration{0});
+    log.push_back(id * 10 + 1);
+  };
+  sim.spawn(coro(sim, order, 1));
+  sim.spawn(coro(sim, order, 2));
+  sim.run();
+  // Both first halves run before either second half (yield requeues).
+  EXPECT_EQ(order, (std::vector<int>{10, 20, 11, 21}));
+}
+
+TEST(SimulatorTest, NestedTaskAwait) {
+  Simulator sim;
+  int result = 0;
+  auto inner = [](Simulator& s) -> Task<int> {
+    co_await s.sleep(milliseconds(1));
+    co_return 21;
+  };
+  auto outer = [&inner](Simulator& s, int& out) -> Task<void> {
+    const int a = co_await inner(s);
+    const int b = co_await inner(s);
+    out = a + b;
+  };
+  sim.spawn(outer(sim, result));
+  sim.run();
+  EXPECT_EQ(result, 42);
+  EXPECT_EQ(sim.now().ms(), 2.0);
+}
+
+TEST(SimulatorTest, ManyConcurrentCoroutines) {
+  Simulator sim;
+  int completed = 0;
+  auto coro = [](Simulator& s, int delay_ms, int& counter) -> Task<void> {
+    co_await s.sleep(milliseconds(delay_ms));
+    ++counter;
+  };
+  for (int i = 0; i < 1000; ++i) {
+    sim.spawn(coro(sim, i % 17, completed));
+  }
+  sim.run();
+  EXPECT_EQ(completed, 1000);
+}
+
+TEST(SimulatorTest, DestructionWithSuspendedCoroutinesIsClean) {
+  // A coroutine suspended forever must be destroyed with the simulator
+  // without leaks or crashes (checked by ASAN builds; here: just runs).
+  auto sim = std::make_unique<Simulator>();
+  auto forever = [](Simulator& s) -> Task<void> {
+    co_await s.sleep(seconds(100000));
+  };
+  sim->spawn(forever(*sim));
+  sim->run_for(milliseconds(1));
+  sim.reset();  // must not crash
+  SUCCEED();
+}
+
+TEST(SimulatorTest, DeterministicEventCountAcrossRuns) {
+  auto run_once = [] {
+    Simulator sim(42);
+    auto coro = [](Simulator& s) -> Task<void> {
+      for (int i = 0; i < 10; ++i) {
+        co_await s.sleep(microseconds(s.rng().uniform_int(1, 100)));
+      }
+    };
+    for (int i = 0; i < 5; ++i) sim.spawn(coro(sim));
+    sim.run();
+    return std::pair{sim.now().ns(), sim.events_processed()};
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(SimulatorTest, RngIsSeeded) {
+  Simulator a(7);
+  Simulator b(7);
+  Simulator c(8);
+  EXPECT_EQ(a.rng().next_u64(), b.rng().next_u64());
+  EXPECT_NE(a.rng().next_u64(), c.rng().next_u64());
+}
+
+}  // namespace
+}  // namespace mead::sim

@@ -1,0 +1,165 @@
+#include "sim/sync.h"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mead::sim {
+namespace {
+
+TEST(OneShotEventTest, WaitersResumeAfterSet) {
+  Simulator sim;
+  OneShotEvent ev(sim);
+  int released = 0;
+  auto waiter = [](OneShotEvent& e, int& count) -> Task<void> {
+    co_await e.wait();
+    ++count;
+  };
+  sim.spawn(waiter(ev, released));
+  sim.spawn(waiter(ev, released));
+  sim.schedule(milliseconds(5), [&] { ev.set(); });
+  sim.run();
+  EXPECT_EQ(released, 2);
+  EXPECT_EQ(sim.now().ms(), 5.0);
+}
+
+TEST(OneShotEventTest, WaitAfterSetIsImmediate) {
+  Simulator sim;
+  OneShotEvent ev(sim);
+  ev.set();
+  EXPECT_TRUE(ev.is_set());
+  bool done = false;
+  auto waiter = [](OneShotEvent& e, bool& flag) -> Task<void> {
+    co_await e.wait();
+    flag = true;
+  };
+  sim.spawn(waiter(ev, done));
+  sim.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(sim.now().ns(), 0);
+}
+
+TEST(OneShotEventTest, DoubleSetIsIdempotent) {
+  Simulator sim;
+  OneShotEvent ev(sim);
+  ev.set();
+  ev.set();
+  EXPECT_TRUE(ev.is_set());
+}
+
+TEST(ChannelTest, PushThenPop) {
+  Simulator sim;
+  Channel<int> ch(sim);
+  ch.push(1);
+  ch.push(2);
+  std::vector<int> got;
+  auto consumer = [](Channel<int>& c, std::vector<int>& out) -> Task<void> {
+    for (;;) {
+      auto v = co_await c.pop();
+      if (!v) break;
+      out.push_back(*v);
+    }
+  };
+  sim.spawn(consumer(ch, got));
+  sim.schedule(milliseconds(1), [&] {
+    ch.push(3);
+    ch.close();
+  });
+  sim.run();
+  EXPECT_EQ(got, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(ChannelTest, PopBlocksUntilPush) {
+  Simulator sim;
+  Channel<std::string> ch(sim);
+  std::string got;
+  TimePoint when;
+  auto consumer = [](Simulator& s, Channel<std::string>& c, std::string& out,
+                     TimePoint& t) -> Task<void> {
+    auto v = co_await c.pop();
+    out = v.value_or("(none)");
+    t = s.now();
+  };
+  sim.spawn(consumer(sim, ch, got, when));
+  sim.schedule(milliseconds(7), [&] { ch.push("hello"); });
+  sim.run();
+  EXPECT_EQ(got, "hello");
+  EXPECT_EQ(when.ms(), 7.0);
+}
+
+TEST(ChannelTest, CloseReleasesBlockedConsumerWithNullopt) {
+  Simulator sim;
+  Channel<int> ch(sim);
+  bool got_nullopt = false;
+  auto consumer = [](Channel<int>& c, bool& flag) -> Task<void> {
+    auto v = co_await c.pop();
+    flag = !v.has_value();
+  };
+  sim.spawn(consumer(ch, got_nullopt));
+  sim.schedule(milliseconds(1), [&] { ch.close(); });
+  sim.run();
+  EXPECT_TRUE(got_nullopt);
+}
+
+TEST(ChannelTest, TryPopNonBlocking) {
+  Simulator sim;
+  Channel<int> ch(sim);
+  EXPECT_FALSE(ch.try_pop().has_value());
+  ch.push(9);
+  auto v = ch.try_pop();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 9);
+}
+
+TEST(ChannelTest, MultipleConsumersEachGetOneItem) {
+  Simulator sim;
+  Channel<int> ch(sim);
+  std::vector<int> got;
+  auto consumer = [](Channel<int>& c, std::vector<int>& out) -> Task<void> {
+    auto v = co_await c.pop();
+    if (v) out.push_back(*v);
+  };
+  sim.spawn(consumer(ch, got));
+  sim.spawn(consumer(ch, got));
+  sim.schedule(milliseconds(1), [&] { ch.push(1); });
+  sim.schedule(milliseconds(2), [&] { ch.push(2); });
+  sim.run();
+  EXPECT_EQ(got, (std::vector<int>{1, 2}));
+}
+
+TEST(ChannelTest, FifoOrderPreservedUnderLoad) {
+  Simulator sim;
+  Channel<int> ch(sim);
+  std::vector<int> got;
+  auto consumer = [](Channel<int>& c, std::vector<int>& out) -> Task<void> {
+    for (;;) {
+      auto v = co_await c.pop();
+      if (!v) break;
+      out.push_back(*v);
+    }
+  };
+  sim.spawn(consumer(ch, got));
+  for (int i = 0; i < 100; ++i) {
+    sim.schedule(microseconds(i), [&ch, i] { ch.push(i); });
+  }
+  sim.schedule(milliseconds(1), [&] { ch.close(); });
+  sim.run();
+  ASSERT_EQ(got.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(got[i], i);
+}
+
+TEST(ChannelTest, SizeTracksContents) {
+  Simulator sim;
+  Channel<int> ch(sim);
+  EXPECT_EQ(ch.size(), 0u);
+  ch.push(1);
+  ch.push(2);
+  EXPECT_EQ(ch.size(), 2u);
+  (void)ch.try_pop();
+  EXPECT_EQ(ch.size(), 1u);
+}
+
+}  // namespace
+}  // namespace mead::sim
