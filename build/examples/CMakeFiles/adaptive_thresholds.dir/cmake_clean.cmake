@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_thresholds.dir/adaptive_thresholds.cpp.o"
+  "CMakeFiles/adaptive_thresholds.dir/adaptive_thresholds.cpp.o.d"
+  "adaptive_thresholds"
+  "adaptive_thresholds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_thresholds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/group_chat.dir/group_chat.cpp.o"
+  "CMakeFiles/group_chat.dir/group_chat.cpp.o.d"
+  "group_chat"
+  "group_chat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/group_chat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

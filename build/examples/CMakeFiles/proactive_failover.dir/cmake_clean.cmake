@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proactive_failover.dir/proactive_failover.cpp.o"
+  "CMakeFiles/proactive_failover.dir/proactive_failover.cpp.o.d"
+  "proactive_failover"
+  "proactive_failover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proactive_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

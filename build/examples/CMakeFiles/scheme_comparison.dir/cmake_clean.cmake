@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scheme_comparison.dir/scheme_comparison.cpp.o"
+  "CMakeFiles/scheme_comparison.dir/scheme_comparison.cpp.o.d"
+  "scheme_comparison"
+  "scheme_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scheme_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/app/experiment_client.cpp" "src/app/CMakeFiles/mead_app.dir/experiment_client.cpp.o" "gcc" "src/app/CMakeFiles/mead_app.dir/experiment_client.cpp.o.d"
+  "/root/repo/src/app/replica.cpp" "src/app/CMakeFiles/mead_app.dir/replica.cpp.o" "gcc" "src/app/CMakeFiles/mead_app.dir/replica.cpp.o.d"
+  "/root/repo/src/app/testbed.cpp" "src/app/CMakeFiles/mead_app.dir/testbed.cpp.o" "gcc" "src/app/CMakeFiles/mead_app.dir/testbed.cpp.o.d"
+  "/root/repo/src/app/timeofday.cpp" "src/app/CMakeFiles/mead_app.dir/timeofday.cpp.o" "gcc" "src/app/CMakeFiles/mead_app.dir/timeofday.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mead_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/naming/CMakeFiles/mead_naming.dir/DependInfo.cmake"
+  "/root/repo/build/src/orb/CMakeFiles/mead_orb.dir/DependInfo.cmake"
+  "/root/repo/build/src/gc/CMakeFiles/mead_gc.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/mead_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/giop/CMakeFiles/mead_giop.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mead_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mead_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mead_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mead_app.dir/experiment_client.cpp.o"
+  "CMakeFiles/mead_app.dir/experiment_client.cpp.o.d"
+  "CMakeFiles/mead_app.dir/replica.cpp.o"
+  "CMakeFiles/mead_app.dir/replica.cpp.o.d"
+  "CMakeFiles/mead_app.dir/testbed.cpp.o"
+  "CMakeFiles/mead_app.dir/testbed.cpp.o.d"
+  "CMakeFiles/mead_app.dir/timeofday.cpp.o"
+  "CMakeFiles/mead_app.dir/timeofday.cpp.o.d"
+  "libmead_app.a"
+  "libmead_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mead_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mead_common.dir/log.cpp.o"
+  "CMakeFiles/mead_common.dir/log.cpp.o.d"
+  "CMakeFiles/mead_common.dir/rng.cpp.o"
+  "CMakeFiles/mead_common.dir/rng.cpp.o.d"
+  "CMakeFiles/mead_common.dir/stats.cpp.o"
+  "CMakeFiles/mead_common.dir/stats.cpp.o.d"
+  "libmead_common.a"
+  "libmead_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mead_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

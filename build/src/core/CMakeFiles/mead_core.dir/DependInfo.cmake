@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/client_mead.cpp" "src/core/CMakeFiles/mead_core.dir/client_mead.cpp.o" "gcc" "src/core/CMakeFiles/mead_core.dir/client_mead.cpp.o.d"
+  "/root/repo/src/core/mead_wire.cpp" "src/core/CMakeFiles/mead_core.dir/mead_wire.cpp.o" "gcc" "src/core/CMakeFiles/mead_core.dir/mead_wire.cpp.o.d"
+  "/root/repo/src/core/predictor.cpp" "src/core/CMakeFiles/mead_core.dir/predictor.cpp.o" "gcc" "src/core/CMakeFiles/mead_core.dir/predictor.cpp.o.d"
+  "/root/repo/src/core/recovery_manager.cpp" "src/core/CMakeFiles/mead_core.dir/recovery_manager.cpp.o" "gcc" "src/core/CMakeFiles/mead_core.dir/recovery_manager.cpp.o.d"
+  "/root/repo/src/core/registry.cpp" "src/core/CMakeFiles/mead_core.dir/registry.cpp.o" "gcc" "src/core/CMakeFiles/mead_core.dir/registry.cpp.o.d"
+  "/root/repo/src/core/server_mead.cpp" "src/core/CMakeFiles/mead_core.dir/server_mead.cpp.o" "gcc" "src/core/CMakeFiles/mead_core.dir/server_mead.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mead_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mead_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mead_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/giop/CMakeFiles/mead_giop.dir/DependInfo.cmake"
+  "/root/repo/build/src/gc/CMakeFiles/mead_gc.dir/DependInfo.cmake"
+  "/root/repo/build/src/orb/CMakeFiles/mead_orb.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/mead_fault.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mead_core.dir/client_mead.cpp.o"
+  "CMakeFiles/mead_core.dir/client_mead.cpp.o.d"
+  "CMakeFiles/mead_core.dir/mead_wire.cpp.o"
+  "CMakeFiles/mead_core.dir/mead_wire.cpp.o.d"
+  "CMakeFiles/mead_core.dir/predictor.cpp.o"
+  "CMakeFiles/mead_core.dir/predictor.cpp.o.d"
+  "CMakeFiles/mead_core.dir/recovery_manager.cpp.o"
+  "CMakeFiles/mead_core.dir/recovery_manager.cpp.o.d"
+  "CMakeFiles/mead_core.dir/registry.cpp.o"
+  "CMakeFiles/mead_core.dir/registry.cpp.o.d"
+  "CMakeFiles/mead_core.dir/server_mead.cpp.o"
+  "CMakeFiles/mead_core.dir/server_mead.cpp.o.d"
+  "libmead_core.a"
+  "libmead_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mead_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

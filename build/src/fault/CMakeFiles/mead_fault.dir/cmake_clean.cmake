@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mead_fault.dir/fault.cpp.o"
+  "CMakeFiles/mead_fault.dir/fault.cpp.o.d"
+  "libmead_fault.a"
+  "libmead_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mead_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

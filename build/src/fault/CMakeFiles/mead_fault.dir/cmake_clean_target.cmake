@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmead_fault.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mead_gc.dir/client.cpp.o"
+  "CMakeFiles/mead_gc.dir/client.cpp.o.d"
+  "CMakeFiles/mead_gc.dir/daemon.cpp.o"
+  "CMakeFiles/mead_gc.dir/daemon.cpp.o.d"
+  "CMakeFiles/mead_gc.dir/wire.cpp.o"
+  "CMakeFiles/mead_gc.dir/wire.cpp.o.d"
+  "libmead_gc.a"
+  "libmead_gc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mead_gc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/giop/cdr.cpp" "src/giop/CMakeFiles/mead_giop.dir/cdr.cpp.o" "gcc" "src/giop/CMakeFiles/mead_giop.dir/cdr.cpp.o.d"
+  "/root/repo/src/giop/messages.cpp" "src/giop/CMakeFiles/mead_giop.dir/messages.cpp.o" "gcc" "src/giop/CMakeFiles/mead_giop.dir/messages.cpp.o.d"
+  "/root/repo/src/giop/types.cpp" "src/giop/CMakeFiles/mead_giop.dir/types.cpp.o" "gcc" "src/giop/CMakeFiles/mead_giop.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mead_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mead_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mead_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mead_giop.dir/cdr.cpp.o"
+  "CMakeFiles/mead_giop.dir/cdr.cpp.o.d"
+  "CMakeFiles/mead_giop.dir/messages.cpp.o"
+  "CMakeFiles/mead_giop.dir/messages.cpp.o.d"
+  "CMakeFiles/mead_giop.dir/types.cpp.o"
+  "CMakeFiles/mead_giop.dir/types.cpp.o.d"
+  "libmead_giop.a"
+  "libmead_giop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mead_giop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

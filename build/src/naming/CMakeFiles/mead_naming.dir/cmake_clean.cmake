@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mead_naming.dir/naming.cpp.o"
+  "CMakeFiles/mead_naming.dir/naming.cpp.o.d"
+  "libmead_naming.a"
+  "libmead_naming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mead_naming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

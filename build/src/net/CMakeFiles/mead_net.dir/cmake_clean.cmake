@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mead_net.dir/network.cpp.o"
+  "CMakeFiles/mead_net.dir/network.cpp.o.d"
+  "libmead_net.a"
+  "libmead_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mead_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

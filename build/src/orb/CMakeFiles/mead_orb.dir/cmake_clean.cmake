@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mead_orb.dir/object_adapter.cpp.o"
+  "CMakeFiles/mead_orb.dir/object_adapter.cpp.o.d"
+  "CMakeFiles/mead_orb.dir/server.cpp.o"
+  "CMakeFiles/mead_orb.dir/server.cpp.o.d"
+  "CMakeFiles/mead_orb.dir/stub.cpp.o"
+  "CMakeFiles/mead_orb.dir/stub.cpp.o.d"
+  "libmead_orb.a"
+  "libmead_orb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mead_orb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for mead_orb.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mead_sim.dir/simulator.cpp.o"
+  "CMakeFiles/mead_sim.dir/simulator.cpp.o.d"
+  "libmead_sim.a"
+  "libmead_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mead_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

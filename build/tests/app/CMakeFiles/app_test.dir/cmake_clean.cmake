@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_test.dir/chaos_test.cpp.o"
+  "CMakeFiles/app_test.dir/chaos_test.cpp.o.d"
+  "CMakeFiles/app_test.dir/figures_test.cpp.o"
+  "CMakeFiles/app_test.dir/figures_test.cpp.o.d"
+  "CMakeFiles/app_test.dir/schemes_test.cpp.o"
+  "CMakeFiles/app_test.dir/schemes_test.cpp.o.d"
+  "CMakeFiles/app_test.dir/testbed_test.cpp.o"
+  "CMakeFiles/app_test.dir/testbed_test.cpp.o.d"
+  "app_test"
+  "app_test.pdb"
+  "app_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/expected_test.cpp" "tests/common/CMakeFiles/common_test.dir/expected_test.cpp.o" "gcc" "tests/common/CMakeFiles/common_test.dir/expected_test.cpp.o.d"
+  "/root/repo/tests/common/log_test.cpp" "tests/common/CMakeFiles/common_test.dir/log_test.cpp.o" "gcc" "tests/common/CMakeFiles/common_test.dir/log_test.cpp.o.d"
+  "/root/repo/tests/common/rng_test.cpp" "tests/common/CMakeFiles/common_test.dir/rng_test.cpp.o" "gcc" "tests/common/CMakeFiles/common_test.dir/rng_test.cpp.o.d"
+  "/root/repo/tests/common/stats_test.cpp" "tests/common/CMakeFiles/common_test.dir/stats_test.cpp.o" "gcc" "tests/common/CMakeFiles/common_test.dir/stats_test.cpp.o.d"
+  "/root/repo/tests/common/types_test.cpp" "tests/common/CMakeFiles/common_test.dir/types_test.cpp.o" "gcc" "tests/common/CMakeFiles/common_test.dir/types_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mead_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mead_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mead_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

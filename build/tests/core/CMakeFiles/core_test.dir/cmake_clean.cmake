@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/interceptor_test.cpp.o"
+  "CMakeFiles/core_test.dir/interceptor_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/mead_wire_test.cpp.o"
+  "CMakeFiles/core_test.dir/mead_wire_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/predictor_test.cpp.o"
+  "CMakeFiles/core_test.dir/predictor_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/recovery_manager_test.cpp.o"
+  "CMakeFiles/core_test.dir/recovery_manager_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/registry_test.cpp.o"
+  "CMakeFiles/core_test.dir/registry_test.cpp.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/gc/client_test.cpp" "tests/gc/CMakeFiles/gc_test.dir/client_test.cpp.o" "gcc" "tests/gc/CMakeFiles/gc_test.dir/client_test.cpp.o.d"
+  "/root/repo/tests/gc/daemon_test.cpp" "tests/gc/CMakeFiles/gc_test.dir/daemon_test.cpp.o" "gcc" "tests/gc/CMakeFiles/gc_test.dir/daemon_test.cpp.o.d"
+  "/root/repo/tests/gc/ordering_test.cpp" "tests/gc/CMakeFiles/gc_test.dir/ordering_test.cpp.o" "gcc" "tests/gc/CMakeFiles/gc_test.dir/ordering_test.cpp.o.d"
+  "/root/repo/tests/gc/partition_test.cpp" "tests/gc/CMakeFiles/gc_test.dir/partition_test.cpp.o" "gcc" "tests/gc/CMakeFiles/gc_test.dir/partition_test.cpp.o.d"
+  "/root/repo/tests/gc/wire_test.cpp" "tests/gc/CMakeFiles/gc_test.dir/wire_test.cpp.o" "gcc" "tests/gc/CMakeFiles/gc_test.dir/wire_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mead_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mead_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mead_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/gc/CMakeFiles/mead_gc.dir/DependInfo.cmake"
+  "/root/repo/build/src/giop/CMakeFiles/mead_giop.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gc_test.dir/client_test.cpp.o"
+  "CMakeFiles/gc_test.dir/client_test.cpp.o.d"
+  "CMakeFiles/gc_test.dir/daemon_test.cpp.o"
+  "CMakeFiles/gc_test.dir/daemon_test.cpp.o.d"
+  "CMakeFiles/gc_test.dir/ordering_test.cpp.o"
+  "CMakeFiles/gc_test.dir/ordering_test.cpp.o.d"
+  "CMakeFiles/gc_test.dir/partition_test.cpp.o"
+  "CMakeFiles/gc_test.dir/partition_test.cpp.o.d"
+  "CMakeFiles/gc_test.dir/wire_test.cpp.o"
+  "CMakeFiles/gc_test.dir/wire_test.cpp.o.d"
+  "gc_test"
+  "gc_test.pdb"
+  "gc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/giop_test.dir/cdr_test.cpp.o"
+  "CMakeFiles/giop_test.dir/cdr_test.cpp.o.d"
+  "CMakeFiles/giop_test.dir/framing_test.cpp.o"
+  "CMakeFiles/giop_test.dir/framing_test.cpp.o.d"
+  "CMakeFiles/giop_test.dir/messages_test.cpp.o"
+  "CMakeFiles/giop_test.dir/messages_test.cpp.o.d"
+  "giop_test"
+  "giop_test.pdb"
+  "giop_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/giop_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/net/accounting_test.cpp" "tests/net/CMakeFiles/net_test.dir/accounting_test.cpp.o" "gcc" "tests/net/CMakeFiles/net_test.dir/accounting_test.cpp.o.d"
+  "/root/repo/tests/net/connection_test.cpp" "tests/net/CMakeFiles/net_test.dir/connection_test.cpp.o" "gcc" "tests/net/CMakeFiles/net_test.dir/connection_test.cpp.o.d"
+  "/root/repo/tests/net/failure_test.cpp" "tests/net/CMakeFiles/net_test.dir/failure_test.cpp.o" "gcc" "tests/net/CMakeFiles/net_test.dir/failure_test.cpp.o.d"
+  "/root/repo/tests/net/select_dup2_test.cpp" "tests/net/CMakeFiles/net_test.dir/select_dup2_test.cpp.o" "gcc" "tests/net/CMakeFiles/net_test.dir/select_dup2_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mead_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mead_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mead_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/orb/naming_test.cpp" "tests/orb/CMakeFiles/orb_test.dir/naming_test.cpp.o" "gcc" "tests/orb/CMakeFiles/orb_test.dir/naming_test.cpp.o.d"
+  "/root/repo/tests/orb/orb_test.cpp" "tests/orb/CMakeFiles/orb_test.dir/orb_test.cpp.o" "gcc" "tests/orb/CMakeFiles/orb_test.dir/orb_test.cpp.o.d"
+  "/root/repo/tests/orb/stub_edge_test.cpp" "tests/orb/CMakeFiles/orb_test.dir/stub_edge_test.cpp.o" "gcc" "tests/orb/CMakeFiles/orb_test.dir/stub_edge_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mead_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mead_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mead_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/orb/CMakeFiles/mead_orb.dir/DependInfo.cmake"
+  "/root/repo/build/src/naming/CMakeFiles/mead_naming.dir/DependInfo.cmake"
+  "/root/repo/build/src/giop/CMakeFiles/mead_giop.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orb_test.dir/naming_test.cpp.o"
+  "CMakeFiles/orb_test.dir/naming_test.cpp.o.d"
+  "CMakeFiles/orb_test.dir/orb_test.cpp.o"
+  "CMakeFiles/orb_test.dir/orb_test.cpp.o.d"
+  "CMakeFiles/orb_test.dir/stub_edge_test.cpp.o"
+  "CMakeFiles/orb_test.dir/stub_edge_test.cpp.o.d"
+  "orb_test"
+  "orb_test.pdb"
+  "orb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
