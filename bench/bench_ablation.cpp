@@ -10,6 +10,7 @@
 //  A3 (§3.2): threshold spacing — how close T1 (launch) may sit to T2
 //      (migrate) before the spare replica is not ready in time.
 #include <cstdio>
+#include <string>
 
 #include "harness.h"
 
@@ -18,29 +19,17 @@ using namespace mead::bench;
 
 namespace {
 
-ExperimentResult run_with_calibration(core::RecoveryScheme scheme,
+ExperimentResult run_with_calibration(const char* label,
+                                      core::RecoveryScheme scheme,
                                       const app::Calibration& calib,
                                       core::Thresholds thresholds = {}) {
-  app::TestbedOptions opts;
-  opts.scheme = scheme;
-  opts.seed = 2004;
-  opts.thresholds = thresholds;
-  opts.inject_leak = true;
-  opts.calib = calib;
-  app::Testbed bed(opts);
-  ExperimentResult out;
-  if (!bed.start()) return out;
-  const std::size_t deaths0 = bed.replica_deaths();
-  app::ClientOptions copts;
-  copts.invocations = 10'000;
-  app::ExperimentClient client(bed, copts);
-  bed.sim().spawn(client.run());
-  for (int slice = 0; slice < 3000 && !client.done(); ++slice) {
-    bed.sim().run_for(milliseconds(100));
-  }
-  out.client = client.results();
-  out.server_failures = bed.replica_deaths() - deaths0;
-  return out;
+  ExperimentSpec spec;
+  spec.scheme = scheme;
+  spec.thresholds = thresholds;
+  spec.calib = calib;
+  spec.trace_jsonl =
+      "trace_ablation_" + std::string(label) + "_seed2004.jsonl";
+  return app::run_experiment(spec);
 }
 
 void ablation_key_lookup() {
@@ -55,10 +44,10 @@ void ablation_key_lookup() {
   byte_calib.lf_request_parse =
       byte_calib.lf_request_parse + microseconds(120);
 
-  auto hash_run =
-      run_with_calibration(core::RecoveryScheme::kLocationForward, hash_calib);
-  auto byte_run =
-      run_with_calibration(core::RecoveryScheme::kLocationForward, byte_calib);
+  auto hash_run = run_with_calibration(
+      "a1-hash", core::RecoveryScheme::kLocationForward, hash_calib);
+  auto byte_run = run_with_calibration(
+      "a1-bytecmp", core::RecoveryScheme::kLocationForward, byte_calib);
   std::printf("  hash lookup : RTT %.3f ms, failover %.3f ms\n",
               hash_run.client.steady_state_rtt_ms(),
               hash_run.client.failover_ms.mean());
@@ -80,8 +69,10 @@ void ablation_piggyback() {
   separate.redirect_cost =
       separate.redirect_cost + separate.link_cross_node * 2 + microseconds(160);
 
-  auto p = run_with_calibration(core::RecoveryScheme::kMeadMessage, piggy);
-  auto s = run_with_calibration(core::RecoveryScheme::kMeadMessage, separate);
+  auto p = run_with_calibration("a2-piggyback",
+                                core::RecoveryScheme::kMeadMessage, piggy);
+  auto s = run_with_calibration("a2-separate",
+                                core::RecoveryScheme::kMeadMessage, separate);
   std::printf("  piggybacked : failover %.3f ms (n=%zu)\n",
               p.client.failover_ms.mean(), p.client.failover_ms.count());
   std::printf("  separate msg: failover %.3f ms (n=%zu)\n",
@@ -94,17 +85,19 @@ void ablation_threshold_spacing() {
   std::printf("A3: threshold spacing (T1 launch / T2 migrate)\n");
   struct Case {
     const char* name;
+    const char* label;
     core::Thresholds t;
   };
   const Case cases[] = {
-      {"wide   (launch 60%, migrate 90%)", core::Thresholds{0.6, 0.9}},
-      {"paper  (launch 80%, migrate 90%)", core::Thresholds{0.8, 0.9}},
-      {"narrow (launch 88%, migrate 90%)", core::Thresholds{0.88, 0.9}},
-      {"late   (launch 95%, migrate 97%)", core::Thresholds{0.95, 0.97}},
+      {"wide   (launch 60%, migrate 90%)", "a3-wide", core::Thresholds{0.6, 0.9}},
+      {"paper  (launch 80%, migrate 90%)", "a3-paper", core::Thresholds{0.8, 0.9}},
+      {"narrow (launch 88%, migrate 90%)", "a3-narrow", core::Thresholds{0.88, 0.9}},
+      {"late   (launch 95%, migrate 97%)", "a3-late", core::Thresholds{0.95, 0.97}},
   };
   app::Calibration calib;
   for (const auto& c : cases) {
-    auto r = run_with_calibration(core::RecoveryScheme::kMeadMessage, calib, c.t);
+    auto r = run_with_calibration(c.label, core::RecoveryScheme::kMeadMessage,
+                                  calib, c.t);
     std::printf("  %-36s exceptions=%llu rejuvenations=%zu failover=%.3f ms\n",
                 c.name,
                 static_cast<unsigned long long>(r.client.total_exceptions()),
@@ -119,42 +112,23 @@ void ablation_adaptive_thresholds() {
   std::printf("A4: fixed presets vs adaptive thresholds (paper future work)\n");
   struct Case {
     const char* name;
+    const char* label;
     core::Thresholds t;
   };
   const Case cases[] = {
-      {"fixed 20/30 (eager)", core::Thresholds{0.2, 0.3}},
-      {"fixed 80/90 (paper)", core::Thresholds{0.8, 0.9}},
-      {"adaptive (150ms/60ms leads)",
+      {"fixed 20/30 (eager)", "a4-eager", core::Thresholds{0.2, 0.3}},
+      {"fixed 80/90 (paper)", "a4-paper", core::Thresholds{0.8, 0.9}},
+      {"adaptive (150ms/60ms leads)", "a4-adaptive",
        core::Thresholds::adaptive(milliseconds(150), milliseconds(60))},
   };
-  app::Calibration calib;
   for (const auto& c : cases) {
-    app::TestbedOptions opts;
-    opts.scheme = core::RecoveryScheme::kMeadMessage;
-    opts.seed = 2004;
-    opts.thresholds = c.t;
-    opts.inject_leak = true;
-    opts.calib = calib;
-    app::Testbed bed(opts);
-    if (!bed.start()) continue;
-    const auto deaths0 = bed.replica_deaths();
-    const auto gc0 = bed.gc_bytes();
-    const TimePoint t0 = bed.sim().now();
-    app::ClientOptions copts;
-    copts.invocations = 10'000;
-    app::ExperimentClient client(bed, copts);
-    bed.sim().spawn(client.run());
-    for (int slice = 0; slice < 3000 && !client.done(); ++slice) {
-      bed.sim().run_for(milliseconds(100));
-    }
-    const double secs = (bed.sim().now() - t0).sec();
+    auto r = run_with_calibration(c.label, core::RecoveryScheme::kMeadMessage,
+                                  {}, c.t);
     std::printf("  %-30s rejuvenations=%2zu exceptions=%llu "
                 "gc=%6.0f B/s failover=%.3f ms\n",
-                c.name, bed.replica_deaths() - deaths0,
-                static_cast<unsigned long long>(
-                    client.results().total_exceptions()),
-                static_cast<double>(bed.gc_bytes() - gc0) / secs,
-                client.results().failover_ms.mean());
+                c.name, r.server_failures,
+                static_cast<unsigned long long>(r.client.total_exceptions()),
+                r.gc_bandwidth_bps(), r.client.failover_ms.mean());
   }
   std::printf("  -> adaptive keeps the 0%% failure rate while rejuvenating "
               "least often (least bandwidth + fewest hand-offs).\n");

@@ -18,7 +18,7 @@ namespace {
 void run_panel(const char* title, core::RecoveryScheme scheme) {
   ExperimentSpec spec;
   spec.scheme = scheme;
-  auto r = run_experiment(spec);
+  auto r = bench::run_experiment(spec);
 
   std::printf("\n===== %s =====\n", title);
   std::printf("invocations: %llu   server failures: %zu\n",
@@ -44,6 +44,7 @@ void run_panel(const char* title, core::RecoveryScheme scheme) {
 }  // namespace
 
 int main() {
+  trace_prefix() = "fig3";
   std::printf("Figure 3: Reactive recovery schemes (RTT vs invocation)\n");
   run_panel("Reactive Recovery Scheme (Without cache)",
             core::RecoveryScheme::kReactiveNoCache);

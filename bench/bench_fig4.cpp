@@ -15,7 +15,7 @@ void run_panel(const char* title, core::RecoveryScheme scheme) {
   ExperimentSpec spec;
   spec.scheme = scheme;
   spec.thresholds = core::Thresholds{0.8, 0.9};
-  auto r = run_experiment(spec);
+  auto r = bench::run_experiment(spec);
 
   std::printf("\n===== %s =====\n", title);
   std::printf("invocations: %llu   server failures (incl. rejuvenations): %zu\n",
@@ -48,6 +48,7 @@ void run_panel(const char* title, core::RecoveryScheme scheme) {
 }  // namespace
 
 int main() {
+  trace_prefix() = "fig4";
   std::printf("Figure 4: Proactive recovery schemes (RTT vs invocation)\n");
   run_panel("Proactive Recovery Scheme (GIOP Needs_Addressing_Mode)",
             core::RecoveryScheme::kNeedsAddressing);

@@ -30,7 +30,11 @@ int main() {
       spec.scheme = schemes[i];
       // Keep the paper's 10%-of-capacity gap between launch and migrate.
       spec.thresholds = core::Thresholds{t, t + 0.1};
-      auto r = run_experiment(spec);
+      char trace[64];
+      std::snprintf(trace, sizeof trace, "trace_fig5_%s_t%02.0f_seed2004.jsonl",
+                    i == 0 ? "lf" : "mead", t * 100);
+      spec.trace_jsonl = trace;
+      auto r = bench::run_experiment(spec);
       bw[i] = r.gc_bandwidth_bps();
       deaths[i] = r.server_failures;
     }

@@ -33,12 +33,14 @@ int main() {
     ExperimentSpec spec;
     spec.inject_leak = false;
     spec.scheme = core::RecoveryScheme::kReactiveNoCache;
-    report("fault-free run", run_experiment(spec));
+    spec.trace_jsonl = "trace_jitter_faultfree_seed2004.jsonl";
+    report("fault-free run", bench::run_experiment(spec));
   }
   {
     ExperimentSpec spec;
     spec.scheme = core::RecoveryScheme::kReactiveNoCache;
-    report("reactive (no cache)", run_experiment(spec));
+    spec.trace_jsonl = "trace_jitter_reactive_seed2004.jsonl";
+    report("reactive (no cache)", bench::run_experiment(spec));
   }
   for (double t : {0.2, 0.4, 0.8}) {
     ExperimentSpec spec;
@@ -46,7 +48,11 @@ int main() {
     spec.thresholds = core::Thresholds{t, t + 0.1};
     char label[64];
     std::snprintf(label, sizeof label, "LOCATION_FORWARD @%2.0f%%", t * 100);
-    report(label, run_experiment(spec));
+    char trace[64];
+    std::snprintf(trace, sizeof trace, "trace_jitter_lf_t%02.0f_seed2004.jsonl",
+                  t * 100);
+    spec.trace_jsonl = trace;
+    report(label, bench::run_experiment(spec));
   }
   for (double t : {0.2, 0.4, 0.8}) {
     ExperimentSpec spec;
@@ -54,7 +60,11 @@ int main() {
     spec.thresholds = core::Thresholds{t, t + 0.1};
     char label[64];
     std::snprintf(label, sizeof label, "MEAD message @%2.0f%%", t * 100);
-    report(label, run_experiment(spec));
+    char trace[64];
+    std::snprintf(trace, sizeof trace,
+                  "trace_jitter_mead_t%02.0f_seed2004.jsonl", t * 100);
+    spec.trace_jsonl = trace;
+    report(label, bench::run_experiment(spec));
   }
 
   std::printf("\nPaper anchors: outliers 1-2.5%% of samples; fault-free max "

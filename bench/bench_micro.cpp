@@ -179,15 +179,16 @@ void BM_SimulatedInvocation(benchmark::State& state) {
   app::ExperimentClient client(bed, copts);
   bed.sim().spawn(client.run());
   bed.sim().run_for(milliseconds(50));  // warm up
-  std::uint64_t done = client.results().invocations_completed;
+  std::uint64_t done = client.invocations_completed();
   for (auto _ : state) {
     const std::uint64_t target = done + 1;
-    while (client.results().invocations_completed < target) {
+    while (client.invocations_completed() < target) {
       bed.sim().run_for(milliseconds(1));
     }
-    done = client.results().invocations_completed;
+    done = client.invocations_completed();
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  (void)bed.sim().obs().trace().write_jsonl("trace_micro_invocation.jsonl");
 }
 BENCHMARK(BM_SimulatedInvocation);
 

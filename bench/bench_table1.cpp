@@ -21,6 +21,7 @@ using namespace mead;
 using namespace mead::bench;
 
 int main() {
+  trace_prefix() = "table1";
   struct Row {
     const char* name;
     core::RecoveryScheme scheme;
@@ -60,7 +61,7 @@ int main() {
       ExperimentSpec spec;
       spec.scheme = row.scheme;
       spec.seed = seed;
-      auto r = run_experiment(spec);
+      auto r = bench::run_experiment(spec);
       rtt_sum += r.client.steady_state_rtt_ms();
       for (double v : r.client.failover_ms.samples()) failover_all.add(v);
       deaths += r.server_failures;

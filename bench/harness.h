@@ -1,87 +1,40 @@
-// Shared experiment harness for the paper-reproduction benches: runs one
-// full §5 experiment (five-node testbed, 10,000 invocations at 1 ms) and
-// collects everything Table 1 / Figures 3-5 need.
+// Thin bench-side shim over the app::Experiment facade (src/app/
+// experiment.h): re-exports the spec/result types, derives per-bench event
+// trace artifact names, and keeps the ASCII series printer.
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 
-#include "app/experiment_client.h"
-#include "app/testbed.h"
+#include "app/experiment.h"
 
 namespace mead::bench {
 
-struct ExperimentResult {
-  app::ClientResults client;
-  std::size_t server_failures = 0;
-  std::uint64_t gc_bytes = 0;          // GC traffic during the measurement
-  double duration_s = 0;               // virtual seconds of measurement
-  std::uint64_t mead_redirects = 0;
-  std::uint64_t masked_failures = 0;
-  std::uint64_t query_timeouts = 0;
-  std::uint64_t forwards = 0;
-  std::uint64_t proactive_launches = 0;
+using app::ExperimentResult;
+using app::ExperimentSpec;
 
-  [[nodiscard]] double gc_bandwidth_bps() const {
-    return duration_s > 0 ? static_cast<double>(gc_bytes) / duration_s : 0;
-  }
-  /// Table 1 "Client Failures (%)": client-visible exceptions per
-  /// server-side failure.
-  [[nodiscard]] double client_failure_pct() const {
-    if (server_failures == 0) return 0;
-    return 100.0 * static_cast<double>(client.total_exceptions()) /
-           static_cast<double>(server_failures);
-  }
-};
+/// Artifact-name prefix for the current bench ("table1", "fig3", ...). Set
+/// once at the top of main(); run_experiment then writes each run's event
+/// trace to trace_<prefix>_<scheme>_seed<seed>.jsonl in the working dir.
+inline std::string& trace_prefix() {
+  static std::string prefix;
+  return prefix;
+}
 
-struct ExperimentSpec {
-  ExperimentSpec() = default;
+inline std::string trace_artifact_name(const ExperimentSpec& spec) {
+  if (trace_prefix().empty()) return {};
+  std::string scheme{to_string(spec.scheme)};
+  std::replace_if(
+      scheme.begin(), scheme.end(),
+      [](char c) { return c == ' ' || c == '/' || c == ','; }, '-');
+  return "trace_" + trace_prefix() + "_" + scheme + "_seed" +
+         std::to_string(spec.seed) + ".jsonl";
+}
 
-  core::RecoveryScheme scheme = core::RecoveryScheme::kReactiveNoCache;
-  int invocations = 10'000;
-  std::uint64_t seed = 2004;  // DSN 2004
-  core::Thresholds thresholds;
-  bool inject_leak = true;
-};
-
-inline ExperimentResult run_experiment(const ExperimentSpec& spec) {
-  app::TestbedOptions opts;
-  opts.scheme = spec.scheme;
-  opts.seed = spec.seed;
-  opts.thresholds = spec.thresholds;
-  opts.inject_leak = spec.inject_leak;
-  app::Testbed bed(opts);
-  ExperimentResult out;
-  if (!bed.start()) {
-    std::fprintf(stderr, "testbed failed to start (%s)\n",
-                 std::string(to_string(spec.scheme)).c_str());
-    return out;
-  }
-  const std::size_t deaths0 = bed.replica_deaths();
-  const std::uint64_t gc0 = bed.gc_bytes();
-  const TimePoint t0 = bed.sim().now();
-
-  app::ClientOptions copts;
-  copts.invocations = spec.invocations;
-  app::ExperimentClient client(bed, copts);
-  bed.sim().spawn(client.run());
-  // Slice the run so measurement stops the moment the client finishes.
-  for (int slice = 0; slice < 3000 && !client.done(); ++slice) {
-    bed.sim().run_for(milliseconds(100));
-  }
-
-  out.client = client.results();
-  out.server_failures = bed.replica_deaths() - deaths0;
-  out.gc_bytes = bed.gc_bytes() - gc0;
-  out.duration_s = (bed.sim().now() - t0).sec();
-  if (client.interceptor() != nullptr) {
-    out.mead_redirects = client.interceptor()->stats().mead_redirects;
-    out.masked_failures = client.interceptor()->stats().masked_failures;
-    out.query_timeouts = client.interceptor()->stats().query_timeouts;
-  }
-  out.forwards = client.stub() ? client.stub()->forwards_followed() : 0;
-  out.proactive_launches = bed.recovery_manager().stats().proactive_launches;
-  return out;
+inline ExperimentResult run_experiment(ExperimentSpec spec) {
+  if (spec.trace_jsonl.empty()) spec.trace_jsonl = trace_artifact_name(spec);
+  return app::run_experiment(spec);
 }
 
 /// Prints a compact ASCII sparkline of an RTT series (for figure benches).

@@ -5,8 +5,7 @@
 // Run: ./build/examples/adaptive_thresholds
 #include <cstdio>
 
-#include "app/experiment_client.h"
-#include "app/testbed.h"
+#include "app/experiment.h"
 #include "core/predictor.h"
 
 using namespace mead;
@@ -43,28 +42,15 @@ struct Outcome {
 };
 
 Outcome run(const char* label, core::Thresholds thresholds) {
-  TestbedOptions opts;
-  opts.scheme = core::RecoveryScheme::kMeadMessage;
-  opts.seed = 2004;
-  opts.thresholds = thresholds;
-  opts.inject_leak = true;
-  Testbed bed(opts);
+  ExperimentSpec spec;
+  spec.scheme = core::RecoveryScheme::kMeadMessage;
+  spec.thresholds = thresholds;
+  spec.invocations = 5'000;
+  const auto r = run_experiment(spec);
   Outcome out;
-  if (!bed.start()) return out;
-  const auto deaths0 = bed.replica_deaths();
-  const auto gc0 = bed.gc_bytes();
-  const TimePoint t0 = bed.sim().now();
-  ClientOptions copts;
-  copts.invocations = 5'000;
-  ExperimentClient client(bed, copts);
-  bed.sim().spawn(client.run());
-  for (int i = 0; i < 1000 && !client.done(); ++i) {
-    bed.sim().run_for(milliseconds(100));
-  }
-  out.rejuvenations = bed.replica_deaths() - deaths0;
-  out.exceptions = client.results().total_exceptions();
-  out.gc_bps = static_cast<double>(bed.gc_bytes() - gc0) /
-               (bed.sim().now() - t0).sec();
+  out.rejuvenations = r.server_failures;
+  out.exceptions = r.client.total_exceptions();
+  out.gc_bps = r.gc_bandwidth_bps();
   std::printf("  %-28s rejuvenations=%2zu exceptions=%llu gc=%6.0f B/s\n",
               label, out.rejuvenations,
               static_cast<unsigned long long>(out.exceptions), out.gc_bps);

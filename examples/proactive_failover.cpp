@@ -4,27 +4,31 @@
 // replica *before* the faulty one dies — no exception ever reaches the
 // client application.
 //
+// Uses the step-wise app::Experiment API (start / launch_client / manual
+// slicing) so the narration can poll the world mid-run.
+//
 // Run: ./build/examples/proactive_failover
 #include <cstdio>
 
-#include "app/experiment_client.h"
-#include "app/testbed.h"
+#include "app/experiment.h"
 
 using namespace mead;
 using namespace mead::app;
 
 int main() {
-  TestbedOptions opts;
-  opts.scheme = core::RecoveryScheme::kMeadMessage;
-  opts.seed = 7;
-  opts.thresholds = core::Thresholds{0.8, 0.9};  // the paper's 80%/90%
-  opts.inject_leak = true;
+  ExperimentSpec spec;
+  spec.scheme = core::RecoveryScheme::kMeadMessage;
+  spec.seed = 7;
+  spec.thresholds = core::Thresholds{0.8, 0.9};  // the paper's 80%/90%
+  spec.invocations = 2'000;
 
-  Testbed bed(opts);
-  if (!bed.start()) {
-    std::fprintf(stderr, "testbed failed to start\n");
+  Experiment exp(spec);
+  if (auto up = exp.start(); !up) {
+    std::fprintf(stderr, "testbed failed to start: %s\n",
+                 up.error().reason.c_str());
     return 1;
   }
+  Testbed& bed = exp.testbed();
   std::printf("five-node testbed up: 3 replicas + naming + recovery "
               "manager, GC daemons everywhere\n");
   for (const auto& r : bed.replicas()) {
@@ -32,10 +36,8 @@ int main() {
                 net::to_string(r->endpoint()).c_str());
   }
 
-  ClientOptions copts;
-  copts.invocations = 2'000;
-  ExperimentClient client(bed, copts);
-  bed.sim().spawn(client.run());
+  exp.launch_client();
+  ExperimentClient& client = *exp.client();
 
   // Narrate the run: poll for interesting transitions every 50 virtual ms.
   std::size_t last_replicas = bed.replicas().size();
@@ -66,18 +68,19 @@ int main() {
     }
   }
 
-  const auto& res = client.results();
+  const auto res = exp.collect();
   std::printf("\nrun complete: %llu invocations\n",
-              static_cast<unsigned long long>(res.invocations_completed));
+              static_cast<unsigned long long>(res.client.invocations_completed));
   std::printf("  server-side rejuvenations : %zu\n", bed.replica_deaths());
   std::printf("  client-visible exceptions : %llu   <-- the headline: zero\n",
-              static_cast<unsigned long long>(res.total_exceptions()));
+              static_cast<unsigned long long>(res.client.total_exceptions()));
   std::printf("  steady-state RTT          : %.3f ms\n",
-              res.steady_state_rtt_ms());
+              res.client.steady_state_rtt_ms());
   std::printf("  fail-over spikes          : n=%zu mean=%.3f ms max=%.3f ms\n",
-              res.failover_ms.count(), res.failover_ms.mean(),
-              res.failover_ms.max());
+              res.client.failover_ms.count(), res.client.failover_ms.mean(),
+              res.client.failover_ms.max());
   std::printf("  (compare: the reactive client in Table 1 pays ~10.4 ms per "
               "fail-over and sees every failure)\n");
+  exp.export_trace_jsonl("trace_proactive_failover_seed7.jsonl");
   return 0;
 }

@@ -1,13 +1,13 @@
 // Runs all five recovery strategies side by side on identical worlds
 // (same seed, same fault process) and prints a compact comparison — a
-// miniature, fast version of bench_table1.
+// miniature, fast version of bench_table1, one app::run_experiment call
+// per scheme.
 //
 // Run: ./build/examples/scheme_comparison [invocations]
 #include <cstdio>
 #include <cstdlib>
 
-#include "app/experiment_client.h"
-#include "app/testbed.h"
+#include "app/experiment.h"
 
 using namespace mead;
 using namespace mead::app;
@@ -31,29 +31,15 @@ int main(int argc, char** argv) {
               "exceptions", "failover(ms)", "rejuv/crash");
 
   for (auto scheme : schemes) {
-    TestbedOptions opts;
-    opts.scheme = scheme;
-    opts.seed = 2004;
-    opts.inject_leak = true;
-    Testbed bed(opts);
-    if (!bed.start()) {
-      std::fprintf(stderr, "world failed for %s\n",
-                   std::string(to_string(scheme)).c_str());
-      continue;
-    }
-    ClientOptions copts;
-    copts.invocations = invocations;
-    ExperimentClient client(bed, copts);
-    bed.sim().spawn(client.run());
-    for (int slice = 0; slice < 3000 && !client.done(); ++slice) {
-      bed.sim().run_for(milliseconds(100));
-    }
-    const auto& r = client.results();
+    ExperimentSpec spec;
+    spec.scheme = scheme;
+    spec.invocations = invocations;
+    const auto r = run_experiment(spec);
     std::printf("%-22s %10.3f %10llu %12.3f %12zu\n",
                 std::string(to_string(scheme)).c_str(),
-                r.steady_state_rtt_ms(),
-                static_cast<unsigned long long>(r.total_exceptions()),
-                r.failover_ms.mean(), bed.replica_deaths());
+                r.client.steady_state_rtt_ms(),
+                static_cast<unsigned long long>(r.client.total_exceptions()),
+                r.client.failover_ms.mean(), r.server_failures);
   }
   std::printf("\nreading the table: the MEAD message scheme masks every "
               "failure at ~3%% RTT overhead and ~4x lower fail-over time; "

@@ -1,0 +1,104 @@
+#include "app/experiment.h"
+
+#include <cstdio>
+
+namespace mead::app {
+
+namespace {
+
+TestbedOptions testbed_options(const ExperimentSpec& spec) {
+  TestbedOptions opts;
+  opts.seed = spec.seed;
+  opts.scheme = spec.scheme;
+  opts.thresholds = spec.thresholds;
+  opts.inject_leak = spec.inject_leak;
+  opts.calib = spec.calib;
+  opts.replica_count = spec.replica_count;
+  return opts;
+}
+
+}  // namespace
+
+Experiment::Experiment(ExperimentSpec spec)
+    : spec_(std::move(spec)), bed_(testbed_options(spec_)) {}
+
+Experiment::~Experiment() = default;
+
+std::uint64_t Experiment::delta(const char* name) const {
+  return bed_.sim().obs().metrics().counter_value(name);
+}
+
+StartResult Experiment::start() {
+  auto up = bed_.start();
+  if (!up) return up;
+  deaths0_ = bed_.replica_deaths();
+  gc_bytes0_ = bed_.gc_bytes();
+  t0_ = bed_.sim().now();
+  redirects0_ = delta("client.mead_redirects");
+  masked0_ = delta("client.masked_failures");
+  timeouts0_ = delta("client.query_timeouts");
+  forwards0_ = delta("orb.forwards_followed");
+  proactive0_ = delta("rm.proactive_launches");
+  return up;
+}
+
+void Experiment::launch_client() {
+  ClientOptions copts;
+  copts.invocations = spec_.invocations;
+  copts.spacing = spec_.spacing;
+  copts.query_timeout = spec_.query_timeout;
+  client_ = std::make_unique<ExperimentClient>(bed_, copts);
+  bed_.sim().spawn(client_->run());
+}
+
+void Experiment::run_to_completion() {
+  // Slice the run so measurement stops the moment the client finishes.
+  for (int slice = 0; slice < 3000 && !client_->done(); ++slice) {
+    bed_.sim().run_for(milliseconds(100));
+  }
+}
+
+ExperimentResult Experiment::collect() const {
+  ExperimentResult out;
+  if (client_) out.client = client_->results();
+  out.server_failures = bed_.replica_deaths() - deaths0_;
+  out.gc_bytes = bed_.gc_bytes() - gc_bytes0_;
+  out.duration_s = (bed_.sim().now() - t0_).sec();
+  out.mead_redirects = delta("client.mead_redirects") - redirects0_;
+  out.masked_failures = delta("client.masked_failures") - masked0_;
+  out.query_timeouts = delta("client.query_timeouts") - timeouts0_;
+  out.forwards = delta("orb.forwards_followed") - forwards0_;
+  out.proactive_launches = delta("rm.proactive_launches") - proactive0_;
+  return out;
+}
+
+ExperimentResult Experiment::run() {
+  auto up = start();
+  if (!up) {
+    std::fprintf(stderr, "testbed failed to start (%s): %s\n",
+                 std::string(to_string(spec_.scheme)).c_str(),
+                 up.error().reason.c_str());
+    return {};
+  }
+  launch_client();
+  run_to_completion();
+  ExperimentResult out = collect();
+  if (!spec_.trace_jsonl.empty()) {
+    if (!export_trace_jsonl(spec_.trace_jsonl)) {
+      std::fprintf(stderr, "could not write event trace to %s\n",
+                   spec_.trace_jsonl.c_str());
+    }
+  }
+  return out;
+}
+
+bool Experiment::export_trace_jsonl(const std::string& path) const {
+  return bed_.sim().obs().trace().write_jsonl(path);
+}
+
+ExperimentResult run_experiment(const ExperimentSpec& spec) {
+  Experiment exp(spec);
+  return exp.run();
+}
+
+}  // namespace mead::app

@@ -1,0 +1,111 @@
+// One-call experiment facade over Testbed + ExperimentClient: a single
+// ExperimentSpec in, a single ExperimentResult out, with every Table 1 /
+// Figure 3-5 counter read back from the simulation's metrics registry
+// rather than scraped from individual components.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "app/experiment_client.h"
+#include "app/testbed.h"
+
+namespace mead::app {
+
+/// Everything one §5 measurement run needs: five-node testbed, 10,000
+/// invocations at 1 ms, seed 2004 (DSN 2004).
+struct ExperimentSpec {
+  ExperimentSpec() = default;
+
+  core::RecoveryScheme scheme = core::RecoveryScheme::kReactiveNoCache;
+  int invocations = 10'000;
+  std::uint64_t seed = 2004;
+  core::Thresholds thresholds;
+  bool inject_leak = true;
+  Calibration calib;
+  Duration spacing = milliseconds(1);
+  Duration query_timeout = milliseconds(10);
+  std::size_t replica_count = 3;
+  /// When non-empty, run() writes the structured event trace here as JSONL.
+  std::string trace_jsonl;
+};
+
+struct ExperimentResult {
+  ClientResults client;
+  std::size_t server_failures = 0;
+  std::uint64_t gc_bytes = 0;          // GC traffic during the measurement
+  double duration_s = 0;               // virtual seconds of measurement
+  std::uint64_t mead_redirects = 0;
+  std::uint64_t masked_failures = 0;
+  std::uint64_t query_timeouts = 0;
+  std::uint64_t forwards = 0;
+  std::uint64_t proactive_launches = 0;
+
+  [[nodiscard]] double gc_bandwidth_bps() const {
+    return duration_s > 0 ? static_cast<double>(gc_bytes) / duration_s : 0;
+  }
+  /// Table 1 "Client Failures (%)": client-visible exceptions per
+  /// server-side failure.
+  [[nodiscard]] double client_failure_pct() const {
+    if (server_failures == 0) return 0;
+    return 100.0 * static_cast<double>(client.total_exceptions()) /
+           static_cast<double>(server_failures);
+  }
+};
+
+/// Owns the testbed and measurement client for one experiment. Counter
+/// baselines are snapshotted in start(), so collect() reports deltas over
+/// the measurement window even though the registry is simulation-global.
+class Experiment {
+ public:
+  explicit Experiment(ExperimentSpec spec);
+  Experiment(const Experiment&) = delete;
+  Experiment& operator=(const Experiment&) = delete;
+  ~Experiment();
+
+  /// Bring the world up and snapshot counter baselines.
+  [[nodiscard]] StartResult start();
+  /// Spawn the measurement client (after start() succeeds).
+  void launch_client();
+  /// Drive the simulation until the client finishes (bounded at 300 s
+  /// virtual time so a wedged run still terminates).
+  void run_to_completion();
+  /// Registry-delta snapshot of the run so far.
+  [[nodiscard]] ExperimentResult collect() const;
+
+  /// start + launch_client + run_to_completion + collect. On start failure
+  /// prints the reason to stderr and returns an empty result (matching the
+  /// old bench harness). Writes spec.trace_jsonl if set.
+  ExperimentResult run();
+
+  /// Write the event trace to `path` as JSONL; returns false on I/O error.
+  bool export_trace_jsonl(const std::string& path) const;
+
+  [[nodiscard]] const ExperimentSpec& spec() const { return spec_; }
+  [[nodiscard]] Testbed& testbed() { return bed_; }
+  [[nodiscard]] ExperimentClient* client() { return client_.get(); }
+  [[nodiscard]] sim::Simulator& sim() { return bed_.sim(); }
+  [[nodiscard]] obs::Recorder& obs() { return bed_.sim().obs(); }
+
+ private:
+  [[nodiscard]] std::uint64_t delta(const char* name) const;
+
+  ExperimentSpec spec_;
+  Testbed bed_;
+  std::unique_ptr<ExperimentClient> client_;
+
+  // Baselines captured by start().
+  std::size_t deaths0_ = 0;
+  std::uint64_t gc_bytes0_ = 0;
+  TimePoint t0_;
+  std::uint64_t redirects0_ = 0;
+  std::uint64_t masked0_ = 0;
+  std::uint64_t timeouts0_ = 0;
+  std::uint64_t forwards0_ = 0;
+  std::uint64_t proactive0_ = 0;
+};
+
+/// One-shot convenience wrapper.
+ExperimentResult run_experiment(const ExperimentSpec& spec);
+
+}  // namespace mead::app

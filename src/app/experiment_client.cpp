@@ -26,6 +26,18 @@ ExperimentClient::ExperimentClient(Testbed& bed, ClientOptions opts)
     : bed_(bed), opts_(opts), scheme_(bed.options().scheme) {
   proc_ = bed_.net().spawn_process(bed_.client_host(), "client");
 
+  auto& metrics = bed_.sim().obs().metrics();
+  auto hook = [&metrics](const char* name) {
+    TaxonomyCounter t;
+    t.counter = &metrics.counter(name);
+    t.base = t.counter->value();
+    return t;
+  };
+  comm_failures_ = hook("client.comm_failures");
+  transients_ = hook("client.transients");
+  other_exceptions_ = hook("client.other_exceptions");
+  naming_refreshes_ = hook("client.naming_refreshes");
+
   net::SocketApi* api = &proc_->api();
   if (scheme_ == core::RecoveryScheme::kNeedsAddressing ||
       scheme_ == core::RecoveryScheme::kMeadMessage) {
@@ -46,47 +58,65 @@ ExperimentClient::ExperimentClient(Testbed& bed, ClientOptions opts)
 
 ExperimentClient::~ExperimentClient() = default;
 
+ClientResults ExperimentClient::results() const {
+  ClientResults out = results_;
+  out.comm_failures = comm_failures_.delta();
+  out.transients = transients_.delta();
+  out.other_exceptions = other_exceptions_.delta();
+  out.naming_refreshes = naming_refreshes_.delta();
+  return out;
+}
+
 void ExperimentClient::note_exception(giop::SysExKind kind) {
   switch (kind) {
     case giop::SysExKind::kCommFailure:
-      ++results_.comm_failures;
+      comm_failures_.bump();
       break;
     case giop::SysExKind::kTransient:
-      ++results_.transients;
+      transients_.bump();
       break;
     default:
-      ++results_.other_exceptions;
+      other_exceptions_.bump();
       break;
   }
+  bed_.sim().obs().emit(obs::EventKind::kClientException, "client",
+                        std::string(giop::repository_id(kind)));
 }
 
-sim::Task<bool> ExperimentClient::setup() {
+sim::Task<StartResult> ExperimentClient::setup() {
   if (mead_) {
     const bool up = co_await mead_->start();
-    if (!up) co_return false;
+    if (!up) {
+      co_return start_error("client interceptor could not reach its daemon");
+    }
   }
   // Initial Naming Service contact — the paper's "initial transient spike".
   const TimePoint t0 = proc_->sim().now();
   if (scheme_ == core::RecoveryScheme::kReactiveCache) {
     auto all = co_await naming_->resolve_all(kServiceName);
-    if (!all || all->empty()) co_return false;
+    if (!all || all->empty()) {
+      co_return start_error("initial resolve_all returned no bindings");
+    }
     cache_ = std::move(all.value());
     cache_idx_ = 0;
     stub_ = std::make_unique<orb::Stub>(*orb_, cache_[0]);
   } else {
     auto primary = co_await naming_->resolve(kServiceName);
-    if (!primary) co_return false;
+    if (!primary) {
+      co_return start_error("initial Naming resolve failed");
+    }
     stub_ = std::make_unique<orb::Stub>(*orb_, std::move(primary.value()));
   }
   results_.rtt_ms.add((proc_->sim().now() - t0).ms());
-  co_return true;
+  co_return StartResult{};
 }
 
 sim::Task<void> ExperimentClient::recover_no_cache() {
   // "the client ... contact[s] the CORBA Naming Service for the address of
   // the next available server replica" (§5): fetch fresh bindings and move
   // to the entry after the one that just failed.
-  ++results_.naming_refreshes;
+  naming_refreshes_.bump();
+  bed_.sim().obs().emit(obs::EventKind::kNamingRefresh, "client", "no-cache");
   const std::string failed_host = stub_->target().endpoint.host;
   auto all = co_await naming_->resolve_all(kServiceName);
   if (!all || all->empty()) co_return;  // naming outage: retry next loop
@@ -109,7 +139,8 @@ sim::Task<void> ExperimentClient::recover_cached(giop::SysExKind kind) {
     // incarnation's old address. Refresh all replica references in one
     // sweep (the paper's ~9.7 ms spike: "the time taken to resolve all
     // three replica references") and retry the refreshed slot.
-    ++results_.naming_refreshes;
+    naming_refreshes_.bump();
+    bed_.sim().obs().emit(obs::EventKind::kNamingRefresh, "client", "cached");
     auto all = co_await naming_->resolve_all(kServiceName);
     if (all && !all->empty()) {
       cache_ = std::move(all.value());
@@ -138,13 +169,19 @@ sim::Task<void> ExperimentClient::recover(giop::SysExKind kind) {
 }
 
 sim::Task<void> ExperimentClient::run() {
-  const bool ok = co_await setup();
-  if (!ok) {
+  auto up = co_await setup();
+  if (!up) {
     LogLine(proc_->sim().log(), LogLevel::kError, "client")
-        << "setup failed (" << to_string(scheme_) << ")";
+        << "setup failed (" << to_string(scheme_) << "): "
+        << up.error().reason;
     done_ = true;
     co_return;
   }
+
+  auto& obs = bed_.sim().obs();
+  Series& rtt_series = obs.metrics().series("client.rtt_ms");
+  Series& failover_series = obs.metrics().series("client.failover_ms");
+  rtt_series.reserve(static_cast<std::size_t>(opts_.invocations));
 
   for (int i = 0; i < opts_.invocations && proc_->alive(); ++i) {
     const TimePoint t0 = proc_->sim().now();
@@ -157,7 +194,12 @@ sim::Task<void> ExperimentClient::run() {
     for (;;) {
       auto reply = co_await get_time(*stub_);
       if (reply) break;
-      exception_seen = true;
+      if (!exception_seen) {
+        exception_seen = true;
+        obs.emit(obs::EventKind::kFailoverBegin, "client",
+                 std::string(giop::repository_id(reply.error().kind)),
+                 static_cast<double>(i));
+      }
       note_exception(reply.error().kind);
       if (!proc_->alive()) co_return;
       co_await recover(reply.error().kind);
@@ -165,13 +207,19 @@ sim::Task<void> ExperimentClient::run() {
 
     const Duration rtt = proc_->sim().now() - t0;
     results_.rtt_ms.add(rtt.ms());
+    rtt_series.add(rtt.ms());
     ++results_.invocations_completed;
 
     const bool recovery_event =
         exception_seen || stub_->forwards_followed() > forwards0 ||
         stub_->readdress_retries() > readdress0 ||
         (mead_ && mead_->stats().mead_redirects > redirects0);
-    if (recovery_event) results_.failover_ms.add(rtt.ms());
+    if (recovery_event) {
+      results_.failover_ms.add(rtt.ms());
+      failover_series.add(rtt.ms());
+      obs.emit(obs::EventKind::kFailoverEnd, "client",
+               exception_seen ? "visible" : "masked", rtt.ms());
+    }
 
     const TimePoint next = t0 + opts_.spacing;
     if (proc_->sim().now() < next) {

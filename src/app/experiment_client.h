@@ -44,6 +44,9 @@ struct ClientResults {
   /// recovery, LOCATION_FORWARD follow, NEEDS_ADDRESSING retransmit, or
   /// MEAD redirect).
   Series failover_ms{"failover_ms"};
+  // Exception taxonomy + refresh counts. The client emits these into the
+  // metrics registry ("client.comm_failures", ...); results() fills this
+  // snapshot from registry deltas since the client was constructed.
   std::uint64_t comm_failures = 0;
   std::uint64_t transients = 0;
   std::uint64_t other_exceptions = 0;
@@ -67,12 +70,18 @@ class ExperimentClient {
   [[nodiscard]] sim::Task<void> run();
 
   [[nodiscard]] bool done() const { return done_; }
-  [[nodiscard]] const ClientResults& results() const { return results_; }
+  /// Cheap progress probe (results() copies the full sample series).
+  [[nodiscard]] std::uint64_t invocations_completed() const {
+    return results_.invocations_completed;
+  }
+  /// Snapshot of the run so far: locally-held series plus the exception
+  /// taxonomy read back from the metrics registry.
+  [[nodiscard]] ClientResults results() const;
   [[nodiscard]] const core::ClientMead* interceptor() const { return mead_.get(); }
   [[nodiscard]] const orb::Stub* stub() const { return stub_.get(); }
 
  private:
-  [[nodiscard]] sim::Task<bool> setup();
+  [[nodiscard]] sim::Task<StartResult> setup();
   [[nodiscard]] sim::Task<void> recover(giop::SysExKind kind);
   [[nodiscard]] sim::Task<void> recover_no_cache();
   [[nodiscard]] sim::Task<void> recover_cached(giop::SysExKind kind);
@@ -90,6 +99,22 @@ class ExperimentClient {
   std::vector<giop::IOR> cache_;
   std::size_t cache_idx_ = 0;
   std::size_t failures_since_refresh_ = 0;
+
+  /// Registry counters for the exception taxonomy (single source of truth)
+  /// plus their values at construction, so results() reports this client's
+  /// contribution even when a simulation hosts several clients in sequence.
+  struct TaxonomyCounter {
+    obs::Counter* counter = nullptr;
+    std::uint64_t base = 0;
+    [[nodiscard]] std::uint64_t delta() const {
+      return counter == nullptr ? 0 : counter->value() - base;
+    }
+    void bump() { counter->add(); }
+  };
+  TaxonomyCounter comm_failures_;
+  TaxonomyCounter transients_;
+  TaxonomyCounter other_exceptions_;
+  TaxonomyCounter naming_refreshes_;
 
   ClientResults results_;
   bool done_ = false;

@@ -56,6 +56,10 @@ sim::Task<void> TimeOfDayReplica::startup() {
   // Register with the Naming Service: rebind supersedes the previous
   // incarnation's binding on this host.
   registered_ = co_await naming_->rebind(kServiceName, ior_);
+  if (registered_) {
+    proc_->sim().obs().emit(obs::EventKind::kReplicaRegistered, opts_.member,
+                            net::to_string(server_->endpoint()));
+  }
 }
 
 }  // namespace mead::app

@@ -52,7 +52,7 @@ void Testbed::spawn_replica(int incarnation) {
   replicas_.push_back(TimeOfDayReplica::launch(net_, host, std::move(ro)));
 }
 
-bool Testbed::start() {
+StartResult Testbed::start() {
   naming_proc_ = net_.spawn_process(naming_host(), "naming-service");
   {
     // Rebuild the bundle with calibrated costs.
@@ -85,16 +85,25 @@ bool Testbed::start() {
   // Let the mesh form, the RM bootstrap the replicas, and the replicas
   // join + announce + register with naming.
   sim_.run_for(milliseconds(500));
-  if (!rm_up) return false;
+  if (!rm_up) {
+    return start_error("recovery manager failed to join the group mesh");
+  }
   if (live_replica_count() != opts_.replica_count) {
     LogLine(sim_.log(), LogLevel::kError, "testbed")
         << "only " << live_replica_count() << " replicas came up";
-    return false;
+    return start_error("only " + std::to_string(live_replica_count()) + " of " +
+                       std::to_string(opts_.replica_count) +
+                       " replicas came up");
   }
   for (auto& r : replicas_) {
-    if (!r->registered()) return false;
+    if (!r->registered()) {
+      return start_error(r->member() +
+                         " did not register with the Naming Service");
+    }
   }
-  return true;
+  sim_.obs().emit(obs::EventKind::kWorldUp, "testbed", "",
+                  static_cast<double>(opts_.replica_count));
+  return {};
 }
 
 std::size_t Testbed::live_replica_count() const {

@@ -10,6 +10,7 @@
 
 #include "app/calibration.h"
 #include "app/replica.h"
+#include "common/expected.h"
 #include "core/recovery_manager.h"
 #include "gc/daemon.h"
 #include "naming/naming.h"
@@ -17,6 +18,19 @@
 #include "sim/simulator.h"
 
 namespace mead::app {
+
+/// Why world bring-up (or client setup) failed.
+struct StartError {
+  StartError() = default;
+  explicit StartError(std::string r) : reason(std::move(r)) {}
+  std::string reason;
+};
+
+using StartResult = Expected<void, StartError>;
+
+[[nodiscard]] inline Unexpected<StartError> start_error(std::string reason) {
+  return make_unexpected(StartError{std::move(reason)});
+}
 
 struct TestbedOptions {
   TestbedOptions() = default;
@@ -38,10 +52,11 @@ class Testbed {
 
   /// Brings the world up: naming, Recovery Manager (which bootstraps the
   /// replicas), and runs the simulation until the replica group is ready.
-  /// Returns false if the world failed to come up.
-  [[nodiscard]] bool start();
+  /// On failure the error carries the reason bring-up stalled.
+  [[nodiscard]] StartResult start();
 
   [[nodiscard]] sim::Simulator& sim() { return sim_; }
+  [[nodiscard]] const sim::Simulator& sim() const { return sim_; }
   [[nodiscard]] net::Network& net() { return net_; }
   [[nodiscard]] const TestbedOptions& options() const { return opts_; }
 

@@ -68,11 +68,16 @@ sim::Task<std::optional<Bytes>> ClientMead::mask_abrupt_failure(int fd) {
     // "the blocking read() at the client times out, and a CORBA
     // COMM_FAILURE exception is propagated up" (§4.2).
     ++stats_.query_timeouts;
+    proc_->sim().obs().metrics().counter("client.query_timeouts").add();
+    proc_->sim().obs().emit(obs::EventKind::kQueryTimeout, cfg_.member);
     co_return std::nullopt;
   }
   const bool redirected = co_await redirect(fd, answer->endpoint);
   if (!redirected) co_return std::nullopt;
   ++stats_.masked_failures;
+  proc_->sim().obs().metrics().counter("client.masked_failures").add();
+  proc_->sim().obs().emit(obs::EventKind::kMaskedFailure, cfg_.member,
+                          answer->member);
   // Fabricate a NEEDS_ADDRESSING_MODE reply: the ORB will retransmit its
   // last request over the (now re-pointed) connection.
   co_return giop::encode_reply(giop::make_needs_addressing_reply(request_id));
@@ -129,6 +134,7 @@ sim::Task<net::Result<Bytes>> ClientMead::read(int fd, std::size_t max_bytes,
         }
       }
       ++stats_.unmasked_eofs;
+      proc_->sim().obs().metrics().counter("client.unmasked_eofs").add();
       co_return Bytes{};
     }
 
@@ -170,7 +176,12 @@ sim::Task<net::Result<Bytes>> ClientMead::read(int fd, std::size_t max_bytes,
           << "client redirecting to " << redirect_member << " at "
           << net::to_string(*redirect_to);
       const bool ok = co_await redirect(fd, *redirect_to);
-      if (ok) ++stats_.mead_redirects;
+      if (ok) {
+        ++stats_.mead_redirects;
+        proc_->sim().obs().metrics().counter("client.mead_redirects").add();
+        proc_->sim().obs().emit(obs::EventKind::kRedirect, cfg_.member,
+                                redirect_member);
+      }
     }
     // Loop: either clean bytes are ready now, or we need more input.
   }

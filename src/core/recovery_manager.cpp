@@ -84,15 +84,22 @@ void RecoveryManager::reconcile(bool proactive_trigger) {
 sim::Task<void> RecoveryManager::launch_one(bool proactive) {
   const int incarnation = next_incarnation_++;
   ++stats_.launches;
+  auto& obs = proc_->sim().obs();
+  obs.metrics().counter("rm.launches").add();
   if (proactive) {
     ++stats_.proactive_launches;
+    obs.metrics().counter("rm.proactive_launches").add();
   } else {
     ++stats_.reactive_launches;
+    obs.metrics().counter("rm.reactive_launches").add();
   }
   const bool alive = co_await proc_->sleep(cfg_.launch_delay);
   if (!alive) co_return;
   LogLine(proc_->sim().log(), LogLevel::kInfo, "rm")
       << "launching replica incarnation " << incarnation;
+  proc_->sim().obs().emit(obs::EventKind::kReplicaLaunched, cfg_.member,
+                          proactive ? "proactive" : "reactive",
+                          static_cast<double>(incarnation));
   factory_(incarnation);
 }
 

@@ -165,15 +165,23 @@ void ServerMead::check_thresholds() {
     trigger_migrate = used >= cfg_.thresholds.migrate_fraction;
   }
 
+  auto& obs = proc_->sim().obs();
   if (!launch_requested_ && trigger_launch) {
     launch_requested_ = true;
     ++stats_.launch_requests;
+    obs.metrics().counter("server.launch_requests").add();
+    obs.emit(obs::EventKind::kThresholdCrossed, cfg_.member, "T1", used);
+    obs.emit(obs::EventKind::kLaunchRequested, cfg_.member, "", used);
     proc_->sim().spawn(send_launch_request(used));
   }
   if (!migrating_ && trigger_migrate) {
     migrate_target_ = registry_.next_after(cfg_.member);
     if (migrate_target_) {
       migrating_ = true;
+      obs.metrics().counter("server.migrations").add();
+      obs.emit(obs::EventKind::kThresholdCrossed, cfg_.member, "T2", used);
+      obs.emit(obs::EventKind::kMigrateBegin, cfg_.member,
+               migrate_target_->member, used);
       proc_->sim().spawn(rejuvenate_after_drain());
     }
     // No fail-over target (sole replica): keep serving; retry on the next
@@ -196,6 +204,9 @@ sim::Task<void> ServerMead::rejuvenate_after_drain() {
   if (!alive) co_return;
   LogLine(proc_->sim().log(), LogLevel::kInfo, "mead")
       << cfg_.member << " rejuvenating (usage " << usage() << ")";
+  auto& obs = proc_->sim().obs();
+  obs.metrics().counter("server.rejuvenations").add();
+  obs.emit(obs::EventKind::kRejuvenate, cfg_.member, "", usage());
   proc_->exit();
 }
 
@@ -300,6 +311,7 @@ sim::Task<net::Result<std::size_t>> ServerMead::writev(int fd, Bytes data) {
         if (!conn->second.redirected) {
           conn->second.redirected = true;
           ++stats_.failover_piggybacks;
+          proc_->sim().obs().metrics().counter("server.failover_piggybacks").add();
           Bytes combined = encode_failover_frame(
               FailoverMsg{migrate_target_->endpoint, migrate_target_->member});
           append_bytes(combined, data);

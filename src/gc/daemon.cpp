@@ -312,6 +312,13 @@ void GcDaemon::submit(OrderedMsg m) {
 void GcDaemon::stamp_and_dispatch(OrderedMsg m) {
   m.seq = next_seq_++;
   const Bytes wire = encode_ordered(m);
+  // One broadcast per ordered message, recorded at the sequencer — the
+  // event-level view of the Figure 5 bandwidth measurement.
+  auto& obs = proc_->sim().obs();
+  obs.metrics().counter("gc.broadcasts").add();
+  obs.metrics().counter("gc.broadcast_bytes").add(wire.size());
+  obs.emit(obs::EventKind::kGcBroadcast, "daemon/" + std::to_string(id()),
+           m.group, static_cast<double>(wire.size()));
   for (auto& [peer, fd] : peer_fds_) {
     (void)peer;
     spawn_write(fd, wire);

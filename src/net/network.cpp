@@ -47,12 +47,21 @@ sim::Task<bool> Process::sleep(Duration d) {
 void Process::kill() {
   if (!alive_) return;
   alive_ = false;
+  auto& obs = net_.sim().obs();
+  obs.metrics().counter("net.process_crashes").add();
+  obs.emit(obs::EventKind::kCrash, name_ + "@" + host_);
   net_.teardown_process_sockets(*this);
 }
 
 void Process::exit() {
-  // Same observable effect as kill(): the process stops and peers see EOF.
-  kill();
+  // Same observable effect as kill(): the process stops and peers see EOF —
+  // but it is recorded as an intentional exit, not a crash.
+  if (!alive_) return;
+  alive_ = false;
+  auto& obs = net_.sim().obs();
+  obs.metrics().counter("net.process_exits").add();
+  obs.emit(obs::EventKind::kExit, name_ + "@" + host_);
+  net_.teardown_process_sockets(*this);
 }
 
 detail::FdEntry* Process::find_fd(int fd) {
@@ -143,19 +152,34 @@ TimePoint Network::reserve_arrival(detail::ConnEnd& dst, Duration delay) {
 }
 
 std::uint64_t Network::bytes_for_service(std::uint16_t service_port) const {
+  // The registry is the source of truth; this accessor remains for
+  // convenience and for tests that predate the metrics layer.
   auto it = service_bytes_.find(service_port);
-  return it == service_bytes_.end() ? 0 : it->second;
+  return it == service_bytes_.end() ? 0 : it->second->value();
 }
 
-std::uint64_t Network::total_bytes_delivered() const { return total_bytes_; }
+std::uint64_t Network::total_bytes_delivered() const {
+  return sim_.obs().metrics().counter_value("net.bytes.total");
+}
 
 std::uint64_t Network::connections_established() const {
   return connections_established_;
 }
 
 void Network::account_delivery(std::uint16_t service_port, std::size_t bytes) {
-  service_bytes_[service_port] += bytes;
-  total_bytes_ += bytes;
+  auto it = service_bytes_.find(service_port);
+  if (it == service_bytes_.end()) {
+    it = service_bytes_
+             .emplace(service_port,
+                      &sim_.obs().metrics().counter(
+                          "net.bytes.service." + std::to_string(service_port)))
+             .first;
+  }
+  it->second->add(bytes);
+  if (total_bytes_ == nullptr) {
+    total_bytes_ = &sim_.obs().metrics().counter("net.bytes.total");
+  }
+  total_bytes_->add(bytes);
 }
 
 detail::ListenerPtr Network::find_listener(const std::string& host,

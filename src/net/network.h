@@ -204,6 +204,9 @@ class Network {
                                         std::size_t bytes) const;
 
   // ---- Traffic accounting (Figure 5) ----
+  // Byte counts live in the simulation's metrics registry (counters
+  // "net.bytes.service.<port>" and "net.bytes.total"); these accessors are
+  // registry reads kept for convenience.
   /// Total payload bytes delivered over connections whose acceptor listened
   /// on `service_port` (both directions).
   [[nodiscard]] std::uint64_t bytes_for_service(std::uint16_t service_port) const;
@@ -235,10 +238,11 @@ class Network {
   std::map<NodeId, std::uint16_t> ephemeral_;
   std::map<std::pair<std::uint64_t, std::uint16_t>, detail::ListenerPtr> listeners_;
   std::vector<ProcessPtr> processes_;
-  std::map<std::uint16_t, std::uint64_t> service_bytes_;
+  /// Cached registry counters, one per service port (plus the total).
+  std::map<std::uint16_t, obs::Counter*> service_bytes_;
+  obs::Counter* total_bytes_ = nullptr;
   std::set<std::pair<std::uint64_t, std::uint64_t>> partitioned_;  // a<b
   std::uint64_t dropped_ = 0;
-  std::uint64_t total_bytes_ = 0;
   std::uint64_t connections_established_ = 0;
 };
 

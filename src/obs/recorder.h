@@ -1,0 +1,48 @@
+// The per-simulation observability context: one MetricsRegistry plus one
+// EventTrace, stamped from the owner's virtual clock.
+//
+// The sim::Simulator owns a Recorder, so any component that can reach the
+// simulator (processes, the network, interceptors, the testbed) can emit
+// without extra wiring — the structural analogue of MEAD's "everything logs
+// through the interceptor layer".
+#pragma once
+
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace mead::obs {
+
+class Recorder {
+ public:
+  using Clock = std::function<TimePoint()>;
+
+  explicit Recorder(Clock clock = {}) : clock_(std::move(clock)) {}
+  Recorder(const Recorder&) = delete;
+  Recorder& operator=(const Recorder&) = delete;
+
+  [[nodiscard]] MetricsRegistry& metrics() { return metrics_; }
+  [[nodiscard]] const MetricsRegistry& metrics() const { return metrics_; }
+  [[nodiscard]] EventTrace& trace() { return trace_; }
+  [[nodiscard]] const EventTrace& trace() const { return trace_; }
+
+  [[nodiscard]] TimePoint now() const {
+    return clock_ ? clock_() : TimePoint{};
+  }
+
+  /// Emits an event stamped at the current virtual time.
+  void emit(EventKind kind, std::string actor = {}, std::string detail = {},
+            double value = 0) {
+    trace_.emit(now(), kind, std::move(actor), std::move(detail), value);
+  }
+
+ private:
+  Clock clock_;
+  MetricsRegistry metrics_;
+  EventTrace trace_;
+};
+
+}  // namespace mead::obs

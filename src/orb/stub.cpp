@@ -147,6 +147,9 @@ sim::Task<InvokeResult> Stub::invoke(std::string operation, Bytes args) {
                                     giop::CompletionStatus::kNo);
           }
           ++forwards_;
+          orb_.sim().obs().metrics().counter("orb.forwards_followed").add();
+          orb_.sim().obs().emit(obs::EventKind::kForward,
+                                orb_.process().name());
           rebind(std::move(fwd.value()));  // reconnect + retransmit
           retransmit = true;
           break;
@@ -155,6 +158,7 @@ sim::Task<InvokeResult> Stub::invoke(std::string operation, Bytes args) {
           // Retransmit over the *current* connection: if MEAD re-pointed it
           // (dup2), the retry lands on the new replica transparently.
           ++readdress_;
+          orb_.sim().obs().metrics().counter("orb.readdress_retries").add();
           retransmit = true;
           break;
         }

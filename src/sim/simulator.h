@@ -25,6 +25,7 @@
 #include "common/log.h"
 #include "common/rng.h"
 #include "common/types.h"
+#include "obs/recorder.h"
 #include "sim/task.h"
 
 namespace mead::sim {
@@ -41,6 +42,11 @@ class Simulator {
 
   [[nodiscard]] Logger& log() { return logger_; }
   [[nodiscard]] Rng& rng() { return rng_; }
+
+  /// The simulation's observability context (metrics + event trace); the
+  /// trace's virtual-clock source is this simulator.
+  [[nodiscard]] obs::Recorder& obs() { return obs_; }
+  [[nodiscard]] const obs::Recorder& obs() const { return obs_; }
 
   /// Enqueues `fn` to run `delay` from now. Events at equal times run in
   /// insertion order. Negative delays are clamped to zero.
@@ -106,6 +112,7 @@ class Simulator {
   std::unordered_set<void*> roots_;
   Logger logger_;
   Rng rng_;
+  obs::Recorder obs_{[this] { return now_; }};
 };
 
 }  // namespace mead::sim

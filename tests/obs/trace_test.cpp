@@ -1,0 +1,123 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "obs/recorder.h"
+
+namespace mead::obs {
+namespace {
+
+TEST(EventTraceTest, EmitAssignsMonotoneSequenceAndKeepsOrder) {
+  EventTrace trace;
+  trace.emit(TimePoint{100}, EventKind::kWorldUp, "testbed");
+  trace.emit(TimePoint{200}, EventKind::kCrash, "replica/1", "leak", 0.9);
+  const auto events = trace.events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].seq, 0u);
+  EXPECT_EQ(events[1].seq, 1u);
+  EXPECT_EQ(events[0].kind, EventKind::kWorldUp);
+  EXPECT_EQ(events[1].actor, "replica/1");
+  EXPECT_EQ(events[1].at, TimePoint{200});
+  EXPECT_EQ(events[1].value, 0.9);
+  EXPECT_EQ(trace.dropped(), 0u);
+}
+
+TEST(EventTraceTest, RingOverwritesOldestAndCountsDropped) {
+  EventTrace trace(4);
+  for (int i = 0; i < 10; ++i) {
+    trace.emit(TimePoint{i}, EventKind::kRedirect, "client", "",
+               static_cast<double>(i));
+  }
+  EXPECT_EQ(trace.size(), 4u);
+  EXPECT_EQ(trace.total_emitted(), 10u);
+  EXPECT_EQ(trace.dropped(), 6u);
+  const auto events = trace.events();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest-first: the last four emissions, in order.
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(events[i].seq, 6u + i);
+    EXPECT_EQ(events[i].value, static_cast<double>(6 + i));
+  }
+}
+
+TEST(EventTraceTest, JsonlRoundTripPreservesEveryField) {
+  EventTrace trace;
+  trace.emit(TimePoint{1'000'198}, EventKind::kGcBroadcast, "daemon/0",
+             "mead/TimeOfDay/replicas", 89);
+  trace.emit(TimePoint{2'500'000}, EventKind::kThresholdCrossed, "replica/1",
+             "T1", 0.8123456789012345);
+  trace.emit(TimePoint{3'000'000}, EventKind::kClientException, "client",
+             "IDL:omg.org/CORBA/COMM_FAILURE:1.0");
+  const auto parsed = EventTrace::parse_jsonl(trace.to_jsonl());
+  EXPECT_EQ(parsed, trace.events());
+}
+
+TEST(EventTraceTest, JsonlEscapesQuotesBackslashesAndControlChars) {
+  EventTrace trace;
+  trace.emit(TimePoint{1}, EventKind::kCrash, "weird\"actor\\",
+             "line1\nline2\ttab");
+  const std::string jsonl = trace.to_jsonl();
+  EXPECT_NE(jsonl.find("weird\\\"actor\\\\"), std::string::npos);
+  EXPECT_NE(jsonl.find("line1\\nline2\\ttab"), std::string::npos);
+  const auto parsed = EventTrace::parse_jsonl(jsonl);
+  EXPECT_EQ(parsed, trace.events());
+}
+
+TEST(EventTraceTest, CsvHasHeaderAndOneRowPerEvent) {
+  EventTrace trace;
+  trace.emit(TimePoint{5}, EventKind::kWorldUp, "testbed", "", 3);
+  std::istringstream csv(trace.to_csv());
+  std::string line;
+  ASSERT_TRUE(std::getline(csv, line));
+  EXPECT_EQ(line, "seq,t_ns,kind,actor,detail,value");
+  ASSERT_TRUE(std::getline(csv, line));
+  EXPECT_EQ(line, "0,5,world_up,testbed,,3");
+  EXPECT_FALSE(std::getline(csv, line));
+}
+
+TEST(EventTraceTest, WriteJsonlRoundTripsThroughDisk) {
+  EventTrace trace;
+  trace.emit(TimePoint{42}, EventKind::kFailoverEnd, "client", "visible", 9.7);
+  const std::string path = ::testing::TempDir() + "trace_roundtrip.jsonl";
+  ASSERT_TRUE(trace.write_jsonl(path));
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(buf.str(), trace.to_jsonl());
+  EXPECT_EQ(EventTrace::parse_jsonl(buf.str()), trace.events());
+  std::remove(path.c_str());
+}
+
+TEST(EventTraceTest, WriteJsonlFailsOnUnwritablePath) {
+  EventTrace trace;
+  trace.emit(TimePoint{1}, EventKind::kWorldUp);
+  EXPECT_FALSE(trace.write_jsonl("/nonexistent-dir/trace.jsonl"));
+}
+
+TEST(RecorderTest, EmitStampsFromClock) {
+  TimePoint now{0};
+  Recorder rec([&now] { return now; });
+  now = TimePoint{777};
+  rec.emit(EventKind::kRedirect, "client");
+  now = TimePoint{888};
+  rec.emit(EventKind::kRedirect, "client");
+  const auto events = rec.trace().events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].at, TimePoint{777});
+  EXPECT_EQ(events[1].at, TimePoint{888});
+}
+
+TEST(RecorderTest, MetricsAndTraceLiveTogether) {
+  Recorder rec;
+  rec.metrics().counter("x").add(3);
+  rec.emit(EventKind::kWorldUp);
+  EXPECT_EQ(rec.metrics().counter_value("x"), 3u);
+  EXPECT_EQ(rec.trace().size(), 1u);
+}
+
+}  // namespace
+}  // namespace mead::obs
