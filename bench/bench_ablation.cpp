@@ -11,30 +11,43 @@
 //      (migrate) before the spare replica is not ready in time.
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "harness.h"
+#include "perf.h"
 
 using namespace mead;
 using namespace mead::bench;
 
 namespace {
 
-ExperimentResult run_with_calibration(const char* label,
-                                      core::RecoveryScheme scheme,
-                                      const app::Calibration& calib,
-                                      core::Thresholds thresholds = {}) {
+// The whole ablation grid is declared up front, swept once through the
+// parallel runner, and each section then prints from its slice of results.
+struct AblationRun {
+  std::string label;
   ExperimentSpec spec;
-  spec.scheme = scheme;
-  spec.thresholds = thresholds;
-  spec.calib = calib;
-  spec.trace_jsonl =
-      "trace_ablation_" + std::string(label) + "_seed2004.jsonl";
-  return app::run_experiment(spec);
+};
+
+std::vector<AblationRun>& runs() {
+  static std::vector<AblationRun> all;
+  return all;
 }
 
-void ablation_key_lookup() {
-  std::printf("A1: LOCATION_FORWARD IOR lookup: 16-bit hash vs byte-compare\n");
-  app::Calibration hash_calib;  // default: hash-based lookup costs
+std::size_t add_run(const char* label, core::RecoveryScheme scheme,
+                    const app::Calibration& calib,
+                    core::Thresholds thresholds = {}) {
+  AblationRun run;
+  run.label = label;
+  run.spec.scheme = scheme;
+  run.spec.thresholds = thresholds;
+  run.spec.calib = calib;
+  run.spec.trace_jsonl =
+      "trace_ablation_" + std::string(label) + "_seed2004.jsonl";
+  runs().push_back(std::move(run));
+  return runs().size() - 1;
+}
+
+app::Calibration byte_compare_calibration() {
   app::Calibration byte_calib;
   // Byte-by-byte comparison of 52-byte keys against every table entry
   // roughly doubles the reply-path processing (measured ratio from
@@ -43,11 +56,21 @@ void ablation_key_lookup() {
   byte_calib.lf_reply_process = byte_calib.lf_reply_process * 2;
   byte_calib.lf_request_parse =
       byte_calib.lf_request_parse + microseconds(120);
+  return byte_calib;
+}
 
-  auto hash_run = run_with_calibration(
-      "a1-hash", core::RecoveryScheme::kLocationForward, hash_calib);
-  auto byte_run = run_with_calibration(
-      "a1-bytecmp", core::RecoveryScheme::kLocationForward, byte_calib);
+app::Calibration separate_notification_calibration() {
+  app::Calibration separate;
+  // A separate notification costs its own delivery: model as an extra
+  // cross-node round trip plus send/receive processing on the redirect.
+  separate.redirect_cost =
+      separate.redirect_cost + separate.link_cross_node * 2 + microseconds(160);
+  return separate;
+}
+
+void print_key_lookup(const ExperimentResult& hash_run,
+                      const ExperimentResult& byte_run) {
+  std::printf("A1: LOCATION_FORWARD IOR lookup: 16-bit hash vs byte-compare\n");
   std::printf("  hash lookup : RTT %.3f ms, failover %.3f ms\n",
               hash_run.client.steady_state_rtt_ms(),
               hash_run.client.failover_ms.mean());
@@ -60,19 +83,8 @@ void ablation_key_lookup() {
                   byte_run.client.steady_state_rtt_ms());
 }
 
-void ablation_piggyback() {
+void print_piggyback(const ExperimentResult& p, const ExperimentResult& s) {
   std::printf("A2: MEAD fail-over notification: piggybacked vs separate\n");
-  app::Calibration piggy;  // default
-  app::Calibration separate;
-  // A separate notification costs its own delivery: model as an extra
-  // cross-node round trip plus send/receive processing on the redirect.
-  separate.redirect_cost =
-      separate.redirect_cost + separate.link_cross_node * 2 + microseconds(160);
-
-  auto p = run_with_calibration("a2-piggyback",
-                                core::RecoveryScheme::kMeadMessage, piggy);
-  auto s = run_with_calibration("a2-separate",
-                                core::RecoveryScheme::kMeadMessage, separate);
   std::printf("  piggybacked : failover %.3f ms (n=%zu)\n",
               p.client.failover_ms.mean(), p.client.failover_ms.count());
   std::printf("  separate msg: failover %.3f ms (n=%zu)\n",
@@ -81,23 +93,68 @@ void ablation_piggyback() {
               s.client.failover_ms.mean() - p.client.failover_ms.mean());
 }
 
-void ablation_threshold_spacing() {
-  std::printf("A3: threshold spacing (T1 launch / T2 migrate)\n");
+}  // namespace
+
+int main() {
+  std::printf("Ablation benches for DESIGN.md design choices\n\n");
+
+  const app::Calibration default_calib;
+  const std::size_t a1_hash = add_run(
+      "a1-hash", core::RecoveryScheme::kLocationForward, default_calib);
+  const std::size_t a1_byte =
+      add_run("a1-bytecmp", core::RecoveryScheme::kLocationForward,
+              byte_compare_calibration());
+  const std::size_t a2_piggy = add_run(
+      "a2-piggyback", core::RecoveryScheme::kMeadMessage, default_calib);
+  const std::size_t a2_separate =
+      add_run("a2-separate", core::RecoveryScheme::kMeadMessage,
+              separate_notification_calibration());
+
   struct Case {
     const char* name;
-    const char* label;
-    core::Thresholds t;
+    std::size_t run;
   };
-  const Case cases[] = {
-      {"wide   (launch 60%, migrate 90%)", "a3-wide", core::Thresholds{0.6, 0.9}},
-      {"paper  (launch 80%, migrate 90%)", "a3-paper", core::Thresholds{0.8, 0.9}},
-      {"narrow (launch 88%, migrate 90%)", "a3-narrow", core::Thresholds{0.88, 0.9}},
-      {"late   (launch 95%, migrate 97%)", "a3-late", core::Thresholds{0.95, 0.97}},
+  const Case a3_cases[] = {
+      {"wide   (launch 60%, migrate 90%)",
+       add_run("a3-wide", core::RecoveryScheme::kMeadMessage, default_calib,
+               core::Thresholds{0.6, 0.9})},
+      {"paper  (launch 80%, migrate 90%)",
+       add_run("a3-paper", core::RecoveryScheme::kMeadMessage, default_calib,
+               core::Thresholds{0.8, 0.9})},
+      {"narrow (launch 88%, migrate 90%)",
+       add_run("a3-narrow", core::RecoveryScheme::kMeadMessage, default_calib,
+               core::Thresholds{0.88, 0.9})},
+      {"late   (launch 95%, migrate 97%)",
+       add_run("a3-late", core::RecoveryScheme::kMeadMessage, default_calib,
+               core::Thresholds{0.95, 0.97})},
   };
-  app::Calibration calib;
-  for (const auto& c : cases) {
-    auto r = run_with_calibration(c.label, core::RecoveryScheme::kMeadMessage,
-                                  calib, c.t);
+  const Case a4_cases[] = {
+      {"fixed 20/30 (eager)",
+       add_run("a4-eager", core::RecoveryScheme::kMeadMessage, default_calib,
+               core::Thresholds{0.2, 0.3})},
+      {"fixed 80/90 (paper)",
+       add_run("a4-paper", core::RecoveryScheme::kMeadMessage, default_calib,
+               core::Thresholds{0.8, 0.9})},
+      {"adaptive (150ms/60ms leads)",
+       add_run("a4-adaptive", core::RecoveryScheme::kMeadMessage, default_calib,
+               core::Thresholds::adaptive(milliseconds(150),
+                                          milliseconds(60)))},
+  };
+
+  PerfReport perf("ablation");
+  std::vector<ExperimentSpec> specs;
+  for (const auto& run : runs()) specs.push_back(run.spec);
+  const auto results = bench::run_experiments(specs);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    perf.add(specs[i], results[i], runs()[i].label);
+  }
+
+  print_key_lookup(results[a1_hash], results[a1_byte]);
+  print_piggyback(results[a2_piggy], results[a2_separate]);
+
+  std::printf("A3: threshold spacing (T1 launch / T2 migrate)\n");
+  for (const auto& c : a3_cases) {
+    const ExperimentResult& r = results[c.run];
     std::printf("  %-36s exceptions=%llu rejuvenations=%zu failover=%.3f ms\n",
                 c.name,
                 static_cast<unsigned long long>(r.client.total_exceptions()),
@@ -106,24 +163,10 @@ void ablation_threshold_spacing() {
   std::printf("  -> too-late thresholds degrade toward reactive behaviour "
               "(the paper's 'if we waited too long ... the resulting "
               "fault-recovery ends up resembling a reactive strategy').\n");
-}
 
-void ablation_adaptive_thresholds() {
   std::printf("A4: fixed presets vs adaptive thresholds (paper future work)\n");
-  struct Case {
-    const char* name;
-    const char* label;
-    core::Thresholds t;
-  };
-  const Case cases[] = {
-      {"fixed 20/30 (eager)", "a4-eager", core::Thresholds{0.2, 0.3}},
-      {"fixed 80/90 (paper)", "a4-paper", core::Thresholds{0.8, 0.9}},
-      {"adaptive (150ms/60ms leads)", "a4-adaptive",
-       core::Thresholds::adaptive(milliseconds(150), milliseconds(60))},
-  };
-  for (const auto& c : cases) {
-    auto r = run_with_calibration(c.label, core::RecoveryScheme::kMeadMessage,
-                                  {}, c.t);
+  for (const auto& c : a4_cases) {
+    const ExperimentResult& r = results[c.run];
     std::printf("  %-30s rejuvenations=%2zu exceptions=%llu "
                 "gc=%6.0f B/s failover=%.3f ms\n",
                 c.name, r.server_failures,
@@ -132,15 +175,8 @@ void ablation_adaptive_thresholds() {
   }
   std::printf("  -> adaptive keeps the 0%% failure rate while rejuvenating "
               "least often (least bandwidth + fewest hand-offs).\n");
-}
-
-}  // namespace
-
-int main() {
-  std::printf("Ablation benches for DESIGN.md design choices\n\n");
-  ablation_key_lookup();
-  ablation_piggyback();
-  ablation_threshold_spacing();
-  ablation_adaptive_thresholds();
+  if (!perf.write()) {
+    std::fprintf(stderr, "could not write BENCH_ablation.json\n");
+  }
   return 0;
 }

@@ -7,19 +7,17 @@
 // statistics the paper narrates (§5.2.3): failover spikes ~10ms, initial
 // naming-resolve spike, COMM_FAILURE/TRANSIENT structure.
 #include <cstdio>
+#include <vector>
 
 #include "harness.h"
+#include "perf.h"
 
 using namespace mead;
 using namespace mead::bench;
 
 namespace {
 
-void run_panel(const char* title, core::RecoveryScheme scheme) {
-  ExperimentSpec spec;
-  spec.scheme = scheme;
-  auto r = bench::run_experiment(spec);
-
+void print_panel(const char* title, const ExperimentResult& r) {
   std::printf("\n===== %s =====\n", title);
   std::printf("invocations: %llu   server failures: %zu\n",
               static_cast<unsigned long long>(r.client.invocations_completed),
@@ -46,9 +44,30 @@ void run_panel(const char* title, core::RecoveryScheme scheme) {
 int main() {
   trace_prefix() = "fig3";
   std::printf("Figure 3: Reactive recovery schemes (RTT vs invocation)\n");
-  run_panel("Reactive Recovery Scheme (Without cache)",
-            core::RecoveryScheme::kReactiveNoCache);
-  run_panel("Reactive Recovery Scheme (With cache)",
-            core::RecoveryScheme::kReactiveCache);
+
+  struct Panel {
+    const char* title;
+    core::RecoveryScheme scheme;
+  };
+  const std::vector<Panel> panels = {
+      {"Reactive Recovery Scheme (Without cache)",
+       core::RecoveryScheme::kReactiveNoCache},
+      {"Reactive Recovery Scheme (With cache)",
+       core::RecoveryScheme::kReactiveCache},
+  };
+
+  PerfReport perf("fig3");
+  std::vector<ExperimentSpec> specs;
+  for (const auto& panel : panels) {
+    ExperimentSpec spec;
+    spec.scheme = panel.scheme;
+    specs.push_back(spec);
+  }
+  const auto results = bench::run_experiments(specs);
+  for (std::size_t i = 0; i < panels.size(); ++i) {
+    perf.add(specs[i], results[i], panels[i].title);
+    print_panel(panels[i].title, results[i]);
+  }
+  if (!perf.write()) std::fprintf(stderr, "could not write BENCH_fig3.json\n");
   return 0;
 }

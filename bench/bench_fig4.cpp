@@ -3,20 +3,17 @@
 // the 80% threshold, and the MEAD proactive fail-over message at the 80%
 // threshold (note the paper's "reduced jitter" annotation on this panel).
 #include <cstdio>
+#include <vector>
 
 #include "harness.h"
+#include "perf.h"
 
 using namespace mead;
 using namespace mead::bench;
 
 namespace {
 
-void run_panel(const char* title, core::RecoveryScheme scheme) {
-  ExperimentSpec spec;
-  spec.scheme = scheme;
-  spec.thresholds = core::Thresholds{0.8, 0.9};
-  auto r = bench::run_experiment(spec);
-
+void print_panel(const char* title, const ExperimentResult& r) {
   std::printf("\n===== %s =====\n", title);
   std::printf("invocations: %llu   server failures (incl. rejuvenations): %zu\n",
               static_cast<unsigned long long>(r.client.invocations_completed),
@@ -50,11 +47,33 @@ void run_panel(const char* title, core::RecoveryScheme scheme) {
 int main() {
   trace_prefix() = "fig4";
   std::printf("Figure 4: Proactive recovery schemes (RTT vs invocation)\n");
-  run_panel("Proactive Recovery Scheme (GIOP Needs_Addressing_Mode)",
-            core::RecoveryScheme::kNeedsAddressing);
-  run_panel("Proactive Recovery Scheme (GIOP Location_Forward-Threshold=80%)",
-            core::RecoveryScheme::kLocationForward);
-  run_panel("Proactive Recovery Scheme (MEAD message-Threshold=80%)",
-            core::RecoveryScheme::kMeadMessage);
+
+  struct Panel {
+    const char* title;
+    core::RecoveryScheme scheme;
+  };
+  const std::vector<Panel> panels = {
+      {"Proactive Recovery Scheme (GIOP Needs_Addressing_Mode)",
+       core::RecoveryScheme::kNeedsAddressing},
+      {"Proactive Recovery Scheme (GIOP Location_Forward-Threshold=80%)",
+       core::RecoveryScheme::kLocationForward},
+      {"Proactive Recovery Scheme (MEAD message-Threshold=80%)",
+       core::RecoveryScheme::kMeadMessage},
+  };
+
+  PerfReport perf("fig4");
+  std::vector<ExperimentSpec> specs;
+  for (const auto& panel : panels) {
+    ExperimentSpec spec;
+    spec.scheme = panel.scheme;
+    spec.thresholds = core::Thresholds{0.8, 0.9};
+    specs.push_back(spec);
+  }
+  const auto results = bench::run_experiments(specs);
+  for (std::size_t i = 0; i < panels.size(); ++i) {
+    perf.add(specs[i], results[i], panels[i].title);
+    print_panel(panels[i].title, results[i]);
+  }
+  if (!perf.write()) std::fprintf(stderr, "could not write BENCH_fig4.json\n");
   return 0;
 }

@@ -6,9 +6,11 @@
 // 20% threshold — lower thresholds restart servers more often, so more
 // bandwidth goes into reaching group consensus (§5.2.4).
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "harness.h"
+#include "perf.h"
 
 using namespace mead;
 using namespace mead::bench;
@@ -19,12 +21,16 @@ int main() {
   std::printf("%-10s %15s %15s\n", "(%)", "(bytes/sec)", "(bytes/sec)");
 
   const std::vector<double> thresholds = {0.2, 0.4, 0.6, 0.8};
+  const core::RecoveryScheme schemes[2] = {
+      core::RecoveryScheme::kLocationForward,
+      core::RecoveryScheme::kMeadMessage};
+
+  // Grid of (threshold, scheme) specs; trace names carry the threshold so
+  // runs at different thresholds do not collide on (scheme, seed).
+  PerfReport perf("fig5");
+  std::vector<ExperimentSpec> specs;
+  std::vector<std::string> labels;
   for (double t : thresholds) {
-    double bw[2] = {0, 0};
-    std::size_t deaths[2] = {0, 0};
-    const core::RecoveryScheme schemes[2] = {
-        core::RecoveryScheme::kLocationForward,
-        core::RecoveryScheme::kMeadMessage};
     for (int i = 0; i < 2; ++i) {
       ExperimentSpec spec;
       spec.scheme = schemes[i];
@@ -34,14 +40,29 @@ int main() {
       std::snprintf(trace, sizeof trace, "trace_fig5_%s_t%02.0f_seed2004.jsonl",
                     i == 0 ? "lf" : "mead", t * 100);
       spec.trace_jsonl = trace;
-      auto r = bench::run_experiment(spec);
-      bw[i] = r.gc_bandwidth_bps();
-      deaths[i] = r.server_failures;
+      specs.push_back(spec);
+      char label[48];
+      std::snprintf(label, sizeof label, "%s @%.0f%%",
+                    i == 0 ? "LOCATION_FORWARD" : "MEAD message", t * 100);
+      labels.emplace_back(label);
+    }
+  }
+  const auto results = bench::run_experiments(specs);
+
+  for (std::size_t row = 0; row < thresholds.size(); ++row) {
+    double bw[2] = {0, 0};
+    std::size_t deaths[2] = {0, 0};
+    for (int i = 0; i < 2; ++i) {
+      const std::size_t idx = row * 2 + static_cast<std::size_t>(i);
+      perf.add(specs[idx], results[idx], labels[idx]);
+      bw[i] = results[idx].gc_bandwidth_bps();
+      deaths[i] = results[idx].server_failures;
     }
     std::printf("%-10.0f %15.0f %15.0f     (rejuvenations: LF=%zu MEAD=%zu)\n",
-                t * 100, bw[0], bw[1], deaths[0], deaths[1]);
+                thresholds[row] * 100, bw[0], bw[1], deaths[0], deaths[1]);
   }
   std::printf("\nShape check (paper): bandwidth decreases monotonically as "
               "the threshold rises (~10kB/s @20%% -> ~6kB/s @80%%).\n");
+  if (!perf.write()) std::fprintf(stderr, "could not write BENCH_fig5.json\n");
   return 0;
 }

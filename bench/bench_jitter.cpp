@@ -3,8 +3,11 @@
 // dependence the paper reports (a ~30 ms spike in GIOP schemes below the
 // 80% threshold; a ~6.9 ms max spike for MEAD messages at 20%).
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "harness.h"
+#include "perf.h"
 
 using namespace mead;
 using namespace mead::bench;
@@ -29,18 +32,22 @@ void report(const char* name, const ExperimentResult& r) {
 int main() {
   std::printf("Jitter analysis (S5.2.5): 3-sigma outliers and max spikes\n\n");
 
+  std::vector<ExperimentSpec> specs;
+  std::vector<std::string> labels;
   {
     ExperimentSpec spec;
     spec.inject_leak = false;
     spec.scheme = core::RecoveryScheme::kReactiveNoCache;
     spec.trace_jsonl = "trace_jitter_faultfree_seed2004.jsonl";
-    report("fault-free run", bench::run_experiment(spec));
+    specs.push_back(spec);
+    labels.emplace_back("fault-free run");
   }
   {
     ExperimentSpec spec;
     spec.scheme = core::RecoveryScheme::kReactiveNoCache;
     spec.trace_jsonl = "trace_jitter_reactive_seed2004.jsonl";
-    report("reactive (no cache)", bench::run_experiment(spec));
+    specs.push_back(spec);
+    labels.emplace_back("reactive (no cache)");
   }
   for (double t : {0.2, 0.4, 0.8}) {
     ExperimentSpec spec;
@@ -52,7 +59,8 @@ int main() {
     std::snprintf(trace, sizeof trace, "trace_jitter_lf_t%02.0f_seed2004.jsonl",
                   t * 100);
     spec.trace_jsonl = trace;
-    report(label, bench::run_experiment(spec));
+    specs.push_back(spec);
+    labels.emplace_back(label);
   }
   for (double t : {0.2, 0.4, 0.8}) {
     ExperimentSpec spec;
@@ -64,11 +72,20 @@ int main() {
     std::snprintf(trace, sizeof trace,
                   "trace_jitter_mead_t%02.0f_seed2004.jsonl", t * 100);
     spec.trace_jsonl = trace;
-    report(label, bench::run_experiment(spec));
+    specs.push_back(spec);
+    labels.emplace_back(label);
+  }
+
+  PerfReport perf("jitter");
+  const auto results = bench::run_experiments(specs);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    perf.add(specs[i], results[i], labels[i]);
+    report(labels[i].c_str(), results[i]);
   }
 
   std::printf("\nPaper anchors: outliers 1-2.5%% of samples; fault-free max "
               "~2.3ms; GIOP schemes <80%% threshold show ~30ms spikes; MEAD "
               "@20%% max ~6.9ms.\n");
+  if (!perf.write()) std::fprintf(stderr, "could not write BENCH_jitter.json\n");
   return 0;
 }

@@ -1,8 +1,14 @@
 // Micro-benchmarks (google-benchmark) for the substrate: CDR marshaling,
 // GIOP message codec, stream framing, object-key hashing (the §4.1
 // optimization's real CPU side), the simulation kernel, and a full
-// in-simulator client/server round trip.
+// in-simulator client/server round trip. main() additionally hand-times
+// the three kernel-path benches and writes BENCH_micro.json so CI keeps a
+// machine-readable throughput trajectory.
 #include <benchmark/benchmark.h>
+#include <malloc.h>
+
+#include <chrono>
+#include <cstdio>
 
 #include "app/experiment_client.h"
 #include "app/testbed.h"
@@ -192,6 +198,146 @@ void BM_SimulatedInvocation(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulatedInvocation);
 
+// ---------------------------------------------------------------- perf.json
+//
+// Hand-timed versions of the kernel-path benches, recorded in
+// BENCH_micro.json (schema in EXPERIMENTS.md). These re-run the exact loop
+// bodies of BM_SimKernelEvents / BM_SimCoroutinePingPong /
+// BM_SimulatedInvocation with a plain steady_clock stopwatch, so the JSON
+// numbers track the google-benchmark output without parsing its reporter.
+
+struct MicroRun {
+  const char* label;
+  double wall_ms = 0;
+  std::uint64_t events = 0;
+  std::uint64_t invocations = 0;
+};
+
+template <typename Body>
+double time_loop_ms(int iterations, Body&& body) {
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < iterations; ++i) body();
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+MicroRun time_kernel_events() {
+  MicroRun run{"sim_kernel_events"};
+  auto body = [&run] {
+    sim::Simulator sim;
+    for (int i = 0; i < 1000; ++i) {
+      sim.schedule(microseconds(i), [] {});
+    }
+    sim.run();
+    run.events += sim.events_processed();
+  };
+  for (int i = 0; i < 100; ++i) body();  // warm-up
+  run.events = 0;
+  run.wall_ms = time_loop_ms(2000, body);
+  return run;
+}
+
+MicroRun time_coroutine_pingpong() {
+  MicroRun run{"sim_coroutine_pingpong"};
+  auto body = [&run] {
+    sim::Simulator sim;
+    auto coro = [](sim::Simulator& s) -> sim::Task<void> {
+      for (int i = 0; i < 100; ++i) co_await s.sleep(microseconds(1));
+    };
+    for (int i = 0; i < 10; ++i) sim.spawn(coro(sim));
+    sim.run();
+    run.events += sim.events_processed();
+  };
+  for (int i = 0; i < 100; ++i) body();  // warm-up
+  run.events = 0;
+  run.wall_ms = time_loop_ms(1000, body);
+  return run;
+}
+
+MicroRun time_simulated_invocation() {
+  MicroRun run{"simulated_invocation"};
+  app::TestbedOptions opts;
+  opts.inject_leak = false;
+  opts.scheme = core::RecoveryScheme::kReactiveNoCache;
+  app::Testbed bed(opts);
+  if (!bed.start()) return run;
+  app::ClientOptions copts;
+  copts.invocations = 1'000'000'000;  // effectively unbounded
+  app::ExperimentClient client(bed, copts);
+  bed.sim().spawn(client.run());
+  bed.sim().run_for(milliseconds(50));  // warm up
+  const std::uint64_t done0 = client.invocations_completed();
+  const std::uint64_t events0 = bed.sim().events_processed();
+  const double wall = time_loop_ms(1, [&] {
+    while (client.invocations_completed() < done0 + 2000) {
+      bed.sim().run_for(milliseconds(1));
+    }
+  });
+  run.wall_ms = wall;
+  run.events = bed.sim().events_processed() - events0;
+  run.invocations = client.invocations_completed() - done0;
+  return run;
+}
+
+double per_second(std::uint64_t n, double ms) {
+  return ms > 0 ? static_cast<double>(n) * 1000.0 / ms : 0;
+}
+
+bool write_perf_json() {
+  const MicroRun runs[] = {time_kernel_events(), time_coroutine_pingpong(),
+                           time_simulated_invocation()};
+  std::FILE* f = std::fopen("BENCH_micro.json", "w");
+  if (f == nullptr) return false;
+  double wall = 0;
+  std::uint64_t events = 0;
+  std::uint64_t invocations = 0;
+  std::fprintf(f, "{\n  \"bench\": \"micro\",\n  \"threads\": 1,\n"
+                  "  \"runs\": [\n");
+  constexpr std::size_t kRuns = sizeof runs / sizeof runs[0];
+  for (std::size_t i = 0; i < kRuns; ++i) {
+    const MicroRun& r = runs[i];
+    wall += r.wall_ms;
+    events += r.events;
+    invocations += r.invocations;
+    std::fprintf(f,
+                 "    {\"label\": \"%s\", \"wall_ms\": %.3f, "
+                 "\"events\": %llu, \"invocations\": %llu, "
+                 "\"events_per_sec\": %.0f, \"invocations_per_sec\": %.0f}%s\n",
+                 r.label, r.wall_ms,
+                 static_cast<unsigned long long>(r.events),
+                 static_cast<unsigned long long>(r.invocations),
+                 per_second(r.events, r.wall_ms),
+                 per_second(r.invocations, r.wall_ms),
+                 i + 1 < kRuns ? "," : "");
+  }
+  std::fprintf(f,
+               "  ],\n  \"totals\": {\"runs\": %zu, \"events\": %llu, "
+               "\"invocations\": %llu, \"run_wall_ms\": %.3f, "
+               "\"sweep_wall_ms\": %.3f, \"events_per_sec\": %.0f, "
+               "\"invocations_per_sec\": %.0f}\n}\n",
+               kRuns, static_cast<unsigned long long>(events),
+               static_cast<unsigned long long>(invocations), wall, wall,
+               per_second(events, wall), per_second(invocations, wall));
+  return std::fclose(f) == 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // glibc returns a large free top-of-heap chunk to the kernel on every
+  // free past the trim threshold; the per-iteration Simulator + trace
+  // buffers sit exactly in that window, so default trimming turns the
+  // event loop into a page-fault benchmark. Keep the arena.
+  mallopt(M_TRIM_THRESHOLD, 256 << 20);
+  mallopt(M_MMAP_THRESHOLD, 256 << 20);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (!write_perf_json()) {
+    std::fprintf(stderr, "could not write BENCH_micro.json\n");
+    return 1;
+  }
+  return 0;
+}

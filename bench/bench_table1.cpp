@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "harness.h"
+#include "perf.h"
 
 using namespace mead;
 using namespace mead::bench;
@@ -50,18 +51,31 @@ int main() {
   // events, so per-seed binomial noise would dominate the Table-1 columns.
   const std::vector<std::uint64_t> seeds = {2004, 2005, 2006, 2007, 2008};
 
+  // One spec per (scheme, seed); the whole grid fans out across the sweep
+  // runner's thread pool, results come back in spec order.
+  PerfReport perf("table1");
+  std::vector<ExperimentSpec> specs;
+  for (const auto& row : rows) {
+    for (std::uint64_t seed : seeds) {
+      ExperimentSpec spec;
+      spec.scheme = row.scheme;
+      spec.seed = seed;
+      specs.push_back(spec);
+    }
+  }
+  const auto results = bench::run_experiments(specs);
+
   double baseline_rtt = 0;
   double baseline_failover = 0;
+  std::size_t run_idx = 0;
   for (const auto& row : rows) {
     double rtt_sum = 0;
     Series failover_all("failover");
     std::size_t deaths = 0;
     std::uint64_t exceptions = 0;
-    for (std::uint64_t seed : seeds) {
-      ExperimentSpec spec;
-      spec.scheme = row.scheme;
-      spec.seed = seed;
-      auto r = bench::run_experiment(spec);
+    for (std::size_t s = 0; s < seeds.size(); ++s, ++run_idx) {
+      const ExperimentResult& r = results[run_idx];
+      perf.add(specs[run_idx], r, row.name);
       rtt_sum += r.client.steady_state_rtt_ms();
       for (double v : r.client.failover_ms.samples()) failover_all.add(v);
       deaths += r.server_failures;
@@ -99,5 +113,6 @@ int main() {
               "NA~8%% << LF~90%%; failures LF=MEAD=0 < NA~25%% < "
               "no-cache=100%% < cache~146%%; failover MEAD << LF < NA < "
               "no-cache < cache.\n");
+  if (!perf.write()) std::fprintf(stderr, "could not write BENCH_table1.json\n");
   return 0;
 }

@@ -5,7 +5,10 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "app/experiment.h"
 
@@ -35,6 +38,29 @@ inline std::string trace_artifact_name(const ExperimentSpec& spec) {
 inline ExperimentResult run_experiment(ExperimentSpec spec) {
   if (spec.trace_jsonl.empty()) spec.trace_jsonl = trace_artifact_name(spec);
   return app::run_experiment(spec);
+}
+
+/// Worker count for sweep benches: MEAD_BENCH_THREADS if set (min 1), else
+/// the hardware concurrency. Every run is an independent Simulator, so the
+/// thread count changes only wall-clock time, never results.
+inline unsigned bench_threads() {
+  if (const char* env = std::getenv("MEAD_BENCH_THREADS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v >= 1) return static_cast<unsigned>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+/// Parallel sweep: derives each run's trace artifact name (unless the spec
+/// already names one) and fans the specs out over app::run_experiments.
+/// Results come back in spec order.
+inline std::vector<ExperimentResult> run_experiments(
+    std::vector<ExperimentSpec> specs, unsigned n_threads = bench_threads()) {
+  for (auto& spec : specs) {
+    if (spec.trace_jsonl.empty()) spec.trace_jsonl = trace_artifact_name(spec);
+  }
+  return app::run_experiments(specs, n_threads);
 }
 
 /// Prints a compact ASCII sparkline of an RTT series (for figure benches).

@@ -1,6 +1,9 @@
 #include "app/experiment.h"
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <thread>
 
 namespace mead::app {
 
@@ -69,10 +72,12 @@ ExperimentResult Experiment::collect() const {
   out.query_timeouts = delta("client.query_timeouts") - timeouts0_;
   out.forwards = delta("orb.forwards_followed") - forwards0_;
   out.proactive_launches = delta("rm.proactive_launches") - proactive0_;
+  out.sim_events = bed_.sim().events_processed();
   return out;
 }
 
 ExperimentResult Experiment::run() {
+  const auto wall0 = std::chrono::steady_clock::now();
   auto up = start();
   if (!up) {
     std::fprintf(stderr, "testbed failed to start (%s): %s\n",
@@ -83,6 +88,9 @@ ExperimentResult Experiment::run() {
   launch_client();
   run_to_completion();
   ExperimentResult out = collect();
+  out.wall_ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - wall0)
+                    .count();
   if (!spec_.trace_jsonl.empty()) {
     if (!export_trace_jsonl(spec_.trace_jsonl)) {
       std::fprintf(stderr, "could not write event trace to %s\n",
@@ -99,6 +107,37 @@ bool Experiment::export_trace_jsonl(const std::string& path) const {
 ExperimentResult run_experiment(const ExperimentSpec& spec) {
   Experiment exp(spec);
   return exp.run();
+}
+
+std::vector<ExperimentResult> run_experiments(
+    std::span<const ExperimentSpec> specs, unsigned n_threads) {
+  std::vector<ExperimentResult> results(specs.size());
+  if (n_threads <= 1 || specs.size() <= 1) {
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      results[i] = run_experiment(specs[i]);
+    }
+    return results;
+  }
+
+  // Work-stealing by atomic index: each worker claims the next unstarted
+  // spec. Result slots are disjoint, so no further synchronization is
+  // needed; joining the pool is the only barrier.
+  std::atomic<std::size_t> next{0};
+  const unsigned workers =
+      static_cast<unsigned>(std::min<std::size_t>(n_threads, specs.size()));
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (unsigned t = 0; t < workers; ++t) {
+    pool.emplace_back([&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= specs.size()) return;
+        results[i] = run_experiment(specs[i]);
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+  return results;
 }
 
 }  // namespace mead::app

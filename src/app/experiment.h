@@ -5,7 +5,9 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "app/experiment_client.h"
 #include "app/testbed.h"
@@ -40,6 +42,8 @@ struct ExperimentResult {
   std::uint64_t query_timeouts = 0;
   std::uint64_t forwards = 0;
   std::uint64_t proactive_launches = 0;
+  std::uint64_t sim_events = 0;        // kernel events processed by the run
+  double wall_ms = 0;                  // real (host) time spent in run()
 
   [[nodiscard]] double gc_bandwidth_bps() const {
     return duration_s > 0 ? static_cast<double>(gc_bytes) / duration_s : 0;
@@ -107,5 +111,14 @@ class Experiment {
 
 /// One-shot convenience wrapper.
 ExperimentResult run_experiment(const ExperimentSpec& spec);
+
+/// Runs every spec and returns the results in spec order. Each Experiment
+/// owns a fully independent Simulator (own clock, RNG, metrics registry,
+/// trace ring), so the sweep fans out across `n_threads` worker threads
+/// with no shared mutable state; per-run outputs (results, counters, trace
+/// JSONL files) are bit-identical to the sequential path. `n_threads <= 1`
+/// runs sequentially on the calling thread.
+std::vector<ExperimentResult> run_experiments(
+    std::span<const ExperimentSpec> specs, unsigned n_threads);
 
 }  // namespace mead::app

@@ -5,7 +5,15 @@
 namespace mead::core {
 
 ClientMead::ClientMead(net::ProcessPtr proc, MeadConfig cfg)
-    : proc_(std::move(proc)), cfg_(std::move(cfg)), inner_(proc_->api()) {
+    : proc_(std::move(proc)), cfg_(std::move(cfg)), inner_(proc_->api()),
+      query_timeouts_(
+          proc_->sim().obs().metrics().counter("client.query_timeouts")),
+      masked_failures_(
+          proc_->sim().obs().metrics().counter("client.masked_failures")),
+      unmasked_eofs_(
+          proc_->sim().obs().metrics().counter("client.unmasked_eofs")),
+      mead_redirects_(
+          proc_->sim().obs().metrics().counter("client.mead_redirects")) {
   if (cfg_.scheme == RecoveryScheme::kNeedsAddressing) {
     gc_ = std::make_unique<gc::GcClient>(*proc_, cfg_.member, cfg_.daemon);
   }
@@ -68,14 +76,14 @@ sim::Task<std::optional<Bytes>> ClientMead::mask_abrupt_failure(int fd) {
     // "the blocking read() at the client times out, and a CORBA
     // COMM_FAILURE exception is propagated up" (§4.2).
     ++stats_.query_timeouts;
-    proc_->sim().obs().metrics().counter("client.query_timeouts").add();
+    query_timeouts_.add();
     proc_->sim().obs().emit(obs::EventKind::kQueryTimeout, cfg_.member);
     co_return std::nullopt;
   }
   const bool redirected = co_await redirect(fd, answer->endpoint);
   if (!redirected) co_return std::nullopt;
   ++stats_.masked_failures;
-  proc_->sim().obs().metrics().counter("client.masked_failures").add();
+  masked_failures_.add();
   proc_->sim().obs().emit(obs::EventKind::kMaskedFailure, cfg_.member,
                           answer->member);
   // Fabricate a NEEDS_ADDRESSING_MODE reply: the ORB will retransmit its
@@ -134,7 +142,7 @@ sim::Task<net::Result<Bytes>> ClientMead::read(int fd, std::size_t max_bytes,
         }
       }
       ++stats_.unmasked_eofs;
-      proc_->sim().obs().metrics().counter("client.unmasked_eofs").add();
+      unmasked_eofs_.add();
       co_return Bytes{};
     }
 
@@ -178,7 +186,7 @@ sim::Task<net::Result<Bytes>> ClientMead::read(int fd, std::size_t max_bytes,
       const bool ok = co_await redirect(fd, *redirect_to);
       if (ok) {
         ++stats_.mead_redirects;
-        proc_->sim().obs().metrics().counter("client.mead_redirects").add();
+        mead_redirects_.add();
         proc_->sim().obs().emit(obs::EventKind::kRedirect, cfg_.member,
                                 redirect_member);
       }

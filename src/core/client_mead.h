@@ -90,6 +90,12 @@ class ClientMead final : public net::SocketApi {
   net::ProcessPtr proc_;
   MeadConfig cfg_;
   net::SocketApi& inner_;
+  // Hot-path counters, resolved once at construction (registry refs stay
+  // valid for the simulation's lifetime).
+  obs::Counter& query_timeouts_;
+  obs::Counter& masked_failures_;
+  obs::Counter& unmasked_eofs_;
+  obs::Counter& mead_redirects_;
   std::unique_ptr<gc::GcClient> gc_;
   Duration query_timeout_ = milliseconds(10);
   std::uint64_t query_nonce_ = 0;

@@ -8,7 +8,12 @@ namespace mead::core {
 
 RecoveryManager::RecoveryManager(net::ProcessPtr proc,
                                  RecoveryManagerConfig cfg, Factory factory)
-    : proc_(std::move(proc)), cfg_(std::move(cfg)), factory_(std::move(factory)) {
+    : proc_(std::move(proc)), cfg_(std::move(cfg)), factory_(std::move(factory)),
+      launches_(proc_->sim().obs().metrics().counter("rm.launches")),
+      proactive_launches_(
+          proc_->sim().obs().metrics().counter("rm.proactive_launches")),
+      reactive_launches_(
+          proc_->sim().obs().metrics().counter("rm.reactive_launches")) {
   gc_ = std::make_unique<gc::GcClient>(*proc_, cfg_.member, cfg_.daemon);
 }
 
@@ -84,14 +89,13 @@ void RecoveryManager::reconcile(bool proactive_trigger) {
 sim::Task<void> RecoveryManager::launch_one(bool proactive) {
   const int incarnation = next_incarnation_++;
   ++stats_.launches;
-  auto& obs = proc_->sim().obs();
-  obs.metrics().counter("rm.launches").add();
+  launches_.add();
   if (proactive) {
     ++stats_.proactive_launches;
-    obs.metrics().counter("rm.proactive_launches").add();
+    proactive_launches_.add();
   } else {
     ++stats_.reactive_launches;
-    obs.metrics().counter("rm.reactive_launches").add();
+    reactive_launches_.add();
   }
   const bool alive = co_await proc_->sleep(cfg_.launch_delay);
   if (!alive) co_return;

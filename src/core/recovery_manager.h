@@ -71,6 +71,11 @@ class RecoveryManager {
   net::ProcessPtr proc_;
   RecoveryManagerConfig cfg_;
   Factory factory_;
+  // Hot-path counters, resolved once at construction (registry refs stay
+  // valid for the simulation's lifetime).
+  obs::Counter& launches_;
+  obs::Counter& proactive_launches_;
+  obs::Counter& reactive_launches_;
   std::unique_ptr<gc::GcClient> gc_;
   gc::View view_;
   std::set<std::string> doomed_;  // replicas that announced impending death

@@ -5,7 +5,14 @@
 namespace mead::core {
 
 ServerMead::ServerMead(net::ProcessPtr proc, MeadConfig cfg)
-    : proc_(std::move(proc)), cfg_(std::move(cfg)), inner_(proc_->api()) {
+    : proc_(std::move(proc)), cfg_(std::move(cfg)), inner_(proc_->api()),
+      launch_requests_(
+          proc_->sim().obs().metrics().counter("server.launch_requests")),
+      migrations_(proc_->sim().obs().metrics().counter("server.migrations")),
+      rejuvenations_(
+          proc_->sim().obs().metrics().counter("server.rejuvenations")),
+      failover_piggybacks_(
+          proc_->sim().obs().metrics().counter("server.failover_piggybacks")) {
   gc_ = std::make_unique<gc::GcClient>(*proc_, cfg_.member, cfg_.daemon);
 }
 
@@ -169,7 +176,7 @@ void ServerMead::check_thresholds() {
   if (!launch_requested_ && trigger_launch) {
     launch_requested_ = true;
     ++stats_.launch_requests;
-    obs.metrics().counter("server.launch_requests").add();
+    launch_requests_.add();
     obs.emit(obs::EventKind::kThresholdCrossed, cfg_.member, "T1", used);
     obs.emit(obs::EventKind::kLaunchRequested, cfg_.member, "", used);
     proc_->sim().spawn(send_launch_request(used));
@@ -178,7 +185,7 @@ void ServerMead::check_thresholds() {
     migrate_target_ = registry_.next_after(cfg_.member);
     if (migrate_target_) {
       migrating_ = true;
-      obs.metrics().counter("server.migrations").add();
+      migrations_.add();
       obs.emit(obs::EventKind::kThresholdCrossed, cfg_.member, "T2", used);
       obs.emit(obs::EventKind::kMigrateBegin, cfg_.member,
                migrate_target_->member, used);
@@ -205,7 +212,7 @@ sim::Task<void> ServerMead::rejuvenate_after_drain() {
   LogLine(proc_->sim().log(), LogLevel::kInfo, "mead")
       << cfg_.member << " rejuvenating (usage " << usage() << ")";
   auto& obs = proc_->sim().obs();
-  obs.metrics().counter("server.rejuvenations").add();
+  rejuvenations_.add();
   obs.emit(obs::EventKind::kRejuvenate, cfg_.member, "", usage());
   proc_->exit();
 }
@@ -311,7 +318,7 @@ sim::Task<net::Result<std::size_t>> ServerMead::writev(int fd, Bytes data) {
         if (!conn->second.redirected) {
           conn->second.redirected = true;
           ++stats_.failover_piggybacks;
-          proc_->sim().obs().metrics().counter("server.failover_piggybacks").add();
+          failover_piggybacks_.add();
           Bytes combined = encode_failover_frame(
               FailoverMsg{migrate_target_->endpoint, migrate_target_->member});
           append_bytes(combined, data);

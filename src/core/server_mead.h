@@ -131,6 +131,12 @@ class ServerMead final : public net::SocketApi {
   net::ProcessPtr proc_;
   MeadConfig cfg_;
   net::SocketApi& inner_;
+  // Hot-path counters, resolved once at construction (registry refs stay
+  // valid for the simulation's lifetime).
+  obs::Counter& launch_requests_;
+  obs::Counter& migrations_;
+  obs::Counter& rejuvenations_;
+  obs::Counter& failover_piggybacks_;
   const fault::ResourceAccount* account_ = nullptr;
   std::function<void()> on_first_request_;
   std::function<Bytes()> get_state_;

@@ -12,7 +12,10 @@ constexpr std::size_t kReadChunk = 64 * 1024;
 }
 
 GcDaemon::GcDaemon(net::ProcessPtr proc, DaemonConfig cfg)
-    : proc_(std::move(proc)), cfg_(std::move(cfg)) {
+    : proc_(std::move(proc)), cfg_(std::move(cfg)),
+      broadcasts_(proc_->sim().obs().metrics().counter("gc.broadcasts")),
+      broadcast_bytes_(
+          proc_->sim().obs().metrics().counter("gc.broadcast_bytes")) {
   // Every configured daemon is presumed alive until its connection drops;
   // this keeps the sequencer identity stable during startup.
   for (std::size_t i = 0; i < cfg_.daemon_hosts.size(); ++i) {
@@ -315,8 +318,8 @@ void GcDaemon::stamp_and_dispatch(OrderedMsg m) {
   // One broadcast per ordered message, recorded at the sequencer — the
   // event-level view of the Figure 5 bandwidth measurement.
   auto& obs = proc_->sim().obs();
-  obs.metrics().counter("gc.broadcasts").add();
-  obs.metrics().counter("gc.broadcast_bytes").add(wire.size());
+  broadcasts_.add();
+  broadcast_bytes_.add(wire.size());
   obs.emit(obs::EventKind::kGcBroadcast, "daemon/" + std::to_string(id()),
            m.group, static_cast<double>(wire.size()));
   for (auto& [peer, fd] : peer_fds_) {

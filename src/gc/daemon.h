@@ -125,6 +125,10 @@ class GcDaemon {
 
   net::ProcessPtr proc_;
   DaemonConfig cfg_;
+  // Hot-path counters, resolved once at construction (registry refs stay
+  // valid for the simulation's lifetime).
+  obs::Counter& broadcasts_;
+  obs::Counter& broadcast_bytes_;
 
   // connection state
   struct ConnState {

@@ -7,18 +7,22 @@ namespace mead::net {
 
 namespace detail {
 
-void WaitSet::add(WaiterPtr w) {
-  // Prune completed entries opportunistically so long-lived sockets with
-  // repeated timeouts don't accumulate dead waiters.
-  std::erase_if(waiters_, [](const WaiterPtr& p) { return p->done; });
-  waiters_.push_back(std::move(w));
+void WaitSet::add(const WaiterPtr& w) {
+  // Prune dead entries opportunistically so long-lived sockets with
+  // repeated timeouts don't accumulate stale waiters. An entry is dead if
+  // its waiter completed (done) or was recycled for a newer suspension
+  // (epoch moved on).
+  std::erase_if(waiters_, [](const Entry& e) {
+    return e.w->done || e.w->epoch != e.epoch;
+  });
+  waiters_.push_back(Entry{w, w->epoch});
 }
 
 void WaitSet::wake_all(sim::Simulator& sim) {
   auto waiters = std::move(waiters_);
   waiters_.clear();
-  for (auto& w : waiters) {
-    if (w->done) continue;
+  for (auto& [w, epoch] : waiters) {
+    if (w->done || w->epoch != epoch) continue;
     w->done = true;
     sim.schedule(Duration{0}, [w] { w->handle.resume(); });
   }
@@ -47,9 +51,8 @@ sim::Task<bool> Process::sleep(Duration d) {
 void Process::kill() {
   if (!alive_) return;
   alive_ = false;
-  auto& obs = net_.sim().obs();
-  obs.metrics().counter("net.process_crashes").add();
-  obs.emit(obs::EventKind::kCrash, name_ + "@" + host_);
+  net_.crash_counter().add();
+  net_.sim().obs().emit(obs::EventKind::kCrash, name_ + "@" + host_);
   net_.teardown_process_sockets(*this);
 }
 
@@ -58,9 +61,8 @@ void Process::exit() {
   // but it is recorded as an intentional exit, not a crash.
   if (!alive_) return;
   alive_ = false;
-  auto& obs = net_.sim().obs();
-  obs.metrics().counter("net.process_exits").add();
-  obs.emit(obs::EventKind::kExit, name_ + "@" + host_);
+  net_.exit_counter().add();
+  net_.sim().obs().emit(obs::EventKind::kExit, name_ + "@" + host_);
   net_.teardown_process_sockets(*this);
 }
 
@@ -70,6 +72,7 @@ detail::FdEntry* Process::find_fd(int fd) {
 }
 
 int Process::install_fd(detail::FdEntry entry) {
+  if (auto* ref = std::get_if<detail::ConnRef>(&entry)) ++ref->end().open_fds;
   const int fd = next_fd_++;
   fds_.emplace(fd, std::move(entry));
   return fd;
@@ -77,7 +80,14 @@ int Process::install_fd(detail::FdEntry entry) {
 
 // ---------------------------------------------------------------- Network
 
-Network::Network(sim::Simulator& sim) : sim_(sim) {}
+Network::Network(sim::Simulator& sim) : sim_(sim) {
+  // Hot-path counters are resolved once here; per-event emitters then pay
+  // one integer add instead of a string-keyed registry lookup.
+  auto& metrics = sim_.obs().metrics();
+  total_bytes_ = &metrics.counter("net.bytes.total");
+  process_crashes_ = &metrics.counter("net.process_crashes");
+  process_exits_ = &metrics.counter("net.process_exits");
+}
 
 Network::~Network() = default;
 
@@ -95,7 +105,11 @@ bool Network::has_node(const std::string& name) const {
 
 NodeId Network::node_id(const std::string& host) const {
   auto it = nodes_.find(host);
-  return it == nodes_.end() ? NodeId{0} : it->second;
+  // An unknown host used to silently map to NodeId{0}; every internal call
+  // site reaches here with a host that was added via add_node(), so a miss
+  // is a logic error — loud in debug, explicit sentinel in release.
+  assert(it != nodes_.end() && "node_id: unknown host");
+  return it == nodes_.end() ? kInvalidNode : it->second;
 }
 
 ProcessPtr Network::spawn_process(const std::string& host, std::string proc_name) {
@@ -107,7 +121,10 @@ ProcessPtr Network::spawn_process(const std::string& host, std::string proc_name
 }
 
 void Network::crash_node(const std::string& host) {
-  const NodeId id = node_id(host);
+  auto it = nodes_.find(host);
+  assert(it != nodes_.end() && "crash_node: unknown host");
+  if (it == nodes_.end()) return;  // nothing to kill, not "kill node 0"
+  const NodeId id = it->second;
   for (auto& p : processes_) {
     if (p->node() == id && p->alive()) p->kill();
   }
@@ -176,10 +193,21 @@ void Network::account_delivery(std::uint16_t service_port, std::size_t bytes) {
              .first;
   }
   it->second->add(bytes);
-  if (total_bytes_ == nullptr) {
-    total_bytes_ = &sim_.obs().metrics().counter("net.bytes.total");
-  }
   total_bytes_->add(bytes);
+}
+
+void Network::bind_delivery_counters(detail::Conn& conn) {
+  auto it = service_bytes_.find(conn.service_port);
+  if (it == service_bytes_.end()) {
+    it = service_bytes_
+             .emplace(conn.service_port,
+                      &sim_.obs().metrics().counter(
+                          "net.bytes.service." +
+                          std::to_string(conn.service_port)))
+             .first;
+  }
+  conn.service_bytes = it->second;
+  conn.total_bytes = total_bytes_;
 }
 
 detail::ListenerPtr Network::find_listener(const std::string& host,
@@ -220,6 +248,7 @@ void Network::teardown_process_sockets(Process& proc) {
     (void)fd;
     if (auto* ref = std::get_if<detail::ConnRef>(&entry)) {
       detail::ConnEnd& end = ref->end();
+      end.open_fds = 0;  // all table references are gone at once
       if (end.local_closed) continue;
       end.local_closed = true;
       end.readers.wake_all(sim_);
@@ -267,25 +296,34 @@ void Network::teardown_process_sockets(Process& proc) {
 
 auto ProcessSocketApi::suspend_waiter(sim::Simulator& sim, detail::WaiterPtr w,
                                       std::optional<TimePoint> deadline) {
+  // Resumes when the waiter is woken (data/EOF/close) or the deadline timer
+  // fires, whichever comes first. The timer closure is epoch-stamped so it
+  // can never wake a recycled waiter, and await_resume hands the timer's
+  // token back so the caller can cancel it once the wait is over instead of
+  // leaving a dead closure to fire into a completed waiter.
   struct Awaiter {
     sim::Simulator* sim;
     detail::WaiterPtr w;
     std::optional<TimePoint> deadline;
+    std::optional<sim::TimerToken> timer;
     [[nodiscard]] bool await_ready() const noexcept { return false; }
-    void await_suspend(std::coroutine_handle<> h) const {
+    void await_suspend(std::coroutine_handle<> h) {
       w->handle = h;
       if (deadline) {
-        sim->schedule(*deadline - sim->now(), [w = w] {
-          if (!w->done) {
+        timer = sim->schedule(*deadline - sim->now(),
+                              [w = w, epoch = w->epoch] {
+          if (w->epoch == epoch && !w->done) {
             w->done = true;
             w->handle.resume();
           }
         });
       }
     }
-    void await_resume() const noexcept {}
+    std::optional<sim::TimerToken> await_resume() const noexcept {
+      return timer;
+    }
   };
-  return Awaiter{&sim, std::move(w), deadline};
+  return Awaiter{&sim, std::move(w), deadline, std::nullopt};
 }
 
 Result<int> ProcessSocketApi::listen(std::uint16_t port) {
@@ -309,9 +347,10 @@ sim::Task<Result<int>> ProcessSocketApi::accept(int listen_fd) {
       listener.pending.pop_front();
       co_return proc_.install_fd(detail::FdEntry{std::move(ref)});
     }
-    auto w = std::make_shared<detail::Waiter>();
+    auto w = net().waiter_pool().acquire();
     listener.acceptors.add(w);
     co_await suspend_waiter(sim(), w, std::nullopt);
+    net().waiter_pool().release(std::move(w));
   }
 }
 
@@ -338,6 +377,9 @@ sim::Task<Result<int>> ProcessSocketApi::connect(const Endpoint& remote) {
 
   auto conn = std::make_shared<detail::Conn>();
   conn->service_port = remote.port;
+  // Bind byte-accounting counters now: the acceptor side can start writing
+  // as soon as the SYN lands, before this coroutine's handshake sleep ends.
+  net().bind_delivery_counters(*conn);
   const Endpoint local{proc_.host(), net().next_ephemeral_port(proc_.node())};
   conn->ends[0].local = local;
   conn->ends[0].remote = remote;
@@ -374,20 +416,20 @@ sim::Task<Result<Bytes>> ProcessSocketApi::read(int fd, std::size_t max_bytes,
     detail::ConnEnd& end = ref->end();
     if (end.local_closed) co_return make_unexpected(NetErr::kClosed);
     if (!end.inbox.empty()) {
-      const std::size_t n = std::min(max_bytes, end.inbox.size());
-      Bytes out(end.inbox.begin(),
-                end.inbox.begin() + static_cast<std::ptrdiff_t>(n));
-      end.inbox.erase(end.inbox.begin(),
-                      end.inbox.begin() + static_cast<std::ptrdiff_t>(n));
-      co_return out;
+      // Same bytes a contiguous inbox would return — min(max_bytes,
+      // available), coalesced across delivery boundaries — without the
+      // front-erase shuffle.
+      co_return end.inbox.pop(max_bytes);
     }
     if (end.eof) co_return Bytes{};  // clean EOF
     if (deadline && sim().now() >= *deadline) {
       co_return make_unexpected(NetErr::kTimeout);
     }
-    auto w = std::make_shared<detail::Waiter>();
+    auto w = net().waiter_pool().acquire();
     end.readers.add(w);
-    co_await suspend_waiter(sim(), w, deadline);
+    const auto timer = co_await suspend_waiter(sim(), w, deadline);
+    if (timer) sim().cancel(*timer);
+    net().waiter_pool().release(std::move(w));
   }
 }
 
@@ -422,12 +464,15 @@ sim::Task<Result<std::size_t>> ProcessSocketApi::writev(int fd, Bytes data) {
   Network* network = &net();
   const TimePoint arrival = network->reserve_arrival(peer, delay);
   sim().schedule(arrival - sim().now(),
-                 [network, conn, peer_side, payload = std::move(data)] {
+                 [network, conn, peer_side,
+                  payload = std::move(data)]() mutable {
     detail::ConnEnd& dst = conn->ends[peer_side];
     if (dst.local_closed) return;  // delivered into a closed socket: dropped
-    dst.inbox.insert(dst.inbox.end(), payload.begin(), payload.end());
-    dst.bytes_received += payload.size();
-    network->account_delivery(conn->service_port, payload.size());
+    const std::size_t delivered = payload.size();
+    dst.inbox.push(std::move(payload));  // chunk moves; no byte copy
+    dst.bytes_received += delivered;
+    conn->service_bytes->add(delivered);
+    conn->total_bytes->add(delivered);
     dst.readers.wake_all(network->sim());
   });
   co_return n;
@@ -455,7 +500,7 @@ sim::Task<Result<std::vector<int>>> ProcessSocketApi::select(
     if (!ready.empty()) co_return ready;
     if (deadline && sim().now() >= *deadline) co_return std::vector<int>{};
 
-    auto w = std::make_shared<detail::Waiter>();
+    auto w = net().waiter_pool().acquire();
     for (int fd : fds) {
       auto* entry = proc_.find_fd(fd);
       if (entry == nullptr) continue;
@@ -465,7 +510,9 @@ sim::Task<Result<std::vector<int>>> ProcessSocketApi::select(
         (*lp)->acceptors.add(w);
       }
     }
-    co_await suspend_waiter(sim(), w, deadline);
+    const auto timer = co_await suspend_waiter(sim(), w, deadline);
+    if (timer) sim().cancel(*timer);
+    net().waiter_pool().release(std::move(w));
   }
 }
 
@@ -492,16 +539,13 @@ void ProcessSocketApi::real_close_conn(const detail::ConnRef& ref) {
   });
 }
 
-void ProcessSocketApi::close_entry(int fd, detail::FdEntry entry) {
+void ProcessSocketApi::close_entry(detail::FdEntry entry) {
   if (auto* ref = std::get_if<detail::ConnRef>(&entry)) {
     // dup2 can alias one socket under several fds; only the last reference
-    // performs the real close (POSIX file-description semantics).
-    for (auto& [other_fd, other] : proc_.fds_) {
-      if (other_fd == fd) continue;
-      if (auto* o = std::get_if<detail::ConnRef>(&other)) {
-        if (o->conn == ref->conn && o->side == ref->side) return;
-      }
-    }
+    // performs the real close (POSIX file-description semantics). The end's
+    // refcount replaces the former scan over the whole descriptor table.
+    detail::ConnEnd& end = ref->end();
+    if (end.open_fds > 0 && --end.open_fds > 0) return;
     real_close_conn(*ref);
   } else if (auto* lp = std::get_if<detail::ListenerPtr>(&entry)) {
     detail::Listener& listener = **lp;
@@ -517,7 +561,7 @@ Result<void> ProcessSocketApi::close(int fd) {
   if (it == proc_.fds_.end()) return make_unexpected(NetErr::kBadFd);
   detail::FdEntry entry = std::move(it->second);
   proc_.fds_.erase(it);
-  close_entry(fd, std::move(entry));
+  close_entry(std::move(entry));
   return {};
 }
 
@@ -526,11 +570,12 @@ Result<void> ProcessSocketApi::dup2(int from_fd, int to_fd) {
   if (from == nullptr) return make_unexpected(NetErr::kBadFd);
   if (from_fd == to_fd) return {};
   detail::FdEntry copy = *from;
+  if (auto* ref = std::get_if<detail::ConnRef>(&copy)) ++ref->end().open_fds;
   auto it = proc_.fds_.find(to_fd);
   if (it != proc_.fds_.end()) {
     detail::FdEntry old = std::move(it->second);
     it->second = std::move(copy);
-    close_entry(to_fd, std::move(old));
+    close_entry(std::move(old));
   } else {
     proc_.fds_.emplace(to_fd, std::move(copy));
   }

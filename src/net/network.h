@@ -28,6 +28,7 @@
 
 #include "common/expected.h"
 #include "common/types.h"
+#include "net/byte_queue.h"
 #include "net/socket_api.h"
 #include "net/types.h"
 #include "sim/simulator.h"
@@ -43,33 +44,69 @@ using ProcessPtr = std::shared_ptr<Process>;
 namespace detail {
 
 /// One suspended coroutine waiting for a condition. `done` guards against
-/// double-resume when several wake sources race (data vs. timeout).
+/// double-resume when several wake sources race (data vs. timeout); `epoch`
+/// distinguishes reuses of a pooled waiter, so stale references held by
+/// wait sets from an earlier suspension can never wake the new occupant.
 struct Waiter {
   std::coroutine_handle<> handle;
   bool done = false;
+  std::uint64_t epoch = 0;
 };
 using WaiterPtr = std::shared_ptr<Waiter>;
 
+/// Free list of Waiter allocations. Every read/select/accept suspension
+/// used to make_shared a fresh Waiter; the pool recycles them, so steady
+/// state socket traffic does no waiter allocation at all.
+class WaiterPool {
+ public:
+  [[nodiscard]] WaiterPtr acquire() {
+    if (free_.empty()) return std::make_shared<Waiter>();
+    WaiterPtr w = std::move(free_.back());
+    free_.pop_back();
+    ++w->epoch;
+    w->done = false;
+    w->handle = nullptr;
+    return w;
+  }
+  /// The caller must guarantee no live wake source still targets this
+  /// waiter's current epoch (its timer cancelled or fired, its wake
+  /// delivered); stale wait-set entries are fine — they are epoch-checked.
+  void release(WaiterPtr w) { free_.push_back(std::move(w)); }
+
+ private:
+  std::vector<WaiterPtr> free_;
+};
+
 /// A set of waiters attached to one wakeable condition (readability of a
-/// connection end, pending accepts on a listener).
+/// connection end, pending accepts on a listener). Entries record the
+/// waiter's epoch at registration; a waiter that has since completed and
+/// been recycled is treated as gone.
 class WaitSet {
  public:
-  void add(WaiterPtr w);
-  /// Schedules resumption of all not-yet-done waiters and clears the set.
+  void add(const WaiterPtr& w);
+  /// Schedules resumption of all still-current, not-yet-done waiters and
+  /// clears the set.
   void wake_all(sim::Simulator& sim);
 
  private:
-  std::vector<WaiterPtr> waiters_;
+  struct Entry {
+    WaiterPtr w;
+    std::uint64_t epoch;
+  };
+  std::vector<Entry> waiters_;
 };
 
 /// One direction-endpoint of a connection.
 struct ConnEnd {
   Endpoint local;
   Endpoint remote;
-  std::deque<std::uint8_t> inbox;
+  ByteQueue inbox;
   bool eof = false;           // peer closed; surfaced after inbox drains
   bool local_closed = false;  // this side closed (or its process died)
   std::uint64_t bytes_received = 0;
+  /// Number of fd-table entries in the owning process that reference this
+  /// end (dup2 aliasing); the real close happens when it reaches zero.
+  int open_fds = 0;
   /// FIFO floor: no delivery into this end may be scheduled earlier than
   /// this, so a small/zero-byte message (e.g. a FIN) can never overtake
   /// larger data written before it.
@@ -84,6 +121,10 @@ struct Conn {
   ConnEnd ends[2];
   std::uint16_t service_port = 0;
   bool refused = false;  // listener vanished before the SYN arrived
+  /// Byte-accounting counters, resolved once at establishment so each
+  /// delivery is two integer adds instead of two string-keyed map lookups.
+  obs::Counter* service_bytes = nullptr;
+  obs::Counter* total_bytes = nullptr;
 };
 using ConnPtr = std::shared_ptr<Conn>;
 
@@ -223,11 +264,22 @@ class Network {
   Result<detail::ListenerPtr> register_listener(Process& proc, std::uint16_t port);
   void remove_listener(const detail::ListenerPtr& listener);
   std::uint16_t next_ephemeral_port(NodeId node);
+  /// Looks up a host added with add_node(). Asserts on unknown hosts in
+  /// debug builds and returns kInvalidNode (which matches no real node —
+  /// ids start at 1) in release builds; callers must not treat the result
+  /// as a real node without checking. Unknown-host paths that are reachable
+  /// by construction (connect) check has_node() first.
   [[nodiscard]] NodeId node_id(const std::string& host) const;
   void account_delivery(std::uint16_t service_port, std::size_t bytes);
+  /// Resolves the per-service and total byte counters for an established
+  /// connection (cached on the Conn; see detail::Conn).
+  void bind_delivery_counters(detail::Conn& conn);
   void note_connection() { ++connections_established_; }
   void note_drop() { ++dropped_; }
   void teardown_process_sockets(Process& proc);
+  [[nodiscard]] detail::WaiterPool& waiter_pool() { return waiter_pool_; }
+  [[nodiscard]] obs::Counter& crash_counter() { return *process_crashes_; }
+  [[nodiscard]] obs::Counter& exit_counter() { return *process_exits_; }
 
  private:
   sim::Simulator& sim_;
@@ -238,9 +290,13 @@ class Network {
   std::map<NodeId, std::uint16_t> ephemeral_;
   std::map<std::pair<std::uint64_t, std::uint16_t>, detail::ListenerPtr> listeners_;
   std::vector<ProcessPtr> processes_;
-  /// Cached registry counters, one per service port (plus the total).
+  /// Cached registry counters, one per service port (plus the total and
+  /// the process lifecycle counters, resolved at construction).
   std::map<std::uint16_t, obs::Counter*> service_bytes_;
   obs::Counter* total_bytes_ = nullptr;
+  obs::Counter* process_crashes_ = nullptr;
+  obs::Counter* process_exits_ = nullptr;
+  detail::WaiterPool waiter_pool_;
   std::set<std::pair<std::uint64_t, std::uint64_t>> partitioned_;  // a<b
   std::uint64_t dropped_ = 0;
   std::uint64_t connections_established_ = 0;
@@ -275,8 +331,9 @@ class ProcessSocketApi final : public SocketApi {
                                            std::optional<TimePoint> deadline);
 
   /// Closes one fd-table reference; performs the real socket close when the
-  /// last reference in this process goes away (dup2 aliasing).
-  void close_entry(int fd, detail::FdEntry entry);
+  /// last reference in this process goes away (dup2 aliasing, tracked by
+  /// the end's open_fds refcount).
+  void close_entry(detail::FdEntry entry);
   void real_close_conn(const detail::ConnRef& ref);
 
   Process& proc_;

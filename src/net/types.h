@@ -5,7 +5,13 @@
 #include <string>
 #include <string_view>
 
+#include "common/types.h"
+
 namespace mead::net {
+
+/// Sentinel for "no such node". Real node ids are assigned from 1 upward,
+/// so this value never aliases an actual host.
+inline constexpr NodeId kInvalidNode{0};
 
 /// Host (virtual node name) + port. Plays the role of the host/port pair in
 /// a CORBA IOR profile.

@@ -118,7 +118,10 @@ std::string unescape_json_string(std::string_view raw) {
 
 EventTrace::EventTrace(std::size_t capacity)
     : capacity_(capacity == 0 ? 1 : capacity) {
-  ring_.reserve(std::min<std::size_t>(capacity_, 1024));
+  // No upfront reserve: the ring grows on first emissions instead. An eager
+  // ~100 KB reservation per trace made every short-lived Simulator allocate
+  // and free a large top-of-heap block, which glibc answers with a brk trim —
+  // so sweeps constructing many simulators re-faulted those pages each run.
 }
 
 void EventTrace::emit(TimePoint at, EventKind kind, std::string actor,

@@ -147,7 +147,7 @@ sim::Task<InvokeResult> Stub::invoke(std::string operation, Bytes args) {
                                     giop::CompletionStatus::kNo);
           }
           ++forwards_;
-          orb_.sim().obs().metrics().counter("orb.forwards_followed").add();
+          forwards_followed_.add();
           orb_.sim().obs().emit(obs::EventKind::kForward,
                                 orb_.process().name());
           rebind(std::move(fwd.value()));  // reconnect + retransmit
@@ -158,7 +158,7 @@ sim::Task<InvokeResult> Stub::invoke(std::string operation, Bytes args) {
           // Retransmit over the *current* connection: if MEAD re-pointed it
           // (dup2), the retry lands on the new replica transparently.
           ++readdress_;
-          orb_.sim().obs().metrics().counter("orb.readdress_retries").add();
+          readdress_retries_.add();
           retransmit = true;
           break;
         }

@@ -22,7 +22,12 @@ using InvokeResult = Expected<Bytes, giop::SystemException>;
 
 class Stub {
  public:
-  Stub(Orb& orb, giop::IOR ior) : orb_(orb), ior_(std::move(ior)) {}
+  Stub(Orb& orb, giop::IOR ior)
+      : orb_(orb), ior_(std::move(ior)),
+        forwards_followed_(
+            orb.sim().obs().metrics().counter("orb.forwards_followed")),
+        readdress_retries_(
+            orb.sim().obs().metrics().counter("orb.readdress_retries")) {}
   Stub(const Stub&) = delete;
   Stub& operator=(const Stub&) = delete;
   ~Stub() { drop_connection(); }
@@ -53,6 +58,10 @@ class Stub {
 
   Orb& orb_;
   giop::IOR ior_;
+  // Hot-path counters, resolved once at construction (registry refs stay
+  // valid for the simulation's lifetime).
+  obs::Counter& forwards_followed_;
+  obs::Counter& readdress_retries_;
   int fd_ = -1;
   giop::FrameBuffer frames_;
   bool in_flight_ = false;

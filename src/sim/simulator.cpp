@@ -47,17 +47,14 @@ Simulator::Simulator(std::uint64_t seed) : rng_(seed) {
 Simulator::~Simulator() {
   // Drop pending events first (they may reference coroutine frames), then
   // destroy still-suspended detached coroutines. Nothing is resumed here.
-  queue_ = {};
+  queue_.clear();
+  fifo_.clear();
+  slots_.clear();
   auto roots = std::move(roots_);
   roots_.clear();
   for (void* addr : roots) {
     std::coroutine_handle<>::from_address(addr).destroy();
   }
-}
-
-void Simulator::schedule(Duration delay, std::function<void()> fn) {
-  if (delay < Duration{0}) delay = Duration{0};
-  queue_.push(Event{now_ + delay, next_seq_++, std::move(fn)});
 }
 
 void Simulator::spawn(Task<void> task) {
@@ -72,25 +69,59 @@ void Simulator::unregister_root(void* frame_address) {
   roots_.erase(frame_address);
 }
 
-void Simulator::step(Event&& e) {
+const Simulator::HeapEntry* Simulator::peek_next() const {
+  const HeapEntry* f = fifo_.empty() ? nullptr : &fifo_.front();
+  if (queue_.empty()) return f;
+  const HeapEntry* q = &queue_.top();
+  if (f == nullptr) return q;
+  if (f->at != q->at) return f->at < q->at ? f : q;
+  return f->seq < q->seq ? f : q;
+}
+
+void Simulator::pop_entry(const HeapEntry* e) {
+  if (!fifo_.empty() && e == &fifo_.front()) {
+    fifo_.pop_front();
+  } else {
+    queue_.pop();
+  }
+}
+
+void Simulator::step(const HeapEntry& e) {
   now_ = e.at;
   ++events_processed_;
-  e.fn();
+  // A generation mismatch means the event was cancelled: the entry still
+  // advances the clock (identical to firing an empty closure) but runs
+  // nothing — cancellation is externally unobservable except in saved work.
+  if (slots_.gen(e.slot) != e.gen) return;
+  // Invalidate before invoking so a cancel() issued from inside the closure
+  // (e.g. a timeout waking a coroutine that then cancels its own timer) is
+  // a harmless no-op rather than a double release.
+  slots_.invalidate(e.slot);
+  // Invoke in place: arena blocks are stable, so the closure stays put even
+  // if it schedules new events. The slot is released only afterwards.
+  EventFn& fn = slots_[e.slot];
+  fn();
+  fn.reset();
+  slots_.release(e.slot);
 }
 
 void Simulator::run() {
-  while (!queue_.empty()) {
-    Event e = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    step(std::move(e));
+  for (;;) {
+    const HeapEntry* p = peek_next();
+    if (p == nullptr) break;
+    const HeapEntry e = *p;
+    pop_entry(p);
+    step(e);
   }
 }
 
 void Simulator::run_until(TimePoint deadline) {
-  while (!queue_.empty() && queue_.top().at <= deadline) {
-    Event e = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    step(std::move(e));
+  for (;;) {
+    const HeapEntry* p = peek_next();
+    if (p == nullptr || p->at > deadline) break;
+    const HeapEntry e = *p;
+    pop_entry(p);
+    step(e);
   }
   if (now_ < deadline) now_ = deadline;
 }

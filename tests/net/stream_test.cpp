@@ -1,0 +1,95 @@
+// Streams well over a megabyte through one connection in 4 KB writes and
+// drains it with MTU-sized (1500 B) reads: the chunk-deque inbox must hand
+// back exactly the bytes written, in order, across chunk boundaries, and
+// surface EOF exactly once the writer has closed and the queue is dry.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+
+#include "net/network.h"
+#include "sim/simulator.h"
+
+namespace mead::net {
+namespace {
+
+constexpr std::size_t kChunk = 4 * 1024;
+constexpr std::size_t kChunks = 320;  // 1.25 MB total
+constexpr std::size_t kTotal = kChunk * kChunks;
+constexpr std::size_t kReadCap = 1500;
+
+// Position-dependent pattern so any reordering, duplication, or loss shows
+// up as a byte mismatch, not just a length change.
+std::uint8_t pattern(std::size_t i) {
+  return static_cast<std::uint8_t>((i * 131) ^ (i >> 11));
+}
+
+struct ReaderStats {
+  std::size_t bytes = 0;
+  std::size_t mismatches = 0;
+  std::size_t reads = 0;
+  std::size_t oversized_reads = 0;
+  bool eof = false;
+};
+
+sim::Task<void> writer_main(Process& p) {
+  auto lfd = p.api().listen(5000);
+  auto fd = co_await p.api().accept(lfd.value());
+  std::size_t sent = 0;
+  while (sent < kTotal) {
+    Bytes chunk(kChunk);
+    for (std::size_t i = 0; i < kChunk; ++i) chunk[i] = pattern(sent + i);
+    auto wrote = co_await p.api().writev(fd.value(), std::move(chunk));
+    EXPECT_TRUE(wrote.ok());
+    if (!wrote.ok()) break;
+    EXPECT_EQ(wrote.value(), kChunk);
+    sent += kChunk;
+  }
+  (void)p.api().close(fd.value());
+}
+
+sim::Task<void> reader_main(Process& p, ReaderStats& stats) {
+  auto fd = co_await p.api().connect(Endpoint{"node1", 5000});
+  EXPECT_TRUE(fd.ok());
+  if (!fd.ok()) co_return;
+  for (;;) {
+    auto data = co_await p.api().read(fd.value(), kReadCap);
+    EXPECT_TRUE(data.ok());
+    if (!data.ok()) co_return;
+    if (data->empty()) {
+      stats.eof = true;
+      break;
+    }
+    ++stats.reads;
+    if (data->size() > kReadCap) ++stats.oversized_reads;
+    for (std::uint8_t b : data.value()) {
+      if (b != pattern(stats.bytes)) ++stats.mismatches;
+      ++stats.bytes;
+    }
+  }
+}
+
+TEST(StreamTest, MegabyteStreamThroughSmallReads) {
+  sim::Simulator sim;
+  Network net(sim);
+  net.add_node("node1");
+  net.add_node("node2");
+  auto server = net.spawn_process("node1", "writer");
+  auto client = net.spawn_process("node2", "reader");
+
+  ReaderStats stats;
+  sim.spawn(writer_main(*server));
+  sim.spawn(reader_main(*client, stats));
+  sim.run();
+
+  EXPECT_EQ(stats.bytes, kTotal);
+  EXPECT_EQ(stats.mismatches, 0u);
+  EXPECT_EQ(stats.oversized_reads, 0u);
+  EXPECT_TRUE(stats.eof);
+  // 1.25 MB through <=1500 B reads: the queue must have split chunks many
+  // times over rather than handing back whole 4 KB buffers.
+  EXPECT_GE(stats.reads, kTotal / kReadCap);
+}
+
+}  // namespace
+}  // namespace mead::net

@@ -4,8 +4,11 @@
 // outside the virtual world.
 #include <gtest/gtest.h>
 
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "app/experiment.h"
 
@@ -65,6 +68,60 @@ TEST(DeterminismTest, RegistrySuppliesTableOneCounters) {
   ASSERT_NE(metrics.find_series("client.rtt_ms"), nullptr);
   EXPECT_EQ(metrics.find_series("client.rtt_ms")->count(),
             r.client.invocations_completed);
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(DeterminismTest, ParallelSweepMatchesSequentialBitForBit) {
+  // run_experiments must be a pure fan-out: the same specs through the
+  // thread pool produce the same per-run results and the same trace
+  // artifacts as the sequential path, byte for byte.
+  const std::string dir = ::testing::TempDir();
+  std::vector<ExperimentSpec> specs;
+  for (std::uint64_t seed : {2004, 2005, 2006}) {
+    ExperimentSpec spec = short_spec();
+    spec.seed = seed;
+    specs.push_back(spec);
+  }
+  auto with_traces = [&](const char* tag) {
+    std::vector<ExperimentSpec> named = specs;
+    for (std::size_t i = 0; i < named.size(); ++i) {
+      named[i].trace_jsonl = dir + "/sweep_" + tag + "_" +
+                             std::to_string(named[i].seed) + ".jsonl";
+    }
+    return named;
+  };
+  const auto seq_specs = with_traces("seq");
+  const auto par_specs = with_traces("par");
+  const auto seq = run_experiments(seq_specs, 1);
+  const auto par = run_experiments(par_specs, 3);
+
+  ASSERT_EQ(seq.size(), par.size());
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    EXPECT_EQ(seq[i].client.invocations_completed,
+              par[i].client.invocations_completed) << "spec " << i;
+    EXPECT_EQ(seq[i].client.comm_failures, par[i].client.comm_failures);
+    EXPECT_EQ(seq[i].client.transients, par[i].client.transients);
+    EXPECT_EQ(seq[i].server_failures, par[i].server_failures);
+    EXPECT_EQ(seq[i].gc_bytes, par[i].gc_bytes);
+    EXPECT_EQ(seq[i].mead_redirects, par[i].mead_redirects);
+    EXPECT_EQ(seq[i].masked_failures, par[i].masked_failures);
+    EXPECT_EQ(seq[i].query_timeouts, par[i].query_timeouts);
+    EXPECT_EQ(seq[i].forwards, par[i].forwards);
+    EXPECT_EQ(seq[i].proactive_launches, par[i].proactive_launches);
+    EXPECT_EQ(seq[i].sim_events, par[i].sim_events);
+    EXPECT_EQ(seq[i].duration_s, par[i].duration_s);
+    EXPECT_EQ(seq[i].client.rtt_ms.samples(), par[i].client.rtt_ms.samples());
+    const std::string seq_trace = slurp(seq_specs[i].trace_jsonl);
+    const std::string par_trace = slurp(par_specs[i].trace_jsonl);
+    ASSERT_FALSE(seq_trace.empty()) << seq_specs[i].trace_jsonl;
+    EXPECT_EQ(seq_trace, par_trace) << "trace diverged for spec " << i;
+  }
 }
 
 }  // namespace
