@@ -1,0 +1,81 @@
+// Multi-group scale sweep: 1 -> 16 independent 3-replica service groups on
+// a node pool that grows with the group count (three workers per group,
+// plus the naming/RM node and the client node). Each group runs its own
+// measurement client, so the simulated workload — and the group-
+// communication mesh underneath it — scales with the group count.
+//
+// No paper counterpart: the DSN 2004 testbed hosts exactly one group. This
+// bench tracks how the simulator's throughput holds up as the cluster
+// model grows, and writes BENCH_multigroup.json for the perf trajectory.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness.h"
+#include "perf.h"
+
+using namespace mead;
+using namespace mead::bench;
+
+namespace {
+
+ExperimentSpec spec_for(std::size_t group_count, int invocations) {
+  ExperimentSpec spec;
+  spec.seed = 2004;
+  spec.invocations = invocations;
+  // Three dedicated workers per group keep placement collision-free at
+  // every scale; +2 for the naming/RM node and the client node.
+  spec.topology = app::ClusterTopology::uniform(3 * group_count + 2);
+  for (std::size_t i = 0; i < group_count; ++i) {
+    app::ServiceGroupSpec g;
+    if (i > 0) g.service = "Svc" + std::to_string(i);
+    spec.groups.push_back(std::move(g));
+  }
+  return spec;
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kInvocationsPerGroup = 2000;
+  const std::vector<std::size_t> group_counts = {1, 2, 4, 8, 16};
+
+  std::printf("Multi-group scale sweep: N x (3-replica group + client), "
+              "%d invocations per group\n\n", kInvocationsPerGroup);
+  std::printf("%-8s %-7s %12s %12s %10s %14s\n", "Groups", "Nodes",
+              "Invocations", "Events", "Wall(ms)", "Events/sec");
+
+  PerfReport perf("multigroup");
+  std::vector<ExperimentSpec> specs;
+  std::vector<std::string> labels;
+  for (std::size_t g : group_counts) {
+    specs.push_back(spec_for(g, kInvocationsPerGroup));
+    labels.push_back(std::to_string(g) + " groups x 3 replicas");
+  }
+  const auto results = bench::run_experiments(specs);
+
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const ExperimentSpec& spec = specs[i];
+    const ExperimentResult& r = results[i];
+    perf.add(spec, r, labels[i]);
+    std::printf("%-8zu %-7zu %12llu %12llu %10.1f %14.0f\n",
+                spec.groups.size(), spec.topology.nodes.size(),
+                static_cast<unsigned long long>(r.total_invocations()),
+                static_cast<unsigned long long>(r.sim_events), r.wall_ms,
+                r.wall_ms > 0
+                    ? static_cast<double>(r.sim_events) * 1000.0 / r.wall_ms
+                    : 0);
+    if (r.total_invocations() !=
+        static_cast<std::uint64_t>(kInvocationsPerGroup) * spec.groups.size()) {
+      std::fprintf(stderr, "run %zu incomplete: %llu invocations\n", i,
+                   static_cast<unsigned long long>(r.total_invocations()));
+      return 1;
+    }
+  }
+
+  if (!perf.write()) {
+    std::fprintf(stderr, "could not write BENCH_multigroup.json\n");
+    return 1;
+  }
+  return 0;
+}

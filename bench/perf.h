@@ -32,7 +32,7 @@ class PerfReport {
     run.seed = spec.seed;
     run.wall_ms = r.wall_ms;
     run.events = r.sim_events;
-    run.invocations = r.client.invocations_completed;
+    run.invocations = r.total_invocations();  // summed over every group's client
     runs_.push_back(std::move(run));
   }
 

@@ -17,6 +17,8 @@ TestbedOptions testbed_options(const ExperimentSpec& spec) {
   opts.inject_leak = spec.inject_leak;
   opts.calib = spec.calib;
   opts.replica_count = spec.replica_count;
+  opts.topology = spec.topology;
+  opts.groups = spec.groups;
   return opts;
 }
 
@@ -27,7 +29,7 @@ Experiment::Experiment(ExperimentSpec spec)
 
 Experiment::~Experiment() = default;
 
-std::uint64_t Experiment::delta(const char* name) const {
+std::uint64_t Experiment::delta(const std::string& name) const {
   return bed_.sim().obs().metrics().counter_value(name);
 }
 
@@ -42,28 +44,47 @@ StartResult Experiment::start() {
   timeouts0_ = delta("client.query_timeouts");
   forwards0_ = delta("orb.forwards_followed");
   proactive0_ = delta("rm.proactive_launches");
+  for (const auto& g : bed_.groups()) {
+    GroupBaseline base;
+    base.deaths0 = g->replica_deaths();
+    base.launches0 = delta("rm.launches." + g->service());
+    base.proactive0 = delta("rm.proactive_launches." + g->service());
+    base.reactive0 = delta("rm.reactive_launches." + g->service());
+    group_base_.push_back(base);
+  }
   return up;
 }
 
 void Experiment::launch_client() {
-  ClientOptions copts;
-  copts.invocations = spec_.invocations;
-  copts.spacing = spec_.spacing;
-  copts.query_timeout = spec_.query_timeout;
-  client_ = std::make_unique<ExperimentClient>(bed_, copts);
-  bed_.sim().spawn(client_->run());
+  // One measurement client per group, launched in group order (the spawn
+  // order is part of the deterministic event schedule).
+  for (const auto& g : bed_.groups()) {
+    ClientOptions copts;
+    copts.invocations = spec_.invocations;
+    copts.spacing = spec_.spacing;
+    copts.query_timeout = spec_.query_timeout;
+    copts.service = g->service();
+    clients_.push_back(std::make_unique<ExperimentClient>(bed_, copts));
+    bed_.sim().spawn(clients_.back()->run());
+  }
 }
 
 void Experiment::run_to_completion() {
-  // Slice the run so measurement stops the moment the client finishes.
-  for (int slice = 0; slice < 3000 && !client_->done(); ++slice) {
+  // Slice the run so measurement stops the moment the last client finishes.
+  auto all_done = [this] {
+    for (const auto& c : clients_) {
+      if (!c->done()) return false;
+    }
+    return true;
+  };
+  for (int slice = 0; slice < 3000 && !all_done(); ++slice) {
     bed_.sim().run_for(milliseconds(100));
   }
 }
 
 ExperimentResult Experiment::collect() const {
   ExperimentResult out;
-  if (client_) out.client = client_->results();
+  if (!clients_.empty()) out.client = clients_.front()->results();
   out.server_failures = bed_.replica_deaths() - deaths0_;
   out.gc_bytes = bed_.gc_bytes() - gc_bytes0_;
   out.duration_s = (bed_.sim().now() - t0_).sec();
@@ -73,6 +94,28 @@ ExperimentResult Experiment::collect() const {
   out.forwards = delta("orb.forwards_followed") - forwards0_;
   out.proactive_launches = delta("rm.proactive_launches") - proactive0_;
   out.sim_events = bed_.sim().events_processed();
+  const auto& groups = bed_.groups();
+  for (std::size_t i = 0; i < groups.size() && i < group_base_.size(); ++i) {
+    const ServiceGroup& g = *groups[i];
+    const GroupBaseline& base = group_base_[i];
+    GroupResult gr;
+    gr.service = g.service();
+    gr.replica_count = g.spec().replica_count;
+    gr.server_failures = g.replica_deaths() - base.deaths0;
+    gr.launches = delta("rm.launches." + g.service()) - base.launches0;
+    gr.proactive_launches =
+        delta("rm.proactive_launches." + g.service()) - base.proactive0;
+    gr.reactive_launches =
+        delta("rm.reactive_launches." + g.service()) - base.reactive0;
+    if (i < clients_.size()) {
+      const ClientResults cr = clients_[i]->results();
+      gr.invocations_completed = cr.invocations_completed;
+      gr.client_exceptions = cr.total_exceptions();
+      gr.naming_refreshes = cr.naming_refreshes;
+      gr.steady_state_rtt_ms = cr.steady_state_rtt_ms();
+    }
+    out.group_results.push_back(std::move(gr));
+  }
   return out;
 }
 

@@ -2,6 +2,11 @@
 // ExperimentSpec in, a single ExperimentResult out, with every Table 1 /
 // Figure 3-5 counter read back from the simulation's metrics registry
 // rather than scraped from individual components.
+//
+// A spec may host several independent service groups on an arbitrary
+// cluster topology; one measurement client runs per group, and the result
+// carries per-group counters next to the legacy single-group view (which
+// always describes the first group — the paper's TimeOfDay service).
 #pragma once
 
 #include <memory>
@@ -14,8 +19,8 @@
 
 namespace mead::app {
 
-/// Everything one §5 measurement run needs: five-node testbed, 10,000
-/// invocations at 1 ms, seed 2004 (DSN 2004).
+/// Everything one §5 measurement run needs. Defaults: five-node testbed,
+/// one TimeOfDay group, 10,000 invocations at 1 ms, seed 2004 (DSN 2004).
 struct ExperimentSpec {
   ExperimentSpec() = default;
 
@@ -30,9 +35,31 @@ struct ExperimentSpec {
   std::size_t replica_count = 3;
   /// When non-empty, run() writes the structured event trace here as JSONL.
   std::string trace_jsonl;
+
+  /// Cluster shape. Defaults to the paper's five-node layout.
+  ClusterTopology topology = ClusterTopology::paper();
+  /// Service groups to host; empty means one paper-default group built
+  /// from the scalar fields above. Each group gets its own measurement
+  /// client issuing `invocations` requests.
+  std::vector<ServiceGroupSpec> groups;
+};
+
+/// Measurement-window counters for one service group.
+struct GroupResult {
+  std::string service;
+  std::size_t replica_count = 0;       // target degree
+  std::size_t server_failures = 0;     // incarnation deaths in the window
+  std::uint64_t launches = 0;          // registry delta "rm.launches.<svc>"
+  std::uint64_t proactive_launches = 0;
+  std::uint64_t reactive_launches = 0;
+  std::uint64_t invocations_completed = 0;  // this group's client
+  std::uint64_t client_exceptions = 0;
+  std::uint64_t naming_refreshes = 0;
+  double steady_state_rtt_ms = 0;
 };
 
 struct ExperimentResult {
+  /// The first group's client — the whole story for single-group specs.
   ClientResults client;
   std::size_t server_failures = 0;
   std::uint64_t gc_bytes = 0;          // GC traffic during the measurement
@@ -44,6 +71,8 @@ struct ExperimentResult {
   std::uint64_t proactive_launches = 0;
   std::uint64_t sim_events = 0;        // kernel events processed by the run
   double wall_ms = 0;                  // real (host) time spent in run()
+  /// One entry per hosted group, in spec order.
+  std::vector<GroupResult> group_results;
 
   [[nodiscard]] double gc_bandwidth_bps() const {
     return duration_s > 0 ? static_cast<double>(gc_bytes) / duration_s : 0;
@@ -55,9 +84,16 @@ struct ExperimentResult {
     return 100.0 * static_cast<double>(client.total_exceptions()) /
            static_cast<double>(server_failures);
   }
+  /// Invocations completed across every group's client.
+  [[nodiscard]] std::uint64_t total_invocations() const {
+    if (group_results.empty()) return client.invocations_completed;
+    std::uint64_t n = 0;
+    for (const auto& g : group_results) n += g.invocations_completed;
+    return n;
+  }
 };
 
-/// Owns the testbed and measurement client for one experiment. Counter
+/// Owns the testbed and measurement clients for one experiment. Counter
 /// baselines are snapshotted in start(), so collect() reports deltas over
 /// the measurement window even though the registry is simulation-global.
 class Experiment {
@@ -69,9 +105,9 @@ class Experiment {
 
   /// Bring the world up and snapshot counter baselines.
   [[nodiscard]] StartResult start();
-  /// Spawn the measurement client (after start() succeeds).
+  /// Spawn one measurement client per group (after start() succeeds).
   void launch_client();
-  /// Drive the simulation until the client finishes (bounded at 300 s
+  /// Drive the simulation until every client finishes (bounded at 300 s
   /// virtual time so a wedged run still terminates).
   void run_to_completion();
   /// Registry-delta snapshot of the run so far.
@@ -87,18 +123,32 @@ class Experiment {
 
   [[nodiscard]] const ExperimentSpec& spec() const { return spec_; }
   [[nodiscard]] Testbed& testbed() { return bed_; }
-  [[nodiscard]] ExperimentClient* client() { return client_.get(); }
+  /// The first group's client (null before launch_client()).
+  [[nodiscard]] ExperimentClient* client() {
+    return clients_.empty() ? nullptr : clients_.front().get();
+  }
+  [[nodiscard]] const std::vector<std::unique_ptr<ExperimentClient>>& clients()
+      const {
+    return clients_;
+  }
   [[nodiscard]] sim::Simulator& sim() { return bed_.sim(); }
   [[nodiscard]] obs::Recorder& obs() { return bed_.sim().obs(); }
 
  private:
-  [[nodiscard]] std::uint64_t delta(const char* name) const;
+  [[nodiscard]] std::uint64_t delta(const std::string& name) const;
 
   ExperimentSpec spec_;
   Testbed bed_;
-  std::unique_ptr<ExperimentClient> client_;
+  std::vector<std::unique_ptr<ExperimentClient>> clients_;
 
   // Baselines captured by start().
+  struct GroupBaseline {
+    std::size_t deaths0 = 0;
+    std::uint64_t launches0 = 0;
+    std::uint64_t proactive0 = 0;
+    std::uint64_t reactive0 = 0;
+  };
+  std::vector<GroupBaseline> group_base_;
   std::size_t deaths0_ = 0;
   std::uint64_t gc_bytes0_ = 0;
   TimePoint t0_;

@@ -23,20 +23,33 @@ double ClientResults::steady_state_rtt_ms() const {
 }
 
 ExperimentClient::ExperimentClient(Testbed& bed, ClientOptions opts)
-    : bed_(bed), opts_(opts), scheme_(bed.options().scheme) {
-  proc_ = bed_.net().spawn_process(bed_.client_host(), "client");
+    : bed_(bed), opts_(std::move(opts)) {
+  // The paper's group keeps the historical bare names ("client", registry
+  // keys "client.*"); other groups are service-qualified so concurrent
+  // per-group clients never share counters or member names.
+  const bool default_group = opts_.service == kServiceName;
+  if (opts_.member.empty()) {
+    opts_.member = default_group ? "client/1" : opts_.service + "/client/1";
+  }
+  label_ = opts_.label.empty()
+               ? (default_group ? "client" : opts_.service + "/client")
+               : opts_.label;
+  prefix_ = default_group ? "client" : "client." + opts_.service;
+  const ServiceGroup* group = bed_.group(opts_.service);
+  scheme_ = group != nullptr ? group->spec().scheme : bed_.options().scheme;
+  proc_ = bed_.net().spawn_process(bed_.client_host(), label_);
 
   auto& metrics = bed_.sim().obs().metrics();
-  auto hook = [&metrics](const char* name) {
+  auto hook = [&metrics](const std::string& name) {
     TaxonomyCounter t;
     t.counter = &metrics.counter(name);
     t.base = t.counter->value();
     return t;
   };
-  comm_failures_ = hook("client.comm_failures");
-  transients_ = hook("client.transients");
-  other_exceptions_ = hook("client.other_exceptions");
-  naming_refreshes_ = hook("client.naming_refreshes");
+  comm_failures_ = hook(prefix_ + ".comm_failures");
+  transients_ = hook(prefix_ + ".transients");
+  other_exceptions_ = hook(prefix_ + ".other_exceptions");
+  naming_refreshes_ = hook(prefix_ + ".naming_refreshes");
 
   net::SocketApi* api = &proc_->api();
   if (scheme_ == core::RecoveryScheme::kNeedsAddressing ||
@@ -44,8 +57,8 @@ ExperimentClient::ExperimentClient(Testbed& bed, ClientOptions opts)
     core::MeadConfig cfg;
     cfg.scheme = scheme_;
     cfg.costs = bed_.options().calib.interceptor_costs();
-    cfg.service = kServiceName;
-    cfg.member = "client/1";
+    cfg.service = opts_.service;
+    cfg.member = opts_.member;
     cfg.daemon = net::Endpoint{bed_.client_host(), gc::kDefaultDaemonPort};
     mead_ = std::make_unique<core::ClientMead>(proc_, cfg);
     mead_->set_query_timeout(opts_.query_timeout);
@@ -79,7 +92,7 @@ void ExperimentClient::note_exception(giop::SysExKind kind) {
       other_exceptions_.bump();
       break;
   }
-  bed_.sim().obs().emit(obs::EventKind::kClientException, "client",
+  bed_.sim().obs().emit(obs::EventKind::kClientException, label_,
                         std::string(giop::repository_id(kind)));
 }
 
@@ -93,7 +106,7 @@ sim::Task<StartResult> ExperimentClient::setup() {
   // Initial Naming Service contact — the paper's "initial transient spike".
   const TimePoint t0 = proc_->sim().now();
   if (scheme_ == core::RecoveryScheme::kReactiveCache) {
-    auto all = co_await naming_->resolve_all(kServiceName);
+    auto all = co_await naming_->resolve_all(opts_.service);
     if (!all || all->empty()) {
       co_return start_error("initial resolve_all returned no bindings");
     }
@@ -101,7 +114,7 @@ sim::Task<StartResult> ExperimentClient::setup() {
     cache_idx_ = 0;
     stub_ = std::make_unique<orb::Stub>(*orb_, cache_[0]);
   } else {
-    auto primary = co_await naming_->resolve(kServiceName);
+    auto primary = co_await naming_->resolve(opts_.service);
     if (!primary) {
       co_return start_error("initial Naming resolve failed");
     }
@@ -116,9 +129,9 @@ sim::Task<void> ExperimentClient::recover_no_cache() {
   // the next available server replica" (§5): fetch fresh bindings and move
   // to the entry after the one that just failed.
   naming_refreshes_.bump();
-  bed_.sim().obs().emit(obs::EventKind::kNamingRefresh, "client", "no-cache");
+  bed_.sim().obs().emit(obs::EventKind::kNamingRefresh, label_, "no-cache");
   const std::string failed_host = stub_->target().endpoint.host;
-  auto all = co_await naming_->resolve_all(kServiceName);
+  auto all = co_await naming_->resolve_all(opts_.service);
   if (!all || all->empty()) co_return;  // naming outage: retry next loop
   const auto& list = all.value();
   std::size_t failed_idx = list.size();
@@ -140,8 +153,8 @@ sim::Task<void> ExperimentClient::recover_cached(giop::SysExKind kind) {
     // sweep (the paper's ~9.7 ms spike: "the time taken to resolve all
     // three replica references") and retry the refreshed slot.
     naming_refreshes_.bump();
-    bed_.sim().obs().emit(obs::EventKind::kNamingRefresh, "client", "cached");
-    auto all = co_await naming_->resolve_all(kServiceName);
+    bed_.sim().obs().emit(obs::EventKind::kNamingRefresh, label_, "cached");
+    auto all = co_await naming_->resolve_all(opts_.service);
     if (all && !all->empty()) {
       cache_ = std::move(all.value());
       // Move past the stale slot: its host is typically mid-relaunch and
@@ -179,8 +192,8 @@ sim::Task<void> ExperimentClient::run() {
   }
 
   auto& obs = bed_.sim().obs();
-  Series& rtt_series = obs.metrics().series("client.rtt_ms");
-  Series& failover_series = obs.metrics().series("client.failover_ms");
+  Series& rtt_series = obs.metrics().series(prefix_ + ".rtt_ms");
+  Series& failover_series = obs.metrics().series(prefix_ + ".failover_ms");
   rtt_series.reserve(static_cast<std::size_t>(opts_.invocations));
 
   for (int i = 0; i < opts_.invocations && proc_->alive(); ++i) {
@@ -196,7 +209,7 @@ sim::Task<void> ExperimentClient::run() {
       if (reply) break;
       if (!exception_seen) {
         exception_seen = true;
-        obs.emit(obs::EventKind::kFailoverBegin, "client",
+        obs.emit(obs::EventKind::kFailoverBegin, label_,
                  std::string(giop::repository_id(reply.error().kind)),
                  static_cast<double>(i));
       }
@@ -217,7 +230,7 @@ sim::Task<void> ExperimentClient::run() {
     if (recovery_event) {
       results_.failover_ms.add(rtt.ms());
       failover_series.add(rtt.ms());
-      obs.emit(obs::EventKind::kFailoverEnd, "client",
+      obs.emit(obs::EventKind::kFailoverEnd, label_,
                exception_seen ? "visible" : "masked", rtt.ms());
     }
 

@@ -32,6 +32,15 @@ struct ClientOptions {
   int invocations = 10'000;           // the paper's run length
   Duration spacing = milliseconds(1); // request rate (start-to-start)
   Duration query_timeout = milliseconds(10);  // §4.2 group-query timeout
+  /// Which service group to measure. The client's recovery scheme is the
+  /// group's scheme.
+  std::string service = kServiceName;
+  /// GC member name; empty derives "client/1" for the paper's group and
+  /// "<service>/client/1" otherwise (member names are cluster-global).
+  std::string member;
+  /// Process + obs actor label; empty derives "client" for the paper's
+  /// group and "<service>/client" otherwise.
+  std::string label;
 };
 
 struct ClientResults {
@@ -89,6 +98,8 @@ class ExperimentClient {
 
   Testbed& bed_;
   ClientOptions opts_;
+  std::string label_;    // process name + obs actor
+  std::string prefix_;   // registry key prefix ("client" / "client.<svc>")
   core::RecoveryScheme scheme_;
   net::ProcessPtr proc_;
   std::unique_ptr<core::ClientMead> mead_;  // NEEDS_ADDRESSING / MEAD only

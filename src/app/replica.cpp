@@ -19,7 +19,7 @@ TimeOfDayReplica::TimeOfDayReplica(net::Network& net, const std::string& host,
   mead_cfg.scheme = opts_.scheme;
   mead_cfg.thresholds = opts_.thresholds;
   mead_cfg.costs = opts_.calib.interceptor_costs();
-  mead_cfg.service = kServiceName;
+  mead_cfg.service = opts_.service;
   mead_cfg.member = opts_.member;
   mead_cfg.daemon = net::Endpoint{host, gc::kDefaultDaemonPort};
   mead_cfg.state_sync_interval = opts_.state_sync;
@@ -55,7 +55,7 @@ sim::Task<void> TimeOfDayReplica::startup() {
   if (!gc_up) co_return;
   // Register with the Naming Service: rebind supersedes the previous
   // incarnation's binding on this host.
-  registered_ = co_await naming_->rebind(kServiceName, ior_);
+  registered_ = co_await naming_->rebind(opts_.service, ior_);
   if (registered_) {
     proc_->sim().obs().emit(obs::EventKind::kReplicaRegistered, opts_.member,
                             net::to_string(server_->endpoint()));

@@ -22,6 +22,8 @@ struct ReplicaOptions {
   core::Thresholds thresholds;
   Calibration calib;
   bool inject_leak = true;
+  /// Service-group name: keys the GC groups and the Naming binding.
+  std::string service = kServiceName;
   std::string member;       // unique GC member name, e.g. "replica/3"
   std::uint16_t port = 0;   // ORB listen port (unique per incarnation)
   std::string naming_host;  // where the Naming Service lives

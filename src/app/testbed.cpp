@@ -1,10 +1,24 @@
 #include "app/testbed.h"
 
+#include <algorithm>
+#include <set>
+
 #include "common/log.h"
 
 namespace mead::app {
 
-Testbed::Testbed(TestbedOptions opts) : opts_(opts), sim_(opts.seed), net_(sim_) {
+namespace {
+
+/// Auto base-port spacing: each group gets a 1000-port incarnation range
+/// starting at 20000, so relaunched incarnations never collide across
+/// groups (group 0 keeps the paper's historical 20000+N ports).
+constexpr std::uint16_t kAutoPortBase = 20000;
+constexpr std::uint16_t kAutoPortSpacing = 1000;
+
+}  // namespace
+
+Testbed::Testbed(TestbedOptions opts)
+    : opts_(std::move(opts)), sim_(opts_.seed), net_(sim_) {
   opts_.calib.apply_network(net_);
   if (opts_.calib.os_noise_probability > 0) {
     // OS noise (journaling etc., §5.2.5): rare extra delivery delay.
@@ -15,44 +29,113 @@ Testbed::Testbed(TestbedOptions opts) : opts_(opts), sim_(opts.seed), net_(sim_)
                                       opts_.calib.os_noise_max.ns())};
     };
   }
-  for (int i = 1; i <= 5; ++i) {
-    hosts_.push_back("node" + std::to_string(i));
-    net_.add_node(hosts_.back());
+  config_error_ = opts_.topology.validate();
+  if (config_error_.empty()) config_error_ = materialize_groups();
+  if (!config_error_.empty()) return;
+
+  for (const auto& host : opts_.topology.nodes) {
+    net_.add_node(host);
   }
-  for (std::size_t i = 0; i < hosts_.size(); ++i) {
+  for (std::size_t i = 0; i < opts_.topology.nodes.size(); ++i) {
     gc::DaemonConfig cfg;
-    cfg.daemon_hosts = hosts_;
+    cfg.daemon_hosts = opts_.topology.nodes;
     cfg.self_index = i;
     opts_.calib.apply_daemon(cfg);
-    auto proc = net_.spawn_process(hosts_[i], "gc-daemon");
+    auto proc = net_.spawn_process(opts_.topology.nodes[i], "gc-daemon");
     daemons_.push_back(std::make_unique<gc::GcDaemon>(proc, cfg));
     daemons_.back()->start();
   }
 }
 
-giop::IOR Testbed::naming_ref() const {
-  return naming::naming_ior(hosts_[4]);
+std::string Testbed::materialize_groups() {
+  std::vector<ServiceGroupSpec> specs = opts_.groups;
+  if (specs.empty()) {
+    // Single-group shorthand: the paper's TimeOfDay service.
+    ServiceGroupSpec spec;
+    spec.scheme = opts_.scheme;
+    spec.thresholds = opts_.thresholds;
+    spec.inject_leak = opts_.inject_leak;
+    spec.replica_count = opts_.replica_count;
+    spec.state_sync = opts_.state_sync;
+    specs.push_back(std::move(spec));
+  }
+
+  std::set<std::string> services;
+  std::set<std::uint16_t> base_ports;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    ServiceGroupSpec& spec = specs[i];
+    if (spec.service.empty()) return "group " + std::to_string(i) + " has no name";
+    if (!services.insert(spec.service).second) {
+      return "duplicate service group '" + spec.service + "'";
+    }
+    if (spec.replica_count == 0) {
+      return "group '" + spec.service + "' has replica_count 0";
+    }
+    if (spec.base_port == 0) {
+      spec.base_port =
+          static_cast<std::uint16_t>(kAutoPortBase + kAutoPortSpacing * i);
+    }
+    if (!base_ports.insert(spec.base_port).second) {
+      return "group '" + spec.service + "' shares base_port " +
+             std::to_string(spec.base_port) + " with another group";
+    }
+    if (spec.hosts.empty()) {
+      spec.hosts = opts_.topology.stripe_hosts(i, spec.replica_count);
+      if (spec.hosts.empty()) {
+        return "group '" + spec.service + "' needs " +
+               std::to_string(spec.replica_count) + " hosts but the worker " +
+               "pool has only " + std::to_string(opts_.topology.worker_nodes.size());
+      }
+    } else {
+      std::set<std::string> distinct(spec.hosts.begin(), spec.hosts.end());
+      if (distinct.size() != spec.hosts.size()) {
+        return "group '" + spec.service + "' lists a placement host twice";
+      }
+      if (spec.hosts.size() < spec.replica_count) {
+        // One live replica per host per group (the Naming rebind-by-host
+        // convention): fewer hosts than replicas would stack incarnations.
+        return "group '" + spec.service + "' places " +
+               std::to_string(spec.replica_count) + " replicas on only " +
+               std::to_string(spec.hosts.size()) + " hosts";
+      }
+      for (const auto& h : spec.hosts) {
+        if (std::find(opts_.topology.nodes.begin(), opts_.topology.nodes.end(),
+                      h) == opts_.topology.nodes.end()) {
+          return "group '" + spec.service + "' placement host '" + h +
+                 "' is not in the topology";
+        }
+      }
+    }
+  }
+
+  for (auto& spec : specs) {
+    groups_.push_back(std::make_unique<ServiceGroup>(
+        net_, std::move(spec), opts_.topology.naming_node, opts_.calib));
+  }
+  return {};
 }
 
-void Testbed::spawn_replica(int incarnation) {
-  ReplicaOptions ro;
-  ro.scheme = opts_.scheme;
-  ro.thresholds = opts_.thresholds;
-  ro.calib = opts_.calib;
-  ro.inject_leak = opts_.inject_leak;
-  ro.member = "replica/" + std::to_string(incarnation);
-  // Unique port per incarnation: a relaunched replica listens elsewhere, so
-  // cached references to the dead incarnation are genuinely stale (§5.2.1).
-  ro.port = static_cast<std::uint16_t>(20000 + incarnation);
-  ro.naming_host = naming_host();
-  ro.state_sync = opts_.state_sync;
-  // Replicas round-robin over node1..node3 (one live replica per host).
-  const std::string& host =
-      hosts_[static_cast<std::size_t>((incarnation - 1) % 3)];
-  replicas_.push_back(TimeOfDayReplica::launch(net_, host, std::move(ro)));
+ServiceGroup* Testbed::group(const std::string& service) {
+  for (auto& g : groups_) {
+    if (g->service() == service) return g.get();
+  }
+  return nullptr;
+}
+
+const ServiceGroup* Testbed::group(const std::string& service) const {
+  for (const auto& g : groups_) {
+    if (g->service() == service) return g.get();
+  }
+  return nullptr;
+}
+
+giop::IOR Testbed::naming_ref() const {
+  return naming::naming_ior(opts_.topology.naming_node);
 }
 
 StartResult Testbed::start() {
+  if (!config_error_.empty()) return start_error(config_error_);
+
   naming_proc_ = net_.spawn_process(naming_host(), "naming-service");
   {
     // Rebuild the bundle with calibrated costs.
@@ -69,12 +152,18 @@ StartResult Testbed::start() {
   }
 
   core::RecoveryManagerConfig rm_cfg;
-  rm_cfg.service = kServiceName;
   rm_cfg.daemon = net::Endpoint{naming_host(), gc::kDefaultDaemonPort};
-  rm_cfg.target_degree = opts_.replica_count;
+  rm_cfg.groups.clear();
+  std::size_t target_total = 0;
+  for (const auto& g : groups_) {
+    rm_cfg.groups.emplace_back(g->service(), g->spec().replica_count);
+    target_total += g->spec().replica_count;
+  }
   rm_proc_ = net_.spawn_process(naming_host(), "recovery-manager");
   rm_ = std::make_unique<core::RecoveryManager>(
-      rm_proc_, rm_cfg, [this](int incarnation) { spawn_replica(incarnation); });
+      rm_proc_, rm_cfg, [this](const std::string& service, int incarnation) {
+        if (ServiceGroup* g = group(service)) g->spawn_replica(incarnation);
+      });
 
   bool rm_up = false;
   auto boot = [](core::RecoveryManager& rm, bool& flag) -> sim::Task<void> {
@@ -82,40 +171,43 @@ StartResult Testbed::start() {
   };
   sim_.spawn(boot(*rm_, rm_up));
 
-  // Let the mesh form, the RM bootstrap the replicas, and the replicas
-  // join + announce + register with naming.
+  // Let the mesh form, the RM bootstrap every group's replicas, and the
+  // replicas join + announce + register with naming.
   sim_.run_for(milliseconds(500));
   if (!rm_up) {
     return start_error("recovery manager failed to join the group mesh");
   }
-  if (live_replica_count() != opts_.replica_count) {
-    LogLine(sim_.log(), LogLevel::kError, "testbed")
-        << "only " << live_replica_count() << " replicas came up";
-    return start_error("only " + std::to_string(live_replica_count()) + " of " +
-                       std::to_string(opts_.replica_count) +
-                       " replicas came up");
-  }
-  for (auto& r : replicas_) {
-    if (!r->registered()) {
-      return start_error(r->member() +
-                         " did not register with the Naming Service");
+  for (const auto& g : groups_) {
+    if (g->live_replica_count() != g->spec().replica_count) {
+      LogLine(sim_.log(), LogLevel::kError, "testbed")
+          << "only " << g->live_replica_count() << " replicas of "
+          << g->service() << " came up";
+      return start_error("only " + std::to_string(g->live_replica_count()) +
+                         " of " + std::to_string(g->spec().replica_count) +
+                         " replicas came up");
+    }
+    for (const auto& r : g->replicas()) {
+      if (!r->registered()) {
+        return start_error(r->member() +
+                           " did not register with the Naming Service");
+      }
     }
   }
   sim_.obs().emit(obs::EventKind::kWorldUp, "testbed", "",
-                  static_cast<double>(opts_.replica_count));
+                  static_cast<double>(target_total));
   return {};
 }
 
 std::size_t Testbed::live_replica_count() const {
   std::size_t n = 0;
-  for (const auto& r : replicas_) {
-    if (r->alive()) ++n;
-  }
+  for (const auto& g : groups_) n += g->live_replica_count();
   return n;
 }
 
 std::size_t Testbed::replica_deaths() const {
-  return replicas_.size() - live_replica_count();
+  std::size_t n = 0;
+  for (const auto& g : groups_) n += g->replica_deaths();
+  return n;
 }
 
 }  // namespace mead::app

@@ -1,7 +1,12 @@
-// The five-node experimental testbed from §5: group-communication daemons
-// on every node, the Naming Service and Recovery Manager on node5, three
-// warm-passive TimeOfDay replicas on node1-3 (launched and maintained by
-// the Recovery Manager), and the measurement client on node4.
+// The experimental cluster: group-communication daemons on every node, the
+// Naming Service and Recovery Manager on the topology's naming node, and M
+// independent replicated service groups placed over the worker pool, each
+// launched and maintained by the Recovery Manager.
+//
+// The default-constructed options reproduce the paper's §5 five-node
+// testbed exactly: one warm-passive TimeOfDay group of three replicas on
+// node1..node3, naming + Recovery Manager on node5, the measurement client
+// on node4.
 #pragma once
 
 #include <memory>
@@ -9,6 +14,7 @@
 #include <vector>
 
 #include "app/calibration.h"
+#include "app/cluster.h"
 #include "app/replica.h"
 #include "common/expected.h"
 #include "core/recovery_manager.h"
@@ -36,12 +42,20 @@ struct TestbedOptions {
   TestbedOptions() = default;
 
   std::uint64_t seed = 1;
+  /// Single-group shorthand: when `groups` is empty, these scalars define
+  /// the one paper-default group.
   core::RecoveryScheme scheme = core::RecoveryScheme::kMeadMessage;
   core::Thresholds thresholds;
   bool inject_leak = true;
   Calibration calib;
   std::size_t replica_count = 3;
   Duration state_sync = milliseconds(100);
+
+  /// Node list + named roles. Defaults to the paper's five-node layout.
+  ClusterTopology topology = ClusterTopology::paper();
+  /// The replicated service groups to host. Empty: one group built from
+  /// the scalar shorthand above.
+  std::vector<ServiceGroupSpec> groups;
 };
 
 class Testbed {
@@ -50,8 +64,8 @@ class Testbed {
   Testbed(const Testbed&) = delete;
   Testbed& operator=(const Testbed&) = delete;
 
-  /// Brings the world up: naming, Recovery Manager (which bootstraps the
-  /// replicas), and runs the simulation until the replica group is ready.
+  /// Brings the world up: naming, Recovery Manager (which bootstraps every
+  /// group's replicas), and runs the simulation until all groups are ready.
   /// On failure the error carries the reason bring-up stalled.
   [[nodiscard]] StartResult start();
 
@@ -60,18 +74,40 @@ class Testbed {
   [[nodiscard]] net::Network& net() { return net_; }
   [[nodiscard]] const TestbedOptions& options() const { return opts_; }
 
-  [[nodiscard]] const std::string& client_host() const { return hosts_[3]; }
-  [[nodiscard]] const std::string& naming_host() const { return hosts_[4]; }
+  // ---- topology roles ----
+  [[nodiscard]] const ClusterTopology& topology() const { return opts_.topology; }
+  [[nodiscard]] const std::string& client_host() const {
+    return opts_.topology.client_node;
+  }
+  [[nodiscard]] const std::string& naming_host() const {
+    return opts_.topology.naming_node;
+  }
   [[nodiscard]] giop::IOR naming_ref() const;
 
-  /// Every replica incarnation ever launched (dead ones included).
+  // ---- service groups ----
+  [[nodiscard]] const std::vector<std::unique_ptr<ServiceGroup>>& groups() const {
+    return groups_;
+  }
+  /// The first group — the paper's TimeOfDay service in the default config.
+  [[nodiscard]] ServiceGroup& primary_group() { return *groups_.front(); }
+  [[nodiscard]] const ServiceGroup& primary_group() const {
+    return *groups_.front();
+  }
+  /// Group by service name; null if the testbed hosts no such group.
+  [[nodiscard]] ServiceGroup* group(const std::string& service);
+  [[nodiscard]] const ServiceGroup* group(const std::string& service) const;
+
+  /// Every replica incarnation of the primary group ever launched (dead
+  /// ones included) — the single-group experiments' working set.
   [[nodiscard]] const std::vector<std::unique_ptr<TimeOfDayReplica>>& replicas()
       const {
-    return replicas_;
+    return groups_.front()->replicas();
   }
+  /// Live replicas across all groups.
   [[nodiscard]] std::size_t live_replica_count() const;
-  /// Incarnations that have terminated (crash or rejuvenation exit) — the
-  /// "number of server-side failures" denominator in Table 1.
+  /// Incarnations that have terminated (crash or rejuvenation exit), summed
+  /// over all groups — the "number of server-side failures" denominator in
+  /// Table 1.
   [[nodiscard]] std::size_t replica_deaths() const;
 
   [[nodiscard]] core::RecoveryManager& recovery_manager() { return *rm_; }
@@ -83,18 +119,21 @@ class Testbed {
   }
 
  private:
-  void spawn_replica(int incarnation);
+  /// Resolves the group list (shorthand expansion, auto ports, striped
+  /// placement) and validates it against the topology. Returns the reason
+  /// on failure.
+  [[nodiscard]] std::string materialize_groups();
 
   TestbedOptions opts_;
   sim::Simulator sim_;
   net::Network net_;
-  std::vector<std::string> hosts_;
+  std::string config_error_;  // non-empty: start() fails with this reason
   std::vector<std::unique_ptr<gc::GcDaemon>> daemons_;
+  std::vector<std::unique_ptr<ServiceGroup>> groups_;
   net::ProcessPtr naming_proc_;
   naming::NamingServerBundle naming_;
   net::ProcessPtr rm_proc_;
   std::unique_ptr<core::RecoveryManager> rm_;
-  std::vector<std::unique_ptr<TimeOfDayReplica>> replicas_;
 };
 
 }  // namespace mead::app

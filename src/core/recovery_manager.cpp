@@ -15,25 +15,107 @@ RecoveryManager::RecoveryManager(net::ProcessPtr proc,
       reactive_launches_(
           proc_->sim().obs().metrics().counter("rm.reactive_launches")) {
   gc_ = std::make_unique<gc::GcClient>(*proc_, cfg_.member, cfg_.daemon);
+  auto& metrics = proc_->sim().obs().metrics();
+  for (const auto& target : cfg_.groups) {
+    auto group = std::make_unique<Group>();
+    group->target = target;
+    group->launches = &metrics.counter("rm.launches." + target.service);
+    group->proactive_launches =
+        &metrics.counter("rm.proactive_launches." + target.service);
+    group->reactive_launches =
+        &metrics.counter("rm.reactive_launches." + target.service);
+    by_replica_group_[replica_group(target.service)] = group.get();
+    by_control_group_[control_group(target.service)] = group.get();
+    groups_.push_back(std::move(group));
+  }
 }
 
 RecoveryManager::~RecoveryManager() = default;
 
-std::size_t RecoveryManager::live_replicas() const {
+RecoveryManager::Group* RecoveryManager::find_group(const std::string& service) {
+  auto it = by_replica_group_.find(replica_group(service));
+  return it == by_replica_group_.end() ? nullptr : it->second;
+}
+
+const RecoveryManager::Group* RecoveryManager::find_group(
+    const std::string& service) const {
+  auto it = by_replica_group_.find(replica_group(service));
+  return it == by_replica_group_.end() ? nullptr : it->second;
+}
+
+const RecoveryManager::Stats* RecoveryManager::stats(
+    const std::string& service) const {
+  const Group* g = find_group(service);
+  return g == nullptr ? nullptr : &g->stats;
+}
+
+const ReplicaRegistry* RecoveryManager::registry(
+    const std::string& service) const {
+  const Group* g = find_group(service);
+  return g == nullptr ? nullptr : &g->registry;
+}
+
+const std::vector<GroupTarget>& RecoveryManager::targets() const {
+  return cfg_.groups;
+}
+
+int RecoveryManager::next_incarnation() const {
+  return groups_.empty() ? 1 : groups_.front()->next_incarnation;
+}
+
+int RecoveryManager::next_incarnation(const std::string& service) const {
+  const Group* g = find_group(service);
+  return g == nullptr ? 0 : g->next_incarnation;
+}
+
+std::size_t RecoveryManager::live_in(const Group& group) const {
   std::size_t n = 0;
-  for (const auto& m : view_.members) {
+  for (const auto& m : group.registry.view().members) {
     if (m != cfg_.member) ++n;
   }
   return n;
 }
 
+std::size_t RecoveryManager::live_replicas() const {
+  std::size_t n = 0;
+  for (const auto& g : groups_) n += live_in(*g);
+  return n;
+}
+
+std::size_t RecoveryManager::live_replicas(const std::string& service) const {
+  const Group* g = find_group(service);
+  return g == nullptr ? 0 : live_in(*g);
+}
+
 sim::Task<bool> RecoveryManager::start() {
   const bool connected = co_await gc_->connect();
   if (!connected) co_return false;
-  (void)co_await gc_->join(replica_group(cfg_.service));
-  (void)co_await gc_->join(control_group(cfg_.service));
+  for (const auto& group : groups_) {
+    (void)co_await gc_->join(replica_group(group->target.service));
+    (void)co_await gc_->join(control_group(group->target.service));
+  }
   proc_->sim().spawn(pump());
   co_return true;
+}
+
+void RecoveryManager::handle_view(Group& group, const gc::Event& event) {
+  const auto& old_members = group.registry.view().members;
+  // Count replicas that just appeared: each consumes a pending launch.
+  std::size_t joined = 0;
+  for (const auto& m : event.view.members) {
+    if (m == cfg_.member) continue;
+    if (std::find(old_members.begin(), old_members.end(), m) ==
+        old_members.end()) {
+      ++joined;
+    }
+  }
+  group.pending -= std::min(group.pending, joined);
+  // Departed members are no longer doomed (they are dead).
+  std::erase_if(group.doomed, [&](const std::string& m) {
+    return !event.view.contains(m);
+  });
+  group.registry.on_view(event.view);
+  reconcile(group, /*proactive_trigger=*/false);
 }
 
 sim::Task<void> RecoveryManager::pump() {
@@ -41,61 +123,67 @@ sim::Task<void> RecoveryManager::pump() {
     auto ev = co_await gc_->next_event();
     if (!ev || !ev.value()) co_return;
     gc::Event& event = *ev.value();
-    if (event.kind == gc::Event::Kind::kView &&
-        event.group == replica_group(cfg_.service)) {
-      const auto& old_members = view_.members;
-      // Count replicas that just appeared: each consumes a pending launch.
-      std::size_t joined = 0;
-      for (const auto& m : event.view.members) {
-        if (m == cfg_.member) continue;
-        if (std::find(old_members.begin(), old_members.end(), m) ==
-            old_members.end()) {
-          ++joined;
-        }
-      }
-      pending_ -= std::min(pending_, joined);
-      // Departed members are no longer doomed (they are dead).
-      std::erase_if(doomed_, [&](const std::string& m) {
-        return !event.view.contains(m);
-      });
-      view_ = event.view;
-      reconcile(/*proactive_trigger=*/false);
+    if (event.kind == gc::Event::Kind::kView) {
+      auto it = by_replica_group_.find(event.group);
+      if (it != by_replica_group_.end()) handle_view(*it->second, event);
       continue;
     }
     if (event.kind == gc::Event::Kind::kMessage) {
       auto ctrl = decode_ctrl(event.payload);
-      if (ctrl && ctrl->kind == CtrlKind::kLaunchRequest) {
+      if (!ctrl) continue;
+      if (ctrl->kind == CtrlKind::kLaunchRequest) {
+        // Launch requests arrive on the doomed group's own control group;
+        // the event's group key routes them, so identical member names in
+        // two groups stay unambiguous.
+        auto it = by_control_group_.find(event.group);
+        if (it == by_control_group_.end()) continue;
         LogLine(proc_->sim().log(), LogLevel::kInfo, "rm")
             << "launch request from " << ctrl->launch->member << " at usage "
             << ctrl->launch->usage;
-        doomed_.insert(ctrl->launch->member);
-        reconcile(/*proactive_trigger=*/true);
+        it->second->doomed.insert(ctrl->launch->member);
+        reconcile(*it->second, /*proactive_trigger=*/true);
+        continue;
+      }
+      // Replica announcements / listing syncs on a replica group feed that
+      // group's registry (endpoint bookkeeping only; no launch decisions).
+      auto it = by_replica_group_.find(event.group);
+      if (it == by_replica_group_.end()) continue;
+      if (ctrl->kind == CtrlKind::kAnnounce && ctrl->announce) {
+        it->second->registry.on_announce(*ctrl->announce);
+      } else if (ctrl->kind == CtrlKind::kListing && ctrl->listing) {
+        it->second->registry.on_listing(*ctrl->listing);
       }
     }
   }
 }
 
-void RecoveryManager::reconcile(bool proactive_trigger) {
-  // Invariant: live - doomed + pending >= target.
-  std::size_t effective = live_replicas() + pending_;
-  effective -= std::min(effective, doomed_.size());
-  while (effective < cfg_.target_degree) {
-    ++pending_;
+void RecoveryManager::reconcile(Group& group, bool proactive_trigger) {
+  // Per-group invariant: live - doomed + pending >= target.
+  std::size_t effective = live_in(group) + group.pending;
+  effective -= std::min(effective, group.doomed.size());
+  while (effective < group.target.target_degree) {
+    ++group.pending;
     ++effective;
-    proc_->sim().spawn(launch_one(proactive_trigger));
+    proc_->sim().spawn(launch_one(group, proactive_trigger));
   }
 }
 
-sim::Task<void> RecoveryManager::launch_one(bool proactive) {
-  const int incarnation = next_incarnation_++;
-  ++stats_.launches;
+sim::Task<void> RecoveryManager::launch_one(Group& group, bool proactive) {
+  const int incarnation = group.next_incarnation++;
+  ++totals_.launches;
+  ++group.stats.launches;
   launches_.add();
+  group.launches->add();
   if (proactive) {
-    ++stats_.proactive_launches;
+    ++totals_.proactive_launches;
+    ++group.stats.proactive_launches;
     proactive_launches_.add();
+    group.proactive_launches->add();
   } else {
-    ++stats_.reactive_launches;
+    ++totals_.reactive_launches;
+    ++group.stats.reactive_launches;
     reactive_launches_.add();
+    group.reactive_launches->add();
   }
   const bool alive = co_await proc_->sleep(cfg_.launch_delay);
   if (!alive) co_return;
@@ -104,7 +192,7 @@ sim::Task<void> RecoveryManager::launch_one(bool proactive) {
   proc_->sim().obs().emit(obs::EventKind::kReplicaLaunched, cfg_.member,
                           proactive ? "proactive" : "reactive",
                           static_cast<double>(incarnation));
-  factory_(incarnation);
+  factory_(group.target.service, incarnation);
 }
 
 }  // namespace mead::core

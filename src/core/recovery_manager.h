@@ -1,11 +1,16 @@
-// The MEAD Recovery Manager (§3.3): keeps the server's degree of replication
-// at its target by launching replicas.
+// The MEAD Recovery Manager (§3.3): keeps every supervised service group's
+// degree of replication at its target by launching replicas.
 //
-// It subscribes to the replica group, so Spread-style membership-change
+// One Recovery Manager supervises a *set* of groups. For each group it
+// subscribes to the replica group, so Spread-style membership-change
 // notifications tell it when a replica died (reactive relaunch), and it
-// receives the Proactive Fault-Tolerance Managers' launch requests over the
-// control group (proactive launch ahead of an anticipated failure).
-// Launch accounting guarantees the invariant
+// receives the Proactive Fault-Tolerance Managers' launch requests over
+// that group's control group (proactive launch ahead of an anticipated
+// failure). All per-group state — replica registry, doomed set, pending
+// launches, incarnation numbering, stats — is isolated per group, so
+// groups with overlapping member names cannot interfere.
+//
+// Launch accounting guarantees the per-group invariant
 //     live - doomed + pending >= target
 // so a proactive launch at T1 followed by the doomed replica's death causes
 // exactly one launch, not two.
@@ -14,24 +19,37 @@
 #pragma once
 
 #include <functional>
+#include <map>
 #include <memory>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "core/config.h"
 #include "core/mead_wire.h"
+#include "core/registry.h"
 #include "gc/client.h"
 #include "net/network.h"
 
 namespace mead::core {
 
+/// One supervised service group's target.
+struct GroupTarget {
+  GroupTarget() = default;
+  GroupTarget(std::string s, std::size_t degree)
+      : service(std::move(s)), target_degree(degree) {}
+
+  std::string service = "TimeOfDay";
+  std::size_t target_degree = 3;  // the paper runs three warm replicas
+};
+
 struct RecoveryManagerConfig {
   RecoveryManagerConfig() = default;
 
-  std::string service = "TimeOfDay";
   std::string member = "recovery-manager";
   net::Endpoint daemon;
-  std::size_t target_degree = 3;  // the paper runs three warm replicas
+  /// The supervised set. Default: the paper's single TimeOfDay group.
+  std::vector<GroupTarget> groups{GroupTarget{}};
   /// Models replica spin-up scheduling latency (fork/exec on the factory
   /// node). The replica's own startup path adds its own time on top.
   Duration launch_delay = milliseconds(2);
@@ -40,9 +58,10 @@ struct RecoveryManagerConfig {
 class RecoveryManager {
  public:
   /// Called (after launch_delay) for every replica to be launched;
-  /// `incarnation` is unique and increasing. The factory builds the whole
-  /// replica process (node placement is the application's policy).
-  using Factory = std::function<void(int incarnation)>;
+  /// `incarnation` is unique and increasing *within its group*. The factory
+  /// builds the whole replica process (node placement and port allocation
+  /// are the application's per-group policy).
+  using Factory = std::function<void(const std::string& service, int incarnation)>;
 
   RecoveryManager(net::ProcessPtr proc, RecoveryManagerConfig cfg,
                   Factory factory);
@@ -50,8 +69,9 @@ class RecoveryManager {
   RecoveryManager& operator=(const RecoveryManager&) = delete;
   ~RecoveryManager();
 
-  /// Joins the groups and starts reconciling. With an initially empty
-  /// group, this bootstraps the first `target_degree` replicas.
+  /// Joins every supervised group and starts reconciling. With initially
+  /// empty groups, this bootstraps the first `target_degree` replicas of
+  /// each.
   [[nodiscard]] sim::Task<bool> start();
 
   struct Stats {
@@ -59,29 +79,58 @@ class RecoveryManager {
     std::uint64_t proactive_launches = 0;  // triggered by LaunchRequest
     std::uint64_t reactive_launches = 0;   // triggered by membership loss
   };
-  [[nodiscard]] const Stats& stats() const { return stats_; }
-  [[nodiscard]] int next_incarnation() const { return next_incarnation_; }
+  /// Aggregate over all supervised groups.
+  [[nodiscard]] const Stats& stats() const { return totals_; }
+  /// Per-group stats; null if `service` is not supervised.
+  [[nodiscard]] const Stats* stats(const std::string& service) const;
+  /// Per-group registry (view + announced endpoints); null if unknown.
+  [[nodiscard]] const ReplicaRegistry* registry(const std::string& service) const;
+  [[nodiscard]] const std::vector<GroupTarget>& targets() const;
+
+  /// Next incarnation of the first supervised group (legacy single-group
+  /// introspection).
+  [[nodiscard]] int next_incarnation() const;
+  [[nodiscard]] int next_incarnation(const std::string& service) const;
+  /// Live replicas across all groups.
   [[nodiscard]] std::size_t live_replicas() const;
+  [[nodiscard]] std::size_t live_replicas(const std::string& service) const;
 
  private:
+  /// Everything the manager tracks for one supervised group.
+  struct Group {
+    GroupTarget target;
+    ReplicaRegistry registry;       // per-group view + announcements
+    std::set<std::string> doomed;   // replicas that announced impending death
+    std::size_t pending = 0;        // launched but not yet joined
+    int next_incarnation = 1;
+    Stats stats;
+    // Per-group counters ("rm.launches.<service>", ...), resolved once.
+    obs::Counter* launches = nullptr;
+    obs::Counter* proactive_launches = nullptr;
+    obs::Counter* reactive_launches = nullptr;
+  };
+
   sim::Task<void> pump();
-  sim::Task<void> launch_one(bool proactive);
-  void reconcile(bool proactive_trigger);
+  sim::Task<void> launch_one(Group& group, bool proactive);
+  void reconcile(Group& group, bool proactive_trigger);
+  void handle_view(Group& group, const gc::Event& event);
+  [[nodiscard]] std::size_t live_in(const Group& group) const;
+  [[nodiscard]] Group* find_group(const std::string& service);
+  [[nodiscard]] const Group* find_group(const std::string& service) const;
 
   net::ProcessPtr proc_;
   RecoveryManagerConfig cfg_;
   Factory factory_;
-  // Hot-path counters, resolved once at construction (registry refs stay
-  // valid for the simulation's lifetime).
+  // Aggregate hot-path counters, resolved once at construction (registry
+  // refs stay valid for the simulation's lifetime).
   obs::Counter& launches_;
   obs::Counter& proactive_launches_;
   obs::Counter& reactive_launches_;
   std::unique_ptr<gc::GcClient> gc_;
-  gc::View view_;
-  std::set<std::string> doomed_;  // replicas that announced impending death
-  std::size_t pending_ = 0;       // launched but not yet joined
-  int next_incarnation_ = 1;
-  Stats stats_;
+  std::vector<std::unique_ptr<Group>> groups_;
+  std::map<std::string, Group*> by_replica_group_;  // "mead/<svc>/replicas"
+  std::map<std::string, Group*> by_control_group_;  // "mead/<svc>/control"
+  Stats totals_;
 };
 
 }  // namespace mead::core

@@ -111,6 +111,49 @@ TEST(TestbedTest, RecoveryManagerReplacesCrashedReplica) {
   EXPECT_EQ(bed.recovery_manager().stats().reactive_launches, 4u);  // 3 boot + 1
 }
 
+TEST(TestbedTest, TopologyRolesNameTheSpecialNodes) {
+  // The paper's layout by named role, not magic indices: naming + RM on
+  // node5, client on node4, replicas striped over node1..node3.
+  Testbed bed(quiet_options(core::RecoveryScheme::kMeadMessage));
+  EXPECT_EQ(bed.naming_host(), "node5");
+  EXPECT_EQ(bed.client_host(), "node4");
+  ASSERT_TRUE(bed.start());
+  EXPECT_EQ(bed.primary_group().hosts(),
+            (std::vector<std::string>{"node1", "node2", "node3"}));
+  for (auto& r : bed.replicas()) {
+    EXPECT_NE(r->process().host(), bed.naming_host()) << r->member();
+    EXPECT_NE(r->process().host(), bed.client_host()) << r->member();
+  }
+}
+
+TEST(TestbedTest, PlacementCyclesOverGroupHostSet) {
+  // Placement must derive from the group's own host set, not a hardwired
+  // "% 3": with two hosts, incarnation 3 cycles back to the first host.
+  TestbedOptions o = quiet_options(core::RecoveryScheme::kReactiveNoCache);
+  o.replica_count = 2;
+  Testbed bed(o);
+  ASSERT_TRUE(bed.start());
+  ASSERT_EQ(bed.replicas().size(), 2u);
+  EXPECT_EQ(bed.primary_group().hosts(),
+            (std::vector<std::string>{"node1", "node2"}));
+  EXPECT_EQ(bed.replicas()[0]->process().host(), "node1");
+  EXPECT_EQ(bed.replicas()[1]->process().host(), "node2");
+  bed.replicas()[0]->process().kill();
+  bed.sim().run_for(seconds(1));
+  ASSERT_EQ(bed.replicas().size(), 3u);
+  EXPECT_EQ(bed.replicas()[2]->process().host(), "node1");  // (3-1) % 2 -> first
+}
+
+TEST(TestbedTest, RejectsPlacementWiderThanWorkerPool) {
+  TestbedOptions o = quiet_options(core::RecoveryScheme::kMeadMessage);
+  o.replica_count = 4;  // paper topology has only three workers
+  Testbed bed(o);
+  auto up = bed.start();
+  ASSERT_FALSE(up);
+  EXPECT_NE(up.error().reason.find("worker"), std::string::npos)
+      << up.error().reason;
+}
+
 TEST(TestbedTest, WarmPassiveStateReachesBackups) {
   Testbed bed(quiet_options(core::RecoveryScheme::kMeadMessage));
   ASSERT_TRUE(bed.start());

@@ -36,29 +36,37 @@ class RmWorld : public ::testing::Test {
     std::unique_ptr<gc::GcClient> gc;
   };
 
-  FakeReplica spawn_fake_replica(int incarnation) {
+  FakeReplica spawn_fake_replica(const std::string& service, int incarnation) {
     FakeReplica r;
     const std::string host = hosts_[static_cast<std::size_t>(incarnation - 1) % 3];
+    // Deliberately the same member name per incarnation number in every
+    // group: per-group isolation must come from the group key, not the
+    // member string.
     r.proc = net_.spawn_process(host, "replica");
     r.gc = std::make_unique<gc::GcClient>(
-        *r.proc, "replica/" + std::to_string(incarnation),
+        *r.proc, service + "/replica/" + std::to_string(incarnation),
         net::Endpoint{host, gc::kDefaultDaemonPort});
-    auto boot = [](gc::GcClient& c) -> sim::Task<void> {
+    auto boot = [](gc::GcClient& c, std::string svc) -> sim::Task<void> {
       const bool ok = co_await c.connect();
-      if (ok) (void)co_await c.join(replica_group("TimeOfDay"));
+      if (ok) (void)co_await c.join(replica_group(svc));
     };
-    sim_.spawn(boot(*r.gc));
+    sim_.spawn(boot(*r.gc, service));
     return r;
   }
 
   std::unique_ptr<RecoveryManager> make_rm(std::size_t target = 3) {
+    return make_multi_rm({GroupTarget{"TimeOfDay", target}});
+  }
+
+  std::unique_ptr<RecoveryManager> make_multi_rm(std::vector<GroupTarget> targets) {
     RecoveryManagerConfig cfg;
-    cfg.service = "TimeOfDay";
     cfg.daemon = net::Endpoint{hosts_[0], gc::kDefaultDaemonPort};
-    cfg.target_degree = target;
+    cfg.groups = std::move(targets);
     rm_proc_ = net_.spawn_process(hosts_[0], "rm");
     auto rm = std::make_unique<RecoveryManager>(
-        rm_proc_, cfg, [this](int inc) { replicas_.push_back(spawn_fake_replica(inc)); });
+        rm_proc_, cfg, [this](const std::string& service, int inc) {
+          replicas_.push_back(spawn_fake_replica(service, inc));
+        });
     auto boot = [](RecoveryManager& m, bool& ok) -> sim::Task<void> {
       ok = co_await m.start();
     };
@@ -181,6 +189,73 @@ TEST_F(RmWorld, CascadingCrashesAllReplaced) {
   sim_.run_for(milliseconds(200));
   EXPECT_EQ(rm->live_replicas(), 3u);
   EXPECT_EQ(rm->stats().launches, 6u);
+}
+
+TEST_F(RmWorld, MultiGroupBootstrapsEachTarget) {
+  auto rm = make_multi_rm({GroupTarget{"Alpha", 3}, GroupTarget{"Beta", 2}});
+  sim_.run_for(milliseconds(100));
+  EXPECT_TRUE(rm_up_);
+  EXPECT_EQ(replicas_.size(), 5u);
+  EXPECT_EQ(rm->live_replicas(), 5u);
+  EXPECT_EQ(rm->live_replicas("Alpha"), 3u);
+  EXPECT_EQ(rm->live_replicas("Beta"), 2u);
+  ASSERT_NE(rm->stats("Alpha"), nullptr);
+  ASSERT_NE(rm->stats("Beta"), nullptr);
+  EXPECT_EQ(rm->stats("Alpha")->launches, 3u);
+  EXPECT_EQ(rm->stats("Beta")->launches, 2u);
+  EXPECT_EQ(rm->stats().launches, 5u);
+  EXPECT_EQ(rm->stats("Gamma"), nullptr);  // unsupervised service
+}
+
+TEST_F(RmWorld, CrashInOneGroupDoesNotLaunchInAnother) {
+  auto rm = make_multi_rm({GroupTarget{"Alpha", 2}, GroupTarget{"Beta", 2}});
+  sim_.run_for(milliseconds(100));
+  ASSERT_EQ(replicas_.size(), 4u);
+  // Incarnation numbering restarts per group, so both groups own a member
+  // whose name ends in "replica/1"; kill Alpha's.
+  std::size_t alpha1 = replicas_.size();
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    if (replicas_[i].gc->name() == "Alpha/replica/1") alpha1 = i;
+  }
+  ASSERT_LT(alpha1, replicas_.size());
+  replicas_[alpha1].proc->kill();
+  sim_.run_for(milliseconds(100));
+  EXPECT_EQ(replicas_.size(), 5u);
+  EXPECT_EQ(rm->live_replicas("Alpha"), 2u);
+  EXPECT_EQ(rm->live_replicas("Beta"), 2u);
+  EXPECT_EQ(rm->stats("Alpha")->reactive_launches, 3u);
+  EXPECT_EQ(rm->stats("Beta")->reactive_launches, 2u);
+  // Beta's incarnation counter never moved.
+  EXPECT_EQ(rm->next_incarnation("Beta"), 3);
+  EXPECT_EQ(rm->next_incarnation("Alpha"), 4);
+}
+
+TEST_F(RmWorld, LaunchRequestRoutedByControlGroup) {
+  // The same doomed member name announced on Beta's control group must
+  // spawn a Beta spare, not an Alpha one: routing is by group key alone.
+  auto rm = make_multi_rm({GroupTarget{"Alpha", 2}, GroupTarget{"Beta", 2}});
+  sim_.run_for(milliseconds(100));
+  ASSERT_EQ(replicas_.size(), 4u);
+
+  auto requester = std::make_unique<gc::GcClient>(
+      *replicas_[0].proc, "ft/replica/1",
+      net::Endpoint{hosts_[0], gc::kDefaultDaemonPort});
+  auto boot = [](gc::GcClient& c) -> sim::Task<void> { (void)co_await c.connect(); };
+  auto shout = [](gc::GcClient& c) -> sim::Task<void> {
+    (void)co_await c.multicast(
+        control_group("Beta"),
+        encode_launch_request(LaunchRequest{"Beta/replica/1", 0.83}));
+  };
+  sim_.spawn(boot(*requester));
+  sim_.run_for(milliseconds(10));
+  sim_.spawn(shout(*requester));
+  sim_.run_for(milliseconds(100));
+
+  EXPECT_EQ(replicas_.size(), 5u);
+  EXPECT_EQ(rm->stats("Beta")->proactive_launches, 1u);
+  EXPECT_EQ(rm->stats("Alpha")->proactive_launches, 0u);
+  EXPECT_EQ(rm->stats().proactive_launches, 1u);
+  EXPECT_EQ(rm->live_replicas("Beta"), 3u);  // spare joined; doom not realized
 }
 
 TEST_F(RmWorld, TargetDegreeOneIsMinimal) {

@@ -131,6 +131,63 @@ TEST_F(RegistryTest, LookupByKeyHashValidates) {
   EXPECT_FALSE(reg_.lookup_by_key_hash(good, "r9").has_value());
 }
 
+TEST_F(RegistryTest, ViewShrinkingToEmptyClearsEverything) {
+  reg_.on_view(view_of({"r1", "r2", "r3"}));
+  for (int i = 1; i <= 3; ++i) {
+    reg_.on_announce(make_announce("r" + std::to_string(i),
+                                   "node" + std::to_string(i),
+                                   static_cast<std::uint16_t>(20000 + i)));
+  }
+  ASSERT_EQ(reg_.known_count(), 3u);
+  // Total group failure: the daemon delivers an empty view.
+  reg_.on_view(view_of({}, 2));
+  EXPECT_EQ(reg_.known_count(), 0u);
+  EXPECT_FALSE(reg_.first().has_value());
+  EXPECT_FALSE(reg_.next_after("r1").has_value());
+  EXPECT_TRUE(reg_.listed().empty());
+  // A survivor of the next view starts from a clean slate.
+  reg_.on_view(view_of({"r4"}, 3));
+  reg_.on_announce(make_announce("r4", "node1", 20004));
+  EXPECT_EQ(reg_.first()->member, "r4");
+}
+
+TEST_F(RegistryTest, NextAfterWrapsPastUnannouncedTail) {
+  // Wraparound must skip every endpoint-less member it passes, including
+  // the ones *before* the starting member once the scan wraps.
+  reg_.on_view(view_of({"rm", "r1", "stale", "r2", "warming"}));
+  reg_.on_announce(make_announce("r1", "node1", 20001));
+  reg_.on_announce(make_announce("r2", "node2", 20002));
+  // Forward within the view: skips "stale".
+  EXPECT_EQ(reg_.next_after("r1")->member, "r2");
+  // From the last announced member the scan wraps over "warming" and "rm"
+  // back to r1.
+  EXPECT_EQ(reg_.next_after("r2")->member, "r1");
+  // Starting from an unannounced member still lands on an announced one.
+  EXPECT_EQ(reg_.next_after("warming")->member, "r1");
+}
+
+TEST_F(RegistryTest, TwoGroupsWithOverlappingMemberNamesStayIsolated) {
+  // Two services may both have a member literally named "replica/1"; each
+  // group's registry must keep its own endpoint for it.
+  ReplicaRegistry alpha;
+  ReplicaRegistry beta;
+  alpha.on_view(view_of({"replica/1", "replica/2"}));
+  beta.on_view(view_of({"replica/1"}));
+  alpha.on_announce(make_announce("replica/1", "node1", 20001));
+  beta.on_announce(make_announce("replica/1", "node7", 21001));
+
+  ASSERT_TRUE(alpha.find("replica/1").has_value());
+  ASSERT_TRUE(beta.find("replica/1").has_value());
+  EXPECT_EQ(alpha.find("replica/1")->endpoint, (net::Endpoint{"node1", 20001}));
+  EXPECT_EQ(beta.find("replica/1")->endpoint, (net::Endpoint{"node7", 21001}));
+
+  // Killing the member in one group leaves the twin untouched.
+  alpha.on_view(view_of({"replica/2"}, 2));
+  EXPECT_FALSE(alpha.find("replica/1").has_value());
+  EXPECT_TRUE(beta.find("replica/1").has_value());
+  EXPECT_EQ(beta.known_count(), 1u);
+}
+
 TEST_F(RegistryTest, ListedPreservesViewOrder) {
   reg_.on_view(view_of({"r3", "r1", "r2"}));
   reg_.on_announce(make_announce("r1", "node1", 20001));
