@@ -74,7 +74,16 @@ ServiceGroup::ServiceGroup(net::Network& net, ServiceGroupSpec spec,
     : net_(net), spec_(std::move(spec)), naming_host_(std::move(naming_host)),
       calib_(calib) {}
 
-void ServiceGroup::spawn_replica(int incarnation) {
+bool ServiceGroup::spawn_replica(int incarnation, const std::string& host_hint) {
+  // Incarnations round-robin over the group's own host set (one live
+  // replica per host, which the Naming rebind-by-host convention needs),
+  // unless the Recovery Manager restriped the launch onto a specific host.
+  const std::string& host =
+      host_hint.empty()
+          ? spec_.hosts[static_cast<std::size_t>(incarnation - 1) %
+                        spec_.hosts.size()]
+          : host_hint;
+  if (!net_.node_alive(host)) return false;
   ReplicaOptions ro;
   ro.service = spec_.service;
   ro.scheme = spec_.scheme;
@@ -88,12 +97,8 @@ void ServiceGroup::spawn_replica(int incarnation) {
   ro.port = static_cast<std::uint16_t>(spec_.base_port + incarnation);
   ro.naming_host = naming_host_;
   ro.state_sync = spec_.state_sync;
-  // Incarnations round-robin over the group's own host set (one live
-  // replica per host, which the Naming rebind-by-host convention needs).
-  const std::string& host =
-      spec_.hosts[static_cast<std::size_t>(incarnation - 1) %
-                  spec_.hosts.size()];
   replicas_.push_back(TimeOfDayReplica::launch(net_, host, std::move(ro)));
+  return true;
 }
 
 std::size_t ServiceGroup::live_replica_count() const {

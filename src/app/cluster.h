@@ -20,6 +20,7 @@
 #include "app/calibration.h"
 #include "app/replica.h"
 #include "app/timeofday.h"
+#include "core/config.h"
 #include "net/network.h"
 
 namespace mead::app {
@@ -74,6 +75,11 @@ struct ServiceGroupSpec {
   /// Explicit placement set (must hold replica_count distinct hosts).
   /// Empty: striped from the topology's worker pool.
   std::vector<std::string> hosts;
+  /// kCycle (default): incarnations round-robin over `hosts` — the paper's
+  /// static placement. kRestripe: the Recovery Manager picks the first
+  /// alive, unoccupied host (hosts, then the topology's worker pool), so
+  /// relaunches route around crashed nodes.
+  core::PlacementPolicy placement = core::PlacementPolicy::kCycle;
 
   /// GC member name of one incarnation. The paper's default group keeps
   /// the historical bare "replica/N" names (seed-trace compatibility);
@@ -95,8 +101,10 @@ class ServiceGroup {
   ServiceGroup& operator=(const ServiceGroup&) = delete;
 
   /// Recovery Manager factory hook: builds incarnation `incarnation` on
-  /// the host derived from the group's placement set.
-  void spawn_replica(int incarnation);
+  /// `host_hint` when given (restripe placement), otherwise on the host the
+  /// group's own round-robin cycle derives. Returns false — releasing the
+  /// launch slot — when the target host does not exist (e.g. crashed away).
+  bool spawn_replica(int incarnation, const std::string& host_hint = {});
 
   [[nodiscard]] const ServiceGroupSpec& spec() const { return spec_; }
   [[nodiscard]] const std::string& service() const { return spec_.service; }

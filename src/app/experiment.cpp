@@ -19,6 +19,7 @@ TestbedOptions testbed_options(const ExperimentSpec& spec) {
   opts.replica_count = spec.replica_count;
   opts.topology = spec.topology;
   opts.groups = spec.groups;
+  opts.chaos = spec.chaos;
   return opts;
 }
 
@@ -44,6 +45,8 @@ StartResult Experiment::start() {
   timeouts0_ = delta("client.query_timeouts");
   forwards0_ = delta("orb.forwards_followed");
   proactive0_ = delta("rm.proactive_launches");
+  chaos0_ = delta("chaos.faults");
+  restripes0_ = delta("rm.restripe.placements");
   for (const auto& g : bed_.groups()) {
     GroupBaseline base;
     base.deaths0 = g->replica_deaths();
@@ -64,6 +67,7 @@ void Experiment::launch_client() {
     copts.spacing = spec_.spacing;
     copts.query_timeout = spec_.query_timeout;
     copts.service = g->service();
+    copts.invoke_timeout = spec_.invoke_timeout;
     clients_.push_back(std::make_unique<ExperimentClient>(bed_, copts));
     bed_.sim().spawn(clients_.back()->run());
   }
@@ -94,6 +98,8 @@ ExperimentResult Experiment::collect() const {
   out.forwards = delta("orb.forwards_followed") - forwards0_;
   out.proactive_launches = delta("rm.proactive_launches") - proactive0_;
   out.sim_events = bed_.sim().events_processed();
+  out.chaos_faults = delta("chaos.faults") - chaos0_;
+  out.restripes = delta("rm.restripe.placements") - restripes0_;
   const auto& groups = bed_.groups();
   for (std::size_t i = 0; i < groups.size() && i < group_base_.size(); ++i) {
     const ServiceGroup& g = *groups[i];

@@ -42,6 +42,14 @@ struct ExperimentSpec {
   /// from the scalar fields above. Each group gets its own measurement
   /// client issuing `invocations` requests.
   std::vector<ServiceGroupSpec> groups;
+  /// Declarative fault schedule replayed once the world is up. Empty (the
+  /// default): no chaos machinery is constructed at all.
+  fault::ChaosSchedule chaos;
+  /// Per-invocation reply deadline for every measurement client. Unset
+  /// (default): clients wait indefinitely — required under chaos schedules
+  /// that partition the client away from a primary, where no EOF ever
+  /// arrives to break the wait.
+  std::optional<Duration> invoke_timeout;
 };
 
 /// Measurement-window counters for one service group.
@@ -70,6 +78,8 @@ struct ExperimentResult {
   std::uint64_t forwards = 0;
   std::uint64_t proactive_launches = 0;
   std::uint64_t sim_events = 0;        // kernel events processed by the run
+  std::uint64_t chaos_faults = 0;      // scheduled faults executed
+  std::uint64_t restripes = 0;         // restripe placements ("rm.restripe.placements")
   double wall_ms = 0;                  // real (host) time spent in run()
   /// One entry per hosted group, in spec order.
   std::vector<GroupResult> group_results;
@@ -157,6 +167,8 @@ class Experiment {
   std::uint64_t timeouts0_ = 0;
   std::uint64_t forwards0_ = 0;
   std::uint64_t proactive0_ = 0;
+  std::uint64_t chaos0_ = 0;
+  std::uint64_t restripes0_ = 0;
 };
 
 /// One-shot convenience wrapper.

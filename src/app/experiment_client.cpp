@@ -66,6 +66,8 @@ ExperimentClient::ExperimentClient(Testbed& bed, ClientOptions opts)
   }
   orb_ = std::make_unique<orb::Orb>(*proc_, *api,
                                     bed_.options().calib.client_costs());
+  // Naming shares the orb, so resolves are covered by the deadline too.
+  if (opts_.invoke_timeout) orb_->set_invoke_timeout(*opts_.invoke_timeout);
   naming_ = std::make_unique<naming::NamingClient>(*orb_, bed_.naming_ref());
 }
 

@@ -41,6 +41,10 @@ struct ClientOptions {
   /// Process + obs actor label; empty derives "client" for the paper's
   /// group and "<service>/client" otherwise.
   std::string label;
+  /// Reply deadline per invocation (reported as a CommFailure). Unset:
+  /// wait indefinitely — the pre-chaos behaviour, where a dead server
+  /// always surfaces as EOF. Chaos partitions need the deadline.
+  std::optional<Duration> invoke_timeout;
 };
 
 struct ClientResults {

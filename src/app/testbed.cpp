@@ -156,13 +156,24 @@ StartResult Testbed::start() {
   rm_cfg.groups.clear();
   std::size_t target_total = 0;
   for (const auto& g : groups_) {
-    rm_cfg.groups.emplace_back(g->service(), g->spec().replica_count);
+    core::GroupTarget target{g->service(), g->spec().replica_count};
+    target.placement = g->spec().placement;
+    if (target.placement == core::PlacementPolicy::kRestripe) {
+      target.hosts = g->hosts();
+      // Spill pool: the whole worker set, so a group survives losing its
+      // own placement hosts as long as any worker node is still alive.
+      target.spares = opts_.topology.worker_nodes;
+    }
+    rm_cfg.groups.push_back(std::move(target));
     target_total += g->spec().replica_count;
   }
   rm_proc_ = net_.spawn_process(naming_host(), "recovery-manager");
   rm_ = std::make_unique<core::RecoveryManager>(
-      rm_proc_, rm_cfg, [this](const std::string& service, int incarnation) {
-        if (ServiceGroup* g = group(service)) g->spawn_replica(incarnation);
+      rm_proc_, rm_cfg,
+      [this](const std::string& service, int incarnation,
+             const std::string& host) {
+        ServiceGroup* g = group(service);
+        return g != nullptr && g->spawn_replica(incarnation, host);
       });
 
   bool rm_up = false;
@@ -195,6 +206,48 @@ StartResult Testbed::start() {
   }
   sim_.obs().emit(obs::EventKind::kWorldUp, "testbed", "",
                   static_cast<double>(target_total));
+  if (!opts_.chaos.empty()) {
+    if (std::string err = arm_chaos(); !err.empty()) return start_error(err);
+  }
+  return {};
+}
+
+std::string Testbed::arm_chaos() {
+  for (const auto& ev : opts_.chaos.events) {
+    if ((ev.kind == fault::FaultKind::kCrashProcess ||
+         ev.kind == fault::FaultKind::kLeakBurst) &&
+        group(ev.target) == nullptr) {
+      return "chaos: no service group named '" + ev.target + "'";
+    }
+  }
+  chaos_ = std::make_unique<fault::ChaosController>(net_, opts_.chaos);
+  if (std::string err = chaos_->validate(); !err.empty()) return err;
+  // Process-level faults hit the group's oldest live incarnation — the
+  // replica currently serving clients under the warm-passive scheme.
+  chaos_->set_crash_process_hook([this](const std::string& service) {
+    ServiceGroup* g = group(service);
+    if (g == nullptr) return false;
+    for (const auto& r : g->replicas()) {
+      if (r->alive()) {
+        r->process().kill();
+        return true;
+      }
+    }
+    return false;
+  });
+  chaos_->set_leak_burst_hook(
+      [this](const std::string& service, std::size_t bytes) {
+        ServiceGroup* g = group(service);
+        if (g == nullptr) return false;
+        for (const auto& r : g->replicas()) {
+          if (r->alive() && r->leak() != nullptr) {
+            r->leak()->burst(bytes);
+            return true;
+          }
+        }
+        return false;
+      });
+  chaos_->arm();
   return {};
 }
 

@@ -18,6 +18,7 @@
 #include "app/replica.h"
 #include "common/expected.h"
 #include "core/recovery_manager.h"
+#include "fault/chaos.h"
 #include "gc/daemon.h"
 #include "naming/naming.h"
 #include "net/network.h"
@@ -56,6 +57,10 @@ struct TestbedOptions {
   /// The replicated service groups to host. Empty: one group built from
   /// the scalar shorthand above.
   std::vector<ServiceGroupSpec> groups;
+  /// Declarative sim-time fault schedule, armed when start() succeeds.
+  /// Empty (the default) leaves the run fault-free and byte-identical to
+  /// the pre-chaos testbed.
+  fault::ChaosSchedule chaos;
 };
 
 class Testbed {
@@ -112,6 +117,16 @@ class Testbed {
 
   [[nodiscard]] core::RecoveryManager& recovery_manager() { return *rm_; }
 
+  /// The per-node group-communication daemons, in topology node order.
+  [[nodiscard]] const std::vector<std::unique_ptr<gc::GcDaemon>>& daemons()
+      const {
+    return daemons_;
+  }
+
+  /// The armed fault schedule's controller; null when `options().chaos` is
+  /// empty or start() has not succeeded yet.
+  [[nodiscard]] fault::ChaosController* chaos() { return chaos_.get(); }
+
   /// Total group-communication bytes delivered so far (daemon port 4803) —
   /// the Figure 5 measurement.
   [[nodiscard]] std::uint64_t gc_bytes() const {
@@ -123,6 +138,10 @@ class Testbed {
   /// placement) and validates it against the topology. Returns the reason
   /// on failure.
   [[nodiscard]] std::string materialize_groups();
+  /// Validates the schedule's targets, installs the process-level fault
+  /// hooks, and arms every event on the simulator clock. Returns the reason
+  /// on failure.
+  [[nodiscard]] std::string arm_chaos();
 
   TestbedOptions opts_;
   sim::Simulator sim_;
@@ -134,6 +153,7 @@ class Testbed {
   naming::NamingServerBundle naming_;
   net::ProcessPtr rm_proc_;
   std::unique_ptr<core::RecoveryManager> rm_;
+  std::unique_ptr<fault::ChaosController> chaos_;
 };
 
 }  // namespace mead::app

@@ -36,6 +36,20 @@ enum class RecoveryScheme {
          s == RecoveryScheme::kMeadMessage;
 }
 
+/// How the Recovery Manager chooses a host for a new replica incarnation.
+enum class PlacementPolicy : std::uint8_t {
+  kCycle,     // hosts[(incarnation-1) % size] — the paper's static cycle
+  kRestripe,  // first live, unoccupied host from the group's set + spares
+};
+
+[[nodiscard]] constexpr std::string_view to_string(PlacementPolicy p) {
+  switch (p) {
+    case PlacementPolicy::kCycle: return "cycle";
+    case PlacementPolicy::kRestripe: return "restripe";
+  }
+  return "?";
+}
+
 /// Virtual CPU charged by the interceptors — the per-scheme overhead knobs
 /// behind Table 1's "Increase in RTT" column (see app/calibration.h).
 struct InterceptorCosts {

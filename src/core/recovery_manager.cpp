@@ -13,7 +13,11 @@ RecoveryManager::RecoveryManager(net::ProcessPtr proc,
       proactive_launches_(
           proc_->sim().obs().metrics().counter("rm.proactive_launches")),
       reactive_launches_(
-          proc_->sim().obs().metrics().counter("rm.reactive_launches")) {
+          proc_->sim().obs().metrics().counter("rm.reactive_launches")),
+      restripe_placements_(
+          proc_->sim().obs().metrics().counter("rm.restripe.placements")),
+      restripe_skipped_(
+          proc_->sim().obs().metrics().counter("rm.restripe.skipped")) {
   gc_ = std::make_unique<gc::GcClient>(*proc_, cfg_.member, cfg_.daemon);
   auto& metrics = proc_->sim().obs().metrics();
   for (const auto& target : cfg_.groups) {
@@ -24,13 +28,23 @@ RecoveryManager::RecoveryManager(net::ProcessPtr proc,
         &metrics.counter("rm.proactive_launches." + target.service);
     group->reactive_launches =
         &metrics.counter("rm.reactive_launches." + target.service);
+    group->restripe_placements =
+        &metrics.counter("rm.restripe.placements." + target.service);
+    group->restripe_skipped =
+        &metrics.counter("rm.restripe.skipped." + target.service);
     by_replica_group_[replica_group(target.service)] = group.get();
     by_control_group_[control_group(target.service)] = group.get();
     groups_.push_back(std::move(group));
   }
+  // Whole-node crashes free any launch slots reserved on the dead host;
+  // a view change alone cannot, since the reserved replica never joined.
+  crash_observer_ = proc_->network().add_crash_observer(
+      [this](const std::string& host) { on_node_crash(host); });
 }
 
-RecoveryManager::~RecoveryManager() = default;
+RecoveryManager::~RecoveryManager() {
+  proc_->network().remove_crash_observer(crash_observer_);
+}
 
 RecoveryManager::Group* RecoveryManager::find_group(const std::string& service) {
   auto it = by_replica_group_.find(replica_group(service));
@@ -149,6 +163,7 @@ sim::Task<void> RecoveryManager::pump() {
       auto it = by_replica_group_.find(event.group);
       if (it == by_replica_group_.end()) continue;
       if (ctrl->kind == CtrlKind::kAnnounce && ctrl->announce) {
+        it->second->reserved.erase(ctrl->announce->endpoint.host);
         it->second->registry.on_announce(*ctrl->announce);
       } else if (ctrl->kind == CtrlKind::kListing && ctrl->listing) {
         it->second->registry.on_listing(*ctrl->listing);
@@ -187,12 +202,77 @@ sim::Task<void> RecoveryManager::launch_one(Group& group, bool proactive) {
   }
   const bool alive = co_await proc_->sleep(cfg_.launch_delay);
   if (!alive) co_return;
+  std::string host;  // empty: the application applies its own cycle
+  if (group.target.placement == PlacementPolicy::kRestripe) {
+    auto choice = choose_host(group, incarnation);
+    if (!choice) {
+      // No live, unoccupied host right now. Abandon the slot — the next
+      // membership change (or node-crash notification) reconciles again,
+      // by which point a host may have freed up. The incarnation number is
+      // burned; gaps are fine, monotonicity is what matters.
+      group.pending -= std::min<std::size_t>(group.pending, 1);
+      group.restripe_skipped->add();
+      restripe_skipped_.add();
+      co_return;
+    }
+    host = std::move(*choice);
+    group.reserved.insert(host);
+    group.restripe_placements->add();
+    restripe_placements_.add();
+    proc_->sim().obs().emit(obs::EventKind::kRestripe, cfg_.member,
+                            group.target.service + ":" + host,
+                            static_cast<double>(incarnation));
+  }
   LogLine(proc_->sim().log(), LogLevel::kInfo, "rm")
       << "launching replica incarnation " << incarnation;
   proc_->sim().obs().emit(obs::EventKind::kReplicaLaunched, cfg_.member,
                           proactive ? "proactive" : "reactive",
                           static_cast<double>(incarnation));
-  factory_(group.target.service, incarnation);
+  if (!factory_(group.target.service, incarnation, host)) {
+    group.pending -= std::min<std::size_t>(group.pending, 1);
+    if (!host.empty()) group.reserved.erase(host);
+  }
+}
+
+std::optional<std::string> RecoveryManager::choose_host(
+    const Group& group, int incarnation) const {
+  std::vector<std::string> candidates = group.target.hosts;
+  for (const auto& h : group.target.spares) {
+    if (std::find(candidates.begin(), candidates.end(), h) ==
+        candidates.end()) {
+      candidates.push_back(h);
+    }
+  }
+  if (candidates.empty()) return std::nullopt;
+  // Occupied = hosts of announced live members, plus in-flight reservations.
+  std::set<std::string> occupied = group.reserved;
+  for (const auto& m : group.registry.view().members) {
+    if (m == cfg_.member) continue;
+    if (auto rec = group.registry.find(m)) occupied.insert(rec->endpoint.host);
+  }
+  const net::Network& net = proc_->network();
+  // Start where the cycle would have placed this incarnation, so restripe
+  // degenerates to the cycle whenever every host is alive and free.
+  const auto start =
+      static_cast<std::size_t>(incarnation - 1) % candidates.size();
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const std::string& h = candidates[(start + i) % candidates.size()];
+    if (!net.node_alive(h)) continue;
+    if (occupied.contains(h)) continue;
+    return h;
+  }
+  return std::nullopt;
+}
+
+void RecoveryManager::on_node_crash(const std::string& host) {
+  for (auto& g : groups_) {
+    // A launch reserved onto the crashed host died before joining any view;
+    // without this release the group under-shoots its degree forever.
+    if (g->reserved.erase(host) > 0) {
+      g->pending -= std::min<std::size_t>(g->pending, 1);
+      reconcile(*g, /*proactive_trigger=*/false);
+    }
+  }
 }
 
 }  // namespace mead::core

@@ -21,6 +21,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <set>
 #include <string>
 #include <vector>
@@ -41,6 +42,17 @@ struct GroupTarget {
 
   std::string service = "TimeOfDay";
   std::size_t target_degree = 3;  // the paper runs three warm replicas
+
+  /// kCycle leaves host choice to the application's own per-group cycle
+  /// (factory receives an empty host — the pre-placement behaviour, and
+  /// the default). kRestripe picks the first alive, unoccupied host from
+  /// `hosts` (then `spares`), scanning from the cycle's starting point, so
+  /// replacements route around crashed workers.
+  PlacementPolicy placement = PlacementPolicy::kCycle;
+  /// The group's preferred placement set (required for kRestripe).
+  std::vector<std::string> hosts;
+  /// Extra hosts kRestripe may spill onto once `hosts` has no candidate.
+  std::vector<std::string> spares;
 };
 
 struct RecoveryManagerConfig {
@@ -59,9 +71,12 @@ class RecoveryManager {
  public:
   /// Called (after launch_delay) for every replica to be launched;
   /// `incarnation` is unique and increasing *within its group*. The factory
-  /// builds the whole replica process (node placement and port allocation
-  /// are the application's per-group policy).
-  using Factory = std::function<void(const std::string& service, int incarnation)>;
+  /// builds the whole replica process. `host` is empty under kCycle (the
+  /// application applies its own per-group placement) and names the chosen
+  /// host under kRestripe. Returns false if the replica could not be
+  /// spawned, releasing the launch slot.
+  using Factory = std::function<bool(const std::string& service,
+                                     int incarnation, const std::string& host)>;
 
   RecoveryManager(net::ProcessPtr proc, RecoveryManagerConfig cfg,
                   Factory factory);
@@ -104,16 +119,27 @@ class RecoveryManager {
     std::size_t pending = 0;        // launched but not yet joined
     int next_incarnation = 1;
     Stats stats;
+    /// Hosts with a restripe launch in flight (reserved at host choice,
+    /// released when the replica announces or the launch fails), so burst
+    /// relaunches of one group never stack onto a single worker.
+    std::set<std::string> reserved;
     // Per-group counters ("rm.launches.<service>", ...), resolved once.
     obs::Counter* launches = nullptr;
     obs::Counter* proactive_launches = nullptr;
     obs::Counter* reactive_launches = nullptr;
+    obs::Counter* restripe_placements = nullptr;
+    obs::Counter* restripe_skipped = nullptr;
   };
 
   sim::Task<void> pump();
   sim::Task<void> launch_one(Group& group, bool proactive);
   void reconcile(Group& group, bool proactive_trigger);
   void handle_view(Group& group, const gc::Event& event);
+  void on_node_crash(const std::string& host);
+  /// kRestripe host choice; nullopt when no live, unoccupied host exists
+  /// (the launch slot is then abandoned until membership changes again).
+  [[nodiscard]] std::optional<std::string> choose_host(const Group& group,
+                                                      int incarnation) const;
   [[nodiscard]] std::size_t live_in(const Group& group) const;
   [[nodiscard]] Group* find_group(const std::string& service);
   [[nodiscard]] const Group* find_group(const std::string& service) const;
@@ -126,6 +152,9 @@ class RecoveryManager {
   obs::Counter& launches_;
   obs::Counter& proactive_launches_;
   obs::Counter& reactive_launches_;
+  obs::Counter& restripe_placements_;
+  obs::Counter& restripe_skipped_;
+  std::uint64_t crash_observer_ = 0;  // Network observer handle
   std::unique_ptr<gc::GcClient> gc_;
   std::vector<std::unique_ptr<Group>> groups_;
   std::map<std::string, Group*> by_replica_group_;  // "mead/<svc>/replicas"

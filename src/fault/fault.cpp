@@ -33,6 +33,13 @@ sim::Task<void> MemoryLeakInjector::leak_loop() {
   }
 }
 
+void MemoryLeakInjector::burst(std::size_t bytes) {
+  if (!proc_->alive()) return;
+  account_.consume(bytes);
+  if (on_tick_) on_tick_();
+  if (account_.exhausted() && cfg_.kill_on_exhaustion) proc_->kill();
+}
+
 void schedule_crash(net::Process& proc, Duration delay) {
   auto shared = proc.shared_from_this();
   proc.sim().schedule(delay, [shared] { shared->kill(); });

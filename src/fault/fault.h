@@ -86,6 +86,11 @@ class MemoryLeakInjector {
   /// Observer invoked after every tick (usage may have crossed a threshold).
   void set_on_tick(std::function<void()> fn) { on_tick_ = std::move(fn); }
 
+  /// One-shot exhaustion burst (chaos `leak_burst` fault): consumes `bytes`
+  /// immediately, fires the tick observer so proactive detection reacts, and
+  /// kills the process if the buffer is gone — exactly as a tick would.
+  void burst(std::size_t bytes);
+
  private:
   sim::Task<void> leak_loop();
 

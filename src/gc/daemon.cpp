@@ -108,7 +108,7 @@ sim::Task<void> GcDaemon::peer_monitor_loop() {
       const int fd = peer_fds_[peer];
       conns_.erase(fd);
       (void)proc_->api().close(fd);
-      handle_peer_gone(peer);
+      handle_peer_gone(peer, fd);
     }
   }
 }
@@ -197,7 +197,7 @@ sim::Task<void> GcDaemon::connection_loop(int fd) {
   conns_.erase(it);
   (void)proc_->api().close(fd);
   if (st.role == ConnState::Role::kClient) handle_client_gone(fd);
-  if (st.role == ConnState::Role::kPeer) handle_peer_gone(st.peer_id);
+  if (st.role == ConnState::Role::kPeer) handle_peer_gone(st.peer_id, fd);
 }
 
 void GcDaemon::handle_frame(int fd, const Frame& frame) {
@@ -262,6 +262,20 @@ void GcDaemon::handle_frame(int fd, const Frame& frame) {
       if (!m) return;
       st.role = ConnState::Role::kPeer;
       st.peer_id = m->daemon_id;
+      if (dead_daemons_.contains(m->daemon_id)) {
+        // A peer we declared dead dialed back in: the heal side of a
+        // partition fault. Bring it back to life on this link.
+        resurrect_peer(m->daemon_id, fd);
+        break;
+      }
+      // Asymmetric detection can leave a previous link to this peer open
+      // (it expelled us and redialed before we timed it out); the fresh
+      // link supersedes it.
+      auto old = peer_fds_.find(m->daemon_id);
+      if (old != peer_fds_.end() && old->second != fd) {
+        conns_.erase(old->second);
+        (void)proc_->api().close(old->second);
+      }
       peer_fds_[m->daemon_id] = fd;
       peer_last_seen_[m->daemon_id] = proc_->sim().now();
       on_peer_link_up();
@@ -270,16 +284,36 @@ void GcDaemon::handle_frame(int fd, const Frame& frame) {
     case Op::kSubmit: {
       auto m = decode_ordered_like(frame.payload);
       if (!m) return;
-      // Only the sequencer stamps; a stale submit (we stopped being
-      // sequencer) is dropped — the origin will resubmit. Before our mesh
-      // is complete, stamping would lose the broadcast to not-yet-connected
-      // daemons, so park it.
-      if (!is_sequencer()) break;
+      // Only the sequencer stamps. A submit that reaches a non-sequencer
+      // means the sender's notion of the sequencer is stale (a rejoin just
+      // reseated it); relay toward the daemon we believe sequences rather
+      // than dropping, so the origin need not wait for a resubmit cycle.
+      // Before our mesh is complete, stamping would lose the broadcast to
+      // not-yet-connected daemons, so park it.
+      if (!is_sequencer()) {
+        auto seq_fd = peer_fds_.find(sequencer_id());
+        if (seq_fd != peer_fds_.end()) {
+          spawn_write(seq_fd->second, encode_submit(m.value()));
+        }
+        break;
+      }
       if (!mesh_ready()) {
         stamp_wait_.push_back(std::move(m.value()));
         break;
       }
       stamp_and_dispatch(std::move(m.value()));
+      break;
+    }
+    case Op::kRejoin: {
+      auto m = decode_rejoin(frame.payload);
+      if (!m) return;
+      handle_rejoin(fd, m.value());
+      break;
+    }
+    case Op::kStateSync: {
+      auto m = decode_state_sync(frame.payload);
+      if (!m) return;
+      handle_state_sync(m.value());
       break;
     }
     case Op::kOrdered: {
@@ -427,7 +461,9 @@ sim::Task<void> GcDaemon::delayed_member_death(std::string member,
   }
 }
 
-void GcDaemon::handle_peer_gone(std::uint64_t peer_id) {
+void GcDaemon::handle_peer_gone(std::uint64_t peer_id, int fd) {
+  auto cur = peer_fds_.find(peer_id);
+  if (cur != peer_fds_.end() && cur->second != fd) return;  // stale link
   if (dead_daemons_.contains(peer_id)) return;  // EOF after a heartbeat
                                                 // timeout already handled it
   const bool sequencer_died = (sequencer_id() == peer_id);
@@ -465,6 +501,202 @@ void GcDaemon::handle_peer_gone(std::uint64_t peer_id) {
         leave.member = member;
         submit(std::move(leave));
       }
+    }
+  }
+
+  // Start re-probing: a partition heal never produces an event we could
+  // react to, so the only way back into the mesh is periodic redial. Lazy
+  // spawn keeps fault-free runs free of extra timers.
+  if (!probe_running_) {
+    probe_running_ = true;
+    proc_->sim().spawn(rejoin_probe_loop());
+  }
+}
+
+sim::Task<void> GcDaemon::rejoin_probe_loop() {
+  const Duration base = cfg_.rejoin_probe > Duration{0} ? cfg_.rejoin_probe
+                                                        : cfg_.heartbeat_interval;
+  const Duration cap =
+      cfg_.rejoin_probe_max > Duration{0} ? cfg_.rejoin_probe_max : base * 8;
+  auto& probes = proc_->sim().obs().metrics().counter("gc.rejoin_probes");
+  // The higher-indexed side of each severed pair dials: the expelled
+  // daemon probing back toward the (lower-indexed) sequencer. This mirrors
+  // a fixed-direction dial convention like mesh formation's, so a healed
+  // pair never cross-dials.
+  auto probe_worthy = [this] {
+    for (std::uint64_t peer : dead_daemons_) {
+      if (peer < cfg_.self_index && !unreachable_peers_.contains(peer)) {
+        return true;
+      }
+    }
+    return false;
+  };
+  Duration wait = base;
+  while (probe_worthy()) {
+    {
+      const bool alive_after_wait = co_await proc_->sleep(wait);
+      if (!alive_after_wait) co_return;
+    }
+    bool progress = false;
+    bool sent_rejoin = false;
+    bool round_recorded = false;
+    const std::vector<std::uint64_t> dead(dead_daemons_.begin(),
+                                          dead_daemons_.end());
+    for (std::uint64_t peer : dead) {
+      if (peer >= cfg_.self_index) continue;
+      if (unreachable_peers_.contains(peer)) continue;
+      if (!dead_daemons_.contains(peer)) continue;  // came back this round
+      if (!round_recorded) {
+        round_recorded = true;
+        rejoin_probe_times_.push_back(proc_->sim().now());
+      }
+      probes.add();
+      auto r = co_await proc_->api().connect(
+          net::Endpoint{cfg_.daemon_hosts[peer], cfg_.port});
+      if (!r) {
+        if (r.error() == net::NetErr::kProcessDead) co_return;
+        // Refused = the node is reachable but no daemon listens: it truly
+        // crashed and (in this world) never restarts. A timeout means the
+        // partition still holds — keep trying.
+        if (r.error() == net::NetErr::kConnRefused) {
+          unreachable_peers_.insert(peer);
+        }
+        continue;
+      }
+      const int fd = r.value();
+      ConnState st;
+      st.role = ConnState::Role::kPeer;
+      st.peer_id = peer;
+      conns_.emplace(fd, std::move(st));
+      spawn_write(fd, encode_peer_hello(PeerHelloMsg{cfg_.self_index}));
+      proc_->sim().spawn(connection_loop(fd));
+      resurrect_peer(peer, fd);
+      // Ask the first recovered peer — the lowest dead id, our best
+      // candidate for the authoritative side's sequencer — to arbitrate.
+      if (!sent_rejoin) {
+        send_rejoin(fd);
+        sent_rejoin = true;
+      }
+      progress = true;
+    }
+    wait = progress ? base : std::min(wait * 2, cap);
+  }
+  probe_running_ = false;
+}
+
+void GcDaemon::resurrect_peer(std::uint64_t peer_id, int fd) {
+  dead_daemons_.erase(peer_id);
+  alive_daemons_.insert(peer_id);
+  peer_fds_[peer_id] = fd;
+  peer_last_seen_[peer_id] = proc_->sim().now();
+  on_peer_link_up();
+}
+
+void GcDaemon::send_rejoin(int fd) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end() || it->second.rejoin_sent) return;
+  it->second.rejoin_sent = true;
+  spawn_write(fd, encode_rejoin(RejoinMsg{cfg_.self_index, next_seq_,
+                                          alive_daemons_.size(),
+                                          sequencer_id()}));
+}
+
+void GcDaemon::bump_seq_past(std::uint64_t foreign_next_seq) {
+  // Same jump as sequencer takeover: keep our stamps strictly above every
+  // stamp the foreign domain may have issued, so client-visible view ids
+  // stay monotone across the merge.
+  next_seq_ = std::max(next_seq_, foreign_next_seq + 1024);
+}
+
+void GcDaemon::handle_rejoin(int fd, const RejoinMsg& m) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  const ConnState& st = it->second;
+  const bool relayed =
+      st.role == ConnState::Role::kPeer && st.peer_id != m.daemon_id;
+  if (relayed) {
+    // A peer forwarded a rejoiner's request because we sequence: only the
+    // sequence-domain bump applies here — the link (and the snapshot reply)
+    // belong to the relaying daemon.
+    if (is_sequencer()) bump_seq_past(m.next_seq);
+    return;
+  }
+  if (dead_daemons_.contains(m.daemon_id)) resurrect_peer(m.daemon_id, fd);
+  // Arbitration: the side with the larger alive set is authoritative; ties
+  // go to the side whose sequencer has the lower id. The loser adopts the
+  // winner's group state and resubmits its local clients on top.
+  const std::uint64_t my_count = alive_daemons_.size();
+  const bool authority = my_count != m.alive_count
+                             ? my_count > m.alive_count
+                             : sequencer_id() <= m.sequencer_id;
+  if (authority) {
+    if (is_sequencer()) {
+      bump_seq_past(m.next_seq);
+    } else {
+      // Route the domain bump to the daemon that actually sequences.
+      auto seq_fd = peer_fds_.find(sequencer_id());
+      if (seq_fd != peer_fds_.end()) {
+        spawn_write(seq_fd->second, encode_rejoin(m));
+      }
+    }
+    spawn_write(fd, encode_state_sync(snapshot_state()));
+  } else {
+    // Our island's unordered traffic belongs to an abandoned domain.
+    pending_.clear();
+    stamp_wait_.clear();
+    send_rejoin(fd);
+  }
+}
+
+StateSyncMsg GcDaemon::snapshot_state() const {
+  StateSyncMsg m;
+  m.next_seq = next_seq_;
+  for (const auto& [name, g] : groups_) {
+    GroupSnapshot snap;
+    snap.group = name;
+    snap.view_id = g.view_id;
+    snap.members = g.members;
+    snap.homes.reserve(g.members.size());
+    for (const auto& member : g.members) {
+      auto home = g.homes.find(member);
+      snap.homes.push_back(home == g.homes.end() ? 0 : home->second);
+    }
+    m.groups.push_back(std::move(snap));
+  }
+  return m;
+}
+
+void GcDaemon::handle_state_sync(const StateSyncMsg& m) {
+  // Adopt the authority's group state wholesale, and keep our own stamps
+  // above its domain in case we are (or become) the merged sequencer.
+  bump_seq_past(m.next_seq);
+  groups_.clear();
+  for (const auto& snap : m.groups) {
+    GroupState g;
+    g.members = snap.members;
+    g.view_id = snap.view_id;
+    for (std::size_t i = 0; i < snap.members.size() && i < snap.homes.size();
+         ++i) {
+      g.homes[snap.members[i]] = snap.homes[i];
+    }
+    groups_[snap.group] = std::move(g);
+  }
+  ++rejoins_;
+  proc_->sim().obs().metrics().counter("gc.rejoins").add();
+  proc_->sim().obs().emit(obs::EventKind::kDaemonRejoin,
+                          "daemon/" + std::to_string(id()), {},
+                          static_cast<double>(m.groups.size()));
+  // Re-enter our local clients: the authority expelled them while we were
+  // silent. Joins are idempotent, so a client that was never expelled just
+  // sees no new view; an expelled one gets a fresh (higher) view id.
+  for (auto& [fd, st] : conns_) {
+    if (st.role != ConnState::Role::kClient) continue;
+    for (const auto& gname : st.joined) {
+      OrderedMsg join;
+      join.kind = PayloadKind::kJoin;
+      join.group = gname;
+      join.member = st.client_name;
+      submit(std::move(join));
     }
   }
 }

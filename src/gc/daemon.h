@@ -63,6 +63,15 @@ struct DaemonConfig {
   double detect_slow_probability = 0.0;
   Duration detect_slow_min{0};
   Duration detect_slow_max{0};
+  /// Mesh re-formation after a partition heals: once a peer daemon has been
+  /// declared dead, the higher-indexed side of each severed pair re-probes
+  /// it (the expelled daemon probing back toward the sequencer) with
+  /// exponential backoff. `rejoin_probe` is the base interval (zero = one
+  /// heartbeat interval) and `rejoin_probe_max` the backoff cap (zero =
+  /// 8x the base). The probe coroutine is only spawned on the first peer
+  /// death, so fault-free runs schedule nothing.
+  Duration rejoin_probe{0};
+  Duration rejoin_probe_max{0};
 };
 
 class GcDaemon {
@@ -83,6 +92,15 @@ class GcDaemon {
   [[nodiscard]] std::uint64_t view_id(const std::string& group) const;
   [[nodiscard]] bool alive() const { return proc_->alive(); }
   [[nodiscard]] net::Process& process() { return *proc_; }
+  /// Completed state resyncs after a heal (counter "gc.rejoins" worldwide).
+  [[nodiscard]] std::uint64_t rejoins() const { return rejoins_; }
+  /// Start time of each rejoin-probe round (tests assert the backoff).
+  [[nodiscard]] const std::vector<TimePoint>& rejoin_probe_times() const {
+    return rejoin_probe_times_;
+  }
+  [[nodiscard]] bool peer_link_up(std::uint64_t peer) const {
+    return peer_fds_.contains(peer);
+  }
 
   /// Reply-group naming convention: every member auto-joins its own reply
   /// group at HELLO so any other member can address it point-to-point over
@@ -110,12 +128,25 @@ class GcDaemon {
   sim::Task<void> peer_monitor_loop();
   sim::Task<void> delayed_member_death(std::string member,
                                        std::vector<std::string> groups);
+  /// Redials dead lower-indexed peers until every one is either back up or
+  /// confirmed crashed (connection refused — in this world a daemon process
+  /// never restarts, so refusal is permanent).
+  sim::Task<void> rejoin_probe_loop();
 
   void on_peer_link_up();
   void flush_pending();
   void handle_frame(int fd, const Frame& frame);
   void handle_client_gone(int fd);
-  void handle_peer_gone(std::uint64_t peer_id);
+  /// `fd` is the link that ended; a stale fd superseded by a rejoin dial is
+  /// ignored so tearing down the old link can't kill the new one.
+  void handle_peer_gone(std::uint64_t peer_id, int fd);
+  void resurrect_peer(std::uint64_t peer_id, int fd);
+  void send_rejoin(int fd);
+  void handle_rejoin(int fd, const RejoinMsg& m);
+  void handle_state_sync(const StateSyncMsg& m);
+  [[nodiscard]] StateSyncMsg snapshot_state() const;
+  /// Keeps our stamps above a foreign sequence domain (the takeover jump).
+  void bump_seq_past(std::uint64_t foreign_next_seq);
   void submit(OrderedMsg m);
   void stamp_and_dispatch(OrderedMsg m);
   void handle_ordered(const OrderedMsg& m);
@@ -137,6 +168,7 @@ class GcDaemon {
     std::string client_name;           // role kClient
     std::uint64_t peer_id = 0;         // role kPeer
     std::set<std::string> joined;      // role kClient
+    bool rejoin_sent = false;          // at most one Rejoin per link
   };
   std::map<int, ConnState> conns_;
   std::map<std::uint64_t, int> peer_fds_;
@@ -144,6 +176,10 @@ class GcDaemon {
   std::map<std::string, int> client_fds_;
   std::set<std::uint64_t> alive_daemons_;  // presumed alive until EOF
   std::set<std::uint64_t> dead_daemons_;
+  std::set<std::uint64_t> unreachable_peers_;  // probe refused: truly crashed
+  bool probe_running_ = false;
+  std::uint64_t rejoins_ = 0;
+  std::vector<TimePoint> rejoin_probe_times_;
 
   // ordering state
   std::uint64_t next_seq_ = 1;

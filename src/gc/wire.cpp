@@ -35,6 +35,8 @@ bool valid_op(std::uint8_t v) {
     case Op::kSubmit:
     case Op::kOrdered:
     case Op::kHeartbeat:
+    case Op::kRejoin:
+    case Op::kStateSync:
       return true;
   }
   return false;
@@ -114,6 +116,30 @@ Bytes encode_heartbeat(const HeartbeatMsg& m) {
   CdrWriter w;
   w.write_u64(m.daemon_id);
   return frame(Op::kHeartbeat, w.buffer());
+}
+
+Bytes encode_rejoin(const RejoinMsg& m) {
+  CdrWriter w;
+  w.write_u64(m.daemon_id);
+  w.write_u64(m.next_seq);
+  w.write_u64(m.alive_count);
+  w.write_u64(m.sequencer_id);
+  return frame(Op::kRejoin, w.buffer());
+}
+
+Bytes encode_state_sync(const StateSyncMsg& m) {
+  CdrWriter w;
+  w.write_u64(m.next_seq);
+  w.write_u32(static_cast<std::uint32_t>(m.groups.size()));
+  for (const auto& g : m.groups) {
+    w.write_string(g.group);
+    w.write_u64(g.view_id);
+    w.write_u32(static_cast<std::uint32_t>(g.members.size()));
+    for (const auto& member : g.members) w.write_string(member);
+    w.write_u32(static_cast<std::uint32_t>(g.homes.size()));
+    for (std::uint64_t home : g.homes) w.write_u64(home);
+  }
+  return frame(Op::kStateSync, w.buffer());
 }
 
 // ---- decoding ----
@@ -232,6 +258,59 @@ WireResult<HeartbeatMsg> decode_heartbeat(const Bytes& payload) {
     auto id = r.read_u64();
     if (!id) return std::nullopt;
     return HeartbeatMsg{id.value()};
+  });
+}
+
+WireResult<RejoinMsg> decode_rejoin(const Bytes& payload) {
+  return decode_with(payload, [](CdrReader& r) -> std::optional<RejoinMsg> {
+    auto d = r.read_u64();
+    if (!d) return std::nullopt;
+    auto n = r.read_u64();
+    if (!n) return std::nullopt;
+    auto a = r.read_u64();
+    if (!a) return std::nullopt;
+    auto s = r.read_u64();
+    if (!s) return std::nullopt;
+    return RejoinMsg{d.value(), n.value(), a.value(), s.value()};
+  });
+}
+
+WireResult<StateSyncMsg> decode_state_sync(const Bytes& payload) {
+  return decode_with(payload, [](CdrReader& r) -> std::optional<StateSyncMsg> {
+    StateSyncMsg m;
+    auto next = r.read_u64();
+    if (!next) return std::nullopt;
+    m.next_seq = next.value();
+    auto count = r.read_u32();
+    if (!count) return std::nullopt;
+    m.groups.reserve(count.value());
+    for (std::uint32_t i = 0; i < count.value(); ++i) {
+      GroupSnapshot snap;
+      auto g = r.read_string();
+      if (!g) return std::nullopt;
+      snap.group = std::move(g.value());
+      auto id = r.read_u64();
+      if (!id) return std::nullopt;
+      snap.view_id = id.value();
+      auto members = r.read_u32();
+      if (!members) return std::nullopt;
+      snap.members.reserve(members.value());
+      for (std::uint32_t j = 0; j < members.value(); ++j) {
+        auto member = r.read_string();
+        if (!member) return std::nullopt;
+        snap.members.push_back(std::move(member.value()));
+      }
+      auto homes = r.read_u32();
+      if (!homes) return std::nullopt;
+      snap.homes.reserve(homes.value());
+      for (std::uint32_t j = 0; j < homes.value(); ++j) {
+        auto home = r.read_u64();
+        if (!home) return std::nullopt;
+        snap.homes.push_back(home.value());
+      }
+      m.groups.push_back(std::move(snap));
+    }
+    return m;
   });
 }
 

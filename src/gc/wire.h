@@ -32,6 +32,8 @@ enum class Op : std::uint8_t {
   kSubmit = 21,     // forward a message to the sequencer for ordering
   kOrdered = 22,    // sequencer-stamped message, broadcast to all daemons
   kHeartbeat = 23,  // liveness beacon (also the Figure-5 background traffic)
+  kRejoin = 24,     // expelled daemon (or healed peer) asks to merge worlds
+  kStateSync = 25,  // authority's group-state snapshot for a rejoiner
 };
 
 /// What a Submit/Ordered payload represents.
@@ -104,6 +106,41 @@ struct HeartbeatMsg {
   std::uint64_t daemon_id = 0;
 };
 
+/// A daemon re-establishing contact after a partition heal announces enough
+/// of its world-view that the two sides can agree which one is
+/// authoritative (larger alive set; ties to the lower sequencer id).
+struct RejoinMsg {
+  RejoinMsg() = default;
+  RejoinMsg(std::uint64_t d, std::uint64_t n, std::uint64_t a, std::uint64_t s)
+      : daemon_id(d), next_seq(n), alive_count(a), sequencer_id(s) {}
+
+  std::uint64_t daemon_id = 0;
+  std::uint64_t next_seq = 0;      // sender's sequencing counter
+  std::uint64_t alive_count = 0;   // size of the sender's alive set
+  std::uint64_t sequencer_id = 0;  // who the sender believes sequences
+};
+
+/// One group's membership as the authority sees it. `homes` is parallel to
+/// `members`: the daemon id each member is homed on.
+struct GroupSnapshot {
+  GroupSnapshot() = default;
+
+  std::string group;
+  std::uint64_t view_id = 0;
+  std::vector<std::string> members;  // join order
+  std::vector<std::uint64_t> homes;  // parallel to members
+};
+
+/// The authority's full group-state snapshot, sent in reply to a Rejoin the
+/// authority won. The rejoiner adopts it wholesale and re-submits its local
+/// clients' joins on top.
+struct StateSyncMsg {
+  StateSyncMsg() = default;
+
+  std::uint64_t next_seq = 0;  // authority's counter at snapshot time
+  std::vector<GroupSnapshot> groups;
+};
+
 // ---- encoding ----
 
 Bytes encode_hello(const HelloMsg& m);
@@ -116,6 +153,8 @@ Bytes encode_peer_hello(const PeerHelloMsg& m);
 Bytes encode_submit(const OrderedMsg& m);   // opcode kSubmit
 Bytes encode_ordered(const OrderedMsg& m);  // opcode kOrdered
 Bytes encode_heartbeat(const HeartbeatMsg& m);
+Bytes encode_rejoin(const RejoinMsg& m);
+Bytes encode_state_sync(const StateSyncMsg& m);
 
 enum class WireErr { kTruncated, kMalformed, kUnknownOp };
 
@@ -135,6 +174,8 @@ WireResult<ViewMsg> decode_view(const Bytes& payload);
 WireResult<PeerHelloMsg> decode_peer_hello(const Bytes& payload);
 WireResult<OrderedMsg> decode_ordered_like(const Bytes& payload);
 WireResult<HeartbeatMsg> decode_heartbeat(const Bytes& payload);
+WireResult<RejoinMsg> decode_rejoin(const Bytes& payload);
+WireResult<StateSyncMsg> decode_state_sync(const Bytes& payload);
 
 /// Reassembles length-prefixed frames from a byte stream.
 class LenFramer {

@@ -125,9 +125,34 @@ void Network::crash_node(const std::string& host) {
   assert(it != nodes_.end() && "crash_node: unknown host");
   if (it == nodes_.end()) return;  // nothing to kill, not "kill node 0"
   const NodeId id = it->second;
+  crashed_nodes_.insert(id.value());
   for (auto& p : processes_) {
     if (p->node() == id && p->alive()) p->kill();
   }
+  // Observers may unregister themselves (or others) while running; iterate
+  // a snapshot of the handles and re-check membership per call.
+  std::vector<std::uint64_t> handles;
+  handles.reserve(crash_observers_.size());
+  for (const auto& [h, fn] : crash_observers_) handles.push_back(h);
+  for (std::uint64_t h : handles) {
+    auto ob = crash_observers_.find(h);
+    if (ob != crash_observers_.end()) ob->second(host);
+  }
+}
+
+bool Network::node_alive(const std::string& host) const {
+  auto it = nodes_.find(host);
+  return it != nodes_.end() && !crashed_nodes_.contains(it->second.value());
+}
+
+std::uint64_t Network::add_crash_observer(NodeCrashObserver fn) {
+  const std::uint64_t handle = next_observer_++;
+  crash_observers_.emplace(handle, std::move(fn));
+  return handle;
+}
+
+void Network::remove_crash_observer(std::uint64_t handle) {
+  crash_observers_.erase(handle);
 }
 
 Duration Network::delivery_delay(NodeId from, NodeId to, const Endpoint& dst,
@@ -151,6 +176,19 @@ void Network::set_link_partitioned(const std::string& host_a,
   } else {
     partitioned_.erase({lo, hi});
   }
+}
+
+void Network::set_node_isolated(const std::string& host, bool isolated) {
+  for (const auto& [name, id] : nodes_) {
+    if (name != host) set_link_partitioned(host, name, isolated);
+  }
+}
+
+void Network::heal_partitions(const std::string& host) {
+  const std::uint64_t id = node_id(host).value();
+  std::erase_if(partitioned_, [id](const auto& pair) {
+    return pair.first == id || pair.second == id;
+  });
 }
 
 bool Network::link_partitioned(NodeId a, NodeId b) const {

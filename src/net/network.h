@@ -180,6 +180,10 @@ class Process : public std::enable_shared_from_this<Process> {
   /// while sleeping (callers must then unwind).
   [[nodiscard]] sim::Task<bool> sleep(Duration d);
 
+  /// The world this process lives in (fault controllers and supervisors
+  /// use it to query node liveness and register crash observers).
+  [[nodiscard]] Network& network() const { return net_; }
+
   /// Abruptly kills this process: all its sockets reset, peers see EOF.
   void kill();
 
@@ -225,8 +229,22 @@ class Network {
   /// Creates a process on `host`. The process starts alive with no fds.
   ProcessPtr spawn_process(const std::string& host, std::string proc_name);
 
-  /// Kills every live process on `host` (node crash-fault).
+  /// Kills every live process on `host` (node crash-fault), marks the node
+  /// dead for node_alive(), and notifies crash observers. Data already in
+  /// flight toward the node is dropped, never delivered: the teardown closes
+  /// the victim ends before the scheduled deliveries land, and deliveries
+  /// into a closed end are discarded without byte accounting.
   void crash_node(const std::string& host);
+
+  /// True while `host` exists and has not been taken down by crash_node().
+  [[nodiscard]] bool node_alive(const std::string& host) const;
+
+  /// Whole-node-crash notifications (e.g. the Recovery Manager's restripe
+  /// placement tracks dead workers through these). Observers run after the
+  /// node's processes are killed. Returns a handle for remove.
+  using NodeCrashObserver = std::function<void(const std::string& host)>;
+  std::uint64_t add_crash_observer(NodeCrashObserver fn);
+  void remove_crash_observer(std::uint64_t handle);
 
   [[nodiscard]] LatencyConfig& latency() { return latency_; }
 
@@ -238,6 +256,15 @@ class Network {
                             const std::string& host_b, bool partitioned);
   [[nodiscard]] bool link_partitioned(NodeId a, NodeId b) const;
   [[nodiscard]] std::uint64_t messages_dropped() const { return dropped_; }
+
+  /// Partitions (isolated=true) or heals (false) every link between `host`
+  /// and the rest of the cluster in one call — the whole-node-isolation
+  /// fault a chaos schedule's bare `partition <node>` event injects.
+  void set_node_isolated(const std::string& host, bool isolated);
+  /// Heals every partition involving `host`.
+  void heal_partitions(const std::string& host);
+  /// Heals every partition in the world.
+  void heal_all_partitions() { partitioned_.clear(); }
 
   /// Propagation delay from `from` to `to` for a payload of `bytes`.
   [[nodiscard]] Duration delivery_delay(NodeId from, NodeId to,
@@ -298,6 +325,9 @@ class Network {
   obs::Counter* process_exits_ = nullptr;
   detail::WaiterPool waiter_pool_;
   std::set<std::pair<std::uint64_t, std::uint64_t>> partitioned_;  // a<b
+  std::set<std::uint64_t> crashed_nodes_;
+  std::map<std::uint64_t, NodeCrashObserver> crash_observers_;
+  std::uint64_t next_observer_ = 1;
   std::uint64_t dropped_ = 0;
   std::uint64_t connections_established_ = 0;
 };

@@ -25,6 +25,9 @@ std::string_view to_string(EventKind k) {
     case EventKind::kClientException: return "client_exception";
     case EventKind::kNamingRefresh: return "naming_refresh";
     case EventKind::kWorldUp: return "world_up";
+    case EventKind::kFaultInjected: return "fault_injected";
+    case EventKind::kDaemonRejoin: return "daemon_rejoin";
+    case EventKind::kRestripe: return "restripe";
   }
   return "?";
 }
@@ -32,7 +35,7 @@ std::string_view to_string(EventKind k) {
 namespace {
 
 EventKind kind_from_string(std::string_view s) {
-  for (int i = 0; i <= static_cast<int>(EventKind::kWorldUp); ++i) {
+  for (int i = 0; i <= static_cast<int>(EventKind::kRestripe); ++i) {
     const auto k = static_cast<EventKind>(i);
     if (to_string(k) == s) return k;
   }

@@ -36,6 +36,9 @@ enum class EventKind : std::uint8_t {
   kClientException,    // CORBA system exception reached the application
   kNamingRefresh,      // client re-resolved bindings from Naming
   kWorldUp,            // testbed bring-up finished
+  kFaultInjected,      // chaos controller executed a scheduled fault
+  kDaemonRejoin,       // expelled GC daemon resynced state after a heal
+  kRestripe,           // Recovery Manager placed a replica off-cycle
 };
 
 [[nodiscard]] std::string_view to_string(EventKind k);

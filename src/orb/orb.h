@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 
 #include "common/types.h"
 #include "net/network.h"
@@ -54,6 +55,14 @@ class Orb {
 
   [[nodiscard]] std::uint32_t next_request_id() { return next_request_id_++; }
 
+  /// Reply deadline applied by stubs while awaiting a response (surfaces as
+  /// COMM_FAILURE/kMaybe). Unset (default): block indefinitely — a crashed
+  /// server always delivers EOF, so only partitioned links need this.
+  void set_invoke_timeout(std::optional<Duration> t) { invoke_timeout_ = t; }
+  [[nodiscard]] std::optional<Duration> invoke_timeout() const {
+    return invoke_timeout_;
+  }
+
   /// Charges CPU time (virtual). Returns false if the process died.
   [[nodiscard]] sim::Task<bool> charge(Duration d) {
     if (d <= Duration{0}) co_return proc_.alive();
@@ -64,6 +73,7 @@ class Orb {
   net::Process& proc_;
   net::SocketApi& api_;
   CostModel costs_;
+  std::optional<Duration> invoke_timeout_;
   std::uint32_t next_request_id_ = 1;
 };
 

@@ -88,9 +88,11 @@ sim::Task<InvokeResult> Stub::invoke(std::string operation, Bytes args) {
     while (!retransmit) {
       std::optional<giop::FrameBuffer::Frame> frame = frames_.next();
       if (!frame) {
-        auto data = co_await orb_.api().read(fd_, kReadChunk);
+        auto data =
+            co_await orb_.api().read(fd_, kReadChunk, orb_.invoke_timeout());
         if (!data || data->empty()) {
-          // EOF or reset mid-call: the connection died under the request.
+          // EOF, reset, or reply deadline: the connection died under the
+          // request (or, under a partition, might as well have).
           drop_connection();
           co_return co_await fail(giop::SysExKind::kCommFailure,
                                   giop::CompletionStatus::kMaybe);

@@ -1,0 +1,237 @@
+// Declarative chaos schedules on ExperimentSpec: whole-node crashes that
+// take co-located replicas of different groups down together, partitions
+// that heal (daemon mesh re-formation), and process-scoped faults — all
+// replayed at fixed sim-time offsets so every run is reproducible.
+#include <set>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "app/experiment.h"
+
+namespace mead::app {
+namespace {
+
+/// Six nodes (four workers), two 3-replica restripe groups sharing node2
+/// and node3 — a node crash there hits both groups at once.
+ExperimentSpec colocated_spec() {
+  ExperimentSpec spec;
+  spec.seed = 2004;
+  spec.invocations = 600;
+  spec.topology = ClusterTopology::uniform(6);
+  ServiceGroupSpec a;  // the default TimeOfDay group
+  a.inject_leak = false;
+  a.hosts = {"node1", "node2", "node3"};
+  a.placement = core::PlacementPolicy::kRestripe;
+  ServiceGroupSpec b;
+  b.service = "Beta";
+  b.inject_leak = false;
+  b.hosts = {"node2", "node3", "node4"};
+  b.placement = core::PlacementPolicy::kRestripe;
+  spec.groups = {a, b};
+  return spec;
+}
+
+std::string fingerprint(const ExperimentResult& r) {
+  std::ostringstream os;
+  os << r.sim_events << '|' << r.server_failures << '|' << r.gc_bytes << '|'
+     << r.chaos_faults << '|' << r.restripes;
+  for (const auto& g : r.group_results) {
+    os << ';' << g.service << ':' << g.server_failures << ',' << g.launches
+       << ',' << g.proactive_launches << ',' << g.reactive_launches << ','
+       << g.invocations_completed << ',' << g.client_exceptions << ','
+       << g.naming_refreshes;
+  }
+  return os.str();
+}
+
+TEST(ChaosScheduleTest, CoLocatedGroupsEachRecoverOnce) {
+  ExperimentSpec spec = colocated_spec();
+  // node2 hosts one replica of each group (plus a GC daemon): one node
+  // crash, two independent recoveries — exactly one per group.
+  spec.chaos.crash_node(milliseconds(200), "node2");
+  Experiment exp(spec);
+  ASSERT_TRUE(exp.start());
+  exp.launch_client();
+  exp.run_to_completion();
+  // Let the relaunched replicas announce + register before checking degree.
+  exp.sim().run_for(milliseconds(500));
+  const ExperimentResult r = exp.collect();
+
+  EXPECT_EQ(r.chaos_faults, 1u);
+  ASSERT_EQ(r.group_results.size(), 2u);
+  for (const auto& g : r.group_results) {
+    EXPECT_EQ(g.reactive_launches, 1u) << g.service;
+    EXPECT_EQ(g.server_failures, 1u) << g.service;
+    EXPECT_EQ(g.invocations_completed, 600u) << g.service;
+  }
+  EXPECT_EQ(r.restripes, 2u);  // one restriped replacement per group
+  EXPECT_FALSE(exp.testbed().net().node_alive("node2"));
+  for (const auto& g : exp.testbed().groups()) {
+    EXPECT_EQ(g->live_replica_count(), 3u) << g->service();
+    for (const auto& rep : g->replicas()) {
+      if (rep->alive()) {
+        EXPECT_NE(rep->endpoint().host, "node2");
+      }
+    }
+  }
+}
+
+TEST(ChaosScheduleTest, RestripeNeverPlacesOnDeadNode) {
+  ExperimentSpec spec;
+  spec.seed = 2004;
+  spec.invocations = 800;
+  spec.topology = ClusterTopology::uniform(10);  // eight workers
+  for (int i = 0; i < 2; ++i) {
+    ServiceGroupSpec g;  // striped hosts: node1-3, then node4-6
+    if (i > 0) g.service = "Svc1";
+    g.inject_leak = false;
+    g.placement = core::PlacementPolicy::kRestripe;
+    spec.groups.push_back(std::move(g));
+  }
+  // node1 carries the sequencer daemon AND a replica; node5 a replica of
+  // the second group. Both replacements must route around the dead hosts.
+  spec.chaos.crash_node(milliseconds(150), "node1");
+  spec.chaos.crash_node(milliseconds(300), "node5");
+  Experiment exp(spec);
+  ASSERT_TRUE(exp.start());
+  exp.launch_client();
+  exp.run_to_completion();
+  exp.sim().run_for(milliseconds(500));
+  const ExperimentResult r = exp.collect();
+
+  EXPECT_EQ(r.chaos_faults, 2u);
+  EXPECT_EQ(r.restripes, 2u);
+  for (const auto& g : r.group_results) {
+    EXPECT_EQ(g.reactive_launches, 1u) << g.service;
+    EXPECT_EQ(g.invocations_completed, 800u) << g.service;
+  }
+  const net::Network& net = exp.testbed().net();
+  EXPECT_FALSE(net.node_alive("node1"));
+  EXPECT_FALSE(net.node_alive("node5"));
+  for (const auto& g : exp.testbed().groups()) {
+    EXPECT_EQ(g->live_replica_count(), 3u) << g->service();
+    std::set<std::string> hosts;  // one live replica per host per group
+    for (const auto& rep : g->replicas()) {
+      if (!rep->alive()) continue;
+      EXPECT_TRUE(net.node_alive(rep->endpoint().host)) << rep->member();
+      EXPECT_TRUE(hosts.insert(rep->endpoint().host).second) << rep->member();
+    }
+  }
+}
+
+TEST(ChaosScheduleTest, HealAfterPartitionClientRecovers) {
+  // The DESIGN.md §8 gap, closed: isolate the client's node long enough for
+  // the daemon mesh to expel its daemon, then heal. The expelled daemon must
+  // re-probe, rejoin with fresh state, and the client must finish every
+  // invocation — all without restarting the testbed.
+  ExperimentSpec spec;
+  spec.seed = 2004;
+  spec.invocations = 1500;
+  spec.calib.gc_heartbeat = milliseconds(50);  // fast expulsion
+  spec.invoke_timeout = milliseconds(30);      // partitions never EOF
+  spec.chaos.partition(milliseconds(150), "node4");  // the client's node
+  spec.chaos.heal(milliseconds(700));
+  Experiment exp(spec);
+  ASSERT_TRUE(exp.start());
+  exp.launch_client();
+  exp.run_to_completion();
+  exp.sim().run_for(milliseconds(500));
+  const ExperimentResult r = exp.collect();
+
+  EXPECT_EQ(r.chaos_faults, 2u);  // the partition and the heal
+  EXPECT_EQ(r.client.invocations_completed, 1500u);
+  EXPECT_GT(r.client.total_exceptions(), 0u);  // the outage was visible
+  EXPECT_GE(exp.obs().metrics().counter_value("gc.rejoins"), 1u);
+  EXPECT_GE(exp.testbed().daemons()[3]->rejoins(), 1u);  // node4's daemon
+  EXPECT_EQ(exp.testbed().live_replica_count(), 3u);
+}
+
+TEST(ChaosScheduleTest, CrashProcessFaultKillsServingPrimary) {
+  ExperimentSpec spec;
+  spec.seed = 2004;
+  spec.invocations = 500;
+  spec.inject_leak = false;
+  spec.chaos.crash_process(milliseconds(150), kServiceName);
+  Experiment exp(spec);
+  ASSERT_TRUE(exp.start());
+  exp.launch_client();
+  exp.run_to_completion();
+  exp.sim().run_for(milliseconds(500));
+  const ExperimentResult r = exp.collect();
+
+  EXPECT_EQ(r.chaos_faults, 1u);
+  EXPECT_EQ(exp.obs().metrics().counter_value("chaos.crash_process"), 1u);
+  EXPECT_EQ(r.server_failures, 1u);
+  EXPECT_EQ(r.group_results[0].reactive_launches, 1u);
+  EXPECT_EQ(r.client.invocations_completed, 500u);
+  EXPECT_EQ(exp.testbed().live_replica_count(), 3u);
+}
+
+TEST(ChaosScheduleTest, LeakBurstAcceleratesProactiveRecovery) {
+  // A burst to ~81% of the buffer crosses T1 (80%) immediately: the replica
+  // asks for a spare long before its natural leak would have.
+  ExperimentSpec spec;
+  spec.seed = 2004;
+  spec.invocations = 600;
+  spec.scheme = core::RecoveryScheme::kMeadMessage;
+  spec.chaos.leak_burst(milliseconds(100), kServiceName, 26 * 1024);
+  Experiment exp(spec);
+  ASSERT_TRUE(exp.start());
+  exp.launch_client();
+  exp.run_to_completion();
+  exp.sim().run_for(milliseconds(500));
+  const ExperimentResult r = exp.collect();
+
+  EXPECT_EQ(r.chaos_faults, 1u);
+  EXPECT_EQ(exp.obs().metrics().counter_value("chaos.leak_burst"), 1u);
+  EXPECT_GE(r.proactive_launches, 1u);
+  EXPECT_GE(r.server_failures, 1u);  // the burst victim rejuvenated
+  EXPECT_EQ(r.client.invocations_completed, 600u);
+  EXPECT_EQ(exp.testbed().live_replica_count(), 3u);
+}
+
+TEST(ChaosScheduleTest, UnknownTargetsFailStart) {
+  {
+    ExperimentSpec spec;
+    spec.chaos.crash_node(milliseconds(10), "node99");
+    Experiment exp(spec);
+    EXPECT_FALSE(exp.start());
+  }
+  {
+    ExperimentSpec spec;
+    spec.chaos.crash_process(milliseconds(10), "NoSuchService");
+    Experiment exp(spec);
+    EXPECT_FALSE(exp.start());
+  }
+}
+
+TEST(ChaosScheduleTest, IdenticalCountersSequentialVsPool) {
+  // A schedule exercising every fault kind must stay bit-reproducible, and
+  // the run_experiments thread pool must match the sequential path exactly.
+  std::vector<ExperimentSpec> specs;
+  for (std::uint64_t seed : {2004, 2005, 2006}) {
+    ExperimentSpec spec = colocated_spec();
+    spec.seed = seed;
+    spec.invoke_timeout = milliseconds(30);
+    spec.groups[1].inject_leak = true;  // leak_burst needs an injector
+    spec.chaos.crash_node(milliseconds(200), "node2")
+        .crash_process(milliseconds(250), kServiceName)
+        .leak_burst(milliseconds(300), "Beta", 26 * 1024)
+        .partition(milliseconds(350), "node3")
+        .heal(milliseconds(600));
+    specs.push_back(std::move(spec));
+  }
+  std::vector<ExperimentResult> sequential;
+  sequential.reserve(specs.size());
+  for (const auto& spec : specs) sequential.push_back(run_experiment(spec));
+  const std::vector<ExperimentResult> pooled = run_experiments(specs, 3);
+  ASSERT_EQ(pooled.size(), sequential.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_GE(sequential[i].chaos_faults, 5u) << i;
+    EXPECT_EQ(fingerprint(pooled[i]), fingerprint(sequential[i])) << i;
+  }
+}
+
+}  // namespace
+}  // namespace mead::app

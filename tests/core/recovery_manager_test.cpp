@@ -36,9 +36,13 @@ class RmWorld : public ::testing::Test {
     std::unique_ptr<gc::GcClient> gc;
   };
 
-  FakeReplica spawn_fake_replica(const std::string& service, int incarnation) {
+  FakeReplica spawn_fake_replica(const std::string& service, int incarnation,
+                                 const std::string& host_hint = {}) {
     FakeReplica r;
-    const std::string host = hosts_[static_cast<std::size_t>(incarnation - 1) % 3];
+    const std::string host =
+        host_hint.empty()
+            ? hosts_[static_cast<std::size_t>(incarnation - 1) % 3]
+            : host_hint;
     // Deliberately the same member name per incarnation number in every
     // group: per-group isolation must come from the group key, not the
     // member string.
@@ -64,8 +68,10 @@ class RmWorld : public ::testing::Test {
     cfg.groups = std::move(targets);
     rm_proc_ = net_.spawn_process(hosts_[0], "rm");
     auto rm = std::make_unique<RecoveryManager>(
-        rm_proc_, cfg, [this](const std::string& service, int inc) {
-          replicas_.push_back(spawn_fake_replica(service, inc));
+        rm_proc_, cfg,
+        [this](const std::string& service, int inc, const std::string& host) {
+          replicas_.push_back(spawn_fake_replica(service, inc, host));
+          return true;
         });
     auto boot = [](RecoveryManager& m, bool& ok) -> sim::Task<void> {
       ok = co_await m.start();

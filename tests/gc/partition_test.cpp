@@ -140,6 +140,62 @@ TEST_F(PartitionWorld, HealedLinkStopsDropping) {
   (void)b;
 }
 
+TEST_F(PartitionWorld, ExpelledDaemonRejoinsAfterHeal) {
+  auto a = make_member("node1", "a");
+  auto c = make_member("node3", "c");
+  const std::uint64_t v0 = daemons_[0]->view_id("grp");
+
+  // Isolate node3 until the mesh expels its daemon (and member "c")...
+  net_.set_link_partitioned("node1", "node3", true);
+  net_.set_link_partitioned("node2", "node3", true);
+  sim_.run_for(milliseconds(200));
+  const std::uint64_t v1 = daemons_[0]->view_id("grp");
+  ASSERT_EQ(daemons_[0]->group_members("grp"),
+            (std::vector<std::string>{"a"}));
+  EXPECT_GT(v1, v0);
+
+  // ...then heal. The expelled daemon's probe loop re-dials the sequencer,
+  // rejoins, receives a state sync, and resubmits its local member.
+  net_.set_link_partitioned("node1", "node3", false);
+  net_.set_link_partitioned("node2", "node3", false);
+  sim_.run_for(milliseconds(400));  // probe backoff base 20ms, capped
+
+  EXPECT_GE(daemons_[2]->rejoins(), 1u);
+  EXPECT_EQ(daemons_[0]->group_members("grp"),
+            (std::vector<std::string>{"a", "c"}));
+  EXPECT_EQ(daemons_[2]->group_members("grp"),
+            (std::vector<std::string>{"a", "c"}));
+  // The rejoin produced a genuinely new view, not a replay of an old one.
+  const std::uint64_t v2 = daemons_[0]->view_id("grp");
+  EXPECT_GT(v2, v1);
+  (void)a;
+  (void)c;
+}
+
+TEST_F(PartitionWorld, RejoinProbesBackOff) {
+  auto a = make_member("node1", "a");
+  auto c = make_member("node3", "c");
+  // Permanent full isolation: node3's daemon keeps probing but never gets
+  // through. Probe spacing must grow (exponential backoff, capped), so a
+  // long outage costs O(log) probes, not a probe per heartbeat.
+  net_.set_link_partitioned("node1", "node3", true);
+  net_.set_link_partitioned("node2", "node3", true);
+  sim_.run_for(milliseconds(800));
+
+  const auto& probes = daemons_[2]->rejoin_probe_times();
+  ASSERT_GE(probes.size(), 3u);
+  Duration prev = probes[1] - probes[0];
+  for (std::size_t i = 2; i < probes.size(); ++i) {
+    const Duration gap = probes[i] - probes[i - 1];
+    EXPECT_GE(gap, prev) << "probe " << i;
+    prev = gap;
+  }
+  EXPECT_GT(probes.back() - probes[probes.size() - 2], probes[1] - probes[0]);
+  EXPECT_EQ(daemons_[2]->rejoins(), 0u);
+  (void)a;
+  (void)c;
+}
+
 TEST_F(PartitionWorld, ConnectAcrossPartitionTimesOut) {
   net_.set_link_partitioned("node1", "node2", true);
   auto proc = net_.spawn_process("node1", "dialer");

@@ -255,6 +255,48 @@ TEST_F(FailureTest, NodeCrashDeliversEofToRemotePeers) {
   EXPECT_TRUE(client->alive());
 }
 
+TEST_F(FailureTest, InFlightDataToCrashedNodeDroppedWithEof) {
+  // The reverse of InFlightDataStillDeliveredBeforeEof: a whole-node crash
+  // takes the destination down while bytes are still on the wire. The bytes
+  // must vanish (never counted against the listener's service port) and the
+  // writer's next read must see EOF — exactly what the chaos engine's
+  // crash_node fault relies on.
+  auto server = net_.spawn_process("node1", "server");
+  auto client = net_.spawn_process("node2", "client");
+  bool write_ok = false;
+  bool eof_seen = false;
+
+  auto server_main = [](Process& p) -> sim::Task<void> {
+    auto lfd = p.api().listen(5000);
+    auto cfd = co_await p.api().accept(lfd.value());
+    for (;;) {
+      auto d = co_await p.api().read(cfd.value(), 4096);
+      if (!d.ok() || d->empty()) co_return;
+    }
+  };
+  auto client_main = [](Process& p, bool& wok, bool& eof) -> sim::Task<void> {
+    auto fd = co_await p.api().connect(Endpoint{"node1", 5000});
+    co_await p.sim().sleep(milliseconds(5));
+    auto w = co_await p.api().writev(fd.value(), to_bytes("doomed"));
+    wok = w.ok();
+    auto r = co_await p.api().read(fd.value(), 4096);
+    eof = r.ok() && r->empty();
+  };
+  sim_.spawn(server_main(*server));
+  sim_.spawn(client_main(*client, write_ok, eof_seen));
+  const auto bytes0 = net_.bytes_for_service(5000);
+  // Cross-node propagation is 100us: the write leaves node2 at t=5ms and
+  // would land at t=5.1ms. Crash the destination at t=5.05ms — mid-flight.
+  sim_.schedule(milliseconds(5) + microseconds(50),
+                [&] { net_.crash_node("node1"); });
+  sim_.run();
+  EXPECT_TRUE(write_ok);  // the local write had already succeeded
+  EXPECT_TRUE(eof_seen);
+  EXPECT_FALSE(net_.node_alive("node1"));
+  // The in-flight payload was dropped, not delivered post-mortem.
+  EXPECT_EQ(net_.bytes_for_service(5000), bytes0);
+}
+
 TEST_F(FailureTest, EphemeralPortsNeverCollide) {
   auto client = net_.spawn_process("node2", "client");
   auto server = net_.spawn_process("node1", "server");
