@@ -141,13 +141,9 @@ int main() {
                                           milliseconds(60)))},
   };
 
-  PerfReport perf("ablation");
-  std::vector<ExperimentSpec> specs;
-  for (const auto& run : runs()) specs.push_back(run.spec);
-  const auto results = bench::run_experiments(specs);
-  for (std::size_t i = 0; i < results.size(); ++i) {
-    perf.add(specs[i], results[i], runs()[i].label);
-  }
+  Sweep sweep("ablation");
+  for (const auto& run : runs()) sweep.add(run.spec, run.label);
+  const auto& results = sweep.run();
 
   print_key_lookup(results[a1_hash], results[a1_byte]);
   print_piggyback(results[a2_piggy], results[a2_separate]);
@@ -175,8 +171,5 @@ int main() {
   }
   std::printf("  -> adaptive keeps the 0%% failure rate while rejuvenating "
               "least often (least bandwidth + fewest hand-offs).\n");
-  if (!perf.write()) {
-    std::fprintf(stderr, "could not write BENCH_ablation.json\n");
-  }
-  return 0;
+  return sweep.finish();
 }

@@ -56,18 +56,15 @@ int main() {
        core::RecoveryScheme::kReactiveCache},
   };
 
-  PerfReport perf("fig3");
-  std::vector<ExperimentSpec> specs;
+  Sweep sweep("fig3");
   for (const auto& panel : panels) {
     ExperimentSpec spec;
     spec.scheme = panel.scheme;
-    specs.push_back(spec);
+    sweep.add(std::move(spec), panel.title);
   }
-  const auto results = bench::run_experiments(specs);
+  const auto& results = sweep.run();
   for (std::size_t i = 0; i < panels.size(); ++i) {
-    perf.add(specs[i], results[i], panels[i].title);
     print_panel(panels[i].title, results[i]);
   }
-  if (!perf.write()) std::fprintf(stderr, "could not write BENCH_fig3.json\n");
-  return 0;
+  return sweep.finish();
 }

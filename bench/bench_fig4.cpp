@@ -61,19 +61,16 @@ int main() {
        core::RecoveryScheme::kMeadMessage},
   };
 
-  PerfReport perf("fig4");
-  std::vector<ExperimentSpec> specs;
+  Sweep sweep("fig4");
   for (const auto& panel : panels) {
     ExperimentSpec spec;
     spec.scheme = panel.scheme;
     spec.thresholds = core::Thresholds{0.8, 0.9};
-    specs.push_back(spec);
+    sweep.add(std::move(spec), panel.title);
   }
-  const auto results = bench::run_experiments(specs);
+  const auto& results = sweep.run();
   for (std::size_t i = 0; i < panels.size(); ++i) {
-    perf.add(specs[i], results[i], panels[i].title);
     print_panel(panels[i].title, results[i]);
   }
-  if (!perf.write()) std::fprintf(stderr, "could not write BENCH_fig4.json\n");
-  return 0;
+  return sweep.finish();
 }

@@ -27,9 +27,7 @@ int main() {
 
   // Grid of (threshold, scheme) specs; trace names carry the threshold so
   // runs at different thresholds do not collide on (scheme, seed).
-  PerfReport perf("fig5");
-  std::vector<ExperimentSpec> specs;
-  std::vector<std::string> labels;
+  Sweep sweep("fig5");
   for (double t : thresholds) {
     for (int i = 0; i < 2; ++i) {
       ExperimentSpec spec;
@@ -40,21 +38,19 @@ int main() {
       std::snprintf(trace, sizeof trace, "trace_fig5_%s_t%02.0f_seed2004.jsonl",
                     i == 0 ? "lf" : "mead", t * 100);
       spec.trace_jsonl = trace;
-      specs.push_back(spec);
       char label[48];
       std::snprintf(label, sizeof label, "%s @%.0f%%",
                     i == 0 ? "LOCATION_FORWARD" : "MEAD message", t * 100);
-      labels.emplace_back(label);
+      sweep.add(std::move(spec), label);
     }
   }
-  const auto results = bench::run_experiments(specs);
+  const auto& results = sweep.run();
 
   for (std::size_t row = 0; row < thresholds.size(); ++row) {
     double bw[2] = {0, 0};
     std::size_t deaths[2] = {0, 0};
     for (int i = 0; i < 2; ++i) {
       const std::size_t idx = row * 2 + static_cast<std::size_t>(i);
-      perf.add(specs[idx], results[idx], labels[idx]);
       bw[i] = results[idx].gc_bandwidth_bps();
       deaths[i] = results[idx].server_failures;
     }
@@ -63,6 +59,5 @@ int main() {
   }
   std::printf("\nShape check (paper): bandwidth decreases monotonically as "
               "the threshold rises (~10kB/s @20%% -> ~6kB/s @80%%).\n");
-  if (!perf.write()) std::fprintf(stderr, "could not write BENCH_fig5.json\n");
-  return 0;
+  return sweep.finish();
 }

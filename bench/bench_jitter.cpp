@@ -32,22 +32,22 @@ void report(const char* name, const ExperimentResult& r) {
 int main() {
   std::printf("Jitter analysis (S5.2.5): 3-sigma outliers and max spikes\n\n");
 
-  std::vector<ExperimentSpec> specs;
+  Sweep sweep("jitter");
   std::vector<std::string> labels;
   {
     ExperimentSpec spec;
     spec.inject_leak = false;
     spec.scheme = core::RecoveryScheme::kReactiveNoCache;
     spec.trace_jsonl = "trace_jitter_faultfree_seed2004.jsonl";
-    specs.push_back(spec);
     labels.emplace_back("fault-free run");
+    sweep.add(std::move(spec), labels.back());
   }
   {
     ExperimentSpec spec;
     spec.scheme = core::RecoveryScheme::kReactiveNoCache;
     spec.trace_jsonl = "trace_jitter_reactive_seed2004.jsonl";
-    specs.push_back(spec);
     labels.emplace_back("reactive (no cache)");
+    sweep.add(std::move(spec), labels.back());
   }
   for (double t : {0.2, 0.4, 0.8}) {
     ExperimentSpec spec;
@@ -59,8 +59,8 @@ int main() {
     std::snprintf(trace, sizeof trace, "trace_jitter_lf_t%02.0f_seed2004.jsonl",
                   t * 100);
     spec.trace_jsonl = trace;
-    specs.push_back(spec);
     labels.emplace_back(label);
+    sweep.add(std::move(spec), labels.back());
   }
   for (double t : {0.2, 0.4, 0.8}) {
     ExperimentSpec spec;
@@ -72,20 +72,17 @@ int main() {
     std::snprintf(trace, sizeof trace,
                   "trace_jitter_mead_t%02.0f_seed2004.jsonl", t * 100);
     spec.trace_jsonl = trace;
-    specs.push_back(spec);
     labels.emplace_back(label);
+    sweep.add(std::move(spec), labels.back());
   }
 
-  PerfReport perf("jitter");
-  const auto results = bench::run_experiments(specs);
+  const auto& results = sweep.run();
   for (std::size_t i = 0; i < results.size(); ++i) {
-    perf.add(specs[i], results[i], labels[i]);
     report(labels[i].c_str(), results[i]);
   }
 
   std::printf("\nPaper anchors: outliers 1-2.5%% of samples; fault-free max "
               "~2.3ms; GIOP schemes <80%% threshold show ~30ms spikes; MEAD "
               "@20%% max ~6.9ms.\n");
-  if (!perf.write()) std::fprintf(stderr, "could not write BENCH_jitter.json\n");
-  return 0;
+  return sweep.finish();
 }

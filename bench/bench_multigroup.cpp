@@ -45,19 +45,16 @@ int main() {
   std::printf("%-8s %-7s %12s %12s %10s %14s\n", "Groups", "Nodes",
               "Invocations", "Events", "Wall(ms)", "Events/sec");
 
-  PerfReport perf("multigroup");
-  std::vector<ExperimentSpec> specs;
-  std::vector<std::string> labels;
+  Sweep sweep("multigroup");
   for (std::size_t g : group_counts) {
-    specs.push_back(spec_for(g, kInvocationsPerGroup));
-    labels.push_back(std::to_string(g) + " groups x 3 replicas");
+    sweep.add(spec_for(g, kInvocationsPerGroup),
+              std::to_string(g) + " groups x 3 replicas");
   }
-  const auto results = bench::run_experiments(specs);
+  const auto& results = sweep.run();
 
-  for (std::size_t i = 0; i < specs.size(); ++i) {
-    const ExperimentSpec& spec = specs[i];
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    const ExperimentSpec& spec = sweep.specs()[i];
     const ExperimentResult& r = results[i];
-    perf.add(spec, r, labels[i]);
     std::printf("%-8zu %-7zu %12llu %12llu %10.1f %14.0f\n",
                 spec.groups.size(), spec.topology.nodes.size(),
                 static_cast<unsigned long long>(r.total_invocations()),
@@ -73,9 +70,5 @@ int main() {
     }
   }
 
-  if (!perf.write()) {
-    std::fprintf(stderr, "could not write BENCH_multigroup.json\n");
-    return 1;
-  }
-  return 0;
+  return sweep.finish();
 }

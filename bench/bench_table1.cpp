@@ -53,17 +53,16 @@ int main() {
 
   // One spec per (scheme, seed); the whole grid fans out across the sweep
   // runner's thread pool, results come back in spec order.
-  PerfReport perf("table1");
-  std::vector<ExperimentSpec> specs;
+  Sweep sweep("table1");
   for (const auto& row : rows) {
     for (std::uint64_t seed : seeds) {
       ExperimentSpec spec;
       spec.scheme = row.scheme;
       spec.seed = seed;
-      specs.push_back(spec);
+      sweep.add(std::move(spec), row.name);
     }
   }
-  const auto results = bench::run_experiments(specs);
+  const auto& results = sweep.run();
 
   double baseline_rtt = 0;
   double baseline_failover = 0;
@@ -75,7 +74,6 @@ int main() {
     std::uint64_t exceptions = 0;
     for (std::size_t s = 0; s < seeds.size(); ++s, ++run_idx) {
       const ExperimentResult& r = results[run_idx];
-      perf.add(specs[run_idx], r, row.name);
       rtt_sum += r.client.steady_state_rtt_ms();
       for (double v : r.client.failover_ms.samples()) failover_all.add(v);
       deaths += r.server_failures;
@@ -113,6 +111,5 @@ int main() {
               "NA~8%% << LF~90%%; failures LF=MEAD=0 < NA~25%% < "
               "no-cache=100%% < cache~146%%; failover MEAD << LF < NA < "
               "no-cache < cache.\n");
-  if (!perf.write()) std::fprintf(stderr, "could not write BENCH_table1.json\n");
-  return 0;
+  return sweep.finish();
 }

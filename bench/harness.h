@@ -1,9 +1,14 @@
-// Thin bench-side shim over the app::Experiment facade (src/app/
+// Bench-side harness over the app::Experiment facade (src/app/
 // experiment.h): re-exports the spec/result types, derives per-bench event
-// trace artifact names, and keeps the ASCII series printer.
+// trace artifact names, owns the machine-readable perf artifacts
+// (BENCH_<name>.json), and packages the shared sweep boilerplate — declare
+// (label, spec) pairs, fan them out over the parallel runner, record every
+// run in the perf report — behind one Sweep class.
 #pragma once
 
 #include <algorithm>
+#include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -62,6 +67,172 @@ inline std::vector<ExperimentResult> run_experiments(
   }
   return app::run_experiments(specs, n_threads);
 }
+
+/// Collects per-run wall time / event / invocation counts and serializes
+/// them as BENCH_<name>.json (schema documented in EXPERIMENTS.md).
+/// Construct at the top of main() (the sweep wall clock starts there),
+/// add() each finished run, write() at the end. Most benches use it
+/// indirectly through Sweep.
+class PerfReport {
+ public:
+  explicit PerfReport(std::string bench_name)
+      : name_(std::move(bench_name)), threads_(bench_threads()),
+        sweep_start_(std::chrono::steady_clock::now()) {}
+
+  void add(const ExperimentSpec& spec, const ExperimentResult& r,
+           std::string label = {}) {
+    Run run;
+    run.label = label.empty() ? std::string(to_string(spec.scheme))
+                              : std::move(label);
+    run.scheme = std::string(to_string(spec.scheme));
+    run.seed = spec.seed;
+    run.wall_ms = r.wall_ms;
+    run.events = r.sim_events;
+    run.invocations = r.total_invocations();  // summed over every client
+    run.steady_rtt_ms = r.client.steady_state_rtt_ms();
+    run.gc_bps = r.gc_bandwidth_bps();
+    runs_.push_back(std::move(run));
+  }
+
+  /// Writes BENCH_<name>.json in the working directory; returns false on
+  /// I/O error. Totals use summed per-run wall time for events/sec (the
+  /// per-core aggregate) and report the sweep wall separately so parallel
+  /// speedup stays visible.
+  bool write() const {
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    const double sweep_ms = std::chrono::duration<double, std::milli>(
+                                std::chrono::steady_clock::now() - sweep_start_)
+                                .count();
+    double run_ms = 0;
+    std::uint64_t events = 0;
+    std::uint64_t invocations = 0;
+    for (const Run& r : runs_) {
+      run_ms += r.wall_ms;
+      events += r.events;
+      invocations += r.invocations;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"threads\": %u,\n"
+                    "  \"runs\": [\n",
+                 json_escape(name_).c_str(), threads_);
+    for (std::size_t i = 0; i < runs_.size(); ++i) {
+      const Run& r = runs_[i];
+      std::fprintf(
+          f,
+          "    {\"label\": \"%s\", \"scheme\": \"%s\", \"seed\": %llu, "
+          "\"wall_ms\": %.3f, \"events\": %llu, \"invocations\": %llu, "
+          "\"events_per_sec\": %.0f, \"invocations_per_sec\": %.0f, "
+          "\"steady_rtt_ms\": %.3f, \"gc_bps\": %.0f}%s\n",
+          json_escape(r.label).c_str(), json_escape(r.scheme).c_str(),
+          static_cast<unsigned long long>(r.seed), r.wall_ms,
+          static_cast<unsigned long long>(r.events),
+          static_cast<unsigned long long>(r.invocations),
+          per_second(r.events, r.wall_ms),
+          per_second(r.invocations, r.wall_ms), r.steady_rtt_ms, r.gc_bps,
+          i + 1 < runs_.size() ? "," : "");
+    }
+    std::fprintf(
+        f,
+        "  ],\n  \"totals\": {\"runs\": %zu, \"events\": %llu, "
+        "\"invocations\": %llu, \"run_wall_ms\": %.3f, "
+        "\"sweep_wall_ms\": %.3f, \"events_per_sec\": %.0f, "
+        "\"invocations_per_sec\": %.0f}\n}\n",
+        runs_.size(), static_cast<unsigned long long>(events),
+        static_cast<unsigned long long>(invocations), run_ms, sweep_ms,
+        per_second(events, run_ms), per_second(invocations, run_ms));
+    return std::fclose(f) == 0;
+  }
+
+ private:
+  struct Run {
+    std::string label;
+    std::string scheme;
+    std::uint64_t seed = 0;
+    double wall_ms = 0;
+    std::uint64_t events = 0;
+    std::uint64_t invocations = 0;
+    double steady_rtt_ms = 0;
+    double gc_bps = 0;
+  };
+
+  [[nodiscard]] static double per_second(std::uint64_t n, double ms) {
+    return ms > 0 ? static_cast<double>(n) * 1000.0 / ms : 0;
+  }
+
+  [[nodiscard]] static std::string json_escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::string name_;
+  unsigned threads_;
+  std::chrono::steady_clock::time_point sweep_start_;
+  std::vector<Run> runs_;
+};
+
+/// The boilerplate every sweep bench used to repeat — parallel specs/labels
+/// vectors, the run_experiments fan-out, the perf.add loop, the perf.write
+/// error message — in one object:
+///
+///   Sweep sweep("fig3");
+///   sweep.add(spec, "label");      // returns the run's index
+///   const auto& results = sweep.run();
+///   ... print from results ...
+///   return sweep.finish();         // writes BENCH_fig3.json
+class Sweep {
+ public:
+  explicit Sweep(std::string name) : name_(std::move(name)), perf_(name_) {}
+
+  /// Queues a run; returns its index into run()'s result vector.
+  std::size_t add(ExperimentSpec spec, std::string label = {}) {
+    specs_.push_back(std::move(spec));
+    labels_.push_back(std::move(label));
+    return specs_.size() - 1;
+  }
+
+  /// Fans every queued spec out over the parallel runner and records each
+  /// run in the perf report. Results are in add() order.
+  const std::vector<ExperimentResult>& run(
+      unsigned n_threads = bench_threads()) {
+    results_ = bench::run_experiments(specs_, n_threads);
+    for (std::size_t i = 0; i < results_.size(); ++i) {
+      perf_.add(specs_[i], results_[i], labels_[i]);
+    }
+    return results_;
+  }
+
+  /// Writes BENCH_<name>.json. Returns a process exit code (0 on success)
+  /// so mains can end with `return sweep.finish();`.
+  [[nodiscard]] int finish() const {
+    if (!perf_.write()) {
+      std::fprintf(stderr, "could not write BENCH_%s.json\n", name_.c_str());
+      return 1;
+    }
+    return 0;
+  }
+
+  [[nodiscard]] const std::vector<ExperimentSpec>& specs() const {
+    return specs_;
+  }
+  [[nodiscard]] const std::vector<ExperimentResult>& results() const {
+    return results_;
+  }
+  [[nodiscard]] std::size_t size() const { return specs_.size(); }
+  [[nodiscard]] PerfReport& report() { return perf_; }
+
+ private:
+  std::string name_;
+  PerfReport perf_;
+  std::vector<ExperimentSpec> specs_;
+  std::vector<std::string> labels_;
+  std::vector<ExperimentResult> results_;
+};
 
 /// Prints a compact ASCII sparkline of an RTT series (for figure benches).
 inline void print_series(const char* title, const Series& s,

@@ -1,118 +1,5 @@
-// Machine-readable perf artifacts: each bench records its runs in a
-// PerfReport and writes BENCH_<name>.json next to the trace JSONLs, so
-// successive commits leave a comparable throughput trajectory (schema
-// documented in EXPERIMENTS.md).
+// Compatibility shim: PerfReport (and the rest of the bench harness) now
+// lives in harness.h. Kept so `#include "perf.h"` keeps working.
 #pragma once
 
-#include <chrono>
-#include <cstdint>
-#include <cstdio>
-#include <string>
-#include <vector>
-
 #include "harness.h"
-
-namespace mead::bench {
-
-/// Collects per-run wall time / event / invocation counts and serializes
-/// them as BENCH_<name>.json. Construct at the top of main() (the sweep
-/// wall clock starts there), add() each finished run, write() at the end.
-class PerfReport {
- public:
-  explicit PerfReport(std::string bench_name)
-      : name_(std::move(bench_name)), threads_(bench_threads()),
-        sweep_start_(std::chrono::steady_clock::now()) {}
-
-  void add(const ExperimentSpec& spec, const ExperimentResult& r,
-           std::string label = {}) {
-    Run run;
-    run.label = label.empty() ? std::string(to_string(spec.scheme))
-                              : std::move(label);
-    run.scheme = std::string(to_string(spec.scheme));
-    run.seed = spec.seed;
-    run.wall_ms = r.wall_ms;
-    run.events = r.sim_events;
-    run.invocations = r.total_invocations();  // summed over every group's client
-    runs_.push_back(std::move(run));
-  }
-
-  /// Writes BENCH_<name>.json in the working directory; returns false on
-  /// I/O error. Totals use summed per-run wall time for events/sec (the
-  /// per-core aggregate) and report the sweep wall separately so parallel
-  /// speedup stays visible.
-  bool write() const {
-    const std::string path = "BENCH_" + name_ + ".json";
-    std::FILE* f = std::fopen(path.c_str(), "w");
-    if (f == nullptr) return false;
-    const double sweep_ms = std::chrono::duration<double, std::milli>(
-                                std::chrono::steady_clock::now() - sweep_start_)
-                                .count();
-    double run_ms = 0;
-    std::uint64_t events = 0;
-    std::uint64_t invocations = 0;
-    for (const Run& r : runs_) {
-      run_ms += r.wall_ms;
-      events += r.events;
-      invocations += r.invocations;
-    }
-    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"threads\": %u,\n"
-                    "  \"runs\": [\n",
-                 json_escape(name_).c_str(), threads_);
-    for (std::size_t i = 0; i < runs_.size(); ++i) {
-      const Run& r = runs_[i];
-      std::fprintf(
-          f,
-          "    {\"label\": \"%s\", \"scheme\": \"%s\", \"seed\": %llu, "
-          "\"wall_ms\": %.3f, \"events\": %llu, \"invocations\": %llu, "
-          "\"events_per_sec\": %.0f, \"invocations_per_sec\": %.0f}%s\n",
-          json_escape(r.label).c_str(), json_escape(r.scheme).c_str(),
-          static_cast<unsigned long long>(r.seed), r.wall_ms,
-          static_cast<unsigned long long>(r.events),
-          static_cast<unsigned long long>(r.invocations),
-          per_second(r.events, r.wall_ms),
-          per_second(r.invocations, r.wall_ms),
-          i + 1 < runs_.size() ? "," : "");
-    }
-    std::fprintf(
-        f,
-        "  ],\n  \"totals\": {\"runs\": %zu, \"events\": %llu, "
-        "\"invocations\": %llu, \"run_wall_ms\": %.3f, "
-        "\"sweep_wall_ms\": %.3f, \"events_per_sec\": %.0f, "
-        "\"invocations_per_sec\": %.0f}\n}\n",
-        runs_.size(), static_cast<unsigned long long>(events),
-        static_cast<unsigned long long>(invocations), run_ms, sweep_ms,
-        per_second(events, run_ms), per_second(invocations, run_ms));
-    return std::fclose(f) == 0;
-  }
-
- private:
-  struct Run {
-    std::string label;
-    std::string scheme;
-    std::uint64_t seed = 0;
-    double wall_ms = 0;
-    std::uint64_t events = 0;
-    std::uint64_t invocations = 0;
-  };
-
-  [[nodiscard]] static double per_second(std::uint64_t n, double ms) {
-    return ms > 0 ? static_cast<double>(n) * 1000.0 / ms : 0;
-  }
-
-  [[nodiscard]] static std::string json_escape(const std::string& s) {
-    std::string out;
-    out.reserve(s.size());
-    for (char c : s) {
-      if (c == '"' || c == '\\') out.push_back('\\');
-      out.push_back(c);
-    }
-    return out;
-  }
-
-  std::string name_;
-  unsigned threads_;
-  std::chrono::steady_clock::time_point sweep_start_;
-  std::vector<Run> runs_;
-};
-
-}  // namespace mead::bench

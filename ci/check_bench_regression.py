@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Bench-regression guard: diff BENCH_*.json against committed baselines.
+
+Every sweep bench writes BENCH_<name>.json with a `totals` section
+(events, invocations, events_per_sec, ...). This script compares each
+fresh file against `ci/bench_baselines/BENCH_<name>.json` and fails when
+throughput (totals.events_per_sec) regressed by more than the threshold
+(default 25%).
+
+Throughput is wall-clock dependent, so the committed baselines are only
+meaningful relative to the machine class they were recorded on; the wide
+default threshold makes the gate a collapse detector (an accidental
+O(n^2), a lost fast path), not a noise amplifier. The deterministic
+totals (events, invocations) are additionally checked for exact equality
+when the baseline records them for the same run count — those never vary
+with the host, so any drift means the workload itself changed and the
+baseline must be re-recorded (run with --update).
+
+Usage:
+  check_bench_regression.py [--threshold PCT] [--baseline-dir DIR]
+                            [--update] BENCH_a.json [BENCH_b.json ...]
+"""
+import argparse
+import json
+import pathlib
+import shutil
+import sys
+
+
+def load(path: pathlib.Path) -> dict:
+    with open(path, encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("files", nargs="+", type=pathlib.Path,
+                    help="fresh BENCH_*.json files to check")
+    ap.add_argument("--threshold", type=float, default=25.0,
+                    help="max allowed throughput regression, percent")
+    ap.add_argument("--baseline-dir", type=pathlib.Path,
+                    default=pathlib.Path(__file__).parent / "bench_baselines")
+    ap.add_argument("--update", action="store_true",
+                    help="copy the fresh files over the baselines and exit")
+    args = ap.parse_args()
+
+    if args.update:
+        args.baseline_dir.mkdir(parents=True, exist_ok=True)
+        for path in args.files:
+            shutil.copy(path, args.baseline_dir / path.name)
+            print(f"baseline updated: {path.name}")
+        return 0
+
+    failures = []
+    for path in args.files:
+        fresh = load(path)
+        base_path = args.baseline_dir / path.name
+        if not base_path.exists():
+            print(f"SKIP {path.name}: no baseline "
+                  f"(record one with --update)")
+            continue
+        base = load(base_path)
+        ft, bt = fresh.get("totals", {}), base.get("totals", {})
+
+        fresh_eps = ft.get("events_per_sec", 0)
+        base_eps = bt.get("events_per_sec", 0)
+        if base_eps > 0:
+            drop = 100.0 * (base_eps - fresh_eps) / base_eps
+            verdict = "FAIL" if drop > args.threshold else "ok"
+            print(f"{verdict:4s} {path.name}: {fresh_eps:,} events/s vs "
+                  f"baseline {base_eps:,} ({drop:+.1f}% regression, "
+                  f"threshold {args.threshold:.0f}%)")
+            if drop > args.threshold:
+                failures.append(path.name)
+
+        # Same sweep shape => the simulated workload must be bit-identical.
+        if ft.get("runs") == bt.get("runs"):
+            for key in ("events", "invocations"):
+                if key in bt and ft.get(key) != bt.get(key):
+                    print(f"FAIL {path.name}: deterministic totals.{key} "
+                          f"changed ({bt[key]} -> {ft.get(key)}); workload "
+                          f"drifted — re-record the baseline if intended")
+                    failures.append(path.name)
+
+    if failures:
+        print(f"\n{len(failures)} bench(es) regressed: "
+              f"{', '.join(sorted(set(failures)))}", file=sys.stderr)
+        return 1
+    print("\nall benches within threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

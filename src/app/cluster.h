@@ -80,6 +80,11 @@ struct ServiceGroupSpec {
   /// alive, unoccupied host (hosts, then the topology's worker pool), so
   /// relaunches route around crashed nodes.
   core::PlacementPolicy placement = core::PlacementPolicy::kCycle;
+  /// kWarmPassive (default): only the primary serves — the paper's model.
+  /// kActiveReadFanout: every live replica serves reads; the Recovery
+  /// Manager publishes the group's read set so routing clients can spread
+  /// read traffic over it.
+  core::ReplicationStyle style = core::ReplicationStyle::kWarmPassive;
 
   /// GC member name of one incarnation. The paper's default group keeps
   /// the historical bare "replica/N" names (seed-trace compatibility);

@@ -1,5 +1,6 @@
 #include "app/experiment.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -37,6 +38,28 @@ std::uint64_t Experiment::delta(const std::string& name) const {
 StartResult Experiment::start() {
   auto up = bed_.start();
   if (!up) return up;
+  // Stripe validation: every referenced group must exist, and a multi-
+  // service stripe cannot include a needs-addressing group (its group
+  // query protocol is single-service).
+  for (const auto& st : spec_.stripes) {
+    if (st.name.empty()) return start_error("stripe with empty name");
+    if (st.services.empty()) {
+      return start_error("stripe '" + st.name + "' lists no services");
+    }
+    for (const auto& svc : st.services) {
+      const ServiceGroup* g = bed_.group(svc);
+      if (g == nullptr) {
+        return start_error("stripe '" + st.name +
+                           "' references unknown service '" + svc + "'");
+      }
+      if (st.services.size() > 1 &&
+          g->spec().scheme == core::RecoveryScheme::kNeedsAddressing) {
+        return start_error("stripe '" + st.name +
+                           "' cannot stripe over needs-addressing group '" +
+                           svc + "'");
+      }
+    }
+  }
   deaths0_ = bed_.replica_deaths();
   gc_bytes0_ = bed_.gc_bytes();
   t0_ = bed_.sim().now();
@@ -59,17 +82,50 @@ StartResult Experiment::start() {
 }
 
 void Experiment::launch_client() {
-  // One measurement client per group, launched in group order (the spawn
-  // order is part of the deterministic event schedule).
-  for (const auto& g : bed_.groups()) {
-    ClientOptions copts;
+  // K clients per group, launched in group-major order, then the striped
+  // clients (the spawn order is part of the deterministic event schedule).
+  // K == 1 keeps the historical per-group naming ("client", "client.<svc>")
+  // so single-client runs stay bit-identical to the pre-K layout.
+  const int k_per_group = std::max(1, spec_.clients_per_group);
+  const auto& groups = bed_.groups();
+  auto add = [this](ClientOptions copts, std::size_t group_idx,
+                    std::string service) {
     copts.invocations = spec_.invocations;
     copts.spacing = spec_.spacing;
     copts.query_timeout = spec_.query_timeout;
-    copts.service = g->service();
+    copts.routing = spec_.routing;
     copts.invoke_timeout = spec_.invoke_timeout;
-    clients_.push_back(std::make_unique<ExperimentClient>(bed_, copts));
+    clients_.push_back(std::make_unique<ExperimentClient>(bed_, std::move(copts)));
+    client_group_.push_back(group_idx);
+    client_service_.push_back(std::move(service));
     bed_.sim().spawn(clients_.back()->run());
+  };
+  for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+    const std::string& svc = groups[gi]->service();
+    for (int k = 1; k <= k_per_group; ++k) {
+      ClientOptions copts;
+      copts.service = svc;
+      if (k_per_group > 1) {
+        const std::string id = svc + "/client/" + std::to_string(k);
+        copts.member = id;
+        copts.label = id;
+        copts.prefix = "client." + svc + "." + std::to_string(k);
+      }
+      add(std::move(copts), gi, svc);
+    }
+  }
+  for (const auto& st : spec_.stripes) {
+    const int n = std::max(1, st.clients);
+    for (int k = 1; k <= n; ++k) {
+      ClientOptions copts;
+      copts.services = st.services;
+      copts.member = st.name + "/client/" + std::to_string(k);
+      copts.label = n > 1 ? st.name + "/client/" + std::to_string(k)
+                          : st.name + "/client";
+      copts.prefix = n > 1 ? "client." + st.name + "." + std::to_string(k)
+                           : "client." + st.name;
+      add(std::move(copts), npos, st.name);
+    }
   }
 }
 
@@ -100,6 +156,20 @@ ExperimentResult Experiment::collect() const {
   out.sim_events = bed_.sim().events_processed();
   out.chaos_faults = delta("chaos.faults") - chaos0_;
   out.restripes = delta("rm.restripe.placements") - restripes0_;
+  // Per-client rollups, in launch order.
+  for (std::size_t i = 0; i < clients_.size(); ++i) {
+    const ClientResults cr = clients_[i]->results();
+    ClientRollup roll;
+    roll.label = clients_[i]->actor_label();
+    roll.prefix = clients_[i]->metrics_prefix();
+    roll.service = client_service_[i];
+    roll.invocations_completed = cr.invocations_completed;
+    roll.exceptions = cr.total_exceptions();
+    roll.naming_refreshes = cr.naming_refreshes;
+    roll.route_switches = cr.route_switches;
+    roll.steady_state_rtt_ms = cr.steady_state_rtt_ms();
+    out.client_results.push_back(std::move(roll));
+  }
   const auto& groups = bed_.groups();
   for (std::size_t i = 0; i < groups.size() && i < group_base_.size(); ++i) {
     const ServiceGroup& g = *groups[i];
@@ -113,13 +183,19 @@ ExperimentResult Experiment::collect() const {
         delta("rm.proactive_launches." + g.service()) - base.proactive0;
     gr.reactive_launches =
         delta("rm.reactive_launches." + g.service()) - base.reactive0;
-    if (i < clients_.size()) {
-      const ClientResults cr = clients_[i]->results();
-      gr.invocations_completed = cr.invocations_completed;
-      gr.client_exceptions = cr.total_exceptions();
-      gr.naming_refreshes = cr.naming_refreshes;
-      gr.steady_state_rtt_ms = cr.steady_state_rtt_ms();
+    double steady_sum = 0;
+    for (std::size_t c = 0; c < out.client_results.size(); ++c) {
+      if (client_group_[c] != i) continue;
+      const ClientRollup& roll = out.client_results[c];
+      gr.invocations_completed += roll.invocations_completed;
+      gr.client_exceptions += roll.exceptions;
+      gr.naming_refreshes += roll.naming_refreshes;
+      gr.route_switches += roll.route_switches;
+      steady_sum += roll.steady_state_rtt_ms;
+      ++gr.clients;
     }
+    gr.steady_state_rtt_ms =
+        gr.clients > 0 ? steady_sum / static_cast<double>(gr.clients) : 0;
     out.group_results.push_back(std::move(gr));
   }
   return out;

@@ -19,6 +19,16 @@
 
 namespace mead::app {
 
+/// A cross-group striping workload: one (or more) clients fanning
+/// invocations round-robin over several service groups. `name` namespaces
+/// the clients' counters ("client.<name>[.<k>].*") and member names.
+struct StripeSpec {
+  std::string name;
+  std::vector<std::string> services;
+  /// Concurrent clients running this stripe.
+  int clients = 1;
+};
+
 /// Everything one §5 measurement run needs. Defaults: five-node testbed,
 /// one TimeOfDay group, 10,000 invocations at 1 ms, seed 2004 (DSN 2004).
 struct ExperimentSpec {
@@ -42,6 +52,16 @@ struct ExperimentSpec {
   /// from the scalar fields above. Each group gets its own measurement
   /// client issuing `invocations` requests.
   std::vector<ServiceGroupSpec> groups;
+  /// Measurement clients per group. 1 (the default) keeps the paper's
+  /// layout and its historical counter names ("client.*"); K > 1 runs K
+  /// concurrent clients per group, each under its own metrics namespace
+  /// "client.<service>.<k>.*" and member name "<service>/client/<k>".
+  int clients_per_group = 1;
+  /// Read-routing policy for every measurement client. Only effective
+  /// against kActiveReadFanout groups; kPrimaryOnly is the paper's model.
+  orb::RoutingPolicy routing = orb::RoutingPolicy::kPrimaryOnly;
+  /// Cross-group striping workloads, launched after the per-group clients.
+  std::vector<StripeSpec> stripes;
   /// Declarative fault schedule replayed once the world is up. Empty (the
   /// default): no chaos machinery is constructed at all.
   fault::ChaosSchedule chaos;
@@ -60,9 +80,26 @@ struct GroupResult {
   std::uint64_t launches = 0;          // registry delta "rm.launches.<svc>"
   std::uint64_t proactive_launches = 0;
   std::uint64_t reactive_launches = 0;
-  std::uint64_t invocations_completed = 0;  // this group's client
+  std::uint64_t invocations_completed = 0;  // summed over the group's clients
   std::uint64_t client_exceptions = 0;
   std::uint64_t naming_refreshes = 0;
+  std::uint64_t route_switches = 0;
+  std::size_t clients = 0;             // measurement clients on this group
+  /// Mean of the group's clients' steady-state RTTs (the single client's
+  /// value when clients == 1).
+  double steady_state_rtt_ms = 0;
+};
+
+/// Per-client rollup: one entry per measurement client, in launch order
+/// (group clients first, group-major, then striped clients).
+struct ClientRollup {
+  std::string label;    // obs actor ("client", "svcB/client/2", ...)
+  std::string prefix;   // metrics namespace ("client", "client.<svc>.<k>")
+  std::string service;  // measured service; stripe name for striped clients
+  std::uint64_t invocations_completed = 0;
+  std::uint64_t exceptions = 0;
+  std::uint64_t naming_refreshes = 0;
+  std::uint64_t route_switches = 0;
   double steady_state_rtt_ms = 0;
 };
 
@@ -83,6 +120,8 @@ struct ExperimentResult {
   double wall_ms = 0;                  // real (host) time spent in run()
   /// One entry per hosted group, in spec order.
   std::vector<GroupResult> group_results;
+  /// One entry per measurement client, in launch order.
+  std::vector<ClientRollup> client_results;
 
   [[nodiscard]] double gc_bandwidth_bps() const {
     return duration_s > 0 ? static_cast<double>(gc_bytes) / duration_s : 0;
@@ -94,8 +133,14 @@ struct ExperimentResult {
     return 100.0 * static_cast<double>(client.total_exceptions()) /
            static_cast<double>(server_failures);
   }
-  /// Invocations completed across every group's client.
+  /// Invocations completed across every measurement client (group clients
+  /// and striped clients alike).
   [[nodiscard]] std::uint64_t total_invocations() const {
+    if (!client_results.empty()) {
+      std::uint64_t n = 0;
+      for (const auto& c : client_results) n += c.invocations_completed;
+      return n;
+    }
     if (group_results.empty()) return client.invocations_completed;
     std::uint64_t n = 0;
     for (const auto& g : group_results) n += g.invocations_completed;
@@ -113,9 +158,11 @@ class Experiment {
   Experiment& operator=(const Experiment&) = delete;
   ~Experiment();
 
-  /// Bring the world up and snapshot counter baselines.
+  /// Bring the world up, validate stripes, snapshot counter baselines.
   [[nodiscard]] StartResult start();
-  /// Spawn one measurement client per group (after start() succeeds).
+  /// Spawn the measurement clients (after start() succeeds):
+  /// clients_per_group per group in group-major order, then the striped
+  /// clients in stripe order.
   void launch_client();
   /// Drive the simulation until every client finishes (bounded at 300 s
   /// virtual time so a wedged run still terminates).
@@ -150,6 +197,11 @@ class Experiment {
   ExperimentSpec spec_;
   Testbed bed_;
   std::vector<std::unique_ptr<ExperimentClient>> clients_;
+  /// clients_[i]'s group index in bed_.groups(); npos for striped clients.
+  std::vector<std::size_t> client_group_;
+  /// clients_[i]'s measured service (the stripe name for striped clients).
+  std::vector<std::string> client_service_;
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
 
   // Baselines captured by start().
   struct GroupBaseline {

@@ -24,19 +24,41 @@ double ClientResults::steady_state_rtt_ms() const {
 
 ExperimentClient::ExperimentClient(Testbed& bed, ClientOptions opts)
     : bed_(bed), opts_(std::move(opts)) {
+  // One target per measured service: the single `service` by default, the
+  // stripe list when given.
+  std::vector<std::string> services = opts_.services;
+  if (services.empty()) services.push_back(opts_.service);
+  const bool striped = services.size() > 1;
+
   // The paper's group keeps the historical bare names ("client", registry
   // keys "client.*"); other groups are service-qualified so concurrent
-  // per-group clients never share counters or member names.
-  const bool default_group = opts_.service == kServiceName;
+  // per-group clients never share counters or member names. Striped and
+  // K>1 clients receive explicit names from the Experiment.
+  const bool default_group = !striped && services.front() == kServiceName;
   if (opts_.member.empty()) {
-    opts_.member = default_group ? "client/1" : opts_.service + "/client/1";
+    opts_.member = striped ? "stripe/client/1"
+                   : default_group ? "client/1"
+                                   : services.front() + "/client/1";
   }
   label_ = opts_.label.empty()
-               ? (default_group ? "client" : opts_.service + "/client")
+               ? (striped          ? "stripe/client"
+                  : default_group  ? "client"
+                                   : services.front() + "/client")
                : opts_.label;
-  prefix_ = default_group ? "client" : "client." + opts_.service;
-  const ServiceGroup* group = bed_.group(opts_.service);
-  scheme_ = group != nullptr ? group->spec().scheme : bed_.options().scheme;
+  prefix_ = opts_.prefix.empty()
+                ? (striped         ? "client.stripe"
+                   : default_group ? "client"
+                                   : "client." + services.front())
+                : opts_.prefix;
+
+  for (const auto& svc : services) {
+    Target t;
+    t.service = svc;
+    const ServiceGroup* group = bed_.group(svc);
+    t.scheme = group != nullptr ? group->spec().scheme : bed_.options().scheme;
+    targets_.push_back(std::move(t));
+  }
+  scheme_ = targets_.front().scheme;
   proc_ = bed_.net().spawn_process(bed_.client_host(), label_);
 
   auto& metrics = bed_.sim().obs().metrics();
@@ -50,14 +72,31 @@ ExperimentClient::ExperimentClient(Testbed& bed, ClientOptions opts)
   transients_ = hook(prefix_ + ".transients");
   other_exceptions_ = hook(prefix_ + ".other_exceptions");
   naming_refreshes_ = hook(prefix_ + ".naming_refreshes");
+  route_switches_ = hook(prefix_ + ".route_switches");
 
+  // The client interceptor is per-process. NEEDS_ADDRESSING queries one
+  // group, so striping across it is a configuration error; the MEAD
+  // scheme's frame handling is per-connection and stripes fine.
+  const Target* intercepted = nullptr;
+  for (const auto& t : targets_) {
+    if (t.scheme == core::RecoveryScheme::kNeedsAddressing ||
+        t.scheme == core::RecoveryScheme::kMeadMessage) {
+      intercepted = &t;
+      break;
+    }
+  }
+  if (intercepted != nullptr &&
+      intercepted->scheme == core::RecoveryScheme::kNeedsAddressing &&
+      targets_.size() > 1) {
+    config_error_ =
+        "striped clients cannot use needs-addressing (single-service query)";
+  }
   net::SocketApi* api = &proc_->api();
-  if (scheme_ == core::RecoveryScheme::kNeedsAddressing ||
-      scheme_ == core::RecoveryScheme::kMeadMessage) {
+  if (intercepted != nullptr && config_error_.empty()) {
     core::MeadConfig cfg;
-    cfg.scheme = scheme_;
+    cfg.scheme = intercepted->scheme;
     cfg.costs = bed_.options().calib.interceptor_costs();
-    cfg.service = opts_.service;
+    cfg.service = intercepted->service;
     cfg.member = opts_.member;
     cfg.daemon = net::Endpoint{bed_.client_host(), gc::kDefaultDaemonPort};
     mead_ = std::make_unique<core::ClientMead>(proc_, cfg);
@@ -79,6 +118,7 @@ ClientResults ExperimentClient::results() const {
   out.transients = transients_.delta();
   out.other_exceptions = other_exceptions_.delta();
   out.naming_refreshes = naming_refreshes_.delta();
+  out.route_switches = route_switches_.delta();
   return out;
 }
 
@@ -98,7 +138,54 @@ void ExperimentClient::note_exception(giop::SysExKind kind) {
                         std::string(giop::repository_id(kind)));
 }
 
+sim::Task<StartResult> ExperimentClient::setup_target(Target& target) {
+  if (target.scheme == core::RecoveryScheme::kReactiveCache) {
+    auto all = co_await naming_->resolve_all(target.service);
+    if (!all || all->empty()) {
+      co_return start_error("initial resolve_all returned no bindings");
+    }
+    target.cache = std::move(all.value());
+    target.cache_idx = 0;
+    target.stub = std::make_unique<orb::Stub>(*orb_, target.cache[0]);
+  } else {
+    auto primary = co_await naming_->resolve(target.service);
+    if (!primary) {
+      co_return start_error("initial Naming resolve failed");
+    }
+    target.stub = std::make_unique<orb::Stub>(*orb_, std::move(primary.value()));
+  }
+  // Read-fanout routing: attach a router and keep it fed with the Recovery
+  // Manager's read-set updates. Warm-passive groups have no read set, so a
+  // non-default policy quietly degenerates to primary-only there.
+  if (opts_.routing != orb::RoutingPolicy::kPrimaryOnly) {
+    const ServiceGroup* group = bed_.group(target.service);
+    if (group != nullptr &&
+        group->spec().style == core::ReplicationStyle::kActiveReadFanout) {
+      target.router = std::make_unique<orb::Router>(opts_.routing);
+      target.stub->set_router(target.router.get());
+      orb::Router* router = target.router.get();
+      target.read_set = std::make_unique<core::ReadSetSubscriber>(
+          *proc_, opts_.member + "/rs/" + target.service,
+          net::Endpoint{bed_.client_host(), gc::kDefaultDaemonPort},
+          target.service, [router](const core::ReadSet& rs) {
+            std::vector<orb::Router::Target> members;
+            members.reserve(rs.entries.size());
+            for (const auto& e : rs.entries) {
+              members.push_back(orb::Router::Target{e.member, e.ior});
+            }
+            router->update(rs.version, rs.primary, std::move(members));
+          });
+      const bool up = co_await target.read_set->start();
+      if (!up) {
+        co_return start_error("read-set subscriber could not reach daemon");
+      }
+    }
+  }
+  co_return StartResult{};
+}
+
 sim::Task<StartResult> ExperimentClient::setup() {
+  if (!config_error_.empty()) co_return start_error(config_error_);
   if (mead_) {
     const bool up = co_await mead_->start();
     if (!up) {
@@ -106,34 +193,24 @@ sim::Task<StartResult> ExperimentClient::setup() {
     }
   }
   // Initial Naming Service contact — the paper's "initial transient spike".
+  // Striped clients resolve every target here; sample 0 covers them all.
   const TimePoint t0 = proc_->sim().now();
-  if (scheme_ == core::RecoveryScheme::kReactiveCache) {
-    auto all = co_await naming_->resolve_all(opts_.service);
-    if (!all || all->empty()) {
-      co_return start_error("initial resolve_all returned no bindings");
-    }
-    cache_ = std::move(all.value());
-    cache_idx_ = 0;
-    stub_ = std::make_unique<orb::Stub>(*orb_, cache_[0]);
-  } else {
-    auto primary = co_await naming_->resolve(opts_.service);
-    if (!primary) {
-      co_return start_error("initial Naming resolve failed");
-    }
-    stub_ = std::make_unique<orb::Stub>(*orb_, std::move(primary.value()));
+  for (auto& target : targets_) {
+    auto up = co_await setup_target(target);
+    if (!up) co_return up;
   }
   results_.rtt_ms.add((proc_->sim().now() - t0).ms());
   co_return StartResult{};
 }
 
-sim::Task<void> ExperimentClient::recover_no_cache() {
+sim::Task<void> ExperimentClient::recover_no_cache(Target& target) {
   // "the client ... contact[s] the CORBA Naming Service for the address of
   // the next available server replica" (§5): fetch fresh bindings and move
   // to the entry after the one that just failed.
   naming_refreshes_.bump();
   bed_.sim().obs().emit(obs::EventKind::kNamingRefresh, label_, "no-cache");
-  const std::string failed_host = stub_->target().endpoint.host;
-  auto all = co_await naming_->resolve_all(opts_.service);
+  const std::string failed_host = target.stub->target().endpoint.host;
+  auto all = co_await naming_->resolve_all(target.service);
   if (!all || all->empty()) co_return;  // naming outage: retry next loop
   const auto& list = all.value();
   std::size_t failed_idx = list.size();
@@ -145,10 +222,11 @@ sim::Task<void> ExperimentClient::recover_no_cache() {
   }
   const std::size_t pick =
       failed_idx == list.size() ? 0 : (failed_idx + 1) % list.size();
-  stub_->rebind(list[pick]);
+  target.stub->rebind(list[pick]);
 }
 
-sim::Task<void> ExperimentClient::recover_cached(giop::SysExKind kind) {
+sim::Task<void> ExperimentClient::recover_cached(Target& target,
+                                                 giop::SysExKind kind) {
   if (kind == giop::SysExKind::kTransient) {
     // Stale cache reference (§5.2.1): the entry points at a dead
     // incarnation's old address. Refresh all replica references in one
@@ -156,30 +234,31 @@ sim::Task<void> ExperimentClient::recover_cached(giop::SysExKind kind) {
     // three replica references") and retry the refreshed slot.
     naming_refreshes_.bump();
     bed_.sim().obs().emit(obs::EventKind::kNamingRefresh, label_, "cached");
-    auto all = co_await naming_->resolve_all(opts_.service);
+    auto all = co_await naming_->resolve_all(target.service);
     if (all && !all->empty()) {
-      cache_ = std::move(all.value());
+      target.cache = std::move(all.value());
       // Move past the stale slot: its host is typically mid-relaunch and
       // not yet re-registered, so retrying it would only raise another
       // TRANSIENT (the paper sees a single TRANSIENT, then the ~9.7 ms
       // refresh spike, then "a correct response").
-      cache_idx_ = (cache_idx_ + 1) % cache_.size();
-      stub_->rebind(cache_[cache_idx_]);
+      target.cache_idx = (target.cache_idx + 1) % target.cache.size();
+      target.stub->rebind(target.cache[target.cache_idx]);
       co_return;
     }
   }
   // COMM_FAILURE: "the client ... moved on to the next entry in the cache".
-  cache_idx_ = (cache_idx_ + 1) % cache_.size();
-  stub_->rebind(cache_[cache_idx_]);
+  target.cache_idx = (target.cache_idx + 1) % target.cache.size();
+  target.stub->rebind(target.cache[target.cache_idx]);
 }
 
-sim::Task<void> ExperimentClient::recover(giop::SysExKind kind) {
-  if (scheme_ == core::RecoveryScheme::kReactiveCache) {
-    co_await recover_cached(kind);
+sim::Task<void> ExperimentClient::recover(Target& target,
+                                          giop::SysExKind kind) {
+  if (target.scheme == core::RecoveryScheme::kReactiveCache) {
+    co_await recover_cached(target, kind);
   } else {
     // No-cache policy; also the fallback for proactive schemes when a
     // failure reached the application anyway.
-    co_await recover_no_cache();
+    co_await recover_no_cache(target);
   }
 }
 
@@ -199,15 +278,18 @@ sim::Task<void> ExperimentClient::run() {
   rtt_series.reserve(static_cast<std::size_t>(opts_.invocations));
 
   for (int i = 0; i < opts_.invocations && proc_->alive(); ++i) {
+    // Striping: invocation i goes to service i % N.
+    Target& target = targets_[static_cast<std::size_t>(i) % targets_.size()];
     const TimePoint t0 = proc_->sim().now();
-    const std::uint64_t forwards0 = stub_->forwards_followed();
-    const std::uint64_t readdress0 = stub_->readdress_retries();
+    const std::uint64_t forwards0 = target.stub->forwards_followed();
+    const std::uint64_t readdress0 = target.stub->readdress_retries();
+    const std::uint64_t switches0 = target.stub->route_switches();
     const std::uint64_t redirects0 =
         mead_ ? mead_->stats().mead_redirects : 0;
     bool exception_seen = false;
 
     for (;;) {
-      auto reply = co_await get_time(*stub_);
+      auto reply = co_await get_time(*target.stub);
       if (reply) break;
       if (!exception_seen) {
         exception_seen = true;
@@ -216,18 +298,25 @@ sim::Task<void> ExperimentClient::run() {
                  static_cast<double>(i));
       }
       note_exception(reply.error().kind);
+      // A routed-to read replica failed: drop it from the rotation until
+      // the next read-set update, then run the scheme's usual recovery.
+      if (target.router) target.router->note_failure();
       if (!proc_->alive()) co_return;
-      co_await recover(reply.error().kind);
+      co_await recover(target, reply.error().kind);
     }
 
     const Duration rtt = proc_->sim().now() - t0;
     results_.rtt_ms.add(rtt.ms());
     rtt_series.add(rtt.ms());
     ++results_.invocations_completed;
+    if (const std::uint64_t s = target.stub->route_switches() - switches0;
+        s > 0) {
+      route_switches_.counter->add(s);
+    }
 
     const bool recovery_event =
-        exception_seen || stub_->forwards_followed() > forwards0 ||
-        stub_->readdress_retries() > readdress0 ||
+        exception_seen || target.stub->forwards_followed() > forwards0 ||
+        target.stub->readdress_retries() > readdress0 ||
         (mead_ && mead_->stats().mead_redirects > redirects0);
     if (recovery_event) {
       results_.failover_ms.add(rtt.ms());

@@ -12,6 +12,13 @@
 //    followed natively by the ORB, NEEDS_ADDRESSING and MEAD messages are
 //    handled beneath it by the client interceptor. The reactive no-cache
 //    policy remains as a fallback for unmasked failures.
+//
+// A client measures one service by default but can *stripe* over several
+// (options.services): invocation i goes to service i % N, each service
+// keeping its own stub, reference cache, and recovery scheme. Against
+// kActiveReadFanout groups a routing policy other than kPrimaryOnly
+// attaches an orb::Router fed by the Recovery Manager's read-set updates,
+// spreading reads over the group's live replicas.
 #pragma once
 
 #include <memory>
@@ -21,7 +28,9 @@
 #include "app/timeofday.h"
 #include "common/stats.h"
 #include "core/client_mead.h"
+#include "core/read_set.h"
 #include "naming/naming.h"
+#include "orb/routing.h"
 #include "orb/stub.h"
 
 namespace mead::app {
@@ -35,12 +44,25 @@ struct ClientOptions {
   /// Which service group to measure. The client's recovery scheme is the
   /// group's scheme.
   std::string service = kServiceName;
+  /// Striping: when non-empty, the client fans invocations round-robin
+  /// over these services (`service` is ignored). Each target keeps its own
+  /// stub/cache and uses its own group's recovery scheme. Striped clients
+  /// cannot use kNeedsAddressing (its group query is single-service).
+  std::vector<std::string> services;
+  /// Read-routing policy. Only effective against kActiveReadFanout groups
+  /// (warm-passive groups have no read set); kPrimaryOnly is the paper's
+  /// behaviour.
+  orb::RoutingPolicy routing = orb::RoutingPolicy::kPrimaryOnly;
   /// GC member name; empty derives "client/1" for the paper's group and
   /// "<service>/client/1" otherwise (member names are cluster-global).
   std::string member;
   /// Process + obs actor label; empty derives "client" for the paper's
   /// group and "<service>/client" otherwise.
   std::string label;
+  /// Metrics key prefix; empty derives "client" for the paper's group and
+  /// "client.<service>" otherwise. Multi-client experiments pass
+  /// "client.<service>.<k>" here so fleets never share counters.
+  std::string prefix;
   /// Reply deadline per invocation (reported as a CommFailure). Unset:
   /// wait indefinitely — the pre-chaos behaviour, where a dead server
   /// always surfaces as EOF. Chaos partitions need the deadline.
@@ -65,6 +87,8 @@ struct ClientResults {
   std::uint64_t other_exceptions = 0;
   std::uint64_t invocations_completed = 0;
   std::uint64_t naming_refreshes = 0;
+  /// Router-driven stub re-targets ("<prefix>.route_switches").
+  std::uint64_t route_switches = 0;
 
   [[nodiscard]] std::uint64_t total_exceptions() const {
     return comm_failures + transients + other_exceptions;
@@ -91,29 +115,55 @@ class ExperimentClient {
   /// taxonomy read back from the metrics registry.
   [[nodiscard]] ClientResults results() const;
   [[nodiscard]] const core::ClientMead* interceptor() const { return mead_.get(); }
-  [[nodiscard]] const orb::Stub* stub() const { return stub_.get(); }
+  /// The first target's stub (the only one for non-striped clients); null
+  /// before setup() ran.
+  [[nodiscard]] const orb::Stub* stub() const {
+    return targets_.empty() ? nullptr : targets_.front().stub.get();
+  }
+  /// The first target's router; null unless a routing policy is attached.
+  [[nodiscard]] const orb::Router* router() const {
+    return targets_.empty() ? nullptr : targets_.front().router.get();
+  }
+  [[nodiscard]] std::size_t target_count() const { return targets_.size(); }
+  /// Process name / obs actor ("client", "<svc>/client", "stripe/client").
+  [[nodiscard]] const std::string& actor_label() const { return label_; }
+  /// Metrics namespace ("client", "client.<svc>", "client.<svc>.<k>").
+  [[nodiscard]] const std::string& metrics_prefix() const { return prefix_; }
+  [[nodiscard]] const ClientOptions& options() const { return opts_; }
 
  private:
+  /// Everything one measured service needs: its stub, reference cache,
+  /// recovery scheme, and (under read-fanout routing) router + read-set
+  /// subscription.
+  struct Target {
+    std::string service;
+    core::RecoveryScheme scheme = core::RecoveryScheme::kReactiveNoCache;
+    std::unique_ptr<orb::Stub> stub;
+    std::unique_ptr<orb::Router> router;
+    std::unique_ptr<core::ReadSetSubscriber> read_set;
+    std::vector<giop::IOR> cache;
+    std::size_t cache_idx = 0;
+  };
+
   [[nodiscard]] sim::Task<StartResult> setup();
-  [[nodiscard]] sim::Task<void> recover(giop::SysExKind kind);
-  [[nodiscard]] sim::Task<void> recover_no_cache();
-  [[nodiscard]] sim::Task<void> recover_cached(giop::SysExKind kind);
+  [[nodiscard]] sim::Task<StartResult> setup_target(Target& target);
+  [[nodiscard]] sim::Task<void> recover(Target& target, giop::SysExKind kind);
+  [[nodiscard]] sim::Task<void> recover_no_cache(Target& target);
+  [[nodiscard]] sim::Task<void> recover_cached(Target& target,
+                                               giop::SysExKind kind);
   void note_exception(giop::SysExKind kind);
 
   Testbed& bed_;
   ClientOptions opts_;
   std::string label_;    // process name + obs actor
   std::string prefix_;   // registry key prefix ("client" / "client.<svc>")
-  core::RecoveryScheme scheme_;
+  core::RecoveryScheme scheme_;  // first target's scheme (logging)
   net::ProcessPtr proc_;
   std::unique_ptr<core::ClientMead> mead_;  // NEEDS_ADDRESSING / MEAD only
   std::unique_ptr<orb::Orb> orb_;
   std::unique_ptr<naming::NamingClient> naming_;
-  std::unique_ptr<orb::Stub> stub_;
-
-  std::vector<giop::IOR> cache_;
-  std::size_t cache_idx_ = 0;
-  std::size_t failures_since_refresh_ = 0;
+  std::vector<Target> targets_;
+  std::string config_error_;  // non-empty: run() fails fast with this
 
   /// Registry counters for the exception taxonomy (single source of truth)
   /// plus their values at construction, so results() reports this client's
@@ -130,6 +180,7 @@ class ExperimentClient {
   TaxonomyCounter transients_;
   TaxonomyCounter other_exceptions_;
   TaxonomyCounter naming_refreshes_;
+  TaxonomyCounter route_switches_;
 
   ClientResults results_;
   bool done_ = false;

@@ -158,6 +158,7 @@ StartResult Testbed::start() {
   for (const auto& g : groups_) {
     core::GroupTarget target{g->service(), g->spec().replica_count};
     target.placement = g->spec().placement;
+    target.style = g->spec().style;
     if (target.placement == core::PlacementPolicy::kRestripe) {
       target.hosts = g->hosts();
       // Spill pool: the whole worker set, so a group survives losing its

@@ -36,6 +36,20 @@ enum class RecoveryScheme {
          s == RecoveryScheme::kMeadMessage;
 }
 
+/// How a group's live replicas share client traffic.
+enum class ReplicationStyle : std::uint8_t {
+  kWarmPassive,      // the paper's model: one serving primary, warm backups
+  kActiveReadFanout, // all live replicas serve reads; primary serves writes
+};
+
+[[nodiscard]] constexpr std::string_view to_string(ReplicationStyle s) {
+  switch (s) {
+    case ReplicationStyle::kWarmPassive: return "warm-passive";
+    case ReplicationStyle::kActiveReadFanout: return "active-read-fanout";
+  }
+  return "?";
+}
+
 /// How the Recovery Manager chooses a host for a new replica incarnation.
 enum class PlacementPolicy : std::uint8_t {
   kCycle,     // hosts[(incarnation-1) % size] — the paper's static cycle
@@ -136,6 +150,11 @@ struct MeadConfig {
 }
 [[nodiscard]] inline std::string control_group(const std::string& service) {
   return "mead/" + service + "/control";
+}
+/// Read-fanout groups only: the Recovery Manager multicasts kReadSet
+/// updates here; routing clients join it to keep their read set fresh.
+[[nodiscard]] inline std::string read_set_group(const std::string& service) {
+  return "mead/" + service + "/readset";
 }
 
 }  // namespace mead::core

@@ -106,6 +106,15 @@ Bytes encode_primary_answer(const PrimaryAnswer& m) {
   return ctrl_frame(CtrlKind::kPrimaryAnswer, w.buffer());
 }
 
+Bytes encode_read_set(const ReadSet& m) {
+  CdrWriter w;
+  w.write_u64(m.version);
+  w.write_string(m.primary);
+  w.write_u32(static_cast<std::uint32_t>(m.entries.size()));
+  for (const auto& e : m.entries) write_announce(w, e);
+  return ctrl_frame(CtrlKind::kReadSet, w.buffer());
+}
+
 Bytes encode_state(const StateTransfer& m) {
   CdrWriter w;
   w.write_string(m.member);
@@ -173,6 +182,26 @@ std::optional<CtrlMsg> decode_ctrl(const Bytes& payload) {
       msg.answer = PrimaryAnswer{
           std::move(member.value()),
           net::Endpoint{std::move(host.value()), port.value()}, nonce.value()};
+      return msg;
+    }
+    case CtrlKind::kReadSet: {
+      msg.kind = CtrlKind::kReadSet;
+      auto version = r.read_u64();
+      if (!version) return std::nullopt;
+      auto primary = r.read_string();
+      if (!primary) return std::nullopt;
+      auto n = r.read_u32();
+      if (!n) return std::nullopt;
+      ReadSet rs;
+      rs.version = version.value();
+      rs.primary = std::move(primary.value());
+      rs.entries.reserve(n.value());
+      for (std::uint32_t i = 0; i < n.value(); ++i) {
+        auto a = read_announce(r);
+        if (!a) return std::nullopt;
+        rs.entries.push_back(std::move(*a));
+      }
+      msg.read_set = std::move(rs);
       return msg;
     }
     case CtrlKind::kState: {

@@ -45,6 +45,7 @@ enum class CtrlKind : std::uint8_t {
   kPrimaryQuery = 4,  // NEEDS_ADDRESSING client asks "who is primary?"
   kPrimaryAnswer = 5, // first replica answers with its address
   kState = 6,         // warm-passive state transfer
+  kReadSet = 7,       // RM publishes the read-fanout serving set
 };
 
 struct Announce {
@@ -107,7 +108,21 @@ struct StateTransfer {
   friend bool operator==(const StateTransfer&, const StateTransfer&) = default;
 };
 
+/// Read-fanout serving set for one group, published by the Recovery
+/// Manager on the group's read-set GC group whenever membership changes
+/// (doom, recovery, announcement). `version` is monotone per group so
+/// clients can discard reordered/stale updates; `primary` names the
+/// write target (first live entry).
+struct ReadSet {
+  ReadSet() = default;
+  std::uint64_t version = 0;
+  std::string primary;
+  std::vector<Announce> entries;
+  friend bool operator==(const ReadSet&, const ReadSet&) = default;
+};
+
 Bytes encode_announce(const Announce& m);
+Bytes encode_read_set(const ReadSet& m);
 Bytes encode_listing(const Listing& m);
 Bytes encode_launch_request(const LaunchRequest& m);
 Bytes encode_primary_query(const PrimaryQuery& m);
@@ -123,6 +138,7 @@ struct CtrlMsg {
   std::optional<PrimaryQuery> query;      // kPrimaryQuery
   std::optional<PrimaryAnswer> answer;    // kPrimaryAnswer
   std::optional<StateTransfer> state;     // kState
+  std::optional<ReadSet> read_set;        // kReadSet
 };
 
 std::optional<CtrlMsg> decode_ctrl(const Bytes& payload);

@@ -17,7 +17,9 @@ RecoveryManager::RecoveryManager(net::ProcessPtr proc,
       restripe_placements_(
           proc_->sim().obs().metrics().counter("rm.restripe.placements")),
       restripe_skipped_(
-          proc_->sim().obs().metrics().counter("rm.restripe.skipped")) {
+          proc_->sim().obs().metrics().counter("rm.restripe.skipped")),
+      readset_updates_(
+          proc_->sim().obs().metrics().counter("rm.readset.updates")) {
   gc_ = std::make_unique<gc::GcClient>(*proc_, cfg_.member, cfg_.daemon);
   auto& metrics = proc_->sim().obs().metrics();
   for (const auto& target : cfg_.groups) {
@@ -32,8 +34,13 @@ RecoveryManager::RecoveryManager(net::ProcessPtr proc,
         &metrics.counter("rm.restripe.placements." + target.service);
     group->restripe_skipped =
         &metrics.counter("rm.restripe.skipped." + target.service);
+    group->readset_updates =
+        &metrics.counter("rm.readset.updates." + target.service);
     by_replica_group_[replica_group(target.service)] = group.get();
     by_control_group_[control_group(target.service)] = group.get();
+    if (target.style == ReplicationStyle::kActiveReadFanout) {
+      by_readset_group_[read_set_group(target.service)] = group.get();
+    }
     groups_.push_back(std::move(group));
   }
   // Whole-node crashes free any launch slots reserved on the dead host;
@@ -73,6 +80,14 @@ const std::vector<GroupTarget>& RecoveryManager::targets() const {
   return cfg_.groups;
 }
 
+const ReadSet* RecoveryManager::read_set(const std::string& service) const {
+  const Group* g = find_group(service);
+  if (g == nullptr || g->target.style != ReplicationStyle::kActiveReadFanout) {
+    return nullptr;
+  }
+  return &g->read_set;
+}
+
 int RecoveryManager::next_incarnation() const {
   return groups_.empty() ? 1 : groups_.front()->next_incarnation;
 }
@@ -107,6 +122,11 @@ sim::Task<bool> RecoveryManager::start() {
   for (const auto& group : groups_) {
     (void)co_await gc_->join(replica_group(group->target.service));
     (void)co_await gc_->join(control_group(group->target.service));
+    // Read-fanout groups: membership of the read-set group tells the RM
+    // when a routing client subscribes, so it can republish for them.
+    if (group->target.style == ReplicationStyle::kActiveReadFanout) {
+      (void)co_await gc_->join(read_set_group(group->target.service));
+    }
   }
   proc_->sim().spawn(pump());
   co_return true;
@@ -130,6 +150,40 @@ void RecoveryManager::handle_view(Group& group, const gc::Event& event) {
   });
   group.registry.on_view(event.view);
   reconcile(group, /*proactive_trigger=*/false);
+  refresh_read_set(group);
+}
+
+void RecoveryManager::refresh_read_set(Group& group) {
+  if (group.target.style != ReplicationStyle::kActiveReadFanout) return;
+  auto records = group.registry.read_set(group.doomed);
+  ReadSet next;
+  next.version = group.read_set.version;
+  if (!records.empty()) next.primary = records.front().member;
+  next.entries.reserve(records.size());
+  for (auto& r : records) {
+    next.entries.emplace_back(std::move(r.member), std::move(r.endpoint),
+                              std::move(r.ior));
+  }
+  if (next.primary == group.read_set.primary &&
+      next.entries == group.read_set.entries) {
+    return;
+  }
+  next.version = group.read_set.version + 1;
+  group.read_set = std::move(next);
+  readset_updates_.add();
+  group.readset_updates->add();
+  proc_->sim().obs().emit(obs::EventKind::kReadSetUpdate, cfg_.member,
+                          group.target.service,
+                          static_cast<double>(group.read_set.entries.size()));
+  // Encode now (a later refresh must not mutate what this update carries)
+  // and multicast from a spawned task: callers sit inside the event pump.
+  proc_->sim().spawn(publish_read_set(read_set_group(group.target.service),
+                                      encode_read_set(group.read_set)));
+}
+
+sim::Task<void> RecoveryManager::publish_read_set(std::string group_name,
+                                                  Bytes payload) {
+  (void)co_await gc_->multicast(std::move(group_name), std::move(payload));
 }
 
 sim::Task<void> RecoveryManager::pump() {
@@ -140,6 +194,15 @@ sim::Task<void> RecoveryManager::pump() {
     if (event.kind == gc::Event::Kind::kView) {
       auto it = by_replica_group_.find(event.group);
       if (it != by_replica_group_.end()) handle_view(*it->second, event);
+      // A membership change on a read-set group means a routing client
+      // (un)subscribed. Republish the current set so late joiners — who
+      // missed earlier multicasts — converge; known versions are dropped
+      // by the subscriber's monotone-version check.
+      auto rs = by_readset_group_.find(event.group);
+      if (rs != by_readset_group_.end() && rs->second->read_set.version > 0) {
+        proc_->sim().spawn(publish_read_set(
+            event.group, encode_read_set(rs->second->read_set)));
+      }
       continue;
     }
     if (event.kind == gc::Event::Kind::kMessage) {
@@ -156,6 +219,9 @@ sim::Task<void> RecoveryManager::pump() {
             << ctrl->launch->usage;
         it->second->doomed.insert(ctrl->launch->member);
         reconcile(*it->second, /*proactive_trigger=*/true);
+        // A doomed replica leaves the read set immediately — clients must
+        // stop routing reads at it before it rejuvenates.
+        refresh_read_set(*it->second);
         continue;
       }
       // Replica announcements / listing syncs on a replica group feed that
@@ -165,8 +231,10 @@ sim::Task<void> RecoveryManager::pump() {
       if (ctrl->kind == CtrlKind::kAnnounce && ctrl->announce) {
         it->second->reserved.erase(ctrl->announce->endpoint.host);
         it->second->registry.on_announce(*ctrl->announce);
+        refresh_read_set(*it->second);
       } else if (ctrl->kind == CtrlKind::kListing && ctrl->listing) {
         it->second->registry.on_listing(*ctrl->listing);
+        refresh_read_set(*it->second);
       }
     }
   }

@@ -43,6 +43,13 @@ struct GroupTarget {
   std::string service = "TimeOfDay";
   std::size_t target_degree = 3;  // the paper runs three warm replicas
 
+  /// kWarmPassive: only the primary serves (the paper's model, default).
+  /// kActiveReadFanout: the Recovery Manager additionally maintains the
+  /// group's read set (live announced replicas minus doomed ones) and
+  /// multicasts kReadSet updates on read_set_group(service) whenever it
+  /// changes, so routing clients can fan reads over the replicas.
+  ReplicationStyle style = ReplicationStyle::kWarmPassive;
+
   /// kCycle leaves host choice to the application's own per-group cycle
   /// (factory receives an empty host — the pre-placement behaviour, and
   /// the default). kRestripe picks the first alive, unoccupied host from
@@ -100,6 +107,9 @@ class RecoveryManager {
   [[nodiscard]] const Stats* stats(const std::string& service) const;
   /// Per-group registry (view + announced endpoints); null if unknown.
   [[nodiscard]] const ReplicaRegistry* registry(const std::string& service) const;
+  /// Last published read set (version 0 until the first publish); null if
+  /// `service` is not supervised or is warm-passive.
+  [[nodiscard]] const ReadSet* read_set(const std::string& service) const;
   [[nodiscard]] const std::vector<GroupTarget>& targets() const;
 
   /// Next incarnation of the first supervised group (legacy single-group
@@ -123,16 +133,25 @@ class RecoveryManager {
     /// released when the replica announces or the launch fails), so burst
     /// relaunches of one group never stack onto a single worker.
     std::set<std::string> reserved;
+    /// kActiveReadFanout only: the last published serving set. version 0
+    /// means nothing has been published yet (clients stay on the primary).
+    ReadSet read_set;
     // Per-group counters ("rm.launches.<service>", ...), resolved once.
     obs::Counter* launches = nullptr;
     obs::Counter* proactive_launches = nullptr;
     obs::Counter* reactive_launches = nullptr;
     obs::Counter* restripe_placements = nullptr;
     obs::Counter* restripe_skipped = nullptr;
+    obs::Counter* readset_updates = nullptr;
   };
 
   sim::Task<void> pump();
   sim::Task<void> launch_one(Group& group, bool proactive);
+  /// Recomputes the read set of a kActiveReadFanout group; if it differs
+  /// from the last published one, bumps the version and multicasts a
+  /// kReadSet on read_set_group(service). No-op for warm-passive groups.
+  void refresh_read_set(Group& group);
+  sim::Task<void> publish_read_set(std::string group_name, Bytes payload);
   void reconcile(Group& group, bool proactive_trigger);
   void handle_view(Group& group, const gc::Event& event);
   void on_node_crash(const std::string& host);
@@ -154,11 +173,13 @@ class RecoveryManager {
   obs::Counter& reactive_launches_;
   obs::Counter& restripe_placements_;
   obs::Counter& restripe_skipped_;
+  obs::Counter& readset_updates_;
   std::uint64_t crash_observer_ = 0;  // Network observer handle
   std::unique_ptr<gc::GcClient> gc_;
   std::vector<std::unique_ptr<Group>> groups_;
   std::map<std::string, Group*> by_replica_group_;  // "mead/<svc>/replicas"
   std::map<std::string, Group*> by_control_group_;  // "mead/<svc>/control"
+  std::map<std::string, Group*> by_readset_group_;  // "mead/<svc>/readset"
   Stats totals_;
 };
 

@@ -95,4 +95,15 @@ std::vector<ReplicaRegistry::Record> ReplicaRegistry::listed() const {
   return out;
 }
 
+std::vector<ReplicaRegistry::Record> ReplicaRegistry::read_set(
+    const std::set<std::string>& excluded) const {
+  std::vector<Record> out;
+  for (const auto& m : view_.members) {
+    if (excluded.contains(m)) continue;
+    auto it = announced_.find(m);
+    if (it != announced_.end()) out.push_back(it->second);
+  }
+  return out;
+}
+
 }  // namespace mead::core

@@ -10,6 +10,7 @@
 
 #include <map>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -59,6 +60,13 @@ class ReplicaRegistry {
 
   /// All in-view records with endpoints, in view order.
   [[nodiscard]] std::vector<Record> listed() const;
+
+  /// Read-fanout serving set: in-view announced records minus `excluded`
+  /// (doomed / recovering members), in view order. A member that left the
+  /// view or re-announced under a new incarnation never appears with its
+  /// stale endpoint — on_view() already dropped the old record.
+  [[nodiscard]] std::vector<Record> read_set(
+      const std::set<std::string>& excluded) const;
 
  private:
   gc::View view_;

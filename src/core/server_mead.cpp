@@ -107,6 +107,8 @@ void ServerMead::handle_ctrl(const gc::Event& ev) {
       break;  // the Recovery Manager's business
     case CtrlKind::kPrimaryAnswer:
       break;  // only clients consume answers
+    case CtrlKind::kReadSet:
+      break;  // published by the RM for routing clients, not replicas
   }
 }
 

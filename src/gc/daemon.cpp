@@ -27,12 +27,29 @@ bool GcDaemon::mesh_ready() const {
   std::size_t reachable = 0;
   for (std::size_t i = 0; i < cfg_.daemon_hosts.size(); ++i) {
     if (i == cfg_.self_index) continue;
-    if (peer_fds_.contains(i) || dead_daemons_.contains(i)) ++reachable;
+    // A missing-link peer is reachable in the bridged sense: ordered
+    // traffic flows to and from it relayed through a linked peer.
+    if (peer_fds_.contains(i) || dead_daemons_.contains(i) ||
+        missing_links_.contains(i)) {
+      ++reachable;
+    }
   }
   return reachable + 1 >= cfg_.daemon_hosts.size();
 }
 
 void GcDaemon::on_peer_link_up() {
+  if (!missing_links_.empty()) {
+    std::erase_if(missing_links_,
+                  [this](std::uint64_t p) { return peer_fds_.contains(p); });
+    if (missing_links_.empty() && bridge_requested_) {
+      // Every link healed for real: stop the relays.
+      bridge_requested_ = false;
+      for (auto& [peer, fd] : peer_fds_) {
+        (void)peer;
+        spawn_write(fd, encode_bridge(BridgeMsg{cfg_.self_index, false}));
+      }
+    }
+  }
   if (mesh_ready()) flush_pending();
 }
 
@@ -47,6 +64,9 @@ void GcDaemon::flush_pending() {
     for (const auto& m : mine) stamp_and_dispatch(m);
   } else {
     auto it = peer_fds_.find(sequencer_id());
+    // Bridged regime: the sequencer is alive but unlinked. Relay via the
+    // lowest-id linked peer; ids shrink toward the sequencer hop by hop.
+    if (it == peer_fds_.end() && !missing_links_.empty()) it = peer_fds_.begin();
     if (it == peer_fds_.end()) return;
     for (const auto& m : pending_) spawn_write(it->second, encode_submit(m));
   }
@@ -292,6 +312,14 @@ void GcDaemon::handle_frame(int fd, const Frame& frame) {
       // not-yet-connected daemons, so park it.
       if (!is_sequencer()) {
         auto seq_fd = peer_fds_.find(sequencer_id());
+        if (seq_fd == peer_fds_.end() && !missing_links_.empty()) {
+          // Bridged regime: hop the submit toward the unlinked sequencer
+          // via our lowest-id linked peer — never back where it came from.
+          seq_fd = peer_fds_.begin();
+          if (seq_fd != peer_fds_.end() && seq_fd->second == fd) {
+            seq_fd = peer_fds_.end();
+          }
+        }
         if (seq_fd != peer_fds_.end()) {
           spawn_write(seq_fd->second, encode_submit(m.value()));
         }
@@ -313,13 +341,43 @@ void GcDaemon::handle_frame(int fd, const Frame& frame) {
     case Op::kStateSync: {
       auto m = decode_state_sync(frame.payload);
       if (!m) return;
-      handle_state_sync(m.value());
+      handle_state_sync(fd, m.value());
+      break;
+    }
+    case Op::kAliveSet: {
+      auto m = decode_alive_set(frame.payload);
+      if (!m) return;
+      adopt_alive_set(m->alive, fd);
       break;
     }
     case Op::kOrdered: {
       auto m = decode_ordered_like(frame.payload);
       if (!m) return;
+      // Freshness gate before handling: bridge targets get exactly the
+      // ordered traffic we accept, and a forwarded duplicate bouncing back
+      // can never re-forward (it is no longer fresh here).
+      const auto done = done_msg_ids_.find(m->origin);
+      const bool fresh = done == done_msg_ids_.end() || m->msg_id > done->second;
+      const std::uint64_t from_peer = st.peer_id;
       handle_ordered(m.value());
+      if (fresh && !bridge_targets_.empty()) {
+        const Bytes wire = encode_ordered(m.value());
+        for (std::uint64_t target : bridge_targets_) {
+          if (target == from_peer) continue;
+          auto pfd = peer_fds_.find(target);
+          if (pfd != peer_fds_.end()) spawn_write(pfd->second, wire);
+        }
+      }
+      break;
+    }
+    case Op::kBridge: {
+      auto m = decode_bridge(frame.payload);
+      if (!m) return;
+      if (m->on) {
+        bridge_targets_.insert(m->daemon_id);
+      } else {
+        bridge_targets_.erase(m->daemon_id);
+      }
       break;
     }
     case Op::kHeartbeat:
@@ -339,6 +397,9 @@ void GcDaemon::submit(OrderedMsg m) {
     stamp_and_dispatch(std::move(m));
   } else {
     auto it = peer_fds_.find(sequencer_id());
+    // Bridged regime: relay toward the unlinked sequencer via the lowest-id
+    // linked peer (see flush_pending).
+    if (it == peer_fds_.end() && !missing_links_.empty()) it = peer_fds_.begin();
     if (it != peer_fds_.end()) {
       spawn_write(it->second, encode_submit(m));
     }
@@ -487,12 +548,15 @@ void GcDaemon::handle_peer_gone(std::uint64_t peer_id, int fd) {
     }
   }
 
-  // The (new) sequencer expels members hosted on the dead daemon.
+  // The (new) sequencer expels members hosted on any dead daemon — not
+  // just the latest one: a daemon that becomes sequencer only on the
+  // *second* peer death (a multi-way split) still owes the expulsions the
+  // earlier death would have triggered.
   if (is_sequencer()) {
     for (auto& [gname, g] : groups_) {
       std::vector<std::string> orphans;
       for (const auto& [member, home] : g.homes) {
-        if (home == peer_id) orphans.push_back(member);
+        if (dead_daemons_.contains(home)) orphans.push_back(member);
       }
       for (auto& member : orphans) {
         OrderedMsg leave;
@@ -529,6 +593,13 @@ sim::Task<void> GcDaemon::rejoin_probe_loop() {
         return true;
       }
     }
+    // Bridged regime: an alive-but-unlinked daemon is probed the same way
+    // until the direct link heals and the relays can stop.
+    for (std::uint64_t peer : missing_links_) {
+      if (peer < cfg_.self_index && !unreachable_peers_.contains(peer)) {
+        return true;
+      }
+    }
     return false;
   };
   Duration wait = base;
@@ -540,12 +611,15 @@ sim::Task<void> GcDaemon::rejoin_probe_loop() {
     bool progress = false;
     bool sent_rejoin = false;
     bool round_recorded = false;
-    const std::vector<std::uint64_t> dead(dead_daemons_.begin(),
-                                          dead_daemons_.end());
-    for (std::uint64_t peer : dead) {
+    std::vector<std::uint64_t> targets(dead_daemons_.begin(),
+                                       dead_daemons_.end());
+    targets.insert(targets.end(), missing_links_.begin(), missing_links_.end());
+    for (std::uint64_t peer : targets) {
       if (peer >= cfg_.self_index) continue;
       if (unreachable_peers_.contains(peer)) continue;
-      if (!dead_daemons_.contains(peer)) continue;  // came back this round
+      const bool was_dead = dead_daemons_.contains(peer);
+      if (!was_dead && !missing_links_.contains(peer)) continue;  // came back
+      if (peer_fds_.contains(peer)) continue;  // link landed this round
       if (!round_recorded) {
         round_recorded = true;
         rejoin_probe_times_.push_back(proc_->sim().now());
@@ -573,7 +647,9 @@ sim::Task<void> GcDaemon::rejoin_probe_loop() {
       resurrect_peer(peer, fd);
       // Ask the first recovered peer — the lowest dead id, our best
       // candidate for the authoritative side's sequencer — to arbitrate.
-      if (!sent_rejoin) {
+      // A healed missing link needs no arbitration: both sides already
+      // share the merged domain, the link itself was all that was missing.
+      if (was_dead && !sent_rejoin) {
         send_rejoin(fd);
         sent_rejoin = true;
       }
@@ -640,6 +716,16 @@ void GcDaemon::handle_rejoin(int fd, const RejoinMsg& m) {
       }
     }
     spawn_write(fd, encode_state_sync(snapshot_state()));
+    // Gossip the merged alive set to the rest of our island: peers further
+    // down a healed chain never exchanged a Rejoin with the new arrival,
+    // yet must learn the mesh now extends past their own links.
+    const Bytes alive_wire = encode_alive_set(
+        AliveSetMsg{{alive_daemons_.begin(), alive_daemons_.end()}});
+    for (auto& [peer, pfd] : peer_fds_) {
+      (void)peer;
+      if (pfd == fd) continue;
+      spawn_write(pfd, alive_wire);
+    }
   } else {
     // Our island's unordered traffic belongs to an abandoned domain.
     pending_.clear();
@@ -663,10 +749,47 @@ StateSyncMsg GcDaemon::snapshot_state() const {
     }
     m.groups.push_back(std::move(snap));
   }
+  m.alive.assign(alive_daemons_.begin(), alive_daemons_.end());
   return m;
 }
 
-void GcDaemon::handle_state_sync(const StateSyncMsg& m) {
+void GcDaemon::adopt_alive_set(const std::vector<std::uint64_t>& alive,
+                               int source_fd) {
+  bool changed = false;
+  for (std::uint64_t a : alive) {
+    if (a == cfg_.self_index) continue;
+    dead_daemons_.erase(a);
+    if (alive_daemons_.insert(a).second) changed = true;
+    if (!peer_fds_.contains(a) && missing_links_.insert(a).second) {
+      changed = true;
+    }
+  }
+  if (!changed) return;
+  // Re-gossip on growth only, so chains of any length converge and the
+  // traffic terminates (the union is monotone and bounded).
+  const Bytes wire = encode_alive_set(
+      AliveSetMsg{{alive_daemons_.begin(), alive_daemons_.end()}});
+  for (auto& [peer, pfd] : peer_fds_) {
+    (void)peer;
+    if (pfd == source_fd) continue;
+    spawn_write(pfd, wire);
+  }
+  if (missing_links_.empty()) return;
+  // Bridged regime: ask every linked peer to relay ordered traffic to us
+  // and keep probing for the real link (requests are idempotent).
+  bridge_requested_ = true;
+  for (auto& [peer, pfd] : peer_fds_) {
+    (void)peer;
+    spawn_write(pfd, encode_bridge(BridgeMsg{cfg_.self_index, true}));
+  }
+  if (!probe_running_) {
+    probe_running_ = true;
+    proc_->sim().spawn(rejoin_probe_loop());
+  }
+  if (mesh_ready()) flush_pending();
+}
+
+void GcDaemon::handle_state_sync(int fd, const StateSyncMsg& m) {
   // Adopt the authority's group state wholesale, and keep our own stamps
   // above its domain in case we are (or become) the merged sequencer.
   bump_seq_past(m.next_seq);
@@ -686,6 +809,17 @@ void GcDaemon::handle_state_sync(const StateSyncMsg& m) {
   proc_->sim().obs().emit(obs::EventKind::kDaemonRejoin,
                           "daemon/" + std::to_string(id()), {},
                           static_cast<double>(m.groups.size()));
+  // The authority's alive set describes the merged mesh. Any daemon in it
+  // we have no link to is behind a still-standing partition segment (a
+  // 3+-way split healed only partially): believe it alive, run bridged,
+  // and gossip the merged set onward so the rest of our old island learns.
+  adopt_alive_set(m.alive, fd);
+  // Iterative healing: a later heal may bring yet another island to this
+  // link, so allow a fresh arbitration round on every peer link.
+  for (auto& [cfd, cst] : conns_) {
+    (void)cfd;
+    if (cst.role == ConnState::Role::kPeer) cst.rejoin_sent = false;
+  }
   // Re-enter our local clients: the authority expelled them while we were
   // silent. Joins are idempotent, so a client that was never expelled just
   // sees no new view; an expelled one gets a fresh (higher) view id.

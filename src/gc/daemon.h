@@ -101,6 +101,16 @@ class GcDaemon {
   [[nodiscard]] bool peer_link_up(std::uint64_t peer) const {
     return peer_fds_.contains(peer);
   }
+  /// Daemons the merged mesh believes alive but we have no link to (a 3+-way
+  /// split healed only partially). Non-empty means we run bridged: ordered
+  /// traffic reaches us relayed through a linked peer.
+  [[nodiscard]] const std::set<std::uint64_t>& missing_links() const {
+    return missing_links_;
+  }
+  /// True while we relay ordered traffic to `peer` on its request.
+  [[nodiscard]] bool bridging_for(std::uint64_t peer) const {
+    return bridge_targets_.contains(peer);
+  }
 
   /// Reply-group naming convention: every member auto-joins its own reply
   /// group at HELLO so any other member can address it point-to-point over
@@ -143,7 +153,12 @@ class GcDaemon {
   void resurrect_peer(std::uint64_t peer_id, int fd);
   void send_rejoin(int fd);
   void handle_rejoin(int fd, const RejoinMsg& m);
-  void handle_state_sync(const StateSyncMsg& m);
+  void handle_state_sync(int fd, const StateSyncMsg& m);
+  /// Merge a gossiped alive set: believe every listed daemon alive, mark
+  /// unlinked ones as missing (bridged), re-gossip on growth so healed
+  /// chains converge island by island. `source_fd` is excluded from the
+  /// re-gossip (or -1 for none).
+  void adopt_alive_set(const std::vector<std::uint64_t>& alive, int source_fd);
   [[nodiscard]] StateSyncMsg snapshot_state() const;
   /// Keeps our stamps above a foreign sequence domain (the takeover jump).
   void bump_seq_past(std::uint64_t foreign_next_seq);
@@ -177,6 +192,12 @@ class GcDaemon {
   std::set<std::uint64_t> alive_daemons_;  // presumed alive until EOF
   std::set<std::uint64_t> dead_daemons_;
   std::set<std::uint64_t> unreachable_peers_;  // probe refused: truly crashed
+  /// Alive (per the authority's state sync) but unlinked: the partial-heal
+  /// regime. Probed like dead peers; pruned as links come up.
+  std::set<std::uint64_t> missing_links_;
+  /// Peers that asked us to relay first-seen ordered traffic to them.
+  std::set<std::uint64_t> bridge_targets_;
+  bool bridge_requested_ = false;  // we asked peers to bridge for us
   bool probe_running_ = false;
   std::uint64_t rejoins_ = 0;
   std::vector<TimePoint> rejoin_probe_times_;

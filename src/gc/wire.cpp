@@ -37,6 +37,8 @@ bool valid_op(std::uint8_t v) {
     case Op::kHeartbeat:
     case Op::kRejoin:
     case Op::kStateSync:
+    case Op::kBridge:
+    case Op::kAliveSet:
       return true;
   }
   return false;
@@ -139,7 +141,23 @@ Bytes encode_state_sync(const StateSyncMsg& m) {
     w.write_u32(static_cast<std::uint32_t>(g.homes.size()));
     for (std::uint64_t home : g.homes) w.write_u64(home);
   }
+  w.write_u32(static_cast<std::uint32_t>(m.alive.size()));
+  for (std::uint64_t d : m.alive) w.write_u64(d);
   return frame(Op::kStateSync, w.buffer());
+}
+
+Bytes encode_bridge(const BridgeMsg& m) {
+  CdrWriter w;
+  w.write_u64(m.daemon_id);
+  w.write_u8(m.on ? 1 : 0);
+  return frame(Op::kBridge, w.buffer());
+}
+
+Bytes encode_alive_set(const AliveSetMsg& m) {
+  CdrWriter w;
+  w.write_u32(static_cast<std::uint32_t>(m.alive.size()));
+  for (std::uint64_t d : m.alive) w.write_u64(d);
+  return frame(Op::kAliveSet, w.buffer());
 }
 
 // ---- decoding ----
@@ -309,6 +327,39 @@ WireResult<StateSyncMsg> decode_state_sync(const Bytes& payload) {
         snap.homes.push_back(home.value());
       }
       m.groups.push_back(std::move(snap));
+    }
+    auto alive = r.read_u32();
+    if (!alive) return std::nullopt;
+    m.alive.reserve(alive.value());
+    for (std::uint32_t i = 0; i < alive.value(); ++i) {
+      auto d = r.read_u64();
+      if (!d) return std::nullopt;
+      m.alive.push_back(d.value());
+    }
+    return m;
+  });
+}
+
+WireResult<BridgeMsg> decode_bridge(const Bytes& payload) {
+  return decode_with(payload, [](CdrReader& r) -> std::optional<BridgeMsg> {
+    auto d = r.read_u64();
+    if (!d) return std::nullopt;
+    auto on = r.read_u8();
+    if (!on || on.value() > 1) return std::nullopt;
+    return BridgeMsg{d.value(), on.value() == 1};
+  });
+}
+
+WireResult<AliveSetMsg> decode_alive_set(const Bytes& payload) {
+  return decode_with(payload, [](CdrReader& r) -> std::optional<AliveSetMsg> {
+    auto n = r.read_u32();
+    if (!n) return std::nullopt;
+    AliveSetMsg m;
+    m.alive.reserve(n.value());
+    for (std::uint32_t i = 0; i < n.value(); ++i) {
+      auto d = r.read_u64();
+      if (!d) return std::nullopt;
+      m.alive.push_back(d.value());
     }
     return m;
   });

@@ -34,6 +34,8 @@ enum class Op : std::uint8_t {
   kHeartbeat = 23,  // liveness beacon (also the Figure-5 background traffic)
   kRejoin = 24,     // expelled daemon (or healed peer) asks to merge worlds
   kStateSync = 25,  // authority's group-state snapshot for a rejoiner
+  kBridge = 26,     // ask a linked peer to relay ordered traffic to us
+  kAliveSet = 27,   // merged alive-daemon set, gossiped after arbitration
 };
 
 /// What a Submit/Ordered payload represents.
@@ -139,6 +141,34 @@ struct StateSyncMsg {
 
   std::uint64_t next_seq = 0;  // authority's counter at snapshot time
   std::vector<GroupSnapshot> groups;
+  /// The authority's alive-daemon set. A rejoiner that adopts the snapshot
+  /// but lacks a link to one of these daemons (a 3+-way split healed only
+  /// partially) knows the merged mesh extends past its own links, and asks
+  /// its connected peers to bridge ordered traffic until the link heals.
+  std::vector<std::uint64_t> alive;
+};
+
+/// Bridge request: `daemon_id` asks the receiving (linked) peer to start
+/// (`on`) or stop forwarding every first-seen Ordered message to it, because
+/// some daemon of the merged mesh — typically the sequencer — is alive but
+/// unreachable from the requester while a partial partition persists.
+struct BridgeMsg {
+  BridgeMsg() = default;
+  BridgeMsg(std::uint64_t d, bool o) : daemon_id(d), on(o) {}
+
+  std::uint64_t daemon_id = 0;
+  bool on = true;
+};
+
+/// The merged alive-daemon set, gossiped to linked peers after an
+/// arbitration win (and re-forwarded by any daemon whose own set grows).
+/// This is how islands further down a healed chain — which never exchanged
+/// a Rejoin with the new arrival — learn the mesh extends past their links.
+struct AliveSetMsg {
+  AliveSetMsg() = default;
+  explicit AliveSetMsg(std::vector<std::uint64_t> a) : alive(std::move(a)) {}
+
+  std::vector<std::uint64_t> alive;
 };
 
 // ---- encoding ----
@@ -155,6 +185,8 @@ Bytes encode_ordered(const OrderedMsg& m);  // opcode kOrdered
 Bytes encode_heartbeat(const HeartbeatMsg& m);
 Bytes encode_rejoin(const RejoinMsg& m);
 Bytes encode_state_sync(const StateSyncMsg& m);
+Bytes encode_bridge(const BridgeMsg& m);
+Bytes encode_alive_set(const AliveSetMsg& m);
 
 enum class WireErr { kTruncated, kMalformed, kUnknownOp };
 
@@ -176,6 +208,8 @@ WireResult<OrderedMsg> decode_ordered_like(const Bytes& payload);
 WireResult<HeartbeatMsg> decode_heartbeat(const Bytes& payload);
 WireResult<RejoinMsg> decode_rejoin(const Bytes& payload);
 WireResult<StateSyncMsg> decode_state_sync(const Bytes& payload);
+WireResult<BridgeMsg> decode_bridge(const Bytes& payload);
+WireResult<AliveSetMsg> decode_alive_set(const Bytes& payload);
 
 /// Reassembles length-prefixed frames from a byte stream.
 class LenFramer {

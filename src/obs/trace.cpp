@@ -28,6 +28,8 @@ std::string_view to_string(EventKind k) {
     case EventKind::kFaultInjected: return "fault_injected";
     case EventKind::kDaemonRejoin: return "daemon_rejoin";
     case EventKind::kRestripe: return "restripe";
+    case EventKind::kReadSetUpdate: return "read_set_update";
+    case EventKind::kRouteSwitch: return "route_switch";
   }
   return "?";
 }
@@ -35,7 +37,7 @@ std::string_view to_string(EventKind k) {
 namespace {
 
 EventKind kind_from_string(std::string_view s) {
-  for (int i = 0; i <= static_cast<int>(EventKind::kRestripe); ++i) {
+  for (int i = 0; i <= static_cast<int>(EventKind::kRouteSwitch); ++i) {
     const auto k = static_cast<EventKind>(i);
     if (to_string(k) == s) return k;
   }

@@ -39,6 +39,8 @@ enum class EventKind : std::uint8_t {
   kFaultInjected,      // chaos controller executed a scheduled fault
   kDaemonRejoin,       // expelled GC daemon resynced state after a heal
   kRestripe,           // Recovery Manager placed a replica off-cycle
+  kReadSetUpdate,      // Recovery Manager republished a fanout read set
+  kRouteSwitch,        // routing client re-pointed its stub at a replica
 };
 
 [[nodiscard]] std::string_view to_string(EventKind k);

@@ -1,0 +1,84 @@
+#include "orb/routing.h"
+
+namespace mead::orb {
+
+void Router::update(std::uint64_t version, std::string primary,
+                    std::vector<Target> read_set) {
+  if (version <= version_) return;  // reordered / duplicate update
+  version_ = version;
+  primary_ = std::move(primary);
+  read_set_ = std::move(read_set);
+  failed_.clear();
+  last_routed_.clear();
+  // Keep the sticky pin if the member survived the membership change;
+  // pick_read() re-pins otherwise.
+  if (!sticky_.empty()) {
+    bool alive = false;
+    for (const auto& t : read_set_) {
+      if (t.member == sticky_) { alive = true; break; }
+    }
+    if (!alive) sticky_.clear();
+  }
+  if (rr_next_ >= read_set_.size()) rr_next_ = 0;
+}
+
+const Router::Target* Router::pick_primary() {
+  for (const auto& t : read_set_) {
+    if (t.member == primary_ && !failed_.contains(t.member)) {
+      last_routed_ = t.member;
+      return &t;
+    }
+  }
+  return nullptr;  // fall back to the stub's bound reference
+}
+
+const Router::Target* Router::pick_read() {
+  if (read_set_.empty()) return nullptr;
+  if (policy_ == RoutingPolicy::kSticky) {
+    if (!sticky_.empty()) {
+      for (const auto& t : read_set_) {
+        if (t.member == sticky_ && !failed_.contains(t.member)) {
+          last_routed_ = t.member;
+          return &t;
+        }
+      }
+      sticky_.clear();  // pinned replica gone or failed: re-pin below
+    }
+    // Pin the replica the round-robin cursor points at, so a fleet of
+    // sticky clients spreads across the set instead of piling on entry 0.
+    for (std::size_t i = 0; i < read_set_.size(); ++i) {
+      const Target& t = read_set_[(rr_next_ + i) % read_set_.size()];
+      if (failed_.contains(t.member)) continue;
+      sticky_ = t.member;
+      rr_next_ = (rr_next_ + i + 1) % read_set_.size();
+      last_routed_ = t.member;
+      return &t;
+    }
+    return nullptr;
+  }
+  // kRoundRobin
+  for (std::size_t i = 0; i < read_set_.size(); ++i) {
+    const Target& t = read_set_[(rr_next_ + i) % read_set_.size()];
+    if (failed_.contains(t.member)) continue;
+    rr_next_ = (rr_next_ + i + 1) % read_set_.size();
+    last_routed_ = t.member;
+    return &t;
+  }
+  return nullptr;
+}
+
+const Router::Target* Router::route(const std::string& operation) {
+  if (policy_ == RoutingPolicy::kPrimaryOnly) return nullptr;
+  if (version_ == 0) return nullptr;  // no read set published yet
+  if (write_ops_.contains(operation)) return pick_primary();
+  return pick_read();
+}
+
+void Router::note_failure() {
+  if (last_routed_.empty()) return;
+  failed_.insert(last_routed_);
+  if (sticky_ == last_routed_) sticky_.clear();
+  last_routed_.clear();
+}
+
+}  // namespace mead::orb

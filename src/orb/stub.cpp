@@ -19,9 +19,41 @@ void Stub::drop_connection() {
   }
 }
 
+void Stub::drop_pooled() {
+  for (auto& [key, conn] : pool_) {
+    if (conn.fd >= 0) (void)orb_.api().close(conn.fd);
+  }
+  pool_.clear();
+}
+
 void Stub::rebind(giop::IOR ior) {
   drop_connection();
   ior_ = std::move(ior);
+}
+
+void Stub::switch_to(const giop::IOR& ior) {
+  if (ior.endpoint == ior_.endpoint) {
+    ior_ = ior;  // same replica (possibly refreshed key): keep connection
+    return;
+  }
+  if (fd_ >= 0) {
+    auto& slot = pool_[net::to_string(ior_.endpoint)];
+    if (slot.fd >= 0) (void)orb_.api().close(slot.fd);  // stale duplicate
+    slot.fd = fd_;
+    slot.frames = std::move(frames_);
+    fd_ = -1;
+    frames_ = giop::FrameBuffer{};
+  }
+  ior_ = ior;
+  if (auto it = pool_.find(net::to_string(ior_.endpoint)); it != pool_.end()) {
+    fd_ = it->second.fd;
+    frames_ = std::move(it->second.frames);
+    pool_.erase(it);
+    ++pool_hits_;
+  }
+  ++route_switches_;
+  orb_.sim().obs().emit(obs::EventKind::kRouteSwitch, orb_.process().name(),
+                        net::to_string(ior_.endpoint));
 }
 
 sim::Task<Expected<int, net::NetErr>> Stub::ensure_connected() {
@@ -53,6 +85,14 @@ sim::Task<InvokeResult> Stub::invoke(std::string operation, Bytes args) {
     bool* flag;
     ~InFlightGuard() { *flag = false; }
   } guard{&in_flight_};
+
+  // Routing happens before the request is built: the chosen replica's IOR
+  // supplies the object key the request carries.
+  if (router_ != nullptr) {
+    if (const Router::Target* t = router_->route(operation); t != nullptr) {
+      switch_to(t->ior);
+    }
+  }
 
   const std::uint32_t request_id = orb_.next_request_id();
   giop::RequestMessage request{request_id, true, ior_.key, std::move(operation),

@@ -200,5 +200,51 @@ TEST_F(RegistryTest, ListedPreservesViewOrder) {
   EXPECT_EQ(listed[2].member, "r2");
 }
 
+// ---- read-fanout serving set (kActiveReadFanout) ----
+
+TEST_F(RegistryTest, ReadSetExcludesDoomedAndRecoveringMembers) {
+  reg_.on_view(view_of({"r1", "r2", "r3"}));
+  reg_.on_announce(make_announce("r1", "node1", 20001));
+  reg_.on_announce(make_announce("r2", "node2", 20002));
+  reg_.on_announce(make_announce("r3", "node3", 20003));
+  // r2 is doomed (scheduled for proactive recovery): reads must not route
+  // to it even though it is still in the view and announced.
+  auto rs = reg_.read_set({"r2"});
+  ASSERT_EQ(rs.size(), 2u);
+  EXPECT_EQ(rs[0].member, "r1");
+  EXPECT_EQ(rs[1].member, "r3");
+}
+
+TEST_F(RegistryTest, ReadSetSkipsUnannouncedMembers) {
+  // A recovering replacement is in the view before its Announce lands; it
+  // must not be servable until the endpoint is known.
+  reg_.on_view(view_of({"r1", "r2"}));
+  reg_.on_announce(make_announce("r1", "node1", 20001));
+  auto rs = reg_.read_set({});
+  ASSERT_EQ(rs.size(), 1u);
+  EXPECT_EQ(rs[0].member, "r1");
+}
+
+TEST_F(RegistryTest, ReadSetNeverServesStaleIncarnation) {
+  reg_.on_view(view_of({"r1", "r2"}));
+  reg_.on_announce(make_announce("r1", "node1", 20001));
+  reg_.on_announce(make_announce("r2", "node2", 20002));
+  // r2 dies: it leaves the view, and its old announcement is pruned.
+  reg_.on_view(view_of({"r1"}, 2));
+  auto rs = reg_.read_set({});
+  ASSERT_EQ(rs.size(), 1u);
+  EXPECT_EQ(rs[0].member, "r1");
+  // The replacement incarnation rejoins under the same member name with a
+  // new endpoint; the read set serves only the fresh record.
+  reg_.on_view(view_of({"r1", "r2"}, 3));
+  rs = reg_.read_set({});
+  ASSERT_EQ(rs.size(), 1u);  // r2 back in view but not yet announced
+  reg_.on_announce(make_announce("r2", "node7", 20099));
+  rs = reg_.read_set({});
+  ASSERT_EQ(rs.size(), 2u);
+  EXPECT_EQ(rs[1].member, "r2");
+  EXPECT_EQ(rs[1].endpoint, (net::Endpoint{"node7", 20099}));
+}
+
 }  // namespace
 }  // namespace mead::core

@@ -3,6 +3,8 @@
 // timeouts rather than EOF.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "gc_fixture.h"
 
 namespace mead::gc {
@@ -194,6 +196,106 @@ TEST_F(PartitionWorld, RejoinProbesBackOff) {
   EXPECT_EQ(daemons_[2]->rejoins(), 0u);
   (void)a;
   (void)c;
+}
+
+TEST_F(PartitionWorld, ThreeWaySplitFullHealQuiesces) {
+  auto a = make_member("node1", "a");
+  auto b = make_member("node2", "b");
+  auto c = make_member("node3", "c");
+  ASSERT_EQ(daemons_[0]->group_members("grp"),
+            (std::vector<std::string>{"a", "b", "c"}));
+
+  // Split the mesh into three singleton islands; each daemon expels the
+  // other two and shrinks "grp" to its local member.
+  net_.set_link_partitioned("node1", "node2", true);
+  net_.set_link_partitioned("node1", "node3", true);
+  net_.set_link_partitioned("node2", "node3", true);
+  sim_.run_for(milliseconds(300));
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(daemons_[i]->group_members("grp").size(), 1u) << "daemon " << i;
+  }
+
+  // Heal everything at once. Rejoin arbitration used to converge only
+  // pairwise; the heal loop must now iterate until all three daemons share
+  // one view again.
+  net_.set_link_partitioned("node1", "node2", false);
+  net_.set_link_partitioned("node1", "node3", false);
+  net_.set_link_partitioned("node2", "node3", false);
+  sim_.run_for(milliseconds(1500));
+
+  const auto members = daemons_[0]->group_members("grp");
+  EXPECT_EQ(members.size(), 3u);
+  for (const char* name : {"a", "b", "c"}) {
+    EXPECT_NE(std::find(members.begin(), members.end(), name), members.end())
+        << name;
+  }
+  for (std::size_t i = 1; i < 3; ++i) {
+    EXPECT_EQ(daemons_[i]->group_members("grp"), members) << "daemon " << i;
+    EXPECT_EQ(daemons_[i]->view_id("grp"), daemons_[0]->view_id("grp"))
+        << "daemon " << i;
+  }
+  // Every link healed for real: nobody is left running bridged.
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_TRUE(daemons_[i]->missing_links().empty()) << "daemon " << i;
+  }
+  (void)a;
+  (void)b;
+  (void)c;
+}
+
+TEST_F(PartitionWorld, ThreeWayChainHealBridgesUnreachableIsland) {
+  auto a = make_member("node1", "a");
+  auto b = make_member("node2", "b");
+  auto c = make_member("node3", "c");
+  net_.set_link_partitioned("node1", "node2", true);
+  net_.set_link_partitioned("node1", "node3", true);
+  net_.set_link_partitioned("node2", "node3", true);
+  sim_.run_for(milliseconds(300));
+
+  // Heal only the chain node1-node2 and node2-node3; node1-node3 stays
+  // cut. The sequencer (daemon 0) cannot reach daemon 2 directly, yet all
+  // three views must converge: daemon 1 bridges ordered traffic.
+  net_.set_link_partitioned("node1", "node2", false);
+  net_.set_link_partitioned("node2", "node3", false);
+  sim_.run_for(milliseconds(2500));
+
+  const auto members = daemons_[0]->group_members("grp");
+  EXPECT_EQ(members.size(), 3u);
+  for (std::size_t i = 1; i < 3; ++i) {
+    EXPECT_EQ(daemons_[i]->group_members("grp"), members) << "daemon " << i;
+    EXPECT_EQ(daemons_[i]->view_id("grp"), daemons_[0]->view_id("grp"))
+        << "daemon " << i;
+  }
+  // The endpoints of the still-cut link run bridged through daemon 1.
+  EXPECT_TRUE(daemons_[2]->missing_links().contains(0));
+  EXPECT_TRUE(daemons_[1]->bridging_for(2));
+
+  // End-to-end total order across the bridge: a (sequencer island) and c
+  // (bridged island) both multicast; both receive both messages.
+  std::vector<std::string> got_a;
+  std::vector<std::string> got_c;
+  auto recv = [](GcClient& gc, std::vector<std::string>& out) -> sim::Task<void> {
+    for (;;) {
+      auto ev = co_await gc.next_event(milliseconds(100));
+      if (!ev || !ev.value()) co_return;
+      if (ev.value()->kind == Event::Kind::kMessage) {
+        out.emplace_back(ev.value()->payload.begin(), ev.value()->payload.end());
+      }
+    }
+  };
+  auto send = [](GcClient& gc, const char* text) -> sim::Task<void> {
+    Bytes msg(text, text + 2);
+    (void)co_await gc.multicast("grp", msg);
+  };
+  sim_.spawn(recv(*a.gc, got_a));
+  sim_.spawn(recv(*c.gc, got_c));
+  sim_.spawn(send(*a.gc, "m1"));
+  sim_.spawn(send(*c.gc, "m2"));
+  sim_.run_for(milliseconds(400));
+  EXPECT_EQ(got_a.size(), 2u);
+  EXPECT_EQ(got_c.size(), 2u);
+  EXPECT_EQ(got_a, got_c);  // same total order on both sides of the cut
+  (void)b;
 }
 
 TEST_F(PartitionWorld, ConnectAcrossPartitionTimesOut) {
