@@ -46,11 +46,12 @@ int main() {
   for (int slice = 0; slice < 1200 && !client.done(); ++slice) {
     bed.sim().run_for(milliseconds(50));
     const double now_ms = bed.sim().now().ms();
-    if (bed.recovery_manager().stats().proactive_launches > last_launches) {
-      last_launches = bed.recovery_manager().stats().proactive_launches;
+    if (bed.rm().stats().proactive_launches > last_launches) {
+      last_launches = bed.rm().stats().proactive_launches;
       std::printf("[%8.1f ms] T1 crossed: FT manager requested a spare; "
                   "recovery manager launching replica #%d\n",
-                  now_ms, bed.recovery_manager().next_incarnation() - 1);
+                  now_ms,
+                  bed.rm().view("TimeOfDay")->next_incarnation - 1);
     }
     if (bed.replicas().size() > last_replicas) {
       last_replicas = bed.replicas().size();

@@ -75,6 +75,13 @@ ServiceGroup::ServiceGroup(net::Network& net, ServiceGroupSpec spec,
       calib_(calib) {}
 
 bool ServiceGroup::spawn_replica(int incarnation, const std::string& host_hint) {
+  // Idempotent per incarnation: a Recovery Manager failover re-drives
+  // still-pending launches at-least-once, and the retry must not spawn a
+  // second copy of an incarnation the dead manager already built.
+  const std::string member = spec_.member_name(incarnation);
+  for (const auto& r : replicas_) {
+    if (r->member() == member) return true;
+  }
   // Incarnations round-robin over the group's own host set (one live
   // replica per host, which the Naming rebind-by-host convention needs),
   // unless the Recovery Manager restriped the launch onto a specific host.
@@ -90,7 +97,7 @@ bool ServiceGroup::spawn_replica(int incarnation, const std::string& host_hint) 
   ro.thresholds = spec_.thresholds;
   ro.calib = calib_;
   ro.inject_leak = spec_.inject_leak;
-  ro.member = spec_.member_name(incarnation);
+  ro.member = member;
   // Unique port per incarnation within the group's own range: a relaunched
   // replica listens elsewhere, so cached references to the dead incarnation
   // are genuinely stale (§5.2.1), and two groups never share a port.

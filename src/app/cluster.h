@@ -57,6 +57,23 @@ struct ClusterTopology {
   [[nodiscard]] std::string validate() const;
 };
 
+/// Recovery Manager deployment for one testbed. The default — one replica,
+/// no explicit hosts — reproduces the paper's solo manager on the naming
+/// node byte-for-byte. replicas > 1 runs the RM as its own replicated GC
+/// group ("mead/rm/members"): first-in-view acts, backups converge silently
+/// and take over with the pending-launch slots intact.
+struct RmSpec {
+  RmSpec() = default;
+
+  std::size_t replicas = 1;
+  /// Host of each RM replica, in index order (size must equal `replicas`
+  /// when non-empty). Empty: replica 0 on the topology's naming node (the
+  /// paper's layout) and backups striped over the worker pool.
+  std::vector<std::string> hosts;
+  /// Replica spin-up scheduling latency modelled by every RM replica.
+  Duration launch_delay = milliseconds(2);
+};
+
 struct ServiceGroupSpec {
   ServiceGroupSpec() = default;
 

@@ -21,6 +21,7 @@ TestbedOptions testbed_options(const ExperimentSpec& spec) {
   opts.topology = spec.topology;
   opts.groups = spec.groups;
   opts.chaos = spec.chaos;
+  opts.rm = spec.rm;
   return opts;
 }
 
@@ -70,6 +71,7 @@ StartResult Experiment::start() {
   proactive0_ = delta("rm.proactive_launches");
   chaos0_ = delta("chaos.faults");
   restripes0_ = delta("rm.restripe.placements");
+  rm_failovers0_ = delta("rm.failovers");
   for (const auto& g : bed_.groups()) {
     GroupBaseline base;
     base.deaths0 = g->replica_deaths();
@@ -156,6 +158,7 @@ ExperimentResult Experiment::collect() const {
   out.sim_events = bed_.sim().events_processed();
   out.chaos_faults = delta("chaos.faults") - chaos0_;
   out.restripes = delta("rm.restripe.placements") - restripes0_;
+  out.rm_failovers = delta("rm.failovers") - rm_failovers0_;
   // Per-client rollups, in launch order.
   for (std::size_t i = 0; i < clients_.size(); ++i) {
     const ClientResults cr = clients_[i]->results();

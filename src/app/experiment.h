@@ -70,6 +70,10 @@ struct ExperimentSpec {
   /// that partition the client away from a primary, where no EOF ever
   /// arrives to break the wait.
   std::optional<Duration> invoke_timeout;
+  /// Recovery Manager deployment. The default single replica keeps the
+  /// paper's solo manager (and its byte-identical traces); replicas > 1
+  /// runs the replicated, self-supervised RM group.
+  RmSpec rm;
 };
 
 /// Measurement-window counters for one service group.
@@ -117,6 +121,7 @@ struct ExperimentResult {
   std::uint64_t sim_events = 0;        // kernel events processed by the run
   std::uint64_t chaos_faults = 0;      // scheduled faults executed
   std::uint64_t restripes = 0;         // restripe placements ("rm.restripe.placements")
+  std::uint64_t rm_failovers = 0;      // backup RM promotions ("rm.failovers")
   double wall_ms = 0;                  // real (host) time spent in run()
   /// One entry per hosted group, in spec order.
   std::vector<GroupResult> group_results;
@@ -221,6 +226,7 @@ class Experiment {
   std::uint64_t proactive0_ = 0;
   std::uint64_t chaos0_ = 0;
   std::uint64_t restripes0_ = 0;
+  std::uint64_t rm_failovers0_ = 0;
 };
 
 /// One-shot convenience wrapper.

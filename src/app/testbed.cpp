@@ -151,9 +151,35 @@ StartResult Testbed::start() {
     naming_.server->start();
   }
 
+  // Validate and resolve the Recovery Manager deployment (RmSpec).
+  if (opts_.rm.replicas == 0) {
+    return start_error("rm: replicas must be >= 1");
+  }
+  std::vector<std::string> rm_hosts = opts_.rm.hosts;
+  if (rm_hosts.empty()) {
+    rm_hosts.push_back(naming_host());
+    for (std::size_t i = 1; i < opts_.rm.replicas; ++i) {
+      rm_hosts.push_back(opts_.topology.worker_nodes[
+          (i - 1) % opts_.topology.worker_nodes.size()]);
+    }
+  } else {
+    if (rm_hosts.size() != opts_.rm.replicas) {
+      return start_error("rm: " + std::to_string(rm_hosts.size()) +
+                         " hosts listed for " +
+                         std::to_string(opts_.rm.replicas) + " replicas");
+    }
+    for (const auto& h : rm_hosts) {
+      if (std::find(opts_.topology.nodes.begin(), opts_.topology.nodes.end(),
+                    h) == opts_.topology.nodes.end()) {
+        return start_error("rm: host '" + h + "' is not in the topology");
+      }
+    }
+  }
+
   core::RecoveryManagerConfig rm_cfg;
-  rm_cfg.daemon = net::Endpoint{naming_host(), gc::kDefaultDaemonPort};
   rm_cfg.groups.clear();
+  rm_cfg.launch_delay = opts_.rm.launch_delay;
+  rm_cfg.self_supervise = opts_.rm.replicas > 1;
   std::size_t target_total = 0;
   for (const auto& g : groups_) {
     core::GroupTarget target{g->service(), g->spec().replica_count};
@@ -168,26 +194,36 @@ StartResult Testbed::start() {
     rm_cfg.groups.push_back(std::move(target));
     target_total += g->spec().replica_count;
   }
-  rm_proc_ = net_.spawn_process(naming_host(), "recovery-manager");
-  rm_ = std::make_unique<core::RecoveryManager>(
-      rm_proc_, rm_cfg,
-      [this](const std::string& service, int incarnation,
-             const std::string& host) {
-        ServiceGroup* g = group(service);
-        return g != nullptr && g->spawn_replica(incarnation, host);
-      });
-
-  bool rm_up = false;
-  auto boot = [](core::RecoveryManager& rm, bool& flag) -> sim::Task<void> {
-    flag = co_await rm.start();
+  auto factory = [this](const std::string& service, int incarnation,
+                        const std::string& host) {
+    ServiceGroup* g = group(service);
+    return g != nullptr && g->spawn_replica(incarnation, host);
   };
-  sim_.spawn(boot(*rm_, rm_up));
+  for (std::size_t i = 0; i < opts_.rm.replicas; ++i) {
+    core::RecoveryManagerConfig cfg = rm_cfg;
+    cfg.member = core::rm_member_name(i);
+    cfg.daemon = net::Endpoint{rm_hosts[i], gc::kDefaultDaemonPort};
+    rm_procs_.push_back(net_.spawn_process(rm_hosts[i], cfg.member));
+    rms_.push_back(std::make_unique<core::RecoveryManager>(
+        rm_procs_.back(), std::move(cfg), factory));
+  }
 
-  // Let the mesh form, the RM bootstrap every group's replicas, and the
-  // replicas join + announce + register with naming.
+  std::vector<std::uint8_t> rm_up(rms_.size(), 0);
+  auto boot = [](core::RecoveryManager& rm, std::uint8_t& flag) -> sim::Task<void> {
+    flag = co_await rm.start() ? 1 : 0;
+  };
+  for (std::size_t i = 0; i < rms_.size(); ++i) {
+    sim_.spawn(boot(*rms_[i], rm_up[i]));
+  }
+
+  // Let the mesh form, the acting RM bootstrap every group's replicas, and
+  // the replicas join + announce + register with naming.
   sim_.run_for(milliseconds(500));
-  if (!rm_up) {
-    return start_error("recovery manager failed to join the group mesh");
+  for (std::size_t i = 0; i < rms_.size(); ++i) {
+    if (rm_up[i] == 0) {
+      return start_error("recovery manager " + std::to_string(i) +
+                         " failed to join the group mesh");
+    }
   }
   for (const auto& g : groups_) {
     if (g->live_replica_count() != g->spec().replica_count) {
@@ -250,6 +286,13 @@ std::string Testbed::arm_chaos() {
       });
   chaos_->arm();
   return {};
+}
+
+core::RecoveryManager& Testbed::acting_rm() {
+  for (auto& rm : rms_) {
+    if (rm->acting()) return *rm;
+  }
+  return *rms_.front();
 }
 
 std::size_t Testbed::live_replica_count() const {

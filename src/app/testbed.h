@@ -61,6 +61,10 @@ struct TestbedOptions {
   /// Empty (the default) leaves the run fault-free and byte-identical to
   /// the pre-chaos testbed.
   fault::ChaosSchedule chaos;
+  /// Recovery Manager deployment. The default single replica reproduces
+  /// the paper's solo manager exactly; replicas > 1 runs the replicated,
+  /// self-supervised RM group.
+  RmSpec rm;
 };
 
 class Testbed {
@@ -115,7 +119,21 @@ class Testbed {
   /// Table 1.
   [[nodiscard]] std::size_t replica_deaths() const;
 
-  [[nodiscard]] core::RecoveryManager& recovery_manager() { return *rm_; }
+  // ---- Recovery Manager replicas ----
+  /// RM replica by index (0 <= index < rm_count()). Index 0 is the
+  /// paper's manager on the naming node under the default RmSpec.
+  [[nodiscard]] core::RecoveryManager& rm(std::size_t index = 0) {
+    return *rms_.at(index);
+  }
+  [[nodiscard]] const core::RecoveryManager& rm(std::size_t index = 0) const {
+    return *rms_.at(index);
+  }
+  [[nodiscard]] std::size_t rm_count() const { return rms_.size(); }
+  /// The replica currently executing launch actions — the solo manager,
+  /// or the live first-in-view member of the RM group. Falls back to
+  /// replica 0 when every manager is dead (its core snapshot is still the
+  /// best available history).
+  [[nodiscard]] core::RecoveryManager& acting_rm();
 
   /// The per-node group-communication daemons, in topology node order.
   [[nodiscard]] const std::vector<std::unique_ptr<gc::GcDaemon>>& daemons()
@@ -151,8 +169,8 @@ class Testbed {
   std::vector<std::unique_ptr<ServiceGroup>> groups_;
   net::ProcessPtr naming_proc_;
   naming::NamingServerBundle naming_;
-  net::ProcessPtr rm_proc_;
-  std::unique_ptr<core::RecoveryManager> rm_;
+  std::vector<net::ProcessPtr> rm_procs_;
+  std::vector<std::unique_ptr<core::RecoveryManager>> rms_;
   std::unique_ptr<fault::ChaosController> chaos_;
 };
 

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <string_view>
 
 #include "common/types.h"
 #include "net/types.h"
@@ -155,6 +156,25 @@ struct MeadConfig {
 /// updates here; routing clients join it to keep their read set fresh.
 [[nodiscard]] inline std::string read_set_group(const std::string& service) {
   return "mead/" + service + "/readset";
+}
+/// The Recovery Manager replicas' own membership group. A replicated RM
+/// joins it before any supervised group; leadership is first-in-view, and
+/// node-crash observations / factory failures are multicast here so every
+/// replica's RmCore applies them in the same total order.
+[[nodiscard]] inline std::string rm_group() { return "mead/rm/members"; }
+/// GC member name of Recovery Manager replica `index`. Index 0 keeps the
+/// historical solo name so single-manager runs stay byte-identical.
+[[nodiscard]] inline std::string rm_member_name(std::size_t index) {
+  if (index == 0) return "recovery-manager";
+  return "recovery-manager/" + std::to_string(index + 1);
+}
+/// True for any RM replica's member name. RM members join every supervised
+/// group to receive its ordered event stream, so degree accounting and
+/// primary selection must skip them.
+[[nodiscard]] inline bool is_rm_member(std::string_view member) {
+  constexpr std::string_view prefix = "recovery-manager";
+  if (!member.starts_with(prefix)) return false;
+  return member.size() == prefix.size() || member[prefix.size()] == '/';
 }
 
 }  // namespace mead::core

@@ -115,6 +115,19 @@ Bytes encode_read_set(const ReadSet& m) {
   return ctrl_frame(CtrlKind::kReadSet, w.buffer());
 }
 
+Bytes encode_node_crash(const NodeCrash& m) {
+  CdrWriter w;
+  w.write_string(m.host);
+  return ctrl_frame(CtrlKind::kNodeCrash, w.buffer());
+}
+
+Bytes encode_launch_failed(const LaunchFailed& m) {
+  CdrWriter w;
+  w.write_string(m.service);
+  w.write_u32(static_cast<std::uint32_t>(m.incarnation));
+  return ctrl_frame(CtrlKind::kLaunchFailed, w.buffer());
+}
+
 Bytes encode_state(const StateTransfer& m) {
   CdrWriter w;
   w.write_string(m.member);
@@ -202,6 +215,23 @@ std::optional<CtrlMsg> decode_ctrl(const Bytes& payload) {
         rs.entries.push_back(std::move(*a));
       }
       msg.read_set = std::move(rs);
+      return msg;
+    }
+    case CtrlKind::kNodeCrash: {
+      msg.kind = CtrlKind::kNodeCrash;
+      auto host = r.read_string();
+      if (!host) return std::nullopt;
+      msg.node_crash = NodeCrash{std::move(host.value())};
+      return msg;
+    }
+    case CtrlKind::kLaunchFailed: {
+      msg.kind = CtrlKind::kLaunchFailed;
+      auto service = r.read_string();
+      if (!service) return std::nullopt;
+      auto incarnation = r.read_u32();
+      if (!incarnation) return std::nullopt;
+      msg.launch_failed = LaunchFailed{std::move(service.value()),
+                                       static_cast<int>(incarnation.value())};
       return msg;
     }
     case CtrlKind::kState: {

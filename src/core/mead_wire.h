@@ -46,6 +46,8 @@ enum class CtrlKind : std::uint8_t {
   kPrimaryAnswer = 5, // first replica answers with its address
   kState = 6,         // warm-passive state transfer
   kReadSet = 7,       // RM publishes the read-fanout serving set
+  kNodeCrash = 8,     // RM replica replicates a node-crash observation
+  kLaunchFailed = 9,  // acting RM reports a replica factory failure
 };
 
 struct Announce {
@@ -121,6 +123,29 @@ struct ReadSet {
   friend bool operator==(const ReadSet&, const ReadSet&) = default;
 };
 
+/// A whole-node crash, observed locally by an RM replica's shell and
+/// multicast on rm_group() so every replica's RmCore releases launch slots
+/// reserved on the dead host at the same point in the total order. Every
+/// replica reports what it sees; application is idempotent, so duplicate
+/// frames (and frames about already-known crashes) are harmless.
+struct NodeCrash {
+  NodeCrash() = default;
+  explicit NodeCrash(std::string h) : host(std::move(h)) {}
+  std::string host;
+  friend bool operator==(const NodeCrash&, const NodeCrash&) = default;
+};
+
+/// The acting RM's replica factory returned false for this launch slot.
+/// Multicast on rm_group() so backups release the slot too (a solo manager
+/// applies the failure directly, skipping the wire round trip).
+struct LaunchFailed {
+  LaunchFailed() = default;
+  LaunchFailed(std::string s, int inc) : service(std::move(s)), incarnation(inc) {}
+  std::string service;
+  int incarnation = 0;
+  friend bool operator==(const LaunchFailed&, const LaunchFailed&) = default;
+};
+
 Bytes encode_announce(const Announce& m);
 Bytes encode_read_set(const ReadSet& m);
 Bytes encode_listing(const Listing& m);
@@ -128,6 +153,8 @@ Bytes encode_launch_request(const LaunchRequest& m);
 Bytes encode_primary_query(const PrimaryQuery& m);
 Bytes encode_primary_answer(const PrimaryAnswer& m);
 Bytes encode_state(const StateTransfer& m);
+Bytes encode_node_crash(const NodeCrash& m);
+Bytes encode_launch_failed(const LaunchFailed& m);
 
 /// Parsed control payload.
 struct CtrlMsg {
@@ -139,6 +166,8 @@ struct CtrlMsg {
   std::optional<PrimaryAnswer> answer;    // kPrimaryAnswer
   std::optional<StateTransfer> state;     // kState
   std::optional<ReadSet> read_set;        // kReadSet
+  std::optional<NodeCrash> node_crash;    // kNodeCrash
+  std::optional<LaunchFailed> launch_failed;  // kLaunchFailed
 };
 
 std::optional<CtrlMsg> decode_ctrl(const Bytes& payload);

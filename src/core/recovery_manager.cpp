@@ -1,6 +1,6 @@
 #include "core/recovery_manager.h"
 
-#include <algorithm>
+#include <utility>
 
 #include "common/log.h"
 
@@ -9,6 +9,7 @@ namespace mead::core {
 RecoveryManager::RecoveryManager(net::ProcessPtr proc,
                                  RecoveryManagerConfig cfg, Factory factory)
     : proc_(std::move(proc)), cfg_(std::move(cfg)), factory_(std::move(factory)),
+      core_(cfg_.groups, cfg_.member, cfg_.self_supervise),
       launches_(proc_->sim().obs().metrics().counter("rm.launches")),
       proactive_launches_(
           proc_->sim().obs().metrics().counter("rm.proactive_launches")),
@@ -19,171 +20,56 @@ RecoveryManager::RecoveryManager(net::ProcessPtr proc,
       restripe_skipped_(
           proc_->sim().obs().metrics().counter("rm.restripe.skipped")),
       readset_updates_(
-          proc_->sim().obs().metrics().counter("rm.readset.updates")) {
+          proc_->sim().obs().metrics().counter("rm.readset.updates")),
+      rm_failovers_(proc_->sim().obs().metrics().counter("rm.failovers")) {
   gc_ = std::make_unique<gc::GcClient>(*proc_, cfg_.member, cfg_.daemon);
   auto& metrics = proc_->sim().obs().metrics();
   for (const auto& target : cfg_.groups) {
-    auto group = std::make_unique<Group>();
-    group->target = target;
-    group->launches = &metrics.counter("rm.launches." + target.service);
-    group->proactive_launches =
+    GroupCounters c;
+    c.launches = &metrics.counter("rm.launches." + target.service);
+    c.proactive_launches =
         &metrics.counter("rm.proactive_launches." + target.service);
-    group->reactive_launches =
+    c.reactive_launches =
         &metrics.counter("rm.reactive_launches." + target.service);
-    group->restripe_placements =
+    c.restripe_placements =
         &metrics.counter("rm.restripe.placements." + target.service);
-    group->restripe_skipped =
+    c.restripe_skipped =
         &metrics.counter("rm.restripe.skipped." + target.service);
-    group->readset_updates =
+    c.readset_updates =
         &metrics.counter("rm.readset.updates." + target.service);
-    by_replica_group_[replica_group(target.service)] = group.get();
-    by_control_group_[control_group(target.service)] = group.get();
-    if (target.style == ReplicationStyle::kActiveReadFanout) {
-      by_readset_group_[read_set_group(target.service)] = group.get();
-    }
-    groups_.push_back(std::move(group));
+    counters_[target.service] = c;
   }
-  // Whole-node crashes free any launch slots reserved on the dead host;
-  // a view change alone cannot, since the reserved replica never joined.
+  // Whole-node crashes free any launch slots reserved on the dead host; a
+  // view change alone cannot, since the reserved replica never joined. A
+  // solo manager applies the observation directly (the historical path);
+  // a replicated one multicasts it so every core applies it in order.
   crash_observer_ = proc_->network().add_crash_observer(
-      [this](const std::string& host) { on_node_crash(host); });
+      [this](const std::string& host) { on_crash_observed(host); });
 }
 
 RecoveryManager::~RecoveryManager() {
   proc_->network().remove_crash_observer(crash_observer_);
 }
 
-RecoveryManager::Group* RecoveryManager::find_group(const std::string& service) {
-  auto it = by_replica_group_.find(replica_group(service));
-  return it == by_replica_group_.end() ? nullptr : it->second;
-}
-
-const RecoveryManager::Group* RecoveryManager::find_group(
-    const std::string& service) const {
-  auto it = by_replica_group_.find(replica_group(service));
-  return it == by_replica_group_.end() ? nullptr : it->second;
-}
-
-const RecoveryManager::Stats* RecoveryManager::stats(
-    const std::string& service) const {
-  const Group* g = find_group(service);
-  return g == nullptr ? nullptr : &g->stats;
-}
-
-const ReplicaRegistry* RecoveryManager::registry(
-    const std::string& service) const {
-  const Group* g = find_group(service);
-  return g == nullptr ? nullptr : &g->registry;
-}
-
-const std::vector<GroupTarget>& RecoveryManager::targets() const {
-  return cfg_.groups;
-}
-
-const ReadSet* RecoveryManager::read_set(const std::string& service) const {
-  const Group* g = find_group(service);
-  if (g == nullptr || g->target.style != ReplicationStyle::kActiveReadFanout) {
-    return nullptr;
-  }
-  return &g->read_set;
-}
-
-int RecoveryManager::next_incarnation() const {
-  return groups_.empty() ? 1 : groups_.front()->next_incarnation;
-}
-
-int RecoveryManager::next_incarnation(const std::string& service) const {
-  const Group* g = find_group(service);
-  return g == nullptr ? 0 : g->next_incarnation;
-}
-
-std::size_t RecoveryManager::live_in(const Group& group) const {
-  std::size_t n = 0;
-  for (const auto& m : group.registry.view().members) {
-    if (m != cfg_.member) ++n;
-  }
-  return n;
-}
-
-std::size_t RecoveryManager::live_replicas() const {
-  std::size_t n = 0;
-  for (const auto& g : groups_) n += live_in(*g);
-  return n;
-}
-
-std::size_t RecoveryManager::live_replicas(const std::string& service) const {
-  const Group* g = find_group(service);
-  return g == nullptr ? 0 : live_in(*g);
-}
-
 sim::Task<bool> RecoveryManager::start() {
   const bool connected = co_await gc_->connect();
   if (!connected) co_return false;
-  for (const auto& group : groups_) {
-    (void)co_await gc_->join(replica_group(group->target.service));
-    (void)co_await gc_->join(control_group(group->target.service));
+  // The RM membership group first: acting status must be settled before
+  // the first supervised-group view arrives.
+  if (cfg_.self_supervise) {
+    (void)co_await gc_->join(rm_group());
+  }
+  for (const auto& target : core_.targets()) {
+    (void)co_await gc_->join(replica_group(target.service));
+    (void)co_await gc_->join(control_group(target.service));
     // Read-fanout groups: membership of the read-set group tells the RM
     // when a routing client subscribes, so it can republish for them.
-    if (group->target.style == ReplicationStyle::kActiveReadFanout) {
-      (void)co_await gc_->join(read_set_group(group->target.service));
+    if (target.style == ReplicationStyle::kActiveReadFanout) {
+      (void)co_await gc_->join(read_set_group(target.service));
     }
   }
   proc_->sim().spawn(pump());
   co_return true;
-}
-
-void RecoveryManager::handle_view(Group& group, const gc::Event& event) {
-  const auto& old_members = group.registry.view().members;
-  // Count replicas that just appeared: each consumes a pending launch.
-  std::size_t joined = 0;
-  for (const auto& m : event.view.members) {
-    if (m == cfg_.member) continue;
-    if (std::find(old_members.begin(), old_members.end(), m) ==
-        old_members.end()) {
-      ++joined;
-    }
-  }
-  group.pending -= std::min(group.pending, joined);
-  // Departed members are no longer doomed (they are dead).
-  std::erase_if(group.doomed, [&](const std::string& m) {
-    return !event.view.contains(m);
-  });
-  group.registry.on_view(event.view);
-  reconcile(group, /*proactive_trigger=*/false);
-  refresh_read_set(group);
-}
-
-void RecoveryManager::refresh_read_set(Group& group) {
-  if (group.target.style != ReplicationStyle::kActiveReadFanout) return;
-  auto records = group.registry.read_set(group.doomed);
-  ReadSet next;
-  next.version = group.read_set.version;
-  if (!records.empty()) next.primary = records.front().member;
-  next.entries.reserve(records.size());
-  for (auto& r : records) {
-    next.entries.emplace_back(std::move(r.member), std::move(r.endpoint),
-                              std::move(r.ior));
-  }
-  if (next.primary == group.read_set.primary &&
-      next.entries == group.read_set.entries) {
-    return;
-  }
-  next.version = group.read_set.version + 1;
-  group.read_set = std::move(next);
-  readset_updates_.add();
-  group.readset_updates->add();
-  proc_->sim().obs().emit(obs::EventKind::kReadSetUpdate, cfg_.member,
-                          group.target.service,
-                          static_cast<double>(group.read_set.entries.size()));
-  // Encode now (a later refresh must not mutate what this update carries)
-  // and multicast from a spawned task: callers sit inside the event pump.
-  proc_->sim().spawn(publish_read_set(read_set_group(group.target.service),
-                                      encode_read_set(group.read_set)));
-}
-
-sim::Task<void> RecoveryManager::publish_read_set(std::string group_name,
-                                                  Bytes payload) {
-  (void)co_await gc_->multicast(std::move(group_name), std::move(payload));
 }
 
 sim::Task<void> RecoveryManager::pump() {
@@ -191,104 +77,105 @@ sim::Task<void> RecoveryManager::pump() {
     auto ev = co_await gc_->next_event();
     if (!ev || !ev.value()) co_return;
     gc::Event& event = *ev.value();
-    if (event.kind == gc::Event::Kind::kView) {
-      auto it = by_replica_group_.find(event.group);
-      if (it != by_replica_group_.end()) handle_view(*it->second, event);
-      // A membership change on a read-set group means a routing client
-      // (un)subscribed. Republish the current set so late joiners — who
-      // missed earlier multicasts — converge; known versions are dropped
-      // by the subscriber's monotone-version check.
-      auto rs = by_readset_group_.find(event.group);
-      if (rs != by_readset_group_.end() && rs->second->read_set.version > 0) {
-        proc_->sim().spawn(publish_read_set(
-            event.group, encode_read_set(rs->second->read_set)));
-      }
-      continue;
-    }
-    if (event.kind == gc::Event::Kind::kMessage) {
+    const bool was_acting = core_.acting();
+    if (was_acting && event.kind == gc::Event::Kind::kMessage &&
+        core_.is_control_group(event.group)) {
       auto ctrl = decode_ctrl(event.payload);
-      if (!ctrl) continue;
-      if (ctrl->kind == CtrlKind::kLaunchRequest) {
-        // Launch requests arrive on the doomed group's own control group;
-        // the event's group key routes them, so identical member names in
-        // two groups stay unambiguous.
-        auto it = by_control_group_.find(event.group);
-        if (it == by_control_group_.end()) continue;
+      if (ctrl && ctrl->kind == CtrlKind::kLaunchRequest && ctrl->launch) {
         LogLine(proc_->sim().log(), LogLevel::kInfo, "rm")
             << "launch request from " << ctrl->launch->member << " at usage "
             << ctrl->launch->usage;
-        it->second->doomed.insert(ctrl->launch->member);
-        reconcile(*it->second, /*proactive_trigger=*/true);
-        // A doomed replica leaves the read set immediately — clients must
-        // stop routing reads at it before it rejuvenates.
-        refresh_read_set(*it->second);
-        continue;
       }
-      // Replica announcements / listing syncs on a replica group feed that
-      // group's registry (endpoint bookkeeping only; no launch decisions).
-      auto it = by_replica_group_.find(event.group);
-      if (it == by_replica_group_.end()) continue;
-      if (ctrl->kind == CtrlKind::kAnnounce && ctrl->announce) {
-        it->second->reserved.erase(ctrl->announce->endpoint.host);
-        it->second->registry.on_announce(*ctrl->announce);
-        refresh_read_set(*it->second);
-      } else if (ctrl->kind == CtrlKind::kListing && ctrl->listing) {
-        it->second->registry.on_listing(*ctrl->listing);
-        refresh_read_set(*it->second);
-      }
+    }
+    // Only an rm_group() view can promote this replica; snapshot the slots
+    // that were pending before the event so the re-drive below does not
+    // double-spawn launches this same event decided.
+    const bool may_promote =
+        cfg_.self_supervise && !was_acting &&
+        event.kind == gc::Event::Kind::kView && event.group == rm_group();
+    const bool first_rm_view = core_.rm_view().members.empty();
+    std::vector<RmAction> carried;
+    if (may_promote) carried = core_.resume_actions();
+    auto actions = core_.on_event(event);
+    if (core_.acting()) execute(actions, /*count=*/true);
+    if (may_promote && core_.acting() && !first_rm_view) {
+      // Promotion: the previous first-in-view died mid-recovery. Re-drive
+      // every launch slot it left pending (at-least-once; the factory
+      // dedupes by incarnation) and repeat the current read sets in case
+      // its last publish never left the node.
+      ++failovers_;
+      rm_failovers_.add();
+      proc_->sim().obs().emit(obs::EventKind::kRmFailover, cfg_.member,
+                              core_.rm_view().first(),
+                              static_cast<double>(carried.size()));
+      LogLine(proc_->sim().log(), LogLevel::kInfo, "rm")
+          << "promoted to acting; re-driving " << carried.size()
+          << " carried actions";
+      execute(carried, /*count=*/false);
     }
   }
 }
 
-void RecoveryManager::reconcile(Group& group, bool proactive_trigger) {
-  // Per-group invariant: live - doomed + pending >= target.
-  std::size_t effective = live_in(group) + group.pending;
-  effective -= std::min(effective, group.doomed.size());
-  while (effective < group.target.target_degree) {
-    ++group.pending;
-    ++effective;
-    proc_->sim().spawn(launch_one(group, proactive_trigger));
+void RecoveryManager::execute(const std::vector<RmAction>& actions,
+                              bool count) {
+  if (!proc_->alive()) return;
+  for (const auto& a : actions) {
+    switch (a.kind) {
+      case RmAction::Kind::kLaunch:
+        proc_->sim().spawn(launch_task(a.service, a.incarnation, a.host,
+                                       a.proactive, a.restriped, count));
+        break;
+      case RmAction::Kind::kLaunchSkipped:
+        if (count) {
+          restripe_skipped_.add();
+          counters_[a.service].restripe_skipped->add();
+        }
+        break;
+      case RmAction::Kind::kPublishReadSet:
+        if (!a.republish) {
+          readset_updates_.add();
+          counters_[a.service].readset_updates->add();
+          proc_->sim().obs().emit(
+              obs::EventKind::kReadSetUpdate, cfg_.member, a.service,
+              static_cast<double>(a.read_set.entries.size()));
+        }
+        // Encode now (a later refresh must not mutate what this update
+        // carries) and multicast from a spawned task: callers sit inside
+        // the event pump.
+        proc_->sim().spawn(
+            multicast_task(a.group, encode_read_set(a.read_set)));
+        break;
+    }
   }
 }
 
-sim::Task<void> RecoveryManager::launch_one(Group& group, bool proactive) {
-  const int incarnation = group.next_incarnation++;
-  ++totals_.launches;
-  ++group.stats.launches;
-  launches_.add();
-  group.launches->add();
-  if (proactive) {
-    ++totals_.proactive_launches;
-    ++group.stats.proactive_launches;
-    proactive_launches_.add();
-    group.proactive_launches->add();
-  } else {
-    ++totals_.reactive_launches;
-    ++group.stats.reactive_launches;
-    reactive_launches_.add();
-    group.reactive_launches->add();
+sim::Task<void> RecoveryManager::launch_task(std::string service,
+                                             int incarnation, std::string host,
+                                             bool proactive, bool restriped,
+                                             bool count) {
+  if (count) {
+    launches_.add();
+    counters_[service].launches->add();
+    if (proactive) {
+      proactive_launches_.add();
+      counters_[service].proactive_launches->add();
+    } else {
+      reactive_launches_.add();
+      counters_[service].reactive_launches->add();
+    }
   }
   const bool alive = co_await proc_->sleep(cfg_.launch_delay);
   if (!alive) co_return;
-  std::string host;  // empty: the application applies its own cycle
-  if (group.target.placement == PlacementPolicy::kRestripe) {
-    auto choice = choose_host(group, incarnation);
-    if (!choice) {
-      // No live, unoccupied host right now. Abandon the slot — the next
-      // membership change (or node-crash notification) reconciles again,
-      // by which point a host may have freed up. The incarnation number is
-      // burned; gaps are fine, monotonicity is what matters.
-      group.pending -= std::min<std::size_t>(group.pending, 1);
-      group.restripe_skipped->add();
-      restripe_skipped_.add();
-      co_return;
-    }
-    host = std::move(*choice);
-    group.reserved.insert(host);
-    group.restripe_placements->add();
+  // The slot may have been released while we slept (node crash freed the
+  // reserved host and a replacement is already underway), or this replica
+  // may have been demoted — in either case the launch is no longer ours.
+  if (!core_.slot_pending(service, incarnation)) co_return;
+  if (!core_.acting()) co_return;
+  if (restriped && count) {
     restripe_placements_.add();
+    counters_[service].restripe_placements->add();
     proc_->sim().obs().emit(obs::EventKind::kRestripe, cfg_.member,
-                            group.target.service + ":" + host,
+                            service + ":" + host,
                             static_cast<double>(incarnation));
   }
   LogLine(proc_->sim().log(), LogLevel::kInfo, "rm")
@@ -296,51 +183,34 @@ sim::Task<void> RecoveryManager::launch_one(Group& group, bool proactive) {
   proc_->sim().obs().emit(obs::EventKind::kReplicaLaunched, cfg_.member,
                           proactive ? "proactive" : "reactive",
                           static_cast<double>(incarnation));
-  if (!factory_(group.target.service, incarnation, host)) {
-    group.pending -= std::min<std::size_t>(group.pending, 1);
-    if (!host.empty()) group.reserved.erase(host);
+  if (!factory_(service, incarnation, host)) {
+    if (!cfg_.self_supervise) {
+      auto actions = core_.on_launch_failed(service, incarnation);
+      execute(actions, /*count=*/true);
+    } else {
+      proc_->sim().spawn(multicast_task(
+          rm_group(), encode_launch_failed(LaunchFailed{service, incarnation})));
+    }
   }
 }
 
-std::optional<std::string> RecoveryManager::choose_host(
-    const Group& group, int incarnation) const {
-  std::vector<std::string> candidates = group.target.hosts;
-  for (const auto& h : group.target.spares) {
-    if (std::find(candidates.begin(), candidates.end(), h) ==
-        candidates.end()) {
-      candidates.push_back(h);
-    }
-  }
-  if (candidates.empty()) return std::nullopt;
-  // Occupied = hosts of announced live members, plus in-flight reservations.
-  std::set<std::string> occupied = group.reserved;
-  for (const auto& m : group.registry.view().members) {
-    if (m == cfg_.member) continue;
-    if (auto rec = group.registry.find(m)) occupied.insert(rec->endpoint.host);
-  }
-  const net::Network& net = proc_->network();
-  // Start where the cycle would have placed this incarnation, so restripe
-  // degenerates to the cycle whenever every host is alive and free.
-  const auto start =
-      static_cast<std::size_t>(incarnation - 1) % candidates.size();
-  for (std::size_t i = 0; i < candidates.size(); ++i) {
-    const std::string& h = candidates[(start + i) % candidates.size()];
-    if (!net.node_alive(h)) continue;
-    if (occupied.contains(h)) continue;
-    return h;
-  }
-  return std::nullopt;
+sim::Task<void> RecoveryManager::multicast_task(std::string group_name,
+                                                Bytes payload) {
+  (void)co_await gc_->multicast(std::move(group_name), std::move(payload));
 }
 
-void RecoveryManager::on_node_crash(const std::string& host) {
-  for (auto& g : groups_) {
-    // A launch reserved onto the crashed host died before joining any view;
-    // without this release the group under-shoots its degree forever.
-    if (g->reserved.erase(host) > 0) {
-      g->pending -= std::min<std::size_t>(g->pending, 1);
-      reconcile(*g, /*proactive_trigger=*/false);
-    }
+void RecoveryManager::on_crash_observed(const std::string& host) {
+  if (!proc_->alive()) return;
+  if (!cfg_.self_supervise) {
+    auto actions = core_.on_node_crash(host);
+    execute(actions, /*count=*/true);
+    return;
   }
+  // Replicated: loop the observation through the ordered stream. Every
+  // replica reports what it sees — the application is idempotent, and the
+  // frame must survive any single manager's death.
+  proc_->sim().spawn(
+      multicast_task(rm_group(), encode_node_crash(NodeCrash{host})));
 }
 
 }  // namespace mead::core

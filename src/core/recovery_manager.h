@@ -1,66 +1,46 @@
 // The MEAD Recovery Manager (§3.3): keeps every supervised service group's
 // degree of replication at its target by launching replicas.
 //
-// One Recovery Manager supervises a *set* of groups. For each group it
-// subscribes to the replica group, so Spread-style membership-change
-// notifications tell it when a replica died (reactive relaunch), and it
-// receives the Proactive Fault-Tolerance Managers' launch requests over
-// that group's control group (proactive launch ahead of an anticipated
-// failure). All per-group state — replica registry, doomed set, pending
-// launches, incarnation numbering, stats — is isolated per group, so
-// groups with overlapping member names cannot interfere.
+// The manager is split in two:
 //
-// Launch accounting guarantees the per-group invariant
-//     live - doomed + pending >= target
-// so a proactive launch at T1 followed by the doomed replica's death causes
-// exactly one launch, not two.
+//  * RmCore (rm_core.h) — a pure, deterministic state machine holding all
+//    per-group state, fed exclusively by the totally-ordered GC stream.
+//  * RecoveryManager (this file) — the thin I/O shell: it joins the groups,
+//    pumps ordered events into its core, and executes the returned actions
+//    (sleep launch_delay, run the replica factory, multicast read sets).
 //
-// As in the paper, the Recovery Manager is a single point of failure.
+// With cfg.self_supervise the manager runs as one replica of a replicated
+// RM group: every replica joins rm_group() plus all supervised groups, so
+// every core sees the same event sequence and converges on the same state.
+// Only the first-in-view replica ("acting") executes actions; backups apply
+// events silently. When the acting replica dies, the next first-in-view
+// re-drives the launch slots its core still records as pending — under the
+// `live - doomed + pending >= target` accounting that means exactly one
+// launch per deficit across the failover, not zero or two (the replica
+// factory must be idempotent per incarnation: re-driving is at-least-once).
+// Observations that do not arrive ordered by themselves — local node-crash
+// callbacks, replica-factory failures — are multicast on rm_group() so the
+// backups converge too.
+//
+// The default (self_supervise == false) is the paper's solo manager, which
+// is a single point of failure exactly as §3.3 concedes; that path keeps
+// the historical event schedule byte-for-byte.
 #pragma once
 
-#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
-#include <set>
 #include <string>
 #include <vector>
 
 #include "core/config.h"
 #include "core/mead_wire.h"
 #include "core/registry.h"
+#include "core/rm_core.h"
 #include "gc/client.h"
 #include "net/network.h"
 
 namespace mead::core {
-
-/// One supervised service group's target.
-struct GroupTarget {
-  GroupTarget() = default;
-  GroupTarget(std::string s, std::size_t degree)
-      : service(std::move(s)), target_degree(degree) {}
-
-  std::string service = "TimeOfDay";
-  std::size_t target_degree = 3;  // the paper runs three warm replicas
-
-  /// kWarmPassive: only the primary serves (the paper's model, default).
-  /// kActiveReadFanout: the Recovery Manager additionally maintains the
-  /// group's read set (live announced replicas minus doomed ones) and
-  /// multicasts kReadSet updates on read_set_group(service) whenever it
-  /// changes, so routing clients can fan reads over the replicas.
-  ReplicationStyle style = ReplicationStyle::kWarmPassive;
-
-  /// kCycle leaves host choice to the application's own per-group cycle
-  /// (factory receives an empty host — the pre-placement behaviour, and
-  /// the default). kRestripe picks the first alive, unoccupied host from
-  /// `hosts` (then `spares`), scanning from the cycle's starting point, so
-  /// replacements route around crashed workers.
-  PlacementPolicy placement = PlacementPolicy::kCycle;
-  /// The group's preferred placement set (required for kRestripe).
-  std::vector<std::string> hosts;
-  /// Extra hosts kRestripe may spill onto once `hosts` has no candidate.
-  std::vector<std::string> spares;
-};
 
 struct RecoveryManagerConfig {
   RecoveryManagerConfig() = default;
@@ -72,6 +52,12 @@ struct RecoveryManagerConfig {
   /// Models replica spin-up scheduling latency (fork/exec on the factory
   /// node). The replica's own startup path adds its own time on top.
   Duration launch_delay = milliseconds(2);
+  /// True when this manager runs as one replica of a replicated RM group:
+  /// it joins rm_group(), replicates crash observations and factory
+  /// failures as ordered control frames, and executes actions only while
+  /// first-in-view. False (default) preserves the solo manager's exact
+  /// event schedule.
+  bool self_supervise = false;
 };
 
 class RecoveryManager {
@@ -81,7 +67,9 @@ class RecoveryManager {
   /// builds the whole replica process. `host` is empty under kCycle (the
   /// application applies its own per-group placement) and names the chosen
   /// host under kRestripe. Returns false if the replica could not be
-  /// spawned, releasing the launch slot.
+  /// spawned, releasing the launch slot. Under self-supervision a failover
+  /// may re-drive a slot the dead manager already filled, so the factory
+  /// MUST be idempotent per incarnation (return true without spawning).
   using Factory = std::function<bool(const std::string& service,
                                      int incarnation, const std::string& host)>;
 
@@ -91,52 +79,36 @@ class RecoveryManager {
   RecoveryManager& operator=(const RecoveryManager&) = delete;
   ~RecoveryManager();
 
-  /// Joins every supervised group and starts reconciling. With initially
-  /// empty groups, this bootstraps the first `target_degree` replicas of
-  /// each.
+  /// Joins rm_group() (when self-supervised) and every supervised group,
+  /// then starts pumping. With initially empty groups the acting replica
+  /// bootstraps the first `target_degree` replicas of each.
   [[nodiscard]] sim::Task<bool> start();
 
-  struct Stats {
-    std::uint64_t launches = 0;
-    std::uint64_t proactive_launches = 0;  // triggered by LaunchRequest
-    std::uint64_t reactive_launches = 0;   // triggered by membership loss
-  };
-  /// Aggregate over all supervised groups.
-  [[nodiscard]] const Stats& stats() const { return totals_; }
-  /// Per-group stats; null if `service` is not supervised.
-  [[nodiscard]] const Stats* stats(const std::string& service) const;
-  /// Per-group registry (view + announced endpoints); null if unknown.
-  [[nodiscard]] const ReplicaRegistry* registry(const std::string& service) const;
-  /// Last published read set (version 0 until the first publish); null if
-  /// `service` is not supervised or is warm-passive.
-  [[nodiscard]] const ReadSet* read_set(const std::string& service) const;
-  [[nodiscard]] const std::vector<GroupTarget>& targets() const;
-
-  /// Next incarnation of the first supervised group (legacy single-group
-  /// introspection).
-  [[nodiscard]] int next_incarnation() const;
-  [[nodiscard]] int next_incarnation(const std::string& service) const;
+  /// Snapshot of one supervised group — registry, doomed set, pending
+  /// slots, incarnation counter, stats, read set — or nullopt if `service`
+  /// is not supervised. Replaces the old per-field accessor sprawl.
+  [[nodiscard]] std::optional<GroupView> view(const std::string& service) const {
+    return core_.view(service);
+  }
+  /// Aggregate launch stats over all supervised groups.
+  [[nodiscard]] const RmStats& stats() const { return core_.stats(); }
+  [[nodiscard]] const std::vector<GroupTarget>& targets() const {
+    return core_.targets();
+  }
   /// Live replicas across all groups.
-  [[nodiscard]] std::size_t live_replicas() const;
-  [[nodiscard]] std::size_t live_replicas(const std::string& service) const;
+  [[nodiscard]] std::size_t live_replicas() const { return core_.live_total(); }
+
+  [[nodiscard]] const std::string& member() const { return cfg_.member; }
+  [[nodiscard]] bool alive() const { return proc_->alive(); }
+  /// True while this replica executes actions: a live solo manager, or the
+  /// live first-in-view replica of the RM group.
+  [[nodiscard]] bool acting() const { return proc_->alive() && core_.acting(); }
+  /// Times this replica was promoted from backup to acting.
+  [[nodiscard]] std::uint64_t failovers() const { return failovers_; }
 
  private:
-  /// Everything the manager tracks for one supervised group.
-  struct Group {
-    GroupTarget target;
-    ReplicaRegistry registry;       // per-group view + announcements
-    std::set<std::string> doomed;   // replicas that announced impending death
-    std::size_t pending = 0;        // launched but not yet joined
-    int next_incarnation = 1;
-    Stats stats;
-    /// Hosts with a restripe launch in flight (reserved at host choice,
-    /// released when the replica announces or the launch fails), so burst
-    /// relaunches of one group never stack onto a single worker.
-    std::set<std::string> reserved;
-    /// kActiveReadFanout only: the last published serving set. version 0
-    /// means nothing has been published yet (clients stay on the primary).
-    ReadSet read_set;
-    // Per-group counters ("rm.launches.<service>", ...), resolved once.
+  /// Per-group obs counters ("rm.launches.<service>", ...), resolved once.
+  struct GroupCounters {
     obs::Counter* launches = nullptr;
     obs::Counter* proactive_launches = nullptr;
     obs::Counter* reactive_launches = nullptr;
@@ -146,26 +118,20 @@ class RecoveryManager {
   };
 
   sim::Task<void> pump();
-  sim::Task<void> launch_one(Group& group, bool proactive);
-  /// Recomputes the read set of a kActiveReadFanout group; if it differs
-  /// from the last published one, bumps the version and multicasts a
-  /// kReadSet on read_set_group(service). No-op for warm-passive groups.
-  void refresh_read_set(Group& group);
-  sim::Task<void> publish_read_set(std::string group_name, Bytes payload);
-  void reconcile(Group& group, bool proactive_trigger);
-  void handle_view(Group& group, const gc::Event& event);
-  void on_node_crash(const std::string& host);
-  /// kRestripe host choice; nullopt when no live, unoccupied host exists
-  /// (the launch slot is then abandoned until membership changes again).
-  [[nodiscard]] std::optional<std::string> choose_host(const Group& group,
-                                                      int incarnation) const;
-  [[nodiscard]] std::size_t live_in(const Group& group) const;
-  [[nodiscard]] Group* find_group(const std::string& service);
-  [[nodiscard]] const Group* find_group(const std::string& service) const;
+  /// Executes one action list. `count` false on failover re-drives: the
+  /// obs counters were already bumped by whichever shell first executed
+  /// the decision (core-side RmStats stay authoritative either way).
+  void execute(const std::vector<RmAction>& actions, bool count);
+  sim::Task<void> launch_task(std::string service, int incarnation,
+                              std::string host, bool proactive, bool restriped,
+                              bool count);
+  sim::Task<void> multicast_task(std::string group_name, Bytes payload);
+  void on_crash_observed(const std::string& host);
 
   net::ProcessPtr proc_;
   RecoveryManagerConfig cfg_;
   Factory factory_;
+  RmCore core_;
   // Aggregate hot-path counters, resolved once at construction (registry
   // refs stay valid for the simulation's lifetime).
   obs::Counter& launches_;
@@ -174,13 +140,11 @@ class RecoveryManager {
   obs::Counter& restripe_placements_;
   obs::Counter& restripe_skipped_;
   obs::Counter& readset_updates_;
+  obs::Counter& rm_failovers_;
+  std::map<std::string, GroupCounters> counters_;  // by service
   std::uint64_t crash_observer_ = 0;  // Network observer handle
   std::unique_ptr<gc::GcClient> gc_;
-  std::vector<std::unique_ptr<Group>> groups_;
-  std::map<std::string, Group*> by_replica_group_;  // "mead/<svc>/replicas"
-  std::map<std::string, Group*> by_control_group_;  // "mead/<svc>/control"
-  std::map<std::string, Group*> by_readset_group_;  // "mead/<svc>/readset"
-  Stats totals_;
+  std::uint64_t failovers_ = 0;
 };
 
 }  // namespace mead::core

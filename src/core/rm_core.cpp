@@ -1,0 +1,357 @@
+#include "core/rm_core.h"
+
+#include <algorithm>
+
+namespace mead::core {
+
+RmCore::RmCore(std::vector<GroupTarget> targets, std::string self,
+               bool replicated)
+    : targets_(std::move(targets)), self_(std::move(self)),
+      replicated_(replicated) {
+  for (const auto& target : targets_) {
+    auto group = std::make_unique<Group>();
+    group->target = target;
+    by_replica_group_[replica_group(target.service)] = group.get();
+    by_control_group_[control_group(target.service)] = group.get();
+    if (target.style == ReplicationStyle::kActiveReadFanout) {
+      by_readset_group_[read_set_group(target.service)] = group.get();
+    }
+    groups_.push_back(std::move(group));
+  }
+}
+
+RmCore::Group* RmCore::find_group(const std::string& service) {
+  auto it = by_replica_group_.find(replica_group(service));
+  return it == by_replica_group_.end() ? nullptr : it->second;
+}
+
+const RmCore::Group* RmCore::find_group(const std::string& service) const {
+  auto it = by_replica_group_.find(replica_group(service));
+  return it == by_replica_group_.end() ? nullptr : it->second;
+}
+
+bool RmCore::acting() const {
+  if (!replicated_) return true;
+  if (retired_) return false;
+  return !rm_view_.members.empty() && rm_view_.members.front() == self_;
+}
+
+std::size_t RmCore::live_in(const Group& group) const {
+  std::size_t n = 0;
+  for (const auto& m : group.registry.view().members) {
+    if (!is_rm_member(m)) ++n;
+  }
+  return n;
+}
+
+std::size_t RmCore::live_total() const {
+  std::size_t n = 0;
+  for (const auto& g : groups_) n += live_in(*g);
+  return n;
+}
+
+bool RmCore::slot_pending(const std::string& service, int incarnation) const {
+  const Group* g = find_group(service);
+  if (g == nullptr) return false;
+  return std::any_of(g->pending.begin(), g->pending.end(),
+                     [&](const Slot& s) { return s.incarnation == incarnation; });
+}
+
+std::optional<GroupView> RmCore::view(const std::string& service) const {
+  const Group* g = find_group(service);
+  if (g == nullptr) return std::nullopt;
+  GroupView out;
+  out.service = g->target.service;
+  out.target_degree = g->target.target_degree;
+  out.style = g->target.style;
+  out.placement = g->target.placement;
+  out.live = live_in(*g);
+  out.pending = g->pending.size();
+  out.next_incarnation = g->next_incarnation;
+  out.stats = g->stats;
+  out.doomed.assign(g->doomed.begin(), g->doomed.end());
+  out.registry = &g->registry;
+  if (g->target.style == ReplicationStyle::kActiveReadFanout) {
+    out.read_set = &g->read_set;
+  }
+  return out;
+}
+
+RmCore::Actions RmCore::on_event(const gc::Event& event) {
+  Actions out;
+  if (event.kind == gc::Event::Kind::kView) {
+    if (replicated_ && event.group == rm_group()) {
+      handle_rm_view(event.view);
+      return out;
+    }
+    auto it = by_replica_group_.find(event.group);
+    if (it != by_replica_group_.end()) handle_view(*it->second, event, out);
+    // A membership change on a read-set group means a routing client
+    // (un)subscribed. Republish the current set so late joiners — who
+    // missed earlier multicasts — converge; known versions are dropped
+    // by the subscriber's monotone-version check.
+    auto rs = by_readset_group_.find(event.group);
+    if (rs != by_readset_group_.end() && rs->second->read_set.version > 0) {
+      RmAction a;
+      a.kind = RmAction::Kind::kPublishReadSet;
+      a.service = rs->second->target.service;
+      a.group = event.group;
+      a.read_set = rs->second->read_set;
+      a.republish = true;
+      out.push_back(std::move(a));
+    }
+    return out;
+  }
+  if (event.kind != gc::Event::Kind::kMessage) return out;
+  auto ctrl = decode_ctrl(event.payload);
+  if (!ctrl) return out;
+  if (replicated_ && event.group == rm_group()) {
+    // Replicated observations: every RmCore applies them at the same
+    // position in the total order, so placement and slot accounting agree.
+    if (ctrl->kind == CtrlKind::kNodeCrash && ctrl->node_crash) {
+      apply_node_crash(ctrl->node_crash->host, out);
+    } else if (ctrl->kind == CtrlKind::kLaunchFailed && ctrl->launch_failed) {
+      apply_launch_failed(ctrl->launch_failed->service,
+                          ctrl->launch_failed->incarnation, out);
+    }
+    return out;
+  }
+  if (ctrl->kind == CtrlKind::kLaunchRequest) {
+    // Launch requests arrive on the doomed group's own control group; the
+    // event's group key routes them, so identical member names in two
+    // groups stay unambiguous.
+    auto it = by_control_group_.find(event.group);
+    if (it == by_control_group_.end()) return out;
+    it->second->doomed.insert(ctrl->launch->member);
+    reconcile(*it->second, /*proactive_trigger=*/true, out);
+    // A doomed replica leaves the read set immediately — clients must
+    // stop routing reads at it before it rejuvenates.
+    refresh_read_set(*it->second, out);
+    return out;
+  }
+  // Replica announcements / listing syncs on a replica group feed that
+  // group's registry (endpoint bookkeeping only; no launch decisions).
+  auto it = by_replica_group_.find(event.group);
+  if (it == by_replica_group_.end()) return out;
+  if (ctrl->kind == CtrlKind::kAnnounce && ctrl->announce) {
+    it->second->reserved.erase(ctrl->announce->endpoint.host);
+    it->second->registry.on_announce(*ctrl->announce);
+    refresh_read_set(*it->second, out);
+  } else if (ctrl->kind == CtrlKind::kListing && ctrl->listing) {
+    it->second->registry.on_listing(*ctrl->listing);
+    refresh_read_set(*it->second, out);
+  }
+  return out;
+}
+
+void RmCore::handle_rm_view(const gc::View& view) {
+  const auto& old_members = rm_view_.members;
+  const auto old_pos =
+      std::find(old_members.begin(), old_members.end(), self_);
+  const auto new_pos =
+      std::find(view.members.begin(), view.members.end(), self_);
+  if (old_pos != old_members.end()) {
+    // A member's index in the view only shrinks as earlier members die;
+    // growth means we were expelled (partition) and rejoined at the tail.
+    // We missed ordered messages in between, so our state may have
+    // diverged from the replicas that stayed — never act again.
+    if (new_pos == view.members.end() ||
+        (new_pos - view.members.begin()) > (old_pos - old_members.begin())) {
+      retired_ = true;
+    }
+  }
+  rm_view_ = view;
+}
+
+void RmCore::handle_view(Group& group, const gc::Event& event, Actions& out) {
+  const auto& old_members = group.registry.view().members;
+  // Count replicas that just appeared: each consumes a pending launch
+  // slot, oldest first.
+  std::size_t joined = 0;
+  for (const auto& m : event.view.members) {
+    if (is_rm_member(m)) continue;
+    if (std::find(old_members.begin(), old_members.end(), m) ==
+        old_members.end()) {
+      ++joined;
+    }
+  }
+  const std::size_t consumed = std::min(group.pending.size(), joined);
+  group.pending.erase(group.pending.begin(),
+                      group.pending.begin() + static_cast<std::ptrdiff_t>(consumed));
+  // Departed members are no longer doomed (they are dead).
+  std::erase_if(group.doomed, [&](const std::string& m) {
+    return !event.view.contains(m);
+  });
+  group.registry.on_view(event.view);
+  reconcile(group, /*proactive_trigger=*/false, out);
+  refresh_read_set(group, out);
+}
+
+void RmCore::reconcile(Group& group, bool proactive_trigger, Actions& out) {
+  // Per-group invariant: live - doomed + pending >= target.
+  std::size_t effective = live_in(group) + group.pending.size();
+  effective -= std::min(effective, group.doomed.size());
+  while (effective < group.target.target_degree) {
+    const int incarnation = group.next_incarnation++;
+    ++totals_.launches;
+    ++group.stats.launches;
+    if (proactive_trigger) {
+      ++totals_.proactive_launches;
+      ++group.stats.proactive_launches;
+    } else {
+      ++totals_.reactive_launches;
+      ++group.stats.reactive_launches;
+    }
+    RmAction a;
+    a.service = group.target.service;
+    a.incarnation = incarnation;
+    a.proactive = proactive_trigger;
+    if (group.target.placement == PlacementPolicy::kRestripe) {
+      auto choice = choose_host(group, incarnation);
+      if (!choice) {
+        // No known-alive, unoccupied host right now. Abandon the slot —
+        // the next membership change (or node-crash frame) reconciles
+        // again, by which point a host may have freed up. The incarnation
+        // number is burned; gaps are fine, monotonicity is what matters.
+        a.kind = RmAction::Kind::kLaunchSkipped;
+        out.push_back(std::move(a));
+        break;
+      }
+      a.host = std::move(*choice);
+      a.restriped = true;
+      group.reserved.insert(a.host);
+    }
+    group.pending.push_back(
+        Slot{incarnation, a.host, proactive_trigger, a.restriped});
+    out.push_back(std::move(a));
+    ++effective;
+  }
+}
+
+void RmCore::refresh_read_set(Group& group, Actions& out) {
+  if (group.target.style != ReplicationStyle::kActiveReadFanout) return;
+  auto records = group.registry.read_set(group.doomed);
+  ReadSet next;
+  next.version = group.read_set.version;
+  if (!records.empty()) next.primary = records.front().member;
+  next.entries.reserve(records.size());
+  for (auto& r : records) {
+    next.entries.emplace_back(std::move(r.member), std::move(r.endpoint),
+                              std::move(r.ior));
+  }
+  if (next.primary == group.read_set.primary &&
+      next.entries == group.read_set.entries) {
+    return;
+  }
+  next.version = group.read_set.version + 1;
+  group.read_set = std::move(next);
+  RmAction a;
+  a.kind = RmAction::Kind::kPublishReadSet;
+  a.service = group.target.service;
+  a.group = read_set_group(group.target.service);
+  a.read_set = group.read_set;
+  out.push_back(std::move(a));
+}
+
+RmCore::Actions RmCore::on_node_crash(const std::string& host) {
+  Actions out;
+  apply_node_crash(host, out);
+  return out;
+}
+
+void RmCore::apply_node_crash(const std::string& host, Actions& out) {
+  dead_hosts_.insert(host);
+  for (auto& g : groups_) {
+    // A launch reserved onto the crashed host died before joining any
+    // view; without this release the group under-shoots its degree
+    // forever.
+    if (g->reserved.erase(host) > 0) {
+      auto slot = std::find_if(g->pending.begin(), g->pending.end(),
+                               [&](const Slot& s) { return s.host == host; });
+      if (slot != g->pending.end()) g->pending.erase(slot);
+      reconcile(*g, /*proactive_trigger=*/false, out);
+    }
+  }
+}
+
+RmCore::Actions RmCore::on_launch_failed(const std::string& service,
+                                         int incarnation) {
+  Actions out;
+  apply_launch_failed(service, incarnation, out);
+  return out;
+}
+
+void RmCore::apply_launch_failed(const std::string& service, int incarnation,
+                                 Actions& out) {
+  (void)out;
+  Group* g = find_group(service);
+  if (g == nullptr) return;
+  auto slot = std::find_if(
+      g->pending.begin(), g->pending.end(),
+      [&](const Slot& s) { return s.incarnation == incarnation; });
+  if (slot == g->pending.end()) return;  // duplicate frame: already released
+  if (!slot->host.empty()) g->reserved.erase(slot->host);
+  g->pending.erase(slot);
+  // Deliberately no reconcile: the slot stays vacant until the next
+  // membership event, matching the solo manager's historical behaviour.
+}
+
+RmCore::Actions RmCore::resume_actions() const {
+  Actions out;
+  for (const auto& g : groups_) {
+    for (const auto& slot : g->pending) {
+      RmAction a;
+      a.service = g->target.service;
+      a.incarnation = slot.incarnation;
+      a.host = slot.host;
+      a.proactive = slot.proactive;
+      a.restriped = slot.restriped;
+      out.push_back(std::move(a));
+    }
+    if (g->target.style == ReplicationStyle::kActiveReadFanout &&
+        g->read_set.version > 0) {
+      // The dead acting may have bumped every core's version and then died
+      // before its multicast landed; repeating the current set closes that
+      // gap, and subscribers drop versions they already know.
+      RmAction a;
+      a.kind = RmAction::Kind::kPublishReadSet;
+      a.service = g->target.service;
+      a.group = read_set_group(g->target.service);
+      a.read_set = g->read_set;
+      a.republish = true;
+      out.push_back(std::move(a));
+    }
+  }
+  return out;
+}
+
+std::optional<std::string> RmCore::choose_host(const Group& group,
+                                               int incarnation) const {
+  std::vector<std::string> candidates = group.target.hosts;
+  for (const auto& h : group.target.spares) {
+    if (std::find(candidates.begin(), candidates.end(), h) ==
+        candidates.end()) {
+      candidates.push_back(h);
+    }
+  }
+  if (candidates.empty()) return std::nullopt;
+  // Occupied = hosts of announced live members, plus in-flight reservations.
+  std::set<std::string> occupied = group.reserved;
+  for (const auto& m : group.registry.view().members) {
+    if (is_rm_member(m)) continue;
+    if (auto rec = group.registry.find(m)) occupied.insert(rec->endpoint.host);
+  }
+  // Start where the cycle would have placed this incarnation, so restripe
+  // degenerates to the cycle whenever every host is alive and free.
+  const auto start =
+      static_cast<std::size_t>(incarnation - 1) % candidates.size();
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const std::string& h = candidates[(start + i) % candidates.size()];
+    if (dead_hosts_.contains(h)) continue;
+    if (occupied.contains(h)) continue;
+    return h;
+  }
+  return std::nullopt;
+}
+
+}  // namespace mead::core

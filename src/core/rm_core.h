@@ -1,0 +1,253 @@
+// The Recovery Manager's decision core: a pure, deterministic state
+// machine. Everything the manager tracks per supervised group — replica
+// registry, doomed set, pending launch slots, incarnation numbering,
+// reserved hosts, read sets, stats — lives here, and every input arrives
+// either from the totally-ordered group-communication stream (on_event) or
+// as an observation the shell replicates deterministically (on_node_crash,
+// on_launch_failed). Outputs are RmAction lists; the core never touches the
+// network, the clock, or the simulator.
+//
+// Because the GC mesh delivers one global total order, N RmCore instances
+// whose shells join the same groups receive identical input sequences and
+// therefore hold identical state. That is what makes the replicated
+// Recovery Manager work: backups apply events silently, only the
+// first-in-view shell executes the actions, and on failover the new
+// first-in-view re-drives the still-pending launch slots its core already
+// knows about — exactly one launch per deficit, not zero or two.
+//
+// Launch accounting keeps the per-group invariant
+//     live - doomed + pending >= target
+// so a proactive launch at T1 followed by the doomed replica's death causes
+// exactly one launch.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "core/mead_wire.h"
+#include "core/registry.h"
+#include "gc/view.h"
+
+namespace mead::core {
+
+/// One supervised service group's target.
+struct GroupTarget {
+  GroupTarget() = default;
+  GroupTarget(std::string s, std::size_t degree)
+      : service(std::move(s)), target_degree(degree) {}
+
+  std::string service = "TimeOfDay";
+  std::size_t target_degree = 3;  // the paper runs three warm replicas
+
+  /// kWarmPassive: only the primary serves (the paper's model, default).
+  /// kActiveReadFanout: the Recovery Manager additionally maintains the
+  /// group's read set (live announced replicas minus doomed ones) and
+  /// multicasts kReadSet updates on read_set_group(service) whenever it
+  /// changes, so routing clients can fan reads over the replicas.
+  ReplicationStyle style = ReplicationStyle::kWarmPassive;
+
+  /// kCycle leaves host choice to the application's own per-group cycle
+  /// (factory receives an empty host — the pre-placement behaviour, and
+  /// the default). kRestripe picks the first known-alive, unoccupied host
+  /// from `hosts` (then `spares`), scanning from the cycle's starting
+  /// point, so replacements route around crashed workers.
+  PlacementPolicy placement = PlacementPolicy::kCycle;
+  /// The group's preferred placement set (required for kRestripe).
+  std::vector<std::string> hosts;
+  /// Extra hosts kRestripe may spill onto once `hosts` has no candidate.
+  std::vector<std::string> spares;
+};
+
+/// Per-group (and aggregate) launch decision counts. Derived purely from
+/// the ordered stream, so every RM replica's copy is identical — unlike
+/// the obs counters, which only the acting shell bumps.
+struct RmStats {
+  std::uint64_t launches = 0;
+  std::uint64_t proactive_launches = 0;  // triggered by LaunchRequest
+  std::uint64_t reactive_launches = 0;   // triggered by membership loss
+
+  friend bool operator==(const RmStats&, const RmStats&) = default;
+};
+
+/// Snapshot of one supervised group — the RM's whole introspection surface
+/// (replaces the old per-field accessor sprawl). Pointer fields borrow from
+/// the core and stay valid until its next input.
+struct GroupView {
+  std::string service;
+  std::size_t target_degree = 0;
+  ReplicationStyle style = ReplicationStyle::kWarmPassive;
+  PlacementPolicy placement = PlacementPolicy::kCycle;
+  /// Replica-group view members that are not RM replicas.
+  std::size_t live = 0;
+  /// Launch slots issued but not yet consumed by a join.
+  std::size_t pending = 0;
+  int next_incarnation = 1;
+  RmStats stats;
+  /// Members that announced impending death and are still in view.
+  std::vector<std::string> doomed;
+  /// View + announced endpoints (never null for a supervised group).
+  const ReplicaRegistry* registry = nullptr;
+  /// Last published read set; null unless the group is kActiveReadFanout.
+  const ReadSet* read_set = nullptr;
+};
+
+/// One instruction from the core to the acting shell.
+struct RmAction {
+  enum class Kind : std::uint8_t {
+    /// Sleep launch_delay, then run the replica factory for `service` /
+    /// `incarnation` on `host` (empty host: the application's own cycle).
+    kLaunch,
+    /// kRestripe found no live, unoccupied host: the slot was abandoned
+    /// and the incarnation burned (counters only; retried on the next
+    /// membership change).
+    kLaunchSkipped,
+    /// Multicast the frozen `read_set` on GC group `group`. `republish`
+    /// distinguishes a version-bumping update from a repeat for late
+    /// subscribers (no counters or trace for the latter).
+    kPublishReadSet,
+  };
+
+  Kind kind = Kind::kLaunch;
+  std::string service;
+  // kLaunch / kLaunchSkipped
+  int incarnation = 0;
+  std::string host;
+  bool proactive = false;
+  bool restriped = false;
+  // kPublishReadSet
+  std::string group;
+  ReadSet read_set;
+  bool republish = false;
+};
+
+class RmCore {
+ public:
+  using Actions = std::vector<RmAction>;
+
+  /// `self` is this replica's GC member name; `replicated` true means the
+  /// shell joined rm_group() and acting status follows its first-in-view
+  /// member (false: a solo manager, always acting).
+  RmCore(std::vector<GroupTarget> targets, std::string self, bool replicated);
+
+  // ---- deterministic inputs ----
+  // Every replica must feed the identical sequence; each call returns the
+  // actions the acting shell executes (backups discard them — their value
+  // is the state transition).
+
+  /// An ordered GC event from any joined group (replica / control /
+  /// read-set groups of every target, plus rm_group() when replicated).
+  [[nodiscard]] Actions on_event(const gc::Event& event);
+  /// A node died. Solo shells apply their crash observation directly;
+  /// replicated shells multicast kNodeCrash on rm_group() instead, which
+  /// loops back through on_event. Idempotent.
+  [[nodiscard]] Actions on_node_crash(const std::string& host);
+  /// The acting shell's factory returned false for this slot. Solo shells
+  /// call it directly; replicated shells multicast kLaunchFailed.
+  /// Idempotent.
+  [[nodiscard]] Actions on_launch_failed(const std::string& service,
+                                         int incarnation);
+  /// Failover resume for a newly-acting shell: re-issues kLaunch for every
+  /// still-pending slot and republishes every fanout group's current read
+  /// set. At-least-once by design — the replica factory must be idempotent
+  /// per incarnation.
+  [[nodiscard]] Actions resume_actions() const;
+
+  // ---- leadership ----
+
+  /// True when this replica should execute actions: always for a solo
+  /// manager; first-in-view of rm_group() (and not retired) otherwise.
+  [[nodiscard]] bool acting() const;
+  /// A replica that was expelled from rm_group() (partition) and rejoined
+  /// has missed ordered messages, so its state may have diverged; it
+  /// retires permanently rather than risk acting on stale state.
+  [[nodiscard]] bool retired() const { return retired_; }
+  [[nodiscard]] const gc::View& rm_view() const { return rm_view_; }
+
+  // ---- introspection ----
+
+  [[nodiscard]] std::optional<GroupView> view(const std::string& service) const;
+  /// Aggregate over all supervised groups.
+  [[nodiscard]] const RmStats& stats() const { return totals_; }
+  [[nodiscard]] const std::vector<GroupTarget>& targets() const {
+    return targets_;
+  }
+  /// Live replicas across all groups (RM members excluded).
+  [[nodiscard]] std::size_t live_total() const;
+  /// True while `incarnation`'s launch slot is still outstanding — the
+  /// shell's launch task checks this after its delay so a slot released
+  /// mid-sleep (node crash) is not double-filled.
+  [[nodiscard]] bool slot_pending(const std::string& service,
+                                  int incarnation) const;
+  [[nodiscard]] bool is_control_group(const std::string& group) const {
+    return by_control_group_.contains(group);
+  }
+
+ private:
+  /// One issued-but-unconsumed launch. Joins consume slots oldest-first;
+  /// a node crash releases the slot reserved on the dead host; a factory
+  /// failure releases its exact incarnation.
+  struct Slot {
+    int incarnation = 0;
+    std::string host;  // empty under kCycle
+    bool proactive = false;
+    bool restriped = false;
+  };
+
+  /// Everything the core tracks for one supervised group.
+  struct Group {
+    GroupTarget target;
+    ReplicaRegistry registry;      // per-group view + announcements
+    std::set<std::string> doomed;  // announced impending death
+    std::vector<Slot> pending;     // launched but not yet joined
+    int next_incarnation = 1;
+    RmStats stats;
+    /// Hosts with a restripe launch in flight (reserved at decision time,
+    /// released when the replica announces or the launch dies), so burst
+    /// relaunches of one group never stack onto a single worker.
+    std::set<std::string> reserved;
+    /// kActiveReadFanout only: the last published serving set. version 0
+    /// means nothing has been published yet (clients stay on the primary).
+    ReadSet read_set;
+  };
+
+  void handle_view(Group& group, const gc::Event& event, Actions& out);
+  void handle_rm_view(const gc::View& view);
+  void reconcile(Group& group, bool proactive_trigger, Actions& out);
+  /// Recomputes a kActiveReadFanout group's read set; on change bumps the
+  /// version and emits a kPublishReadSet action. No-op for warm-passive.
+  void refresh_read_set(Group& group, Actions& out);
+  void apply_node_crash(const std::string& host, Actions& out);
+  void apply_launch_failed(const std::string& service, int incarnation,
+                           Actions& out);
+  /// kRestripe host choice at decision time; nullopt when no known-alive,
+  /// unoccupied host exists (the slot is then abandoned until membership
+  /// changes again).
+  [[nodiscard]] std::optional<std::string> choose_host(const Group& group,
+                                                       int incarnation) const;
+  [[nodiscard]] std::size_t live_in(const Group& group) const;
+  [[nodiscard]] Group* find_group(const std::string& service);
+  [[nodiscard]] const Group* find_group(const std::string& service) const;
+
+  std::vector<GroupTarget> targets_;
+  std::string self_;
+  bool replicated_ = false;
+  bool retired_ = false;
+  gc::View rm_view_;
+  /// Hosts known dead from replicated (or solo-direct) crash observations.
+  /// The core deliberately never asks the network, so replicas that saw
+  /// the same frames agree on placement.
+  std::set<std::string> dead_hosts_;
+  std::vector<std::unique_ptr<Group>> groups_;
+  std::map<std::string, Group*> by_replica_group_;  // "mead/<svc>/replicas"
+  std::map<std::string, Group*> by_control_group_;  // "mead/<svc>/control"
+  std::map<std::string, Group*> by_readset_group_;  // "mead/<svc>/readset"
+  RmStats totals_;
+};
+
+}  // namespace mead::core

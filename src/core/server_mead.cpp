@@ -109,6 +109,9 @@ void ServerMead::handle_ctrl(const gc::Event& ev) {
       break;  // only clients consume answers
     case CtrlKind::kReadSet:
       break;  // published by the RM for routing clients, not replicas
+    case CtrlKind::kNodeCrash:
+    case CtrlKind::kLaunchFailed:
+      break;  // RM-group-internal frames; never sent to replica groups
   }
 }
 

@@ -30,6 +30,7 @@ std::string_view to_string(EventKind k) {
     case EventKind::kRestripe: return "restripe";
     case EventKind::kReadSetUpdate: return "read_set_update";
     case EventKind::kRouteSwitch: return "route_switch";
+    case EventKind::kRmFailover: return "rm_failover";
   }
   return "?";
 }
@@ -37,7 +38,7 @@ std::string_view to_string(EventKind k) {
 namespace {
 
 EventKind kind_from_string(std::string_view s) {
-  for (int i = 0; i <= static_cast<int>(EventKind::kRouteSwitch); ++i) {
+  for (int i = 0; i <= static_cast<int>(EventKind::kRmFailover); ++i) {
     const auto k = static_cast<EventKind>(i);
     if (to_string(k) == s) return k;
   }

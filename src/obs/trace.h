@@ -41,6 +41,7 @@ enum class EventKind : std::uint8_t {
   kRestripe,           // Recovery Manager placed a replica off-cycle
   kReadSetUpdate,      // Recovery Manager republished a fanout read set
   kRouteSwitch,        // routing client re-pointed its stub at a replica
+  kRmFailover,         // a backup Recovery Manager became first-in-view
 };
 
 [[nodiscard]] std::string_view to_string(EventKind k);

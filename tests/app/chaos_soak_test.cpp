@@ -9,6 +9,13 @@
 //  * live replicas only ever sit on live nodes;
 //  * every scheduled fault is accounted for (applied or explicitly skipped);
 //  * the whole run is bit-reproducible from its seed.
+//
+// Even seeds additionally run the replicated Recovery Manager (three
+// self-supervised RM replicas) and crash one RM host mid-run, so the soak
+// also covers RM failover: recovery must still settle (no outstanding
+// launch slot), no incarnation may ever be launched twice, and when the
+// crashed host carried the acting manager, a backup must have promoted.
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -48,17 +55,26 @@ ExperimentSpec soak_spec(std::uint64_t seed) {
     return workers[static_cast<std::size_t>(
         rng.uniform_int(0, static_cast<std::int64_t>(workers.size()) - 1))];
   };
+  const bool rm_failover_seed = (seed % 2 == 0);
+  std::set<std::string> crashed;
   const auto n_crashes = rng.uniform_int(0, 2);
   for (std::int64_t i = 0; i < n_crashes; ++i) {
-    spec.chaos.crash_node(milliseconds(rng.uniform_int(50, 450)),
-                          pick_worker());
+    const std::string& host = pick_worker();
+    crashed.insert(host);
+    spec.chaos.crash_node(milliseconds(rng.uniform_int(50, 450)), host);
   }
+  // Partitions are skipped on RM-failover seeds: an RM replica expelled by
+  // a partition retires permanently (DESIGN.md §8), and a schedule that can
+  // retire every manager would legitimately stop recovery — defeating the
+  // no-lost-group invariant this suite checks.
   const auto n_partitions = rng.uniform_int(0, 2);
-  for (std::int64_t i = 0; i < n_partitions; ++i) {
-    spec.chaos.partition(milliseconds(rng.uniform_int(50, 350)),
-                         pick_worker());
+  if (!rm_failover_seed) {
+    for (std::int64_t i = 0; i < n_partitions; ++i) {
+      spec.chaos.partition(milliseconds(rng.uniform_int(50, 350)),
+                           pick_worker());
+    }
+    if (n_partitions > 0) spec.chaos.heal(milliseconds(500));
   }
-  if (n_partitions > 0) spec.chaos.heal(milliseconds(500));
   if (rng.chance(0.5)) {
     spec.chaos.crash_process(
         milliseconds(rng.uniform_int(100, 450)),
@@ -70,13 +86,26 @@ ExperimentSpec soak_spec(std::uint64_t seed) {
     spec.chaos.leak_burst(milliseconds(rng.uniform_int(100, 450)),
                           spec.groups[g].service, 26 * 1024);
   }
+  if (rm_failover_seed) {
+    // Three RM replicas on workers that no other event crashes, then kill
+    // exactly one of them (possibly the acting manager). Appended last so
+    // the test body can find the RM-crash event at events.back().
+    spec.rm.replicas = 3;
+    for (const auto& w : workers) {
+      if (spec.rm.hosts.size() == 3) break;
+      if (!crashed.contains(w)) spec.rm.hosts.push_back(w);
+    }
+    const auto victim = static_cast<std::size_t>(rng.uniform_int(0, 2));
+    spec.chaos.crash_node(milliseconds(rng.uniform_int(50, 450)),
+                          spec.rm.hosts[victim]);
+  }
   return spec;
 }
 
 std::string fingerprint(const ExperimentResult& r) {
   std::ostringstream os;
   os << r.sim_events << '|' << r.server_failures << '|' << r.gc_bytes << '|'
-     << r.chaos_faults << '|' << r.restripes;
+     << r.chaos_faults << '|' << r.restripes << '|' << r.rm_failovers;
   for (const auto& g : r.group_results) {
     os << ';' << g.service << ':' << g.server_failures << ',' << g.launches
        << ',' << g.proactive_launches << ',' << g.reactive_launches << ','
@@ -92,11 +121,25 @@ TEST(ChaosSoakTest, RandomSchedulesHoldInvariants) {
     Experiment exp(spec);
     ASSERT_TRUE(exp.start());
 
-    core::RecoveryManager& rm = exp.testbed().recovery_manager();
+    Testbed& bed = exp.testbed();
     std::vector<int> inc0;
     inc0.reserve(spec.groups.size());
     for (const auto& g : spec.groups) {
-      inc0.push_back(rm.next_incarnation(g.service));
+      const auto v = bed.acting_rm().view(g.service);
+      ASSERT_TRUE(v.has_value()) << g.service;
+      inc0.push_back(v->next_incarnation);
+    }
+    // On RM-failover seeds, note whether the crashed RM host (the last
+    // scheduled event, by construction) carries the initially acting
+    // manager — only then is a promotion guaranteed.
+    bool victim_was_acting = false;
+    if (spec.rm.replicas > 1) {
+      const std::string& victim_host = spec.chaos.events.back().target;
+      for (std::size_t i = 0; i < bed.rm_count(); ++i) {
+        if (bed.rm(i).acting() && spec.rm.hosts[i] == victim_host) {
+          victim_was_acting = true;
+        }
+      }
     }
 
     exp.launch_client();
@@ -121,14 +164,27 @@ TEST(ChaosSoakTest, RandomSchedulesHoldInvariants) {
       EXPECT_EQ(r.group_results[i].invocations_completed,
                 static_cast<std::uint64_t>(kInvocations))
           << g->service();
+      const auto v = bed.acting_rm().view(g->service());
+      ASSERT_TRUE(v.has_value()) << g->service();
       // Incarnations are monotone: burned slots leave gaps, never reuse.
-      EXPECT_GE(rm.next_incarnation(g->service()), inc0[i]) << g->service();
+      EXPECT_GE(v->next_incarnation, inc0[i]) << g->service();
+      // Recovery settled: no launch slot still outstanding after the run.
+      EXPECT_EQ(v->pending, 0u) << g->service();
+      // Exactly-once launches across RM failover: a member name encodes
+      // its incarnation, so no name may ever be spawned twice.
+      std::set<std::string> members;
+      for (const auto& rep : g->replicas()) {
+        EXPECT_TRUE(members.insert(rep->member()).second) << rep->member();
+      }
       // Live replicas only on live nodes.
       for (const auto& rep : g->replicas()) {
         if (rep->alive()) {
           EXPECT_TRUE(net.node_alive(rep->endpoint().host)) << rep->member();
         }
       }
+    }
+    if (victim_was_acting) {
+      EXPECT_GE(r.rm_failovers, 1u) << "acting RM crashed but no backup promoted";
     }
   }
 }

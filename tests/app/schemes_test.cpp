@@ -125,7 +125,7 @@ TEST(SchemeTest, ProactiveLaunchHappensBeforeMigration) {
   bed.sim().spawn(client.run());
   bed.sim().run_for(seconds(30));
   ASSERT_TRUE(client.done());
-  EXPECT_GT(bed.recovery_manager().stats().proactive_launches, 0u);
+  EXPECT_GT(bed.rm().stats().proactive_launches, 0u);
   // Replication degree is maintained throughout.
   EXPECT_EQ(bed.live_replica_count(), 3u);
 }

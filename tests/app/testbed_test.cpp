@@ -21,7 +21,7 @@ TEST(TestbedTest, WorldComesUp) {
   ASSERT_TRUE(bed.start());
   EXPECT_EQ(bed.live_replica_count(), 3u);
   EXPECT_EQ(bed.replica_deaths(), 0u);
-  EXPECT_EQ(bed.recovery_manager().stats().launches, 3u);
+  EXPECT_EQ(bed.rm().stats().launches, 3u);
   for (auto& r : bed.replicas()) {
     EXPECT_TRUE(r->registered()) << r->member();
   }
@@ -108,7 +108,7 @@ TEST(TestbedTest, RecoveryManagerReplacesCrashedReplica) {
   bed.sim().run_for(seconds(1));
   EXPECT_EQ(bed.live_replica_count(), 3u);
   EXPECT_EQ(bed.replica_deaths(), 1u);
-  EXPECT_EQ(bed.recovery_manager().stats().reactive_launches, 4u);  // 3 boot + 1
+  EXPECT_EQ(bed.rm().stats().reactive_launches, 4u);  // 3 boot + 1
 }
 
 TEST(TestbedTest, TopologyRolesNameTheSpecialNodes) {

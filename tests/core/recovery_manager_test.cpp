@@ -203,14 +203,16 @@ TEST_F(RmWorld, MultiGroupBootstrapsEachTarget) {
   EXPECT_TRUE(rm_up_);
   EXPECT_EQ(replicas_.size(), 5u);
   EXPECT_EQ(rm->live_replicas(), 5u);
-  EXPECT_EQ(rm->live_replicas("Alpha"), 3u);
-  EXPECT_EQ(rm->live_replicas("Beta"), 2u);
-  ASSERT_NE(rm->stats("Alpha"), nullptr);
-  ASSERT_NE(rm->stats("Beta"), nullptr);
-  EXPECT_EQ(rm->stats("Alpha")->launches, 3u);
-  EXPECT_EQ(rm->stats("Beta")->launches, 2u);
+  const auto alpha = rm->view("Alpha");
+  const auto beta = rm->view("Beta");
+  ASSERT_TRUE(alpha.has_value());
+  ASSERT_TRUE(beta.has_value());
+  EXPECT_EQ(alpha->live, 3u);
+  EXPECT_EQ(beta->live, 2u);
+  EXPECT_EQ(alpha->stats.launches, 3u);
+  EXPECT_EQ(beta->stats.launches, 2u);
   EXPECT_EQ(rm->stats().launches, 5u);
-  EXPECT_EQ(rm->stats("Gamma"), nullptr);  // unsupervised service
+  EXPECT_FALSE(rm->view("Gamma").has_value());  // unsupervised service
 }
 
 TEST_F(RmWorld, CrashInOneGroupDoesNotLaunchInAnother) {
@@ -227,13 +229,13 @@ TEST_F(RmWorld, CrashInOneGroupDoesNotLaunchInAnother) {
   replicas_[alpha1].proc->kill();
   sim_.run_for(milliseconds(100));
   EXPECT_EQ(replicas_.size(), 5u);
-  EXPECT_EQ(rm->live_replicas("Alpha"), 2u);
-  EXPECT_EQ(rm->live_replicas("Beta"), 2u);
-  EXPECT_EQ(rm->stats("Alpha")->reactive_launches, 3u);
-  EXPECT_EQ(rm->stats("Beta")->reactive_launches, 2u);
+  EXPECT_EQ(rm->view("Alpha")->live, 2u);
+  EXPECT_EQ(rm->view("Beta")->live, 2u);
+  EXPECT_EQ(rm->view("Alpha")->stats.reactive_launches, 3u);
+  EXPECT_EQ(rm->view("Beta")->stats.reactive_launches, 2u);
   // Beta's incarnation counter never moved.
-  EXPECT_EQ(rm->next_incarnation("Beta"), 3);
-  EXPECT_EQ(rm->next_incarnation("Alpha"), 4);
+  EXPECT_EQ(rm->view("Beta")->next_incarnation, 3);
+  EXPECT_EQ(rm->view("Alpha")->next_incarnation, 4);
 }
 
 TEST_F(RmWorld, LaunchRequestRoutedByControlGroup) {
@@ -258,10 +260,10 @@ TEST_F(RmWorld, LaunchRequestRoutedByControlGroup) {
   sim_.run_for(milliseconds(100));
 
   EXPECT_EQ(replicas_.size(), 5u);
-  EXPECT_EQ(rm->stats("Beta")->proactive_launches, 1u);
-  EXPECT_EQ(rm->stats("Alpha")->proactive_launches, 0u);
+  EXPECT_EQ(rm->view("Beta")->stats.proactive_launches, 1u);
+  EXPECT_EQ(rm->view("Alpha")->stats.proactive_launches, 0u);
   EXPECT_EQ(rm->stats().proactive_launches, 1u);
-  EXPECT_EQ(rm->live_replicas("Beta"), 3u);  // spare joined; doom not realized
+  EXPECT_EQ(rm->view("Beta")->live, 3u);  // spare joined; doom not realized
 }
 
 TEST_F(RmWorld, TargetDegreeOneIsMinimal) {

@@ -1,0 +1,273 @@
+// Replicated Recovery Manager failover (ctest label: rm): three
+// self-supervised RM replicas feed their RmCores the same totally-ordered
+// stream; only the first-in-view replica acts. These tests kill the acting
+// manager at the nastiest moments — mid launch-delay, and between a
+// replica's doom announcement and its death — and assert the failover
+// contract: exactly one launch per deficit (never zero, never two),
+// monotone incarnation numbers, and a promoted backup whose converged
+// state matches the dead leader's.
+#include "core/recovery_manager.h"
+
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/rm_core.h"
+#include "gc/daemon.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+
+namespace mead::core {
+namespace {
+
+class RmFailoverWorld : public ::testing::Test {
+ protected:
+  RmFailoverWorld() : net_(sim_) {
+    for (int i = 1; i <= 4; ++i) {
+      hosts_.push_back("node" + std::to_string(i));
+      net_.add_node(hosts_.back());
+    }
+    for (std::size_t i = 0; i < hosts_.size(); ++i) {
+      gc::DaemonConfig cfg;
+      cfg.daemon_hosts = hosts_;
+      cfg.self_index = i;
+      auto proc = net_.spawn_process(hosts_[i], "gc-daemon");
+      daemons_.push_back(std::make_unique<gc::GcDaemon>(proc, cfg));
+      daemons_.back()->start();
+    }
+    sim_.run_for(milliseconds(10));
+  }
+
+  struct FakeReplica {
+    net::ProcessPtr proc;
+    std::unique_ptr<gc::GcClient> gc;
+  };
+
+  FakeReplica spawn_fake_replica(const std::string& service, int incarnation) {
+    FakeReplica r;
+    const std::string host =
+        hosts_[static_cast<std::size_t>(incarnation - 1) % hosts_.size()];
+    r.proc = net_.spawn_process(host, "replica");
+    r.gc = std::make_unique<gc::GcClient>(
+        *r.proc, service + "/replica/" + std::to_string(incarnation),
+        net::Endpoint{host, gc::kDefaultDaemonPort});
+    auto boot = [](gc::GcClient& c, std::string svc) -> sim::Task<void> {
+      const bool ok = co_await c.connect();
+      if (ok) (void)co_await c.join(replica_group(svc));
+    };
+    sim_.spawn(boot(*r.gc, service));
+    return r;
+  }
+
+  /// Boots `n` self-supervised RM replicas on node1..nodeN, all sharing an
+  /// idempotent factory (dedupes by service + incarnation, like the real
+  /// ServiceGroup::spawn_replica).
+  void make_rms(std::size_t n, Duration launch_delay = milliseconds(2)) {
+    for (std::size_t i = 0; i < n; ++i) {
+      RecoveryManagerConfig cfg;
+      cfg.member = rm_member_name(i);
+      cfg.daemon = net::Endpoint{hosts_[i], gc::kDefaultDaemonPort};
+      cfg.groups = {GroupTarget{"TimeOfDay", 3}};
+      cfg.launch_delay = launch_delay;
+      cfg.self_supervise = true;
+      rm_procs_.push_back(net_.spawn_process(hosts_[i], cfg.member));
+      rms_.push_back(std::make_unique<RecoveryManager>(
+          rm_procs_.back(), cfg,
+          [this](const std::string& service, int inc, const std::string&) {
+            if (!spawned_.insert(service + "#" + std::to_string(inc)).second) {
+              return true;  // idempotent: this incarnation already exists
+            }
+            replicas_.push_back(spawn_fake_replica(service, inc));
+            return true;
+          }));
+      auto boot = [](RecoveryManager& m) -> sim::Task<void> {
+        (void)co_await m.start();
+      };
+      sim_.spawn(boot(*rms_.back()));
+    }
+    sim_.run_for(milliseconds(100));
+  }
+
+  [[nodiscard]] RecoveryManager* acting_rm() {
+    for (auto& rm : rms_) {
+      if (rm->acting()) return rm.get();
+    }
+    return nullptr;
+  }
+
+  [[nodiscard]] std::size_t acting_index() {
+    for (std::size_t i = 0; i < rms_.size(); ++i) {
+      if (rms_[i]->acting()) return i;
+    }
+    return rms_.size();
+  }
+
+  [[nodiscard]] std::size_t live_fakes() const {
+    std::size_t n = 0;
+    for (const auto& r : replicas_) {
+      if (r.proc->alive()) ++n;
+    }
+    return n;
+  }
+
+  sim::Simulator sim_;
+  net::Network net_;
+  std::vector<std::string> hosts_;
+  std::vector<std::unique_ptr<gc::GcDaemon>> daemons_;
+  std::vector<FakeReplica> replicas_;
+  std::set<std::string> spawned_;
+  std::vector<net::ProcessPtr> rm_procs_;
+  std::vector<std::unique_ptr<RecoveryManager>> rms_;
+};
+
+TEST_F(RmFailoverWorld, ExactlyOneActingReplicaAndConvergedBackups) {
+  make_rms(3);
+  ASSERT_EQ(replicas_.size(), 3u);
+  std::size_t acting = 0;
+  for (const auto& rm : rms_) {
+    if (rm->acting()) ++acting;
+  }
+  EXPECT_EQ(acting, 1u);
+  // Backups applied the same ordered stream: every core agrees.
+  for (const auto& rm : rms_) {
+    const auto v = rm->view("TimeOfDay");
+    ASSERT_TRUE(v.has_value()) << rm->member();
+    EXPECT_EQ(v->live, 3u) << rm->member();
+    EXPECT_EQ(v->pending, 0u) << rm->member();
+    EXPECT_EQ(v->next_incarnation, 4) << rm->member();
+    EXPECT_EQ(v->stats.launches, 3u) << rm->member();
+  }
+}
+
+TEST_F(RmFailoverWorld, BackupPromotesWhenActingDies) {
+  make_rms(3);
+  const std::size_t dead = acting_index();
+  ASSERT_LT(dead, rms_.size());
+  rm_procs_[dead]->kill();
+  sim_.run_for(milliseconds(100));
+  const std::size_t promoted = acting_index();
+  ASSERT_LT(promoted, rms_.size());
+  EXPECT_NE(promoted, dead);
+  EXPECT_EQ(rms_[promoted]->failovers(), 1u);
+  // Nothing was pending, so promotion must not spawn anything.
+  EXPECT_EQ(replicas_.size(), 3u);
+  EXPECT_EQ(rms_[promoted]->view("TimeOfDay")->stats.launches, 3u);
+}
+
+TEST_F(RmFailoverWorld, ActingCrashDuringLaunchDelayLaunchesExactlyOnce) {
+  // Long launch delay so the acting manager reliably dies mid-sleep, with
+  // the replacement's launch slot still pending.
+  make_rms(3, milliseconds(30));
+  ASSERT_EQ(replicas_.size(), 3u);
+  const int inc0 = rms_[0]->view("TimeOfDay")->next_incarnation;
+
+  replicas_[1].proc->kill();
+  // Wait for the membership change to mint the launch slot, then kill the
+  // acting manager while its launch task is still sleeping.
+  bool slot_minted = false;
+  for (int i = 0; i < 25 && !slot_minted; ++i) {
+    sim_.run_for(milliseconds(1));
+    RecoveryManager* rm = acting_rm();
+    slot_minted = rm != nullptr && rm->view("TimeOfDay")->pending == 1u;
+  }
+  ASSERT_TRUE(slot_minted);
+  const std::size_t dead = acting_index();
+  ASSERT_LT(dead, rms_.size());
+  rm_procs_[dead]->kill();
+  sim_.run_for(milliseconds(300));
+
+  // The new acting manager re-drove the pending slot: exactly one
+  // replacement, not zero (lost slot) and not two (double launch).
+  ASSERT_NE(acting_rm(), nullptr);
+  EXPECT_EQ(replicas_.size(), 4u);
+  EXPECT_EQ(live_fakes(), 3u);
+  const auto v = acting_rm()->view("TimeOfDay");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->live, 3u);
+  EXPECT_EQ(v->pending, 0u);
+  EXPECT_EQ(v->stats.launches, 4u);
+  EXPECT_GE(v->next_incarnation, inc0);  // monotone across failover
+  EXPECT_GE(acting_rm()->failovers(), 1u);
+}
+
+TEST_F(RmFailoverWorld, ActingCrashBetweenDoomAndDeathNoDoubleLaunch) {
+  make_rms(3, milliseconds(30));
+  ASSERT_EQ(replicas_.size(), 3u);
+
+  // replica/1's FT manager announces impending death (T1)...
+  auto requester = std::make_unique<gc::GcClient>(
+      *replicas_[0].proc, "ft/replica/1",
+      net::Endpoint{hosts_[0], gc::kDefaultDaemonPort});
+  auto boot = [](gc::GcClient& c) -> sim::Task<void> {
+    (void)co_await c.connect();
+  };
+  auto shout = [](gc::GcClient& c) -> sim::Task<void> {
+    (void)co_await c.multicast(
+        control_group("TimeOfDay"),
+        encode_launch_request(LaunchRequest{"replica/1", 0.82}));
+  };
+  sim_.spawn(boot(*requester));
+  sim_.run_for(milliseconds(10));
+  sim_.spawn(shout(*requester));
+
+  // ...the acting manager mints the proactive slot, then dies before the
+  // spare is up and before the doomed replica exits.
+  bool slot_minted = false;
+  for (int i = 0; i < 25 && !slot_minted; ++i) {
+    sim_.run_for(milliseconds(1));
+    RecoveryManager* rm = acting_rm();
+    slot_minted = rm != nullptr && rm->view("TimeOfDay")->pending == 1u;
+  }
+  ASSERT_TRUE(slot_minted);
+  const std::size_t dead = acting_index();
+  ASSERT_LT(dead, rms_.size());
+  rm_procs_[dead]->kill();
+
+  // The promoted backup re-drives the proactive slot: spare comes up.
+  sim_.run_for(milliseconds(300));
+  ASSERT_EQ(replicas_.size(), 4u);
+  EXPECT_GE(acting_rm()->failovers(), 1u);
+
+  // Now the doomed replica actually dies: the spare already compensates,
+  // so the new manager must NOT launch again.
+  replicas_[0].proc->kill();
+  sim_.run_for(milliseconds(300));
+  EXPECT_EQ(replicas_.size(), 4u);
+  EXPECT_EQ(live_fakes(), 3u);
+  const auto v = acting_rm()->view("TimeOfDay");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->live, 3u);
+  EXPECT_EQ(v->pending, 0u);
+  EXPECT_EQ(v->stats.launches, 4u);
+  EXPECT_EQ(v->stats.proactive_launches, 1u);
+}
+
+TEST_F(RmFailoverWorld, CascadedRmCrashesFallThroughToLastReplica) {
+  make_rms(3, milliseconds(5));
+  ASSERT_EQ(replicas_.size(), 3u);
+  // Kill managers one at a time; each survivor keeps the group whole.
+  for (int round = 0; round < 2; ++round) {
+    const std::size_t dead = acting_index();
+    ASSERT_LT(dead, rms_.size());
+    rm_procs_[dead]->kill();
+    sim_.run_for(milliseconds(100));
+    ASSERT_NE(acting_rm(), nullptr) << "round " << round;
+    const std::size_t victim =
+        static_cast<std::size_t>(round);  // stagger replica kills too
+    if (replicas_[victim].proc->alive()) replicas_[victim].proc->kill();
+    sim_.run_for(milliseconds(300));
+    const auto v = acting_rm()->view("TimeOfDay");
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(v->live, 3u) << "round " << round;
+    EXPECT_EQ(v->pending, 0u) << "round " << round;
+  }
+  EXPECT_EQ(live_fakes(), 3u);
+  // Two managers died; every deficit was filled exactly once.
+  EXPECT_EQ(replicas_.size(), 5u);
+}
+
+}  // namespace
+}  // namespace mead::core
