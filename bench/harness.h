@@ -91,6 +91,9 @@ class PerfReport {
     run.invocations = r.total_invocations();  // summed over every client
     run.steady_rtt_ms = r.client.steady_state_rtt_ms();
     run.gc_bps = r.gc_bandwidth_bps();
+    run.gc_frames = r.gc_frames;
+    run.groups = std::max<std::size_t>(1, spec.groups.size());
+    run.duration_s = r.duration_s;
     runs_.push_back(std::move(run));
   }
 
@@ -123,13 +126,20 @@ class PerfReport {
           "    {\"label\": \"%s\", \"scheme\": \"%s\", \"seed\": %llu, "
           "\"wall_ms\": %.3f, \"events\": %llu, \"invocations\": %llu, "
           "\"events_per_sec\": %.0f, \"invocations_per_sec\": %.0f, "
-          "\"steady_rtt_ms\": %.3f, \"gc_bps\": %.0f}%s\n",
+          "\"steady_rtt_ms\": %.3f, \"gc_bps\": %.0f, "
+          "\"gc_frames\": %llu, \"groups\": %zu, "
+          "\"sim_duration_s\": %.6f, "
+          "\"gc_bps_per_group\": %.0f, "
+          "\"events_per_group_per_sec\": %.0f}%s\n",
           json_escape(r.label).c_str(), json_escape(r.scheme).c_str(),
           static_cast<unsigned long long>(r.seed), r.wall_ms,
           static_cast<unsigned long long>(r.events),
           static_cast<unsigned long long>(r.invocations),
           per_second(r.events, r.wall_ms),
           per_second(r.invocations, r.wall_ms), r.steady_rtt_ms, r.gc_bps,
+          static_cast<unsigned long long>(r.gc_frames), r.groups,
+          r.duration_s, r.gc_bps / static_cast<double>(r.groups),
+          per_sim_second_per_group(r),
           i + 1 < runs_.size() ? "," : "");
     }
     std::fprintf(
@@ -154,10 +164,24 @@ class PerfReport {
     std::uint64_t invocations = 0;
     double steady_rtt_ms = 0;
     double gc_bps = 0;
+    std::uint64_t gc_frames = 0;
+    std::size_t groups = 1;
+    double duration_s = 0;  // simulated seconds of measurement
   };
 
   [[nodiscard]] static double per_second(std::uint64_t n, double ms) {
     return ms > 0 ? static_cast<double>(n) * 1000.0 / ms : 0;
+  }
+
+  /// Per-group event rate in *simulated* time — the modeled cost curve the
+  /// multigroup flatness guard watches. Host-side events_per_sec is bounded
+  /// by one CPU, so dividing it by the group count decays as 1/G no matter
+  /// how the plane scales; dividing the simulated event rate by G is flat
+  /// exactly when adding a group adds only that group's own traffic.
+  [[nodiscard]] static double per_sim_second_per_group(const Run& r) {
+    if (r.duration_s <= 0 || r.groups == 0) return 0;
+    return static_cast<double>(r.events) / r.duration_s /
+           static_cast<double>(r.groups);
   }
 
   [[nodiscard]] static std::string json_escape(const std::string& s) {

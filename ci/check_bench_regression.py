@@ -32,6 +32,39 @@ def load(path: pathlib.Path) -> dict:
         return json.load(fh)
 
 
+# Per-group flatness guard for the multigroup sweep's scaled runs (fixed
+# node pool, groups as the scale axis). events_per_group_per_sec is the
+# *simulated-time* per-group event rate (see bench/harness.h): it stays
+# near-flat exactly when adding a group adds only that group's own
+# traffic. The 64-group value must stay within FLATNESS_MIN of the
+# 16-group value in BOTH directions: a collapse below means per-group
+# work stopped fitting in the run (lost fast path); a blow-up above means
+# per-group cost grows with group count again (broadcast amplification —
+# the exact quadratic this sweep exists to catch).
+FLATNESS_MIN = 0.7
+FLATNESS_PAIRS = [("16 groups x 3 replicas (scaled)",
+                   "64 groups x 3 replicas (scaled)")]
+
+
+def check_flatness(name: str, report: dict, failures: list) -> None:
+    runs = {r.get("label"): r for r in report.get("runs", [])}
+    for small_label, large_label in FLATNESS_PAIRS:
+        small, large = runs.get(small_label), runs.get(large_label)
+        if small is None or large is None:
+            continue
+        small_pg = small.get("events_per_group_per_sec", 0)
+        large_pg = large.get("events_per_group_per_sec", 0)
+        if small_pg <= 0 or large_pg <= 0:
+            continue
+        ratio = min(small_pg, large_pg) / max(small_pg, large_pg)
+        verdict = "FAIL" if ratio < FLATNESS_MIN else "ok"
+        print(f"{verdict:4s} {name}: per-group flatness "
+              f"'{large_label}' vs '{small_label}' = {ratio:.2f} "
+              f"(min {FLATNESS_MIN})")
+        if ratio < FLATNESS_MIN:
+            failures.append(name)
+
+
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("files", nargs="+", type=pathlib.Path,
@@ -72,6 +105,8 @@ def main() -> int:
                   f"threshold {args.threshold:.0f}%)")
             if drop > args.threshold:
                 failures.append(path.name)
+
+        check_flatness(path.name, fresh, failures)
 
         # Same sweep shape => the simulated workload must be bit-identical.
         if ft.get("runs") == bt.get("runs"):

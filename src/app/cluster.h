@@ -72,6 +72,9 @@ struct RmSpec {
   std::vector<std::string> hosts;
   /// Replica spin-up scheduling latency modelled by every RM replica.
   Duration launch_delay = milliseconds(2);
+  /// Publish read-set updates delta-encoded against the previous version
+  /// (core::RecoveryManagerConfig::delta_read_sets). Default off.
+  bool delta_read_sets = false;
 };
 
 struct ServiceGroupSpec {

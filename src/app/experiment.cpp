@@ -22,6 +22,7 @@ TestbedOptions testbed_options(const ExperimentSpec& spec) {
   opts.groups = spec.groups;
   opts.chaos = spec.chaos;
   opts.rm = spec.rm;
+  opts.gc_plane = spec.gc_plane;
   return opts;
 }
 
@@ -63,6 +64,7 @@ StartResult Experiment::start() {
   }
   deaths0_ = bed_.replica_deaths();
   gc_bytes0_ = bed_.gc_bytes();
+  gc_frames0_ = delta("gc.frames");
   t0_ = bed_.sim().now();
   redirects0_ = delta("client.mead_redirects");
   masked0_ = delta("client.masked_failures");
@@ -149,6 +151,7 @@ ExperimentResult Experiment::collect() const {
   if (!clients_.empty()) out.client = clients_.front()->results();
   out.server_failures = bed_.replica_deaths() - deaths0_;
   out.gc_bytes = bed_.gc_bytes() - gc_bytes0_;
+  out.gc_frames = delta("gc.frames") - gc_frames0_;
   out.duration_s = (bed_.sim().now() - t0_).sec();
   out.mead_redirects = delta("client.mead_redirects") - redirects0_;
   out.masked_failures = delta("client.masked_failures") - masked0_;

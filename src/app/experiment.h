@@ -74,6 +74,10 @@ struct ExperimentSpec {
   /// paper's solo manager (and its byte-identical traces); replicas > 1
   /// runs the replicated, self-supervised RM group.
   RmSpec rm;
+  /// Scaled GC plane (sharded sequencers / interest-scoped delivery /
+  /// batched mesh writes). Default-constructed = the legacy plane with its
+  /// byte-identical seed-2004 traces.
+  gc::PlaneOptions gc_plane;
 };
 
 /// Measurement-window counters for one service group.
@@ -112,6 +116,7 @@ struct ExperimentResult {
   ClientResults client;
   std::size_t server_failures = 0;
   std::uint64_t gc_bytes = 0;          // GC traffic during the measurement
+  std::uint64_t gc_frames = 0;         // daemon wire writes ("gc.frames")
   double duration_s = 0;               // virtual seconds of measurement
   std::uint64_t mead_redirects = 0;
   std::uint64_t masked_failures = 0;
@@ -218,6 +223,7 @@ class Experiment {
   std::vector<GroupBaseline> group_base_;
   std::size_t deaths0_ = 0;
   std::uint64_t gc_bytes0_ = 0;
+  std::uint64_t gc_frames0_ = 0;
   TimePoint t0_;
   std::uint64_t redirects0_ = 0;
   std::uint64_t masked0_ = 0;

@@ -40,6 +40,7 @@ Testbed::Testbed(TestbedOptions opts)
     gc::DaemonConfig cfg;
     cfg.daemon_hosts = opts_.topology.nodes;
     cfg.self_index = i;
+    cfg.plane = opts_.gc_plane;
     opts_.calib.apply_daemon(cfg);
     auto proc = net_.spawn_process(opts_.topology.nodes[i], "gc-daemon");
     daemons_.push_back(std::make_unique<gc::GcDaemon>(proc, cfg));
@@ -180,6 +181,7 @@ StartResult Testbed::start() {
   rm_cfg.groups.clear();
   rm_cfg.launch_delay = opts_.rm.launch_delay;
   rm_cfg.self_supervise = opts_.rm.replicas > 1;
+  rm_cfg.delta_read_sets = opts_.rm.delta_read_sets;
   std::size_t target_total = 0;
   for (const auto& g : groups_) {
     core::GroupTarget target{g->service(), g->spec().replica_count};

@@ -65,6 +65,9 @@ struct TestbedOptions {
   /// the paper's solo manager exactly; replicas > 1 runs the replicated,
   /// self-supervised RM group.
   RmSpec rm;
+  /// Scaled GC plane handed to every daemon. Default-constructed = the
+  /// legacy single-sequencer broadcast plane.
+  gc::PlaneOptions gc_plane;
 };
 
 class Testbed {

@@ -115,6 +115,18 @@ Bytes encode_read_set(const ReadSet& m) {
   return ctrl_frame(CtrlKind::kReadSet, w.buffer());
 }
 
+Bytes encode_read_set_delta(const ReadSetDelta& m) {
+  CdrWriter w;
+  w.write_u64(m.base_version);
+  w.write_u64(m.version);
+  w.write_string(m.primary);
+  w.write_u32(static_cast<std::uint32_t>(m.removed.size()));
+  for (const auto& name : m.removed) w.write_string(name);
+  w.write_u32(static_cast<std::uint32_t>(m.added.size()));
+  for (const auto& e : m.added) write_announce(w, e);
+  return ctrl_frame(CtrlKind::kReadSetDelta, w.buffer());
+}
+
 Bytes encode_node_crash(const NodeCrash& m) {
   CdrWriter w;
   w.write_string(m.host);
@@ -215,6 +227,37 @@ std::optional<CtrlMsg> decode_ctrl(const Bytes& payload) {
         rs.entries.push_back(std::move(*a));
       }
       msg.read_set = std::move(rs);
+      return msg;
+    }
+    case CtrlKind::kReadSetDelta: {
+      msg.kind = CtrlKind::kReadSetDelta;
+      auto base = r.read_u64();
+      if (!base) return std::nullopt;
+      auto version = r.read_u64();
+      if (!version) return std::nullopt;
+      auto primary = r.read_string();
+      if (!primary) return std::nullopt;
+      auto nr = r.read_u32();
+      if (!nr) return std::nullopt;
+      ReadSetDelta d;
+      d.base_version = base.value();
+      d.version = version.value();
+      d.primary = std::move(primary.value());
+      d.removed.reserve(nr.value());
+      for (std::uint32_t i = 0; i < nr.value(); ++i) {
+        auto name = r.read_string();
+        if (!name) return std::nullopt;
+        d.removed.push_back(std::move(name.value()));
+      }
+      auto na = r.read_u32();
+      if (!na) return std::nullopt;
+      d.added.reserve(na.value());
+      for (std::uint32_t i = 0; i < na.value(); ++i) {
+        auto a = read_announce(r);
+        if (!a) return std::nullopt;
+        d.added.push_back(std::move(*a));
+      }
+      msg.read_set_delta = std::move(d);
       return msg;
     }
     case CtrlKind::kNodeCrash: {

@@ -48,6 +48,7 @@ enum class CtrlKind : std::uint8_t {
   kReadSet = 7,       // RM publishes the read-fanout serving set
   kNodeCrash = 8,     // RM replica replicates a node-crash observation
   kLaunchFailed = 9,  // acting RM reports a replica factory failure
+  kReadSetDelta = 10, // read-set update delta-encoded vs the last version
 };
 
 struct Announce {
@@ -123,6 +124,21 @@ struct ReadSet {
   friend bool operator==(const ReadSet&, const ReadSet&) = default;
 };
 
+/// A read-set update encoded as the difference against `base_version`
+/// (the previously published set): removed members by name, added entries
+/// in full. Subscribers whose last-seen version is not `base_version`
+/// ignore the delta and wait for the next full publication — RM failover
+/// and subscriber (re)joins always republish in full, which heals any gap.
+struct ReadSetDelta {
+  ReadSetDelta() = default;
+  std::uint64_t base_version = 0;
+  std::uint64_t version = 0;
+  std::string primary;
+  std::vector<std::string> removed;  // member names dropped from the set
+  std::vector<Announce> added;       // entries appended to the set
+  friend bool operator==(const ReadSetDelta&, const ReadSetDelta&) = default;
+};
+
 /// A whole-node crash, observed locally by an RM replica's shell and
 /// multicast on rm_group() so every replica's RmCore releases launch slots
 /// reserved on the dead host at the same point in the total order. Every
@@ -148,6 +164,7 @@ struct LaunchFailed {
 
 Bytes encode_announce(const Announce& m);
 Bytes encode_read_set(const ReadSet& m);
+Bytes encode_read_set_delta(const ReadSetDelta& m);
 Bytes encode_listing(const Listing& m);
 Bytes encode_launch_request(const LaunchRequest& m);
 Bytes encode_primary_query(const PrimaryQuery& m);
@@ -166,6 +183,7 @@ struct CtrlMsg {
   std::optional<PrimaryAnswer> answer;    // kPrimaryAnswer
   std::optional<StateTransfer> state;     // kState
   std::optional<ReadSet> read_set;        // kReadSet
+  std::optional<ReadSetDelta> read_set_delta;  // kReadSetDelta
   std::optional<NodeCrash> node_crash;    // kNodeCrash
   std::optional<LaunchFailed> launch_failed;  // kLaunchFailed
 };

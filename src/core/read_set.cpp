@@ -26,12 +26,45 @@ sim::Task<void> ReadSetSubscriber::pump() {
     if (event.kind != gc::Event::Kind::kMessage) continue;
     if (event.group != read_set_group(service_)) continue;
     auto ctrl = decode_ctrl(event.payload);
-    if (!ctrl || ctrl->kind != CtrlKind::kReadSet || !ctrl->read_set) continue;
-    if (ctrl->read_set->version <= last_version_) continue;  // stale
-    last_version_ = ctrl->read_set->version;
-    ++applied_;
-    if (cb_) cb_(*ctrl->read_set);
+    if (!ctrl) continue;
+    if (ctrl->kind == CtrlKind::kReadSet && ctrl->read_set) {
+      if (ctrl->read_set->version <= last_version_) continue;  // stale
+      apply_full(*ctrl->read_set);
+    } else if (ctrl->kind == CtrlKind::kReadSetDelta && ctrl->read_set_delta) {
+      if (ctrl->read_set_delta->version <= last_version_) continue;  // stale
+      if (ctrl->read_set_delta->base_version != last_version_) {
+        // We missed the base this delta builds on; applying it would
+        // corrupt the set. Wait for the next full publication (RM
+        // republishes in full for failovers and late subscribers).
+        ++deltas_gapped_;
+        continue;
+      }
+      apply_delta(*ctrl->read_set_delta);
+    }
   }
+}
+
+void ReadSetSubscriber::apply_full(const ReadSet& rs) {
+  current_ = rs;
+  last_version_ = rs.version;
+  ++applied_;
+  if (cb_) cb_(current_);
+}
+
+void ReadSetSubscriber::apply_delta(const ReadSetDelta& d) {
+  // Removals first, then adds: an entry that changed in place travels as
+  // remove(name) + add(entry).
+  for (const auto& name : d.removed) {
+    std::erase_if(current_.entries,
+                  [&](const Announce& e) { return e.member == name; });
+  }
+  for (const auto& e : d.added) current_.entries.push_back(e);
+  current_.primary = d.primary;
+  current_.version = d.version;
+  last_version_ = d.version;
+  ++applied_;
+  ++deltas_applied_;
+  if (cb_) cb_(current_);
 }
 
 }  // namespace mead::core

@@ -35,16 +35,25 @@ class ReadSetSubscriber {
 
   [[nodiscard]] std::uint64_t last_version() const { return last_version_; }
   [[nodiscard]] std::uint64_t updates_applied() const { return applied_; }
+  /// Deltas applied (subset of updates_applied) / skipped for a version gap.
+  [[nodiscard]] std::uint64_t deltas_applied() const { return deltas_applied_; }
+  [[nodiscard]] std::uint64_t deltas_gapped() const { return deltas_gapped_; }
 
  private:
   sim::Task<void> pump();
+  void apply_full(const ReadSet& rs);
+  void apply_delta(const ReadSetDelta& d);
 
   net::Process& proc_;
   std::string service_;
   Callback cb_;
   std::unique_ptr<gc::GcClient> gc_;
+  /// The set as of last_version_, kept so deltas can be applied locally.
+  ReadSet current_;
   std::uint64_t last_version_ = 0;
   std::uint64_t applied_ = 0;
+  std::uint64_t deltas_applied_ = 0;
+  std::uint64_t deltas_gapped_ = 0;
 };
 
 }  // namespace mead::core

@@ -131,7 +131,7 @@ void RecoveryManager::execute(const std::vector<RmAction>& actions,
           counters_[a.service].restripe_skipped->add();
         }
         break;
-      case RmAction::Kind::kPublishReadSet:
+      case RmAction::Kind::kPublishReadSet: {
         if (!a.republish) {
           readset_updates_.add();
           counters_[a.service].readset_updates->add();
@@ -141,10 +141,18 @@ void RecoveryManager::execute(const std::vector<RmAction>& actions,
         }
         // Encode now (a later refresh must not mutate what this update
         // carries) and multicast from a spawned task: callers sit inside
-        // the event pump.
-        proc_->sim().spawn(
-            multicast_task(a.group, encode_read_set(a.read_set)));
+        // the event pump. Version-bumping updates go out delta-encoded
+        // when configured; repeats always carry the full set so late or
+        // gapped subscribers resynchronize.
+        const bool delta = cfg_.delta_read_sets && a.have_delta && !a.republish;
+        if (delta) {
+          proc_->sim().obs().metrics().counter("rm.readset.deltas").add();
+        }
+        proc_->sim().spawn(multicast_task(
+            a.group, delta ? encode_read_set_delta(a.read_set_delta)
+                           : encode_read_set(a.read_set)));
         break;
+      }
     }
   }
 }

@@ -58,6 +58,12 @@ struct RecoveryManagerConfig {
   /// first-in-view. False (default) preserves the solo manager's exact
   /// event schedule.
   bool self_supervise = false;
+  /// Publish read-set updates as kReadSetDelta frames (difference vs the
+  /// previous version) instead of the full set. Republishes for late
+  /// subscribers and failover repeats always go out in full, which is also
+  /// how a subscriber that missed a delta heals. Default off: the full-set
+  /// wire traffic is part of the seed-identical reference behavior.
+  bool delta_read_sets = false;
 };
 
 class RecoveryManager {

@@ -244,11 +244,31 @@ void RmCore::refresh_read_set(Group& group, Actions& out) {
     return;
   }
   next.version = group.read_set.version + 1;
-  group.read_set = std::move(next);
   RmAction a;
   a.kind = RmAction::Kind::kPublishReadSet;
   a.service = group.target.service;
   a.group = read_set_group(group.target.service);
+  // Difference vs the outgoing set, for shells that publish deltas:
+  // entries no longer present (or changed) removed by name, new or changed
+  // entries added in full — subscribers apply removals before adds. The
+  // first publication (base 0, nothing removed) also travels as a valid
+  // delta: subscribers start from an empty set at version 0.
+  a.read_set_delta.base_version = group.read_set.version;
+  a.read_set_delta.version = next.version;
+  a.read_set_delta.primary = next.primary;
+  for (const auto& old : group.read_set.entries) {
+    const bool kept = std::any_of(next.entries.begin(), next.entries.end(),
+                                  [&](const Announce& e) { return e == old; });
+    if (!kept) a.read_set_delta.removed.push_back(old.member);
+  }
+  for (const auto& e : next.entries) {
+    const bool had = std::any_of(
+        group.read_set.entries.begin(), group.read_set.entries.end(),
+        [&](const Announce& o) { return o == e; });
+    if (!had) a.read_set_delta.added.push_back(e);
+  }
+  a.have_delta = true;
+  group.read_set = std::move(next);
   a.read_set = group.read_set;
   out.push_back(std::move(a));
 }

@@ -124,6 +124,12 @@ struct RmAction {
   std::string group;
   ReadSet read_set;
   bool republish = false;
+  /// Difference vs the previously published version; meaningful only when
+  /// `have_delta` (version-bumping updates with a known base). The shell
+  /// may multicast this instead of the full set when configured for
+  /// delta-encoded publication.
+  ReadSetDelta read_set_delta;
+  bool have_delta = false;
 };
 
 class RmCore {

@@ -1,6 +1,7 @@
 #include "gc/daemon.h"
 
 #include <algorithm>
+#include <iterator>
 #include <vector>
 
 #include "common/log.h"
@@ -15,7 +16,13 @@ GcDaemon::GcDaemon(net::ProcessPtr proc, DaemonConfig cfg)
     : proc_(std::move(proc)), cfg_(std::move(cfg)),
       broadcasts_(proc_->sim().obs().metrics().counter("gc.broadcasts")),
       broadcast_bytes_(
-          proc_->sim().obs().metrics().counter("gc.broadcast_bytes")) {
+          proc_->sim().obs().metrics().counter("gc.broadcast_bytes")),
+      frames_(proc_->sim().obs().metrics().counter("gc.frames")),
+      batch_frames_(proc_->sim().obs().metrics().counter("gc.batch.frames")),
+      batch_coalesced_(
+          proc_->sim().obs().metrics().counter("gc.batch.coalesced")),
+      shard_stamped_(proc_->sim().obs().metrics().counter(
+          "gc.shard." + std::to_string(cfg_.self_index) + ".stamped")) {
   // Every configured daemon is presumed alive until its connection drops;
   // this keeps the sequencer identity stable during startup.
   for (std::size_t i = 0; i < cfg_.daemon_hosts.size(); ++i) {
@@ -46,7 +53,7 @@ void GcDaemon::on_peer_link_up() {
       bridge_requested_ = false;
       for (auto& [peer, fd] : peer_fds_) {
         (void)peer;
-        spawn_write(fd, encode_bridge(BridgeMsg{cfg_.self_index, false}));
+        direct_send(fd, encode_bridge(BridgeMsg{cfg_.self_index, false}));
       }
     }
   }
@@ -54,21 +61,25 @@ void GcDaemon::on_peer_link_up() {
 }
 
 void GcDaemon::flush_pending() {
-  if (is_sequencer()) {
-    auto foreign = std::move(stamp_wait_);
-    stamp_wait_.clear();
-    for (auto& m : foreign) stamp_and_dispatch(std::move(m));
-    // Our own pending submissions. stamp_and_dispatch -> handle_ordered
-    // erases the entry from pending_, so iterate over a snapshot.
-    const std::vector<OrderedMsg> mine(pending_.begin(), pending_.end());
-    for (const auto& m : mine) stamp_and_dispatch(m);
-  } else {
-    auto it = peer_fds_.find(sequencer_id());
-    // Bridged regime: the sequencer is alive but unlinked. Relay via the
+  // Foreign submits parked while the mesh formed (stamp_wait_ only ever
+  // accumulates at a daemon that owned the stamping role for them).
+  auto foreign = std::move(stamp_wait_);
+  stamp_wait_.clear();
+  for (auto& m : foreign) route_submit(std::move(m), /*from_fd=*/-1);
+  // Our own pending submissions. stamp_and_dispatch -> handle_ordered
+  // erases the entry from pending_, so iterate over a snapshot.
+  const std::vector<OrderedMsg> mine(pending_.begin(), pending_.end());
+  for (const auto& m : mine) {
+    const std::uint64_t owner = stamper_for(m.group);
+    if (owner == cfg_.self_index) {
+      stamp_and_dispatch(m);
+      continue;
+    }
+    auto it = peer_fds_.find(owner);
+    // Bridged regime: the stamper is alive but unlinked. Relay via the
     // lowest-id linked peer; ids shrink toward the sequencer hop by hop.
     if (it == peer_fds_.end() && !missing_links_.empty()) it = peer_fds_.begin();
-    if (it == peer_fds_.end()) return;
-    for (const auto& m : pending_) spawn_write(it->second, encode_submit(m));
+    if (it != peer_fds_.end()) mesh_send(it->second, encode_submit(m));
   }
 }
 
@@ -82,6 +93,24 @@ bool GcDaemon::is_sequencer() const {
 
 std::uint64_t GcDaemon::sequencer_id() const {
   return *alive_daemons_.begin();  // lowest live daemon id
+}
+
+std::uint64_t GcDaemon::stamper_for(const std::string& group) const {
+  if (!cfg_.plane.shard_sequencers || alive_daemons_.empty()) {
+    return sequencer_id();
+  }
+  // FNV-1a over the group key, reduced over the alive set: a pure function
+  // of (group, alive set), so every daemon agrees on each group's stamper
+  // without coordination, and ownership reshuffles deterministically when
+  // the alive set changes.
+  std::uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : group) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  auto it = alive_daemons_.begin();
+  std::advance(it, static_cast<std::ptrdiff_t>(h % alive_daemons_.size()));
+  return *it;
 }
 
 std::vector<std::string> GcDaemon::group_members(const std::string& group) const {
@@ -168,30 +197,96 @@ sim::Task<void> GcDaemon::mesh_connect_loop() {
     conns_.emplace(fd, std::move(st));
     peer_fds_[peer] = fd;
     peer_last_seen_[peer] = proc_->sim().now();
-    spawn_write(fd, encode_peer_hello(PeerHelloMsg{cfg_.self_index}));
+    direct_send(fd, encode_peer_hello(PeerHelloMsg{cfg_.self_index}));
     proc_->sim().spawn(connection_loop(fd));
     on_peer_link_up();
   }
 }
 
 sim::Task<void> GcDaemon::heartbeat_loop() {
+  // In sharded mode the beacon is a kSeqWatermark instead of a plain
+  // heartbeat: same liveness role (any peer frame refreshes
+  // peer_last_seen_), plus it carries the stamping frontier that
+  // disinterested daemons and takeover heirs ratchet against.
+  const bool sharded = cfg_.plane.shard_sequencers;
+  const Duration interval =
+      sharded && cfg_.plane.watermark_interval > Duration{0}
+          ? cfg_.plane.watermark_interval
+          : cfg_.heartbeat_interval;
   for (;;) {
     {
-      const bool alive_after_wait = co_await proc_->sleep(cfg_.heartbeat_interval);
+      const bool alive_after_wait = co_await proc_->sleep(interval);
       if (!alive_after_wait) co_return;
     }
     for (auto& [peer, fd] : peer_fds_) {
       (void)peer;
-      spawn_write(fd, encode_heartbeat(HeartbeatMsg{cfg_.self_index}));
+      direct_send(fd, sharded
+                          ? encode_seq_watermark(
+                                SeqWatermarkMsg{cfg_.self_index, next_seq_})
+                          : encode_heartbeat(HeartbeatMsg{cfg_.self_index}));
     }
   }
 }
 
 void GcDaemon::spawn_write(int fd, Bytes data) {
+  frames_.add();
   auto writer = [](net::Process& p, int wfd, Bytes d) -> sim::Task<void> {
     (void)co_await p.api().writev(wfd, std::move(d));
   };
   proc_->sim().spawn(writer(*proc_, fd, std::move(data)));
+}
+
+void GcDaemon::mesh_send(int fd, const Bytes& frame) {
+  if (!cfg_.plane.batching) {
+    spawn_write(fd, frame);
+    return;
+  }
+  Batch& b = batches_[fd];
+  append_bytes(b.buf, frame);
+  ++b.frames;
+  if (b.frames >= cfg_.plane.batch_max_frames ||
+      b.buf.size() >= cfg_.plane.batch_max_bytes) {
+    flush_batch(fd);
+    return;
+  }
+  if (!b.flush_armed) {
+    b.flush_armed = true;
+    proc_->sim().spawn(batch_flush_task(fd, b.epoch));
+  }
+}
+
+void GcDaemon::direct_send(int fd, Bytes data) {
+  // Flush the fd's pending batch first so control frames never overtake
+  // the ordered traffic batched ahead of them (per-link FIFO).
+  if (cfg_.plane.batching) flush_batch(fd);
+  spawn_write(fd, std::move(data));
+}
+
+void GcDaemon::flush_batch(int fd) {
+  auto it = batches_.find(fd);
+  if (it == batches_.end() || it->second.frames == 0) return;
+  Batch& b = it->second;
+  const std::size_t n = b.frames;
+  batch_frames_.add(n);
+  if (n > 1) batch_coalesced_.add(n - 1);
+  proc_->sim().obs().emit(obs::EventKind::kGcBatchFlush,
+                          "daemon/" + std::to_string(id()), {},
+                          static_cast<double>(n));
+  // A single frame goes out raw — the wrapper would only add bytes.
+  Bytes out = n == 1 ? std::move(b.buf) : wrap_frame_batch(b.buf);
+  b.buf.clear();
+  b.frames = 0;
+  ++b.epoch;
+  b.flush_armed = false;
+  spawn_write(fd, std::move(out));
+}
+
+sim::Task<void> GcDaemon::batch_flush_task(int fd, std::uint64_t epoch) {
+  const bool alive = co_await proc_->sleep(cfg_.plane.batch_flush);
+  if (!alive) co_return;
+  auto it = batches_.find(fd);
+  if (it == batches_.end() || it->second.epoch != epoch) co_return;
+  flush_batch(fd);
 }
 
 sim::Task<void> GcDaemon::connection_loop(int fd) {
@@ -304,32 +399,7 @@ void GcDaemon::handle_frame(int fd, const Frame& frame) {
     case Op::kSubmit: {
       auto m = decode_ordered_like(frame.payload);
       if (!m) return;
-      // Only the sequencer stamps. A submit that reaches a non-sequencer
-      // means the sender's notion of the sequencer is stale (a rejoin just
-      // reseated it); relay toward the daemon we believe sequences rather
-      // than dropping, so the origin need not wait for a resubmit cycle.
-      // Before our mesh is complete, stamping would lose the broadcast to
-      // not-yet-connected daemons, so park it.
-      if (!is_sequencer()) {
-        auto seq_fd = peer_fds_.find(sequencer_id());
-        if (seq_fd == peer_fds_.end() && !missing_links_.empty()) {
-          // Bridged regime: hop the submit toward the unlinked sequencer
-          // via our lowest-id linked peer — never back where it came from.
-          seq_fd = peer_fds_.begin();
-          if (seq_fd != peer_fds_.end() && seq_fd->second == fd) {
-            seq_fd = peer_fds_.end();
-          }
-        }
-        if (seq_fd != peer_fds_.end()) {
-          spawn_write(seq_fd->second, encode_submit(m.value()));
-        }
-        break;
-      }
-      if (!mesh_ready()) {
-        stamp_wait_.push_back(std::move(m.value()));
-        break;
-      }
-      stamp_and_dispatch(std::move(m.value()));
+      route_submit(std::move(m.value()), fd);
       break;
     }
     case Op::kRejoin: {
@@ -356,8 +426,7 @@ void GcDaemon::handle_frame(int fd, const Frame& frame) {
       // Freshness gate before handling: bridge targets get exactly the
       // ordered traffic we accept, and a forwarded duplicate bouncing back
       // can never re-forward (it is no longer fresh here).
-      const auto done = done_msg_ids_.find(m->origin);
-      const bool fresh = done == done_msg_ids_.end() || m->msg_id > done->second;
+      const bool fresh = is_fresh(m.value());
       const std::uint64_t from_peer = st.peer_id;
       handle_ordered(m.value());
       if (fresh && !bridge_targets_.empty()) {
@@ -365,9 +434,28 @@ void GcDaemon::handle_frame(int fd, const Frame& frame) {
         for (std::uint64_t target : bridge_targets_) {
           if (target == from_peer) continue;
           auto pfd = peer_fds_.find(target);
-          if (pfd != peer_fds_.end()) spawn_write(pfd->second, wire);
+          if (pfd != peer_fds_.end()) mesh_send(pfd->second, wire);
         }
       }
+      break;
+    }
+    case Op::kSeqWatermark: {
+      auto m = decode_seq_watermark(frame.payload);
+      if (!m) return;
+      // Ratchet: our counter never falls below any peer's announced
+      // frontier, so whichever daemon inherits a group on the next alive-set
+      // change already stamps above everything its previous owner issued.
+      std::uint64_t& wm = peer_watermarks_[m->daemon_id];
+      wm = std::max(wm, m->next_seq);
+      next_seq_ = std::max(next_seq_, m->next_seq);
+      break;
+    }
+    case Op::kFrameBatch: {
+      auto frames = decode_frame_batch(frame.payload);
+      if (!frames) return;
+      // Unpack and handle in order; batches never nest, so this recursion
+      // is depth one.
+      for (const Frame& f : frames.value()) handle_frame(fd, f);
       break;
     }
     case Op::kBridge: {
@@ -393,41 +481,125 @@ void GcDaemon::submit(OrderedMsg m) {
   m.msg_id = next_msg_id_++;
   pending_.push_back(m);
   if (!mesh_ready()) return;  // flushed by on_peer_link_up()
-  if (is_sequencer()) {
+  const std::uint64_t owner = stamper_for(m.group);
+  if (owner == cfg_.self_index) {
     stamp_and_dispatch(std::move(m));
   } else {
-    auto it = peer_fds_.find(sequencer_id());
-    // Bridged regime: relay toward the unlinked sequencer via the lowest-id
+    auto it = peer_fds_.find(owner);
+    // Bridged regime: relay toward the unlinked stamper via the lowest-id
     // linked peer (see flush_pending).
     if (it == peer_fds_.end() && !missing_links_.empty()) it = peer_fds_.begin();
     if (it != peer_fds_.end()) {
-      spawn_write(it->second, encode_submit(m));
+      mesh_send(it->second, encode_submit(m));
     }
-    // If the sequencer link is down, handle_peer_gone will resubmit.
+    // If the stamper link is down, handle_peer_gone will resubmit.
   }
+}
+
+void GcDaemon::route_submit(OrderedMsg m, int from_fd) {
+  // Only the group's stamper stamps (the global sequencer in legacy mode).
+  // A submit that reaches the wrong daemon means the sender's notion of the
+  // stamper is stale (a rejoin or takeover just reseated it); relay toward
+  // the daemon we believe owns it rather than dropping, so the origin need
+  // not wait for a resubmit cycle. Before our mesh is complete, stamping
+  // would lose the dispatch to not-yet-connected daemons, so park it.
+  const std::uint64_t owner = stamper_for(m.group);
+  if (owner != cfg_.self_index) {
+    auto it = peer_fds_.find(owner);
+    if (it == peer_fds_.end() && !missing_links_.empty()) {
+      // Bridged regime: hop the submit toward the unlinked stamper via our
+      // lowest-id linked peer — never back where it came from.
+      it = peer_fds_.begin();
+      if (it != peer_fds_.end() && it->second == from_fd) {
+        it = peer_fds_.end();
+      }
+    }
+    if (it != peer_fds_.end()) {
+      mesh_send(it->second, encode_submit(m));
+    }
+    return;
+  }
+  if (!mesh_ready()) {
+    stamp_wait_.push_back(std::move(m));
+    return;
+  }
+  stamp_and_dispatch(std::move(m));
 }
 
 void GcDaemon::stamp_and_dispatch(OrderedMsg m) {
   m.seq = next_seq_++;
   const Bytes wire = encode_ordered(m);
-  // One broadcast per ordered message, recorded at the sequencer — the
+  // One broadcast per ordered message, recorded at the stamper — the
   // event-level view of the Figure 5 bandwidth measurement.
   auto& obs = proc_->sim().obs();
   broadcasts_.add();
   broadcast_bytes_.add(wire.size());
   obs.emit(obs::EventKind::kGcBroadcast, "daemon/" + std::to_string(id()),
            m.group, static_cast<double>(wire.size()));
-  for (auto& [peer, fd] : peer_fds_) {
-    (void)peer;
-    spawn_write(fd, wire);
+  if (cfg_.plane.shard_sequencers) shard_stamped_.add();
+
+  bool scoped = cfg_.plane.interest_scoped && m.kind == PayloadKind::kData;
+  std::set<std::uint64_t> interested;
+  if (scoped) {
+    // The interest set: every daemon hosting a member of the group, plus
+    // the origin (which must see its message ordered to clear pending_ —
+    // reply-group sends come from non-members). Membership frames are
+    // never scoped, so groups_/homes are globally replicated and every
+    // daemon can compute this set.
+    auto git = groups_.find(m.group);
+    if (git != groups_.end()) {
+      for (const auto& [member, home] : git->second.homes) {
+        interested.insert(home);
+      }
+    }
+    interested.insert(m.origin);
+    interested.erase(cfg_.self_index);
+    // Partial-partition fallback: if any interested daemon is alive but
+    // unlinked from us, degrade to all linked peers so the bridge relays
+    // can forward it (first-seen forwarding + dedupe absorb duplicates).
+    for (std::uint64_t d : interested) {
+      if (!dead_daemons_.contains(d) && !peer_fds_.contains(d)) {
+        scoped = false;
+        break;
+      }
+    }
+  }
+  if (scoped) {
+    for (std::uint64_t d : interested) {
+      auto fd = peer_fds_.find(d);
+      if (fd != peer_fds_.end()) mesh_send(fd->second, wire);
+    }
+  } else {
+    for (auto& [peer, fd] : peer_fds_) {
+      (void)peer;
+      mesh_send(fd, wire);
+    }
   }
   handle_ordered(m);
 }
 
+std::uint64_t& GcDaemon::done_mark(const OrderedMsg& m) {
+  return cfg_.plane.shard_sequencers ? done_by_group_[m.group][m.origin]
+                                     : done_msg_ids_[m.origin];
+}
+
+bool GcDaemon::is_fresh(const OrderedMsg& m) const {
+  if (cfg_.plane.shard_sequencers) {
+    const auto g = done_by_group_.find(m.group);
+    if (g == done_by_group_.end()) return true;
+    const auto done = g->second.find(m.origin);
+    return done == g->second.end() || m.msg_id > done->second;
+  }
+  const auto done = done_msg_ids_.find(m.origin);
+  return done == done_msg_ids_.end() || m.msg_id > done->second;
+}
+
 void GcDaemon::handle_ordered(const OrderedMsg& m) {
-  // At-least-once dedupe: per-origin msg ids are strictly increasing and
-  // FIFO, so a single high-water mark suffices.
-  auto& done = done_msg_ids_[m.origin];
+  // At-least-once dedupe: msg ids are strictly increasing and FIFO along
+  // each stamping path, so a high-water mark per path suffices. Legacy mode
+  // has one path per origin (everything crosses the one sequencer); sharded
+  // mode has one per (group, origin) — see done_by_group_.
+  auto& done = done_mark(m);
   if (m.msg_id <= done) return;
   done = m.msg_id;
   if (m.origin == cfg_.self_index) {
@@ -533,7 +705,19 @@ void GcDaemon::handle_peer_gone(std::uint64_t peer_id, int fd) {
   peer_fds_.erase(peer_id);
   peer_last_seen_.erase(peer_id);
 
-  if (sequencer_died && is_sequencer()) {
+  if (cfg_.plane.shard_sequencers) {
+    // Sharded takeover: every daemon ratchets past the dead peer's last
+    // announced stamping frontier (plus the takeover jump), so whichever
+    // daemon the hash now assigns each of its groups to already stamps
+    // above everything the old owner is known to have issued. Then re-route
+    // pending: ownership of any group may have moved — possibly to us
+    // (snapshot: dispatch erases entries from pending_).
+    auto wm = peer_watermarks_.find(peer_id);
+    bump_seq_past(wm == peer_watermarks_.end() ? 0 : wm->second);
+    peer_watermarks_.erase(peer_id);
+    const std::vector<OrderedMsg> mine(pending_.begin(), pending_.end());
+    for (const auto& m : mine) route_submit(m, /*from_fd=*/-1);
+  } else if (sequencer_died && is_sequencer()) {
     // Takeover: jump the sequence domain so stale in-flight stamps can't
     // collide, then resubmit our unordered messages (snapshot: dispatch
     // erases entries from pending_).
@@ -544,27 +728,27 @@ void GcDaemon::handle_peer_gone(std::uint64_t peer_id, int fd) {
     // Resubmit pending to the new sequencer.
     auto it = peer_fds_.find(sequencer_id());
     if (it != peer_fds_.end()) {
-      for (const auto& m : pending_) spawn_write(it->second, encode_submit(m));
+      for (const auto& m : pending_) mesh_send(it->second, encode_submit(m));
     }
   }
 
-  // The (new) sequencer expels members hosted on any dead daemon — not
-  // just the latest one: a daemon that becomes sequencer only on the
-  // *second* peer death (a multi-way split) still owes the expulsions the
-  // earlier death would have triggered.
-  if (is_sequencer()) {
-    for (auto& [gname, g] : groups_) {
-      std::vector<std::string> orphans;
-      for (const auto& [member, home] : g.homes) {
-        if (dead_daemons_.contains(home)) orphans.push_back(member);
-      }
-      for (auto& member : orphans) {
-        OrderedMsg leave;
-        leave.kind = PayloadKind::kLeave;
-        leave.group = gname;
-        leave.member = member;
-        submit(std::move(leave));
-      }
+  // The (new) stamper of each group expels members hosted on any dead
+  // daemon — not just the latest one: a daemon that inherits the role only
+  // on the *second* peer death (a multi-way split) still owes the
+  // expulsions the earlier death would have triggered. In legacy mode the
+  // stamper of every group is the global sequencer.
+  for (auto& [gname, g] : groups_) {
+    if (stamper_for(gname) != cfg_.self_index) continue;
+    std::vector<std::string> orphans;
+    for (const auto& [member, home] : g.homes) {
+      if (dead_daemons_.contains(home)) orphans.push_back(member);
+    }
+    for (auto& member : orphans) {
+      OrderedMsg leave;
+      leave.kind = PayloadKind::kLeave;
+      leave.group = gname;
+      leave.member = member;
+      submit(std::move(leave));
     }
   }
 
@@ -642,7 +826,7 @@ sim::Task<void> GcDaemon::rejoin_probe_loop() {
       st.role = ConnState::Role::kPeer;
       st.peer_id = peer;
       conns_.emplace(fd, std::move(st));
-      spawn_write(fd, encode_peer_hello(PeerHelloMsg{cfg_.self_index}));
+      direct_send(fd, encode_peer_hello(PeerHelloMsg{cfg_.self_index}));
       proc_->sim().spawn(connection_loop(fd));
       resurrect_peer(peer, fd);
       // Ask the first recovered peer — the lowest dead id, our best
@@ -672,7 +856,7 @@ void GcDaemon::send_rejoin(int fd) {
   auto it = conns_.find(fd);
   if (it == conns_.end() || it->second.rejoin_sent) return;
   it->second.rejoin_sent = true;
-  spawn_write(fd, encode_rejoin(RejoinMsg{cfg_.self_index, next_seq_,
+  direct_send(fd, encode_rejoin(RejoinMsg{cfg_.self_index, next_seq_,
                                           alive_daemons_.size(),
                                           sequencer_id()}));
 }
@@ -694,7 +878,7 @@ void GcDaemon::handle_rejoin(int fd, const RejoinMsg& m) {
     // A peer forwarded a rejoiner's request because we sequence: only the
     // sequence-domain bump applies here — the link (and the snapshot reply)
     // belong to the relaying daemon.
-    if (is_sequencer()) bump_seq_past(m.next_seq);
+    if (cfg_.plane.shard_sequencers || is_sequencer()) bump_seq_past(m.next_seq);
     return;
   }
   if (dead_daemons_.contains(m.daemon_id)) resurrect_peer(m.daemon_id, fd);
@@ -706,16 +890,27 @@ void GcDaemon::handle_rejoin(int fd, const RejoinMsg& m) {
                              ? my_count > m.alive_count
                              : sequencer_id() <= m.sequencer_id;
   if (authority) {
-    if (is_sequencer()) {
+    if (cfg_.plane.shard_sequencers) {
+      // Every daemon stamps in sharded mode: bump ourselves and beacon the
+      // bumped frontier so the rest of our island ratchets too (the
+      // periodic watermark would get there anyway; this closes the gap).
+      bump_seq_past(m.next_seq);
+      const Bytes wm_wire = encode_seq_watermark(
+          SeqWatermarkMsg{cfg_.self_index, next_seq_});
+      for (auto& [peer, pfd] : peer_fds_) {
+        (void)peer;
+        direct_send(pfd, wm_wire);
+      }
+    } else if (is_sequencer()) {
       bump_seq_past(m.next_seq);
     } else {
       // Route the domain bump to the daemon that actually sequences.
       auto seq_fd = peer_fds_.find(sequencer_id());
       if (seq_fd != peer_fds_.end()) {
-        spawn_write(seq_fd->second, encode_rejoin(m));
+        direct_send(seq_fd->second, encode_rejoin(m));
       }
     }
-    spawn_write(fd, encode_state_sync(snapshot_state()));
+    direct_send(fd, encode_state_sync(snapshot_state()));
     // Gossip the merged alive set to the rest of our island: peers further
     // down a healed chain never exchanged a Rejoin with the new arrival,
     // yet must learn the mesh now extends past their own links.
@@ -724,7 +919,7 @@ void GcDaemon::handle_rejoin(int fd, const RejoinMsg& m) {
     for (auto& [peer, pfd] : peer_fds_) {
       (void)peer;
       if (pfd == fd) continue;
-      spawn_write(pfd, alive_wire);
+      direct_send(pfd, alive_wire);
     }
   } else {
     // Our island's unordered traffic belongs to an abandoned domain.
@@ -772,7 +967,7 @@ void GcDaemon::adopt_alive_set(const std::vector<std::uint64_t>& alive,
   for (auto& [peer, pfd] : peer_fds_) {
     (void)peer;
     if (pfd == source_fd) continue;
-    spawn_write(pfd, wire);
+    direct_send(pfd, wire);
   }
   if (missing_links_.empty()) return;
   // Bridged regime: ask every linked peer to relay ordered traffic to us
@@ -780,7 +975,7 @@ void GcDaemon::adopt_alive_set(const std::vector<std::uint64_t>& alive,
   bridge_requested_ = true;
   for (auto& [peer, pfd] : peer_fds_) {
     (void)peer;
-    spawn_write(pfd, encode_bridge(BridgeMsg{cfg_.self_index, true}));
+    direct_send(pfd, encode_bridge(BridgeMsg{cfg_.self_index, true}));
   }
   if (!probe_running_) {
     probe_running_ = true;
@@ -793,6 +988,17 @@ void GcDaemon::handle_state_sync(int fd, const StateSyncMsg& m) {
   // Adopt the authority's group state wholesale, and keep our own stamps
   // above its domain in case we are (or become) the merged sequencer.
   bump_seq_past(m.next_seq);
+  if (cfg_.plane.shard_sequencers) {
+    // Our island-mates only hear about the merge via kAliveSet, which
+    // carries no counter; beacon the bumped frontier so they ratchet now
+    // rather than one watermark interval from now.
+    const Bytes wm_wire =
+        encode_seq_watermark(SeqWatermarkMsg{cfg_.self_index, next_seq_});
+    for (auto& [peer, pfd] : peer_fds_) {
+      (void)peer;
+      direct_send(pfd, wm_wire);
+    }
+  }
   groups_.clear();
   for (const auto& snap : m.groups) {
     GroupState g;

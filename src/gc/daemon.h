@@ -44,6 +44,43 @@ namespace mead::gc {
 
 inline constexpr std::uint16_t kDefaultDaemonPort = 4803;
 
+/// Scaled GC-plane options (DESIGN.md §3.8). Everything defaults OFF: the
+/// legacy single-sequencer broadcast plane is the reference configuration
+/// and its seed traces stay byte-identical.
+struct PlaneOptions {
+  PlaneOptions() = default;
+
+  /// Partition the stamping role across live daemons by a pure hash of the
+  /// group key over the alive set (instead of one global sequencer). Total
+  /// order stays per-group; cross-group order becomes daemon-local.
+  bool shard_sequencers = false;
+  /// Forward stamped kData frames only to daemons that host a member of
+  /// the group (plus the origin). Membership frames stay broadcast so
+  /// group state remains globally replicated.
+  bool interest_scoped = false;
+  /// Coalesce mesh writes per destination into size/δt-bounded kFrameBatch
+  /// frames. Client-bound and control frames are never batched.
+  bool batching = false;
+  std::size_t batch_max_frames = 16;
+  std::size_t batch_max_bytes = 8 * 1024;
+  Duration batch_flush = microseconds(200);
+  /// Beacon period for kSeqWatermark in sharded mode (zero = use
+  /// heartbeat_interval; the watermark then replaces the heartbeat).
+  Duration watermark_interval{0};
+
+  [[nodiscard]] bool any() const {
+    return shard_sequencers || interest_scoped || batching;
+  }
+  /// Everything on — the configuration the scale benches run.
+  static PlaneOptions scaled() {
+    PlaneOptions p;
+    p.shard_sequencers = true;
+    p.interest_scoped = true;
+    p.batching = true;
+    return p;
+  }
+};
+
 struct DaemonConfig {
   DaemonConfig() = default;
 
@@ -72,6 +109,9 @@ struct DaemonConfig {
   /// death, so fault-free runs schedule nothing.
   Duration rejoin_probe{0};
   Duration rejoin_probe_max{0};
+  /// Scaled GC plane (sharding / interest scoping / batching). Default
+  /// constructed = all off = the legacy byte-identical plane.
+  PlaneOptions plane;
 };
 
 class GcDaemon {
@@ -163,11 +203,29 @@ class GcDaemon {
   /// Keeps our stamps above a foreign sequence domain (the takeover jump).
   void bump_seq_past(std::uint64_t foreign_next_seq);
   void submit(OrderedMsg m);
+  /// Forward a submit to its stamper (or stamp/park it if that is us).
+  /// `from_fd` is the link it arrived on (-1 for local), never relayed back.
+  void route_submit(OrderedMsg m, int from_fd);
   void stamp_and_dispatch(OrderedMsg m);
+  /// The dedupe high-water slot for `m`: per origin in legacy mode (one
+  /// sequencer means one FIFO path per origin), per (group, origin) when
+  /// sequencers are sharded (FIFO only holds within a group's stamper path).
+  [[nodiscard]] std::uint64_t& done_mark(const OrderedMsg& m);
+  [[nodiscard]] bool is_fresh(const OrderedMsg& m) const;
   void handle_ordered(const OrderedMsg& m);
   void send_view(const std::string& group);
   void spawn_write(int fd, Bytes data);
+  /// Mesh write that may be coalesced into the fd's pending FrameBatch.
+  void mesh_send(int fd, const Bytes& frame);
+  /// Unbatched write; flushes the fd's pending batch first so control
+  /// frames never overtake batched ordered traffic (FIFO per link).
+  void direct_send(int fd, Bytes data);
+  void flush_batch(int fd);
+  sim::Task<void> batch_flush_task(int fd, std::uint64_t epoch);
   [[nodiscard]] std::uint64_t sequencer_id() const;
+  /// The daemon that stamps `group`: the global sequencer in legacy mode,
+  /// or FNV-1a(group) over the alive set when sequencers are sharded.
+  [[nodiscard]] std::uint64_t stamper_for(const std::string& group) const;
 
   net::ProcessPtr proc_;
   DaemonConfig cfg_;
@@ -175,6 +233,10 @@ class GcDaemon {
   // valid for the simulation's lifetime).
   obs::Counter& broadcasts_;
   obs::Counter& broadcast_bytes_;
+  obs::Counter& frames_;          // gc.frames: every daemon wire write
+  obs::Counter& batch_frames_;    // gc.batch.frames: frames sent batched
+  obs::Counter& batch_coalesced_; // gc.batch.coalesced: writes saved
+  obs::Counter& shard_stamped_;   // gc.shard.<id>.stamped
 
   // connection state
   struct ConnState {
@@ -202,12 +264,29 @@ class GcDaemon {
   std::uint64_t rejoins_ = 0;
   std::vector<TimePoint> rejoin_probe_times_;
 
+  // per-destination write coalescing (plane.batching)
+  struct Batch {
+    Bytes buf;                // concatenated encoded frames
+    std::size_t frames = 0;
+    std::uint64_t epoch = 0;  // bumped per flush; stale δt timers no-op
+    bool flush_armed = false;
+  };
+  std::map<int, Batch> batches_;
+
   // ordering state
   std::uint64_t next_seq_ = 1;
   std::uint64_t next_msg_id_ = 1;
+  /// Last kSeqWatermark per peer (sharded mode): the takeover floor used
+  /// when a shard owner dies.
+  std::map<std::uint64_t, std::uint64_t> peer_watermarks_;
   std::deque<OrderedMsg> pending_;      // ours, not yet seen ordered
   std::deque<OrderedMsg> stamp_wait_;   // foreign submits awaiting mesh
   std::map<std::uint64_t, std::uint64_t> done_msg_ids_;  // origin -> last applied
+  /// Sharded-mode dedupe: one origin's messages for different groups travel
+  /// through different stampers, so only per-(group, origin) msg ids are
+  /// FIFO — a single per-origin high-water mark would drop the earlier of
+  /// two cross-group messages whenever their broadcasts raced.
+  std::map<std::string, std::map<std::uint64_t, std::uint64_t>> done_by_group_;
   std::uint64_t delivered_count_ = 0;
 
   std::map<std::string, GroupState> groups_;

@@ -39,6 +39,8 @@ bool valid_op(std::uint8_t v) {
     case Op::kStateSync:
     case Op::kBridge:
     case Op::kAliveSet:
+    case Op::kFrameBatch:
+    case Op::kSeqWatermark:
       return true;
   }
   return false;
@@ -158,6 +160,23 @@ Bytes encode_alive_set(const AliveSetMsg& m) {
   w.write_u32(static_cast<std::uint32_t>(m.alive.size()));
   for (std::uint64_t d : m.alive) w.write_u64(d);
   return frame(Op::kAliveSet, w.buffer());
+}
+
+Bytes encode_seq_watermark(const SeqWatermarkMsg& m) {
+  CdrWriter w;
+  w.write_u64(m.daemon_id);
+  w.write_u64(m.next_seq);
+  return frame(Op::kSeqWatermark, w.buffer());
+}
+
+Bytes wrap_frame_batch(const Bytes& payload) {
+  return frame(Op::kFrameBatch, payload);
+}
+
+Bytes encode_frame_batch(const std::vector<Bytes>& frames) {
+  Bytes payload;
+  for (const Bytes& f : frames) append_bytes(payload, f);
+  return wrap_frame_batch(payload);
 }
 
 // ---- decoding ----
@@ -363,6 +382,45 @@ WireResult<AliveSetMsg> decode_alive_set(const Bytes& payload) {
     }
     return m;
   });
+}
+
+WireResult<SeqWatermarkMsg> decode_seq_watermark(const Bytes& payload) {
+  return decode_with(payload, [](CdrReader& r) -> std::optional<SeqWatermarkMsg> {
+    auto d = r.read_u64();
+    if (!d) return std::nullopt;
+    auto n = r.read_u64();
+    if (!n) return std::nullopt;
+    return SeqWatermarkMsg{d.value(), n.value()};
+  });
+}
+
+WireResult<std::vector<Frame>> decode_frame_batch(const Bytes& payload) {
+  std::vector<Frame> out;
+  std::size_t pos = 0;
+  while (pos < payload.size()) {
+    if (payload.size() - pos < 4) return make_unexpected(WireErr::kTruncated);
+    std::uint32_t len = static_cast<std::uint32_t>(payload[pos]) |
+                        (static_cast<std::uint32_t>(payload[pos + 1]) << 8) |
+                        (static_cast<std::uint32_t>(payload[pos + 2]) << 16) |
+                        (static_cast<std::uint32_t>(payload[pos + 3]) << 24);
+    if (len == 0) return make_unexpected(WireErr::kMalformed);
+    if (payload.size() - pos < 4 + static_cast<std::size_t>(len)) {
+      return make_unexpected(WireErr::kTruncated);
+    }
+    std::uint8_t op = payload[pos + 4];
+    if (!valid_op(op)) return make_unexpected(WireErr::kUnknownOp);
+    if (static_cast<Op>(op) == Op::kFrameBatch) {  // batches never nest
+      return make_unexpected(WireErr::kMalformed);
+    }
+    Frame f;
+    f.op = static_cast<Op>(op);
+    f.payload.assign(payload.begin() + static_cast<std::ptrdiff_t>(pos + 5),
+                     payload.begin() + static_cast<std::ptrdiff_t>(pos + 4 + len));
+    out.push_back(std::move(f));
+    pos += 4 + len;
+  }
+  if (out.empty()) return make_unexpected(WireErr::kMalformed);
+  return out;
 }
 
 // ---- framing ----

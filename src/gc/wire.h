@@ -36,6 +36,9 @@ enum class Op : std::uint8_t {
   kStateSync = 25,  // authority's group-state snapshot for a rejoiner
   kBridge = 26,     // ask a linked peer to relay ordered traffic to us
   kAliveSet = 27,   // merged alive-daemon set, gossiped after arbitration
+  // scaled GC plane (sharded sequencers / batched mesh traffic)
+  kFrameBatch = 28,    // several mesh frames coalesced into one wire write
+  kSeqWatermark = 29,  // periodic stamping-counter beacon (takeover floor)
 };
 
 /// What a Submit/Ordered payload represents.
@@ -171,6 +174,22 @@ struct AliveSetMsg {
   std::vector<std::uint64_t> alive;
 };
 
+/// Periodic stamping-counter beacon, broadcast by every daemon when the
+/// plane runs sharded sequencers (it doubles as the liveness heartbeat
+/// there). Receivers ratchet their own counter to at least `next_seq`, so
+/// whoever inherits a dead owner's groups stamps above everything the old
+/// owner is known to have issued — the per-shard takeover floor. It is also
+/// what keeps daemons with no interest in a group aligned with the global
+/// stamping frontier even though data frames no longer reach them.
+struct SeqWatermarkMsg {
+  SeqWatermarkMsg() = default;
+  SeqWatermarkMsg(std::uint64_t d, std::uint64_t n)
+      : daemon_id(d), next_seq(n) {}
+
+  std::uint64_t daemon_id = 0;
+  std::uint64_t next_seq = 0;
+};
+
 // ---- encoding ----
 
 Bytes encode_hello(const HelloMsg& m);
@@ -187,6 +206,7 @@ Bytes encode_rejoin(const RejoinMsg& m);
 Bytes encode_state_sync(const StateSyncMsg& m);
 Bytes encode_bridge(const BridgeMsg& m);
 Bytes encode_alive_set(const AliveSetMsg& m);
+Bytes encode_seq_watermark(const SeqWatermarkMsg& m);
 
 enum class WireErr { kTruncated, kMalformed, kUnknownOp };
 
@@ -210,6 +230,25 @@ WireResult<RejoinMsg> decode_rejoin(const Bytes& payload);
 WireResult<StateSyncMsg> decode_state_sync(const Bytes& payload);
 WireResult<BridgeMsg> decode_bridge(const Bytes& payload);
 WireResult<AliveSetMsg> decode_alive_set(const Bytes& payload);
+WireResult<SeqWatermarkMsg> decode_seq_watermark(const Bytes& payload);
+
+// ---- frame batching ----
+//
+// A FrameBatch payload is simply the concatenation of complete
+// length-prefixed frames (the same bytes that would have crossed the wire
+// individually), so a sender coalesces by appending encoded frames to a
+// buffer and wrapping it once at flush time. Batches never nest.
+
+/// Wraps already-encoded frames (concatenated wire bytes) into one
+/// kFrameBatch frame. `frames` must be non-zero; `payload` must hold
+/// exactly that many complete frames.
+Bytes wrap_frame_batch(const Bytes& payload);
+/// Convenience for tests: encodes `frames` individually and wraps them.
+Bytes encode_frame_batch(const std::vector<Bytes>& frames);
+/// Splits a kFrameBatch payload back into frames. Rejects empty batches,
+/// truncated sub-frames (kTruncated), unknown sub-frame opcodes
+/// (kUnknownOp), and nested batches (kMalformed).
+WireResult<std::vector<Frame>> decode_frame_batch(const Bytes& payload);
 
 /// Reassembles length-prefixed frames from a byte stream.
 class LenFramer {

@@ -31,6 +31,7 @@ std::string_view to_string(EventKind k) {
     case EventKind::kReadSetUpdate: return "read_set_update";
     case EventKind::kRouteSwitch: return "route_switch";
     case EventKind::kRmFailover: return "rm_failover";
+    case EventKind::kGcBatchFlush: return "gc_batch_flush";
   }
   return "?";
 }
@@ -38,7 +39,7 @@ std::string_view to_string(EventKind k) {
 namespace {
 
 EventKind kind_from_string(std::string_view s) {
-  for (int i = 0; i <= static_cast<int>(EventKind::kRmFailover); ++i) {
+  for (int i = 0; i <= static_cast<int>(EventKind::kGcBatchFlush); ++i) {
     const auto k = static_cast<EventKind>(i);
     if (to_string(k) == s) return k;
   }

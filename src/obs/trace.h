@@ -42,6 +42,7 @@ enum class EventKind : std::uint8_t {
   kReadSetUpdate,      // Recovery Manager republished a fanout read set
   kRouteSwitch,        // routing client re-pointed its stub at a replica
   kRmFailover,         // a backup Recovery Manager became first-in-view
+  kGcBatchFlush,       // daemon flushed a coalesced FrameBatch (value = n)
 };
 
 [[nodiscard]] std::string_view to_string(EventKind k);

@@ -15,6 +15,9 @@
 // also covers RM failover: recovery must still settle (no outstanding
 // launch slot), no incarnation may ever be launched twice, and when the
 // crashed host carried the acting manager, a backup must have promoted.
+// Every third seed runs on the scaled GC plane (sharded sequencers +
+// interest scoping + batching), so the invariants also cover shard-owner
+// takeover and partition healing under interest-scoped delivery.
 #include <set>
 #include <sstream>
 #include <string>
@@ -99,6 +102,11 @@ ExperimentSpec soak_spec(std::uint64_t seed) {
     spec.chaos.crash_node(milliseconds(rng.uniform_int(50, 450)),
                           spec.rm.hosts[victim]);
   }
+  // Every third seed runs the scaled GC plane (sharded sequencers,
+  // interest-scoped delivery, batched mesh writes): the same invariants
+  // must hold when a node crash takes a shard owner with it and partitions
+  // heal under interest scoping.
+  if (seed % 3 == 0) spec.gc_plane = gc::PlaneOptions::scaled();
   return spec;
 }
 

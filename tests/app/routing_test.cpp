@@ -144,6 +144,46 @@ TEST(RoutingTest, ReadFanoutSurvivesReadReplicaCrash) {
   EXPECT_GE(r.server_failures, 1u);
 }
 
+TEST(RoutingTest, DeltaReadSetsMatchFullPublicationBehavior) {
+  // The same fanout workload — including a read-replica crash that churns
+  // the serving set — must look identical to every client whether the RM
+  // publishes read sets in full or delta-encoded, and the delta run must
+  // actually have sent deltas.
+  auto spec_for = [](bool deltas) {
+    ExperimentSpec spec = fanout_spec(3, orb::RoutingPolicy::kRoundRobin);
+    spec.invocations = 600;
+    spec.chaos.crash_node(milliseconds(200), "node2");
+    spec.rm.delta_read_sets = deltas;
+    return spec;
+  };
+  Experiment full(spec_for(false));
+  ASSERT_TRUE(full.start());
+  full.launch_client();
+  full.run_to_completion();
+  Experiment delta(spec_for(true));
+  ASSERT_TRUE(delta.start());
+  delta.launch_client();
+  delta.run_to_completion();
+
+  // Client-visible rollups only: the wire encoding differs (that is the
+  // point), so byte/event totals are allowed to diverge.
+  auto client_view = [](const ExperimentResult& r) {
+    std::ostringstream os;
+    for (const auto& c : r.client_results) {
+      os << c.label << ':' << c.invocations_completed << ',' << c.exceptions
+         << ',' << c.naming_refreshes << ';';
+    }
+    return os.str();
+  };
+  EXPECT_EQ(client_view(full.collect()), client_view(delta.collect()));
+  EXPECT_EQ(full.obs().metrics().counter_value("rm.readset.deltas"), 0u);
+  EXPECT_GT(delta.obs().metrics().counter_value("rm.readset.deltas"), 0u);
+  // Every delta the RM sent applied cleanly: a gapped subscriber would
+  // stall on the old set and show up as missing route switches above.
+  const ExperimentResult dr = delta.collect();
+  EXPECT_EQ(dr.total_invocations(), 3 * 600u);
+}
+
 TEST(RoutingTest, StickyPinsUntilFailover) {
   // Sticky routing pins each client to one read replica: far fewer route
   // switches than round-robin under the identical workload.

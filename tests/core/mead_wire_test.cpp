@@ -130,5 +130,62 @@ TEST(CtrlMsgTest, RejectsTruncatedBody) {
   EXPECT_FALSE(decode_ctrl(frame).has_value());
 }
 
+TEST(CtrlMsgTest, ReadSetRoundTrip) {
+  ReadSet rs;
+  rs.version = 4;
+  rs.primary = "replica/1";
+  rs.entries.push_back(Announce{"r1", net::Endpoint{"node1", 1}, test_ior("node1")});
+  rs.entries.push_back(Announce{"r2", net::Endpoint{"node2", 2}, test_ior("node2")});
+  auto msg = decode_ctrl(encode_read_set(rs));
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->kind, CtrlKind::kReadSet);
+  ASSERT_TRUE(msg->read_set.has_value());
+  EXPECT_EQ(*msg->read_set, rs);
+}
+
+TEST(CtrlMsgTest, ReadSetDeltaRoundTrip) {
+  ReadSetDelta d;
+  d.base_version = 4;
+  d.version = 5;
+  d.primary = "replica/2";
+  d.removed = {"replica/1", "replica/3"};
+  d.added.push_back(Announce{"replica/4", net::Endpoint{"node4", 4},
+                             test_ior("node4")});
+  auto msg = decode_ctrl(encode_read_set_delta(d));
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->kind, CtrlKind::kReadSetDelta);
+  ASSERT_TRUE(msg->read_set_delta.has_value());
+  EXPECT_EQ(*msg->read_set_delta, d);
+}
+
+TEST(CtrlMsgTest, EmptyReadSetDeltaRoundTrip) {
+  // A version bump that removes and adds nothing (primary-only change)
+  // still travels.
+  ReadSetDelta d;
+  d.base_version = 1;
+  d.version = 2;
+  d.primary = "replica/2";
+  auto msg = decode_ctrl(encode_read_set_delta(d));
+  ASSERT_TRUE(msg.has_value());
+  ASSERT_TRUE(msg->read_set_delta.has_value());
+  EXPECT_TRUE(msg->read_set_delta->removed.empty());
+  EXPECT_TRUE(msg->read_set_delta->added.empty());
+  EXPECT_EQ(msg->read_set_delta->primary, "replica/2");
+}
+
+TEST(CtrlMsgTest, RejectsTruncatedReadSetDelta) {
+  ReadSetDelta d;
+  d.base_version = 1;
+  d.version = 2;
+  d.primary = "replica/2";
+  d.added.push_back(Announce{"replica/4", net::Endpoint{"node4", 4},
+                             test_ior("node4")});
+  Bytes frame = encode_read_set_delta(d);
+  for (std::size_t cut : {std::size_t{1}, frame.size() / 2}) {
+    Bytes t(frame.begin(), frame.end() - static_cast<std::ptrdiff_t>(cut));
+    EXPECT_FALSE(decode_ctrl(t).has_value()) << "cut=" << cut;
+  }
+}
+
 }  // namespace
 }  // namespace mead::core

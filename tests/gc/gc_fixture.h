@@ -16,7 +16,8 @@ namespace mead::gc {
 
 class GcWorld : public ::testing::Test {
  protected:
-  explicit GcWorld(std::size_t nodes = 3, std::uint64_t seed = 1)
+  explicit GcWorld(std::size_t nodes = 3, std::uint64_t seed = 1,
+                   PlaneOptions plane = {})
       : sim_(seed), net_(sim_) {
     for (std::size_t i = 0; i < nodes; ++i) {
       hosts_.push_back("node" + std::to_string(i + 1));
@@ -26,6 +27,7 @@ class GcWorld : public ::testing::Test {
       DaemonConfig cfg;
       cfg.daemon_hosts = hosts_;
       cfg.self_index = i;
+      cfg.plane = plane;
       auto proc = net_.spawn_process(hosts_[i], "gc-daemon");
       daemons_.push_back(std::make_unique<GcDaemon>(proc, cfg));
       daemon_procs_.push_back(proc);

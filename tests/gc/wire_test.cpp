@@ -113,6 +113,112 @@ TEST(GcWireTest, HeartbeatRoundTrip) {
   EXPECT_EQ(decode_heartbeat(frame->payload)->daemon_id, 4u);
 }
 
+TEST(GcWireTest, SeqWatermarkRoundTrip) {
+  LenFramer f;
+  f.feed(encode_seq_watermark(SeqWatermarkMsg{3, 12345}));
+  auto frame = f.next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->op, Op::kSeqWatermark);
+  auto m = decode_seq_watermark(frame->payload);
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->daemon_id, 3u);
+  EXPECT_EQ(m->next_seq, 12345u);
+}
+
+TEST(GcWireTest, SeqWatermarkRejectsTruncated) {
+  const Bytes whole = encode_seq_watermark(SeqWatermarkMsg{1, 7});
+  Bytes body(whole.begin() + 5, whole.end());  // strip len+opcode
+  body.resize(body.size() - 1);
+  EXPECT_FALSE(decode_seq_watermark(body).ok());
+}
+
+TEST(FrameBatchTest, RoundTripIdentity) {
+  const std::vector<Bytes> frames = {
+      encode_heartbeat(HeartbeatMsg{2}),
+      encode_submit([] {
+        OrderedMsg o;
+        o.group = "g";
+        o.member = "m";
+        o.payload = Bytes{1, 2, 3};
+        return o;
+      }()),
+      encode_seq_watermark(SeqWatermarkMsg{0, 99}),
+  };
+  LenFramer f;
+  f.feed(encode_frame_batch(frames));
+  auto outer = f.next();
+  ASSERT_TRUE(outer.has_value());
+  EXPECT_EQ(outer->op, Op::kFrameBatch);
+  auto inner = decode_frame_batch(outer->payload);
+  ASSERT_TRUE(inner.ok());
+  ASSERT_EQ(inner->size(), 3u);
+  EXPECT_EQ((*inner)[0].op, Op::kHeartbeat);
+  EXPECT_EQ((*inner)[1].op, Op::kSubmit);
+  EXPECT_EQ((*inner)[2].op, Op::kSeqWatermark);
+  auto sub = decode_ordered_like((*inner)[1].payload);
+  ASSERT_TRUE(sub.ok());
+  EXPECT_EQ(sub->group, "g");
+  EXPECT_EQ(sub->payload, (Bytes{1, 2, 3}));
+}
+
+TEST(FrameBatchTest, EmptyBatchIsMalformed) {
+  auto r = decode_frame_batch(Bytes{});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error(), WireErr::kMalformed);
+}
+
+TEST(FrameBatchTest, TruncatedSubFrameRejected) {
+  Bytes payload = encode_heartbeat(HeartbeatMsg{1});
+  Bytes cut(payload.begin(), payload.end() - 2);
+  auto r = decode_frame_batch(cut);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error(), WireErr::kTruncated);
+  // A dangling length prefix with no opcode byte is also truncation.
+  Bytes dangling = payload;
+  append_bytes(dangling, Bytes{5, 0, 0});
+  r = decode_frame_batch(dangling);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error(), WireErr::kTruncated);
+}
+
+TEST(FrameBatchTest, UnknownSubOpRejected) {
+  Bytes payload = encode_heartbeat(HeartbeatMsg{1});
+  append_bytes(payload, Bytes{1, 0, 0, 0, 99});  // len 1, opcode 99
+  auto r = decode_frame_batch(payload);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error(), WireErr::kUnknownOp);
+}
+
+TEST(FrameBatchTest, NestedBatchRejected) {
+  const Bytes inner = encode_frame_batch({encode_heartbeat(HeartbeatMsg{1})});
+  LenFramer f;
+  f.feed(encode_frame_batch({inner}));
+  auto outer = f.next();
+  ASSERT_TRUE(outer.has_value());
+  auto r = decode_frame_batch(outer->payload);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error(), WireErr::kMalformed);
+}
+
+TEST(FrameBatchTest, MixedVersionStreamKeepsFraming) {
+  // A batch in the middle of a stream of plain frames: the framer hands
+  // each top-level frame over intact, old and new ops side by side.
+  Bytes stream = encode_heartbeat(HeartbeatMsg{1});
+  append_bytes(stream, encode_frame_batch({encode_heartbeat(HeartbeatMsg{2}),
+                                           encode_heartbeat(HeartbeatMsg{3})}));
+  append_bytes(stream, encode_seq_watermark(SeqWatermarkMsg{1, 4}));
+  LenFramer f;
+  f.feed(stream);
+  EXPECT_EQ(f.next()->op, Op::kHeartbeat);
+  auto batch = f.next();
+  ASSERT_TRUE(batch.has_value());
+  EXPECT_EQ(batch->op, Op::kFrameBatch);
+  EXPECT_EQ(decode_frame_batch(batch->payload)->size(), 2u);
+  EXPECT_EQ(f.next()->op, Op::kSeqWatermark);
+  EXPECT_FALSE(f.next().has_value());
+  EXPECT_FALSE(f.corrupt());
+}
+
 TEST(LenFramerTest, FragmentedFramesReassemble) {
   Bytes stream = encode_mcast(McastMsg{"group-a", Bytes(100, 1)});
   append_bytes(stream, encode_heartbeat(HeartbeatMsg{1}));
