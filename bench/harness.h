@@ -13,6 +13,7 @@
 #include <cstdlib>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "app/experiment.h"
@@ -79,8 +80,13 @@ class PerfReport {
       : name_(std::move(bench_name)), threads_(bench_threads()),
         sweep_start_(std::chrono::steady_clock::now()) {}
 
+  /// `extras` become additional per-run JSON keys (after the standard
+  /// fields) — bench-specific scalars a regression check wants to guard
+  /// (e.g. bench_rm's recovery_ms, bench_state's restore_ms). Keys must be
+  /// plain identifiers; values are emitted with three decimals.
   void add(const ExperimentSpec& spec, const ExperimentResult& r,
-           std::string label = {}) {
+           std::string label = {},
+           std::vector<std::pair<std::string, double>> extras = {}) {
     Run run;
     run.label = label.empty() ? std::string(to_string(spec.scheme))
                               : std::move(label);
@@ -94,6 +100,7 @@ class PerfReport {
     run.gc_frames = r.gc_frames;
     run.groups = std::max<std::size_t>(1, spec.groups.size());
     run.duration_s = r.duration_s;
+    run.extras = std::move(extras);
     runs_.push_back(std::move(run));
   }
 
@@ -130,7 +137,7 @@ class PerfReport {
           "\"gc_frames\": %llu, \"groups\": %zu, "
           "\"sim_duration_s\": %.6f, "
           "\"gc_bps_per_group\": %.0f, "
-          "\"events_per_group_per_sec\": %.0f}%s\n",
+          "\"events_per_group_per_sec\": %.0f",
           json_escape(r.label).c_str(), json_escape(r.scheme).c_str(),
           static_cast<unsigned long long>(r.seed), r.wall_ms,
           static_cast<unsigned long long>(r.events),
@@ -139,8 +146,11 @@ class PerfReport {
           per_second(r.invocations, r.wall_ms), r.steady_rtt_ms, r.gc_bps,
           static_cast<unsigned long long>(r.gc_frames), r.groups,
           r.duration_s, r.gc_bps / static_cast<double>(r.groups),
-          per_sim_second_per_group(r),
-          i + 1 < runs_.size() ? "," : "");
+          per_sim_second_per_group(r));
+      for (const auto& [key, value] : r.extras) {
+        std::fprintf(f, ", \"%s\": %.3f", json_escape(key).c_str(), value);
+      }
+      std::fprintf(f, "}%s\n", i + 1 < runs_.size() ? "," : "");
     }
     std::fprintf(
         f,
@@ -167,6 +177,8 @@ class PerfReport {
     std::uint64_t gc_frames = 0;
     std::size_t groups = 1;
     double duration_s = 0;  // simulated seconds of measurement
+    /// Extra per-run JSON keys, in insertion order.
+    std::vector<std::pair<std::string, double>> extras;
   };
 
   [[nodiscard]] static double per_second(std::uint64_t n, double ms) {

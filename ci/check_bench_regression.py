@@ -65,6 +65,134 @@ def check_flatness(name: str, report: dict, failures: list) -> None:
             failures.append(name)
 
 
+# Recovery-latency guard for the RM replication bench. recovery_ms is
+# *simulated* time — deterministic per seed, independent of the host — so
+# the budget can be tight: 10% over baseline (plus a 0.1 ms absolute
+# floor) means the recovery path itself got slower, not the machine.
+RM_RECOVERY_SLACK = 1.10
+RM_RECOVERY_FLOOR_MS = 0.1
+
+
+def check_rm_recovery(name: str, fresh: dict, base: dict,
+                      failures: list) -> None:
+    base_runs = {r.get("label"): r for r in base.get("runs", [])}
+    for run in fresh.get("runs", []):
+        b = base_runs.get(run.get("label"))
+        if b is None or "recovery_ms" not in run or "recovery_ms" not in b:
+            continue
+        fresh_ms, base_ms = run["recovery_ms"], b["recovery_ms"]
+        budget = base_ms * RM_RECOVERY_SLACK + RM_RECOVERY_FLOOR_MS
+        verdict = "FAIL" if fresh_ms > budget else "ok"
+        print(f"{verdict:4s} {name}: '{run['label']}' recovery "
+              f"{fresh_ms:.2f} ms vs baseline {base_ms:.2f} ms "
+              f"(budget {budget:.2f} ms)")
+        if fresh_ms > budget:
+            failures.append(name)
+
+
+# Trend checks for the stateful-restore sweep — self-contained in the
+# fresh BENCH_state.json (no baseline required; the generic throughput /
+# deterministic-totals checks still apply once one is recorded). Three
+# properties define the feature:
+#   1. restore_ms grows with state size within every (scheme, interval)
+#      series — transfer cost is real;
+#   2. for the schemes that keep serving during the restore (the log is
+#      non-trivial: mead-message, location-forward), a shorter checkpoint
+#      interval means less log to replay, so restore_ms shrinks. The
+#      reactive schemes idle the log during the outage, leaving the
+#      interval axis nothing to measure, so they are exempt;
+#   3. the proactive advantage — mean reactive replica-hole exposure
+#      minus the paper's proactive scheme's (mead-message, which masks
+#      the death entirely) — GROWS with state size: the bigger the
+#      state, the more the restore-gated announce costs a reactive group.
+STATE_GROWTH_SLACK = 0.90   # tolerated dip within a rising series
+STATE_SPAN_MIN = 1.3        # largest/smallest restore_ms must exceed this
+STATE_FREQ_SLACK = 1.05     # restore(fast ckpt) may exceed slow by <=5%
+STATE_ADV_SPAN_MIN = 1.05   # advantage(largest)/advantage(smallest)
+STATE_REACTIVE = ("reactive-no-cache", "reactive-cache")
+STATE_PROACTIVE = "mead-message"
+STATE_SERVING = ("mead-message", "location-forward")
+
+
+def check_state_trends(name: str, report: dict, failures: list) -> None:
+    runs = [r for r in report.get("runs", [])
+            if "state_keys" in r and "restore_ms" in r]
+    if not runs:
+        return
+
+    def fail(msg: str) -> None:
+        print(f"FAIL {name}: {msg}")
+        failures.append(name)
+
+    keys_axis = sorted({r["state_keys"] for r in runs})
+    intervals = sorted({r["ckpt_interval_ms"] for r in runs})
+    schemes = sorted({r["scheme"] for r in runs})
+    by = {(r["scheme"], r["state_keys"], r["ckpt_interval_ms"]): r
+          for r in runs}
+
+    # 1. restore_ms rises with state size in every (scheme, interval).
+    for scheme in schemes:
+        for iv in intervals:
+            series = [by[(scheme, k, iv)]["restore_ms"] for k in keys_axis
+                      if (scheme, k, iv) in by]
+            if len(series) < 2:
+                continue
+            for lo, hi in zip(series, series[1:]):
+                if hi < lo * STATE_GROWTH_SLACK:
+                    fail(f"restore_ms not rising with state size for "
+                         f"{scheme}/ckpt{iv:.0f}ms: {series}")
+                    break
+            else:
+                if series[-1] < series[0] * STATE_SPAN_MIN:
+                    fail(f"restore_ms span too flat for {scheme}/"
+                         f"ckpt{iv:.0f}ms: {series} (min x{STATE_SPAN_MIN})")
+                    continue
+                print(f"ok   {name}: restore_ms rises with state size for "
+                      f"{scheme}/ckpt{iv:.0f}ms: "
+                      f"{', '.join(f'{v:.2f}' for v in series)}")
+
+    # 2. More frequent checkpoints shrink the restore for the schemes
+    #    that keep serving (shorter log replay).
+    if len(intervals) >= 2:
+        fast, slow = intervals[0], intervals[-1]
+        for scheme in STATE_SERVING:
+            for k in keys_axis:
+                a, b = by.get((scheme, k, fast)), by.get((scheme, k, slow))
+                if a is None or b is None:
+                    continue
+                if a["restore_ms"] > b["restore_ms"] * STATE_FREQ_SLACK:
+                    fail(f"restore_ms did not shrink with checkpoint "
+                         f"frequency for {scheme}/keys{k:.0f}: "
+                         f"ckpt{fast:.0f}ms={a['restore_ms']:.2f} vs "
+                         f"ckpt{slow:.0f}ms={b['restore_ms']:.2f}")
+        print(f"ok   {name}: restore_ms shrinks with checkpoint frequency "
+              f"for {', '.join(STATE_SERVING)}")
+
+    # 3. Proactive advantage grows with state size.
+    advantages = []
+    for k in keys_axis:
+        reactive = [by[(s, k, iv)]["recovery_ms"] for s in STATE_REACTIVE
+                    for iv in intervals if (s, k, iv) in by]
+        proactive = [by[(STATE_PROACTIVE, k, iv)]["recovery_ms"]
+                     for iv in intervals
+                     if (STATE_PROACTIVE, k, iv) in by]
+        if not reactive or not proactive:
+            return
+        advantages.append(sum(reactive) / len(reactive) -
+                          sum(proactive) / len(proactive))
+    for lo, hi in zip(advantages, advantages[1:]):
+        if hi < lo * STATE_GROWTH_SLACK:
+            fail(f"proactive advantage not rising with state size: "
+                 f"{[f'{a:.2f}' for a in advantages]}")
+            return
+    if advantages and advantages[-1] < advantages[0] * STATE_ADV_SPAN_MIN:
+        fail(f"proactive advantage span too flat: "
+             f"{[f'{a:.2f}' for a in advantages]} (min x{STATE_ADV_SPAN_MIN})")
+        return
+    print(f"ok   {name}: proactive advantage rises with state size: "
+          f"{', '.join(f'{a:.2f}' for a in advantages)} ms")
+
+
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("files", nargs="+", type=pathlib.Path,
@@ -87,12 +215,15 @@ def main() -> int:
     failures = []
     for path in args.files:
         fresh = load(path)
+        # Self-contained trend checks run on the fresh file alone.
+        check_state_trends(path.name, fresh, failures)
         base_path = args.baseline_dir / path.name
         if not base_path.exists():
             print(f"SKIP {path.name}: no baseline "
                   f"(record one with --update)")
             continue
         base = load(base_path)
+        check_rm_recovery(path.name, fresh, base, failures)
         ft, bt = fresh.get("totals", {}), base.get("totals", {})
 
         fresh_eps = ft.get("events_per_sec", 0)

@@ -104,6 +104,7 @@ bool ServiceGroup::spawn_replica(int incarnation, const std::string& host_hint) 
   ro.port = static_cast<std::uint16_t>(spec_.base_port + incarnation);
   ro.naming_host = naming_host_;
   ro.state_sync = spec_.state_sync;
+  ro.state = spec_.state;
   replicas_.push_back(TimeOfDayReplica::launch(net_, host, std::move(ro)));
   return true;
 }

@@ -75,6 +75,10 @@ struct RmSpec {
   /// Publish read-set updates delta-encoded against the previous version
   /// (core::RecoveryManagerConfig::delta_read_sets). Default off.
   bool delta_read_sets = false;
+  /// Let a partition-retired RM replica rejoin as a cold backup by
+  /// restoring RmCore state from the acting replica (default off: the
+  /// PR-6 permanent fail-stop retirement).
+  bool readmit = false;
 };
 
 struct ServiceGroupSpec {
@@ -105,6 +109,9 @@ struct ServiceGroupSpec {
   /// Manager publishes the group's read set so routing clients can spread
   /// read traffic over it.
   core::ReplicationStyle style = core::ReplicationStyle::kWarmPassive;
+  /// Stateful-service checkpointing + restore-gated announce (ISSUE 8).
+  /// Default off: replicas stay the seed's stateless counters.
+  core::StateOptions state;
 
   /// GC member name of one incarnation. The paper's default group keeps
   /// the historical bare "replica/N" names (seed-trace compatibility);

@@ -74,6 +74,9 @@ StartResult Experiment::start() {
   chaos0_ = delta("chaos.faults");
   restripes0_ = delta("rm.restripe.placements");
   rm_failovers0_ = delta("rm.failovers");
+  ckpt_deltas0_ = delta("state.ckpt.deltas");
+  ckpt_bytes0_ = delta("state.ckpt.bytes");
+  replay0_ = delta("state.replay.msgs");
   for (const auto& g : bed_.groups()) {
     GroupBaseline base;
     base.deaths0 = g->replica_deaths();
@@ -162,6 +165,9 @@ ExperimentResult Experiment::collect() const {
   out.chaos_faults = delta("chaos.faults") - chaos0_;
   out.restripes = delta("rm.restripe.placements") - restripes0_;
   out.rm_failovers = delta("rm.failovers") - rm_failovers0_;
+  out.ckpt_deltas = delta("state.ckpt.deltas") - ckpt_deltas0_;
+  out.ckpt_bytes = delta("state.ckpt.bytes") - ckpt_bytes0_;
+  out.replayed_msgs = delta("state.replay.msgs") - replay0_;
   // Per-client rollups, in launch order.
   for (std::size_t i = 0; i < clients_.size(); ++i) {
     const ClientResults cr = clients_[i]->results();
@@ -177,6 +183,7 @@ ExperimentResult Experiment::collect() const {
     out.client_results.push_back(std::move(roll));
   }
   const auto& groups = bed_.groups();
+  std::uint64_t state_restore_samples = 0;
   for (std::size_t i = 0; i < groups.size() && i < group_base_.size(); ++i) {
     const ServiceGroup& g = *groups[i];
     const GroupBaseline& base = group_base_[i];
@@ -202,7 +209,39 @@ ExperimentResult Experiment::collect() const {
     }
     gr.steady_state_rtt_ms =
         gr.clients > 0 ? steady_sum / static_cast<double>(gr.clients) : 0;
+    // Stateful groups: verify every live, settled replica's digest against
+    // the deterministic expectation for its own op count. Backups lag the
+    // primary (they hold the state of the last checkpoint push), so each
+    // replica is checked at its own progress point, not the primary's.
+    if (g.spec().state.enabled) {
+      double restore_ms_sum = 0;
+      std::uint64_t restored_replicas = 0;
+      for (const auto& r : g.replicas()) {
+        const core::ServerMead& mead = r->mead();
+        gr.state_restores += mead.stats().restores;
+        if (mead.stats().restores > 0) {
+          restore_ms_sum += mead.stats().last_restore_ms;
+          ++restored_replicas;
+        }
+        if (!r->alive()) continue;
+        const state::AppState* s = mead.app_state();
+        if (s == nullptr || mead.restoring()) continue;
+        gr.state_applied = std::max(gr.state_applied, s->applied());
+        const std::uint64_t want = state::AppState::expected_digest(
+            s->applied(), g.spec().state.keys);
+        if (s->digest() != want) gr.state_ok = false;
+      }
+      out.state_restores += gr.state_restores;
+      if (restored_replicas > 0) {
+        out.state_restore_ms += restore_ms_sum;
+        state_restore_samples += restored_replicas;
+      }
+    }
+    out.state_ok = out.state_ok && gr.state_ok;
     out.group_results.push_back(std::move(gr));
+  }
+  if (state_restore_samples > 0) {
+    out.state_restore_ms /= static_cast<double>(state_restore_samples);
   }
   return out;
 }

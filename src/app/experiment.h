@@ -96,6 +96,18 @@ struct GroupResult {
   /// Mean of the group's clients' steady-state RTTs (the single client's
   /// value when clients == 1).
   double steady_state_rtt_ms = 0;
+  /// Stateful groups only (StateOptions::enabled; trivially true
+  /// otherwise): every live, non-restoring replica's AppState digest
+  /// matched the deterministic expectation for its own applied-op count —
+  /// no lost, duplicated, or reordered application anywhere in the
+  /// checkpoint/replay pipeline.
+  bool state_ok = true;
+  /// Highest applied-op count over the group's live replicas (the
+  /// primary's progress).
+  std::uint64_t state_applied = 0;
+  /// Completed checkpoint restores (base + deltas + log replay) summed
+  /// over every incarnation the group ever launched.
+  std::uint64_t state_restores = 0;
 };
 
 /// Per-client rollup: one entry per measurement client, in launch order
@@ -127,6 +139,16 @@ struct ExperimentResult {
   std::uint64_t chaos_faults = 0;      // scheduled faults executed
   std::uint64_t restripes = 0;         // restripe placements ("rm.restripe.placements")
   std::uint64_t rm_failovers = 0;      // backup RM promotions ("rm.failovers")
+  // Stateful-service pipeline (all zero / true when no group enables
+  // StateOptions — the counters are never even created then).
+  std::uint64_t ckpt_deltas = 0;       // checkpoints taken ("state.ckpt.deltas")
+  std::uint64_t ckpt_bytes = 0;        // checkpoint wire bytes ("state.ckpt.bytes")
+  std::uint64_t replayed_msgs = 0;     // log entries replayed ("state.replay.msgs")
+  std::uint64_t state_restores = 0;    // completed restores, summed over groups
+  /// Mean completed-restore duration (virtual ms) over replicas that
+  /// restored; 0 when none did.
+  double state_restore_ms = 0;
+  bool state_ok = true;                // AND over group_results[].state_ok
   double wall_ms = 0;                  // real (host) time spent in run()
   /// One entry per hosted group, in spec order.
   std::vector<GroupResult> group_results;
@@ -233,6 +255,9 @@ class Experiment {
   std::uint64_t chaos0_ = 0;
   std::uint64_t restripes0_ = 0;
   std::uint64_t rm_failovers0_ = 0;
+  std::uint64_t ckpt_deltas0_ = 0;
+  std::uint64_t ckpt_bytes0_ = 0;
+  std::uint64_t replay0_ = 0;
 };
 
 /// One-shot convenience wrapper.

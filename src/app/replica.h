@@ -28,6 +28,8 @@ struct ReplicaOptions {
   std::uint16_t port = 0;   // ORB listen port (unique per incarnation)
   std::string naming_host;  // where the Naming Service lives
   Duration state_sync = milliseconds(100);
+  /// Stateful-service checkpointing (default off = seed behavior).
+  core::StateOptions state;
 };
 
 class TimeOfDayReplica {
@@ -44,6 +46,7 @@ class TimeOfDayReplica {
   [[nodiscard]] const giop::IOR& ior() const { return ior_; }
   [[nodiscard]] net::Process& process() { return *proc_; }
   [[nodiscard]] core::ServerMead& mead() { return *mead_; }
+  [[nodiscard]] const core::ServerMead& mead() const { return *mead_; }
   [[nodiscard]] TimeOfDayServant& servant() { return *servant_; }
   [[nodiscard]] fault::MemoryLeakInjector* leak() { return leak_.get(); }
   [[nodiscard]] bool registered() const { return registered_; }

@@ -123,6 +123,34 @@ struct Thresholds {
   }
 };
 
+/// Stateful-service knobs (ISSUE 8): when enabled, the replica owns a
+/// state::AppState mutated by every served request, checkpoints it
+/// incrementally to the group's `mead/<svc>/ckpt` channel, and gates
+/// its Naming registration on restoring state from a live peer first.
+struct StateOptions {
+  StateOptions() = default;
+
+  bool enabled = false;
+  /// Keyed-accumulator slot count — the state-size axis (8 bytes/key
+  /// plus `value_pad` wire padding per shipped entry).
+  std::uint32_t keys = 256;
+  /// Extra bytes serialized per checkpoint entry, modeling values
+  /// larger than a bare u64 (inflates transfer cost, not the store).
+  std::uint32_t value_pad = 0;
+  /// Primary's periodic checkpoint cadence.
+  Duration checkpoint_interval = milliseconds(25);
+  /// Message-log bound: hitting it forces an early checkpoint.
+  std::uint32_t log_cap = 512;
+  /// Restore: how long a starter waits for a peer's base snapshot
+  /// before concluding it is the first replica up (fresh state).
+  Duration restore_grace = milliseconds(3);
+  /// Restore: hard deadline after the base arrived; announce with
+  /// whatever consistent prefix has been installed.
+  Duration restore_deadline = milliseconds(40);
+  /// Virtual CPU charged per replayed log entry.
+  Duration replay_op_cost = microseconds(50);
+};
+
 /// Identity + wiring for one MEAD-protected process.
 struct MeadConfig {
   MeadConfig() = default;
@@ -140,6 +168,9 @@ struct MeadConfig {
   Duration drain_timeout = milliseconds(30);
   /// Warm-passive state-transfer period (0 = disabled).
   Duration state_sync_interval{0};
+  /// Stateful-service checkpointing (default off — the seed's
+  /// stateless-counter behavior, byte-identical traces).
+  StateOptions state;
   /// Ports treated as infrastructure (never intercepted as app traffic).
   std::uint16_t daemon_port = 4803;
   std::uint16_t naming_port = 2809;
@@ -156,6 +187,11 @@ struct MeadConfig {
 /// updates here; routing clients join it to keep their read set fresh.
 [[nodiscard]] inline std::string read_set_group(const std::string& service) {
   return "mead/" + service + "/readset";
+}
+/// Stateful groups only: checkpoint deltas, restore requests, and log
+/// replay travel here, off the replica group's announce/query path.
+[[nodiscard]] inline std::string ckpt_group(const std::string& service) {
+  return "mead/" + service + "/ckpt";
 }
 /// The Recovery Manager replicas' own membership group. A replicated RM
 /// joins it before any supervised group; leadership is first-in-view, and

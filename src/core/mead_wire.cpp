@@ -148,6 +148,53 @@ Bytes encode_state(const StateTransfer& m) {
   return ctrl_frame(CtrlKind::kState, w.buffer());
 }
 
+Bytes encode_ckpt_delta(const CkptDelta& m) {
+  CdrWriter w;
+  w.write_string(m.member);
+  w.write_u64(m.nonce);
+  w.write_u64(m.epoch);
+  w.write_u64(m.base_epoch);
+  w.write_bool(m.is_base);
+  w.write_u64(m.applied);
+  w.write_u64(m.prev_digest);
+  w.write_u64(m.digest);
+  w.write_u32(m.value_pad);
+  w.write_u32(static_cast<std::uint32_t>(m.entries.size()));
+  const Bytes pad(m.value_pad, 0);
+  for (const auto& [key, value] : m.entries) {
+    w.write_u32(key);
+    w.write_u64(value);
+    if (m.value_pad > 0) w.write_raw(pad);
+  }
+  return ctrl_frame(CtrlKind::kCkptDelta, w.buffer());
+}
+
+Bytes encode_ckpt_request(const CkptRequest& m) {
+  CdrWriter w;
+  w.write_string(m.member);
+  w.write_u64(m.nonce);
+  w.write_u64(m.have_epoch);
+  return ctrl_frame(CtrlKind::kCkptRequest, w.buffer());
+}
+
+Bytes encode_log_replay(const LogReplay& m) {
+  CdrWriter w;
+  w.write_string(m.member);
+  w.write_u64(m.nonce);
+  w.write_u64(m.applied);
+  w.write_u64(m.digest);
+  w.write_u32(static_cast<std::uint32_t>(m.entries.size()));
+  for (std::uint64_t seq : m.entries) w.write_u64(seq);
+  return ctrl_frame(CtrlKind::kLogReplay, w.buffer());
+}
+
+Bytes encode_read_set_nack(const ReadSetNack& m) {
+  CdrWriter w;
+  w.write_string(m.service);
+  w.write_u64(m.have_version);
+  return ctrl_frame(CtrlKind::kReadSetNack, w.buffer());
+}
+
 std::optional<CtrlMsg> decode_ctrl(const Bytes& payload) {
   if (payload.empty()) return std::nullopt;
   CtrlMsg msg;
@@ -287,6 +334,98 @@ std::optional<CtrlMsg> decode_ctrl(const Bytes& payload) {
       if (!state) return std::nullopt;
       msg.state = StateTransfer{std::move(member.value()), version.value(),
                                 std::move(state.value())};
+      return msg;
+    }
+    case CtrlKind::kCkptDelta: {
+      msg.kind = CtrlKind::kCkptDelta;
+      CkptDelta d;
+      auto member = r.read_string();
+      if (!member) return std::nullopt;
+      d.member = std::move(member.value());
+      auto nonce = r.read_u64();
+      if (!nonce) return std::nullopt;
+      d.nonce = nonce.value();
+      auto epoch = r.read_u64();
+      if (!epoch) return std::nullopt;
+      d.epoch = epoch.value();
+      auto base = r.read_u64();
+      if (!base) return std::nullopt;
+      d.base_epoch = base.value();
+      auto is_base = r.read_bool();
+      if (!is_base) return std::nullopt;
+      d.is_base = is_base.value();
+      auto applied = r.read_u64();
+      if (!applied) return std::nullopt;
+      d.applied = applied.value();
+      auto prev_digest = r.read_u64();
+      if (!prev_digest) return std::nullopt;
+      d.prev_digest = prev_digest.value();
+      auto digest = r.read_u64();
+      if (!digest) return std::nullopt;
+      d.digest = digest.value();
+      auto pad = r.read_u32();
+      if (!pad) return std::nullopt;
+      d.value_pad = pad.value();
+      auto n = r.read_u32();
+      if (!n) return std::nullopt;
+      d.entries.reserve(n.value());
+      for (std::uint32_t i = 0; i < n.value(); ++i) {
+        auto key = r.read_u32();
+        if (!key) return std::nullopt;
+        auto value = r.read_u64();
+        if (!value) return std::nullopt;
+        if (d.value_pad > 0 && !r.read_raw(d.value_pad)) return std::nullopt;
+        d.entries.emplace_back(key.value(), value.value());
+      }
+      msg.ckpt_delta = std::move(d);
+      return msg;
+    }
+    case CtrlKind::kCkptRequest: {
+      msg.kind = CtrlKind::kCkptRequest;
+      auto member = r.read_string();
+      if (!member) return std::nullopt;
+      auto nonce = r.read_u64();
+      if (!nonce) return std::nullopt;
+      auto have = r.read_u64();
+      if (!have) return std::nullopt;
+      msg.ckpt_request = CkptRequest{std::move(member.value()), nonce.value(),
+                                     have.value()};
+      return msg;
+    }
+    case CtrlKind::kLogReplay: {
+      msg.kind = CtrlKind::kLogReplay;
+      LogReplay lr;
+      auto member = r.read_string();
+      if (!member) return std::nullopt;
+      lr.member = std::move(member.value());
+      auto nonce = r.read_u64();
+      if (!nonce) return std::nullopt;
+      lr.nonce = nonce.value();
+      auto applied = r.read_u64();
+      if (!applied) return std::nullopt;
+      lr.applied = applied.value();
+      auto digest = r.read_u64();
+      if (!digest) return std::nullopt;
+      lr.digest = digest.value();
+      auto n = r.read_u32();
+      if (!n) return std::nullopt;
+      lr.entries.reserve(n.value());
+      for (std::uint32_t i = 0; i < n.value(); ++i) {
+        auto seq = r.read_u64();
+        if (!seq) return std::nullopt;
+        lr.entries.push_back(seq.value());
+      }
+      msg.log_replay = std::move(lr);
+      return msg;
+    }
+    case CtrlKind::kReadSetNack: {
+      msg.kind = CtrlKind::kReadSetNack;
+      auto service = r.read_string();
+      if (!service) return std::nullopt;
+      auto have = r.read_u64();
+      if (!have) return std::nullopt;
+      msg.read_set_nack = ReadSetNack{std::move(service.value()),
+                                      have.value()};
       return msg;
     }
   }

@@ -49,6 +49,10 @@ enum class CtrlKind : std::uint8_t {
   kNodeCrash = 8,     // RM replica replicates a node-crash observation
   kLaunchFailed = 9,  // acting RM reports a replica factory failure
   kReadSetDelta = 10, // read-set update delta-encoded vs the last version
+  kCkptDelta = 11,    // stateful checkpoint (base snapshot or dirty delta)
+  kCkptRequest = 12,  // restoring replica asks a live peer for the chain
+  kLogReplay = 13,    // message-log suffix closing a directed restore
+  kReadSetNack = 14,  // subscriber detected a delta gap; asks for a full set
 };
 
 struct Announce {
@@ -162,6 +166,65 @@ struct LaunchFailed {
   friend bool operator==(const LaunchFailed&, const LaunchFailed&) = default;
 };
 
+/// One incremental checkpoint on the `mead/<svc>/ckpt` channel. With
+/// nonce == 0 it is the primary's periodic push (warm-passive backups
+/// mirror it; fanout replicas cross-verify digests); with nonce != 0 it
+/// answers a specific CkptRequest during a restore handshake. Each
+/// entry ships `value_pad` trailing padding bytes, modeling application
+/// values wider than the bare u64 the accumulator stores.
+struct CkptDelta {
+  CkptDelta() = default;
+  std::string member;        // sending primary
+  std::uint64_t nonce = 0;   // 0 = periodic; else echo of CkptRequest.nonce
+  std::uint64_t epoch = 0;
+  std::uint64_t base_epoch = 0;
+  bool is_base = false;
+  std::uint64_t applied = 0;
+  std::uint64_t prev_digest = 0;
+  std::uint64_t digest = 0;
+  std::uint32_t value_pad = 0;
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> entries;
+  friend bool operator==(const CkptDelta&, const CkptDelta&) = default;
+};
+
+/// A recovering (or proactively spawned, or gap-detecting) replica asks
+/// the group's primary to send base + deltas + log with this nonce.
+struct CkptRequest {
+  CkptRequest() = default;
+  CkptRequest(std::string m, std::uint64_t n, std::uint64_t have)
+      : member(std::move(m)), nonce(n), have_epoch(have) {}
+  std::string member;           // requester
+  std::uint64_t nonce = 0;      // echoed by every frame answering this
+  std::uint64_t have_epoch = 0; // newest epoch already held (0 = nothing)
+  friend bool operator==(const CkptRequest&, const CkptRequest&) = default;
+};
+
+/// The message-log suffix that closes a directed restore: ops applied
+/// by the primary since its newest checkpoint. `applied`/`digest` are
+/// the primary's progress after the log — the restore target.
+struct LogReplay {
+  LogReplay() = default;
+  std::string member;         // sending primary
+  std::uint64_t nonce = 0;
+  std::uint64_t applied = 0;
+  std::uint64_t digest = 0;
+  std::vector<std::uint64_t> entries;  // request seqs, ascending
+  friend bool operator==(const LogReplay&, const LogReplay&) = default;
+};
+
+/// A read-set subscriber saw a kReadSetDelta whose base_version did not
+/// match its last-applied version (a dropped delta, e.g. under a
+/// partition). Multicast on the read-set group; the acting RM answers
+/// with a full kReadSet republication.
+struct ReadSetNack {
+  ReadSetNack() = default;
+  ReadSetNack(std::string s, std::uint64_t v)
+      : service(std::move(s)), have_version(v) {}
+  std::string service;
+  std::uint64_t have_version = 0;  // subscriber's last-applied version
+  friend bool operator==(const ReadSetNack&, const ReadSetNack&) = default;
+};
+
 Bytes encode_announce(const Announce& m);
 Bytes encode_read_set(const ReadSet& m);
 Bytes encode_read_set_delta(const ReadSetDelta& m);
@@ -172,6 +235,10 @@ Bytes encode_primary_answer(const PrimaryAnswer& m);
 Bytes encode_state(const StateTransfer& m);
 Bytes encode_node_crash(const NodeCrash& m);
 Bytes encode_launch_failed(const LaunchFailed& m);
+Bytes encode_ckpt_delta(const CkptDelta& m);
+Bytes encode_ckpt_request(const CkptRequest& m);
+Bytes encode_log_replay(const LogReplay& m);
+Bytes encode_read_set_nack(const ReadSetNack& m);
 
 /// Parsed control payload.
 struct CtrlMsg {
@@ -186,6 +253,10 @@ struct CtrlMsg {
   std::optional<ReadSetDelta> read_set_delta;  // kReadSetDelta
   std::optional<NodeCrash> node_crash;    // kNodeCrash
   std::optional<LaunchFailed> launch_failed;  // kLaunchFailed
+  std::optional<CkptDelta> ckpt_delta;    // kCkptDelta
+  std::optional<CkptRequest> ckpt_request;  // kCkptRequest
+  std::optional<LogReplay> log_replay;    // kLogReplay
+  std::optional<ReadSetNack> read_set_nack;  // kReadSetNack
 };
 
 std::optional<CtrlMsg> decode_ctrl(const Bytes& payload);

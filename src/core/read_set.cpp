@@ -34,14 +34,29 @@ sim::Task<void> ReadSetSubscriber::pump() {
       if (ctrl->read_set_delta->version <= last_version_) continue;  // stale
       if (ctrl->read_set_delta->base_version != last_version_) {
         // We missed the base this delta builds on; applying it would
-        // corrupt the set. Wait for the next full publication (RM
-        // republishes in full for failovers and late subscribers).
+        // corrupt the set. Ask the RM for a full republication instead of
+        // waiting for the next membership change — under a healed
+        // partition that could be arbitrarily far away. One nack per
+        // detected gap: later deltas over the same hole stay quiet.
         ++deltas_gapped_;
+        proc_.sim().obs().metrics().counter("readset.gaps").add();
+        if (ctrl->read_set_delta->version > last_nacked_version_) {
+          last_nacked_version_ = ctrl->read_set_delta->version;
+          proc_.sim().spawn(send_nack());
+        }
         continue;
       }
       apply_delta(*ctrl->read_set_delta);
     }
   }
+}
+
+sim::Task<void> ReadSetSubscriber::send_nack() {
+  ++nacks_sent_;
+  proc_.sim().obs().metrics().counter("readset.nacks").add();
+  (void)co_await gc_->multicast(
+      read_set_group(service_),
+      encode_read_set_nack(ReadSetNack{service_, last_version_}));
 }
 
 void ReadSetSubscriber::apply_full(const ReadSet& rs) {

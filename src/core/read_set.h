@@ -38,9 +38,13 @@ class ReadSetSubscriber {
   /// Deltas applied (subset of updates_applied) / skipped for a version gap.
   [[nodiscard]] std::uint64_t deltas_applied() const { return deltas_applied_; }
   [[nodiscard]] std::uint64_t deltas_gapped() const { return deltas_gapped_; }
+  /// kReadSetNack frames multicast after gap detection (at most one per
+  /// gapped version; the RM answers each with a full republication).
+  [[nodiscard]] std::uint64_t nacks_sent() const { return nacks_sent_; }
 
  private:
   sim::Task<void> pump();
+  sim::Task<void> send_nack();
   void apply_full(const ReadSet& rs);
   void apply_delta(const ReadSetDelta& d);
 
@@ -54,6 +58,10 @@ class ReadSetSubscriber {
   std::uint64_t applied_ = 0;
   std::uint64_t deltas_applied_ = 0;
   std::uint64_t deltas_gapped_ = 0;
+  std::uint64_t nacks_sent_ = 0;
+  /// Newest delta version already nacked — one nack per detected gap, not
+  /// one per frame, so a burst of deltas over the same hole stays quiet.
+  std::uint64_t last_nacked_version_ = 0;
 };
 
 }  // namespace mead::core

@@ -9,7 +9,8 @@ namespace mead::core {
 RecoveryManager::RecoveryManager(net::ProcessPtr proc,
                                  RecoveryManagerConfig cfg, Factory factory)
     : proc_(std::move(proc)), cfg_(std::move(cfg)), factory_(std::move(factory)),
-      core_(cfg_.groups, cfg_.member, cfg_.self_supervise),
+      core_(cfg_.groups, cfg_.member, cfg_.self_supervise,
+            cfg_.readmit_retired),
       launches_(proc_->sim().obs().metrics().counter("rm.launches")),
       proactive_launches_(
           proc_->sim().obs().metrics().counter("rm.proactive_launches")),
@@ -67,6 +68,11 @@ sim::Task<bool> RecoveryManager::start() {
     if (target.style == ReplicationStyle::kActiveReadFanout) {
       (void)co_await gc_->join(read_set_group(target.service));
     }
+    // Stateful groups: the ckpt channel shows which members are
+    // mid-restore (GroupView::restoring).
+    if (target.stateful) {
+      (void)co_await gc_->join(ckpt_group(target.service));
+    }
   }
   proc_->sim().spawn(pump());
   co_return true;
@@ -97,6 +103,24 @@ sim::Task<void> RecoveryManager::pump() {
     std::vector<RmAction> carried;
     if (may_promote) carried = core_.resume_actions();
     auto actions = core_.on_event(event);
+    // Readmission requests are the one action class a non-acting shell
+    // must still execute: a retired core emits them for itself, and a
+    // retired replica is by definition not acting.
+    for (const auto& a : actions) {
+      if (a.kind != RmAction::Kind::kRequestReadmit) continue;
+      LogLine(proc_->sim().log(), LogLevel::kInfo, "rm")
+          << "retired; requesting readmission snapshot";
+      proc_->sim().spawn(multicast_task(
+          rm_group(),
+          encode_ckpt_request(CkptRequest{cfg_.member, a.nonce, 0})));
+    }
+    if (core_.readmissions() > readmissions_seen_) {
+      readmissions_seen_ = core_.readmissions();
+      proc_->sim().obs().metrics().counter("rm.readmissions").add();
+      LogLine(proc_->sim().log(), LogLevel::kInfo, "rm")
+          << "readmitted as converged backup (total "
+          << readmissions_seen_ << ")";
+    }
     if (core_.acting()) execute(actions, /*count=*/true);
     if (may_promote && core_.acting() && !first_rm_view) {
       // Promotion: the previous first-in-view died mid-recovery. Re-drive
@@ -131,7 +155,21 @@ void RecoveryManager::execute(const std::vector<RmAction>& actions,
           counters_[a.service].restripe_skipped->add();
         }
         break;
+      case RmAction::Kind::kRequestReadmit:
+        // Already sent by the pump (it must go out even when not acting).
+        break;
+      case RmAction::Kind::kSendRmSnapshot:
+        // The snapshot was frozen by the core at the request's position in
+        // the total order; it travels as a kState frame whose version
+        // echoes the requester's nonce.
+        proc_->sim().spawn(multicast_task(
+            rm_group(), encode_state(StateTransfer{cfg_.member, a.nonce,
+                                                   a.snapshot})));
+        break;
       case RmAction::Kind::kPublishReadSet: {
+        if (a.nack && count) {
+          proc_->sim().obs().metrics().counter("rm.readset.nacks").add();
+        }
         if (!a.republish) {
           readset_updates_.add();
           counters_[a.service].readset_updates->add();

@@ -64,6 +64,12 @@ struct RecoveryManagerConfig {
   /// how a subscriber that missed a delta heals. Default off: the full-set
   /// wire traffic is part of the seed-identical reference behavior.
   bool delta_read_sets = false;
+  /// Let a partition-retired replica rejoin as a converged backup via a
+  /// state-transfer handshake (snapshot from the acting replica at the
+  /// request's position in the total order + buffered-suffix replay)
+  /// instead of retiring permanently. Default off: permanent fail-stop
+  /// retirement is the historical behavior.
+  bool readmit_retired = false;
 };
 
 class RecoveryManager {
@@ -111,6 +117,14 @@ class RecoveryManager {
   [[nodiscard]] bool acting() const { return proc_->alive() && core_.acting(); }
   /// Times this replica was promoted from backup to acting.
   [[nodiscard]] std::uint64_t failovers() const { return failovers_; }
+  /// True while this replica is retired (expelled-and-rejoined with
+  /// possibly-diverged state and, without readmit_retired, out for good).
+  [[nodiscard]] bool retired() const { return core_.retired(); }
+  /// Times this replica's retired core restored acting state and rejoined
+  /// as a converged backup (readmit_retired only).
+  [[nodiscard]] std::uint64_t readmissions() const {
+    return core_.readmissions();
+  }
 
  private:
   /// Per-group obs counters ("rm.launches.<service>", ...), resolved once.
@@ -151,6 +165,8 @@ class RecoveryManager {
   std::uint64_t crash_observer_ = 0;  // Network observer handle
   std::unique_ptr<gc::GcClient> gc_;
   std::uint64_t failovers_ = 0;
+  /// Readmissions already surfaced to counters/logs by the pump.
+  std::uint64_t readmissions_seen_ = 0;
 };
 
 }  // namespace mead::core

@@ -95,6 +95,57 @@ std::vector<ReplicaRegistry::Record> ReplicaRegistry::listed() const {
   return out;
 }
 
+void ReplicaRegistry::encode(giop::CdrWriter& w) const {
+  w.write_u64(view_.view_id);
+  w.write_u32(static_cast<std::uint32_t>(view_.members.size()));
+  for (const auto& m : view_.members) w.write_string(m);
+  w.write_u32(static_cast<std::uint32_t>(announced_.size()));
+  for (const auto& [name, rec] : announced_) {
+    w.write_string(rec.member);
+    w.write_string(rec.endpoint.host);
+    w.write_u16(rec.endpoint.port);
+    giop::encode_ior(w, rec.ior);
+  }
+}
+
+bool ReplicaRegistry::decode(giop::CdrReader& r) {
+  auto view_id = r.read_u64();
+  if (!view_id) return false;
+  auto member_count = r.read_u32();
+  if (!member_count) return false;
+  gc::View view;
+  view.view_id = *view_id;
+  view.members.reserve(*member_count);
+  for (std::uint32_t i = 0; i < *member_count; ++i) {
+    auto m = r.read_string();
+    if (!m) return false;
+    view.members.push_back(std::move(*m));
+  }
+  auto announced_count = r.read_u32();
+  if (!announced_count) return false;
+  std::map<std::string, Record> announced;
+  for (std::uint32_t i = 0; i < *announced_count; ++i) {
+    Record rec;
+    auto member = r.read_string();
+    if (!member) return false;
+    rec.member = std::move(*member);
+    auto host = r.read_string();
+    if (!host) return false;
+    rec.endpoint.host = std::move(*host);
+    auto port = r.read_u16();
+    if (!port) return false;
+    rec.endpoint.port = *port;
+    auto ior = giop::decode_ior(r);
+    if (!ior) return false;
+    rec.ior = std::move(*ior);
+    std::string key = rec.member;
+    announced[std::move(key)] = std::move(rec);
+  }
+  view_ = std::move(view);
+  announced_ = std::move(announced);
+  return true;
+}
+
 std::vector<ReplicaRegistry::Record> ReplicaRegistry::read_set(
     const std::set<std::string>& excluded) const {
   std::vector<Record> out;

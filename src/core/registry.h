@@ -16,6 +16,7 @@
 
 #include "core/mead_wire.h"
 #include "gc/view.h"
+#include "giop/cdr.h"
 
 namespace mead::core {
 
@@ -67,6 +68,12 @@ class ReplicaRegistry {
   /// stale endpoint — on_view() already dropped the old record.
   [[nodiscard]] std::vector<Record> read_set(
       const std::set<std::string>& excluded) const;
+
+  /// Snapshot serialization (view + announced records), used by the
+  /// replicated Recovery Manager's re-admission state transfer. decode()
+  /// replaces this registry's whole contents; false leaves it unspecified.
+  void encode(giop::CdrWriter& w) const;
+  [[nodiscard]] bool decode(giop::CdrReader& r);
 
  private:
   gc::View view_;

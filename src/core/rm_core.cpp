@@ -1,13 +1,36 @@
 #include "core/rm_core.h"
 
 #include <algorithm>
+#include <string_view>
 
 namespace mead::core {
 
+namespace {
+
+/// Incarnation encoded in a replica member name ("replica/<n>" or
+/// "<service>/replica/<n>"); -1 for anything else (RM members, clients).
+int member_incarnation(const std::string& member) {
+  static constexpr std::string_view kKey = "replica/";
+  const auto pos = member.rfind(kKey);
+  if (pos == std::string::npos) return -1;
+  if (pos != 0 && member[pos - 1] != '/') return -1;
+  const std::string_view digits{member.data() + pos + kKey.size(),
+                                member.size() - pos - kKey.size()};
+  if (digits.empty() || digits.size() > 7) return -1;
+  int n = 0;
+  for (char c : digits) {
+    if (c < '0' || c > '9') return -1;
+    n = n * 10 + (c - '0');
+  }
+  return n;
+}
+
+}  // namespace
+
 RmCore::RmCore(std::vector<GroupTarget> targets, std::string self,
-               bool replicated)
+               bool replicated, bool readmit)
     : targets_(std::move(targets)), self_(std::move(self)),
-      replicated_(replicated) {
+      replicated_(replicated), readmit_(readmit) {
   for (const auto& target : targets_) {
     auto group = std::make_unique<Group>();
     group->target = target;
@@ -15,6 +38,9 @@ RmCore::RmCore(std::vector<GroupTarget> targets, std::string self,
     by_control_group_[control_group(target.service)] = group.get();
     if (target.style == ReplicationStyle::kActiveReadFanout) {
       by_readset_group_[read_set_group(target.service)] = group.get();
+    }
+    if (target.stateful) {
+      by_ckpt_group_[ckpt_group(target.service)] = group.get();
     }
     groups_.push_back(std::move(group));
   }
@@ -70,6 +96,7 @@ std::optional<GroupView> RmCore::view(const std::string& service) const {
   out.next_incarnation = g->next_incarnation;
   out.stats = g->stats;
   out.doomed.assign(g->doomed.begin(), g->doomed.end());
+  out.restoring.assign(g->restoring.begin(), g->restoring.end());
   out.registry = &g->registry;
   if (g->target.style == ReplicationStyle::kActiveReadFanout) {
     out.read_set = &g->read_set;
@@ -79,10 +106,42 @@ std::optional<GroupView> RmCore::view(const std::string& service) const {
 
 RmCore::Actions RmCore::on_event(const gc::Event& event) {
   Actions out;
+  if (readmit_anchor_seen_) {
+    // A readmission is in flight and our own request has passed in the
+    // total order (the snapshot point). Buffer every later event instead
+    // of applying it to this core's diverged state; the snapshot replaces
+    // that state as of the request position and the buffer replays on top.
+    if (event.kind == gc::Event::Kind::kMessage && event.group == rm_group()) {
+      auto ctrl = decode_ctrl(event.payload);
+      if (ctrl && ctrl->kind == CtrlKind::kState && ctrl->state &&
+          ctrl->state->version == readmit_nonce_) {
+        if (install_snapshot(ctrl->state->state)) {
+          retired_ = false;
+          ++readmissions_;
+        }
+        drain_readmit_buffer(out);
+        return out;
+      }
+    }
+    if (event.kind == gc::Event::Kind::kView && event.group == rm_group()) {
+      // The acting replica died before answering: abandon the attempt,
+      // apply the buffered suffix to the (still diverged) state, and let
+      // handle_rm_view below issue a fresh request to the new acting.
+      drain_readmit_buffer(out);
+    } else {
+      readmit_buffer_.push_back(event);
+      return out;
+    }
+  }
+  apply_event(event, out);
+  return out;
+}
+
+void RmCore::apply_event(const gc::Event& event, Actions& out) {
   if (event.kind == gc::Event::Kind::kView) {
     if (replicated_ && event.group == rm_group()) {
-      handle_rm_view(event.view);
-      return out;
+      handle_rm_view(event.view, out);
+      return;
     }
     auto it = by_replica_group_.find(event.group);
     if (it != by_replica_group_.end()) handle_view(*it->second, event, out);
@@ -100,11 +159,11 @@ RmCore::Actions RmCore::on_event(const gc::Event& event) {
       a.republish = true;
       out.push_back(std::move(a));
     }
-    return out;
+    return;
   }
-  if (event.kind != gc::Event::Kind::kMessage) return out;
+  if (event.kind != gc::Event::Kind::kMessage) return;
   auto ctrl = decode_ctrl(event.payload);
-  if (!ctrl) return out;
+  if (!ctrl) return;
   if (replicated_ && event.group == rm_group()) {
     // Replicated observations: every RmCore applies them at the same
     // position in the total order, so placement and slot accounting agree.
@@ -113,38 +172,81 @@ RmCore::Actions RmCore::on_event(const gc::Event& event) {
     } else if (ctrl->kind == CtrlKind::kLaunchFailed && ctrl->launch_failed) {
       apply_launch_failed(ctrl->launch_failed->service,
                           ctrl->launch_failed->incarnation, out);
+    } else if (ctrl->kind == CtrlKind::kCkptRequest && ctrl->ckpt_request) {
+      const auto& req = *ctrl->ckpt_request;
+      if (req.member == self_ && req.nonce != 0 &&
+          req.nonce == readmit_nonce_) {
+        // Our own readmission request: this position in the total order is
+        // the snapshot point. Buffer from here until the answer lands.
+        readmit_anchor_seen_ = true;
+        readmit_buffer_.clear();
+      } else if (req.member != self_ && req.nonce != 0 && acting()) {
+        // A retired replica asks for state. Freeze the snapshot at this
+        // exact position — every core that stayed has identical state
+        // here, so the requester converges once it installs and replays.
+        RmAction a;
+        a.kind = RmAction::Kind::kSendRmSnapshot;
+        a.nonce = req.nonce;
+        a.snapshot = encode_snapshot();
+        out.push_back(std::move(a));
+      }
     }
-    return out;
+    return;
   }
   if (ctrl->kind == CtrlKind::kLaunchRequest) {
     // Launch requests arrive on the doomed group's own control group; the
     // event's group key routes them, so identical member names in two
     // groups stay unambiguous.
     auto it = by_control_group_.find(event.group);
-    if (it == by_control_group_.end()) return out;
+    if (it == by_control_group_.end()) return;
     it->second->doomed.insert(ctrl->launch->member);
     reconcile(*it->second, /*proactive_trigger=*/true, out);
     // A doomed replica leaves the read set immediately — clients must
     // stop routing reads at it before it rejuvenates.
     refresh_read_set(*it->second, out);
-    return out;
+    return;
+  }
+  if (ctrl->kind == CtrlKind::kReadSetNack && ctrl->read_set_nack) {
+    // A subscriber saw a delta whose base it does not hold (a dropped
+    // frame, e.g. under a partition): answer with the full current set.
+    auto rs = by_readset_group_.find(event.group);
+    if (rs != by_readset_group_.end() && rs->second->read_set.version > 0) {
+      RmAction a;
+      a.kind = RmAction::Kind::kPublishReadSet;
+      a.service = rs->second->target.service;
+      a.group = event.group;
+      a.read_set = rs->second->read_set;
+      a.republish = true;
+      a.nack = true;
+      out.push_back(std::move(a));
+    }
+    return;
+  }
+  if (ctrl->kind == CtrlKind::kCkptRequest && ctrl->ckpt_request) {
+    // A directed restore opening on a stateful group's ckpt channel: the
+    // member is mid-restore until it announces (or leaves the view).
+    auto ck = by_ckpt_group_.find(event.group);
+    if (ck != by_ckpt_group_.end() && ctrl->ckpt_request->nonce != 0) {
+      ck->second->restoring.insert(ctrl->ckpt_request->member);
+    }
+    return;
   }
   // Replica announcements / listing syncs on a replica group feed that
   // group's registry (endpoint bookkeeping only; no launch decisions).
   auto it = by_replica_group_.find(event.group);
-  if (it == by_replica_group_.end()) return out;
+  if (it == by_replica_group_.end()) return;
   if (ctrl->kind == CtrlKind::kAnnounce && ctrl->announce) {
     it->second->reserved.erase(ctrl->announce->endpoint.host);
+    it->second->restoring.erase(ctrl->announce->member);
     it->second->registry.on_announce(*ctrl->announce);
     refresh_read_set(*it->second, out);
   } else if (ctrl->kind == CtrlKind::kListing && ctrl->listing) {
     it->second->registry.on_listing(*ctrl->listing);
     refresh_read_set(*it->second, out);
   }
-  return out;
 }
 
-void RmCore::handle_rm_view(const gc::View& view) {
+void RmCore::handle_rm_view(const gc::View& view, Actions& out) {
   const auto& old_members = rm_view_.members;
   const auto old_pos =
       std::find(old_members.begin(), old_members.end(), self_);
@@ -154,13 +256,53 @@ void RmCore::handle_rm_view(const gc::View& view) {
     // A member's index in the view only shrinks as earlier members die;
     // growth means we were expelled (partition) and rejoined at the tail.
     // We missed ordered messages in between, so our state may have
-    // diverged from the replicas that stayed — never act again.
+    // diverged from the replicas that stayed — stop acting.
     if (new_pos == view.members.end() ||
         (new_pos - view.members.begin()) > (old_pos - old_members.begin())) {
       retired_ = true;
     }
   }
   rm_view_ = view;
+  if (new_pos == view.members.end()) {
+    // Out of the view entirely: any in-flight readmission attempt is void
+    // (our request frame, if ordered at all, was ordered while we were
+    // absent and the answer cannot reach us).
+    readmit_nonce_ = 0;
+    readmit_anchor_seen_ = false;
+    readmit_buffer_.clear();
+  } else if (retired_ && readmit_ && readmit_nonce_ == 0) {
+    // Back in the view with possibly-diverged state. Instead of retiring
+    // permanently, open a state-transfer handshake with the acting
+    // replica: the snapshot + buffered-suffix replay makes us exactly
+    // convergent, after which acting eligibility is safe again.
+    readmit_nonce_ = next_readmit_nonce();
+    RmAction a;
+    a.kind = RmAction::Kind::kRequestReadmit;
+    a.nonce = readmit_nonce_;
+    out.push_back(std::move(a));
+  }
+}
+
+std::uint64_t RmCore::next_readmit_nonce() {
+  // Deterministic per core (FNV-1a over the member name, mixed with a
+  // local sequence): only this core ever checks the value, so it need
+  // only be unique across its own attempts and never zero.
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : self_) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  h ^= ++readmit_seq_;
+  h *= 1099511628211ull;
+  return h == 0 ? 1 : h;
+}
+
+void RmCore::drain_readmit_buffer(Actions& out) {
+  readmit_anchor_seen_ = false;
+  readmit_nonce_ = 0;
+  std::vector<gc::Event> buffered = std::move(readmit_buffer_);
+  readmit_buffer_.clear();
+  for (const auto& ev : buffered) apply_event(ev, out);
 }
 
 void RmCore::handle_view(Group& group, const gc::Event& event, Actions& out) {
@@ -173,13 +315,23 @@ void RmCore::handle_view(Group& group, const gc::Event& event, Actions& out) {
     if (std::find(old_members.begin(), old_members.end(), m) ==
         old_members.end()) {
       ++joined;
+      // Ratchet numbering past any incarnation we did not mint ourselves —
+      // a healed split-brain merges in the minority manager's launches, and
+      // reusing one of those numbers would wedge a launch slot (the
+      // application factory is idempotent per incarnation).
+      const int inc = member_incarnation(m);
+      if (inc >= group.next_incarnation) group.next_incarnation = inc + 1;
     }
   }
   const std::size_t consumed = std::min(group.pending.size(), joined);
   group.pending.erase(group.pending.begin(),
                       group.pending.begin() + static_cast<std::ptrdiff_t>(consumed));
-  // Departed members are no longer doomed (they are dead).
+  // Departed members are no longer doomed (they are dead), and a restore
+  // handshake a departed member left open will never close.
   std::erase_if(group.doomed, [&](const std::string& m) {
+    return !event.view.contains(m);
+  });
+  std::erase_if(group.restoring, [&](const std::string& m) {
     return !event.view.contains(m);
   });
   group.registry.on_view(event.view);
@@ -271,6 +423,161 @@ void RmCore::refresh_read_set(Group& group, Actions& out) {
   group.read_set = std::move(next);
   a.read_set = group.read_set;
   out.push_back(std::move(a));
+}
+
+namespace {
+
+void write_string_set(giop::CdrWriter& w, const std::set<std::string>& s) {
+  w.write_u32(static_cast<std::uint32_t>(s.size()));
+  for (const auto& e : s) w.write_string(e);
+}
+
+bool read_string_set(giop::CdrReader& r, std::set<std::string>& out) {
+  auto n = r.read_u32();
+  if (!n) return false;
+  out.clear();
+  for (std::uint32_t i = 0; i < *n; ++i) {
+    auto e = r.read_string();
+    if (!e) return false;
+    out.insert(std::move(*e));
+  }
+  return true;
+}
+
+}  // namespace
+
+Bytes RmCore::encode_snapshot() const {
+  giop::CdrWriter w;
+  write_string_set(w, dead_hosts_);
+  w.write_u64(totals_.launches);
+  w.write_u64(totals_.proactive_launches);
+  w.write_u64(totals_.reactive_launches);
+  w.write_u32(static_cast<std::uint32_t>(groups_.size()));
+  for (const auto& g : groups_) {
+    g->registry.encode(w);
+    write_string_set(w, g->doomed);
+    w.write_u32(static_cast<std::uint32_t>(g->pending.size()));
+    for (const auto& slot : g->pending) {
+      w.write_i32(slot.incarnation);
+      w.write_string(slot.host);
+      w.write_bool(slot.proactive);
+      w.write_bool(slot.restriped);
+    }
+    w.write_i32(g->next_incarnation);
+    w.write_u64(g->stats.launches);
+    w.write_u64(g->stats.proactive_launches);
+    w.write_u64(g->stats.reactive_launches);
+    write_string_set(w, g->reserved);
+    write_string_set(w, g->restoring);
+    w.write_u64(g->read_set.version);
+    w.write_string(g->read_set.primary);
+    w.write_u32(static_cast<std::uint32_t>(g->read_set.entries.size()));
+    for (const auto& e : g->read_set.entries) {
+      w.write_string(e.member);
+      w.write_string(e.endpoint.host);
+      w.write_u16(e.endpoint.port);
+      giop::encode_ior(w, e.ior);
+    }
+  }
+  return w.take();
+}
+
+bool RmCore::install_snapshot(const Bytes& snapshot) {
+  giop::CdrReader r(snapshot, giop::ByteOrder::kLittleEndian);
+  std::set<std::string> dead_hosts;
+  if (!read_string_set(r, dead_hosts)) return false;
+  RmStats totals;
+  auto l = r.read_u64();
+  auto p = r.read_u64();
+  auto re = r.read_u64();
+  if (!l || !p || !re) return false;
+  totals.launches = *l;
+  totals.proactive_launches = *p;
+  totals.reactive_launches = *re;
+  auto group_count = r.read_u32();
+  // Supervised targets are construction-time configuration, identical on
+  // every RM replica: a mismatched count means the frame is not for us.
+  if (!group_count || *group_count != groups_.size()) return false;
+  // Decode into scratch groups first — install must be all-or-nothing.
+  std::vector<std::unique_ptr<Group>> scratch;
+  for (const auto& g : groups_) {
+    auto s = std::make_unique<Group>();
+    s->target = g->target;
+    if (!s->registry.decode(r)) return false;
+    if (!read_string_set(r, s->doomed)) return false;
+    auto pending_count = r.read_u32();
+    if (!pending_count) return false;
+    for (std::uint32_t i = 0; i < *pending_count; ++i) {
+      Slot slot;
+      auto inc = r.read_i32();
+      if (!inc) return false;
+      slot.incarnation = *inc;
+      auto host = r.read_string();
+      if (!host) return false;
+      slot.host = std::move(*host);
+      auto proactive = r.read_bool();
+      auto restriped = r.read_bool();
+      if (!proactive || !restriped) return false;
+      slot.proactive = *proactive;
+      slot.restriped = *restriped;
+      s->pending.push_back(std::move(slot));
+    }
+    auto next_inc = r.read_i32();
+    if (!next_inc) return false;
+    s->next_incarnation = *next_inc;
+    auto gl = r.read_u64();
+    auto gp = r.read_u64();
+    auto gr = r.read_u64();
+    if (!gl || !gp || !gr) return false;
+    s->stats.launches = *gl;
+    s->stats.proactive_launches = *gp;
+    s->stats.reactive_launches = *gr;
+    if (!read_string_set(r, s->reserved)) return false;
+    if (!read_string_set(r, s->restoring)) return false;
+    auto version = r.read_u64();
+    if (!version) return false;
+    s->read_set.version = *version;
+    auto primary = r.read_string();
+    if (!primary) return false;
+    s->read_set.primary = std::move(*primary);
+    auto entry_count = r.read_u32();
+    if (!entry_count) return false;
+    for (std::uint32_t i = 0; i < *entry_count; ++i) {
+      Announce e;
+      auto member = r.read_string();
+      if (!member) return false;
+      e.member = std::move(*member);
+      auto host = r.read_string();
+      if (!host) return false;
+      e.endpoint.host = std::move(*host);
+      auto port = r.read_u16();
+      if (!port) return false;
+      e.endpoint.port = *port;
+      auto ior = giop::decode_ior(r);
+      if (!ior) return false;
+      e.ior = std::move(*ior);
+      s->read_set.entries.push_back(std::move(e));
+    }
+    scratch.push_back(std::move(s));
+  }
+  dead_hosts_ = std::move(dead_hosts);
+  totals_ = totals;
+  by_replica_group_.clear();
+  by_control_group_.clear();
+  by_readset_group_.clear();
+  by_ckpt_group_.clear();
+  groups_ = std::move(scratch);
+  for (const auto& g : groups_) {
+    by_replica_group_[replica_group(g->target.service)] = g.get();
+    by_control_group_[control_group(g->target.service)] = g.get();
+    if (g->target.style == ReplicationStyle::kActiveReadFanout) {
+      by_readset_group_[read_set_group(g->target.service)] = g.get();
+    }
+    if (g->target.stateful) {
+      by_ckpt_group_[ckpt_group(g->target.service)] = g.get();
+    }
+  }
+  return true;
 }
 
 RmCore::Actions RmCore::on_node_crash(const std::string& host) {

@@ -62,6 +62,12 @@ struct GroupTarget {
   std::vector<std::string> hosts;
   /// Extra hosts kRestripe may spill onto once `hosts` has no candidate.
   std::vector<std::string> spares;
+
+  /// True for groups whose replicas checkpoint application state
+  /// (core::StateOptions enabled): the RM additionally joins the group's
+  /// ckpt channel and tracks which members are mid-restore, so a
+  /// replacement that announced but is still replaying is visible.
+  bool stateful = false;
 };
 
 /// Per-group (and aggregate) launch decision counts. Derived purely from
@@ -91,6 +97,9 @@ struct GroupView {
   RmStats stats;
   /// Members that announced impending death and are still in view.
   std::vector<std::string> doomed;
+  /// Stateful groups only: members whose checkpoint-restore handshake is
+  /// still open (requested a chain, have not announced yet).
+  std::vector<std::string> restoring;
   /// View + announced endpoints (never null for a supervised group).
   const ReplicaRegistry* registry = nullptr;
   /// Last published read set; null unless the group is kActiveReadFanout.
@@ -111,6 +120,13 @@ struct RmAction {
     /// distinguishes a version-bumping update from a repeat for late
     /// subscribers (no counters or trace for the latter).
     kPublishReadSet,
+    /// This (retired) replica asks the acting one for an RmCore snapshot:
+    /// multicast CkptRequest{self, nonce, 0} on rm_group(). The one action
+    /// a non-acting shell must execute — it is always self-directed.
+    kRequestReadmit,
+    /// Acting only: answer a readmission request by multicasting the
+    /// frozen `snapshot` as kState{version = nonce} on rm_group().
+    kSendRmSnapshot,
   };
 
   Kind kind = Kind::kLaunch;
@@ -130,6 +146,12 @@ struct RmAction {
   /// delta-encoded publication.
   ReadSetDelta read_set_delta;
   bool have_delta = false;
+  /// kPublishReadSet: this republish answers a subscriber's kReadSetNack
+  /// (delta gap) rather than a membership event.
+  bool nack = false;
+  // kRequestReadmit / kSendRmSnapshot
+  std::uint64_t nonce = 0;
+  Bytes snapshot;
 };
 
 class RmCore {
@@ -138,8 +160,11 @@ class RmCore {
 
   /// `self` is this replica's GC member name; `replicated` true means the
   /// shell joined rm_group() and acting status follows its first-in-view
-  /// member (false: a solo manager, always acting).
-  RmCore(std::vector<GroupTarget> targets, std::string self, bool replicated);
+  /// member (false: a solo manager, always acting). `readmit` lets a
+  /// partition-retired core rejoin as a backup by restoring its state from
+  /// the acting replica instead of retiring permanently.
+  RmCore(std::vector<GroupTarget> targets, std::string self, bool replicated,
+         bool readmit = false);
 
   // ---- deterministic inputs ----
   // Every replica must feed the identical sequence; each call returns the
@@ -171,8 +196,12 @@ class RmCore {
   [[nodiscard]] bool acting() const;
   /// A replica that was expelled from rm_group() (partition) and rejoined
   /// has missed ordered messages, so its state may have diverged; it
-  /// retires permanently rather than risk acting on stale state.
+  /// retires rather than risk acting on stale state. With `readmit` it
+  /// requests a snapshot from the acting replica and, once installed,
+  /// un-retires as a converged backup; otherwise retirement is permanent.
   [[nodiscard]] bool retired() const { return retired_; }
+  /// Times a retired core successfully restored acting state and rejoined.
+  [[nodiscard]] std::uint64_t readmissions() const { return readmissions_; }
   [[nodiscard]] const gc::View& rm_view() const { return rm_view_; }
 
   // ---- introspection ----
@@ -220,10 +249,16 @@ class RmCore {
     /// kActiveReadFanout only: the last published serving set. version 0
     /// means nothing has been published yet (clients stay on the primary).
     ReadSet read_set;
+    /// Stateful groups: members with an open restore handshake (saw their
+    /// directed kCkptRequest; cleared by announce or view departure).
+    std::set<std::string> restoring;
   };
 
+  /// The ordinary event application path (on_event minus the readmission
+  /// buffering intercept); drain_readmit_buffer replays through it.
+  void apply_event(const gc::Event& event, Actions& out);
   void handle_view(Group& group, const gc::Event& event, Actions& out);
-  void handle_rm_view(const gc::View& view);
+  void handle_rm_view(const gc::View& view, Actions& out);
   void reconcile(Group& group, bool proactive_trigger, Actions& out);
   /// Recomputes a kActiveReadFanout group's read set; on change bumps the
   /// version and emits a kPublishReadSet action. No-op for warm-passive.
@@ -240,10 +275,28 @@ class RmCore {
   [[nodiscard]] Group* find_group(const std::string& service);
   [[nodiscard]] const Group* find_group(const std::string& service) const;
 
+  // ---- readmission state transfer ----
+  // The snapshot point is the position of our own CkptRequest in the total
+  // order: the acting core encodes its whole state there, and we buffer
+  // every later event instead of applying it to our diverged copy. When
+  // the kState answer lands we install the snapshot and replay the buffer,
+  // which makes the readmitted core exactly convergent.
+  [[nodiscard]] Bytes encode_snapshot() const;
+  [[nodiscard]] bool install_snapshot(const Bytes& snapshot);
+  /// Stops buffering and replays the buffered suffix through apply_event.
+  void drain_readmit_buffer(Actions& out);
+  [[nodiscard]] std::uint64_t next_readmit_nonce();
+
   std::vector<GroupTarget> targets_;
   std::string self_;
   bool replicated_ = false;
   bool retired_ = false;
+  bool readmit_ = false;
+  std::uint64_t readmit_nonce_ = 0;     // nonzero while a request is open
+  bool readmit_anchor_seen_ = false;    // our request passed in the order
+  std::vector<gc::Event> readmit_buffer_;
+  std::uint64_t readmit_seq_ = 0;       // nonce generator
+  std::uint64_t readmissions_ = 0;
   gc::View rm_view_;
   /// Hosts known dead from replicated (or solo-direct) crash observations.
   /// The core deliberately never asks the network, so replicas that saw
@@ -253,6 +306,7 @@ class RmCore {
   std::map<std::string, Group*> by_replica_group_;  // "mead/<svc>/replicas"
   std::map<std::string, Group*> by_control_group_;  // "mead/<svc>/control"
   std::map<std::string, Group*> by_readset_group_;  // "mead/<svc>/readset"
+  std::map<std::string, Group*> by_ckpt_group_;     // "mead/<svc>/ckpt"
   RmStats totals_;
 };
 

@@ -14,6 +14,17 @@ ServerMead::ServerMead(net::ProcessPtr proc, MeadConfig cfg)
       failover_piggybacks_(
           proc_->sim().obs().metrics().counter("server.failover_piggybacks")) {
   gc_ = std::make_unique<gc::GcClient>(*proc_, cfg_.member, cfg_.daemon);
+  if (cfg_.state.enabled) {
+    app_state_ = std::make_unique<state::AppState>(cfg_.state.keys);
+    ckpt_store_ = std::make_unique<state::CheckpointStore>();
+    msg_log_ = std::make_unique<state::MessageLog>(cfg_.state.log_cap);
+    auto& metrics = proc_->sim().obs().metrics();
+    ckpt_bytes_ = &metrics.counter("state.ckpt.bytes");
+    ckpt_deltas_ = &metrics.counter("state.ckpt.deltas");
+    replay_msgs_ = &metrics.counter("state.replay.msgs");
+    restore_ms_ = &metrics.counter("state.restore_ms");
+    digest_mismatches_ = &metrics.counter("state.digest_mismatch");
+  }
 }
 
 ServerMead::~ServerMead() = default;
@@ -25,6 +36,36 @@ sim::Task<bool> ServerMead::start() {
   if (!connected) co_return false;
   (void)co_await gc_->join(replica_group(cfg_.service));
   (void)co_await gc_->join(control_group(cfg_.service));
+  if (cfg_.state.enabled) {
+    // Stateful path: restore from a live peer BEFORE announcing — clients
+    // must never be pointed at a replica whose state is behind the group.
+    (void)co_await gc_->join(ckpt_group(cfg_.service));
+    restoring_ = true;
+    restore_base_seen_ = false;
+    restore_begin_ = proc_->sim().now();
+    await_nonce_ = make_nonce();
+    proc_->sim().obs().emit(obs::EventKind::kRestoreBegin, cfg_.member,
+                            cfg_.service, 0);
+    proc_->sim().spawn(gc_pump());
+    proc_->sim().spawn(restore_watchdog());
+    (void)co_await gc_->multicast(
+        ckpt_group(cfg_.service),
+        encode_ckpt_request(CkptRequest{cfg_.member, await_nonce_, 0}));
+    while (restoring_) {
+      const bool alive = co_await proc_->sleep(microseconds(250));
+      if (!alive) co_return false;
+    }
+    if (self_ior_.valid()) {
+      (void)co_await gc_->multicast(
+          replica_group(cfg_.service),
+          encode_announce(Announce{cfg_.member, orb_endpoint_, self_ior_}));
+    }
+    if (cfg_.state_sync_interval > Duration{0}) {
+      proc_->sim().spawn(state_sync_loop());
+    }
+    proc_->sim().spawn(checkpoint_loop());
+    co_return true;
+  }
   // Announce our reference so every FT manager can forward clients to us.
   if (self_ior_.valid()) {
     (void)co_await gc_->multicast(
@@ -108,10 +149,41 @@ void ServerMead::handle_ctrl(const gc::Event& ev) {
     case CtrlKind::kPrimaryAnswer:
       break;  // only clients consume answers
     case CtrlKind::kReadSet:
+    case CtrlKind::kReadSetDelta:
       break;  // published by the RM for routing clients, not replicas
     case CtrlKind::kNodeCrash:
     case CtrlKind::kLaunchFailed:
       break;  // RM-group-internal frames; never sent to replica groups
+    case CtrlKind::kCkptRequest:
+      // Only the announced primary answers a directed restore request —
+      // a restoring replica is not yet announced, so never first.
+      if (app_state_ && !restoring_ && ctrl->ckpt_request->nonce != 0 &&
+          ctrl->ckpt_request->member != cfg_.member &&
+          registry_.is_first(cfg_.member)) {
+        proc_->sim().spawn(answer_restore(ctrl->ckpt_request->member,
+                                          ctrl->ckpt_request->nonce));
+      }
+      break;
+    case CtrlKind::kCkptDelta:
+      if (app_state_ && ctrl->ckpt_delta->member != cfg_.member) {
+        handle_ckpt_delta(*ctrl->ckpt_delta);
+      }
+      break;
+    case CtrlKind::kLogReplay:
+      if (app_state_ && ctrl->log_replay->nonce != 0 &&
+          ctrl->log_replay->nonce == await_nonce_) {
+        if (restoring_) {
+          const std::int64_t replayed = state::MessageLog::replay(
+              ctrl->log_replay->entries, ctrl->log_replay->digest,
+              *app_state_);
+          proc_->sim().spawn(finish_replay(replayed));
+        } else {
+          await_nonce_ = 0;  // live-mirror resync stream complete
+        }
+      }
+      break;
+    case CtrlKind::kReadSetNack:
+      break;  // the Recovery Manager answers read-set gap reports
   }
 }
 
@@ -147,6 +219,190 @@ sim::Task<void> ServerMead::state_sync_loop() {
     (void)co_await gc_->multicast(
         replica_group(cfg_.service),
         encode_state(StateTransfer{cfg_.member, state_version_, get_state_()}));
+  }
+}
+
+// ---------------------------------------- stateful recovery pipeline
+
+std::uint64_t ServerMead::make_nonce() {
+  // FNV-1a of the member name mixed with a local counter: unique across
+  // requesters and across retries, deterministic per run.
+  std::uint64_t h = 1469598103934665603ULL;
+  for (char ch : cfg_.member) {
+    h ^= static_cast<std::uint8_t>(ch);
+    h *= 1099511628211ULL;
+  }
+  const std::uint64_t n = state::mix64(h ^ ++next_nonce_);
+  return n == 0 ? 1 : n;
+}
+
+Bytes ServerMead::ckpt_wire(const state::Checkpoint& c,
+                            std::uint64_t nonce) const {
+  CkptDelta d;
+  d.member = cfg_.member;
+  d.nonce = nonce;
+  d.epoch = c.epoch;
+  d.base_epoch = c.base_epoch;
+  d.is_base = c.is_base;
+  d.applied = c.applied;
+  d.prev_digest = c.prev_digest;
+  d.digest = c.digest;
+  d.value_pad = cfg_.state.value_pad;
+  d.entries = c.entries;
+  return encode_ckpt_delta(d);
+}
+
+sim::Task<void> ServerMead::checkpoint_loop() {
+  for (;;) {
+    const bool alive = co_await proc_->sleep(cfg_.state.checkpoint_interval);
+    if (!alive) co_return;
+    if (restoring_ || !registry_.is_first(cfg_.member)) continue;
+    if (ckpt_store_->has_base() &&
+        app_state_->applied() == ckpt_store_->applied()) {
+      continue;  // no new ops since the last checkpoint
+    }
+    co_await push_checkpoint();
+  }
+}
+
+sim::Task<void> ServerMead::push_checkpoint() {
+  if (app_state_ == nullptr || restoring_ || ckpt_push_pending_) co_return;
+  ckpt_push_pending_ = true;
+  const state::Checkpoint& c = ckpt_store_->take(*app_state_);
+  // Truncation contract: the log only ever covers ops newer than the
+  // latest checkpoint.
+  msg_log_->truncate_through(c.applied);
+  ++stats_.ckpt_taken;
+  ckpt_deltas_->add();
+  Bytes frame = ckpt_wire(c, 0);
+  ckpt_bytes_->add(frame.size());
+  proc_->sim().obs().emit(obs::EventKind::kCkptTaken, cfg_.member,
+                          c.is_base ? "base" : "delta",
+                          static_cast<double>(c.epoch));
+  (void)co_await gc_->multicast(ckpt_group(cfg_.service), std::move(frame));
+  ckpt_push_pending_ = false;
+}
+
+sim::Task<void> ServerMead::restore_watchdog() {
+  bool alive = co_await proc_->sleep(cfg_.state.restore_grace);
+  if (!alive || !restoring_) co_return;
+  if (!restore_base_seen_) {
+    // No live peer sent a base within the grace window: we are the first
+    // replica of a cold group — start fresh (not counted as a restore).
+    finish_restore(/*restored=*/false, 0);
+    co_return;
+  }
+  alive = co_await proc_->sleep(cfg_.state.restore_deadline);
+  if (!alive || !restoring_) co_return;
+  // Hard deadline: the installed prefix is still consistent (every applied
+  // checkpoint chained), so announce with what we have.
+  finish_restore(/*restored=*/true,
+                 static_cast<double>(app_state_->applied()));
+}
+
+void ServerMead::finish_restore(bool restored, double ops) {
+  if (!restoring_) return;
+  restoring_ = false;
+  await_nonce_ = 0;
+  const double ms = (proc_->sim().now() - restore_begin_).ms();
+  stats_.last_restore_ms = ms;
+  if (restored) {
+    ++stats_.restores;
+    restore_ms_->add(static_cast<std::uint64_t>(ms + 0.5));
+  }
+  proc_->sim().obs().emit(obs::EventKind::kRestoreEnd, cfg_.member,
+                          restored ? "restored" : "fresh", ops);
+}
+
+sim::Task<void> ServerMead::finish_replay(std::int64_t replayed) {
+  const std::int64_t n = replayed < 0 ? 0 : replayed;
+  if (n > 0) {
+    // Replay costs virtual CPU per op — the checkpoint-interval axis of
+    // the restore-time bench.
+    const bool alive =
+        co_await proc_->sleep(cfg_.state.replay_op_cost * n);
+    if (!alive) co_return;
+  }
+  if (!restoring_) co_return;  // the watchdog deadline fired first
+  if (replayed < 0) digest_mismatches_->add();
+  stats_.replayed_msgs += static_cast<std::uint64_t>(n);
+  replay_msgs_->add(static_cast<std::uint64_t>(n));
+  finish_restore(/*restored=*/true,
+                 static_cast<double>(app_state_->applied()));
+}
+
+sim::Task<void> ServerMead::answer_restore(std::string requester,
+                                           std::uint64_t nonce) {
+  if (app_state_ == nullptr) co_return;
+  LogLine(proc_->sim().log(), LogLevel::kDebug, "mead")
+      << cfg_.member << " answering restore for " << requester;
+  if (!ckpt_store_->has_base()) co_await push_checkpoint();
+  // Copy the chain: the store may rebase underneath the multicasts.
+  const std::vector<state::Checkpoint> chain(ckpt_store_->chain().begin(),
+                                             ckpt_store_->chain().end());
+  for (const auto& c : chain) {
+    Bytes frame = ckpt_wire(c, nonce);
+    ckpt_bytes_->add(frame.size());
+    (void)co_await gc_->multicast(ckpt_group(cfg_.service), std::move(frame));
+  }
+  LogReplay lr;
+  lr.member = cfg_.member;
+  lr.nonce = nonce;
+  lr.applied = app_state_->applied();
+  lr.digest = app_state_->digest();
+  lr.entries = msg_log_->entries();
+  (void)co_await gc_->multicast(ckpt_group(cfg_.service),
+                                encode_log_replay(lr));
+}
+
+sim::Task<void> ServerMead::request_resync() {
+  // A live mirror fell off the delta chain (dropped frame under a
+  // partition, or joined after the base): ask for a directed re-send.
+  if (await_nonce_ != 0 || restoring_) co_return;
+  await_nonce_ = make_nonce();
+  (void)co_await gc_->multicast(
+      ckpt_group(cfg_.service),
+      encode_ckpt_request(CkptRequest{cfg_.member, await_nonce_,
+                                      ckpt_store_->last_epoch()}));
+}
+
+void ServerMead::handle_ckpt_delta(const CkptDelta& d) {
+  state::Checkpoint c;
+  c.epoch = d.epoch;
+  c.base_epoch = d.base_epoch;
+  c.is_base = d.is_base;
+  c.applied = d.applied;
+  c.prev_digest = d.prev_digest;
+  c.digest = d.digest;
+  c.entries = d.entries;
+  if (restoring_) {
+    // Only the directed stream we asked for; periodic pushes would
+    // interleave mid-chain and always gap.
+    if (d.nonce == 0 || d.nonce != await_nonce_) return;
+    if (ckpt_store_->apply(c, *app_state_) ==
+        state::CheckpointStore::Apply::kApplied) {
+      ++stats_.ckpt_applied;
+      if (c.is_base) restore_base_seen_ = true;
+    }
+    return;
+  }
+  if (d.nonce != 0 && d.nonce != await_nonce_) return;
+  if (registry_.is_first(cfg_.member)) return;  // the primary is the source
+  switch (ckpt_store_->apply(c, *app_state_)) {
+    case state::CheckpointStore::Apply::kApplied:
+      ++stats_.ckpt_applied;
+      break;
+    case state::CheckpointStore::Apply::kStale:
+      break;
+    case state::CheckpointStore::Apply::kGap:
+      if (d.nonce == 0) proc_->sim().spawn(request_resync());
+      break;
+    case state::CheckpointStore::Apply::kDigestMismatch:
+      // Cross-verification failed: our mirror diverged — resync from the
+      // authoritative chain.
+      digest_mismatches_->add();
+      if (d.nonce == 0) proc_->sim().spawn(request_resync());
+      break;
   }
 }
 
@@ -341,6 +597,12 @@ sim::Task<net::Result<std::size_t>> ServerMead::writev(int fd, Bytes data) {
     // overhead), not just during migration.
     const bool alive = co_await proc_->sleep(cfg_.costs.mead_piggyback);
     if (!alive) co_return make_unexpected(net::NetErr::kProcessDead);
+  }
+  if (app_state_ && !restoring_ && registry_.is_first(cfg_.member)) {
+    // Every served reply mutates the keyed accumulator; the log covers
+    // the suffix since the last checkpoint and bounds it via log_cap.
+    msg_log_->append(app_state_->apply_next());
+    if (msg_log_->full()) proc_->sim().spawn(push_checkpoint());
   }
   ++stats_.replies_passed;
   auto wrote = co_await inner_.writev(fd, std::move(data));

@@ -35,6 +35,10 @@
 #include "giop/messages.h"
 #include "net/network.h"
 #include "net/socket_api.h"
+#include "obs/metrics.h"
+#include "state/app_state.h"
+#include "state/checkpoint.h"
+#include "state/message_log.h"
 
 namespace mead::core {
 
@@ -77,6 +81,12 @@ class ServerMead final : public net::SocketApi {
   [[nodiscard]] bool launch_requested() const { return launch_requested_; }
   [[nodiscard]] const MeadConfig& config() const { return cfg_; }
   [[nodiscard]] net::Endpoint orb_endpoint() const { return orb_endpoint_; }
+  /// Stateful-service store (null when cfg.state.enabled is false).
+  [[nodiscard]] const state::AppState* app_state() const {
+    return app_state_.get();
+  }
+  /// True while the restore handshake gates this replica's announce.
+  [[nodiscard]] bool restoring() const { return restoring_; }
 
   struct Stats {
     std::uint64_t requests_seen = 0;
@@ -87,6 +97,12 @@ class ServerMead final : public net::SocketApi {
     std::uint64_t primary_answers = 0;
     std::uint64_t state_pushes = 0;
     std::uint64_t state_applied = 0;
+    // ---- stateful-service (cfg.state.enabled) ----
+    std::uint64_t ckpt_taken = 0;      // checkpoints this primary took
+    std::uint64_t ckpt_applied = 0;    // checkpoints mirrored from a peer
+    std::uint64_t replayed_msgs = 0;   // log entries replayed on restore
+    std::uint64_t restores = 0;        // completed peer restores (not fresh)
+    double last_restore_ms = 0;        // duration of the latest restore
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
@@ -123,6 +139,18 @@ class ServerMead final : public net::SocketApi {
   sim::Task<void> rejuvenate_after_drain();
   sim::Task<void> gc_pump();
   sim::Task<void> state_sync_loop();
+  // ---- stateful-service recovery pipeline ----
+  sim::Task<void> checkpoint_loop();
+  sim::Task<void> push_checkpoint();
+  sim::Task<void> restore_watchdog();
+  sim::Task<void> answer_restore(std::string requester, std::uint64_t nonce);
+  sim::Task<void> request_resync();
+  sim::Task<void> finish_replay(std::int64_t replayed);
+  void finish_restore(bool restored, double ops);
+  void handle_ckpt_delta(const CkptDelta& d);
+  [[nodiscard]] Bytes ckpt_wire(const state::Checkpoint& c,
+                                std::uint64_t nonce) const;
+  [[nodiscard]] std::uint64_t make_nonce();
   void handle_ctrl(const gc::Event& ev);
   sim::Task<void> answer_primary_query(std::string reply_group,
                                        std::uint64_t nonce);
@@ -167,6 +195,25 @@ class ServerMead final : public net::SocketApi {
   bool migrating_ = false;
   std::optional<ReplicaRegistry::Record> migrate_target_;
   std::uint64_t state_version_ = 0;
+
+  // ---- stateful-service recovery pipeline (null/inert unless
+  // cfg.state.enabled; counters resolved lazily so the default metric
+  // set is untouched) ----
+  std::unique_ptr<state::AppState> app_state_;
+  std::unique_ptr<state::CheckpointStore> ckpt_store_;
+  std::unique_ptr<state::MessageLog> msg_log_;
+  bool restoring_ = false;
+  bool restore_base_seen_ = false;
+  bool ckpt_push_pending_ = false;
+  std::uint64_t await_nonce_ = 0;  // directed restore/resync in flight
+  TimePoint restore_begin_;
+  std::uint64_t next_nonce_ = 0;
+  obs::Counter* ckpt_bytes_ = nullptr;
+  obs::Counter* ckpt_deltas_ = nullptr;
+  obs::Counter* replay_msgs_ = nullptr;
+  obs::Counter* restore_ms_ = nullptr;
+  obs::Counter* digest_mismatches_ = nullptr;
+
   Stats stats_;
 };
 

@@ -702,6 +702,7 @@ void GcDaemon::handle_peer_gone(std::uint64_t peer_id, int fd) {
   const bool sequencer_died = (sequencer_id() == peer_id);
   alive_daemons_.erase(peer_id);
   dead_daemons_.insert(peer_id);
+  pending_merge_.erase(peer_id);
   peer_fds_.erase(peer_id);
   peer_last_seen_.erase(peer_id);
 
@@ -845,6 +846,12 @@ sim::Task<void> GcDaemon::rejoin_probe_loop() {
 }
 
 void GcDaemon::resurrect_peer(std::uint64_t peer_id, int fd) {
+  // A dead peer coming back is the other side of a partition: its group
+  // state belongs to a foreign sequencing domain until arbitration picks a
+  // winner. Keep it out of the island stats so the pending merge can't
+  // inflate our side of that arbitration. (A missing-link peer was already
+  // merged — only the link was absent — so it stays counted.)
+  if (dead_daemons_.contains(peer_id)) pending_merge_.insert(peer_id);
   dead_daemons_.erase(peer_id);
   alive_daemons_.insert(peer_id);
   peer_fds_[peer_id] = fd;
@@ -852,13 +859,28 @@ void GcDaemon::resurrect_peer(std::uint64_t peer_id, int fd) {
   on_peer_link_up();
 }
 
+std::uint64_t GcDaemon::island_count() const {
+  std::uint64_t n = 0;
+  for (std::uint64_t id : alive_daemons_) {
+    if (!pending_merge_.contains(id)) ++n;
+  }
+  return n;
+}
+
+std::uint64_t GcDaemon::island_sequencer() const {
+  for (std::uint64_t id : alive_daemons_) {  // ordered set: lowest first
+    if (!pending_merge_.contains(id)) return id;
+  }
+  return cfg_.self_index;
+}
+
 void GcDaemon::send_rejoin(int fd) {
   auto it = conns_.find(fd);
   if (it == conns_.end() || it->second.rejoin_sent) return;
   it->second.rejoin_sent = true;
   direct_send(fd, encode_rejoin(RejoinMsg{cfg_.self_index, next_seq_,
-                                          alive_daemons_.size(),
-                                          sequencer_id()}));
+                                          island_count(),
+                                          island_sequencer()}));
 }
 
 void GcDaemon::bump_seq_past(std::uint64_t foreign_next_seq) {
@@ -882,14 +904,19 @@ void GcDaemon::handle_rejoin(int fd, const RejoinMsg& m) {
     return;
   }
   if (dead_daemons_.contains(m.daemon_id)) resurrect_peer(m.daemon_id, fd);
-  // Arbitration: the side with the larger alive set is authoritative; ties
-  // go to the side whose sequencer has the lower id. The loser adopts the
-  // winner's group state and resubmits its local clients on top.
-  const std::uint64_t my_count = alive_daemons_.size();
+  // Arbitration: the side with the larger island is authoritative; ties go
+  // to the side whose sequencer has the lower id. The loser adopts the
+  // winner's group state and resubmits its local clients on top. Compare
+  // pre-merge island stats, not the raw alive set — the sender is already
+  // resurrected on our side (and we on theirs), and counting the unmerged
+  // arrivals would let both sides claim the majority.
+  const std::uint64_t my_count = island_count();
   const bool authority = my_count != m.alive_count
                              ? my_count > m.alive_count
-                             : sequencer_id() <= m.sequencer_id;
+                             : island_sequencer() <= m.sequencer_id;
   if (authority) {
+    // The rejoiner's island merges into our domain.
+    pending_merge_.erase(m.daemon_id);
     if (cfg_.plane.shard_sequencers) {
       // Every daemon stamps in sharded mode: bump ourselves and beacon the
       // bumped frontier so the rest of our island ratchets too (the
@@ -953,6 +980,9 @@ void GcDaemon::adopt_alive_set(const std::vector<std::uint64_t>& alive,
   bool changed = false;
   for (std::uint64_t a : alive) {
     if (a == cfg_.self_index) continue;
+    // The sender vouches these daemons are merged into the domain we now
+    // share with it, so they stop being pending arrivals.
+    pending_merge_.erase(a);
     dead_daemons_.erase(a);
     if (alive_daemons_.insert(a).second) changed = true;
     if (!peer_fds_.contains(a) && missing_links_.insert(a).second) {

@@ -199,6 +199,14 @@ class GcDaemon {
   /// chains converge island by island. `source_fd` is excluded from the
   /// re-gossip (or -1 for none).
   void adopt_alive_set(const std::vector<std::uint64_t>& alive, int source_fd);
+  /// Pre-merge island stats for rejoin arbitration: the alive set minus
+  /// peers resurrected on a healed link but not yet merged into our
+  /// sequencing domain. Arbitrating with the raw alive set is wrong — both
+  /// sides of a heal resurrect each other before either wins, so both
+  /// would claim the merged count (and the merged sequencer id), and the
+  /// minority island could beat the majority on a racing link.
+  [[nodiscard]] std::uint64_t island_count() const;
+  [[nodiscard]] std::uint64_t island_sequencer() const;
   [[nodiscard]] StateSyncMsg snapshot_state() const;
   /// Keeps our stamps above a foreign sequence domain (the takeover jump).
   void bump_seq_past(std::uint64_t foreign_next_seq);
@@ -253,6 +261,11 @@ class GcDaemon {
   std::map<std::string, int> client_fds_;
   std::set<std::uint64_t> alive_daemons_;  // presumed alive until EOF
   std::set<std::uint64_t> dead_daemons_;
+  /// Resurrected on a healed link, but the rejoin arbitration with their
+  /// island has not settled yet: excluded from island_count() /
+  /// island_sequencer(). Cleared when we state-sync them (they joined our
+  /// domain) or when an authority's alive set reports them merged.
+  std::set<std::uint64_t> pending_merge_;
   std::set<std::uint64_t> unreachable_peers_;  // probe refused: truly crashed
   /// Alive (per the authority's state sync) but unlinked: the partial-heal
   /// regime. Probed like dead peers; pruned as links come up.

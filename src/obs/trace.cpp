@@ -32,6 +32,9 @@ std::string_view to_string(EventKind k) {
     case EventKind::kRouteSwitch: return "route_switch";
     case EventKind::kRmFailover: return "rm_failover";
     case EventKind::kGcBatchFlush: return "gc_batch_flush";
+    case EventKind::kCkptTaken: return "ckpt_taken";
+    case EventKind::kRestoreBegin: return "restore_begin";
+    case EventKind::kRestoreEnd: return "restore_end";
   }
   return "?";
 }
@@ -39,7 +42,7 @@ std::string_view to_string(EventKind k) {
 namespace {
 
 EventKind kind_from_string(std::string_view s) {
-  for (int i = 0; i <= static_cast<int>(EventKind::kGcBatchFlush); ++i) {
+  for (int i = 0; i <= static_cast<int>(EventKind::kRestoreEnd); ++i) {
     const auto k = static_cast<EventKind>(i);
     if (to_string(k) == s) return k;
   }

@@ -43,6 +43,9 @@ enum class EventKind : std::uint8_t {
   kRouteSwitch,        // routing client re-pointed its stub at a replica
   kRmFailover,         // a backup Recovery Manager became first-in-view
   kGcBatchFlush,       // daemon flushed a coalesced FrameBatch (value = n)
+  kCkptTaken,          // stateful primary took a checkpoint (value = epoch)
+  kRestoreBegin,       // stateful replica started its restore handshake
+  kRestoreEnd,         // restore finished (value = restored ops)
 };
 
 [[nodiscard]] std::string_view to_string(EventKind k);

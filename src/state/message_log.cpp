@@ -1,0 +1,29 @@
+#include "state/message_log.h"
+
+#include <algorithm>
+
+namespace mead::state {
+
+void MessageLog::truncate_through(std::uint64_t applied) {
+  seqs_.erase(seqs_.begin(),
+              std::find_if(seqs_.begin(), seqs_.end(),
+                           [applied](std::uint64_t s) {
+                             return s > applied;
+                           }));
+}
+
+std::int64_t MessageLog::replay(const std::vector<std::uint64_t>& seqs,
+                                std::uint64_t expected_digest,
+                                AppState& s) {
+  std::int64_t replayed = 0;
+  for (std::uint64_t seq : seqs) {
+    if (seq <= s.applied()) continue;  // checkpoint already covers it
+    if (seq != s.applied() + 1) return -1;
+    s.apply_next();
+    ++replayed;
+  }
+  if (s.digest() != expected_digest) return -1;
+  return replayed;
+}
+
+}  // namespace mead::state

@@ -1,0 +1,48 @@
+// Message log for replay-on-failover (the CORBA bank-server report,
+// PAPERS.md): the primary records every applied request sequence since
+// the last checkpoint epoch; a restoring replica first installs
+// base+deltas (CheckpointStore), then replays the logged suffix to
+// reach the primary's exact progress. The log is truncated whenever a
+// checkpoint is taken — its only job is to cover the window between
+// the last checkpoint and "now".
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "state/app_state.h"
+
+namespace mead::state {
+
+class MessageLog {
+ public:
+  explicit MessageLog(std::uint32_t cap) : cap_(cap == 0 ? 1 : cap) {}
+
+  [[nodiscard]] std::uint32_t cap() const { return cap_; }
+  [[nodiscard]] std::size_t size() const { return seqs_.size(); }
+  [[nodiscard]] bool empty() const { return seqs_.empty(); }
+  /// True when the log hit its cap — the primary must checkpoint now
+  /// (the truncation contract: the log never outgrows cap).
+  [[nodiscard]] bool full() const { return seqs_.size() >= cap_; }
+
+  void append(std::uint64_t seq) { seqs_.push_back(seq); }
+
+  /// Drop every entry <= `applied` (checkpoint taken at that watermark).
+  void truncate_through(std::uint64_t applied);
+
+  [[nodiscard]] const std::vector<std::uint64_t>& entries() const {
+    return seqs_;
+  }
+
+  /// Replays `seqs` onto `s` (each must be exactly s.applied()+1) and
+  /// verifies the final digest. Returns the number of ops replayed, or
+  /// -1 on a sequence hole / digest mismatch (state then unreliable).
+  static std::int64_t replay(const std::vector<std::uint64_t>& seqs,
+                             std::uint64_t expected_digest, AppState& s);
+
+ private:
+  std::uint32_t cap_;
+  std::vector<std::uint64_t> seqs_;
+};
+
+}  // namespace mead::state

@@ -47,6 +47,14 @@ ExperimentSpec soak_spec(std::uint64_t seed) {
     s.replica_count = 2;
     s.inject_leak = (g % 2 == 0);
     s.placement = core::PlacementPolicy::kRestripe;
+    // Every group is stateful, so each crash/partition/relaunch the
+    // schedule throws also exercises the checkpoint + replay pipeline and
+    // the digest invariant below can catch any corruption it introduces.
+    s.state.enabled = true;
+    s.state.keys = 64;
+    s.state.value_pad = 16;
+    s.state.checkpoint_interval = milliseconds(20);
+    s.state.log_cap = 64;
     spec.groups.push_back(std::move(s));
   }
 
@@ -66,10 +74,11 @@ ExperimentSpec soak_spec(std::uint64_t seed) {
     crashed.insert(host);
     spec.chaos.crash_node(milliseconds(rng.uniform_int(50, 450)), host);
   }
-  // Partitions are skipped on RM-failover seeds: an RM replica expelled by
-  // a partition retires permanently (DESIGN.md §8), and a schedule that can
-  // retire every manager would legitimately stop recovery — defeating the
-  // no-lost-group invariant this suite checks.
+  // Partitions are skipped on RM-failover seeds: by default an RM replica
+  // expelled by a partition retires permanently (DESIGN.md §8 — the
+  // RmSpec::readmit state transfer is the opt-in way back), and a schedule
+  // that can retire every manager would legitimately stop recovery —
+  // defeating the no-lost-group invariant this suite checks.
   const auto n_partitions = rng.uniform_int(0, 2);
   if (!rm_failover_seed) {
     for (std::int64_t i = 0; i < n_partitions; ++i) {
@@ -117,7 +126,9 @@ std::string fingerprint(const ExperimentResult& r) {
   for (const auto& g : r.group_results) {
     os << ';' << g.service << ':' << g.server_failures << ',' << g.launches
        << ',' << g.proactive_launches << ',' << g.reactive_launches << ','
-       << g.invocations_completed << ',' << g.client_exceptions;
+       << g.invocations_completed << ',' << g.client_exceptions << ','
+       << g.state_applied << ',' << g.state_restores << ','
+       << (g.state_ok ? 1 : 0);
   }
   return os.str();
 }
@@ -190,6 +201,11 @@ TEST(ChaosSoakTest, RandomSchedulesHoldInvariants) {
           EXPECT_TRUE(net.node_alive(rep->endpoint().host)) << rep->member();
         }
       }
+      // State integrity: every surviving replica's AppState digest matches
+      // the deterministic expectation for its own applied-op count — the
+      // checkpoint / delta / log-replay pipeline lost, duplicated, or
+      // reordered nothing, no matter which faults hit the group.
+      EXPECT_TRUE(r.group_results[i].state_ok) << g->service();
     }
     if (victim_was_acting) {
       EXPECT_GE(r.rm_failovers, 1u) << "acting RM crashed but no backup promoted";

@@ -184,6 +184,45 @@ TEST(RoutingTest, DeltaReadSetsMatchFullPublicationBehavior) {
   EXPECT_EQ(dr.total_invocations(), 3 * 600u);
 }
 
+TEST(RoutingTest, DroppedDeltaGapTriggersNackAndFullRepublish) {
+  // Isolate the client host for a window SHORTER than the GC dead interval
+  // (3 heartbeats = 1.5 s): no daemon is expelled, so no membership change
+  // ever republishes the full set on the subscriber's behalf — the delta
+  // the RM publishes for the mid-window read-replica crash is simply lost.
+  // The first delta that reaches the healed subscriber chains past the
+  // hole; it must detect the gap, nack, and resynchronize from the RM's
+  // full republication rather than wait for an unbounded-later view change.
+  ExperimentSpec spec = fanout_spec(1, orb::RoutingPolicy::kRoundRobin);
+  spec.invocations = 800;
+  spec.invoke_timeout = milliseconds(25);  // isolation never delivers EOF
+  spec.rm.delta_read_sets = true;
+  spec.chaos.partition(milliseconds(150), "node4");   // the client host
+  spec.chaos.crash_node(milliseconds(200), "node3");  // delta the client misses
+  spec.chaos.heal(milliseconds(400), "node4");
+  spec.chaos.crash_process(milliseconds(600), kServiceName);  // post-heal churn
+
+  Experiment exp(spec);
+  ASSERT_TRUE(exp.start());
+  exp.launch_client();
+  exp.run_to_completion();
+  exp.sim().run_for(milliseconds(500));  // let the nack round-trip settle
+  const ExperimentResult r = exp.collect();
+
+  // Deltas flowed, at least one vanished into the partition, the
+  // subscriber nacked the detected hole (once), and the RM answered it
+  // with the full current set.
+  const auto& m = exp.obs().metrics();
+  EXPECT_GT(m.counter_value("rm.readset.deltas"), 0u);
+  EXPECT_GE(m.counter_value("readset.gaps"), 1u);
+  EXPECT_GE(m.counter_value("readset.nacks"), 1u);
+  EXPECT_GE(m.counter_value("rm.readset.nacks"), 1u);
+  // Routing resynchronized: the client finished its whole workload across
+  // both crashes and the isolation window.
+  ASSERT_EQ(r.client_results.size(), 1u);
+  EXPECT_EQ(r.client_results[0].invocations_completed, 800u);
+  EXPECT_GE(r.server_failures, 2u);
+}
+
 TEST(RoutingTest, StickyPinsUntilFailover) {
   // Sticky routing pins each client to one read replica: far fewer route
   // switches than round-robin under the identical workload.

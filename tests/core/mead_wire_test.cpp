@@ -187,5 +187,110 @@ TEST(CtrlMsgTest, RejectsTruncatedReadSetDelta) {
   }
 }
 
+TEST(CtrlMsgTest, CkptDeltaRoundTrip) {
+  CkptDelta c;
+  c.member = "replica/2";
+  c.nonce = 0;  // periodic push
+  c.epoch = 7;
+  c.base_epoch = 5;
+  c.is_base = false;
+  c.applied = 420;
+  c.prev_digest = 0xDEADBEEFull;
+  c.digest = 0xFEEDFACEull;
+  c.value_pad = 32;
+  c.entries = {{3, 111}, {9, 222}, {14, 333}};
+  auto msg = decode_ctrl(encode_ckpt_delta(c));
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->kind, CtrlKind::kCkptDelta);
+  ASSERT_TRUE(msg->ckpt_delta.has_value());
+  EXPECT_EQ(*msg->ckpt_delta, c);
+}
+
+TEST(CtrlMsgTest, CkptBaseWithNonceRoundTrip) {
+  // A directed base snapshot answering a restore request.
+  CkptDelta c;
+  c.member = "replica/1";
+  c.nonce = 0x1234ABCDull;
+  c.epoch = 5;
+  c.base_epoch = 5;
+  c.is_base = true;
+  c.applied = 400;
+  c.digest = 42;
+  c.entries = {{0, 1}, {1, 2}};
+  auto msg = decode_ctrl(encode_ckpt_delta(c));
+  ASSERT_TRUE(msg.has_value());
+  ASSERT_TRUE(msg->ckpt_delta.has_value());
+  EXPECT_TRUE(msg->ckpt_delta->is_base);
+  EXPECT_EQ(msg->ckpt_delta->nonce, c.nonce);
+  EXPECT_EQ(*msg->ckpt_delta, c);
+}
+
+TEST(CtrlMsgTest, CkptRequestRoundTrip) {
+  const CkptRequest req{"replica/4", 0xFACEull, 6};
+  auto msg = decode_ctrl(encode_ckpt_request(req));
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->kind, CtrlKind::kCkptRequest);
+  ASSERT_TRUE(msg->ckpt_request.has_value());
+  EXPECT_EQ(*msg->ckpt_request, req);
+}
+
+TEST(CtrlMsgTest, LogReplayRoundTrip) {
+  LogReplay lr;
+  lr.member = "replica/1";
+  lr.nonce = 99;
+  lr.applied = 450;
+  lr.digest = 0xABCDull;
+  lr.entries = {441, 442, 443, 444, 445, 446, 447, 448, 449, 450};
+  auto msg = decode_ctrl(encode_log_replay(lr));
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->kind, CtrlKind::kLogReplay);
+  ASSERT_TRUE(msg->log_replay.has_value());
+  EXPECT_EQ(*msg->log_replay, lr);
+}
+
+TEST(CtrlMsgTest, EmptyLogReplayRoundTrip) {
+  // A primary whose log is empty (checkpoint just truncated it) still
+  // closes the handshake with an empty suffix.
+  LogReplay lr;
+  lr.member = "replica/1";
+  lr.nonce = 7;
+  lr.applied = 100;
+  lr.digest = 11;
+  auto msg = decode_ctrl(encode_log_replay(lr));
+  ASSERT_TRUE(msg.has_value());
+  ASSERT_TRUE(msg->log_replay.has_value());
+  EXPECT_TRUE(msg->log_replay->entries.empty());
+  EXPECT_EQ(*msg->log_replay, lr);
+}
+
+TEST(CtrlMsgTest, ReadSetNackRoundTrip) {
+  const ReadSetNack nack{"SvcB", 17};
+  auto msg = decode_ctrl(encode_read_set_nack(nack));
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->kind, CtrlKind::kReadSetNack);
+  ASSERT_TRUE(msg->read_set_nack.has_value());
+  EXPECT_EQ(*msg->read_set_nack, nack);
+}
+
+TEST(CtrlMsgTest, RejectsTruncatedStateFrames) {
+  CkptDelta c;
+  c.member = "replica/2";
+  c.epoch = 1;
+  c.base_epoch = 1;
+  c.is_base = true;
+  c.entries = {{0, 5}, {1, 6}};
+  LogReplay lr;
+  lr.member = "replica/1";
+  lr.entries = {1, 2, 3};
+  for (const Bytes& frame :
+       {encode_ckpt_delta(c), encode_ckpt_request(CkptRequest{"r", 1, 0}),
+        encode_log_replay(lr), encode_read_set_nack(ReadSetNack{"s", 2})}) {
+    for (std::size_t cut : {std::size_t{1}, frame.size() / 2}) {
+      Bytes t(frame.begin(), frame.end() - static_cast<std::ptrdiff_t>(cut));
+      EXPECT_FALSE(decode_ctrl(t).has_value()) << "cut=" << cut;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace mead::core

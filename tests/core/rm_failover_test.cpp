@@ -65,7 +65,8 @@ class RmFailoverWorld : public ::testing::Test {
   /// Boots `n` self-supervised RM replicas on node1..nodeN, all sharing an
   /// idempotent factory (dedupes by service + incarnation, like the real
   /// ServiceGroup::spawn_replica).
-  void make_rms(std::size_t n, Duration launch_delay = milliseconds(2)) {
+  void make_rms(std::size_t n, Duration launch_delay = milliseconds(2),
+                bool readmit = false) {
     for (std::size_t i = 0; i < n; ++i) {
       RecoveryManagerConfig cfg;
       cfg.member = rm_member_name(i);
@@ -73,6 +74,7 @@ class RmFailoverWorld : public ::testing::Test {
       cfg.groups = {GroupTarget{"TimeOfDay", 3}};
       cfg.launch_delay = launch_delay;
       cfg.self_supervise = true;
+      cfg.readmit_retired = readmit;
       rm_procs_.push_back(net_.spawn_process(hosts_[i], cfg.member));
       rms_.push_back(std::make_unique<RecoveryManager>(
           rm_procs_.back(), cfg,
@@ -111,6 +113,14 @@ class RmFailoverWorld : public ::testing::Test {
       if (r.proc->alive()) ++n;
     }
     return n;
+  }
+
+  /// Cuts (or restores) every link between hosts_[idx] and the rest of the
+  /// cluster, leaving the node's own daemon and processes running.
+  void set_host_partitioned(std::size_t idx, bool on) {
+    for (std::size_t j = 0; j < hosts_.size(); ++j) {
+      if (j != idx) net_.set_link_partitioned(hosts_[idx], hosts_[j], on);
+    }
   }
 
   sim::Simulator sim_;
@@ -267,6 +277,83 @@ TEST_F(RmFailoverWorld, CascadedRmCrashesFallThroughToLastReplica) {
   EXPECT_EQ(live_fakes(), 3u);
   // Two managers died; every deficit was filled exactly once.
   EXPECT_EQ(replicas_.size(), 5u);
+}
+
+TEST_F(RmFailoverWorld, PartitionedRmStaysRetiredByDefault) {
+  make_rms(3);
+  ASSERT_EQ(replicas_.size(), 3u);
+  // Cut rm/1's node off long enough for the majority's daemons to declare
+  // it dead (3 missed 500 ms heartbeats), then heal. It rejoins the RM
+  // view at the tail, having missed ordered messages: retired for good.
+  set_host_partitioned(1, true);
+  sim_.run_for(milliseconds(3000));
+  set_host_partitioned(1, false);
+  sim_.run_for(milliseconds(3000));
+  EXPECT_TRUE(rms_[1]->retired());
+  EXPECT_FALSE(rms_[1]->acting());
+  EXPECT_EQ(rms_[1]->readmissions(), 0u);
+  // The majority side kept an acting manager throughout.
+  const std::size_t acting = acting_index();
+  ASSERT_LT(acting, rms_.size());
+  EXPECT_NE(acting, 1u);
+}
+
+TEST_F(RmFailoverWorld, RetiredRmReadmitsViaStateTransfer) {
+  make_rms(3, milliseconds(2), /*readmit=*/true);
+  ASSERT_EQ(replicas_.size(), 3u);
+  set_host_partitioned(1, true);
+  sim_.run_for(milliseconds(3000));
+  set_host_partitioned(1, false);
+  sim_.run_for(milliseconds(3000));
+
+  // The rejoined replica opened the state-transfer handshake, installed
+  // the acting manager's snapshot at the request's order position, and
+  // replayed its buffered suffix: a converged backup again.
+  EXPECT_EQ(rms_[1]->readmissions(), 1u);
+  EXPECT_FALSE(rms_[1]->retired());
+
+  // Convergence: all three cores now answer identical group views. (The
+  // partition split-brained the minority manager, so compare replicas
+  // against each other, not against absolute pre-partition counts.)
+  const auto ref = rms_[0]->view("TimeOfDay");
+  ASSERT_TRUE(ref.has_value());
+  for (std::size_t i = 1; i < rms_.size(); ++i) {
+    const auto v = rms_[i]->view("TimeOfDay");
+    ASSERT_TRUE(v.has_value()) << rms_[i]->member();
+    EXPECT_EQ(v->live, ref->live) << rms_[i]->member();
+    EXPECT_EQ(v->pending, ref->pending) << rms_[i]->member();
+    EXPECT_EQ(v->next_incarnation, ref->next_incarnation)
+        << rms_[i]->member();
+    EXPECT_EQ(v->stats, ref->stats) << rms_[i]->member();
+    ASSERT_NE(v->registry, nullptr);
+    EXPECT_EQ(v->registry->view().members, ref->registry->view().members)
+        << rms_[i]->member();
+  }
+
+  // The readmitted backup is fully trustworthy: kill the other two
+  // managers and it takes over...
+  rm_procs_[0]->kill();
+  rm_procs_[2]->kill();
+  sim_.run_for(milliseconds(200));
+  ASSERT_TRUE(rms_[1]->acting());
+
+  // ...and still drives recovery. Kill live replicas down below the target
+  // degree (the heal may have left extras: the split-brained minority's
+  // factory calls landed on majority nodes); the readmitted manager fills
+  // every deficit back up.
+  const auto before = rms_[1]->view("TimeOfDay");
+  ASSERT_TRUE(before.has_value());
+  for (auto& r : replicas_) {
+    if (live_fakes() <= 2) break;
+    if (r.proc->alive()) r.proc->kill();
+  }
+  ASSERT_EQ(live_fakes(), 2u);
+  sim_.run_for(milliseconds(500));
+  const auto after = rms_[1]->view("TimeOfDay");
+  ASSERT_TRUE(after.has_value());
+  EXPECT_GT(after->stats.launches, before->stats.launches);
+  EXPECT_GE(after->live, 3u);
+  EXPECT_EQ(after->pending, 0u);
 }
 
 }  // namespace

@@ -1,0 +1,184 @@
+// Stateful-service building blocks (ctest label: state), pure units: the
+// deterministic keyed-accumulator store, incremental checkpoint chains
+// (base + dirty-key deltas, gap/divergence detection), and the message
+// log's truncate/replay contract. No simulator — these are the pieces the
+// recovery pipeline composes, tested in isolation.
+#include "state/app_state.h"
+
+#include <gtest/gtest.h>
+
+#include "state/checkpoint.h"
+#include "state/message_log.h"
+
+namespace mead::state {
+namespace {
+
+TEST(AppStateTest, DigestIsPureFunctionOfAppliedOps) {
+  AppState a(16);
+  AppState b(16);
+  for (int i = 0; i < 100; ++i) (void)a.apply_next();
+  for (int i = 0; i < 100; ++i) (void)b.apply_next();
+  EXPECT_EQ(a.digest(), b.digest());
+  EXPECT_EQ(a.applied(), 100u);
+  EXPECT_EQ(a.digest(), AppState::expected_digest(100, 16));
+  // A different op count or key count yields a different digest.
+  EXPECT_NE(a.digest(), AppState::expected_digest(99, 16));
+  EXPECT_NE(a.digest(), AppState::expected_digest(100, 17));
+}
+
+TEST(AppStateTest, EmptyStateDigest) {
+  AppState s(8);
+  EXPECT_EQ(s.applied(), 0u);
+  EXPECT_EQ(s.digest(), AppState::expected_digest(0, 8));
+}
+
+TEST(AppStateTest, DirtyTrackingAccumulatesAndClears) {
+  AppState s(4);
+  for (int i = 0; i < 6; ++i) (void)s.apply_next();
+  auto dirty = s.take_dirty();
+  // 6 ops over 4 keys touch at most 4 distinct slots, at least 2.
+  EXPECT_GE(dirty.size(), 2u);
+  EXPECT_LE(dirty.size(), 4u);
+  EXPECT_TRUE(std::is_sorted(dirty.begin(), dirty.end()));
+  EXPECT_TRUE(s.take_dirty().empty());  // cleared by the take
+  (void)s.apply_next();
+  EXPECT_EQ(s.take_dirty().size(), 1u);
+}
+
+TEST(AppStateTest, InstallAndProgressRebuildExactState) {
+  AppState primary(8);
+  for (int i = 0; i < 40; ++i) (void)primary.apply_next();
+
+  AppState mirror(8);
+  for (std::uint32_t k = 0; k < 8; ++k) mirror.install(k, primary.value(k));
+  mirror.set_progress(primary.applied(), primary.digest());
+  EXPECT_EQ(mirror.digest(), primary.digest());
+
+  // Both continue identically from the shared point.
+  EXPECT_EQ(primary.apply_next(), mirror.apply_next());
+  EXPECT_EQ(mirror.digest(), primary.digest());
+}
+
+TEST(CheckpointStoreTest, BaseThenDeltasThenRebase) {
+  AppState s(8);
+  CheckpointStore store(/*rebase_every=*/2);
+  for (int i = 0; i < 5; ++i) (void)s.apply_next();
+  const Checkpoint& base = store.take(s);
+  EXPECT_TRUE(base.is_base);
+  EXPECT_EQ(base.epoch, 1u);
+  EXPECT_EQ(base.entries.size(), 8u);  // full snapshot
+  EXPECT_EQ(base.applied, 5u);
+
+  (void)s.apply_next();
+  const Checkpoint& d1 = store.take(s);
+  EXPECT_FALSE(d1.is_base);
+  EXPECT_EQ(d1.base_epoch, 1u);
+  EXPECT_EQ(d1.entries.size(), 1u);  // one op dirtied one key
+  EXPECT_EQ(d1.prev_digest, base.digest);
+
+  (void)s.apply_next();
+  const Checkpoint& d2 = store.take(s);
+  EXPECT_FALSE(d2.is_base);
+
+  // Two deltas since the base: the rebase schedule forces a fresh base.
+  (void)s.apply_next();
+  const Checkpoint& base2 = store.take(s);
+  EXPECT_TRUE(base2.is_base);
+  EXPECT_EQ(base2.base_epoch, base2.epoch);
+  // The retained chain starts at the new base: nothing older is served.
+  EXPECT_EQ(store.chain().size(), 1u);
+  EXPECT_EQ(store.chain().front().epoch, base2.epoch);
+}
+
+TEST(CheckpointStoreTest, MirrorFollowsChainExactly) {
+  AppState primary(16);
+  CheckpointStore pstore(/*rebase_every=*/4);
+  AppState mirror(16);
+  CheckpointStore mstore(4);
+
+  for (int round = 0; round < 10; ++round) {
+    for (int i = 0; i < 3; ++i) (void)primary.apply_next();
+    const Checkpoint& c = pstore.take(primary);
+    EXPECT_EQ(mstore.apply(c, mirror), CheckpointStore::Apply::kApplied)
+        << "round " << round;
+    EXPECT_EQ(mirror.digest(), primary.digest()) << "round " << round;
+    EXPECT_EQ(mirror.applied(), primary.applied()) << "round " << round;
+  }
+}
+
+TEST(CheckpointStoreTest, DetectsGapStaleAndDivergence) {
+  AppState primary(8);
+  CheckpointStore pstore(/*rebase_every=*/100);  // deltas only after base
+  AppState mirror(8);
+  CheckpointStore mstore(100);
+
+  (void)primary.apply_next();
+  const Checkpoint base = pstore.take(primary);
+  EXPECT_EQ(mstore.apply(base, mirror), CheckpointStore::Apply::kApplied);
+
+  (void)primary.apply_next();
+  const Checkpoint d1 = pstore.take(primary);
+  (void)primary.apply_next();
+  const Checkpoint d2 = pstore.take(primary);
+
+  // Skipping d1 is a chain gap; the mirror must refuse d2.
+  EXPECT_EQ(mstore.apply(d2, mirror), CheckpointStore::Apply::kGap);
+  // Replaying the base is stale.
+  EXPECT_EQ(mstore.apply(base, mirror), CheckpointStore::Apply::kStale);
+  // The missed delta still applies, then its successor.
+  EXPECT_EQ(mstore.apply(d1, mirror), CheckpointStore::Apply::kApplied);
+  EXPECT_EQ(mstore.apply(d2, mirror), CheckpointStore::Apply::kApplied);
+  EXPECT_EQ(mirror.digest(), primary.digest());
+
+  // A checkpoint at the right chain position but chaining from a digest
+  // we never reached (a diverged producer) must be rejected.
+  (void)primary.apply_next();
+  Checkpoint bad = pstore.take(primary);
+  bad.prev_digest ^= 1;
+  EXPECT_EQ(mstore.apply(bad, mirror),
+            CheckpointStore::Apply::kDigestMismatch);
+}
+
+TEST(MessageLogTest, TruncateOnCheckpointAndFullFlag) {
+  MessageLog log(4);
+  AppState s(8);
+  for (int i = 0; i < 3; ++i) log.append(s.apply_next());
+  EXPECT_EQ(log.size(), 3u);
+  EXPECT_FALSE(log.full());
+  log.append(s.apply_next());
+  EXPECT_TRUE(log.full());
+  // Checkpoint at applied=2: entries 1,2 drop; 3,4 remain.
+  log.truncate_through(2);
+  EXPECT_EQ(log.entries(), (std::vector<std::uint64_t>{3, 4}));
+  log.truncate_through(100);
+  EXPECT_TRUE(log.empty());
+}
+
+TEST(MessageLogTest, ReplayReachesPrimaryDigestOrRefuses) {
+  AppState primary(8);
+  CheckpointStore pstore;
+  for (int i = 0; i < 5; ++i) (void)primary.apply_next();
+  const Checkpoint base = pstore.take(primary);
+
+  MessageLog log(16);
+  for (int i = 0; i < 4; ++i) log.append(primary.apply_next());
+
+  // Restore: base, then the logged suffix.
+  AppState r(8);
+  CheckpointStore rstore;
+  ASSERT_EQ(rstore.apply(base, r), CheckpointStore::Apply::kApplied);
+  EXPECT_EQ(MessageLog::replay(log.entries(), primary.digest(), r), 4);
+  EXPECT_EQ(r.digest(), primary.digest());
+  EXPECT_EQ(r.applied(), primary.applied());
+
+  // A hole in the sequence is refused and reported.
+  AppState r2(8);
+  CheckpointStore r2store;
+  ASSERT_EQ(r2store.apply(base, r2), CheckpointStore::Apply::kApplied);
+  std::vector<std::uint64_t> holed = log.entries();
+  holed.erase(holed.begin() + 1);
+  EXPECT_EQ(MessageLog::replay(holed, primary.digest(), r2), -1);
+}
+
+}  // namespace
+}  // namespace mead::state
