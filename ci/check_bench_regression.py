@@ -193,6 +193,59 @@ def check_state_trends(name: str, report: dict, failures: list) -> None:
           f"{', '.join(f'{a:.2f}' for a in advantages)} ms")
 
 
+# O(1) placement-traffic guard for the placement sweep — self-contained
+# in the fresh BENCH_placement.json (no baseline required). Frames are
+# counts of deterministic simulated control traffic, so both properties
+# hold exactly, not within a tolerance:
+#   1. algorithmic placement frames are independent of the group count:
+#      per failure burst, the 64-group run publishes exactly as many
+#      alive-epoch frames as the 16-group run (the O(1) claim — one frame
+#      per failure, every RM replica computes the placement locally);
+#   2. explicit (restripe) placement frames GROW with the group count —
+#      the contrast that makes property 1 worth guarding. If this stops
+#      holding, the burst no longer hits co-located groups and the sweep
+#      is no longer measuring anything.
+def check_placement_o1(name: str, report: dict, failures: list) -> None:
+    runs = [r for r in report.get("runs", [])
+            if "placement_frames" in r and "burst" in r
+            and "algorithmic" in r]
+    if not runs:
+        return
+
+    def fail(msg: str) -> None:
+        print(f"FAIL {name}: {msg}")
+        failures.append(name)
+
+    by = {(int(r["algorithmic"]), int(r["groups"]), int(r["burst"])):
+          r["placement_frames"] for r in runs}
+    groups_axis = sorted({int(r["groups"]) for r in runs})
+    if len(groups_axis) < 2:
+        return
+    small, large = groups_axis[0], groups_axis[-1]
+    for burst in sorted({int(r["burst"]) for r in runs}):
+        a_small = by.get((1, small, burst))
+        a_large = by.get((1, large, burst))
+        if a_small is not None and a_large is not None:
+            if a_large != a_small:
+                fail(f"algorithmic placement frames scale with groups at "
+                     f"burst {burst}: {small} groups -> {a_small:.0f}, "
+                     f"{large} groups -> {a_large:.0f}")
+            else:
+                print(f"ok   {name}: algorithmic frames O(1) in groups at "
+                      f"burst {burst} ({small} and {large} groups both "
+                      f"-> {a_large:.0f})")
+        r_small = by.get((0, small, burst))
+        r_large = by.get((0, large, burst))
+        if r_small is not None and r_large is not None:
+            if r_large <= r_small:
+                fail(f"restripe placement frames did not grow with groups "
+                     f"at burst {burst}: {small} groups -> {r_small:.0f}, "
+                     f"{large} groups -> {r_large:.0f} (contrast lost)")
+            else:
+                print(f"ok   {name}: restripe frames grow with groups at "
+                      f"burst {burst} ({r_small:.0f} -> {r_large:.0f})")
+
+
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("files", nargs="+", type=pathlib.Path,
@@ -217,6 +270,7 @@ def main() -> int:
         fresh = load(path)
         # Self-contained trend checks run on the fresh file alone.
         check_state_trends(path.name, fresh, failures)
+        check_placement_o1(path.name, fresh, failures)
         base_path = args.baseline_dir / path.name
         if not base_path.exists():
             print(f"SKIP {path.name}: no baseline "

@@ -23,6 +23,7 @@ TestbedOptions testbed_options(const ExperimentSpec& spec) {
   opts.chaos = spec.chaos;
   opts.rm = spec.rm;
   opts.gc_plane = spec.gc_plane;
+  opts.late_workers = spec.late_workers;
   return opts;
 }
 

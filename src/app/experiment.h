@@ -78,6 +78,9 @@ struct ExperimentSpec {
   /// batched mesh writes). Default-constructed = the legacy plane with its
   /// byte-identical seed-2004 traces.
   gc::PlaneOptions gc_plane;
+  /// Worker nodes withheld from kAlgorithmic placement universes until a
+  /// chaos join_node event admits them.
+  std::vector<std::string> late_workers;
 };
 
 /// Measurement-window counters for one service group.

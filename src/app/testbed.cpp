@@ -177,6 +177,14 @@ StartResult Testbed::start() {
     }
   }
 
+  for (const auto& w : opts_.late_workers) {
+    if (std::find(opts_.topology.worker_nodes.begin(),
+                  opts_.topology.worker_nodes.end(),
+                  w) == opts_.topology.worker_nodes.end()) {
+      return start_error("late worker '" + w + "' is not a worker node");
+    }
+  }
+
   core::RecoveryManagerConfig rm_cfg;
   rm_cfg.groups.clear();
   rm_cfg.launch_delay = opts_.rm.launch_delay;
@@ -194,6 +202,16 @@ StartResult Testbed::start() {
       // Spill pool: the whole worker set, so a group survives losing its
       // own placement hosts as long as any worker node is still alive.
       target.spares = opts_.topology.worker_nodes;
+    } else if (target.placement == core::PlacementPolicy::kAlgorithmic) {
+      target.hosts = g->hosts();
+      // Placement universe: every worker except the late joiners — those
+      // enter via a chaos join_node event and trigger a rebalance.
+      for (const auto& w : opts_.topology.worker_nodes) {
+        if (std::find(opts_.late_workers.begin(), opts_.late_workers.end(),
+                      w) == opts_.late_workers.end()) {
+          target.spares.push_back(w);
+        }
+      }
     }
     rm_cfg.groups.push_back(std::move(target));
     target_total += g->spec().replica_count;
@@ -288,6 +306,24 @@ std::string Testbed::arm_chaos() {
         }
         return false;
       });
+  // One live manager relays the join; replicated deployments turn it into
+  // an ordered kNodeJoin frame so every core rebalances at the same
+  // position in the total order.
+  chaos_->set_join_node_hook([this](const std::string& node) {
+    for (auto& rm : rms_) {
+      if (rm->acting()) {
+        rm->on_join_observed(node);
+        return true;
+      }
+    }
+    for (auto& rm : rms_) {
+      if (rm->alive()) {
+        rm->on_join_observed(node);
+        return true;
+      }
+    }
+    return false;
+  });
   chaos_->arm();
   return {};
 }

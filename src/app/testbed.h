@@ -68,6 +68,10 @@ struct TestbedOptions {
   /// Scaled GC plane handed to every daemon. Default-constructed = the
   /// legacy single-sequencer broadcast plane.
   gc::PlaneOptions gc_plane;
+  /// Worker nodes withheld from kAlgorithmic placement universes at
+  /// bring-up: their daemons run from the start, but placement ignores
+  /// them until a chaos join_node event admits them (rebalance workload).
+  std::vector<std::string> late_workers;
 };
 
 class Testbed {

@@ -53,14 +53,18 @@ enum class ReplicationStyle : std::uint8_t {
 
 /// How the Recovery Manager chooses a host for a new replica incarnation.
 enum class PlacementPolicy : std::uint8_t {
-  kCycle,     // hosts[(incarnation-1) % size] — the paper's static cycle
-  kRestripe,  // first live, unoccupied host from the group's set + spares
+  kCycle,        // hosts[(incarnation-1) % size] — the paper's static cycle
+  kRestripe,     // first live, unoccupied host from the group's set + spares
+  kAlgorithmic,  // pure function of (group, incarnation, sorted alive set):
+                 // jump-consistent hash, computed by every RmCore replica
+                 // independently — O(1) RM traffic per failure (core/placement.h)
 };
 
 [[nodiscard]] constexpr std::string_view to_string(PlacementPolicy p) {
   switch (p) {
     case PlacementPolicy::kCycle: return "cycle";
     case PlacementPolicy::kRestripe: return "restripe";
+    case PlacementPolicy::kAlgorithmic: return "algorithmic";
   }
   return "?";
 }
@@ -149,6 +153,12 @@ struct StateOptions {
   Duration restore_deadline = milliseconds(40);
   /// Virtual CPU charged per replayed log entry.
   Duration replay_op_cost = microseconds(50);
+  /// Pull-model restore (ISSUE 9): a restoring replica accepts checkpoint
+  /// slices from *every* surviving peer concurrently — peers stripe the
+  /// delta chain by epoch modulo their listing rank — instead of the
+  /// single first-in-view answerer. Out-of-order stripes are buffered and
+  /// drained in epoch order. Default off: byte-identical PR-8 behavior.
+  bool pull_restore = false;
 };
 
 /// Identity + wiring for one MEAD-protected process.

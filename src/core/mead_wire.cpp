@@ -195,6 +195,27 @@ Bytes encode_read_set_nack(const ReadSetNack& m) {
   return ctrl_frame(CtrlKind::kReadSetNack, w.buffer());
 }
 
+Bytes encode_alive_epoch(const AliveEpoch& m) {
+  CdrWriter w;
+  w.write_u64(m.epoch);
+  w.write_u32(static_cast<std::uint32_t>(m.alive.size()));
+  for (const auto& host : m.alive) w.write_string(host);
+  return ctrl_frame(CtrlKind::kAliveEpoch, w.buffer());
+}
+
+Bytes encode_node_join(const NodeJoin& m) {
+  CdrWriter w;
+  w.write_string(m.host);
+  return ctrl_frame(CtrlKind::kNodeJoin, w.buffer());
+}
+
+Bytes encode_retire(const Retire& m) {
+  CdrWriter w;
+  w.write_string(m.service);
+  w.write_string(m.member);
+  return ctrl_frame(CtrlKind::kRetire, w.buffer());
+}
+
 std::optional<CtrlMsg> decode_ctrl(const Bytes& payload) {
   if (payload.empty()) return std::nullopt;
   CtrlMsg msg;
@@ -426,6 +447,40 @@ std::optional<CtrlMsg> decode_ctrl(const Bytes& payload) {
       if (!have) return std::nullopt;
       msg.read_set_nack = ReadSetNack{std::move(service.value()),
                                       have.value()};
+      return msg;
+    }
+    case CtrlKind::kAliveEpoch: {
+      msg.kind = CtrlKind::kAliveEpoch;
+      AliveEpoch ae;
+      auto epoch = r.read_u64();
+      if (!epoch) return std::nullopt;
+      ae.epoch = epoch.value();
+      auto n = r.read_u32();
+      if (!n) return std::nullopt;
+      ae.alive.reserve(n.value());
+      for (std::uint32_t i = 0; i < n.value(); ++i) {
+        auto host = r.read_string();
+        if (!host) return std::nullopt;
+        ae.alive.push_back(std::move(host.value()));
+      }
+      msg.alive_epoch = std::move(ae);
+      return msg;
+    }
+    case CtrlKind::kNodeJoin: {
+      msg.kind = CtrlKind::kNodeJoin;
+      auto host = r.read_string();
+      if (!host) return std::nullopt;
+      msg.node_join = NodeJoin{std::move(host.value())};
+      return msg;
+    }
+    case CtrlKind::kRetire: {
+      msg.kind = CtrlKind::kRetire;
+      auto service = r.read_string();
+      if (!service) return std::nullopt;
+      auto member = r.read_string();
+      if (!member) return std::nullopt;
+      msg.retire = Retire{std::move(service.value()),
+                          std::move(member.value())};
       return msg;
     }
   }

@@ -53,6 +53,9 @@ enum class CtrlKind : std::uint8_t {
   kCkptRequest = 12,  // restoring replica asks a live peer for the chain
   kLogReplay = 13,    // message-log suffix closing a directed restore
   kReadSetNack = 14,  // subscriber detected a delta gap; asks for a full set
+  kAliveEpoch = 15,   // RM publishes the alive-host-set epoch (kAlgorithmic)
+  kNodeJoin = 16,     // RM replica replicates a node-join observation
+  kRetire = 17,       // RM asks a replica to retire (rebalance migration)
 };
 
 struct Announce {
@@ -225,6 +228,40 @@ struct ReadSetNack {
   friend bool operator==(const ReadSetNack&, const ReadSetNack&) = default;
 };
 
+/// The alive-host-set epoch for algorithmic placement: published by the
+/// acting RM on rm_group() after every crash/join it applies. Because
+/// each RmCore replica already mutated its own alive set at the same
+/// ordered kNodeCrash/kNodeJoin position, receivers adopt the frame only
+/// when it is *ahead* of their local epoch (a late-joining backup) — one
+/// O(1) frame per failure regardless of group count.
+struct AliveEpoch {
+  AliveEpoch() = default;
+  std::uint64_t epoch = 0;
+  std::vector<std::string> alive;  // sorted ascending, duplicate-free
+  friend bool operator==(const AliveEpoch&, const AliveEpoch&) = default;
+};
+
+/// A node joined the placement universe (rebalance workload). Multicast on
+/// rm_group() like kNodeCrash so every RmCore applies it in total order.
+struct NodeJoin {
+  NodeJoin() = default;
+  explicit NodeJoin(std::string h) : host(std::move(h)) {}
+  std::string host;
+  friend bool operator==(const NodeJoin&, const NodeJoin&) = default;
+};
+
+/// The RM asks one replica to retire gracefully: the rebalance pass has
+/// launched its replacement on a freshly joined host. Multicast on the
+/// group's control channel; only the named member acts.
+struct Retire {
+  Retire() = default;
+  Retire(std::string s, std::string m)
+      : service(std::move(s)), member(std::move(m)) {}
+  std::string service;
+  std::string member;
+  friend bool operator==(const Retire&, const Retire&) = default;
+};
+
 Bytes encode_announce(const Announce& m);
 Bytes encode_read_set(const ReadSet& m);
 Bytes encode_read_set_delta(const ReadSetDelta& m);
@@ -239,6 +276,9 @@ Bytes encode_ckpt_delta(const CkptDelta& m);
 Bytes encode_ckpt_request(const CkptRequest& m);
 Bytes encode_log_replay(const LogReplay& m);
 Bytes encode_read_set_nack(const ReadSetNack& m);
+Bytes encode_alive_epoch(const AliveEpoch& m);
+Bytes encode_node_join(const NodeJoin& m);
+Bytes encode_retire(const Retire& m);
 
 /// Parsed control payload.
 struct CtrlMsg {
@@ -257,6 +297,9 @@ struct CtrlMsg {
   std::optional<CkptRequest> ckpt_request;  // kCkptRequest
   std::optional<LogReplay> log_replay;    // kLogReplay
   std::optional<ReadSetNack> read_set_nack;  // kReadSetNack
+  std::optional<AliveEpoch> alive_epoch;  // kAliveEpoch
+  std::optional<NodeJoin> node_join;      // kNodeJoin
+  std::optional<Retire> retire;           // kRetire
 };
 
 std::optional<CtrlMsg> decode_ctrl(const Bytes& payload);

@@ -1,0 +1,129 @@
+#include "core/placement.h"
+
+#include <algorithm>
+
+namespace mead::core::placement {
+namespace {
+
+// Re-mixed probing beyond this count falls back to a rotated linear scan,
+// keeping choose()/anchors() total without unbounded loops.
+constexpr std::uint32_t kMaxProbes = 8;
+
+[[nodiscard]] std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+[[nodiscard]] bool contains(const std::vector<std::string>& v,
+                            const std::string& s) {
+  return std::find(v.begin(), v.end(), s) != v.end();
+}
+
+}  // namespace
+
+std::int32_t jump_bucket(std::uint64_t key, std::int32_t buckets) {
+  if (buckets <= 1) return 0;
+  std::int64_t b = -1;
+  std::int64_t j = 0;
+  while (j < buckets) {
+    b = j;
+    key = key * 2862933555777941757ULL + 1;
+    j = static_cast<std::int64_t>(
+        static_cast<double>(b + 1) *
+        (static_cast<double>(1LL << 31) /
+         static_cast<double>((key >> 33) + 1)));
+  }
+  return static_cast<std::int32_t>(b);
+}
+
+std::uint64_t placement_key(std::string_view service, int incarnation,
+                            std::uint32_t attempt) {
+  std::uint64_t h = 1469598103934665603ULL;  // FNV-1a offset basis
+  for (char c : service) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ULL;
+  }
+  h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(incarnation));
+  h *= 1099511628211ULL;
+  h ^= attempt;
+  h *= 1099511628211ULL;
+  return mix64(h);
+}
+
+std::optional<std::string> choose(std::string_view service, int incarnation,
+                                  const std::vector<std::string>& alive_sorted,
+                                  const std::vector<std::string>& excluded) {
+  const auto n = static_cast<std::int32_t>(alive_sorted.size());
+  if (n == 0) return std::nullopt;
+  for (std::uint32_t attempt = 0; attempt < kMaxProbes; ++attempt) {
+    const auto& host = alive_sorted[static_cast<std::size_t>(
+        jump_bucket(placement_key(service, incarnation, attempt), n))];
+    if (!contains(excluded, host)) return host;
+  }
+  // Every probe hit the exclusion set: rotate through the whole alive set
+  // from the first probe's bucket so any admissible host is found.
+  const auto start = static_cast<std::size_t>(
+      jump_bucket(placement_key(service, incarnation, 0), n));
+  for (std::size_t i = 0; i < alive_sorted.size(); ++i) {
+    const auto& host = alive_sorted[(start + i) % alive_sorted.size()];
+    if (!contains(excluded, host)) return host;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string> anchors(const std::vector<std::string>& groups,
+                                 const std::vector<std::string>& alive_sorted) {
+  std::vector<std::string> out;
+  const auto n = static_cast<std::int32_t>(alive_sorted.size());
+  if (n == 0) return out;
+  out.reserve(groups.size());
+  std::vector<std::size_t> load(alive_sorted.size(), 0);
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    // Group i may only land on a host still below this round's cap, so
+    // final loads are floor(G/N) or ceil(G/N). A host under the cap
+    // always exists (placing i groups cannot fill n hosts to cap
+    // floor(i/n)+1), so the rotated fallback scan below cannot miss.
+    const std::size_t cap = i / static_cast<std::size_t>(n) + 1;
+    std::size_t pick = alive_sorted.size();
+    for (std::uint32_t attempt = 0; attempt < kMaxProbes && pick >= alive_sorted.size();
+         ++attempt) {
+      const auto b = static_cast<std::size_t>(
+          jump_bucket(placement_key(groups[i], 0, attempt), n));
+      if (load[b] < cap) pick = b;
+    }
+    if (pick >= alive_sorted.size()) {
+      const auto start = static_cast<std::size_t>(
+          jump_bucket(placement_key(groups[i], 0, 0), n));
+      for (std::size_t k = 0; k < alive_sorted.size(); ++k) {
+        const std::size_t b = (start + k) % alive_sorted.size();
+        if (load[b] < cap) {
+          pick = b;
+          break;
+        }
+      }
+    }
+    ++load[pick];
+    out.push_back(alive_sorted[pick]);
+  }
+  return out;
+}
+
+std::vector<std::string> rebalance_moves(
+    const std::vector<std::string>& groups,
+    const std::vector<std::string>& alive_sorted, const std::string& joined) {
+  std::vector<std::string> out;
+  if (contains(alive_sorted, joined)) return out;
+  std::vector<std::string> grown = alive_sorted;
+  grown.insert(std::upper_bound(grown.begin(), grown.end(), joined), joined);
+  const auto next = anchors(groups, grown);
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    if (next[i] == joined) out.push_back(groups[i]);
+  }
+  return out;
+}
+
+}  // namespace mead::core::placement

@@ -1,5 +1,6 @@
 #include "core/recovery_manager.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/log.h"
@@ -39,6 +40,14 @@ RecoveryManager::RecoveryManager(net::ProcessPtr proc,
     c.readset_updates =
         &metrics.counter("rm.readset.updates." + target.service);
     counters_[target.service] = c;
+  }
+  if (std::any_of(cfg_.groups.begin(), cfg_.groups.end(),
+                  [](const GroupTarget& t) {
+                    return t.placement == PlacementPolicy::kAlgorithmic;
+                  })) {
+    placement_frames_ = &metrics.counter("rm.placement.frames");
+    algorithmic_placements_ = &metrics.counter("rm.algorithmic.placements");
+    rebalance_moves_ = &metrics.counter("rm.rebalance.moves");
   }
   // Whole-node crashes free any launch slots reserved on the dead host; a
   // view change alone cannot, since the reserved replica never joined. A
@@ -147,7 +156,8 @@ void RecoveryManager::execute(const std::vector<RmAction>& actions,
     switch (a.kind) {
       case RmAction::Kind::kLaunch:
         proc_->sim().spawn(launch_task(a.service, a.incarnation, a.host,
-                                       a.proactive, a.restriped, count));
+                                       a.proactive, a.restriped, a.algorithmic,
+                                       count));
         break;
       case RmAction::Kind::kLaunchSkipped:
         if (count) {
@@ -191,6 +201,27 @@ void RecoveryManager::execute(const std::vector<RmAction>& actions,
                            : encode_read_set(a.read_set)));
         break;
       }
+      case RmAction::Kind::kPublishAliveEpoch:
+        // The whole of the RM's per-failure placement traffic under
+        // kAlgorithmic: one epoch frame, independent of how many groups
+        // the failure touched. Solo managers have no backups to converge
+        // and skip the wire entirely.
+        if (count && !a.republish && placement_frames_ != nullptr) {
+          placement_frames_->add();
+        }
+        if (cfg_.self_supervise) {
+          proc_->sim().spawn(multicast_task(
+              rm_group(), encode_alive_epoch(a.alive)));
+        }
+        break;
+      case RmAction::Kind::kRetireReplica:
+        if (count && rebalance_moves_ != nullptr) rebalance_moves_->add();
+        LogLine(proc_->sim().log(), LogLevel::kInfo, "rm")
+            << "rebalance: retiring " << a.member << " of " << a.service;
+        proc_->sim().spawn(multicast_task(
+            control_group(a.service), encode_retire(Retire{a.service,
+                                                           a.member})));
+        break;
     }
   }
 }
@@ -198,7 +229,7 @@ void RecoveryManager::execute(const std::vector<RmAction>& actions,
 sim::Task<void> RecoveryManager::launch_task(std::string service,
                                              int incarnation, std::string host,
                                              bool proactive, bool restriped,
-                                             bool count) {
+                                             bool algorithmic, bool count) {
   if (count) {
     launches_.add();
     counters_[service].launches->add();
@@ -224,6 +255,12 @@ sim::Task<void> RecoveryManager::launch_task(std::string service,
                             service + ":" + host,
                             static_cast<double>(incarnation));
   }
+  if (algorithmic && count && algorithmic_placements_ != nullptr) {
+    algorithmic_placements_->add();
+    proc_->sim().obs().emit(obs::EventKind::kRestripe, cfg_.member,
+                            service + ":" + host,
+                            static_cast<double>(incarnation));
+  }
   LogLine(proc_->sim().log(), LogLevel::kInfo, "rm")
       << "launching replica incarnation " << incarnation;
   proc_->sim().obs().emit(obs::EventKind::kReplicaLaunched, cfg_.member,
@@ -243,6 +280,17 @@ sim::Task<void> RecoveryManager::launch_task(std::string service,
 sim::Task<void> RecoveryManager::multicast_task(std::string group_name,
                                                 Bytes payload) {
   (void)co_await gc_->multicast(std::move(group_name), std::move(payload));
+}
+
+void RecoveryManager::on_join_observed(const std::string& host) {
+  if (!proc_->alive()) return;
+  if (!cfg_.self_supervise) {
+    auto actions = core_.on_node_join(host);
+    execute(actions, /*count=*/true);
+    return;
+  }
+  proc_->sim().spawn(
+      multicast_task(rm_group(), encode_node_join(NodeJoin{host})));
 }
 
 void RecoveryManager::on_crash_observed(const std::string& host) {

@@ -125,6 +125,19 @@ class RecoveryManager {
   [[nodiscard]] std::uint64_t readmissions() const {
     return core_.readmissions();
   }
+  /// A node joined the placement universe (kAlgorithmic rebalance
+  /// workload). Solo: applied directly; replicated: multicast as an
+  /// ordered kNodeJoin frame so every core rebalances at the same
+  /// position.
+  void on_join_observed(const std::string& host);
+  /// kAlgorithmic introspection, for cross-replica equality checks.
+  [[nodiscard]] std::uint64_t alive_epoch() const {
+    return core_.alive_epoch();
+  }
+  [[nodiscard]] std::optional<std::string> placement_choice(
+      const std::string& service) const {
+    return core_.placement_choice(service);
+  }
 
  private:
   /// Per-group obs counters ("rm.launches.<service>", ...), resolved once.
@@ -144,7 +157,7 @@ class RecoveryManager {
   void execute(const std::vector<RmAction>& actions, bool count);
   sim::Task<void> launch_task(std::string service, int incarnation,
                               std::string host, bool proactive, bool restriped,
-                              bool count);
+                              bool algorithmic, bool count);
   sim::Task<void> multicast_task(std::string group_name, Bytes payload);
   void on_crash_observed(const std::string& host);
 
@@ -161,6 +174,12 @@ class RecoveryManager {
   obs::Counter& restripe_skipped_;
   obs::Counter& readset_updates_;
   obs::Counter& rm_failovers_;
+  // kAlgorithmic counters, resolved only when a supervised target uses
+  // the policy (null otherwise) so non-algorithmic runs leave the metrics
+  // registry untouched.
+  obs::Counter* placement_frames_ = nullptr;    // rm.placement.frames
+  obs::Counter* algorithmic_placements_ = nullptr;  // rm.algorithmic.placements
+  obs::Counter* rebalance_moves_ = nullptr;     // rm.rebalance.moves
   std::map<std::string, GroupCounters> counters_;  // by service
   std::uint64_t crash_observer_ = 0;  // Network observer handle
   std::unique_ptr<gc::GcClient> gc_;

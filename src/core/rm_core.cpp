@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <string_view>
 
+#include "core/placement.h"
+
 namespace mead::core {
 
 namespace {
@@ -44,6 +46,18 @@ RmCore::RmCore(std::vector<GroupTarget> targets, std::string self,
     }
     groups_.push_back(std::move(group));
   }
+  // The algorithmic placement universe: every kAlgorithmic target's
+  // hosts + spares, sorted and deduplicated — identical on every replica
+  // because targets are construction-time configuration.
+  for (const auto& target : targets_) {
+    if (target.placement != PlacementPolicy::kAlgorithmic) continue;
+    any_algorithmic_ = true;
+    for (const auto& h : target.hosts) alive_hosts_.push_back(h);
+    for (const auto& h : target.spares) alive_hosts_.push_back(h);
+  }
+  std::sort(alive_hosts_.begin(), alive_hosts_.end());
+  alive_hosts_.erase(std::unique(alive_hosts_.begin(), alive_hosts_.end()),
+                     alive_hosts_.end());
 }
 
 RmCore::Group* RmCore::find_group(const std::string& service) {
@@ -169,6 +183,17 @@ void RmCore::apply_event(const gc::Event& event, Actions& out) {
     // position in the total order, so placement and slot accounting agree.
     if (ctrl->kind == CtrlKind::kNodeCrash && ctrl->node_crash) {
       apply_node_crash(ctrl->node_crash->host, out);
+    } else if (ctrl->kind == CtrlKind::kNodeJoin && ctrl->node_join) {
+      apply_node_join(ctrl->node_join->host, out);
+    } else if (ctrl->kind == CtrlKind::kAliveEpoch && ctrl->alive_epoch) {
+      // Converged replicas already hold this epoch (they applied the same
+      // crash/join at the same ordered position); only a replica that
+      // missed those positions — a late-started or readmitted backup —
+      // adopts the published set.
+      if (ctrl->alive_epoch->epoch > alive_epoch_) {
+        alive_epoch_ = ctrl->alive_epoch->epoch;
+        alive_hosts_ = ctrl->alive_epoch->alive;
+      }
     } else if (ctrl->kind == CtrlKind::kLaunchFailed && ctrl->launch_failed) {
       apply_launch_failed(ctrl->launch_failed->service,
                           ctrl->launch_failed->incarnation, out);
@@ -372,9 +397,22 @@ void RmCore::reconcile(Group& group, bool proactive_trigger, Actions& out) {
       a.host = std::move(*choice);
       a.restriped = true;
       group.reserved.insert(a.host);
+    } else if (group.target.placement == PlacementPolicy::kAlgorithmic) {
+      // Pure function of (service, incarnation, alive set, occupancy):
+      // every replica computes this same host locally — no placement
+      // frame travels for it.
+      auto choice = algorithmic_choice(group, incarnation);
+      if (!choice) {
+        a.kind = RmAction::Kind::kLaunchSkipped;
+        out.push_back(std::move(a));
+        break;
+      }
+      a.host = std::move(*choice);
+      a.algorithmic = true;
+      group.reserved.insert(a.host);
     }
-    group.pending.push_back(
-        Slot{incarnation, a.host, proactive_trigger, a.restriped});
+    group.pending.push_back(Slot{incarnation, a.host, proactive_trigger,
+                                 a.restriped, a.algorithmic});
     out.push_back(std::move(a));
     ++effective;
   }
@@ -449,6 +487,9 @@ bool read_string_set(giop::CdrReader& r, std::set<std::string>& out) {
 Bytes RmCore::encode_snapshot() const {
   giop::CdrWriter w;
   write_string_set(w, dead_hosts_);
+  w.write_u64(alive_epoch_);
+  w.write_u32(static_cast<std::uint32_t>(alive_hosts_.size()));
+  for (const auto& h : alive_hosts_) w.write_string(h);
   w.write_u64(totals_.launches);
   w.write_u64(totals_.proactive_launches);
   w.write_u64(totals_.reactive_launches);
@@ -462,6 +503,7 @@ Bytes RmCore::encode_snapshot() const {
       w.write_string(slot.host);
       w.write_bool(slot.proactive);
       w.write_bool(slot.restriped);
+      w.write_bool(slot.algorithmic);
     }
     w.write_i32(g->next_incarnation);
     w.write_u64(g->stats.launches);
@@ -486,6 +528,17 @@ bool RmCore::install_snapshot(const Bytes& snapshot) {
   giop::CdrReader r(snapshot, giop::ByteOrder::kLittleEndian);
   std::set<std::string> dead_hosts;
   if (!read_string_set(r, dead_hosts)) return false;
+  auto alive_epoch = r.read_u64();
+  if (!alive_epoch) return false;
+  auto alive_count = r.read_u32();
+  if (!alive_count) return false;
+  std::vector<std::string> alive_hosts;
+  alive_hosts.reserve(*alive_count);
+  for (std::uint32_t i = 0; i < *alive_count; ++i) {
+    auto h = r.read_string();
+    if (!h) return false;
+    alive_hosts.push_back(std::move(*h));
+  }
   RmStats totals;
   auto l = r.read_u64();
   auto p = r.read_u64();
@@ -517,9 +570,11 @@ bool RmCore::install_snapshot(const Bytes& snapshot) {
       slot.host = std::move(*host);
       auto proactive = r.read_bool();
       auto restriped = r.read_bool();
-      if (!proactive || !restriped) return false;
+      auto algorithmic = r.read_bool();
+      if (!proactive || !restriped || !algorithmic) return false;
       slot.proactive = *proactive;
       slot.restriped = *restriped;
+      slot.algorithmic = *algorithmic;
       s->pending.push_back(std::move(slot));
     }
     auto next_inc = r.read_i32();
@@ -561,6 +616,8 @@ bool RmCore::install_snapshot(const Bytes& snapshot) {
     scratch.push_back(std::move(s));
   }
   dead_hosts_ = std::move(dead_hosts);
+  alive_epoch_ = *alive_epoch;
+  alive_hosts_ = std::move(alive_hosts);
   totals_ = totals;
   by_replica_group_.clear();
   by_control_group_.clear();
@@ -587,7 +644,14 @@ RmCore::Actions RmCore::on_node_crash(const std::string& host) {
 }
 
 void RmCore::apply_node_crash(const std::string& host, Actions& out) {
-  dead_hosts_.insert(host);
+  const bool fresh = dead_hosts_.insert(host).second;
+  if (any_algorithmic_ && fresh) {
+    auto it = std::find(alive_hosts_.begin(), alive_hosts_.end(), host);
+    if (it != alive_hosts_.end()) {
+      alive_hosts_.erase(it);
+      publish_alive_epoch(out);
+    }
+  }
   for (auto& g : groups_) {
     // A launch reserved onto the crashed host died before joining any
     // view; without this release the group under-shoots its degree
@@ -598,6 +662,90 @@ void RmCore::apply_node_crash(const std::string& host, Actions& out) {
       if (slot != g->pending.end()) g->pending.erase(slot);
       reconcile(*g, /*proactive_trigger=*/false, out);
     }
+  }
+}
+
+RmCore::Actions RmCore::on_node_join(const std::string& host) {
+  Actions out;
+  apply_node_join(host, out);
+  return out;
+}
+
+void RmCore::publish_alive_epoch(Actions& out) {
+  ++alive_epoch_;
+  RmAction a;
+  a.kind = RmAction::Kind::kPublishAliveEpoch;
+  a.alive.epoch = alive_epoch_;
+  a.alive.alive = alive_hosts_;
+  out.push_back(std::move(a));
+}
+
+void RmCore::apply_node_join(const std::string& host, Actions& out) {
+  dead_hosts_.erase(host);
+  if (!any_algorithmic_) return;
+  if (std::binary_search(alive_hosts_.begin(), alive_hosts_.end(), host)) {
+    return;  // duplicate join frame
+  }
+  // The rebalance set is computed against the pre-join universe: exactly
+  // the kAlgorithmic groups whose balanced anchor lands on the new host —
+  // at most ceil(G/N) of them by the jump-hash load-cap construction.
+  std::vector<std::string> algo_services;
+  for (const auto& t : targets_) {
+    if (t.placement == PlacementPolicy::kAlgorithmic) {
+      algo_services.push_back(t.service);
+    }
+  }
+  const auto moves =
+      placement::rebalance_moves(algo_services, alive_hosts_, host);
+  alive_hosts_.insert(
+      std::upper_bound(alive_hosts_.begin(), alive_hosts_.end(), host), host);
+  publish_alive_epoch(out);
+  for (const auto& service : moves) {
+    Group* g = find_group(service);
+    if (g == nullptr) continue;
+    // Skip groups already touching the new host (a replica, reservation,
+    // or pending slot there) — nothing to migrate.
+    if (g->reserved.contains(host)) continue;
+    if (std::any_of(g->pending.begin(), g->pending.end(),
+                    [&](const Slot& s) { return s.host == host; })) {
+      continue;
+    }
+    bool occupied = false;
+    std::string victim;
+    for (const auto& m : g->registry.view().members) {
+      if (is_rm_member(m)) continue;
+      auto rec = g->registry.find(m);
+      if (rec && rec->endpoint.host == host) occupied = true;
+      // Victim: the last announced, not-yet-doomed member — the group
+      // keeps its primary (first in view) serving through the migration.
+      if (rec && !g->doomed.contains(m)) victim = m;
+    }
+    if (occupied || victim.empty()) continue;
+    // Migration keeps the launch invariant flat: +1 doomed, +1 pending.
+    // The replacement joins on the new host, then the victim retires and
+    // leaves the view, settling the group back at target degree.
+    const int incarnation = g->next_incarnation++;
+    ++totals_.launches;
+    ++g->stats.launches;
+    ++totals_.proactive_launches;
+    ++g->stats.proactive_launches;
+    g->doomed.insert(victim);
+    g->reserved.insert(host);
+    g->pending.push_back(Slot{incarnation, host, /*proactive=*/true,
+                              /*restriped=*/false, /*algorithmic=*/true});
+    RmAction launch;
+    launch.service = service;
+    launch.incarnation = incarnation;
+    launch.host = host;
+    launch.proactive = true;
+    launch.algorithmic = true;
+    out.push_back(std::move(launch));
+    RmAction retire;
+    retire.kind = RmAction::Kind::kRetireReplica;
+    retire.service = service;
+    retire.member = victim;
+    out.push_back(std::move(retire));
+    refresh_read_set(*g, out);
   }
 }
 
@@ -625,6 +773,17 @@ void RmCore::apply_launch_failed(const std::string& service, int incarnation,
 
 RmCore::Actions RmCore::resume_actions() const {
   Actions out;
+  if (any_algorithmic_ && alive_epoch_ > 0) {
+    // The dead acting may have died between applying a crash/join and its
+    // epoch multicast; repeating the current epoch closes that gap
+    // (receivers drop epochs they already hold).
+    RmAction a;
+    a.kind = RmAction::Kind::kPublishAliveEpoch;
+    a.alive.epoch = alive_epoch_;
+    a.alive.alive = alive_hosts_;
+    a.republish = true;
+    out.push_back(std::move(a));
+  }
   for (const auto& g : groups_) {
     for (const auto& slot : g->pending) {
       RmAction a;
@@ -633,6 +792,7 @@ RmCore::Actions RmCore::resume_actions() const {
       a.host = slot.host;
       a.proactive = slot.proactive;
       a.restriped = slot.restriped;
+      a.algorithmic = slot.algorithmic;
       out.push_back(std::move(a));
     }
     if (g->target.style == ReplicationStyle::kActiveReadFanout &&
@@ -650,6 +810,32 @@ RmCore::Actions RmCore::resume_actions() const {
     }
   }
   return out;
+}
+
+std::optional<std::string> RmCore::algorithmic_choice(const Group& group,
+                                                      int incarnation) const {
+  // Excluded = hosts the group already touches: announced live members
+  // plus in-flight reservations. Dead hosts are already absent from
+  // alive_hosts_ (removed at their ordered kNodeCrash position).
+  std::vector<std::string> excluded(group.reserved.begin(),
+                                    group.reserved.end());
+  for (const auto& m : group.registry.view().members) {
+    if (is_rm_member(m)) continue;
+    if (auto rec = group.registry.find(m)) {
+      excluded.push_back(rec->endpoint.host);
+    }
+  }
+  return placement::choose(group.target.service, incarnation, alive_hosts_,
+                           excluded);
+}
+
+std::optional<std::string> RmCore::placement_choice(
+    const std::string& service) const {
+  const Group* g = find_group(service);
+  if (g == nullptr || g->target.placement != PlacementPolicy::kAlgorithmic) {
+    return std::nullopt;
+  }
+  return algorithmic_choice(*g, g->next_incarnation);
 }
 
 std::optional<std::string> RmCore::choose_host(const Group& group,

@@ -56,9 +56,13 @@ struct GroupTarget {
   /// (factory receives an empty host — the pre-placement behaviour, and
   /// the default). kRestripe picks the first known-alive, unoccupied host
   /// from `hosts` (then `spares`), scanning from the cycle's starting
-  /// point, so replacements route around crashed workers.
+  /// point, so replacements route around crashed workers. kAlgorithmic
+  /// derives the host purely from (service, incarnation, sorted alive
+  /// set) via core/placement.h — every RmCore replica computes the same
+  /// answer locally, so the RM publishes only the alive-set epoch.
   PlacementPolicy placement = PlacementPolicy::kCycle;
-  /// The group's preferred placement set (required for kRestripe).
+  /// The group's preferred placement set (required for kRestripe; under
+  /// kAlgorithmic hosts+spares seed the shared alive universe).
   std::vector<std::string> hosts;
   /// Extra hosts kRestripe may spill onto once `hosts` has no candidate.
   std::vector<std::string> spares;
@@ -127,6 +131,15 @@ struct RmAction {
     /// Acting only: answer a readmission request by multicasting the
     /// frozen `snapshot` as kState{version = nonce} on rm_group().
     kSendRmSnapshot,
+    /// Acting only: multicast the frozen `alive` epoch on rm_group() —
+    /// the O(1) per-failure frame under kAlgorithmic placement. Late or
+    /// readmitted backups adopt it; converged ones no-op (they already
+    /// applied the same crash/join at the same ordered position).
+    kPublishAliveEpoch,
+    /// Acting only: ask `member` to retire gracefully (multicast kRetire
+    /// on the group's control channel) — the rebalance pass migrating a
+    /// group onto a freshly joined host.
+    kRetireReplica,
   };
 
   Kind kind = Kind::kLaunch;
@@ -136,6 +149,9 @@ struct RmAction {
   std::string host;
   bool proactive = false;
   bool restriped = false;
+  /// Host was computed algorithmically (core/placement.h) — no explicit
+  /// placement traffic behind it, counters only.
+  bool algorithmic = false;
   // kPublishReadSet
   std::string group;
   ReadSet read_set;
@@ -152,6 +168,10 @@ struct RmAction {
   // kRequestReadmit / kSendRmSnapshot
   std::uint64_t nonce = 0;
   Bytes snapshot;
+  // kPublishAliveEpoch
+  AliveEpoch alive;
+  // kRetireReplica
+  std::string member;
 };
 
 class RmCore {
@@ -178,6 +198,13 @@ class RmCore {
   /// replicated shells multicast kNodeCrash on rm_group() instead, which
   /// loops back through on_event. Idempotent.
   [[nodiscard]] Actions on_node_crash(const std::string& host);
+  /// A node joined the placement universe. Solo shells apply the join
+  /// observation directly; replicated shells multicast kNodeJoin on
+  /// rm_group(). Bumps the alive epoch and runs the rebalance pass:
+  /// every kAlgorithmic group whose anchor moves onto the new host gets
+  /// a replacement launched there and its victim replica retired.
+  /// Idempotent.
+  [[nodiscard]] Actions on_node_join(const std::string& host);
   /// The acting shell's factory returned false for this slot. Solo shells
   /// call it directly; replicated shells multicast kLaunchFailed.
   /// Idempotent.
@@ -222,6 +249,18 @@ class RmCore {
   [[nodiscard]] bool is_control_group(const std::string& group) const {
     return by_control_group_.contains(group);
   }
+  /// Alive-set epoch for kAlgorithmic placement (0 until the first
+  /// crash/join mutates the universe).
+  [[nodiscard]] std::uint64_t alive_epoch() const { return alive_epoch_; }
+  /// The sorted alive host universe shared by every kAlgorithmic group.
+  [[nodiscard]] const std::vector<std::string>& alive_hosts() const {
+    return alive_hosts_;
+  }
+  /// The host this core would pick for `service`'s next incarnation under
+  /// kAlgorithmic — side-effect-free, for cross-replica equality checks.
+  /// nullopt for non-algorithmic groups or when no admissible host exists.
+  [[nodiscard]] std::optional<std::string> placement_choice(
+      const std::string& service) const;
 
  private:
   /// One issued-but-unconsumed launch. Joins consume slots oldest-first;
@@ -232,6 +271,7 @@ class RmCore {
     std::string host;  // empty under kCycle
     bool proactive = false;
     bool restriped = false;
+    bool algorithmic = false;
   };
 
   /// Everything the core tracks for one supervised group.
@@ -264,6 +304,7 @@ class RmCore {
   /// version and emits a kPublishReadSet action. No-op for warm-passive.
   void refresh_read_set(Group& group, Actions& out);
   void apply_node_crash(const std::string& host, Actions& out);
+  void apply_node_join(const std::string& host, Actions& out);
   void apply_launch_failed(const std::string& service, int incarnation,
                            Actions& out);
   /// kRestripe host choice at decision time; nullopt when no known-alive,
@@ -271,6 +312,12 @@ class RmCore {
   /// changes again).
   [[nodiscard]] std::optional<std::string> choose_host(const Group& group,
                                                        int incarnation) const;
+  /// kAlgorithmic host choice: placement::choose over the shared alive
+  /// universe, excluding hosts the group already occupies or reserves.
+  [[nodiscard]] std::optional<std::string> algorithmic_choice(
+      const Group& group, int incarnation) const;
+  /// Bump alive_epoch_ and emit the O(1) kPublishAliveEpoch action.
+  void publish_alive_epoch(Actions& out);
   [[nodiscard]] std::size_t live_in(const Group& group) const;
   [[nodiscard]] Group* find_group(const std::string& service);
   [[nodiscard]] const Group* find_group(const std::string& service) const;
@@ -302,6 +349,13 @@ class RmCore {
   /// The core deliberately never asks the network, so replicas that saw
   /// the same frames agree on placement.
   std::set<std::string> dead_hosts_;
+  /// kAlgorithmic placement universe: the sorted union of hosts+spares
+  /// over algorithmic targets, minus observed crashes, plus observed
+  /// joins. Mutated only at ordered kNodeCrash/kNodeJoin positions (or
+  /// their solo-direct equivalents), so every replica agrees.
+  std::vector<std::string> alive_hosts_;
+  std::uint64_t alive_epoch_ = 0;
+  bool any_algorithmic_ = false;
   std::vector<std::unique_ptr<Group>> groups_;
   std::map<std::string, Group*> by_replica_group_;  // "mead/<svc>/replicas"
   std::map<std::string, Group*> by_control_group_;  // "mead/<svc>/control"

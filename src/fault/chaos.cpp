@@ -11,6 +11,7 @@ std::string_view to_string(FaultKind k) {
     case FaultKind::kHeal: return "heal";
     case FaultKind::kCrashProcess: return "crash_process";
     case FaultKind::kLeakBurst: return "leak_burst";
+    case FaultKind::kJoinNode: return "join_node";
   }
   return "?";
 }
@@ -60,6 +61,11 @@ ChaosSchedule& ChaosSchedule::leak_burst(Duration at, std::string service,
   return *this;
 }
 
+ChaosSchedule& ChaosSchedule::join_node(Duration at, std::string node) {
+  events.push_back(make_event(at, FaultKind::kJoinNode, std::move(node)));
+  return *this;
+}
+
 ChaosController::ChaosController(net::Network& net, ChaosSchedule schedule)
     : net_(net), sched_(std::move(schedule)) {}
 
@@ -90,6 +96,11 @@ std::string ChaosController::validate() const {
       case FaultKind::kCrashProcess:
       case FaultKind::kLeakBurst:
         if (ev.target.empty()) return "chaos: fault without a service target";
+        break;
+      case FaultKind::kJoinNode:
+        if (!net_.has_node(ev.target)) {
+          return "chaos: join_node targets unknown node '" + ev.target + "'";
+        }
         break;
     }
   }
@@ -133,6 +144,9 @@ void ChaosController::fire(const FaultEvent& ev) {
       break;
     case FaultKind::kLeakBurst:
       applied = leak_burst_ && leak_burst_(ev.target, ev.bytes);
+      break;
+    case FaultKind::kJoinNode:
+      applied = join_node_ && join_node_(ev.target);
       break;
   }
   auto& obs = net_.sim().obs();

@@ -33,6 +33,7 @@ enum class FaultKind : std::uint8_t {
   kHeal,          // undo partitions: a pair, a node's links, or all links
   kCrashProcess,  // kill the serving replica of a service group
   kLeakBurst,     // consume `bytes` of a replica's leak buffer at once
+  kJoinNode,      // admit a node into the algorithmic placement universe
 };
 
 [[nodiscard]] std::string_view to_string(FaultKind k);
@@ -66,6 +67,10 @@ struct ChaosSchedule {
   ChaosSchedule& crash_process(Duration at, std::string service);
   ChaosSchedule& leak_burst(Duration at, std::string service,
                             std::size_t bytes);
+  /// Admits `node` into the kAlgorithmic placement universe — the node
+  /// must already exist in the topology (late_workers keep it out of the
+  /// initial placement).
+  ChaosSchedule& join_node(Duration at, std::string node);
 };
 
 /// Replays a ChaosSchedule against a Network. Constructed and armed by the
@@ -77,6 +82,7 @@ class ChaosController {
   using ServiceHook = std::function<bool(const std::string& service)>;
   using BurstHook =
       std::function<bool(const std::string& service, std::size_t bytes)>;
+  using NodeHook = std::function<bool(const std::string& node)>;
 
   ChaosController(net::Network& net, ChaosSchedule schedule);
   ChaosController(const ChaosController&) = delete;
@@ -84,6 +90,7 @@ class ChaosController {
 
   void set_crash_process_hook(ServiceHook fn) { crash_process_ = std::move(fn); }
   void set_leak_burst_hook(BurstHook fn) { leak_burst_ = std::move(fn); }
+  void set_join_node_hook(NodeHook fn) { join_node_ = std::move(fn); }
 
   /// Checks every node-scoped event against the network's node set;
   /// returns an empty string when valid, else a reason. (Service-scoped
@@ -106,6 +113,7 @@ class ChaosController {
   ChaosSchedule sched_;
   ServiceHook crash_process_;
   BurstHook leak_burst_;
+  NodeHook join_node_;
   std::uint64_t injected_ = 0;
   bool armed_ = false;
 };

@@ -206,6 +206,71 @@ TEST(ChaosScheduleTest, UnknownTargetsFailStart) {
   }
 }
 
+TEST(ChaosScheduleTest, JoinNodeRebalancesOntoTheJoinerAndRetiresVictims) {
+  // Ten workers, the last withheld from the algorithmic placement
+  // universe (late_workers); sixteen 2-replica kAlgorithmic groups. A
+  // join_node event admits the withheld worker mid-run: the rebalance
+  // pass must migrate exactly the jump-hash-minimal set of groups onto
+  // it — at most ceil(G/N) — launching each replacement there and
+  // retiring its victim, while every group stays at full strength.
+  ExperimentSpec spec;
+  spec.seed = 2004;
+  spec.invocations = 200;
+  spec.invoke_timeout = milliseconds(25);
+  spec.topology = ClusterTopology::uniform(12);  // ten workers
+  const auto& workers = spec.topology.worker_nodes;
+  const std::string late = workers.back();
+  spec.late_workers = {late};
+  for (int g = 0; g < 16; ++g) {
+    ServiceGroupSpec s;
+    if (g > 0) s.service = "Svc" + std::to_string(g);
+    s.inject_leak = false;
+    s.replica_count = 2;
+    s.placement = core::PlacementPolicy::kAlgorithmic;
+    // Explicit seed hosts keep the withheld worker out of every group's
+    // universe contribution (hosts union spares seed it).
+    s.hosts = {workers[static_cast<std::size_t>(g) % 9],
+               workers[(static_cast<std::size_t>(g) + 1) % 9]};
+    spec.groups.push_back(std::move(s));
+  }
+  spec.chaos.join_node(milliseconds(200), late);
+
+  Experiment exp(spec);
+  ASSERT_TRUE(exp.start());
+  // late_workers held: nothing was placed on the withheld worker.
+  for (const auto& g : exp.testbed().groups()) {
+    for (const auto& rep : g->replicas()) {
+      EXPECT_NE(rep->endpoint().host, late) << rep->member();
+    }
+  }
+  exp.launch_client();
+  exp.run_to_completion();
+  exp.sim().run_for(milliseconds(1000));  // drain + retire + settle
+  const ExperimentResult r = exp.collect();
+
+  EXPECT_EQ(r.chaos_faults, 1u);
+  EXPECT_GE(exp.testbed().acting_rm().alive_epoch(), 1u);
+  const std::uint64_t moves =
+      exp.obs().metrics().counter_value("rm.rebalance.moves");
+  EXPECT_GE(moves, 1u);   // 16 groups over 10 hosts: min load is 1
+  EXPECT_LE(moves, 2u);   // ceil(16 / 10)
+  // Every migration retires exactly one victim...
+  EXPECT_EQ(exp.obs().metrics().counter_value("server.retires"), moves);
+  // ...and lands exactly one live replica on the joined worker.
+  std::size_t on_late = 0;
+  for (const auto& g : exp.testbed().groups()) {
+    EXPECT_EQ(g->live_replica_count(), 2u) << g->service();
+    for (const auto& rep : g->replicas()) {
+      if (rep->alive() && rep->endpoint().host == late) ++on_late;
+    }
+  }
+  EXPECT_EQ(on_late, moves);
+  // Migration is invisible to the workload.
+  for (const auto& gr : r.group_results) {
+    EXPECT_EQ(gr.invocations_completed, 200u) << gr.service;
+  }
+}
+
 TEST(ChaosScheduleTest, IdenticalCountersSequentialVsPool) {
   // A schedule exercising every fault kind must stay bit-reproducible, and
   // the run_experiments thread pool must match the sequential path exactly.

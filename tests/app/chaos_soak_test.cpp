@@ -41,12 +41,18 @@ ExperimentSpec soak_spec(std::uint64_t seed) {
   spec.invoke_timeout = milliseconds(25);  // partitions never deliver EOF
   spec.calib.gc_heartbeat = milliseconds(50);
   spec.topology = ClusterTopology::uniform(12);  // ten workers
+  // Every third seed swaps the explicit restripe placement for the
+  // algorithmic policy (jump-hash over the shared alive universe), so the
+  // soak also covers epoch publication and the cross-replica agreement
+  // invariant checked in the test body.
+  const bool algorithmic_seed = (seed % 3 == 0);
   for (int g = 0; g < 8; ++g) {
     ServiceGroupSpec s;
     if (g > 0) s.service = "Svc" + std::to_string(g);
     s.replica_count = 2;
     s.inject_leak = (g % 2 == 0);
-    s.placement = core::PlacementPolicy::kRestripe;
+    s.placement = algorithmic_seed ? core::PlacementPolicy::kAlgorithmic
+                                   : core::PlacementPolicy::kRestripe;
     // Every group is stateful, so each crash/partition/relaunch the
     // schedule throws also exercises the checkpoint + replay pipeline and
     // the digest invariant below can catch any corruption it introduces.
@@ -209,6 +215,29 @@ TEST(ChaosSoakTest, RandomSchedulesHoldInvariants) {
     }
     if (victim_was_acting) {
       EXPECT_GE(r.rm_failovers, 1u) << "acting RM crashed but no backup promoted";
+    }
+    if (spec.groups.front().placement ==
+        core::PlacementPolicy::kAlgorithmic) {
+      // Cross-replica agreement: every live, non-retired manager fed the
+      // same ordered stream computes the identical alive epoch and the
+      // identical next-incarnation placement for every group — the
+      // property that lets the RM publish only an epoch per failure.
+      const core::RecoveryManager* ref = nullptr;
+      for (std::size_t i = 0; i < bed.rm_count(); ++i) {
+        const core::RecoveryManager& rm = bed.rm(i);
+        if (!rm.alive() || rm.retired()) continue;
+        if (ref == nullptr) {
+          ref = &rm;
+          continue;
+        }
+        EXPECT_EQ(rm.alive_epoch(), ref->alive_epoch())
+            << "RM " << i << " diverged from " << ref->member();
+        for (const auto& gs : spec.groups) {
+          EXPECT_EQ(rm.placement_choice(gs.service),
+                    ref->placement_choice(gs.service))
+              << gs.service << " (RM " << i << ")";
+        }
+      }
     }
   }
 }

@@ -1,0 +1,304 @@
+// Property suite for the algorithmic placement module (core/placement.h)
+// and its integration into RmCore:  ctest -L placement
+//
+// The module's whole value is that every Recovery Manager replica can
+// compute the same placement locally from tiny shared metadata, so the
+// properties below are the contract:
+//  * purity        — same inputs, same answer, always;
+//  * exclusion     — never a dead host (absent from the alive set), never
+//                    a host the group already occupies;
+//  * totality      — an admissible host is found whenever one exists;
+//  * balance       — anchor loads differ by at most one across hosts
+//                    (max/min <= 1.5 at 128 groups over 50 hosts);
+//  * minimal move  — a node join relocates at most ceil(G/N) groups, all
+//                    of them onto the joined host;
+//  * convergence   — two RmCores fed the identical crash/join sequence
+//                    agree on every placement choice.
+// Sampled over ~10k pseudo-random tuples from a fixed-seed generator, so
+// failures reproduce exactly.
+
+#include "core/placement.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <random>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/rm_core.h"
+
+namespace mead::core {
+namespace {
+
+namespace pl = placement;
+
+std::vector<std::string> make_hosts(std::size_t n, const std::string& prefix) {
+  std::vector<std::string> hosts;
+  hosts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    hosts.push_back(prefix + std::to_string(100 + i));  // sorts lexically
+  }
+  return hosts;
+}
+
+std::vector<std::string> make_groups(std::size_t n) {
+  std::vector<std::string> groups;
+  groups.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    groups.push_back("svc" + std::to_string(100 + i));
+  }
+  return groups;
+}
+
+TEST(JumpBucket, RangeAndDeterminism) {
+  std::mt19937_64 rng(2026);
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t key = rng();
+    const std::int32_t buckets = 1 + static_cast<std::int32_t>(rng() % 100);
+    const std::int32_t b = pl::jump_bucket(key, buckets);
+    ASSERT_GE(b, 0);
+    ASSERT_LT(b, buckets);
+    ASSERT_EQ(b, pl::jump_bucket(key, buckets));
+  }
+  EXPECT_EQ(pl::jump_bucket(12345, 1), 0);
+  EXPECT_EQ(pl::jump_bucket(12345, 0), 0);
+}
+
+TEST(JumpBucket, GrowthMovesKeysOnlyOntoTheNewBucket) {
+  // The defining jump-hash property: going from n to n+1 buckets, a key
+  // either stays put or moves to bucket n — never between old buckets.
+  std::mt19937_64 rng(7);
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t key = rng();
+    const std::int32_t n = 1 + static_cast<std::int32_t>(rng() % 64);
+    const std::int32_t before = pl::jump_bucket(key, n);
+    const std::int32_t after = pl::jump_bucket(key, n + 1);
+    ASSERT_TRUE(after == before || after == n)
+        << "key " << key << " moved " << before << " -> " << after
+        << " while growing " << n << " -> " << n + 1;
+  }
+}
+
+TEST(Choose, PurityExclusionAndTotalityOverSampledTuples) {
+  // ~10k sampled (service, incarnation, alive set, excluded set) tuples.
+  std::mt19937_64 rng(2004);
+  const std::vector<std::string> universe = make_hosts(80, "node");
+  for (int iter = 0; iter < 10'000; ++iter) {
+    // Alive: a sorted random subset of the universe (dead hosts are by
+    // definition the ones not listed).
+    const std::size_t alive_n = 1 + rng() % 60;
+    std::vector<std::string> alive = universe;
+    std::shuffle(alive.begin(), alive.end(), rng);
+    alive.resize(alive_n);
+    std::sort(alive.begin(), alive.end());
+
+    // Excluded: a random subset of alive (current members / reservations),
+    // sometimes all of them.
+    std::vector<std::string> excluded;
+    const std::size_t excl_n = rng() % (alive_n + 1);
+    excluded.assign(alive.begin(), alive.begin() + excl_n);
+
+    const std::string service = "svc" + std::to_string(rng() % 40);
+    const int incarnation = 1 + static_cast<int>(rng() % 500);
+
+    const auto pick = pl::choose(service, incarnation, alive, excluded);
+    // Totality: an answer exists iff alive minus excluded is non-empty.
+    ASSERT_EQ(pick.has_value(), excl_n < alive_n)
+        << service << "#" << incarnation << " alive=" << alive_n
+        << " excluded=" << excl_n;
+    if (!pick) continue;
+    // Membership: the answer is an alive host.
+    ASSERT_TRUE(std::binary_search(alive.begin(), alive.end(), *pick));
+    // Exclusion: never a current member / reservation.
+    ASSERT_EQ(std::find(excluded.begin(), excluded.end(), *pick),
+              excluded.end());
+    // Purity: recomputing from the same inputs gives the same host.
+    ASSERT_EQ(pick, pl::choose(service, incarnation, alive, excluded));
+  }
+}
+
+TEST(Choose, SpreadsIncarnationsAcrossHosts) {
+  // Not a balance guarantee (choose is per-decision, anchors() does
+  // layout), but successive incarnations of one service must not pile
+  // onto a single host when the alive set is wide.
+  const std::vector<std::string> alive = make_hosts(50, "node");
+  std::set<std::string> picked;
+  for (int inc = 1; inc <= 64; ++inc) {
+    const auto pick = pl::choose("TimeOfDay", inc, alive, {});
+    ASSERT_TRUE(pick.has_value());
+    picked.insert(*pick);
+  }
+  EXPECT_GE(picked.size(), 20u) << "64 incarnations landed on only "
+                                << picked.size() << " of 50 hosts";
+}
+
+TEST(Anchors, BalanceAt128GroupsOver50Hosts) {
+  const std::vector<std::string> groups = make_groups(128);
+  const std::vector<std::string> alive = make_hosts(50, "node");
+  const std::vector<std::string> anchor = pl::anchors(groups, alive);
+  ASSERT_EQ(anchor.size(), groups.size());
+
+  std::map<std::string, std::size_t> load;
+  for (const auto& h : anchor) {
+    ASSERT_TRUE(std::binary_search(alive.begin(), alive.end(), h));
+    ++load[h];
+  }
+  std::size_t max_load = 0;
+  std::size_t min_load = groups.size();
+  for (const auto& h : alive) {
+    const auto it = load.find(h);
+    const std::size_t l = it == load.end() ? 0 : it->second;
+    max_load = std::max(max_load, l);
+    min_load = std::min(min_load, l);
+  }
+  // The load-cap construction guarantees loads in {floor, ceil} —
+  // {2, 3} here, so max/min is exactly 1.5 and never worse.
+  EXPECT_EQ(max_load, 3u);
+  EXPECT_EQ(min_load, 2u);
+  EXPECT_LE(static_cast<double>(max_load),
+            1.5 * static_cast<double>(min_load));
+}
+
+TEST(Anchors, LoadsDifferByAtMostOneOverSampledShapes) {
+  std::mt19937_64 rng(41);
+  for (int iter = 0; iter < 300; ++iter) {
+    const std::size_t n_groups = 1 + rng() % 200;
+    const std::size_t n_hosts = 1 + rng() % 64;
+    const auto groups = make_groups(n_groups);
+    const auto alive = make_hosts(n_hosts, "h");
+    const auto anchor = pl::anchors(groups, alive);
+    ASSERT_EQ(anchor.size(), n_groups);
+    std::map<std::string, std::size_t> load;
+    for (const auto& h : anchor) ++load[h];
+    std::size_t max_load = 0;
+    std::size_t min_load = n_groups;
+    for (const auto& h : alive) {
+      const auto it = load.find(h);
+      const std::size_t l = it == load.end() ? 0 : it->second;
+      max_load = std::max(max_load, l);
+      min_load = std::min(min_load, l);
+    }
+    ASSERT_LE(max_load - min_load, 1u)
+        << n_groups << " groups over " << n_hosts << " hosts";
+  }
+}
+
+TEST(RebalanceMoves, JoinMovesAtMostCeilGOverNGroupsAllOntoJoined) {
+  std::mt19937_64 rng(97);
+  for (int iter = 0; iter < 300; ++iter) {
+    const std::size_t n_groups = 1 + rng() % 160;
+    const std::size_t n_hosts = 1 + rng() % 50;
+    const auto groups = make_groups(n_groups);
+    auto alive = make_hosts(n_hosts + 1, "w");
+    // Withhold one host as the joiner.
+    const std::string joined = alive[rng() % alive.size()];
+    alive.erase(std::find(alive.begin(), alive.end(), joined));
+
+    const auto moves = pl::rebalance_moves(groups, alive, joined);
+
+    const std::size_t ceil_gn = (n_groups + n_hosts - 1) / n_hosts;
+    ASSERT_LE(moves.size(), ceil_gn)
+        << n_groups << " groups, " << n_hosts << " hosts";
+
+    // The migration set is exactly the groups whose anchor under the
+    // grown universe is the joined host — nothing else migrates (the
+    // anchor layout may shuffle survivors' anchors under the load caps,
+    // but the rebalance pass only ever moves groups ONTO the joiner).
+    std::vector<std::string> grown = alive;
+    grown.insert(
+        std::upper_bound(grown.begin(), grown.end(), joined), joined);
+    const auto after = pl::anchors(groups, grown);
+    std::vector<std::string> onto_joined;
+    for (std::size_t i = 0; i < groups.size(); ++i) {
+      if (after[i] == joined) onto_joined.push_back(groups[i]);
+    }
+    ASSERT_EQ(moves, onto_joined);
+    // Purity: recomputation agrees.
+    ASSERT_EQ(moves, pl::rebalance_moves(groups, alive, joined));
+  }
+}
+
+TEST(RebalanceMoves, AlreadyPresentHostMovesNothing) {
+  const auto groups = make_groups(32);
+  const auto alive = make_hosts(8, "w");
+  EXPECT_TRUE(pl::rebalance_moves(groups, alive, alive.front()).empty());
+}
+
+// ---- RmCore convergence: the property the O(1) wire protocol rests on.
+
+RmCore make_core(const std::string& self, std::size_t n_groups,
+                 const std::vector<std::string>& pool) {
+  std::vector<GroupTarget> targets;
+  for (std::size_t i = 0; i < n_groups; ++i) {
+    GroupTarget t{"svc" + std::to_string(100 + i), 2};
+    t.placement = PlacementPolicy::kAlgorithmic;
+    t.hosts = pool;
+    targets.push_back(std::move(t));
+  }
+  return RmCore(std::move(targets), self, /*replicated=*/false);
+}
+
+TEST(RmCoreAlgorithmic, ReplicasFedTheSameSequenceAgreeOnEveryChoice) {
+  const auto pool = make_hosts(20, "node");
+  auto a = make_core("mead/rm/0", 16, pool);
+  auto b = make_core("mead/rm/1", 16, pool);
+
+  std::mt19937_64 rng(5);
+  std::vector<std::string> down;
+  for (int step = 0; step < 200; ++step) {
+    // Random walk over the universe: crash an alive host or rejoin a
+    // dead one, feeding the identical observation to both cores.
+    const bool crash = down.empty() || (down.size() < 10 && rng() % 2 == 0);
+    if (crash) {
+      const std::string host = pool[rng() % pool.size()];
+      if (std::find(down.begin(), down.end(), host) != down.end()) continue;
+      down.push_back(host);
+      (void)a.on_node_crash(host);
+      (void)b.on_node_crash(host);
+    } else {
+      const std::string host = down.back();
+      down.pop_back();
+      (void)a.on_node_join(host);
+      (void)b.on_node_join(host);
+    }
+    ASSERT_EQ(a.alive_epoch(), b.alive_epoch());
+    ASSERT_EQ(a.alive_hosts(), b.alive_hosts());
+    for (const auto& t : a.targets()) {
+      ASSERT_EQ(a.placement_choice(t.service), b.placement_choice(t.service))
+          << t.service << " at step " << step;
+    }
+  }
+}
+
+TEST(RmCoreAlgorithmic, ChoiceExcludesDeadHosts) {
+  const auto pool = make_hosts(6, "node");
+  auto core = make_core("mead/rm/0", 4, pool);
+  // Kill all but one host: every group's choice must be the survivor.
+  for (std::size_t i = 0; i + 1 < pool.size(); ++i) {
+    (void)core.on_node_crash(pool[i]);
+  }
+  for (const auto& t : core.targets()) {
+    const auto pick = core.placement_choice(t.service);
+    ASSERT_TRUE(pick.has_value());
+    EXPECT_EQ(*pick, pool.back());
+  }
+  // Kill the last one: no admissible host remains.
+  (void)core.on_node_crash(pool.back());
+  for (const auto& t : core.targets()) {
+    EXPECT_FALSE(core.placement_choice(t.service).has_value());
+  }
+}
+
+TEST(RmCoreAlgorithmic, PlacementChoiceIsNulloptForNonAlgorithmicGroups) {
+  GroupTarget t{"TimeOfDay", 3};  // default kCycle
+  RmCore core({t}, "mead/rm/0", /*replicated=*/false);
+  EXPECT_FALSE(core.placement_choice("TimeOfDay").has_value());
+  EXPECT_FALSE(core.placement_choice("no-such-service").has_value());
+}
+
+}  // namespace
+}  // namespace mead::core

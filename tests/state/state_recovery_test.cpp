@@ -113,6 +113,77 @@ TEST(StateRecoveryTest, DefaultConfigBuildsNoStateMachinery) {
   }
 }
 
+TEST(StateRecoveryTest, PullRestoreStripesTheChainAcrossSurvivingPeers) {
+  // Pull model (StateOptions::pull_restore): the restoring replacement's
+  // kCkptRequest is answered by EVERY announced survivor, each sending the
+  // stripe of the delta chain its listing rank owns, so the rebuild reads
+  // from all peers concurrently instead of serializing on the primary.
+  ExperimentSpec spec = stateful_spec();
+  spec.groups[0].state.pull_restore = true;
+  spec.chaos.crash_process(milliseconds(150), kServiceName);
+
+  Experiment exp(spec);
+  ASSERT_TRUE(exp.start());
+  exp.launch_client();
+  exp.run_to_completion();
+  exp.sim().run_for(milliseconds(500));
+  const ExperimentResult r = exp.collect();
+
+  EXPECT_GE(r.state_restores, 1u);
+  EXPECT_TRUE(r.state_ok);
+
+  // Both surviving peers answered a stripe of the same pull.
+  const ServiceGroup* g = exp.testbed().group(kServiceName);
+  ASSERT_NE(g, nullptr);
+  std::size_t answerers = 0;
+  for (const auto& rep : g->replicas()) {
+    if (rep->mead().stats().pull_answers > 0) ++answerers;
+  }
+  EXPECT_GE(answerers, 2u) << "chain was not striped across survivors";
+}
+
+TEST(StateRecoveryTest, TwoCrashesInOneDeadIntervalRebuildFromOneSurvivor) {
+  // Both older replicas die 2 ms apart — before either replacement can
+  // announce — leaving a single survivor holding the only copy of the
+  // state. Both replacements pull from it concurrently (their directed
+  // chains interleave on the ckpt channel) and must both converge.
+  ExperimentSpec spec = stateful_spec();
+  spec.groups[0].state.pull_restore = true;
+  spec.chaos.crash_process(milliseconds(150), kServiceName);
+  spec.chaos.crash_process(milliseconds(152), kServiceName);
+
+  Experiment exp(spec);
+  ASSERT_TRUE(exp.start());
+  exp.launch_client();
+  exp.run_to_completion();
+  exp.sim().run_for(milliseconds(800));  // both replacements settle
+  const ExperimentResult r = exp.collect();
+
+  // Two completed peer restores, nothing lost or double-applied.
+  EXPECT_GE(r.state_restores, 2u);
+  EXPECT_TRUE(r.state_ok);
+  EXPECT_EQ(r.group_results[0].invocations_completed, 400u);
+
+  // The group is whole again and the two replacements hold identical
+  // state: same applied watermark, same digest.
+  const ServiceGroup* g = exp.testbed().group(kServiceName);
+  ASSERT_NE(g, nullptr);
+  EXPECT_GE(g->live_replica_count(), 3u);
+  std::vector<const state::AppState*> rebuilt;
+  for (const auto& rep : g->replicas()) {
+    if (rep->alive() && !rep->mead().restoring() &&
+        rep->mead().stats().restores > 0) {
+      rebuilt.push_back(rep->mead().app_state());
+    }
+  }
+  ASSERT_GE(rebuilt.size(), 2u);
+  for (const auto* s : rebuilt) {
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(s->applied(), rebuilt.front()->applied());
+    EXPECT_EQ(s->digest(), rebuilt.front()->digest());
+  }
+}
+
 TEST(StateRecoveryTest, RestoreWorksUnderEverySchemeWithLeakRecovery) {
   // The proactive schemes rejuvenate replicas mid-run (memory-leak
   // thresholds); each rejuvenated incarnation must come back through the

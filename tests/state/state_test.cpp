@@ -180,5 +180,107 @@ TEST(MessageLogTest, ReplayReachesPrimaryDigestOrRefuses) {
   EXPECT_EQ(MessageLog::replay(holed, primary.digest(), r2), -1);
 }
 
+TEST(CheckpointStoreTest, DeltaChainedToTheWrongBaseEpochIsRejected) {
+  // Two primaries at different rebase points produce deltas with the
+  // same epoch number but different base_epoch lineage: a mirror
+  // following primary A must refuse a delta whose base_epoch names a
+  // base it never installed, not silently fold foreign entries.
+  AppState primary(8);
+  CheckpointStore pstore(/*rebase_every=*/100);
+  (void)primary.apply_next();
+  const Checkpoint base = pstore.take(primary);  // epoch 1, the mirror's base
+  (void)primary.apply_next();
+  const Checkpoint d1 = pstore.take(primary);    // epoch 2 chained to base 1
+
+  AppState mirror(8);
+  CheckpointStore mstore(100);
+  ASSERT_EQ(mstore.apply(base, mirror), CheckpointStore::Apply::kApplied);
+
+  Checkpoint wrong_base = d1;
+  wrong_base.base_epoch = 7;  // claims a base the mirror never saw
+  EXPECT_EQ(mstore.apply(wrong_base, mirror), CheckpointStore::Apply::kGap);
+  // The mirror's installed prefix is untouched by the refusal...
+  EXPECT_EQ(mirror.applied(), base.applied);
+  EXPECT_EQ(mirror.digest(), base.digest);
+  // ...and the genuine delta still applies afterwards.
+  EXPECT_EQ(mstore.apply(d1, mirror), CheckpointStore::Apply::kApplied);
+  EXPECT_EQ(mirror.digest(), primary.digest());
+}
+
+TEST(CheckpointStoreTest, DigestMismatchPreservesTheInstalledPrefix) {
+  // A restore that hits a diverged checkpoint mid-chain must refuse it
+  // and keep the consistent prefix: state, progress watermark, and the
+  // local chain all stay exactly where the last good epoch left them
+  // (the watchdog may then announce with the prefix).
+  AppState primary(8);
+  CheckpointStore pstore(/*rebase_every=*/100);
+  (void)primary.apply_next();
+  const Checkpoint base = pstore.take(primary);
+  (void)primary.apply_next();
+  const Checkpoint d1 = pstore.take(primary);
+  (void)primary.apply_next();
+  const Checkpoint d2 = pstore.take(primary);
+
+  AppState mirror(8);
+  CheckpointStore mstore(100);
+  ASSERT_EQ(mstore.apply(base, mirror), CheckpointStore::Apply::kApplied);
+  ASSERT_EQ(mstore.apply(d1, mirror), CheckpointStore::Apply::kApplied);
+  const std::uint64_t prefix_digest = mirror.digest();
+  const std::uint64_t prefix_applied = mirror.applied();
+  const std::uint64_t prefix_epoch = mstore.last_epoch();
+
+  Checkpoint diverged = d2;
+  diverged.prev_digest ^= 0x5a5a;  // right position, wrong lineage
+  EXPECT_EQ(mstore.apply(diverged, mirror),
+            CheckpointStore::Apply::kDigestMismatch);
+  EXPECT_EQ(mirror.digest(), prefix_digest);
+  EXPECT_EQ(mirror.applied(), prefix_applied);
+  EXPECT_EQ(mstore.last_epoch(), prefix_epoch);
+  // The prefix is still extensible by the authentic successor.
+  EXPECT_EQ(mstore.apply(d2, mirror), CheckpointStore::Apply::kApplied);
+  EXPECT_EQ(mirror.digest(), primary.digest());
+}
+
+TEST(MessageLogTest, WraparoundReplayYieldsOnlyTheRetainedSuffix) {
+  // The primary loops through many checkpoint/truncate cycles — the log
+  // "wraps" repeatedly. After the last truncation only the suffix since
+  // that checkpoint is retained: replay from the matching checkpoint
+  // succeeds, replay from anything older reports the hole.
+  AppState primary(8);
+  CheckpointStore pstore(/*rebase_every=*/100);
+  MessageLog log(4);
+
+  Checkpoint mid;  // the checkpoint the retained suffix starts after
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    while (!log.full()) log.append(primary.apply_next());
+    mid = pstore.take(primary);
+    log.truncate_through(mid.applied);
+    ASSERT_TRUE(log.empty()) << "cycle " << cycle;
+  }
+  for (int i = 0; i < 3; ++i) log.append(primary.apply_next());
+
+  // Only the post-checkpoint suffix is retained.
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_EQ(log.entries().front(), mid.applied + 1);
+
+  // A mirror restored through the retained chain (base + every delta up
+  // to the last checkpoint) replays the suffix exactly.
+  AppState caught_up(8);
+  CheckpointStore cstore(100);
+  for (const Checkpoint& c : pstore.chain()) {
+    ASSERT_EQ(cstore.apply(c, caught_up), CheckpointStore::Apply::kApplied)
+        << "epoch " << c.epoch;
+  }
+  ASSERT_EQ(caught_up.applied(), mid.applied);
+  EXPECT_EQ(MessageLog::replay(log.entries(), primary.digest(), caught_up), 3);
+  EXPECT_EQ(caught_up.digest(), primary.digest());
+
+  // A mirror stuck one whole cycle behind sees a sequence hole — the
+  // truncated middle is gone for good, not silently skipped.
+  AppState stale(8);
+  EXPECT_EQ(MessageLog::replay(log.entries(), primary.digest(), stale), -1);
+  EXPECT_EQ(stale.applied(), 0u);
+}
+
 }  // namespace
 }  // namespace mead::state
