@@ -193,6 +193,56 @@ def check_state_trends(name: str, report: dict, failures: list) -> None:
           f"{', '.join(f'{a:.2f}' for a in advantages)} ms")
 
 
+# Trend checks for the proactive-migration sweep — self-contained in the
+# fresh BENCH_migration.json (no baseline required). Two properties
+# define the feature:
+#   1. the planned rotation's client-visible unavailability window stays
+#      STRICTLY below the reactive window at every state size — the
+#      pre-warmed standby registers before the old primary exits, so the
+#      drain never reaches the client, while reactive recovery eats
+#      detection + launch + restore (which grows with state size);
+#   2. the kQuorum read plane is flat through a rejoin: the rejoiner
+#      counts for writes immediately but is excluded from reads until
+#      its catch-up completes, so the client sees EXACTLY zero
+#      exceptions inside the catch-up window (deterministic sim — no
+#      tolerance).
+MIGRATION_MODES = ("reactive", "migration")
+
+
+def check_migration_trends(name: str, report: dict, failures: list) -> None:
+    runs = [r for r in report.get("runs", []) if "state_keys" in r]
+    windows = {(r["label"].split("/")[0], r["state_keys"]): r["window_ms"]
+               for r in runs if "window_ms" in r}
+    if windows:
+        keys_axis = sorted({k for (_, k) in windows})
+        for k in keys_axis:
+            reactive = windows.get(("reactive", k))
+            migration = windows.get(("migration", k))
+            if reactive is None or migration is None:
+                continue
+            if migration >= reactive:
+                print(f"FAIL {name}: migration window not below reactive "
+                      f"at keys{k:.0f}: {migration:.2f} ms vs "
+                      f"{reactive:.2f} ms")
+                failures.append(name)
+            else:
+                print(f"ok   {name}: migration window below reactive at "
+                      f"keys{k:.0f} ({migration:.2f} ms < "
+                      f"{reactive:.2f} ms)")
+    for r in runs:
+        if "catchup_exceptions" not in r:
+            continue
+        ex = r["catchup_exceptions"]
+        if ex != 0:
+            print(f"FAIL {name}: '{r['label']}' quorum read availability "
+                  f"broke through the rejoin "
+                  f"({ex:.0f} client exceptions in the catch-up window)")
+            failures.append(name)
+        else:
+            print(f"ok   {name}: '{r['label']}' quorum reads flat through "
+                  f"the rejoin (0 exceptions in the catch-up window)")
+
+
 # O(1) placement-traffic guard for the placement sweep — self-contained
 # in the fresh BENCH_placement.json (no baseline required). Frames are
 # counts of deterministic simulated control traffic, so both properties
@@ -270,6 +320,7 @@ def main() -> int:
         fresh = load(path)
         # Self-contained trend checks run on the fresh file alone.
         check_state_trends(path.name, fresh, failures)
+        check_migration_trends(path.name, fresh, failures)
         check_placement_o1(path.name, fresh, failures)
         base_path = args.baseline_dir / path.name
         if not base_path.exists():

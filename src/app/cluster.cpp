@@ -105,6 +105,8 @@ bool ServiceGroup::spawn_replica(int incarnation, const std::string& host_hint) 
   ro.naming_host = naming_host_;
   ro.state_sync = spec_.state_sync;
   ro.state = spec_.state;
+  ro.style = spec_.style;
+  ro.migration = spec_.migration;
   replicas_.push_back(TimeOfDayReplica::launch(net_, host, std::move(ro)));
   return true;
 }

@@ -107,11 +107,17 @@ struct ServiceGroupSpec {
   /// kWarmPassive (default): only the primary serves — the paper's model.
   /// kActiveReadFanout: every live replica serves reads; the Recovery
   /// Manager publishes the group's read set so routing clients can spread
-  /// read traffic over it.
+  /// read traffic over it. kQuorum: leaderless R/W quorums over that set —
+  /// a rejoining replica counts for writes immediately and serves reads
+  /// again once caught up, so the group never blocks on a restore.
   core::ReplicationStyle style = core::ReplicationStyle::kWarmPassive;
   /// Stateful-service checkpointing + restore-gated announce (ISSUE 8).
   /// Default off: replicas stay the seed's stateless counters.
   core::StateOptions state;
+  /// Prediction-driven proactive rotation: when horizon > 0 the Recovery
+  /// Manager trends the primary's usage reports and rotates the group
+  /// before predicted exhaustion. Default off (seed behavior).
+  core::MigrationSpec migration;
 
   /// GC member name of one incarnation. The paper's default group keeps
   /// the historical bare "replica/N" names (seed-trace compatibility);

@@ -78,12 +78,16 @@ StartResult Experiment::start() {
   ckpt_deltas0_ = delta("state.ckpt.deltas");
   ckpt_bytes0_ = delta("state.ckpt.bytes");
   replay0_ = delta("state.replay.msgs");
+  migrations0_ = delta("rm.migrations");
+  handoff_ms0_ = delta("mead.handoff_ms");
+  dedup_hits0_ = delta("state.dedup.hits");
   for (const auto& g : bed_.groups()) {
     GroupBaseline base;
     base.deaths0 = g->replica_deaths();
     base.launches0 = delta("rm.launches." + g->service());
     base.proactive0 = delta("rm.proactive_launches." + g->service());
     base.reactive0 = delta("rm.reactive_launches." + g->service());
+    base.migrations0 = delta("rm.migrations." + g->service());
     group_base_.push_back(base);
   }
   return up;
@@ -169,6 +173,9 @@ ExperimentResult Experiment::collect() const {
   out.ckpt_deltas = delta("state.ckpt.deltas") - ckpt_deltas0_;
   out.ckpt_bytes = delta("state.ckpt.bytes") - ckpt_bytes0_;
   out.replayed_msgs = delta("state.replay.msgs") - replay0_;
+  out.rm_migrations = delta("rm.migrations") - migrations0_;
+  out.handoff_ms = delta("mead.handoff_ms") - handoff_ms0_;
+  out.dedup_hits = delta("state.dedup.hits") - dedup_hits0_;
   // Per-client rollups, in launch order.
   for (std::size_t i = 0; i < clients_.size(); ++i) {
     const ClientResults cr = clients_[i]->results();
@@ -180,6 +187,10 @@ ExperimentResult Experiment::collect() const {
     roll.exceptions = cr.total_exceptions();
     roll.naming_refreshes = cr.naming_refreshes;
     roll.route_switches = cr.route_switches;
+    roll.quorum_reads = cr.quorum_reads;
+    roll.quorum_repairs = cr.quorum_repairs;
+    out.quorum_reads += cr.quorum_reads;
+    out.quorum_repairs += cr.quorum_repairs;
     roll.steady_state_rtt_ms = cr.steady_state_rtt_ms();
     out.client_results.push_back(std::move(roll));
   }
@@ -197,6 +208,7 @@ ExperimentResult Experiment::collect() const {
         delta("rm.proactive_launches." + g.service()) - base.proactive0;
     gr.reactive_launches =
         delta("rm.reactive_launches." + g.service()) - base.reactive0;
+    gr.rm_migrations = delta("rm.migrations." + g.service()) - base.migrations0;
     double steady_sum = 0;
     for (std::size_t c = 0; c < out.client_results.size(); ++c) {
       if (client_group_[c] != i) continue;
@@ -205,6 +217,8 @@ ExperimentResult Experiment::collect() const {
       gr.client_exceptions += roll.exceptions;
       gr.naming_refreshes += roll.naming_refreshes;
       gr.route_switches += roll.route_switches;
+      gr.quorum_reads += roll.quorum_reads;
+      gr.quorum_repairs += roll.quorum_repairs;
       steady_sum += roll.steady_state_rtt_ms;
       ++gr.clients;
     }
@@ -220,6 +234,7 @@ ExperimentResult Experiment::collect() const {
       for (const auto& r : g.replicas()) {
         const core::ServerMead& mead = r->mead();
         gr.state_restores += mead.stats().restores;
+        gr.dedup_hits += mead.stats().dedup_hits;
         if (mead.stats().restores > 0) {
           restore_ms_sum += mead.stats().last_restore_ms;
           ++restored_replicas;

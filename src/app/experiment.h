@@ -58,7 +58,8 @@ struct ExperimentSpec {
   /// "client.<service>.<k>.*" and member name "<service>/client/<k>".
   int clients_per_group = 1;
   /// Read-routing policy for every measurement client. Only effective
-  /// against kActiveReadFanout groups; kPrimaryOnly is the paper's model.
+  /// against read-set-publishing groups (kActiveReadFanout, kQuorum);
+  /// kPrimaryOnly is the paper's model.
   orb::RoutingPolicy routing = orb::RoutingPolicy::kPrimaryOnly;
   /// Cross-group striping workloads, launched after the per-group clients.
   std::vector<StripeSpec> stripes;
@@ -111,6 +112,15 @@ struct GroupResult {
   /// Completed checkpoint restores (base + deltas + log replay) summed
   /// over every incarnation the group ever launched.
   std::uint64_t state_restores = 0;
+  /// Prediction-driven rotations planned for this group
+  /// ("rm.migrations.<svc>"; MigrationSpec groups only).
+  std::uint64_t rm_migrations = 0;
+  /// Duplicate requests suppressed server-side, summed over every
+  /// incarnation (dedup-enabled groups only).
+  std::uint64_t dedup_hits = 0;
+  /// kQuorum confirm reads / read repairs, summed over the group's clients.
+  std::uint64_t quorum_reads = 0;
+  std::uint64_t quorum_repairs = 0;
 };
 
 /// Per-client rollup: one entry per measurement client, in launch order
@@ -123,6 +133,8 @@ struct ClientRollup {
   std::uint64_t exceptions = 0;
   std::uint64_t naming_refreshes = 0;
   std::uint64_t route_switches = 0;
+  std::uint64_t quorum_reads = 0;
+  std::uint64_t quorum_repairs = 0;
   double steady_state_rtt_ms = 0;
 };
 
@@ -152,6 +164,13 @@ struct ExperimentResult {
   /// restored; 0 when none did.
   double state_restore_ms = 0;
   bool state_ok = true;                // AND over group_results[].state_ok
+  // Prediction-driven migration + quorum plane (all zero when no group
+  // enables MigrationSpec / kQuorum / dedup — gated counters).
+  std::uint64_t rm_migrations = 0;     // rotations planned ("rm.migrations")
+  std::uint64_t handoff_ms = 0;        // summed drain windows ("mead.handoff_ms")
+  std::uint64_t dedup_hits = 0;        // duplicate suppressions ("state.dedup.hits")
+  std::uint64_t quorum_reads = 0;      // summed over client rollups
+  std::uint64_t quorum_repairs = 0;
   double wall_ms = 0;                  // real (host) time spent in run()
   /// One entry per hosted group, in spec order.
   std::vector<GroupResult> group_results;
@@ -244,6 +263,7 @@ class Experiment {
     std::uint64_t launches0 = 0;
     std::uint64_t proactive0 = 0;
     std::uint64_t reactive0 = 0;
+    std::uint64_t migrations0 = 0;
   };
   std::vector<GroupBaseline> group_base_;
   std::size_t deaths0_ = 0;
@@ -261,6 +281,9 @@ class Experiment {
   std::uint64_t ckpt_deltas0_ = 0;
   std::uint64_t ckpt_bytes0_ = 0;
   std::uint64_t replay0_ = 0;
+  std::uint64_t migrations0_ = 0;
+  std::uint64_t handoff_ms0_ = 0;
+  std::uint64_t dedup_hits0_ = 0;
 };
 
 /// One-shot convenience wrapper.

@@ -4,6 +4,22 @@
 
 namespace mead::app {
 
+namespace {
+
+// Stable per-client dedup identity: FNV-1a of the GC member name (unique
+// cluster-wide), so tokens survive the client process without any central
+// id allocation.
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (const char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
 double ClientResults::steady_state_rtt_ms() const {
   // Failover RTTs are excluded by value: any sample that also appears in
   // failover_ms was a recovery invocation. Recovery invocations are rare
@@ -119,6 +135,10 @@ ClientResults ExperimentClient::results() const {
   out.other_exceptions = other_exceptions_.delta();
   out.naming_refreshes = naming_refreshes_.delta();
   out.route_switches = route_switches_.delta();
+  if (quorum_reads_ != nullptr) {
+    out.quorum_reads = quorum_reads_->value() - quorum_reads_base_;
+    out.quorum_repairs = quorum_repairs_->value() - quorum_repairs_base_;
+  }
   return out;
 }
 
@@ -154,13 +174,19 @@ sim::Task<StartResult> ExperimentClient::setup_target(Target& target) {
     }
     target.stub = std::make_unique<orb::Stub>(*orb_, std::move(primary.value()));
   }
+  const ServiceGroup* group = bed_.group(target.service);
+  // Reply dedup rides on the group's checkpointed state: token every
+  // request so a failover retry of an applied write is answered from the
+  // server's cache instead of re-applied.
+  target.dedup = group != nullptr && group->spec().state.dedup_cap > 0;
   // Read-fanout routing: attach a router and keep it fed with the Recovery
-  // Manager's read-set updates. Warm-passive groups have no read set, so a
-  // non-default policy quietly degenerates to primary-only there.
+  // Manager's read-set updates (kReadSet for kActiveReadFanout, kQuorumSet
+  // for kQuorum). Warm-passive groups have no read set, so a non-default
+  // policy quietly degenerates to primary-only there.
   if (opts_.routing != orb::RoutingPolicy::kPrimaryOnly) {
-    const ServiceGroup* group = bed_.group(target.service);
-    if (group != nullptr &&
-        group->spec().style == core::ReplicationStyle::kActiveReadFanout) {
+    if (group != nullptr && core::publishes_read_set(group->spec().style)) {
+      target.quorum =
+          group->spec().style == core::ReplicationStyle::kQuorum;
       target.router = std::make_unique<orb::Router>(opts_.routing);
       target.stub->set_router(target.router.get());
       orb::Router* router = target.router.get();
@@ -173,7 +199,8 @@ sim::Task<StartResult> ExperimentClient::setup_target(Target& target) {
             for (const auto& e : rs.entries) {
               members.push_back(orb::Router::Target{e.member, e.ior});
             }
-            router->update(rs.version, rs.primary, std::move(members));
+            router->update(rs.version, rs.primary, std::move(members),
+                           rs.catching_up);
           });
       const bool up = co_await target.read_set->start();
       if (!up) {
@@ -251,6 +278,40 @@ sim::Task<void> ExperimentClient::recover_cached(Target& target,
   target.stub->rebind(target.cache[target.cache_idx]);
 }
 
+sim::Task<void> ExperimentClient::confirm_read(Target& target) {
+  // R = 2 over the read set: the routed read already answered; confirm it
+  // against one more live, caught-up replica. The per-member version
+  // vector holds the highest served_count each member ever returned — a
+  // reply below its own high-water mark means that replica regressed
+  // (restored from a stale checkpoint) and needs repair.
+  const std::string first = target.router->last_routed();
+  const orb::Router::Target* other = target.router->pick_read_other(first);
+  if (other == nullptr) co_return;  // no second healthy member right now
+  if (!target.confirm_stub) {
+    target.confirm_stub = std::make_unique<orb::Stub>(*orb_, other->ior);
+    target.confirm_member = other->member;
+  } else if (target.confirm_member != other->member) {
+    target.confirm_stub->rebind(other->ior);
+    target.confirm_member = other->member;
+  }
+  auto reply = co_await get_time(*target.confirm_stub);
+  if (!reply) co_return;  // best-effort: the next read-set update culls it
+  if (quorum_reads_ == nullptr) {
+    auto& metrics = bed_.sim().obs().metrics();
+    quorum_reads_ = &metrics.counter(prefix_ + ".quorum.reads");
+    quorum_repairs_ = &metrics.counter(prefix_ + ".quorum.repairs");
+    quorum_reads_base_ = quorum_reads_->value();
+    quorum_repairs_base_ = quorum_repairs_->value();
+  }
+  quorum_reads_->add();
+  auto& high = target.seen_counts[target.confirm_member];
+  if (reply->served_count < high) {
+    quorum_repairs_->add();
+  } else {
+    high = reply->served_count;
+  }
+}
+
 sim::Task<void> ExperimentClient::recover(Target& target,
                                           giop::SysExKind kind) {
   if (target.scheme == core::RecoveryScheme::kReactiveCache) {
@@ -288,9 +349,24 @@ sim::Task<void> ExperimentClient::run() {
         mead_ ? mead_->stats().mead_redirects : 0;
     bool exception_seen = false;
 
+    // Dedup token: fixed for the whole invocation, so every failover retry
+    // carries the same (client_id, seq) and the server's reply cache can
+    // suppress a re-apply (exactly-once across handoff).
+    Bytes token;
+    if (target.dedup) {
+      giop::CdrWriter w;
+      w.write_u64(fnv1a(opts_.member));
+      w.write_u64(static_cast<std::uint64_t>(i));
+      token = w.take();
+    }
+
+    std::uint64_t served_count = 0;
     for (;;) {
-      auto reply = co_await get_time(*target.stub);
-      if (reply) break;
+      auto reply = co_await get_time(*target.stub, token);
+      if (reply) {
+        served_count = reply->served_count;
+        break;
+      }
       if (!exception_seen) {
         exception_seen = true;
         obs.emit(obs::EventKind::kFailoverBegin, label_,
@@ -323,6 +399,16 @@ sim::Task<void> ExperimentClient::run() {
       failover_series.add(rtt.ms());
       obs.emit(obs::EventKind::kFailoverEnd, label_,
                exception_seen ? "visible" : "masked", rtt.ms());
+    }
+
+    if (target.quorum && target.router) {
+      // Record the routed member's high-water mark, then confirm the read
+      // against a second replica (R = 2).
+      if (const std::string& m = target.router->last_routed(); !m.empty()) {
+        auto& high = target.seen_counts[m];
+        if (served_count > high) high = served_count;
+      }
+      co_await confirm_read(target);
     }
 
     const TimePoint next = t0 + opts_.spacing;

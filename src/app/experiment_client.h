@@ -16,11 +16,16 @@
 // A client measures one service by default but can *stripe* over several
 // (options.services): invocation i goes to service i % N, each service
 // keeping its own stub, reference cache, and recovery scheme. Against
-// kActiveReadFanout groups a routing policy other than kPrimaryOnly
-// attaches an orb::Router fed by the Recovery Manager's read-set updates,
-// spreading reads over the group's live replicas.
+// read-set-publishing groups (kActiveReadFanout, kQuorum) a routing policy
+// other than kPrimaryOnly attaches an orb::Router fed by the Recovery
+// Manager's read-set updates, spreading reads over the group's live
+// replicas. kQuorum targets additionally confirm each read against a
+// second replica (R = 2) and count divergent replies as read repairs;
+// dedup-enabled groups get a (client_id, seq) token on every request so
+// the server suppresses re-applies across failover retries.
 #pragma once
 
+#include <map>
 #include <memory>
 #include <optional>
 
@@ -49,9 +54,9 @@ struct ClientOptions {
   /// stub/cache and uses its own group's recovery scheme. Striped clients
   /// cannot use kNeedsAddressing (its group query is single-service).
   std::vector<std::string> services;
-  /// Read-routing policy. Only effective against kActiveReadFanout groups
-  /// (warm-passive groups have no read set); kPrimaryOnly is the paper's
-  /// behaviour.
+  /// Read-routing policy. Only effective against read-set-publishing
+  /// groups (kActiveReadFanout, kQuorum — warm-passive groups have no read
+  /// set); kPrimaryOnly is the paper's behaviour.
   orb::RoutingPolicy routing = orb::RoutingPolicy::kPrimaryOnly;
   /// GC member name; empty derives "client/1" for the paper's group and
   /// "<service>/client/1" otherwise (member names are cluster-global).
@@ -89,6 +94,11 @@ struct ClientResults {
   std::uint64_t naming_refreshes = 0;
   /// Router-driven stub re-targets ("<prefix>.route_switches").
   std::uint64_t route_switches = 0;
+  /// kQuorum confirm reads completed ("<prefix>.quorum.reads") and the
+  /// subset that found the second replica behind the first (read repairs,
+  /// "<prefix>.quorum.repairs").
+  std::uint64_t quorum_reads = 0;
+  std::uint64_t quorum_repairs = 0;
 
   [[nodiscard]] std::uint64_t total_exceptions() const {
     return comm_failures + transients + other_exceptions;
@@ -143,6 +153,19 @@ class ExperimentClient {
     std::unique_ptr<core::ReadSetSubscriber> read_set;
     std::vector<giop::IOR> cache;
     std::size_t cache_idx = 0;
+    /// kQuorum only: second stub for the R = 2 confirm read, the member it
+    /// is currently bound to, and a per-member version vector of the
+    /// highest served_count each replica has returned (a confirm reply
+    /// below its member's recorded high-water mark is a read repair).
+    bool quorum = false;
+    std::unique_ptr<orb::Stub> confirm_stub;
+    std::string confirm_member;
+    std::map<std::string, std::uint64_t> seen_counts;
+    /// Reply-dedup tokens: enabled when the group checkpoints state with a
+    /// dedup cache (state.dedup_cap > 0). The token is reused across
+    /// retries of one invocation, so a failover retry of an already
+    /// applied request is suppressed server-side.
+    bool dedup = false;
   };
 
   [[nodiscard]] sim::Task<StartResult> setup();
@@ -151,6 +174,10 @@ class ExperimentClient {
   [[nodiscard]] sim::Task<void> recover_no_cache(Target& target);
   [[nodiscard]] sim::Task<void> recover_cached(Target& target,
                                                giop::SysExKind kind);
+  /// kQuorum R = 2: re-read from a second live replica and flag divergence
+  /// ("<prefix>.quorum.reads" / ".quorum.repairs"). Best-effort — a failed
+  /// confirm only drops that replica from the rotation.
+  [[nodiscard]] sim::Task<void> confirm_read(Target& target);
   void note_exception(giop::SysExKind kind);
 
   Testbed& bed_;
@@ -181,6 +208,12 @@ class ExperimentClient {
   TaxonomyCounter other_exceptions_;
   TaxonomyCounter naming_refreshes_;
   TaxonomyCounter route_switches_;
+  /// Resolved lazily on the first quorum confirm read (feature-gated so
+  /// non-quorum runs keep the seed's registry key set).
+  obs::Counter* quorum_reads_ = nullptr;
+  obs::Counter* quorum_repairs_ = nullptr;
+  std::uint64_t quorum_reads_base_ = 0;
+  std::uint64_t quorum_repairs_base_ = 0;
 
   ClientResults results_;
   bool done_ = false;

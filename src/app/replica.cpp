@@ -24,6 +24,8 @@ TimeOfDayReplica::TimeOfDayReplica(net::Network& net, const std::string& host,
   mead_cfg.daemon = net::Endpoint{host, gc::kDefaultDaemonPort};
   mead_cfg.state_sync_interval = opts_.state_sync;
   mead_cfg.state = opts_.state;
+  mead_cfg.style = opts_.style;
+  mead_cfg.migration = opts_.migration;
   mead_ = std::make_unique<core::ServerMead>(proc_, mead_cfg);
 
   // The ORB runs over the interceptor — unmodified, MEAD-unaware.

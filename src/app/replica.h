@@ -30,6 +30,10 @@ struct ReplicaOptions {
   Duration state_sync = milliseconds(100);
   /// Stateful-service checkpointing (default off = seed behavior).
   core::StateOptions state;
+  /// Replication style (kQuorum replicas announce before catch-up ends).
+  core::ReplicationStyle style = core::ReplicationStyle::kWarmPassive;
+  /// Prediction-driven rotation (off unless horizon > 0).
+  core::MigrationSpec migration;
 };
 
 class TimeOfDayReplica {

@@ -197,6 +197,7 @@ StartResult Testbed::start() {
     target.placement = g->spec().placement;
     target.style = g->spec().style;
     target.stateful = g->spec().state.enabled;
+    target.migration = g->spec().migration;
     if (target.placement == core::PlacementPolicy::kRestripe) {
       target.hosts = g->hosts();
       // Spill pool: the whole worker set, so a group survives losing its

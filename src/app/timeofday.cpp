@@ -30,8 +30,8 @@ void TimeOfDayServant::apply_state(const Bytes& state) {
 }
 
 sim::Task<Expected<TimeOfDayResult, giop::SystemException>> get_time(
-    orb::Stub& stub) {
-  auto reply = co_await stub.invoke("get_time", Bytes{});
+    orb::Stub& stub, Bytes args) {
+  auto reply = co_await stub.invoke("get_time", std::move(args));
   if (!reply) co_return make_unexpected(reply.error());
   giop::CdrReader r(reply.value(), giop::ByteOrder::kLittleEndian);
   TimeOfDayResult out;

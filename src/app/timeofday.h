@@ -44,8 +44,11 @@ struct TimeOfDayResult {
   std::uint64_t served_count = 0;
 };
 
-/// Typed client wrapper: one CORBA invocation of get_time.
+/// Typed client wrapper: one CORBA invocation of get_time. `args` rides
+/// along verbatim (the servant ignores it); dedup-enabled clients pass a
+/// 16-byte (client_id, seq) token the server-side interceptor consumes.
+/// The default keeps the seed's empty-args wire bytes.
 [[nodiscard]] sim::Task<Expected<TimeOfDayResult, giop::SystemException>>
-get_time(orb::Stub& stub);
+get_time(orb::Stub& stub, Bytes args = {});
 
 }  // namespace mead::app

@@ -41,14 +41,26 @@ enum class RecoveryScheme {
 enum class ReplicationStyle : std::uint8_t {
   kWarmPassive,      // the paper's model: one serving primary, warm backups
   kActiveReadFanout, // all live replicas serve reads; primary serves writes
+  kQuorum,           // leaderless R/W quorums over the published read set;
+                     // a rejoining replica serves traffic while catching up
+                     // (counted for writes immediately, excluded from reads
+                     // until its catch-up completes — HEAL-style)
 };
 
 [[nodiscard]] constexpr std::string_view to_string(ReplicationStyle s) {
   switch (s) {
     case ReplicationStyle::kWarmPassive: return "warm-passive";
     case ReplicationStyle::kActiveReadFanout: return "active-read-fanout";
+    case ReplicationStyle::kQuorum: return "quorum";
   }
   return "?";
+}
+
+/// True for styles whose read set the Recovery Manager publishes on the
+/// group's read-set channel (kQuorum additionally carries catching_up).
+[[nodiscard]] constexpr bool publishes_read_set(ReplicationStyle s) {
+  return s == ReplicationStyle::kActiveReadFanout ||
+         s == ReplicationStyle::kQuorum;
 }
 
 /// How the Recovery Manager chooses a host for a new replica incarnation.
@@ -159,6 +171,29 @@ struct StateOptions {
   /// single first-in-view answerer. Out-of-order stripes are buffered and
   /// drained in epoch order. Default off: byte-identical PR-8 behavior.
   bool pull_restore = false;
+  /// Reply-deduplication cache capacity (ISSUE 10): > 0 keeps the last N
+  /// applied request tokens per replica so a request retried across a
+  /// failover or handoff is applied exactly once. Replicated alongside
+  /// checkpoints and truncated with them. 0 = off (seed behavior).
+  std::uint32_t dedup_cap = 0;
+};
+
+/// Prediction-driven proactive migration (ISSUE 10). When enabled, the
+/// primary reports its resource usage on the control channel and the
+/// Recovery Manager's deterministic planner schedules a rotation — spawn a
+/// standby, atomic primary handoff, old primary rejuvenates — whenever the
+/// fitted time-to-exhaustion drops below `horizon`.
+struct MigrationSpec {
+  MigrationSpec() = default;
+
+  /// Act when predicted time-to-exhaustion < horizon. 0 = migration off.
+  Duration horizon{0};
+  /// Cool-down between planned migrations of the same group.
+  Duration min_interval = milliseconds(200);
+  /// Primary usage-report cadence on the control channel.
+  Duration report_interval = milliseconds(10);
+
+  [[nodiscard]] bool enabled() const { return horizon > Duration{0}; }
 };
 
 /// Identity + wiring for one MEAD-protected process.
@@ -181,6 +216,14 @@ struct MeadConfig {
   /// Stateful-service checkpointing (default off — the seed's
   /// stateless-counter behavior, byte-identical traces).
   StateOptions state;
+  /// Replication style of the owning group. kQuorum replicas announce
+  /// before their restore completes (online catch-up) and multicast
+  /// kCatchupDone when the restore finishes.
+  ReplicationStyle style = ReplicationStyle::kWarmPassive;
+  /// Prediction-driven migration (default off). When enabled, the primary
+  /// multicasts kUsageReport frames on the control channel for the RM's
+  /// migration planner.
+  MigrationSpec migration;
   /// Ports treated as infrastructure (never intercepted as app traffic).
   std::uint16_t daemon_port = 4803;
   std::uint16_t naming_port = 2809;

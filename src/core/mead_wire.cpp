@@ -216,6 +216,52 @@ Bytes encode_retire(const Retire& m) {
   return ctrl_frame(CtrlKind::kRetire, w.buffer());
 }
 
+Bytes encode_usage_report(const UsageReport& m) {
+  CdrWriter w;
+  w.write_string(m.member);
+  w.write_double(m.usage);
+  w.write_u64(m.at_ms);
+  return ctrl_frame(CtrlKind::kUsageReport, w.buffer());
+}
+
+Bytes encode_handoff(const Handoff& m) {
+  CdrWriter w;
+  w.write_string(m.service);
+  w.write_string(m.victim);
+  w.write_string(m.successor);
+  return ctrl_frame(CtrlKind::kHandoff, w.buffer());
+}
+
+Bytes encode_quorum_set(const ReadSet& m) {
+  CdrWriter w;
+  w.write_u64(m.version);
+  w.write_string(m.primary);
+  w.write_u32(static_cast<std::uint32_t>(m.entries.size()));
+  for (const auto& e : m.entries) write_announce(w, e);
+  w.write_u32(static_cast<std::uint32_t>(m.catching_up.size()));
+  for (const auto& name : m.catching_up) w.write_string(name);
+  return ctrl_frame(CtrlKind::kQuorumSet, w.buffer());
+}
+
+Bytes encode_catchup_done(const CatchupDone& m) {
+  CdrWriter w;
+  w.write_string(m.service);
+  w.write_string(m.member);
+  return ctrl_frame(CtrlKind::kCatchupDone, w.buffer());
+}
+
+Bytes encode_reply_cache(const ReplyCache& m) {
+  CdrWriter w;
+  w.write_string(m.member);
+  w.write_u64(m.nonce);
+  w.write_u32(static_cast<std::uint32_t>(m.entries.size()));
+  for (const auto& [client_id, seq] : m.entries) {
+    w.write_u64(client_id);
+    w.write_u64(seq);
+  }
+  return ctrl_frame(CtrlKind::kReplyCache, w.buffer());
+}
+
 std::optional<CtrlMsg> decode_ctrl(const Bytes& payload) {
   if (payload.empty()) return std::nullopt;
   CtrlMsg msg;
@@ -481,6 +527,91 @@ std::optional<CtrlMsg> decode_ctrl(const Bytes& payload) {
       if (!member) return std::nullopt;
       msg.retire = Retire{std::move(service.value()),
                           std::move(member.value())};
+      return msg;
+    }
+    case CtrlKind::kUsageReport: {
+      msg.kind = CtrlKind::kUsageReport;
+      auto member = r.read_string();
+      if (!member) return std::nullopt;
+      auto usage = r.read_double();
+      if (!usage) return std::nullopt;
+      auto at = r.read_u64();
+      if (!at) return std::nullopt;
+      msg.usage_report = UsageReport{std::move(member.value()), usage.value(),
+                                     at.value()};
+      return msg;
+    }
+    case CtrlKind::kHandoff: {
+      msg.kind = CtrlKind::kHandoff;
+      auto service = r.read_string();
+      if (!service) return std::nullopt;
+      auto victim = r.read_string();
+      if (!victim) return std::nullopt;
+      auto successor = r.read_string();
+      if (!successor) return std::nullopt;
+      msg.handoff = Handoff{std::move(service.value()),
+                            std::move(victim.value()),
+                            std::move(successor.value())};
+      return msg;
+    }
+    case CtrlKind::kQuorumSet: {
+      msg.kind = CtrlKind::kQuorumSet;
+      auto version = r.read_u64();
+      if (!version) return std::nullopt;
+      auto primary = r.read_string();
+      if (!primary) return std::nullopt;
+      auto n = r.read_u32();
+      if (!n) return std::nullopt;
+      ReadSet rs;
+      rs.version = version.value();
+      rs.primary = std::move(primary.value());
+      rs.entries.reserve(n.value());
+      for (std::uint32_t i = 0; i < n.value(); ++i) {
+        auto a = read_announce(r);
+        if (!a) return std::nullopt;
+        rs.entries.push_back(std::move(*a));
+      }
+      auto nc = r.read_u32();
+      if (!nc) return std::nullopt;
+      rs.catching_up.reserve(nc.value());
+      for (std::uint32_t i = 0; i < nc.value(); ++i) {
+        auto name = r.read_string();
+        if (!name) return std::nullopt;
+        rs.catching_up.push_back(std::move(name.value()));
+      }
+      msg.read_set = std::move(rs);
+      return msg;
+    }
+    case CtrlKind::kCatchupDone: {
+      msg.kind = CtrlKind::kCatchupDone;
+      auto service = r.read_string();
+      if (!service) return std::nullopt;
+      auto member = r.read_string();
+      if (!member) return std::nullopt;
+      msg.catchup_done = CatchupDone{std::move(service.value()),
+                                     std::move(member.value())};
+      return msg;
+    }
+    case CtrlKind::kReplyCache: {
+      msg.kind = CtrlKind::kReplyCache;
+      ReplyCache rc;
+      auto member = r.read_string();
+      if (!member) return std::nullopt;
+      rc.member = std::move(member.value());
+      auto nonce = r.read_u64();
+      if (!nonce) return std::nullopt;
+      rc.nonce = nonce.value();
+      auto n = r.read_u32();
+      if (!n) return std::nullopt;
+      rc.entries.reserve(n.value());
+      for (std::uint32_t i = 0; i < n.value(); ++i) {
+        auto client_id = r.read_u64();
+        if (!client_id) return std::nullopt;
+        auto seq = r.read_u64();
+        if (!seq) return std::nullopt;
+        rc.entries.emplace_back(client_id.value(), seq.value());
+      }
+      msg.reply_cache = std::move(rc);
       return msg;
     }
   }

@@ -56,6 +56,11 @@ enum class CtrlKind : std::uint8_t {
   kAliveEpoch = 15,   // RM publishes the alive-host-set epoch (kAlgorithmic)
   kNodeJoin = 16,     // RM replica replicates a node-join observation
   kRetire = 17,       // RM asks a replica to retire (rebalance migration)
+  kUsageReport = 18,  // primary reports usage for the RM migration planner
+  kHandoff = 19,      // RM orders an atomic primary rotation (migration)
+  kQuorumSet = 20,    // kReadSet + per-member catching_up flags (kQuorum)
+  kCatchupDone = 21,  // quorum replica finished its online catch-up
+  kReplyCache = 22,   // dedup token cache replicated beside checkpoints
 };
 
 struct Announce {
@@ -128,6 +133,10 @@ struct ReadSet {
   std::uint64_t version = 0;
   std::string primary;
   std::vector<Announce> entries;
+  /// kQuorumSet only (never written by encode_read_set): member names in
+  /// `entries` that are still catching up — counted for writes, excluded
+  /// from reads until their kCatchupDone arrives.
+  std::vector<std::string> catching_up;
   friend bool operator==(const ReadSet&, const ReadSet&) = default;
 };
 
@@ -262,6 +271,59 @@ struct Retire {
   friend bool operator==(const Retire&, const Retire&) = default;
 };
 
+/// The primary's periodic resource-usage sample on the control channel
+/// (MigrationSpec enabled only). `at_ms` is stamped by the sender, so the
+/// RM's migration planner fits its trend without consulting a clock and
+/// every replicated RmCore computes identical predictions.
+struct UsageReport {
+  UsageReport() = default;
+  UsageReport(std::string m, double u, std::uint64_t at)
+      : member(std::move(m)), usage(u), at_ms(at) {}
+  std::string member;
+  double usage = 0.0;        // resource fraction of capacity
+  std::uint64_t at_ms = 0;   // sender's sim-time sample stamp, milliseconds
+  friend bool operator==(const UsageReport&, const UsageReport&) = default;
+};
+
+/// The RM's atomic primary-rotation order, multicast on the group's
+/// control channel once the pre-warmed standby has announced: `victim`
+/// drains + redirects its clients toward `successor`, pushes a final
+/// checkpoint (transferring the log tail), and rejuvenates.
+struct Handoff {
+  Handoff() = default;
+  Handoff(std::string s, std::string v, std::string succ)
+      : service(std::move(s)), victim(std::move(v)),
+        successor(std::move(succ)) {}
+  std::string service;
+  std::string victim;
+  std::string successor;
+  friend bool operator==(const Handoff&, const Handoff&) = default;
+};
+
+/// A kQuorum replica finished replaying its restore chain while serving:
+/// multicast on the ckpt channel so the RM clears its catching_up flag
+/// (readmitting it to the read quorum) at one total-order position.
+struct CatchupDone {
+  CatchupDone() = default;
+  CatchupDone(std::string s, std::string m)
+      : service(std::move(s)), member(std::move(m)) {}
+  std::string service;
+  std::string member;
+  friend bool operator==(const CatchupDone&, const CatchupDone&) = default;
+};
+
+/// The primary's reply-deduplication cache (applied request tokens),
+/// replicated on the ckpt channel alongside each checkpoint push so a
+/// successor suppresses duplicates of requests the old primary already
+/// applied. Entries are (client_id, seq) pairs in insertion order.
+struct ReplyCache {
+  ReplyCache() = default;
+  std::string member;       // sending primary
+  std::uint64_t nonce = 0;  // 0 = periodic; else echoes a CkptRequest
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> entries;
+  friend bool operator==(const ReplyCache&, const ReplyCache&) = default;
+};
+
 Bytes encode_announce(const Announce& m);
 Bytes encode_read_set(const ReadSet& m);
 Bytes encode_read_set_delta(const ReadSetDelta& m);
@@ -279,6 +341,13 @@ Bytes encode_read_set_nack(const ReadSetNack& m);
 Bytes encode_alive_epoch(const AliveEpoch& m);
 Bytes encode_node_join(const NodeJoin& m);
 Bytes encode_retire(const Retire& m);
+Bytes encode_usage_report(const UsageReport& m);
+Bytes encode_handoff(const Handoff& m);
+/// Writes `m` including catching_up under kQuorumSet; decode fills
+/// CtrlMsg::read_set (kind == kQuorumSet) so subscribers share one path.
+Bytes encode_quorum_set(const ReadSet& m);
+Bytes encode_catchup_done(const CatchupDone& m);
+Bytes encode_reply_cache(const ReplyCache& m);
 
 /// Parsed control payload.
 struct CtrlMsg {
@@ -300,6 +369,11 @@ struct CtrlMsg {
   std::optional<AliveEpoch> alive_epoch;  // kAliveEpoch
   std::optional<NodeJoin> node_join;      // kNodeJoin
   std::optional<Retire> retire;           // kRetire
+  std::optional<UsageReport> usage_report;  // kUsageReport
+  std::optional<Handoff> handoff;         // kHandoff
+  // kQuorumSet reuses `read_set` (kind distinguishes; catching_up filled).
+  std::optional<CatchupDone> catchup_done;  // kCatchupDone
+  std::optional<ReplyCache> reply_cache;  // kReplyCache
 };
 
 std::optional<CtrlMsg> decode_ctrl(const Bytes& payload);

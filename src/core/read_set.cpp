@@ -27,7 +27,12 @@ sim::Task<void> ReadSetSubscriber::pump() {
     if (event.group != read_set_group(service_)) continue;
     auto ctrl = decode_ctrl(event.payload);
     if (!ctrl) continue;
-    if (ctrl->kind == CtrlKind::kReadSet && ctrl->read_set) {
+    if ((ctrl->kind == CtrlKind::kReadSet ||
+         ctrl->kind == CtrlKind::kQuorumSet) &&
+        ctrl->read_set) {
+      // kQuorumSet is a full set that additionally carries the
+      // catching_up flags; decode fills the same CtrlMsg::read_set slot,
+      // so both kinds share the monotone-version full-update path.
       if (ctrl->read_set->version <= last_version_) continue;  // stale
       apply_full(*ctrl->read_set);
     } else if (ctrl->kind == CtrlKind::kReadSetDelta && ctrl->read_set_delta) {

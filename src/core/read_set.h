@@ -1,4 +1,5 @@
-// Client-side read-set subscription for kActiveReadFanout groups.
+// Client-side read-set subscription for kActiveReadFanout and kQuorum
+// groups.
 //
 // The Recovery Manager multicasts kReadSet updates on the group's
 // read-set GC group (read_set_group(service)) whenever the serving set

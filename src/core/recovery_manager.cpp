@@ -39,7 +39,16 @@ RecoveryManager::RecoveryManager(net::ProcessPtr proc,
         &metrics.counter("rm.restripe.skipped." + target.service);
     c.readset_updates =
         &metrics.counter("rm.readset.updates." + target.service);
+    if (target.migration.enabled()) {
+      c.migrations = &metrics.counter("rm.migrations." + target.service);
+    }
     counters_[target.service] = c;
+  }
+  if (std::any_of(cfg_.groups.begin(), cfg_.groups.end(),
+                  [](const GroupTarget& t) {
+                    return t.migration.enabled();
+                  })) {
+    migrations_ = &metrics.counter("rm.migrations");
   }
   if (std::any_of(cfg_.groups.begin(), cfg_.groups.end(),
                   [](const GroupTarget& t) {
@@ -72,9 +81,9 @@ sim::Task<bool> RecoveryManager::start() {
   for (const auto& target : core_.targets()) {
     (void)co_await gc_->join(replica_group(target.service));
     (void)co_await gc_->join(control_group(target.service));
-    // Read-fanout groups: membership of the read-set group tells the RM
-    // when a routing client subscribes, so it can republish for them.
-    if (target.style == ReplicationStyle::kActiveReadFanout) {
+    // Read-fanout and quorum groups: membership of the read-set group
+    // tells the RM when a routing client subscribes, so it can republish.
+    if (publishes_read_set(target.style)) {
       (void)co_await gc_->join(read_set_group(target.service));
     }
     // Stateful groups: the ckpt channel shows which members are
@@ -189,9 +198,21 @@ void RecoveryManager::execute(const std::vector<RmAction>& actions,
         }
         // Encode now (a later refresh must not mutate what this update
         // carries) and multicast from a spawned task: callers sit inside
-        // the event pump. Version-bumping updates go out delta-encoded
-        // when configured; repeats always carry the full set so late or
+        // the event pump. kQuorum sets always travel in full as
+        // kQuorumSet — the catching_up flags have no delta encoding.
+        // Version-bumping fanout updates go out delta-encoded when
+        // configured; repeats always carry the full set so late or
         // gapped subscribers resynchronize.
+        const bool quorum = std::any_of(
+            cfg_.groups.begin(), cfg_.groups.end(), [&](const GroupTarget& t) {
+              return t.service == a.service &&
+                     t.style == ReplicationStyle::kQuorum;
+            });
+        if (quorum) {
+          proc_->sim().spawn(
+              multicast_task(a.group, encode_quorum_set(a.read_set)));
+          break;
+        }
         const bool delta = cfg_.delta_read_sets && a.have_delta && !a.republish;
         if (delta) {
           proc_->sim().obs().metrics().counter("rm.readset.deltas").add();
@@ -201,6 +222,33 @@ void RecoveryManager::execute(const std::vector<RmAction>& actions,
                            : encode_read_set(a.read_set)));
         break;
       }
+      case RmAction::Kind::kPlanMigration:
+        // The standby launch rides the accompanying kLaunch action; the
+        // plan itself is pure bookkeeping plus the observable record.
+        if (count) {
+          if (migrations_ != nullptr) migrations_->add();
+          if (counters_[a.service].migrations != nullptr) {
+            counters_[a.service].migrations->add();
+          }
+        }
+        LogLine(proc_->sim().log(), LogLevel::kInfo, "rm")
+            << "migration planned: rotating " << a.member << " of "
+            << a.service;
+        proc_->sim().obs().emit(obs::EventKind::kMigrationPlanned,
+                                cfg_.member, a.service + ":" + a.member);
+        break;
+      case RmAction::Kind::kHandoff:
+        // Ordered once the pre-warmed standby announced: tell the victim
+        // to drain onto its successor and rejuvenate. Idempotent at the
+        // receiver, so failover re-drives are safe.
+        if (!a.republish) {
+          proc_->sim().obs().emit(obs::EventKind::kHandoff, cfg_.member,
+                                  a.member + ">" + a.successor);
+        }
+        proc_->sim().spawn(multicast_task(
+            control_group(a.service),
+            encode_handoff(Handoff{a.service, a.member, a.successor})));
+        break;
       case RmAction::Kind::kPublishAliveEpoch:
         // The whole of the RM's per-failure placement traffic under
         // kAlgorithmic: one epoch frame, independent of how many groups

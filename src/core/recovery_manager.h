@@ -148,6 +148,8 @@ class RecoveryManager {
     obs::Counter* restripe_placements = nullptr;
     obs::Counter* restripe_skipped = nullptr;
     obs::Counter* readset_updates = nullptr;
+    /// Resolved only for groups with a MigrationSpec (null otherwise).
+    obs::Counter* migrations = nullptr;
   };
 
   sim::Task<void> pump();
@@ -180,6 +182,8 @@ class RecoveryManager {
   obs::Counter* placement_frames_ = nullptr;    // rm.placement.frames
   obs::Counter* algorithmic_placements_ = nullptr;  // rm.algorithmic.placements
   obs::Counter* rebalance_moves_ = nullptr;     // rm.rebalance.moves
+  // Resolved only when a supervised target enables migration.
+  obs::Counter* migrations_ = nullptr;          // rm.migrations
   std::map<std::string, GroupCounters> counters_;  // by service
   std::uint64_t crash_observer_ = 0;  // Network observer handle
   std::unique_ptr<gc::GcClient> gc_;

@@ -4,10 +4,15 @@
 #include <string_view>
 
 #include "core/placement.h"
+#include "core/predictor.h"
 
 namespace mead::core {
 
 namespace {
+
+/// Usage samples the migration planner retains per group (matches the
+/// TrendPredictor default window).
+constexpr std::size_t kUsageWindow = 8;
 
 /// Incarnation encoded in a replica member name ("replica/<n>" or
 /// "<service>/replica/<n>"); -1 for anything else (RM members, clients).
@@ -38,7 +43,7 @@ RmCore::RmCore(std::vector<GroupTarget> targets, std::string self,
     group->target = target;
     by_replica_group_[replica_group(target.service)] = group.get();
     by_control_group_[control_group(target.service)] = group.get();
-    if (target.style == ReplicationStyle::kActiveReadFanout) {
+    if (publishes_read_set(target.style)) {
       by_readset_group_[read_set_group(target.service)] = group.get();
     }
     if (target.stateful) {
@@ -111,8 +116,9 @@ std::optional<GroupView> RmCore::view(const std::string& service) const {
   out.stats = g->stats;
   out.doomed.assign(g->doomed.begin(), g->doomed.end());
   out.restoring.assign(g->restoring.begin(), g->restoring.end());
+  out.migrating = g->migrate_victim;
   out.registry = &g->registry;
-  if (g->target.style == ReplicationStyle::kActiveReadFanout) {
+  if (publishes_read_set(g->target.style)) {
     out.read_set = &g->read_set;
   }
   return out;
@@ -224,11 +230,27 @@ void RmCore::apply_event(const gc::Event& event, Actions& out) {
     // groups stay unambiguous.
     auto it = by_control_group_.find(event.group);
     if (it == by_control_group_.end()) return;
-    it->second->doomed.insert(ctrl->launch->member);
-    reconcile(*it->second, /*proactive_trigger=*/true, out);
+    Group& group = *it->second;
+    // Reactive recovery racing a planned rotation: the victim crossed its
+    // own T1 before the handoff was ordered, so the reactive path wins —
+    // the plan is cancelled (the victim stays doomed, the pre-warmed
+    // standby becomes its ordinary replacement) and no handoff travels.
+    // Exactly one of {migration, reactive recovery} rotates the group.
+    if (!group.handoff_sent && group.migrate_victim == ctrl->launch->member) {
+      group.migrate_victim.clear();
+    }
+    group.doomed.insert(ctrl->launch->member);
+    reconcile(group, /*proactive_trigger=*/true, out);
     // A doomed replica leaves the read set immediately — clients must
     // stop routing reads at it before it rejuvenates.
-    refresh_read_set(*it->second, out);
+    refresh_read_set(group, out);
+    return;
+  }
+  if (ctrl->kind == CtrlKind::kUsageReport && ctrl->usage_report) {
+    auto it = by_control_group_.find(event.group);
+    if (it != by_control_group_.end()) {
+      plan_migration(*it->second, *ctrl->usage_report, out);
+    }
     return;
   }
   if (ctrl->kind == CtrlKind::kReadSetNack && ctrl->read_set_nack) {
@@ -253,6 +275,19 @@ void RmCore::apply_event(const gc::Event& event, Actions& out) {
     auto ck = by_ckpt_group_.find(event.group);
     if (ck != by_ckpt_group_.end() && ctrl->ckpt_request->nonce != 0) {
       ck->second->restoring.insert(ctrl->ckpt_request->member);
+      // An already-serving member that reopened a restore (gap recovery)
+      // must leave the fanout read rotation / gain its catching_up flag.
+      refresh_read_set(*ck->second, out);
+    }
+    return;
+  }
+  if (ctrl->kind == CtrlKind::kCatchupDone && ctrl->catchup_done) {
+    // A kQuorum replica finished replaying while serving: clear its
+    // catching_up flag at this total-order position and republish.
+    auto ck = by_ckpt_group_.find(event.group);
+    if (ck != by_ckpt_group_.end() &&
+        ck->second->restoring.erase(ctrl->catchup_done->member) > 0) {
+      refresh_read_set(*ck->second, out);
     }
     return;
   }
@@ -261,10 +296,30 @@ void RmCore::apply_event(const gc::Event& event, Actions& out) {
   auto it = by_replica_group_.find(event.group);
   if (it == by_replica_group_.end()) return;
   if (ctrl->kind == CtrlKind::kAnnounce && ctrl->announce) {
-    it->second->reserved.erase(ctrl->announce->endpoint.host);
-    it->second->restoring.erase(ctrl->announce->member);
-    it->second->registry.on_announce(*ctrl->announce);
-    refresh_read_set(*it->second, out);
+    Group& group = *it->second;
+    group.reserved.erase(ctrl->announce->endpoint.host);
+    if (group.target.style != ReplicationStyle::kQuorum) {
+      // kQuorum replicas announce while still catching up; only their
+      // ordered kCatchupDone (or view departure) closes the handshake.
+      group.restoring.erase(ctrl->announce->member);
+    }
+    const bool fresh = !group.registry.find(ctrl->announce->member);
+    group.registry.on_announce(*ctrl->announce);
+    // The pre-warmed standby of a planned rotation just announced: order
+    // the atomic handoff. Every replicated core flips handoff_sent at this
+    // same position; only the acting shell multicasts the frame.
+    if (fresh && !group.migrate_victim.empty() && !group.handoff_sent &&
+        ctrl->announce->member != group.migrate_victim) {
+      group.migrate_successor = ctrl->announce->member;
+      group.handoff_sent = true;
+      RmAction a;
+      a.kind = RmAction::Kind::kHandoff;
+      a.service = group.target.service;
+      a.member = group.migrate_victim;
+      a.successor = group.migrate_successor;
+      out.push_back(std::move(a));
+    }
+    refresh_read_set(group, out);
   } else if (ctrl->kind == CtrlKind::kListing && ctrl->listing) {
     it->second->registry.on_listing(*ctrl->listing);
     refresh_read_set(*it->second, out);
@@ -359,6 +414,15 @@ void RmCore::handle_view(Group& group, const gc::Event& event, Actions& out) {
   std::erase_if(group.restoring, [&](const std::string& m) {
     return !event.view.contains(m);
   });
+  // A planned rotation ends when its victim leaves the view — either the
+  // ordered handoff completed (rejuvenation exit) or the victim crashed
+  // first, in which case the crash won and the plan dissolves.
+  if (!group.migrate_victim.empty() &&
+      !event.view.contains(group.migrate_victim)) {
+    group.migrate_victim.clear();
+    group.migrate_successor.clear();
+    group.handoff_sent = false;
+  }
   group.registry.on_view(event.view);
   reconcile(group, /*proactive_trigger=*/false, out);
   refresh_read_set(group, out);
@@ -419,8 +483,18 @@ void RmCore::reconcile(Group& group, bool proactive_trigger, Actions& out) {
 }
 
 void RmCore::refresh_read_set(Group& group, Actions& out) {
-  if (group.target.style != ReplicationStyle::kActiveReadFanout) return;
-  auto records = group.registry.read_set(group.doomed);
+  if (!publishes_read_set(group.target.style)) return;
+  const bool quorum = group.target.style == ReplicationStyle::kQuorum;
+  // kActiveReadFanout: a mid-restore member must not serve reads during
+  // the window between its restore opening and the next membership delta —
+  // exclude it like a doomed one. kQuorum: keep it in the set (it counts
+  // for writes immediately) but flag it catching_up so clients skip it
+  // for reads until its kCatchupDone.
+  std::set<std::string> excluded = group.doomed;
+  if (!quorum) {
+    excluded.insert(group.restoring.begin(), group.restoring.end());
+  }
+  auto records = group.registry.read_set(excluded);
   ReadSet next;
   next.version = group.read_set.version;
   if (!records.empty()) next.primary = records.front().member;
@@ -429,8 +503,16 @@ void RmCore::refresh_read_set(Group& group, Actions& out) {
     next.entries.emplace_back(std::move(r.member), std::move(r.endpoint),
                               std::move(r.ior));
   }
+  if (quorum) {
+    for (const auto& e : next.entries) {
+      if (group.restoring.contains(e.member)) {
+        next.catching_up.push_back(e.member);
+      }
+    }
+  }
   if (next.primary == group.read_set.primary &&
-      next.entries == group.read_set.entries) {
+      next.entries == group.read_set.entries &&
+      next.catching_up == group.read_set.catching_up) {
     return;
   }
   next.version = group.read_set.version + 1;
@@ -463,6 +545,61 @@ void RmCore::refresh_read_set(Group& group, Actions& out) {
   out.push_back(std::move(a));
 }
 
+void RmCore::plan_migration(Group& group, const UsageReport& report,
+                            Actions& out) {
+  const MigrationSpec& spec = group.target.migration;
+  if (!spec.enabled()) return;
+  if (report.member != group.usage_member) {
+    // Primary changed (rotation or failover): stale samples would blend
+    // two replicas' leak curves into one bogus trend.
+    group.usage_member = report.member;
+    group.usage.clear();
+  }
+  group.usage.emplace_back(report.at_ms, report.usage);
+  if (group.usage.size() > kUsageWindow) {
+    group.usage.erase(group.usage.begin());
+  }
+  if (!group.migrate_victim.empty()) return;  // rotation already in flight
+  if (group.doomed.contains(report.member)) return;  // reactive path won
+  // Only rotate a healthy, fully-settled group: a pending launch or an
+  // existing deficit means recovery machinery is already running.
+  if (!group.pending.empty() || !group.doomed.empty()) return;
+  if (live_in(group) < group.target.target_degree) return;
+  if (group.last_migration_ms != 0 &&
+      report.at_ms - group.last_migration_ms <
+          static_cast<std::uint64_t>(spec.min_interval.ms())) {
+    return;  // cool-down after the previous rotation
+  }
+  // Fit the sender-stamped sample window with the existing trend predictor
+  // — no local clock, so every replicated core predicts identically.
+  TrendPredictor predictor;
+  for (const auto& [at_ms, usage] : group.usage) {
+    predictor.observe(TimePoint{static_cast<std::int64_t>(at_ms) * 1'000'000},
+                      usage);
+  }
+  const auto tte = predictor.time_to_reach(
+      1.0, TimePoint{static_cast<std::int64_t>(report.at_ms) * 1'000'000});
+  if (!tte || *tte > spec.horizon) return;
+  // Exhaustion is inside the horizon: doom the primary, pre-warm its
+  // standby through the ordinary launch/restore path, and order the
+  // handoff once the standby announces.
+  group.migrate_victim = report.member;
+  group.migrate_successor.clear();
+  group.handoff_sent = false;
+  group.last_migration_ms = report.at_ms;
+  group.usage.clear();
+  ++totals_.migrations;
+  ++group.stats.migrations;
+  RmAction plan;
+  plan.kind = RmAction::Kind::kPlanMigration;
+  plan.service = group.target.service;
+  plan.member = report.member;
+  out.push_back(std::move(plan));
+  group.doomed.insert(report.member);
+  reconcile(group, /*proactive_trigger=*/true, out);
+  refresh_read_set(group, out);
+}
+
 namespace {
 
 void write_string_set(giop::CdrWriter& w, const std::set<std::string>& s) {
@@ -493,6 +630,7 @@ Bytes RmCore::encode_snapshot() const {
   w.write_u64(totals_.launches);
   w.write_u64(totals_.proactive_launches);
   w.write_u64(totals_.reactive_launches);
+  w.write_u64(totals_.migrations);
   w.write_u32(static_cast<std::uint32_t>(groups_.size()));
   for (const auto& g : groups_) {
     g->registry.encode(w);
@@ -509,6 +647,7 @@ Bytes RmCore::encode_snapshot() const {
     w.write_u64(g->stats.launches);
     w.write_u64(g->stats.proactive_launches);
     w.write_u64(g->stats.reactive_launches);
+    w.write_u64(g->stats.migrations);
     write_string_set(w, g->reserved);
     write_string_set(w, g->restoring);
     w.write_u64(g->read_set.version);
@@ -520,6 +659,20 @@ Bytes RmCore::encode_snapshot() const {
       w.write_u16(e.endpoint.port);
       giop::encode_ior(w, e.ior);
     }
+    w.write_u32(static_cast<std::uint32_t>(g->read_set.catching_up.size()));
+    for (const auto& m : g->read_set.catching_up) w.write_string(m);
+    // Migration planner: a readmitted backup must agree on any in-flight
+    // rotation or it could double-handoff after a failover.
+    w.write_string(g->usage_member);
+    w.write_u32(static_cast<std::uint32_t>(g->usage.size()));
+    for (const auto& [at_ms, usage] : g->usage) {
+      w.write_u64(at_ms);
+      w.write_double(usage);
+    }
+    w.write_u64(g->last_migration_ms);
+    w.write_string(g->migrate_victim);
+    w.write_string(g->migrate_successor);
+    w.write_bool(g->handoff_sent);
   }
   return w.take();
 }
@@ -543,10 +696,12 @@ bool RmCore::install_snapshot(const Bytes& snapshot) {
   auto l = r.read_u64();
   auto p = r.read_u64();
   auto re = r.read_u64();
-  if (!l || !p || !re) return false;
+  auto mi = r.read_u64();
+  if (!l || !p || !re || !mi) return false;
   totals.launches = *l;
   totals.proactive_launches = *p;
   totals.reactive_launches = *re;
+  totals.migrations = *mi;
   auto group_count = r.read_u32();
   // Supervised targets are construction-time configuration, identical on
   // every RM replica: a mismatched count means the frame is not for us.
@@ -583,10 +738,12 @@ bool RmCore::install_snapshot(const Bytes& snapshot) {
     auto gl = r.read_u64();
     auto gp = r.read_u64();
     auto gr = r.read_u64();
-    if (!gl || !gp || !gr) return false;
+    auto gm = r.read_u64();
+    if (!gl || !gp || !gr || !gm) return false;
     s->stats.launches = *gl;
     s->stats.proactive_launches = *gp;
     s->stats.reactive_launches = *gr;
+    s->stats.migrations = *gm;
     if (!read_string_set(r, s->reserved)) return false;
     if (!read_string_set(r, s->restoring)) return false;
     auto version = r.read_u64();
@@ -613,6 +770,37 @@ bool RmCore::install_snapshot(const Bytes& snapshot) {
       e.ior = std::move(*ior);
       s->read_set.entries.push_back(std::move(e));
     }
+    auto catchup_count = r.read_u32();
+    if (!catchup_count) return false;
+    for (std::uint32_t i = 0; i < *catchup_count; ++i) {
+      auto m = r.read_string();
+      if (!m) return false;
+      s->read_set.catching_up.push_back(std::move(*m));
+    }
+    auto usage_member = r.read_string();
+    if (!usage_member) return false;
+    s->usage_member = std::move(*usage_member);
+    auto usage_count = r.read_u32();
+    if (!usage_count) return false;
+    for (std::uint32_t i = 0; i < *usage_count; ++i) {
+      auto at_ms = r.read_u64();
+      if (!at_ms) return false;
+      auto usage = r.read_double();
+      if (!usage) return false;
+      s->usage.emplace_back(*at_ms, *usage);
+    }
+    auto last_migration = r.read_u64();
+    if (!last_migration) return false;
+    s->last_migration_ms = *last_migration;
+    auto victim = r.read_string();
+    if (!victim) return false;
+    s->migrate_victim = std::move(*victim);
+    auto successor = r.read_string();
+    if (!successor) return false;
+    s->migrate_successor = std::move(*successor);
+    auto handoff_sent = r.read_bool();
+    if (!handoff_sent) return false;
+    s->handoff_sent = *handoff_sent;
     scratch.push_back(std::move(s));
   }
   dead_hosts_ = std::move(dead_hosts);
@@ -627,7 +815,7 @@ bool RmCore::install_snapshot(const Bytes& snapshot) {
   for (const auto& g : groups_) {
     by_replica_group_[replica_group(g->target.service)] = g.get();
     by_control_group_[control_group(g->target.service)] = g.get();
-    if (g->target.style == ReplicationStyle::kActiveReadFanout) {
+    if (publishes_read_set(g->target.style)) {
       by_readset_group_[read_set_group(g->target.service)] = g.get();
     }
     if (g->target.stateful) {
@@ -795,8 +983,18 @@ RmCore::Actions RmCore::resume_actions() const {
       a.algorithmic = slot.algorithmic;
       out.push_back(std::move(a));
     }
-    if (g->target.style == ReplicationStyle::kActiveReadFanout &&
-        g->read_set.version > 0) {
+    if (!g->migrate_victim.empty() && g->handoff_sent) {
+      // The dead acting may have ordered the rotation and died before the
+      // handoff multicast landed; the frame is idempotent at the victim.
+      RmAction a;
+      a.kind = RmAction::Kind::kHandoff;
+      a.service = g->target.service;
+      a.member = g->migrate_victim;
+      a.successor = g->migrate_successor;
+      a.republish = true;
+      out.push_back(std::move(a));
+    }
+    if (publishes_read_set(g->target.style) && g->read_set.version > 0) {
       // The dead acting may have bumped every core's version and then died
       // before its multicast landed; repeating the current set closes that
       // gap, and subscribers drop versions they already know.

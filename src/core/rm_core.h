@@ -72,6 +72,12 @@ struct GroupTarget {
   /// ckpt channel and tracks which members are mid-restore, so a
   /// replacement that announced but is still replaying is visible.
   bool stateful = false;
+
+  /// Prediction-driven rotation (disabled by default): when the primary's
+  /// kUsageReport trend predicts exhaustion within `migration.horizon`, the
+  /// core dooms the primary, pre-warms a standby through the ordinary
+  /// launch/restore path, and orders an atomic handoff once it announces.
+  MigrationSpec migration;
 };
 
 /// Per-group (and aggregate) launch decision counts. Derived purely from
@@ -81,6 +87,7 @@ struct RmStats {
   std::uint64_t launches = 0;
   std::uint64_t proactive_launches = 0;  // triggered by LaunchRequest
   std::uint64_t reactive_launches = 0;   // triggered by membership loss
+  std::uint64_t migrations = 0;          // planner-scheduled rotations
 
   friend bool operator==(const RmStats&, const RmStats&) = default;
 };
@@ -102,11 +109,17 @@ struct GroupView {
   /// Members that announced impending death and are still in view.
   std::vector<std::string> doomed;
   /// Stateful groups only: members whose checkpoint-restore handshake is
-  /// still open (requested a chain, have not announced yet).
+  /// still open (requested a chain, have not announced yet). Under kQuorum
+  /// an announced member stays here until its kCatchupDone — the published
+  /// quorum set carries it with the catching_up flag.
   std::vector<std::string> restoring;
+  /// Planned-rotation victim while a migration is in flight; empty
+  /// otherwise.
+  std::string migrating;
   /// View + announced endpoints (never null for a supervised group).
   const ReplicaRegistry* registry = nullptr;
-  /// Last published read set; null unless the group is kActiveReadFanout.
+  /// Last published read set; null unless the style publishes one
+  /// (kActiveReadFanout or kQuorum).
   const ReadSet* read_set = nullptr;
 };
 
@@ -140,6 +153,14 @@ struct RmAction {
     /// on the group's control channel) — the rebalance pass migrating a
     /// group onto a freshly joined host.
     kRetireReplica,
+    /// The migration planner scheduled a rotation for `service`: `member`
+    /// is the doomed primary. Counters + kMigrationPlanned trace only; the
+    /// standby launch rides the accompanying kLaunch action.
+    kPlanMigration,
+    /// Acting only: multicast kHandoff{service, member=victim, successor}
+    /// on the group's control channel — the pre-warmed standby announced,
+    /// so the victim drains, redirects its clients, and rejuvenates.
+    kHandoff,
   };
 
   Kind kind = Kind::kLaunch;
@@ -170,8 +191,10 @@ struct RmAction {
   Bytes snapshot;
   // kPublishAliveEpoch
   AliveEpoch alive;
-  // kRetireReplica
+  // kRetireReplica / kPlanMigration (victim) / kHandoff (victim)
   std::string member;
+  // kHandoff
+  std::string successor;
 };
 
 class RmCore {
@@ -290,8 +313,26 @@ class RmCore {
     /// means nothing has been published yet (clients stay on the primary).
     ReadSet read_set;
     /// Stateful groups: members with an open restore handshake (saw their
-    /// directed kCkptRequest; cleared by announce or view departure).
+    /// directed kCkptRequest; cleared by announce or view departure —
+    /// except under kQuorum, where only kCatchupDone or departure clears).
     std::set<std::string> restoring;
+    // ---- migration planner (MigrationSpec enabled only) ----
+    /// Member whose kUsageReport samples the window holds (reset on
+    /// primary change) and the bounded (at_ms, usage) window itself.
+    std::string usage_member;
+    std::vector<std::pair<std::uint64_t, double>> usage;
+    /// Sender stamp of the last planned rotation (cool-down anchor);
+    /// 0 = never migrated.
+    std::uint64_t last_migration_ms = 0;
+    /// Victim of the in-flight rotation; empty = none planned.
+    std::string migrate_victim;
+    /// The standby the ordered kHandoff named; only meaningful while
+    /// handoff_sent.
+    std::string migrate_successor;
+    /// The kHandoff action has been emitted; resume re-emits it until the
+    /// victim leaves the view (the acting shell may have died before the
+    /// frame travelled).
+    bool handoff_sent = false;
   };
 
   /// The ordinary event application path (on_event minus the readmission
@@ -300,9 +341,15 @@ class RmCore {
   void handle_view(Group& group, const gc::Event& event, Actions& out);
   void handle_rm_view(const gc::View& view, Actions& out);
   void reconcile(Group& group, bool proactive_trigger, Actions& out);
-  /// Recomputes a kActiveReadFanout group's read set; on change bumps the
-  /// version and emits a kPublishReadSet action. No-op for warm-passive.
+  /// Recomputes a published-read-set group's serving set; on change bumps
+  /// the version and emits a kPublishReadSet action. No-op for
+  /// warm-passive. kActiveReadFanout excludes mid-restore members like
+  /// doomed ones; kQuorum keeps them, flagged catching_up.
   void refresh_read_set(Group& group, Actions& out);
+  /// Feeds one kUsageReport into the group's planner window and, when the
+  /// fitted time-to-exhaustion drops below the configured horizon, dooms
+  /// the primary and pre-warms its standby (kPlanMigration + kLaunch).
+  void plan_migration(Group& group, const UsageReport& report, Actions& out);
   void apply_node_crash(const std::string& host, Actions& out);
   void apply_node_join(const std::string& host, Actions& out);
   void apply_launch_failed(const std::string& service, int incarnation,

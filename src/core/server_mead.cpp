@@ -51,10 +51,18 @@ sim::Task<bool> ServerMead::start() {
     (void)co_await gc_->multicast(
         ckpt_group(cfg_.service),
         encode_ckpt_request(CkptRequest{cfg_.member, await_nonce_, 0}));
-    while (restoring_) {
-      const bool alive = co_await proc_->sleep(microseconds(250));
-      if (!alive) co_return false;
+    if (cfg_.style != ReplicationStyle::kQuorum) {
+      // Warm-passive / fanout: the restore gates the announce — clients
+      // must never be pointed at a replica whose state is behind.
+      while (restoring_) {
+        const bool alive = co_await proc_->sleep(microseconds(250));
+        if (!alive) co_return false;
+      }
     }
+    // kQuorum: announce immediately. The RM counts us for the write quorum
+    // right away but keeps us flagged catching_up (reads excluded) until
+    // the restore's ordered kCatchupDone — the group serves at full read
+    // degree minus one while we replay, instead of blocking on us.
     if (self_ior_.valid()) {
       (void)co_await gc_->multicast(
           replica_group(cfg_.service),
@@ -64,6 +72,7 @@ sim::Task<bool> ServerMead::start() {
       proc_->sim().spawn(state_sync_loop());
     }
     proc_->sim().spawn(checkpoint_loop());
+    if (cfg_.migration.enabled()) proc_->sim().spawn(usage_report_loop());
     co_return true;
   }
   // Announce our reference so every FT manager can forward clients to us.
@@ -76,6 +85,7 @@ sim::Task<bool> ServerMead::start() {
   if (cfg_.state_sync_interval > Duration{0}) {
     proc_->sim().spawn(state_sync_loop());
   }
+  if (cfg_.migration.enabled()) proc_->sim().spawn(usage_report_loop());
   co_return true;
 }
 
@@ -230,7 +240,116 @@ void ServerMead::handle_ctrl(const gc::Event& ev) {
       break;
     case CtrlKind::kReadSetNack:
       break;  // the Recovery Manager answers read-set gap reports
+    case CtrlKind::kUsageReport:
+      break;  // the RM's migration planner consumes these
+    case CtrlKind::kQuorumSet:
+      break;  // published by the RM for routing clients, not replicas
+    case CtrlKind::kCatchupDone:
+      break;  // the RM clears the sender's catching_up flag
+    case CtrlKind::kHandoff:
+      if (ctrl->handoff) handle_handoff(*ctrl->handoff);
+      break;
+    case CtrlKind::kReplyCache: {
+      if (app_state_ == nullptr || cfg_.state.dedup_cap == 0 ||
+          ctrl->reply_cache->member == cfg_.member) {
+        break;
+      }
+      const auto& rc = *ctrl->reply_cache;
+      // Periodic pushes install on mirrors only (the primary is the
+      // source); directed ones only on the requester that asked.
+      const bool take = rc.nonce == 0 ? !registry_.is_first(cfg_.member)
+                                      : rc.nonce == await_nonce_;
+      if (take) dedup_install(rc.entries);
+      break;
+    }
   }
+}
+
+void ServerMead::handle_handoff(const Handoff& h) {
+  if (h.victim != cfg_.member || !proc_->alive()) return;
+  if (migrating_) return;  // duplicate frame / reactive path already won
+  migrate_target_ = registry_.find(h.successor);
+  if (!migrate_target_) {
+    // The successor's announce has not reached our registry yet (it must
+    // exist group-wide: the RM only orders the handoff after it announced).
+    migrate_target_ = registry_.next_after(cfg_.member);
+  }
+  if (!migrate_target_) return;
+  migrating_ = true;
+  ++stats_.handoffs;
+  if (handoff_ms_ == nullptr) {
+    handoff_ms_ = &proc_->sim().obs().metrics().counter("mead.handoff_ms");
+  }
+  // The planned-rotation unavailability window is exactly the drain: the
+  // successor is pre-warmed and announced, so no launch or restore sits on
+  // the client-visible path (the bench's flat-vs-growing comparison).
+  handoff_ms_->add(static_cast<std::uint64_t>(cfg_.drain_timeout.ms() + 0.5));
+  proc_->sim().obs().emit(obs::EventKind::kHandoff, cfg_.member,
+                          migrate_target_->member, usage());
+  if (app_state_ && !restoring_ && registry_.is_first(cfg_.member)) {
+    // Transfer the log tail: a final checkpoint (with the reply cache
+    // riding along) lands before the successor takes over as primary.
+    proc_->sim().spawn(push_checkpoint());
+  }
+  proc_->sim().spawn(rejuvenate_after_drain());
+}
+
+sim::Task<void> ServerMead::multicast_task(std::string group, Bytes payload) {
+  (void)co_await gc_->multicast(std::move(group), std::move(payload));
+}
+
+sim::Task<void> ServerMead::usage_report_loop() {
+  for (;;) {
+    const bool alive = co_await proc_->sleep(cfg_.migration.report_interval);
+    if (!alive) co_return;
+    if (migrating_ || account_ == nullptr) continue;
+    // Only the serving primary reports: rotation is about moving the
+    // member that is actually accumulating per-request leakage.
+    if (!registry_.is_first(cfg_.member)) continue;
+    const auto at_ms =
+        static_cast<std::uint64_t>(proc_->sim().now().ns() / 1'000'000);
+    (void)co_await gc_->multicast(
+        control_group(cfg_.service),
+        encode_usage_report(UsageReport{cfg_.member, usage(), at_ms}));
+  }
+}
+
+// ------------------------------------------------- reply deduplication
+
+void ServerMead::note_request_token(ClientConn& conn,
+                                    const giop::RequestMessage& req) {
+  // The dedup token is the trailing (client_id, seq) pair clients append
+  // to the args encapsulation; a bare request carries none.
+  if (req.args.size() != 16) return;
+  giop::CdrReader r(req.args, req.order);
+  auto client_id = r.read_u64();
+  auto seq = r.read_u64();
+  if (!client_id || !seq) return;
+  conn.pending_tokens.emplace_back(*client_id, *seq);
+}
+
+void ServerMead::dedup_insert(std::pair<std::uint64_t, std::uint64_t> token) {
+  if (!dedup_set_.insert(token).second) return;
+  dedup_fifo_.push_back(token);
+  while (dedup_fifo_.size() > cfg_.state.dedup_cap) {
+    dedup_set_.erase(dedup_fifo_.front());
+    dedup_fifo_.pop_front();
+  }
+}
+
+void ServerMead::dedup_install(
+    const std::vector<std::pair<std::uint64_t, std::uint64_t>>& entries) {
+  dedup_fifo_.clear();
+  dedup_set_.clear();
+  for (const auto& t : entries) dedup_insert(t);
+}
+
+Bytes ServerMead::reply_cache_wire(std::uint64_t nonce) const {
+  ReplyCache rc;
+  rc.member = cfg_.member;
+  rc.nonce = nonce;
+  rc.entries.assign(dedup_fifo_.begin(), dedup_fifo_.end());
+  return encode_reply_cache(rc);
 }
 
 sim::Task<void> ServerMead::answer_primary_query(std::string reply_group,
@@ -326,6 +445,12 @@ sim::Task<void> ServerMead::push_checkpoint() {
                           c.is_base ? "base" : "delta",
                           static_cast<double>(c.epoch));
   (void)co_await gc_->multicast(ckpt_group(cfg_.service), std::move(frame));
+  if (cfg_.state.dedup_cap > 0 && !dedup_fifo_.empty()) {
+    // The reply cache truncates with the checkpoint cycle: whatever the
+    // FIFO holds now is exactly what a successor needs to keep suppressing.
+    (void)co_await gc_->multicast(ckpt_group(cfg_.service),
+                                  reply_cache_wire(0));
+  }
   ckpt_push_pending_ = false;
 }
 
@@ -399,6 +524,13 @@ void ServerMead::finish_restore(bool restored, double ops) {
   }
   proc_->sim().obs().emit(obs::EventKind::kRestoreEnd, cfg_.member,
                           restored ? "restored" : "fresh", ops);
+  if (cfg_.style == ReplicationStyle::kQuorum) {
+    // We announced before restoring (serving writes, excluded from reads);
+    // the ordered kCatchupDone readmits us to the read quorum.
+    proc_->sim().spawn(multicast_task(
+        ckpt_group(cfg_.service),
+        encode_catchup_done(CatchupDone{cfg_.service, cfg_.member})));
+  }
 }
 
 sim::Task<void> ServerMead::finish_replay(std::int64_t replayed) {
@@ -441,6 +573,10 @@ sim::Task<void> ServerMead::answer_restore(std::string requester,
     (void)co_await gc_->multicast(ckpt_group(cfg_.service), std::move(frame));
   }
   if (rank != 0) co_return;  // only the primary closes with the log replay
+  if (cfg_.state.dedup_cap > 0 && !dedup_fifo_.empty()) {
+    (void)co_await gc_->multicast(ckpt_group(cfg_.service),
+                                  reply_cache_wire(nonce));
+  }
   LogReplay lr;
   lr.member = cfg_.member;
   lr.nonce = nonce;
@@ -645,9 +781,28 @@ sim::Task<net::Result<Bytes>> ServerMead::read(int fd, std::size_t max_bytes,
       if (conn == client_conns_.end()) co_return data;
       conn->second.last_request_id = req->request_id;
       conn->second.last_key_hash = req->object_key.hash16();
+      if (app_state_ && cfg_.state.dedup_cap > 0) {
+        note_request_token(conn->second, *req);
+      }
     }
   } else {
     ++stats_.requests_seen;
+    if (app_state_ && cfg_.state.dedup_cap > 0) {
+      // Reply dedup needs the request token even when the scheme does not
+      // otherwise parse GIOP; token extraction is a tail memcpy in the real
+      // interceptor, so no parse cost is charged here.
+      conn->second.request_parser.feed(data.value());
+      for (;;) {
+        auto frame = conn->second.request_parser.next();
+        if (!frame) break;
+        if (frame->header.magic != giop::Magic::kGiop ||
+            frame->header.type != giop::MsgType::kRequest) {
+          continue;
+        }
+        auto req = giop::decode_request(frame->data);
+        if (req) note_request_token(conn->second, *req);
+      }
+    }
   }
   co_return data;
 }
@@ -711,10 +866,33 @@ sim::Task<net::Result<std::size_t>> ServerMead::writev(int fd, Bytes data) {
     if (!alive) co_return make_unexpected(net::NetErr::kProcessDead);
   }
   if (app_state_ && !restoring_ && registry_.is_first(cfg_.member)) {
-    // Every served reply mutates the keyed accumulator; the log covers
-    // the suffix since the last checkpoint and bounds it via log_cap.
-    msg_log_->append(app_state_->apply_next());
-    if (msg_log_->full()) proc_->sim().spawn(push_checkpoint());
+    bool duplicate = false;
+    conn = client_conns_.find(fd);  // the sleeps above may have closed it
+    if (cfg_.state.dedup_cap > 0 && conn != client_conns_.end() &&
+        !conn->second.pending_tokens.empty()) {
+      const auto token = conn->second.pending_tokens.front();
+      conn->second.pending_tokens.pop_front();
+      if (dedup_set_.contains(token)) {
+        // A retried request the old primary already applied (its cache
+        // reached us with its checkpoints): serve the reply, skip the
+        // state mutation — client-visible exactly-once across failover.
+        duplicate = true;
+        ++stats_.dedup_hits;
+        if (dedup_hits_ == nullptr) {
+          dedup_hits_ =
+              &proc_->sim().obs().metrics().counter("state.dedup.hits");
+        }
+        dedup_hits_->add();
+      } else {
+        dedup_insert(token);
+      }
+    }
+    if (!duplicate) {
+      // Every served reply mutates the keyed accumulator; the log covers
+      // the suffix since the last checkpoint and bounds it via log_cap.
+      msg_log_->append(app_state_->apply_next());
+      if (msg_log_->full()) proc_->sim().spawn(push_checkpoint());
+    }
   }
   ++stats_.replies_passed;
   auto wrote = co_await inner_.writev(fd, std::move(data));

@@ -21,10 +21,13 @@
 //    warm-passive state transfer.
 #pragma once
 
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
+#include <utility>
 
 #include "core/config.h"
 #include "core/mead_wire.h"
@@ -104,6 +107,8 @@ class ServerMead final : public net::SocketApi {
     std::uint64_t restores = 0;        // completed peer restores (not fresh)
     double last_restore_ms = 0;        // duration of the latest restore
     std::uint64_t pull_answers = 0;    // chain stripes answered (pull mode)
+    std::uint64_t handoffs = 0;        // ordered rotations served as victim
+    std::uint64_t dedup_hits = 0;      // duplicate requests suppressed
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
@@ -123,10 +128,12 @@ class ServerMead final : public net::SocketApi {
 
  private:
   struct ClientConn {
-    giop::FrameBuffer request_parser;  // LOCATION_FORWARD scheme only
+    giop::FrameBuffer request_parser;  // LF scheme, or reply-dedup parsing
     std::uint32_t last_request_id = 0;
     std::uint16_t last_key_hash = 0;
     bool redirected = false;  // MEAD failover frame already sent
+    /// Dedup tokens parsed from requests, FIFO-paired with replies.
+    std::deque<std::pair<std::uint64_t, std::uint64_t>> pending_tokens;
   };
 
   [[nodiscard]] double usage() const {
@@ -140,6 +147,18 @@ class ServerMead final : public net::SocketApi {
   sim::Task<void> rejuvenate_after_drain();
   sim::Task<void> gc_pump();
   sim::Task<void> state_sync_loop();
+  sim::Task<void> multicast_task(std::string group, Bytes payload);
+  /// Primary's usage telemetry for the RM's migration planner (only
+  /// spawned when cfg.migration.enabled()).
+  sim::Task<void> usage_report_loop();
+  /// The ordered kHandoff frame named this replica the rotation victim.
+  void handle_handoff(const Handoff& h);
+  // ---- reply deduplication (cfg.state.dedup_cap > 0) ----
+  void note_request_token(ClientConn& conn, const giop::RequestMessage& req);
+  void dedup_insert(std::pair<std::uint64_t, std::uint64_t> token);
+  void dedup_install(
+      const std::vector<std::pair<std::uint64_t, std::uint64_t>>& entries);
+  [[nodiscard]] Bytes reply_cache_wire(std::uint64_t nonce) const;
   // ---- stateful-service recovery pipeline ----
   sim::Task<void> checkpoint_loop();
   sim::Task<void> push_checkpoint();
@@ -228,6 +247,14 @@ class ServerMead final : public net::SocketApi {
   obs::Counter* replay_msgs_ = nullptr;
   obs::Counter* restore_ms_ = nullptr;
   obs::Counter* digest_mismatches_ = nullptr;
+
+  // ---- reply-dedup cache (inert unless cfg.state.dedup_cap > 0):
+  // applied (client_id, seq) tokens, FIFO-bounded at dedup_cap and
+  // replicated with each checkpoint push ----
+  std::deque<std::pair<std::uint64_t, std::uint64_t>> dedup_fifo_;
+  std::set<std::pair<std::uint64_t, std::uint64_t>> dedup_set_;
+  obs::Counter* dedup_hits_ = nullptr;   // state.dedup.hits, lazy
+  obs::Counter* handoff_ms_ = nullptr;   // mead.handoff_ms, lazy
 
   Stats stats_;
 };

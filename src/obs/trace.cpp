@@ -35,6 +35,8 @@ std::string_view to_string(EventKind k) {
     case EventKind::kCkptTaken: return "ckpt_taken";
     case EventKind::kRestoreBegin: return "restore_begin";
     case EventKind::kRestoreEnd: return "restore_end";
+    case EventKind::kMigrationPlanned: return "migration_planned";
+    case EventKind::kHandoff: return "handoff";
   }
   return "?";
 }
@@ -42,7 +44,7 @@ std::string_view to_string(EventKind k) {
 namespace {
 
 EventKind kind_from_string(std::string_view s) {
-  for (int i = 0; i <= static_cast<int>(EventKind::kRestoreEnd); ++i) {
+  for (int i = 0; i <= static_cast<int>(EventKind::kHandoff); ++i) {
     const auto k = static_cast<EventKind>(i);
     if (to_string(k) == s) return k;
   }

@@ -46,6 +46,8 @@ enum class EventKind : std::uint8_t {
   kCkptTaken,          // stateful primary took a checkpoint (value = epoch)
   kRestoreBegin,       // stateful replica started its restore handshake
   kRestoreEnd,         // restore finished (value = restored ops)
+  kMigrationPlanned,   // RM planner scheduled a proactive rotation
+  kHandoff,            // atomic primary rotation ordered / completed
 };
 
 [[nodiscard]] std::string_view to_string(EventKind k);

@@ -3,11 +3,14 @@
 namespace mead::orb {
 
 void Router::update(std::uint64_t version, std::string primary,
-                    std::vector<Target> read_set) {
+                    std::vector<Target> read_set,
+                    std::vector<std::string> catching_up) {
   if (version <= version_) return;  // reordered / duplicate update
   version_ = version;
   primary_ = std::move(primary);
   read_set_ = std::move(read_set);
+  catching_up_.clear();
+  catching_up_.insert(catching_up.begin(), catching_up.end());
   failed_.clear();
   last_routed_.clear();
   // Keep the sticky pin if the member survived the membership change;
@@ -37,7 +40,8 @@ const Router::Target* Router::pick_read() {
   if (policy_ == RoutingPolicy::kSticky) {
     if (!sticky_.empty()) {
       for (const auto& t : read_set_) {
-        if (t.member == sticky_ && !failed_.contains(t.member)) {
+        if (t.member == sticky_ && !failed_.contains(t.member) &&
+            !catching_up_.contains(t.member)) {
           last_routed_ = t.member;
           return &t;
         }
@@ -49,6 +53,7 @@ const Router::Target* Router::pick_read() {
     for (std::size_t i = 0; i < read_set_.size(); ++i) {
       const Target& t = read_set_[(rr_next_ + i) % read_set_.size()];
       if (failed_.contains(t.member)) continue;
+      if (catching_up_.contains(t.member)) continue;
       sticky_ = t.member;
       rr_next_ = (rr_next_ + i + 1) % read_set_.size();
       last_routed_ = t.member;
@@ -60,8 +65,20 @@ const Router::Target* Router::pick_read() {
   for (std::size_t i = 0; i < read_set_.size(); ++i) {
     const Target& t = read_set_[(rr_next_ + i) % read_set_.size()];
     if (failed_.contains(t.member)) continue;
+    if (catching_up_.contains(t.member)) continue;
     rr_next_ = (rr_next_ + i + 1) % read_set_.size();
     last_routed_ = t.member;
+    return &t;
+  }
+  return nullptr;
+}
+
+const Router::Target* Router::pick_read_other(
+    const std::string& exclude) const {
+  for (const auto& t : read_set_) {
+    if (t.member == exclude) continue;
+    if (failed_.contains(t.member)) continue;
+    if (catching_up_.contains(t.member)) continue;
     return &t;
   }
   return nullptr;

@@ -46,11 +46,14 @@ class Router {
 
   explicit Router(RoutingPolicy policy) : policy_(policy) {}
 
-  /// Installs a fresh read set (from a kReadSet update). Stale versions
-  /// (<= the installed one) are ignored; a newer set clears all failure
-  /// marks — the Recovery Manager already removed doomed members.
+  /// Installs a fresh read set (from a kReadSet / kQuorumSet update).
+  /// Stale versions (<= the installed one) are ignored; a newer set clears
+  /// all failure marks — the Recovery Manager already removed doomed
+  /// members. `catching_up` (kQuorumSet only) lists members that count for
+  /// writes but are excluded from read routing until their catch-up ends.
   void update(std::uint64_t version, std::string primary,
-              std::vector<Target> read_set);
+              std::vector<Target> read_set,
+              std::vector<std::string> catching_up = {});
 
   /// Marks an operation as a write; writes always route to the primary.
   /// By default every operation is a read.
@@ -67,11 +70,21 @@ class Router {
   /// rotation until the next read-set update replaces the set.
   void note_failure();
 
+  /// Quorum confirm reads: the first read-serving target other than
+  /// `exclude` (nullptr when the set has no second healthy member). Does
+  /// not advance rotation state or touch last_routed().
+  [[nodiscard]] const Target* pick_read_other(const std::string& exclude) const;
+
   [[nodiscard]] RoutingPolicy policy() const { return policy_; }
   [[nodiscard]] std::uint64_t version() const { return version_; }
   [[nodiscard]] const std::string& primary() const { return primary_; }
   [[nodiscard]] std::size_t read_set_size() const { return read_set_.size(); }
   [[nodiscard]] std::size_t failed_count() const { return failed_.size(); }
+  [[nodiscard]] std::size_t catching_up_count() const {
+    return catching_up_.size();
+  }
+  /// Member the last route() call handed out ("" if it fell back).
+  [[nodiscard]] const std::string& last_routed() const { return last_routed_; }
 
  private:
   [[nodiscard]] const Target* pick_read();
@@ -83,6 +96,7 @@ class Router {
   std::vector<Target> read_set_;
   std::set<std::string> write_ops_;
   std::set<std::string> failed_;  // members dropped until the next update
+  std::set<std::string> catching_up_;  // in-set but not read-serving
   std::size_t rr_next_ = 0;       // round-robin cursor
   std::string sticky_;            // current sticky member ("" = unpinned)
   std::string last_routed_;       // for note_failure()

@@ -17,7 +17,13 @@
 // crashed host carried the acting manager, a backup must have promoted.
 // Every third seed runs on the scaled GC plane (sharded sequencers +
 // interest scoping + batching), so the invariants also cover shard-owner
-// takeover and partition healing under interest-scoped delivery.
+// takeover and partition healing under interest-scoped delivery. A
+// different every-third stripe (seed % 3 == 1) flips the odd-indexed
+// groups to leaderless kQuorum replication with round-robin read routing,
+// so rejoin-while-serving (announce before catch-up, kCatchupDone) runs
+// under the same random fault schedules; live caught-up replicas of a
+// quorum group must also agree digest-for-digest at equal applied counts.
+#include <map>
 #include <set>
 #include <sstream>
 #include <string>
@@ -46,6 +52,11 @@ ExperimentSpec soak_spec(std::uint64_t seed) {
   // soak also covers epoch publication and the cross-replica agreement
   // invariant checked in the test body.
   const bool algorithmic_seed = (seed % 3 == 0);
+  // Every third seed (offset so it interleaves with the scaled-plane
+  // stripe) runs the odd-indexed groups as leaderless kQuorum groups, with
+  // the clients routing reads round-robin over the published quorum sets.
+  const bool quorum_seed = (seed % 3 == 1);
+  if (quorum_seed) spec.routing = orb::RoutingPolicy::kRoundRobin;
   for (int g = 0; g < 8; ++g) {
     ServiceGroupSpec s;
     if (g > 0) s.service = "Svc" + std::to_string(g);
@@ -61,6 +72,9 @@ ExperimentSpec soak_spec(std::uint64_t seed) {
     s.state.value_pad = 16;
     s.state.checkpoint_interval = milliseconds(20);
     s.state.log_cap = 64;
+    if (quorum_seed && g % 2 == 1) {
+      s.style = core::ReplicationStyle::kQuorum;
+    }
     spec.groups.push_back(std::move(s));
   }
 
@@ -212,6 +226,22 @@ TEST(ChaosSoakTest, RandomSchedulesHoldInvariants) {
       // checkpoint / delta / log-replay pipeline lost, duplicated, or
       // reordered nothing, no matter which faults hit the group.
       EXPECT_TRUE(r.group_results[i].state_ok) << g->service();
+      // Quorum digest equality: live, settled replicas of a kQuorum group
+      // that sit at the same applied-op count must hold identical digests —
+      // online catch-up may lag a replica, but never fork it.
+      if (spec.groups[i].style == core::ReplicationStyle::kQuorum) {
+        std::map<std::uint64_t, std::uint64_t> digest_at;
+        for (const auto& rep : g->replicas()) {
+          if (!rep->alive()) continue;
+          const core::ServerMead& mead = rep->mead();
+          const state::AppState* s = mead.app_state();
+          if (s == nullptr || mead.restoring()) continue;
+          const auto [it, fresh] = digest_at.emplace(s->applied(), s->digest());
+          if (!fresh) {
+            EXPECT_EQ(it->second, s->digest()) << rep->member();
+          }
+        }
+      }
     }
     if (victim_was_acting) {
       EXPECT_GE(r.rm_failovers, 1u) << "acting RM crashed but no backup promoted";
